@@ -1,0 +1,72 @@
+//! Criterion benchmarks contrasting preemptive and non-preemptive
+//! exploration (the quantitative content behind Lem. 9 / the paper's
+//! reliance on non-preemptive semantics), plus DRF checking.
+
+use ccc_core::lang::Prog;
+use ccc_core::race::{check_drf, check_npdrf};
+use ccc_core::refine::{collect_traces, count_states, ExploreCfg, NonPreemptive, Preemptive};
+use ccc_core::toy::{toy_globals, toy_module, ToyInstr as I, ToyLang};
+use ccc_core::world::Loaded;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn worker_body() -> Vec<I> {
+    vec![
+        I::Const(0),
+        I::Add(1),
+        I::Add(2),
+        I::EntAtom,
+        I::LoadG("x".into()),
+        I::Add(1),
+        I::StoreG("x".into()),
+        I::ExtAtom,
+        I::Ret(0),
+    ]
+}
+
+fn program(threads: usize) -> Loaded<ToyLang> {
+    let names: Vec<String> = (0..threads).map(|i| format!("t{i}")).collect();
+    let funcs: Vec<(&str, Vec<I>)> = names.iter().map(|n| (n.as_str(), worker_body())).collect();
+    let (m, _) = toy_module(&funcs, &[]);
+    Loaded::new(Prog::new(ToyLang, vec![(m, toy_globals(&[("x", 0)]))], names)).expect("link")
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let cfg = ExploreCfg::default();
+
+    let mut group = c.benchmark_group("state_space");
+    group.sample_size(10);
+    for threads in [2usize, 3] {
+        let prog = program(threads);
+        group.bench_with_input(
+            BenchmarkId::new("preemptive", threads),
+            &prog,
+            |b, p| b.iter(|| count_states(&Preemptive(p), &cfg).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("non_preemptive", threads),
+            &prog,
+            |b, p| b.iter(|| count_states(&NonPreemptive(p), &cfg).unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("traces");
+    group.sample_size(10);
+    let prog = program(2);
+    group.bench_function("preemptive", |b| {
+        b.iter(|| collect_traces(&Preemptive(&prog), &cfg).unwrap())
+    });
+    group.bench_function("non_preemptive", |b| {
+        b.iter(|| collect_traces(&NonPreemptive(&prog), &cfg).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("race_check");
+    group.sample_size(10);
+    group.bench_function("drf", |b| b.iter(|| check_drf(&prog, &cfg).unwrap()));
+    group.bench_function("npdrf", |b| b.iter(|| check_npdrf(&prog, &cfg).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the compilation passes (the Fig. 11
+//! pipeline): per-pass transformation time over generated modules of
+//! growing size.
+
+use ccc_bench::corpus::big_module;
+use ccc_compiler::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_passes");
+    group.sample_size(20);
+    let (m, _ge) = big_module(42, 4);
+    let arts = compile_with_artifacts(&m).expect("compiles");
+
+    group.bench_function("Cshmgen/Cminorgen", |b| {
+        b.iter(|| cminorgen::cminorgen(std::hint::black_box(&m)).unwrap())
+    });
+    group.bench_function("Selection", |b| {
+        b.iter(|| selection::selection(std::hint::black_box(&arts.cminor)))
+    });
+    group.bench_function("RTLgen", |b| {
+        b.iter(|| rtlgen::rtlgen(std::hint::black_box(&arts.cminorsel)))
+    });
+    group.bench_function("Tailcall", |b| {
+        b.iter(|| tailcall::tailcall(std::hint::black_box(&arts.rtl)))
+    });
+    group.bench_function("Renumber", |b| {
+        b.iter(|| renumber::renumber(std::hint::black_box(&arts.rtl_tailcall)))
+    });
+    group.bench_function("Allocation", |b| {
+        b.iter(|| allocation::allocation(std::hint::black_box(&arts.rtl_renumber)))
+    });
+    group.bench_function("Tunneling", |b| {
+        b.iter(|| tunneling::tunneling(std::hint::black_box(&arts.ltl)))
+    });
+    group.bench_function("Linearize", |b| {
+        b.iter(|| linearize::linearize(std::hint::black_box(&arts.ltl_tunneled)))
+    });
+    group.bench_function("CleanupLabels", |b| {
+        b.iter(|| cleanuplabels::cleanup_labels(std::hint::black_box(&arts.linear)))
+    });
+    group.bench_function("Stacking", |b| {
+        b.iter(|| stacking::stacking(std::hint::black_box(&arts.linear_clean)).unwrap())
+    });
+    group.bench_function("Asmgen", |b| {
+        b.iter(|| asmgen::asmgen(std::hint::black_box(&arts.mach)).unwrap())
+    });
+    group.bench_function("Constprop (extension)", |b| {
+        b.iter(|| constprop::constprop(std::hint::black_box(&arts.rtl_renumber)))
+    });
+    group.finish();
+
+    // Ablation: the optimized pipeline (with Constprop) vs the standard
+    // one, end to end.
+    let mut group = c.benchmark_group("constprop_ablation");
+    group.sample_size(10);
+    group.bench_function("compile", |b| {
+        b.iter(|| compile(std::hint::black_box(&m)).unwrap())
+    });
+    group.bench_function("compile_optimized", |b| {
+        b.iter(|| driver::compile_optimized(std::hint::black_box(&m)).unwrap())
+    });
+    group.finish();
+
+    // Whole-pipeline throughput vs program size.
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for scale in [1usize, 4, 8] {
+        let (m, _) = big_module(7, scale);
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &m, |b, m| {
+            b.iter(|| compile(std::hint::black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

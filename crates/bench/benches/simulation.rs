@@ -1,0 +1,29 @@
+//! Criterion benchmarks for the footprint-preserving simulation checker
+//! (Defs. 2-3): per-pass and end-to-end validation cost.
+
+use ccc_bench::corpus::big_module;
+use ccc_compiler::driver::compile_with_artifacts;
+use ccc_compiler::verif::{verify_end_to_end, verify_passes};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulation(c: &mut Criterion) {
+    let (m, ge) = big_module(5, 2);
+    let arts = compile_with_artifacts(&m).expect("compiles");
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("all_passes", |b| {
+        b.iter(|| {
+            for v in verify_passes(std::hint::black_box(&arts), &ge, "f") {
+                assert!(v.ok());
+            }
+        })
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| verify_end_to_end(std::hint::black_box(&arts), &ge, "f").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the x86-TSO machine and the extended
+//! framework: SC vs TSO exploration of the SB litmus and of the TTAS
+//! lock counter (Fig. 3's workload).
+
+use ccc_core::lang::Prog;
+use ccc_core::mem::{GlobalEnv, Val};
+use ccc_core::refine::{collect_traces, ExploreCfg, Preemptive};
+use ccc_core::world::Loaded;
+use ccc_machine::{AsmFunc, AsmModule, Instr, MemArg, Operand, Reg, X86Sc, X86Tso};
+use ccc_sync::drf_guarantee::check_drf_guarantee;
+use ccc_sync::lock::{lock_impl, lock_spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sb_module() -> (AsmModule, GlobalEnv, Vec<String>) {
+    let mk = |mine: &str, theirs: &str| AsmFunc {
+        code: vec![
+            Instr::Store(MemArg::Global(mine.into(), 0), Operand::Imm(1)),
+            Instr::Load(Reg::Ecx, MemArg::Global(theirs.into(), 0)),
+            Instr::Print(Reg::Ecx),
+            Instr::Mov(Reg::Eax, Operand::Imm(0)),
+            Instr::Ret,
+        ],
+        frame_slots: 0,
+        arity: 0,
+    };
+    let mut ge = GlobalEnv::new();
+    ge.define("x", Val::Int(0));
+    ge.define("y", Val::Int(0));
+    (
+        AsmModule::new([("t1", mk("x", "y")), ("t2", mk("y", "x"))]),
+        ge,
+        vec!["t1".into(), "t2".into()],
+    )
+}
+
+fn bench_tso(c: &mut Criterion) {
+    let cfg = ExploreCfg::default();
+    let (m, ge, entries) = sb_module();
+    let sc = Loaded::new(Prog::new(X86Sc, vec![(m.clone(), ge.clone())], entries.clone())).unwrap();
+    let tso = Loaded::new(Prog::new(X86Tso, vec![(m.clone(), ge.clone())], entries.clone())).unwrap();
+
+    let mut group = c.benchmark_group("sb_litmus");
+    group.sample_size(10);
+    group.bench_function("x86_sc", |b| {
+        b.iter(|| collect_traces(&Preemptive(&sc), &cfg).unwrap())
+    });
+    group.bench_function("x86_tso", |b| {
+        b.iter(|| collect_traces(&Preemptive(&tso), &cfg).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("drf_guarantee");
+    group.sample_size(10);
+    let (spec, spec_ge) = lock_spec("L");
+    let (imp, imp_ge) = lock_impl("L");
+    let obj = ccc_sync::SyncObject {
+        spec,
+        spec_ge,
+        impl_asm: imp,
+        impl_ge: imp_ge,
+    };
+    let client = AsmFunc {
+        code: vec![
+            Instr::Call("lock".into(), 0),
+            Instr::Load(Reg::Ecx, MemArg::Global("x".into(), 0)),
+            Instr::Add(Reg::Ecx, Operand::Imm(1)),
+            Instr::Store(MemArg::Global("x".into(), 0), Operand::Reg(Reg::Ecx)),
+            Instr::Call("unlock".into(), 0),
+            Instr::Mov(Reg::Eax, Operand::Imm(0)),
+            Instr::Ret,
+        ],
+        frame_slots: 0,
+        arity: 0,
+    };
+    let clients = AsmModule::new([("t1", client.clone()), ("t2", client)]);
+    let mut cge = GlobalEnv::new();
+    cge.define("x", Val::Int(0));
+    let entries = vec!["t1".to_string(), "t2".to_string()];
+    let lcfg = ExploreCfg {
+        fuel: 200,
+        max_states: 2_000_000,
+        ..Default::default()
+    };
+    group.bench_function("lock_counter_lemma16", |b| {
+        b.iter(|| {
+            let r = check_drf_guarantee(&clients, &cge, &entries, &obj, &lcfg).unwrap();
+            assert!(r.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tso);
+criterion_main!(benches);

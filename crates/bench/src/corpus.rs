@@ -1,0 +1,85 @@
+//! Shared program corpus for the evaluation harness.
+
+use ccc_cimp::CImpLang;
+use ccc_clight::gen::{gen_concurrent_client, gen_module, GenCfg};
+use ccc_clight::{ClightLang, ClightModule};
+use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::mem::GlobalEnv;
+use ccc_core::world::Loaded;
+use ccc_machine::X86Sc;
+use ccc_sync::lock::lock_spec;
+
+/// Source programs: Clight clients + CImp lock object.
+pub type SrcLang = SumLang<ClightLang, CImpLang>;
+/// Target programs: compiled x86-SC clients + CImp lock object.
+pub type TgtLang = SumLang<X86Sc, CImpLang>;
+
+/// A generated sequential module plus its globals (pipeline workloads).
+pub fn sequential_modules(n: usize) -> Vec<(ClightModule, GlobalEnv)> {
+    (0..n as u64).map(|s| gen_module(s, &GenCfg::default())).collect()
+}
+
+/// A larger sequential module (scaled generator) for throughput-style
+/// pass benchmarks.
+pub fn big_module(seed: u64, scale: usize) -> (ClightModule, GlobalEnv) {
+    gen_module(
+        seed,
+        &GenCfg {
+            block_len: 4 + scale,
+            depth: 3,
+            num_temps: 4 + scale,
+            num_vars: 2 + scale / 2,
+            ..Default::default()
+        },
+    )
+}
+
+/// Builds the cross-language source program for a generated concurrent
+/// client (threads synchronized through the CImp lock).
+pub fn concurrent_source(
+    seed: u64,
+    threads: usize,
+) -> (Loaded<SrcLang>, ClightModule, GlobalEnv, Vec<String>) {
+    let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], false);
+    let (lock, lock_ge) = lock_spec("L");
+    let loaded = Loaded::new(Prog {
+        lang: SumLang(ClightLang, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client.clone()),
+                ge: ge.clone(),
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries: entries.clone(),
+    })
+    .expect("source links");
+    (loaded, client, ge, entries)
+}
+
+/// Builds the target program from a compiled client.
+pub fn concurrent_target(
+    client_asm: ccc_machine::AsmModule,
+    ge: GlobalEnv,
+    entries: Vec<String>,
+) -> Loaded<TgtLang> {
+    let (lock, lock_ge) = lock_spec("L");
+    Loaded::new(Prog {
+        lang: SumLang(X86Sc, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client_asm),
+                ge,
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries,
+    })
+    .expect("target links")
+}

@@ -1,0 +1,19 @@
+//! # ccc-bench — evaluation harness
+//!
+//! Regenerates the paper's evaluation artifacts:
+//!
+//! * `cargo run -p ccc-bench --bin fig13` — the per-pass effort table
+//!   (Fig. 13), with the paper's Coq line counts printed alongside this
+//!   reproduction's implementation/validation line counts and per-pass
+//!   validation times;
+//! * `cargo run -p ccc-bench --bin fig2_framework` — validation of every
+//!   arrow of the basic framework (Fig. 2) over a program corpus;
+//! * `cargo run -p ccc-bench --bin fig3_extended` — the extended
+//!   framework (Fig. 3 / Lem. 16) for the TTAS lock and Treiber stack,
+//!   plus the negative (unconfined) controls;
+//! * `cargo bench -p ccc-bench` — Criterion microbenchmarks: per-pass
+//!   compile+validate times (Fig. 11 series), preemptive vs
+//!   non-preemptive exploration, simulation checking, and SC vs TSO
+//!   litmus exploration.
+
+pub mod corpus;

@@ -1,0 +1,239 @@
+//! Abstract syntax of CImp, the source object language of CASCompCert
+//! (§7.1 of the paper).
+//!
+//! CImp is "a simple imperative language" providing what object
+//! (synchronization-library) specifications need: atomic blocks `⟨C⟩`,
+//! `assert`, memory loads/stores `[e]`, local registers, structured
+//! control flow, and output. The spin-lock specification `γ_lock` of
+//! Fig. 10(a) is expressed in it (see the `ccc-sync` crate).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A register (local variable) name.
+pub type Reg = String;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Equality (1 if equal, 0 otherwise).
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+}
+
+/// Pure expressions over registers and global addresses.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A register read. Unset registers read as `undef`; using an undef
+    /// operand aborts.
+    Reg(Reg),
+    /// The address of a global (`&L`), resolved through the linked
+    /// global environment.
+    GlobalAddr(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation (`!e`: 1 if `e` is 0, else 0).
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `e1 == e2`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    /// A register read.
+    pub fn reg(name: impl Into<String>) -> Expr {
+        Expr::Reg(name.into())
+    }
+
+    /// The address of a global.
+    pub fn global(name: impl Into<String>) -> Expr {
+        Expr::GlobalAddr(name.into())
+    }
+}
+
+/// CImp statements.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    /// No-op.
+    Skip,
+    /// `r := e`.
+    Assign(Reg, Expr),
+    /// `r := [e]` — load from the address `e` evaluates to.
+    Load(Reg, Expr),
+    /// `[e] := e′` — store to the address `e` evaluates to.
+    Store(Expr, Expr),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// Conditional.
+    If(Expr, Box<Stmt>, Box<Stmt>),
+    /// Loop.
+    While(Expr, Box<Stmt>),
+    /// Atomic block `⟨C⟩`: executes `C` without interruption, bracketed
+    /// by `EntAtom`/`ExtAtom` events.
+    Atomic(Box<Stmt>),
+    /// `assert(e)`: aborts if `e` is zero or undefined.
+    Assert(Expr),
+    /// Prints an integer (an observable event).
+    Print(Expr),
+    /// Returns a value from the current function.
+    Return(Expr),
+    /// `r := f(args…)`: an external call to another module's function.
+    CallExt(Reg, String, Vec<Expr>),
+}
+
+impl Stmt {
+    /// Sequences statements, flattening nested sequences.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => out.extend(inner),
+                Stmt::Skip => {}
+                other => out.push(other),
+            }
+        }
+        Stmt::Seq(out)
+    }
+
+    /// An atomic block.
+    pub fn atomic(body: Stmt) -> Stmt {
+        Stmt::Atomic(Box::new(body))
+    }
+
+    /// A while loop.
+    pub fn while_loop(cond: Expr, body: Stmt) -> Stmt {
+        Stmt::While(cond, Box::new(body))
+    }
+
+    /// A two-armed conditional.
+    pub fn if_else(cond: Expr, then: Stmt, els: Stmt) -> Stmt {
+        Stmt::If(cond, Box::new(then), Box::new(els))
+    }
+}
+
+/// A CImp function: parameters (bound to registers) and a body. Falling
+/// off the end returns 0.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Func {
+    /// Parameter registers.
+    pub params: Vec<Reg>,
+    /// The function body.
+    pub body: Stmt,
+}
+
+/// A CImp module: a set of named functions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CImpModule {
+    /// The functions, by name.
+    pub funcs: BTreeMap<String, Func>,
+}
+
+impl CImpModule {
+    /// Builds a module from `(name, function)` pairs.
+    pub fn new(funcs: impl IntoIterator<Item = (impl Into<String>, Func)>) -> CImpModule {
+        CImpModule {
+            funcs: funcs.into_iter().map(|(n, f)| (n.into(), f)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Reg(r) => f.write_str(r),
+            Expr::GlobalAddr(g) => write!(f, "&{g}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Not(e) => write!(f, "!{e}"),
+        }
+    }
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Stmt::Skip => Ok(()),
+            Stmt::Assign(r, e) => writeln!(f, "{pad}{r} := {e};"),
+            Stmt::Load(r, a) => writeln!(f, "{pad}{r} := [{a}];"),
+            Stmt::Store(a, v) => writeln!(f, "{pad}[{a}] := {v};"),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.fmt_indented(f, indent)?;
+                }
+                Ok(())
+            }
+            Stmt::If(c, a, b) => {
+                writeln!(f, "{pad}if ({c}) {{")?;
+                a.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}} else {{")?;
+                b.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::While(c, b) => {
+                writeln!(f, "{pad}while ({c}) {{")?;
+                b.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Atomic(b) => {
+                writeln!(f, "{pad}⟨")?;
+                b.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}⟩")
+            }
+            Stmt::Assert(e) => writeln!(f, "{pad}assert({e});"),
+            Stmt::Print(e) => writeln!(f, "{pad}print({e});"),
+            Stmt::Return(e) => writeln!(f, "{pad}return {e};"),
+            Stmt::CallExt(r, g, args) => {
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                writeln!(f, "{pad}{r} := {g}({});", args.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Display for CImpModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, func) in &self.funcs {
+            writeln!(f, "fn {name}({}) {{", func.params.join(", "))?;
+            func.body.fmt_indented(f, 1)?;
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,49 @@
+//! # ccc-cimp — the CImp object language
+//!
+//! CImp is the simple imperative language CASCompCert uses to write
+//! *specifications of synchronization objects* (§7.1 of the paper): the
+//! abstract spin lock `γ_lock` of Fig. 10(a), atomic stacks, and other
+//! object abstractions that concurrent Clight clients call through
+//! external functions.
+//!
+//! The language provides atomic blocks `⟨C⟩` (compiled to the
+//! `EntAtom`/`ExtAtom` protocol of the global semantics), `assert`,
+//! loads/stores through address expressions, local registers, structured
+//! control flow, output, and external calls. Its small-step semantics is
+//! footprint-instrumented and instantiates [`ccc_core::lang::Lang`]; the
+//! instance is validated against the well-definedness conditions of
+//! Def. 1 by this crate's tests.
+//!
+//! ## Example: an atomic counter object
+//!
+//! ```
+//! use ccc_cimp::{BinOp, CImpLang, CImpModule, Expr, Func, Stmt};
+//! use ccc_core::mem::{GlobalEnv, Val};
+//! use ccc_core::world::run_main;
+//!
+//! let mut ge = GlobalEnv::new();
+//! ge.define("c", Val::Int(0));
+//! let body = Stmt::seq([
+//!     Stmt::atomic(Stmt::seq([
+//!         Stmt::Load("r".into(), Expr::global("c")),
+//!         Stmt::Store(
+//!             Expr::global("c"),
+//!             Expr::Bin(BinOp::Add, Box::new(Expr::reg("r")), Box::new(Expr::Int(1))),
+//!         ),
+//!     ])),
+//!     Stmt::Return(Expr::reg("r")),
+//! ]);
+//! let module = CImpModule::new([("inc", Func { params: vec![], body })]);
+//! let (ret, mem, _) = run_main(&CImpLang, &module, &ge, "inc", &[], 1000).expect("runs");
+//! assert_eq!(ret, Val::Int(0));
+//! assert_eq!(mem.load(ge.lookup("c").unwrap()), Some(Val::Int(1)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod sem;
+
+pub use ast::{BinOp, CImpModule, Expr, Func, Reg, Stmt};
+pub use sem::{CImpCore, CImpLang, Kont};

@@ -1,0 +1,429 @@
+//! The footprint-instrumented small-step semantics of CImp and its
+//! [`Lang`] instance.
+//!
+//! CImp cores are continuation machines: a register file plus a stack of
+//! pending work items. Register operations are silent with empty
+//! footprints; only loads and stores touch memory and report `(rs, ws)`.
+//! Atomic blocks emit `EntAtom` on entry and `ExtAtom` when their body is
+//! exhausted, exactly the protocol of the global semantics (Fig. 7).
+
+use crate::ast::{BinOp, CImpModule, Expr, Func, Stmt};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{FreeList, GlobalEnv, Memory, Val};
+use std::collections::BTreeMap;
+
+/// A pending work item on the continuation stack.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Kont {
+    /// Execute a statement.
+    Stmt(Stmt),
+    /// Close the enclosing atomic block (emit `ExtAtom`).
+    EndAtomic,
+    /// Receive an external call's return value into a register.
+    RecvRet(String),
+}
+
+/// The CImp core state `κ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CImpCore {
+    regs: BTreeMap<String, Val>,
+    cont: Vec<Kont>, // top = last element
+}
+
+impl CImpCore {
+    /// The value of register `r` (`undef` if never assigned).
+    pub fn reg(&self, r: &str) -> Val {
+        self.regs.get(r).copied().unwrap_or(Val::Undef)
+    }
+}
+
+/// The CImp language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CImpLang;
+
+/// Evaluates a pure expression over the register file. `None` means the
+/// evaluation goes wrong (undef operand, unknown global, type error).
+fn eval(e: &Expr, regs: &BTreeMap<String, Val>, ge: &GlobalEnv) -> Option<Val> {
+    match e {
+        Expr::Int(i) => Some(Val::Int(*i)),
+        Expr::Reg(r) => Some(regs.get(r).copied().unwrap_or(Val::Undef)),
+        Expr::GlobalAddr(g) => ge.lookup(g).map(Val::Ptr),
+        Expr::Not(e) => match eval(e, regs, ge)? {
+            Val::Int(i) => Some(Val::Int(i64::from(i == 0))),
+            _ => None,
+        },
+        Expr::Bin(op, a, b) => {
+            let va = eval(a, regs, ge)?;
+            let vb = eval(b, regs, ge)?;
+            match (op, va, vb) {
+                (BinOp::Add, Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_add(y))),
+                // Pointer arithmetic (word-granular), for object
+                // specifications that index node pools.
+                (BinOp::Add, Val::Ptr(p), Val::Int(y)) | (BinOp::Add, Val::Int(y), Val::Ptr(p)) => {
+                    Some(Val::Ptr(ccc_core::mem::Addr(p.0.wrapping_add(y as u64))))
+                }
+                (BinOp::Sub, Val::Ptr(p), Val::Int(y)) => {
+                    Some(Val::Ptr(ccc_core::mem::Addr(p.0.wrapping_sub(y as u64))))
+                }
+                (BinOp::Sub, Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_sub(y))),
+                (BinOp::Mul, Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_mul(y))),
+                (BinOp::Eq, x, y) if x != Val::Undef && y != Val::Undef => {
+                    Some(Val::Int(i64::from(x == y)))
+                }
+                (BinOp::Ne, x, y) if x != Val::Undef && y != Val::Undef => {
+                    Some(Val::Int(i64::from(x != y)))
+                }
+                (BinOp::Lt, Val::Int(x), Val::Int(y)) => Some(Val::Int(i64::from(x < y))),
+                (BinOp::Le, Val::Int(x), Val::Int(y)) => Some(Val::Int(i64::from(x <= y))),
+                _ => None,
+            }
+        }
+    }
+}
+
+impl CImpLang {
+    fn exec(
+        &self,
+        core: &CImpCore,
+        ge: &GlobalEnv,
+        mem: &Memory,
+    ) -> Vec<LocalStep<CImpCore>> {
+        let tau = |core: CImpCore, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let mut next = core.clone();
+        let Some(item) = next.cont.pop() else {
+            // Function body exhausted: implicit `return 0`.
+            return vec![LocalStep::Ret { val: Val::Int(0) }];
+        };
+        match item {
+            Kont::EndAtomic => vec![LocalStep::Step {
+                msg: StepMsg::ExtAtom,
+                fp: Footprint::emp(),
+                core: next,
+                mem: mem.clone(),
+            }],
+            Kont::RecvRet(_) => abort(), // a return arrived without resume
+            Kont::Stmt(stmt) => match stmt {
+                Stmt::Skip => tau(next, mem.clone(), Footprint::emp()),
+                Stmt::Assign(r, e) => match eval(&e, &next.regs, ge) {
+                    Some(v) => {
+                        next.regs.insert(r, v);
+                        tau(next, mem.clone(), Footprint::emp())
+                    }
+                    None => abort(),
+                },
+                Stmt::Load(r, ea) => {
+                    let Some(Val::Ptr(a)) = eval(&ea, &next.regs, ge) else {
+                        return abort();
+                    };
+                    let Some(v) = mem.load(a) else {
+                        return abort();
+                    };
+                    next.regs.insert(r, v);
+                    tau(next, mem.clone(), Footprint::read(a))
+                }
+                Stmt::Store(ea, ev) => {
+                    let Some(Val::Ptr(a)) = eval(&ea, &next.regs, ge) else {
+                        return abort();
+                    };
+                    let Some(v) = eval(&ev, &next.regs, ge) else {
+                        return abort();
+                    };
+                    let mut m = mem.clone();
+                    if !m.store(a, v) {
+                        return abort();
+                    }
+                    tau(next, m, Footprint::write(a))
+                }
+                Stmt::Seq(stmts) => {
+                    for s in stmts.into_iter().rev() {
+                        next.cont.push(Kont::Stmt(s));
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::If(c, then, els) => match eval(&c, &next.regs, ge).and_then(Val::truth) {
+                    Some(t) => {
+                        next.cont.push(Kont::Stmt(if t { *then } else { *els }));
+                        tau(next, mem.clone(), Footprint::emp())
+                    }
+                    None => abort(),
+                },
+                Stmt::While(c, body) => {
+                    match eval(&c, &next.regs, ge).and_then(Val::truth) {
+                        Some(true) => {
+                            next.cont.push(Kont::Stmt(Stmt::While(c, body.clone())));
+                            next.cont.push(Kont::Stmt(*body));
+                            tau(next, mem.clone(), Footprint::emp())
+                        }
+                        Some(false) => tau(next, mem.clone(), Footprint::emp()),
+                        None => abort(),
+                    }
+                }
+                Stmt::Atomic(body) => {
+                    next.cont.push(Kont::EndAtomic);
+                    next.cont.push(Kont::Stmt(*body));
+                    vec![LocalStep::Step {
+                        msg: StepMsg::EntAtom,
+                        fp: Footprint::emp(),
+                        core: next,
+                        mem: mem.clone(),
+                    }]
+                }
+                Stmt::Assert(e) => match eval(&e, &next.regs, ge).and_then(Val::truth) {
+                    Some(true) => tau(next, mem.clone(), Footprint::emp()),
+                    _ => abort(),
+                },
+                Stmt::Print(e) => match eval(&e, &next.regs, ge) {
+                    Some(Val::Int(i)) => vec![LocalStep::Step {
+                        msg: StepMsg::Event(Event::Print(i)),
+                        fp: Footprint::emp(),
+                        core: next,
+                        mem: mem.clone(),
+                    }],
+                    _ => abort(),
+                },
+                Stmt::Return(e) => match eval(&e, &next.regs, ge) {
+                    Some(v) => vec![LocalStep::Ret { val: v }],
+                    None => abort(),
+                },
+                Stmt::CallExt(r, callee, args) => {
+                    let mut vals = Vec::new();
+                    for a in &args {
+                        match eval(a, &next.regs, ge) {
+                            Some(v) => vals.push(v),
+                            None => return abort(),
+                        }
+                    }
+                    next.cont.push(Kont::RecvRet(r));
+                    vec![LocalStep::Call {
+                        callee,
+                        args: vals,
+                        cont: next,
+                    }]
+                }
+            },
+        }
+    }
+}
+
+impl Lang for CImpLang {
+    type Module = CImpModule;
+    type Core = CImpCore;
+
+    fn name(&self) -> &'static str {
+        "CImp"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let Func { params, body } = module.funcs.get(entry)?;
+        if args.len() > params.len() {
+            return None;
+        }
+        let mut regs = BTreeMap::new();
+        for (p, &v) in params.iter().zip(args) {
+            regs.insert(p.clone(), v);
+        }
+        Some(CImpCore {
+            regs,
+            cont: vec![Kont::Stmt(body.clone())],
+        })
+    }
+
+    fn step(
+        &self,
+        _module: &Self::Module,
+        ge: &GlobalEnv,
+        _flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        self.exec(core, ge, mem)
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        match next.cont.pop() {
+            Some(Kont::RecvRet(r)) => {
+                next.regs.insert(r, ret);
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::refine::ExploreCfg;
+    use ccc_core::wd::{check_det, check_wd};
+    use ccc_core::world::run_main;
+
+    fn ge_with(globals: &[(&str, i64)]) -> GlobalEnv {
+        let mut ge = GlobalEnv::new();
+        for &(n, v) in globals {
+            ge.define(n, Val::Int(v));
+        }
+        ge
+    }
+
+    fn counter_module() -> CImpModule {
+        // inc() { <r := [c]; [c] := r + 1;> return r; }
+        let body = Stmt::seq([
+            Stmt::atomic(Stmt::seq([
+                Stmt::Load("r".into(), Expr::global("c")),
+                Stmt::Store(
+                    Expr::global("c"),
+                    Expr::Bin(BinOp::Add, Box::new(Expr::reg("r")), Box::new(Expr::Int(1))),
+                ),
+            ])),
+            Stmt::Return(Expr::reg("r")),
+        ]);
+        CImpModule::new([(
+            "inc",
+            Func {
+                params: vec![],
+                body,
+            },
+        )])
+    }
+
+    #[test]
+    fn counter_increments() {
+        let ge = ge_with(&[("c", 10)]);
+        let m = counter_module();
+        let (val, mem, _) =
+            run_main(&CImpLang, &m, &ge, "inc", &[], 1000).expect("runs");
+        assert_eq!(val, Val::Int(10));
+        assert_eq!(mem.load(ge.lookup("c").unwrap()), Some(Val::Int(11)));
+    }
+
+    #[test]
+    fn while_loop_terminates() {
+        // f(n) { while (0 < n) { n := n - 1 }; return n; }
+        let body = Stmt::seq([
+            Stmt::while_loop(
+                Expr::Bin(BinOp::Lt, Box::new(Expr::Int(0)), Box::new(Expr::reg("n"))),
+                Stmt::Assign(
+                    "n".into(),
+                    Expr::Bin(BinOp::Sub, Box::new(Expr::reg("n")), Box::new(Expr::Int(1))),
+                ),
+            ),
+            Stmt::Return(Expr::reg("n")),
+        ]);
+        let m = CImpModule::new([("f", Func { params: vec!["n".into()], body })]);
+        let ge = GlobalEnv::new();
+        let (val, _, _) = run_main(&CImpLang, &m, &ge, "f", &[Val::Int(5)], 1000).expect("runs");
+        assert_eq!(val, Val::Int(0));
+    }
+
+    #[test]
+    fn assert_false_aborts() {
+        let m = CImpModule::new([(
+            "f",
+            Func {
+                params: vec![],
+                body: Stmt::Assert(Expr::Int(0)),
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&CImpLang, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn undef_register_use_aborts() {
+        let m = CImpModule::new([(
+            "f",
+            Func {
+                params: vec![],
+                body: Stmt::Return(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::reg("never_set")),
+                    Box::new(Expr::Int(1)),
+                )),
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&CImpLang, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn load_store_footprints_reported() {
+        let ge = ge_with(&[("c", 0)]);
+        let addr = ge.lookup("c").unwrap();
+        let m = counter_module();
+        let lang = CImpLang;
+        let fl = FreeList::for_thread(0);
+        let mut core = lang.init_core(&m, &ge, "inc", &[]).expect("init");
+        let mut mem = ge.initial_memory();
+        let mut seen_read = false;
+        let mut seen_write = false;
+        for _ in 0..100 {
+            match lang.step(&m, &ge, &fl, &core, &mem).into_iter().next() {
+                Some(LocalStep::Step { fp, core: c, mem: mm, .. }) => {
+                    seen_read |= fp.rs.contains(&addr);
+                    seen_write |= fp.ws.contains(&addr);
+                    core = c;
+                    mem = mm;
+                }
+                _ => break,
+            }
+        }
+        assert!(seen_read && seen_write);
+    }
+
+    #[test]
+    fn cimp_is_well_defined_and_deterministic() {
+        let ge = ge_with(&[("c", 3)]);
+        let m = counter_module();
+        let cfg = ExploreCfg::default();
+        check_wd(&CImpLang, &m, &ge, "inc", &ge.initial_memory(), &cfg).expect("wd(CImp)");
+        check_det(&CImpLang, &m, &ge, "inc", &ge.initial_memory(), &cfg).expect("det(CImp)");
+    }
+
+    #[test]
+    fn external_call_resumes_into_register() {
+        let body = Stmt::seq([
+            Stmt::CallExt("r".into(), "other".into(), vec![Expr::Int(7)]),
+            Stmt::Return(Expr::reg("r")),
+        ]);
+        let m = CImpModule::new([("f", Func { params: vec![], body })]);
+        let ge = GlobalEnv::new();
+        let lang = CImpLang;
+        let fl = FreeList::for_thread(0);
+        let mut core = lang.init_core(&m, &ge, "f", &[]).expect("init");
+        // Step through the Seq unfolding to the call itself.
+        let steps = loop {
+            match lang.step(&m, &ge, &fl, &core, &Memory::new()).remove(0) {
+                LocalStep::Step { core: c, .. } => core = c,
+                other => break vec![other],
+            }
+        };
+        let LocalStep::Call { callee, args, cont } = &steps[0] else {
+            panic!("expected call, got {steps:?}");
+        };
+        assert_eq!(callee, "other");
+        assert_eq!(args, &vec![Val::Int(7)]);
+        let resumed = lang.resume(&m, cont, Val::Int(42)).expect("resume");
+        let steps = lang.step(&m, &ge, &fl, &resumed, &Memory::new());
+        assert!(matches!(steps[0], LocalStep::Ret { val: Val::Int(42) }));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for CImp: expression-evaluation laws, abort
+//! discipline, and the atomic-block protocol.
+
+use ccc_cimp::{BinOp, CImpLang, CImpModule, Expr, Func, Stmt};
+use ccc_core::lang::{Lang, LocalStep, StepMsg};
+use ccc_core::mem::{FreeList, GlobalEnv, Memory, Val};
+use ccc_core::world::run_main;
+use proptest::prelude::*;
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Int),
+        Just(Expr::reg("a")),
+        Just(Expr::reg("b")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// Runs `return e` with registers a, b preset.
+fn eval_via_program(e: &Expr, a: i64, b: i64) -> Option<Val> {
+    let body = Stmt::seq([
+        Stmt::Assign("a".into(), Expr::Int(a)),
+        Stmt::Assign("b".into(), Expr::Int(b)),
+        Stmt::Return(e.clone()),
+    ]);
+    let m = CImpModule::new([("f", Func { params: vec![], body })]);
+    let ge = GlobalEnv::new();
+    run_main(&CImpLang, &m, &ge, "f", &[], 100_000).map(|(v, _, _)| v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integer-only expressions never abort, and evaluation is a pure
+    /// function of the register values.
+    #[test]
+    fn integer_expressions_are_total_and_pure(e in arb_expr(), a in -9i64..9, b in -9i64..9) {
+        let v1 = eval_via_program(&e, a, b);
+        let v2 = eval_via_program(&e, a, b);
+        prop_assert!(v1.is_some(), "aborted on {e:?}");
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// `!!e` has the truthiness of `e` (for integer results).
+    #[test]
+    fn double_negation_preserves_truthiness(e in arb_expr(), a in -9i64..9, b in -9i64..9) {
+        let v = eval_via_program(&e, a, b).and_then(Val::as_int);
+        let nn = Expr::Not(Box::new(Expr::Not(Box::new(e))));
+        let vnn = eval_via_program(&nn, a, b).and_then(Val::as_int);
+        prop_assert_eq!(v.map(|i| i != 0), vnn.map(|i| i != 0));
+    }
+
+    /// Comparison operators return exactly 0 or 1.
+    #[test]
+    fn comparisons_are_boolean(op in prop_oneof![Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le)], a in -9i64..9, b in -9i64..9) {
+        let e = Expr::Bin(op, Box::new(Expr::reg("a")), Box::new(Expr::reg("b")));
+        let v = eval_via_program(&e, a, b).and_then(Val::as_int).unwrap();
+        prop_assert!(v == 0 || v == 1);
+    }
+
+    /// Atomic blocks always bracket: along any execution of a generated
+    /// body wrapped in `⟨·⟩`, EntAtom and ExtAtom alternate and balance.
+    #[test]
+    fn atomic_blocks_bracket(e in arb_expr(), a in -9i64..9) {
+        let body = Stmt::seq([
+            Stmt::Assign("a".into(), Expr::Int(a)),
+            Stmt::Assign("b".into(), Expr::Int(1)),
+            Stmt::atomic(Stmt::Assign("r".into(), e.clone())),
+            Stmt::atomic(Stmt::Skip),
+            Stmt::Return(Expr::Int(0)),
+        ]);
+        let m = CImpModule::new([("f", Func { params: vec![], body })]);
+        let ge = GlobalEnv::new();
+        let lang = CImpLang;
+        let fl = FreeList::for_thread(0);
+        let mut core = lang.init_core(&m, &ge, "f", &[]).unwrap();
+        let mut mem = Memory::new();
+        let mut depth = 0i32;
+        let mut blocks = 0;
+        for _ in 0..10_000 {
+            match lang.step(&m, &ge, &fl, &core, &mem).into_iter().next() {
+                Some(LocalStep::Step { msg, core: c, mem: mm, .. }) => {
+                    match msg {
+                        StepMsg::EntAtom => { depth += 1; blocks += 1; }
+                        StepMsg::ExtAtom => depth -= 1,
+                        _ => {}
+                    }
+                    prop_assert!((0..=1).contains(&depth), "nesting violated");
+                    core = c;
+                    mem = mm;
+                }
+                Some(LocalStep::Ret { .. }) => break,
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        prop_assert_eq!(depth, 0, "unbalanced atomic block");
+        prop_assert_eq!(blocks, 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract syntax of mini-Clight, the source client language.
+//!
+//! The structure follows CompCert's Clight: *temporaries* (register-like
+//! locals assigned with `Set`) are distinguished from *addressable
+//! variables* (stack-allocated locals and globals, assigned through
+//! lvalues with `Assign`); expression evaluation is side-effect-free but
+//! may read memory; and statements include structured control flow with
+//! `break`/`continue`, calls, and builtins.
+//!
+//! Values are word-sized (integers and pointers), matching the abstract
+//! memory model of the framework (`ccc-core`).
+
+use std::collections::BTreeMap;
+
+/// A temporary (register) variable name.
+pub type Temp = String;
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Unop {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e`).
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Binop {
+    /// Addition (wrapping; also defined on `ptr + int`).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Multiplication (wrapping).
+    Mul,
+    /// Signed division; division by zero or `MIN / -1` is undefined
+    /// behaviour (aborts).
+    Div,
+    /// Equality.
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+/// Mini-Clight expressions.
+///
+/// Expressions denote *rvalues*; the lvalue positions of
+/// [`Stmt::Assign`] additionally accept [`Expr::Var`] and
+/// [`Expr::Deref`] forms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A temporary read (no memory access).
+    Temp(Temp),
+    /// An addressable variable (stack local or global); as an rvalue
+    /// this loads its content.
+    Var(String),
+    /// `*e`: as an rvalue this loads from the address `e` evaluates to.
+    Deref(Box<Expr>),
+    /// `&lv`: the address of an lvalue (no load).
+    Addrof(Box<Expr>),
+    /// A unary operation.
+    Unop(Unop, Box<Expr>),
+    /// A binary operation.
+    Binop(Binop, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a temporary read.
+    pub fn temp(name: impl Into<String>) -> Expr {
+        Expr::Temp(name.into())
+    }
+
+    /// Shorthand for an addressable variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for a binary operation.
+    pub fn bin(op: Binop, a: Expr, b: Expr) -> Expr {
+        Expr::Binop(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(Binop::Add, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(Binop::Eq, a, b)
+    }
+}
+
+/// Mini-Clight statements.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    /// No-op.
+    Skip,
+    /// `lv = e`: a memory store through an lvalue.
+    Assign(Expr, Expr),
+    /// `t = e`: assignment to a temporary (no store).
+    Set(Temp, Expr),
+    /// `t = f(args…)` / `f(args…)`: a function call; `f` may be defined
+    /// in this module (internal) or provided by another module
+    /// (external, e.g. `lock`/`unlock`).
+    Call(Option<Temp>, String, Vec<Expr>),
+    /// `print(e)`: the output builtin (an observable event).
+    Print(Expr),
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `if (e) { s1 } else { s2 }`.
+    If(Expr, Box<Stmt>, Box<Stmt>),
+    /// `while (e) { s }`.
+    While(Expr, Box<Stmt>),
+    /// `break;` (aborts outside a loop).
+    Break,
+    /// `continue;` (aborts outside a loop).
+    Continue,
+    /// `return e;` / `return;` (returns 0).
+    Return(Option<Expr>),
+}
+
+impl Stmt {
+    /// Sequences statements, flattening nested sequences and dropping
+    /// skips.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => out.extend(inner),
+                Stmt::Skip => {}
+                other => out.push(other),
+            }
+        }
+        Stmt::Seq(out)
+    }
+
+    /// `while (cond) { body }`.
+    pub fn while_loop(cond: Expr, body: Stmt) -> Stmt {
+        Stmt::While(cond, Box::new(body))
+    }
+
+    /// `if (cond) { then } else { els }`.
+    pub fn if_else(cond: Expr, then: Stmt, els: Stmt) -> Stmt {
+        Stmt::If(cond, Box::new(then), Box::new(els))
+    }
+
+    /// A call whose result is discarded.
+    pub fn call0(f: impl Into<String>, args: Vec<Expr>) -> Stmt {
+        Stmt::Call(None, f.into(), args)
+    }
+}
+
+/// A mini-Clight function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Parameters, bound as temporaries.
+    pub params: Vec<Temp>,
+    /// Addressable local variables (each one word, allocated from the
+    /// thread's free list on entry).
+    pub vars: Vec<String>,
+    /// The body.
+    pub body: Stmt,
+}
+
+impl Function {
+    /// A function with no parameters and no addressable locals.
+    pub fn simple(body: Stmt) -> Function {
+        Function {
+            params: Vec::new(),
+            vars: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// A mini-Clight module (translation unit): named function definitions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClightModule {
+    /// Function definitions by name.
+    pub funcs: BTreeMap<String, Function>,
+}
+
+impl ClightModule {
+    /// Builds a module from `(name, function)` pairs.
+    pub fn new(funcs: impl IntoIterator<Item = (impl Into<String>, Function)>) -> ClightModule {
+        ClightModule {
+            funcs: funcs.into_iter().map(|(n, f)| (n.into(), f)).collect(),
+        }
+    }
+
+    /// Checks simple static well-formedness: parameter/variable names
+    /// within a function are distinct.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, f) in &self.funcs {
+            let mut seen = std::collections::BTreeSet::new();
+            for n in f.params.iter().chain(&f.vars) {
+                if !seen.insert(n) {
+                    return Err(format!("duplicate local `{n}` in `{name}`"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

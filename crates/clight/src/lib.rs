@@ -1,0 +1,48 @@
+//! # ccc-clight — the concurrent source client language
+//!
+//! Mini-Clight is the source language compiled by the CASCompCert
+//! reproduction: a structured C-like language in the mould of CompCert's
+//! Clight, with temporaries, addressable (stack-allocated) locals,
+//! pointers, structured control flow, internal and external calls, and a
+//! `print` builtin.
+//!
+//! Concurrency enters exactly as in the paper (§7): threads are
+//! sequential Clight functions; inter-thread synchronization happens via
+//! *external calls* into an object module (such as the CImp lock of
+//! Fig. 10), never via language-level primitives. The semantics is
+//! footprint-instrumented and instantiates [`ccc_core::lang::Lang`];
+//! well-definedness (Def. 1) and determinism are validated by this
+//! crate's tests.
+//!
+//! ## Example: the counter client of Fig. 10(c)
+//!
+//! ```
+//! use ccc_clight::{ClightLang, ClightModule, Expr, Function, Stmt};
+//! use ccc_core::mem::{GlobalEnv, Val};
+//! use ccc_core::world::run_main;
+//!
+//! // void inc() { int tmp = x; x = x + 1; print(tmp); }  (locks omitted
+//! // in this single-threaded doc example)
+//! let mut ge = GlobalEnv::new();
+//! ge.define("x", Val::Int(0));
+//! let inc = Function::simple(Stmt::seq([
+//!     Stmt::Set("tmp".into(), Expr::var("x")),
+//!     Stmt::Assign(Expr::var("x"), Expr::add(Expr::var("x"), Expr::Const(1))),
+//!     Stmt::Print(Expr::temp("tmp")),
+//!     Stmt::Return(None),
+//! ]));
+//! let m = ClightModule::new([("inc", inc)]);
+//! let (_, mem, events) = run_main(&ClightLang, &m, &ge, "inc", &[], 1000).expect("runs");
+//! assert_eq!(mem.load(ge.lookup("x").unwrap()), Some(Val::Int(1)));
+//! assert_eq!(events.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod gen;
+pub mod sem;
+
+pub use ast::{Binop, ClightModule, Expr, Function, Stmt, Temp, Unop};
+pub use sem::{eval_binop, eval_unop, ClightCore, ClightLang, Kont};

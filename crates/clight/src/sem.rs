@@ -1,0 +1,565 @@
+//! The footprint-instrumented small-step semantics of mini-Clight and
+//! its [`Lang`] instance.
+//!
+//! As in CompCert's Clight, expression evaluation is big-step (one
+//! statement per transition) while statements drive a continuation
+//! machine. Every memory read and write performed by a transition is
+//! reported in its footprint; steps that must stay footprint-free at the
+//! global level (external calls, returns, events) evaluate their
+//! expressions in a *separate* preceding `τ`-step so the footprint is
+//! never lost (the `Do*` continuation items below).
+//!
+//! Stack-allocated variables are drawn from the thread's free list `F`
+//! using a first-free scan — the executable reading of the paper's
+//! "allocation picks addresses in `F − dom(σ)`" (Fig. 5), which makes
+//! allocation depend only on `dom(σ) ∩ F` as required by Def. 1 item (3).
+
+use crate::ast::{Binop, ClightModule, Expr, Function, Stmt, Unop};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use std::collections::BTreeMap;
+
+/// A pending work item on the continuation stack.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Kont {
+    /// Execute a statement.
+    Stmt(Stmt),
+    /// Loop marker: re-test the condition and re-run the body.
+    Loop(Expr, Stmt),
+    /// Allocate one addressable local from the free list.
+    AllocVar(String),
+    /// Emit a pending external call (arguments already evaluated).
+    DoCall(Option<String>, String, Vec<Val>),
+    /// Emit a pending `print` event (argument already evaluated).
+    DoPrint(i64),
+    /// Emit a pending return (value already evaluated).
+    DoRet(Val),
+    /// Receive an external call's result into an optional temporary.
+    RecvRet(Option<String>),
+}
+
+/// The mini-Clight core state `κ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ClightCore {
+    temps: BTreeMap<String, Val>,
+    env: BTreeMap<String, Addr>,
+    cont: Vec<Kont>, // top = last element
+}
+
+impl ClightCore {
+    /// The current value of a temporary (`undef` if unset).
+    pub fn temp(&self, t: &str) -> Val {
+        self.temps.get(t).copied().unwrap_or(Val::Undef)
+    }
+
+    /// The stack address of an addressable local, if allocated.
+    pub fn local_addr(&self, v: &str) -> Option<Addr> {
+        self.env.get(v).copied()
+    }
+}
+
+/// The mini-Clight language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClightLang;
+
+/// Evaluates a unary operator on a value (shared with the Cminor
+/// interpreter in `ccc-compiler`).
+pub fn eval_unop(op: Unop, v: Val) -> Option<Val> {
+    match (op, v) {
+        (Unop::Neg, Val::Int(i)) => Some(Val::Int(i.wrapping_neg())),
+        (Unop::Not, Val::Int(i)) => Some(Val::Int(i64::from(i == 0))),
+        _ => None,
+    }
+}
+
+/// First free address of the free list: the lowest `F`-address outside
+/// `dom(σ)`.
+fn first_free(flist: &FreeList, mem: &Memory) -> Addr {
+    let mut n = 0;
+    loop {
+        let a = flist.addr_at(n);
+        if !mem.contains(a) {
+            return a;
+        }
+        n += 1;
+    }
+}
+
+/// Evaluates an rvalue, collecting the locations read.
+fn eval(
+    e: &Expr,
+    core: &ClightCore,
+    ge: &GlobalEnv,
+    mem: &Memory,
+) -> Option<(Val, Footprint)> {
+    match e {
+        Expr::Const(i) => Some((Val::Int(*i), Footprint::emp())),
+        Expr::Temp(t) => Some((core.temp(t), Footprint::emp())),
+        Expr::Var(_) | Expr::Deref(_) => {
+            let (a, mut fp) = eval_lvalue(e, core, ge, mem)?;
+            let v = mem.load(a)?;
+            fp.extend(&Footprint::read(a));
+            Some((v, fp))
+        }
+        Expr::Addrof(lv) => {
+            let (a, fp) = eval_lvalue(lv, core, ge, mem)?;
+            Some((Val::Ptr(a), fp))
+        }
+        Expr::Unop(op, e) => {
+            let (v, fp) = eval(e, core, ge, mem)?;
+            Some((eval_unop(*op, v)?, fp))
+        }
+        Expr::Binop(op, a, b) => {
+            let (va, fpa) = eval(a, core, ge, mem)?;
+            let (vb, fpb) = eval(b, core, ge, mem)?;
+            let r = eval_binop(*op, va, vb)?;
+            Some((r, fpa.union(&fpb)))
+        }
+    }
+}
+
+/// Evaluates a binary operator on values (shared with the Cminor
+/// interpreter in `ccc-compiler`, which keeps Clight's operator set).
+pub fn eval_binop(op: Binop, a: Val, b: Val) -> Option<Val> {
+    use Binop::*;
+    Some(match (op, a, b) {
+        (Add, Val::Int(x), Val::Int(y)) => Val::Int(x.wrapping_add(y)),
+        // Pointer arithmetic: word-granular offsets.
+        (Add, Val::Ptr(p), Val::Int(y)) | (Add, Val::Int(y), Val::Ptr(p)) => {
+            Val::Ptr(Addr(p.0.wrapping_add(y as u64)))
+        }
+        (Sub, Val::Int(x), Val::Int(y)) => Val::Int(x.wrapping_sub(y)),
+        (Sub, Val::Ptr(p), Val::Int(y)) => Val::Ptr(Addr(p.0.wrapping_sub(y as u64))),
+        (Mul, Val::Int(x), Val::Int(y)) => Val::Int(x.wrapping_mul(y)),
+        (Div, Val::Int(x), Val::Int(y)) => {
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return None; // undefined behaviour
+            }
+            Val::Int(x / y)
+        }
+        (Eq, x, y) if x != Val::Undef && y != Val::Undef => Val::Int(i64::from(x == y)),
+        (Ne, x, y) if x != Val::Undef && y != Val::Undef => Val::Int(i64::from(x != y)),
+        (Lt, Val::Int(x), Val::Int(y)) => Val::Int(i64::from(x < y)),
+        (Le, Val::Int(x), Val::Int(y)) => Val::Int(i64::from(x <= y)),
+        (Gt, Val::Int(x), Val::Int(y)) => Val::Int(i64::from(x > y)),
+        (Ge, Val::Int(x), Val::Int(y)) => Val::Int(i64::from(x >= y)),
+        (And, Val::Int(x), Val::Int(y)) => Val::Int(x & y),
+        (Or, Val::Int(x), Val::Int(y)) => Val::Int(x | y),
+        (Xor, Val::Int(x), Val::Int(y)) => Val::Int(x ^ y),
+        _ => return None,
+    })
+}
+
+/// Evaluates an lvalue to the address it denotes.
+fn eval_lvalue(
+    e: &Expr,
+    core: &ClightCore,
+    ge: &GlobalEnv,
+    mem: &Memory,
+) -> Option<(Addr, Footprint)> {
+    match e {
+        Expr::Var(x) => {
+            let a = core.env.get(x).copied().or_else(|| ge.lookup(x))?;
+            Some((a, Footprint::emp()))
+        }
+        Expr::Deref(inner) => match eval(inner, core, ge, mem)? {
+            (Val::Ptr(a), fp) => Some((a, fp)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl Lang for ClightLang {
+    type Module = ClightModule;
+    type Core = ClightCore;
+
+    fn name(&self) -> &'static str {
+        "Clight"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let Function { params, vars, body } = module.funcs.get(entry)?;
+        if args.len() > params.len() {
+            return None;
+        }
+        let mut temps = BTreeMap::new();
+        for (p, &v) in params.iter().zip(args) {
+            temps.insert(p.clone(), v);
+        }
+        let mut cont = vec![Kont::Stmt(body.clone())];
+        // Variable allocations pop (and hence run) before the body, in
+        // declaration order.
+        for v in vars.iter().rev() {
+            cont.push(Kont::AllocVar(v.clone()));
+        }
+        Some(ClightCore {
+            temps,
+            env: BTreeMap::new(),
+            cont,
+        })
+    }
+
+    fn step(
+        &self,
+        _module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let tau = |core: ClightCore, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let mut next = core.clone();
+        let Some(item) = next.cont.pop() else {
+            return vec![LocalStep::Ret { val: Val::Int(0) }];
+        };
+        match item {
+            Kont::AllocVar(x) => {
+                let a = first_free(flist, mem);
+                let mut m = mem.clone();
+                m.alloc(a, Val::Undef);
+                next.env.insert(x, a);
+                tau(next, m, Footprint::write(a))
+            }
+            Kont::Loop(c, body) => {
+                let Some((v, fp)) = eval(&c, &next, ge, mem) else {
+                    return abort();
+                };
+                match v.truth() {
+                    Some(true) => {
+                        next.cont.push(Kont::Loop(c, body.clone()));
+                        next.cont.push(Kont::Stmt(body));
+                        tau(next, mem.clone(), fp)
+                    }
+                    Some(false) => tau(next, mem.clone(), fp),
+                    None => abort(),
+                }
+            }
+            Kont::DoCall(dst, callee, args) => {
+                next.cont.push(Kont::RecvRet(dst));
+                vec![LocalStep::Call {
+                    callee,
+                    args,
+                    cont: next,
+                }]
+            }
+            Kont::DoPrint(i) => vec![LocalStep::Step {
+                msg: StepMsg::Event(Event::Print(i)),
+                fp: Footprint::emp(),
+                core: next,
+                mem: mem.clone(),
+            }],
+            Kont::DoRet(v) => vec![LocalStep::Ret { val: v }],
+            Kont::RecvRet(_) => abort(),
+            Kont::Stmt(stmt) => match stmt {
+                Stmt::Skip => tau(next, mem.clone(), Footprint::emp()),
+                Stmt::Set(t, e) => {
+                    let Some((v, fp)) = eval(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.temps.insert(t, v);
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Assign(lv, rv) => {
+                    let Some((a, fp1)) = eval_lvalue(&lv, &next, ge, mem) else {
+                        return abort();
+                    };
+                    let Some((v, fp2)) = eval(&rv, &next, ge, mem) else {
+                        return abort();
+                    };
+                    let mut m = mem.clone();
+                    if !m.store(a, v) {
+                        return abort();
+                    }
+                    let fp = fp1.union(&fp2).union(&Footprint::write(a));
+                    tau(next, m, fp)
+                }
+                Stmt::Call(dst, callee, args) => {
+                    let mut fp = Footprint::emp();
+                    let mut vals = Vec::new();
+                    for a in &args {
+                        let Some((v, f)) = eval(a, &next, ge, mem) else {
+                            return abort();
+                        };
+                        fp.extend(&f);
+                        vals.push(v);
+                    }
+                    next.cont.push(Kont::DoCall(dst, callee, vals));
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Print(e) => {
+                    let Some((Val::Int(i), fp)) = eval(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.cont.push(Kont::DoPrint(i));
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Seq(stmts) => {
+                    for s in stmts.into_iter().rev() {
+                        next.cont.push(Kont::Stmt(s));
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::If(c, then, els) => {
+                    let Some((v, fp)) = eval(&c, &next, ge, mem) else {
+                        return abort();
+                    };
+                    match v.truth() {
+                        Some(t) => {
+                            next.cont.push(Kont::Stmt(if t { *then } else { *els }));
+                            tau(next, mem.clone(), fp)
+                        }
+                        None => abort(),
+                    }
+                }
+                Stmt::While(c, body) => {
+                    next.cont.push(Kont::Loop(c, *body));
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Break => {
+                    loop {
+                        match next.cont.pop() {
+                            Some(Kont::Loop(..)) => break,
+                            Some(_) => {}
+                            None => return abort(), // break outside a loop
+                        }
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Continue => {
+                    loop {
+                        match next.cont.last() {
+                            Some(Kont::Loop(..)) => break,
+                            Some(_) => {
+                                next.cont.pop();
+                            }
+                            None => return abort(),
+                        }
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Return(None) => vec![LocalStep::Ret { val: Val::Int(0) }],
+                Stmt::Return(Some(e)) => {
+                    let Some((v, fp)) = eval(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.cont.push(Kont::DoRet(v));
+                    tau(next, mem.clone(), fp)
+                }
+            },
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        match next.cont.pop() {
+            Some(Kont::RecvRet(dst)) => {
+                if let Some(t) = dst {
+                    next.temps.insert(t, ret);
+                }
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+    use ccc_core::refine::ExploreCfg;
+    use ccc_core::wd::{check_det, check_wd};
+    use ccc_core::world::run_main;
+
+    fn ge_with(globals: &[(&str, i64)]) -> GlobalEnv {
+        let mut ge = GlobalEnv::new();
+        for &(n, v) in globals {
+            ge.define(n, Val::Int(v));
+        }
+        ge
+    }
+
+    #[test]
+    fn factorial_loop() {
+        // fact(n) { r = 1; while (0 < n) { r = r * n; n = n - 1; } return r; }
+        let body = Stmt::seq([
+            Stmt::Set("r".into(), E::Const(1)),
+            Stmt::while_loop(
+                E::bin(Binop::Lt, E::Const(0), E::temp("n")),
+                Stmt::seq([
+                    Stmt::Set("r".into(), E::bin(Binop::Mul, E::temp("r"), E::temp("n"))),
+                    Stmt::Set("n".into(), E::bin(Binop::Sub, E::temp("n"), E::Const(1))),
+                ]),
+            ),
+            Stmt::Return(Some(E::temp("r"))),
+        ]);
+        let m = ClightModule::new([(
+            "fact",
+            Function {
+                params: vec!["n".into()],
+                vars: vec![],
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&ClightLang, &m, &ge, "fact", &[Val::Int(5)], 10_000).expect("runs");
+        assert_eq!(v, Val::Int(120));
+    }
+
+    #[test]
+    fn addressable_locals_and_pointers() {
+        // f() { int b; b = 3; int* p = &b; *p = *p + 4; return b; }
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("b"), E::Const(3)),
+            Stmt::Set("p".into(), E::Addrof(Box::new(E::var("b")))),
+            Stmt::Assign(
+                E::Deref(Box::new(E::temp("p"))),
+                E::add(E::Deref(Box::new(E::temp("p"))), E::Const(4)),
+            ),
+            Stmt::Return(Some(E::var("b"))),
+        ]);
+        let m = ClightModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                vars: vec!["b".into()],
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, mem, _) = run_main(&ClightLang, &m, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(7));
+        // b was allocated from the thread-0 free list.
+        let fl = FreeList::for_thread(0);
+        assert!(mem.dom().all(|a| fl.contains(a)));
+    }
+
+    #[test]
+    fn globals_load_and_store() {
+        let ge = ge_with(&[("x", 10)]);
+        // f() { x = x + 1; return x; }
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("x"), E::add(E::var("x"), E::Const(1))),
+            Stmt::Return(Some(E::var("x"))),
+        ]);
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let (v, mem, _) = run_main(&ClightLang, &m, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(11));
+        assert_eq!(mem.load(ge.lookup("x").unwrap()), Some(Val::Int(11)));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        // f() { s = 0; i = 0;
+        //       while (1) { i = i + 1; if (i == 3) continue;
+        //                   if (5 < i) break; s = s + i; }
+        //       return s; }   // 1+2+4+5 = 12
+        let body = Stmt::seq([
+            Stmt::Set("s".into(), E::Const(0)),
+            Stmt::Set("i".into(), E::Const(0)),
+            Stmt::while_loop(
+                E::Const(1),
+                Stmt::seq([
+                    Stmt::Set("i".into(), E::add(E::temp("i"), E::Const(1))),
+                    Stmt::if_else(E::eq(E::temp("i"), E::Const(3)), Stmt::Continue, Stmt::Skip),
+                    Stmt::if_else(
+                        E::bin(Binop::Lt, E::Const(5), E::temp("i")),
+                        Stmt::Break,
+                        Stmt::Skip,
+                    ),
+                    Stmt::Set("s".into(), E::add(E::temp("s"), E::temp("i"))),
+                ]),
+            ),
+            Stmt::Return(Some(E::temp("s"))),
+        ]);
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&ClightLang, &m, &ge, "f", &[], 10_000).expect("runs");
+        assert_eq!(v, Val::Int(12));
+    }
+
+    #[test]
+    fn internal_call() {
+        // g(a) { return a + 1; }   f() { t = g(41); return t; }
+        let g = Function {
+            params: vec!["a".into()],
+            vars: vec![],
+            body: Stmt::Return(Some(E::add(E::temp("a"), E::Const(1)))),
+        };
+        let f = Function::simple(Stmt::seq([
+            Stmt::Call(Some("t".into()), "g".into(), vec![E::Const(41)]),
+            Stmt::Return(Some(E::temp("t"))),
+        ]));
+        let m = ClightModule::new([("f", f), ("g", g)]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&ClightLang, &m, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn division_by_zero_aborts() {
+        let body = Stmt::Return(Some(E::bin(Binop::Div, E::Const(1), E::Const(0))));
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&ClightLang, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn print_emits_event() {
+        let body = Stmt::seq([Stmt::Print(E::Const(9)), Stmt::Return(None)]);
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let ge = GlobalEnv::new();
+        let (_, _, events) = run_main(&ClightLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(events, vec![Event::Print(9)]);
+    }
+
+    #[test]
+    fn clight_is_well_defined_and_deterministic() {
+        let ge = ge_with(&[("x", 1)]);
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("b"), E::var("x")),
+            Stmt::Assign(E::var("x"), E::add(E::var("b"), E::Const(1))),
+            Stmt::Print(E::var("x")),
+            Stmt::Return(Some(E::var("b"))),
+        ]);
+        let m = ClightModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                vars: vec!["b".into()],
+                body,
+            },
+        )]);
+        let cfg = ExploreCfg::default();
+        check_wd(&ClightLang, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("wd(Clight)");
+        check_det(&ClightLang, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("det(Clight)");
+    }
+
+    #[test]
+    fn uninitialized_temp_use_aborts() {
+        let body = Stmt::Return(Some(E::add(E::temp("t"), E::Const(1))));
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&ClightLang, &m, &ge, "f", &[], 100).is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! The `Allocation` pass: RTL → LTL — register allocation by liveness
+//! analysis and greedy graph coloring.
+//!
+//! Design (correctness-first, documented in DESIGN.md):
+//!
+//! * a backward dataflow **liveness analysis** over the CFG;
+//! * pseudo-registers **live across a call** are always spilled, so no
+//!   register value ever needs to survive the callee's clobbering;
+//! * **parameters** are spilled (the prologue stores the argument
+//!   registers straight into their slots, avoiding parallel moves);
+//! * **call arguments** are routed through fresh spill slots (moves
+//!   inserted before the call), so `Stacking` can marshal them into the
+//!   argument registers without interference analysis;
+//! * remaining pseudo-registers are colored over the four allocatable
+//!   registers (`ecx`, `edx`, `esi`, `edi` — `eax`/`ebx` are reserved
+//!   as `Stacking` scratches), spilling on color exhaustion.
+
+use crate::ltl::{Function as LtlFunction, Instr as LInstr, Loc, LtlModule};
+use crate::ops::Op;
+use crate::rtl::{Function, Instr, Node, PReg, RtlModule};
+use ccc_machine::Reg as MReg;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The allocatable register pool.
+pub const ALLOC_REGS: [MReg; 4] = [MReg::Ecx, MReg::Edx, MReg::Esi, MReg::Edi];
+
+/// Computes per-node live-out sets by backward fixpoint iteration.
+pub fn liveness(f: &Function) -> BTreeMap<Node, BTreeSet<PReg>> {
+    let mut live_in: BTreeMap<Node, BTreeSet<PReg>> = BTreeMap::new();
+    let mut live_out: BTreeMap<Node, BTreeSet<PReg>> = BTreeMap::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse order helps convergence but is not required.
+        for (&n, instr) in f.code.iter().rev() {
+            let mut out = BTreeSet::new();
+            for s in instr.succs() {
+                if let Some(li) = live_in.get(&s) {
+                    out.extend(li.iter().copied());
+                }
+            }
+            let mut inn: BTreeSet<PReg> = out.clone();
+            if let Some(d) = instr.def() {
+                inn.remove(&d);
+            }
+            inn.extend(instr.uses());
+            if live_out.get(&n) != Some(&out) {
+                live_out.insert(n, out);
+                changed = true;
+            }
+            if live_in.get(&n) != Some(&inn) {
+                live_in.insert(n, inn);
+                changed = true;
+            }
+        }
+    }
+    live_out
+}
+
+struct Allocator {
+    assign: BTreeMap<PReg, Loc>,
+    next_spill: u32,
+}
+
+impl Allocator {
+    fn spill(&mut self, r: PReg) -> Loc {
+        let l = Loc::Spill(self.next_spill);
+        self.next_spill += 1;
+        self.assign.insert(r, l);
+        l
+    }
+
+    fn loc(&self, r: PReg) -> Loc {
+        *self.assign.get(&r).expect("every preg assigned")
+    }
+}
+
+fn transform_function(f: &Function) -> LtlFunction {
+    let live_out = liveness(f);
+
+    // Collect every preg mentioned.
+    let mut pregs: BTreeSet<PReg> = f.params.iter().copied().collect();
+    for i in f.code.values() {
+        pregs.extend(i.uses());
+        pregs.extend(i.def());
+    }
+
+    // Forced spills: parameters and values live across calls.
+    let mut forced: BTreeSet<PReg> = f.params.iter().copied().collect();
+    for (n, i) in &f.code {
+        if matches!(i, Instr::Call(..)) {
+            let mut survivors = live_out.get(n).cloned().unwrap_or_default();
+            if let Some(d) = i.def() {
+                survivors.remove(&d);
+            }
+            forced.extend(survivors);
+        }
+    }
+
+    // Interference graph over the candidates.
+    let mut interf: BTreeMap<PReg, BTreeSet<PReg>> = BTreeMap::new();
+    for (n, i) in &f.code {
+        if let Some(d) = i.def() {
+            for &o in live_out.get(n).into_iter().flatten() {
+                if o != d {
+                    interf.entry(d).or_default().insert(o);
+                    interf.entry(o).or_default().insert(d);
+                }
+            }
+        }
+    }
+
+    let mut alloc = Allocator {
+        assign: BTreeMap::new(),
+        next_spill: 0,
+    };
+    // Parameters first, in order, so their slots are 0..n (the prologue
+    // convention Stacking relies on).
+    for &p in &f.params {
+        alloc.spill(p);
+    }
+    for &r in &pregs {
+        if alloc.assign.contains_key(&r) {
+            continue;
+        }
+        if forced.contains(&r) {
+            alloc.spill(r);
+            continue;
+        }
+        let taken: BTreeSet<MReg> = interf
+            .get(&r)
+            .into_iter()
+            .flatten()
+            .filter_map(|o| match alloc.assign.get(o) {
+                Some(Loc::Reg(m)) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        match ALLOC_REGS.iter().find(|m| !taken.contains(m)) {
+            Some(&m) => {
+                alloc.assign.insert(r, Loc::Reg(m));
+            }
+            None => {
+                alloc.spill(r);
+            }
+        }
+    }
+
+    // Rewrite the graph; calls get their arguments routed through fresh
+    // spill slots via moves inserted ahead of the call.
+    let mut code: BTreeMap<Node, LInstr> = BTreeMap::new();
+    let mut next_node: Node = f.code.keys().max().map_or(0, |m| m + 1);
+    // Routes a call's arguments through fresh spill slots, chaining the
+    // needed moves from the call's original node id (so predecessor
+    // edges keep working).
+    let route_call = |n: Node,
+                          args: &[PReg],
+                          alloc: &mut Allocator,
+                          code: &mut BTreeMap<Node, LInstr>,
+                          next_node: &mut Node,
+                          mk: &dyn Fn(Vec<Loc>) -> LInstr| {
+        let mut spilled_args = Vec::new();
+        let mut moves = Vec::new();
+        for &a in args {
+            let src = alloc.loc(a);
+            if let Loc::Spill(_) = src {
+                spilled_args.push(src);
+            } else {
+                let s = Loc::Spill(alloc.next_spill);
+                alloc.next_spill += 1;
+                moves.push((src, s));
+                spilled_args.push(s);
+            }
+        }
+        if moves.is_empty() {
+            code.insert(n, mk(spilled_args));
+            return;
+        }
+        let call_node = *next_node;
+        *next_node += 1;
+        code.insert(call_node, mk(spilled_args));
+        let mut at = n;
+        for (k, (src, dst)) in moves.iter().enumerate() {
+            let nxt = if k + 1 == moves.len() {
+                call_node
+            } else {
+                let fresh = *next_node;
+                *next_node += 1;
+                fresh
+            };
+            code.insert(at, LInstr::Op(Op::Move, vec![*src], *dst, nxt));
+            at = nxt;
+        }
+    };
+
+    for (&n, i) in &f.code {
+        match i {
+            Instr::Call(dst, callee, args, succ) if !args.is_empty() => {
+                let dst = dst.map(|r| alloc.loc(r));
+                let callee = callee.clone();
+                let succ = *succ;
+                route_call(n, args, &mut alloc, &mut code, &mut next_node, &{
+                    let callee = callee.clone();
+                    move |locs| LInstr::Call(dst, callee.clone(), locs, succ)
+                });
+            }
+            Instr::Tailcall(callee, args) if !args.is_empty() => {
+                let callee = callee.clone();
+                route_call(n, args, &mut alloc, &mut code, &mut next_node, &{
+                    let callee = callee.clone();
+                    move |locs| LInstr::Tailcall(callee.clone(), locs)
+                });
+            }
+            other => {
+                code.insert(n, map_instr(other, &alloc));
+            }
+        }
+    }
+
+    LtlFunction {
+        params: f.params.iter().map(|&p| alloc.loc(p)).collect(),
+        stack_slots: f.stack_slots,
+        spill_slots: alloc.next_spill,
+        entry: f.entry,
+        code,
+    }
+}
+
+fn map_instr(i: &Instr, alloc: &Allocator) -> LInstr {
+    let l = |r: &PReg| alloc.loc(*r);
+    match i {
+        Instr::Nop(n) => LInstr::Nop(*n),
+        Instr::Op(op, args, dst, n) => {
+            LInstr::Op(op.clone(), args.iter().map(l).collect(), l(dst), *n)
+        }
+        Instr::Load(am, dst, n) => LInstr::Load(am.clone().map(|r| alloc.loc(r)), l(dst), *n),
+        Instr::Store(am, src, n) => LInstr::Store(am.clone().map(|r| alloc.loc(r)), l(src), *n),
+        Instr::Call(dst, f, args, n) => LInstr::Call(
+            dst.map(|r| alloc.loc(r)),
+            f.clone(),
+            args.iter().map(l).collect(),
+            *n,
+        ),
+        Instr::Tailcall(f, args) => LInstr::Tailcall(f.clone(), args.iter().map(l).collect()),
+        Instr::Cond(c, a, b, t, e) => LInstr::Cond(*c, l(a), l(b), *t, *e),
+        Instr::CondImm(c, r, i, t, e) => LInstr::CondImm(*c, l(r), *i, *t, *e),
+        Instr::Print(r, n) => LInstr::Print(l(r), *n),
+        Instr::Return(r) => LInstr::Return(r.map(|r| alloc.loc(r))),
+    }
+}
+
+/// Runs register allocation over a module.
+pub fn allocation(m: &RtlModule) -> LtlModule {
+    LtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cminorgen::cminorgen;
+    use crate::ltl::LtlLang;
+    use crate::renumber::renumber;
+    use crate::rtl::RtlLang;
+    use crate::rtlgen::rtlgen;
+    use crate::selection::selection;
+    use crate::tailcall::tailcall;
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    fn pipeline_to_ltl(m: &ccc_clight::ClightModule) -> LtlModule {
+        allocation(&renumber(&tailcall(&rtlgen(&selection(
+            &cminorgen(m).expect("cminorgen"),
+        )))))
+    }
+
+    #[test]
+    fn liveness_sees_loop_carried_values() {
+        // r0 := 0; loop: if r1 == 0 ret r0; r0 += r1; r1 -= 1; goto loop
+        let f = Function {
+            params: vec![1],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(0), vec![], 0, 1)),
+                (1, Instr::CondImm(crate::ops::Cmp::Eq, 1, 0, 4, 2)),
+                (2, Instr::Op(Op::Add, vec![0, 1], 0, 3)),
+                (3, Instr::Op(Op::AddImm(-1), vec![1], 1, 1)),
+                (4, Instr::Return(Some(0))),
+            ]),
+        };
+        let lo = liveness(&f);
+        // Both r0 and r1 are live around the loop edge (out of node 3).
+        assert!(lo[&3].contains(&0) && lo[&3].contains(&1));
+    }
+
+    #[test]
+    fn values_across_calls_are_spilled() {
+        // r1 := 7; r2 := g(); return r1 + r2   — r1 must not be in a reg.
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(7), vec![], 1, 1)),
+                (1, Instr::Call(Some(2), "g".into(), vec![], 2)),
+                (2, Instr::Op(Op::Add, vec![1, 2], 3, 3)),
+                (3, Instr::Return(Some(3))),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let l = allocation(&m);
+        let lf = &l.funcs["f"];
+        // Find the location assigned to preg 1 via the Const instruction.
+        let const_dst = lf
+            .code
+            .values()
+            .find_map(|i| match i {
+                LInstr::Op(Op::Const(7), _, dst, _) => Some(*dst),
+                _ => None,
+            })
+            .expect("const instruction survives");
+        assert!(matches!(const_dst, Loc::Spill(_)), "live-across-call spilled");
+    }
+
+    #[test]
+    fn call_arguments_are_spill_slots() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(1), vec![], 1, 1)),
+                (1, Instr::Op(Op::Const(2), vec![], 2, 2)),
+                (2, Instr::Call(Some(3), "g".into(), vec![1, 2], 3)),
+                (3, Instr::Return(Some(3))),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let l = allocation(&m);
+        for i in l.funcs["f"].code.values() {
+            if let LInstr::Call(_, _, args, _) = i {
+                assert!(args.iter().all(|a| matches!(a, Loc::Spill(_))));
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_agree_through_allocation() {
+        for seed in 0..40 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let rtl = renumber(&tailcall(&rtlgen(&selection(
+                &cminorgen(&m).expect("cminorgen"),
+            ))));
+            let ltl = allocation(&rtl);
+            let r = run_main(&RtlLang, &rtl, &ge, "f", &[], 500_000).expect("rtl runs");
+            let l = run_main(&LtlLang, &ltl, &ge, "f", &[], 500_000).expect("ltl runs");
+            assert_eq!(r.0, l.0, "seed {seed}: return values");
+            assert_eq!(r.2, l.2, "seed {seed}: events");
+            for (a, _) in ge.initial_memory().iter() {
+                assert_eq!(r.1.load(a), l.1.load(a), "seed {seed}: global {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_arrive_in_spill_slots() {
+        use ccc_clight::ast::{Expr as E, Function as CF, Stmt};
+        let m = ccc_clight::ClightModule::new([(
+            "f",
+            CF {
+                params: vec!["n".into()],
+                vars: vec![],
+                body: Stmt::Return(Some(E::add(E::temp("n"), E::Const(1)))),
+            },
+        )]);
+        let ltl = pipeline_to_ltl(&m);
+        let lf = &ltl.funcs["f"];
+        assert!(lf.params.iter().all(|p| matches!(p, Loc::Spill(_))));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&LtlLang, &ltl, &ge, "f", &[Val::Int(41)], 1000).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+}

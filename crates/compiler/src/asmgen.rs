@@ -1,0 +1,247 @@
+//! The `Asmgen` pass: Mach → x86 assembly (Fig. 11).
+//!
+//! The remaining gap to the machine: three-address operators become
+//! two-address x86 instructions (relying on `Stacking`'s invariant that
+//! non-commutative destinations never alias second operands),
+//! comparisons materialize through the flags (`cmp` + `setcc`/`jcc`),
+//! and tail calls lower to `call; ret` (frames are never freed in the
+//! paper's memory model, so the stack-space argument for real tail
+//! calls does not arise).
+
+use crate::linear::Label;
+use crate::mach::{Function as MFunction, Instr as MIn, MachModule};
+use crate::ops::{AddrMode, Cmp, Op};
+use ccc_machine::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg};
+
+/// An error during assembly generation (violated invariants).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmgenError(pub String);
+
+impl std::fmt::Display for AsmgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asmgen: {}", self.0)
+    }
+}
+
+impl std::error::Error for AsmgenError {}
+
+fn cond_of(c: Cmp) -> Cond {
+    match c {
+        Cmp::Eq => Cond::E,
+        Cmp::Ne => Cond::Ne,
+        Cmp::Lt => Cond::L,
+        Cmp::Le => Cond::Le,
+        Cmp::Gt => Cond::G,
+        Cmp::Ge => Cond::Ge,
+    }
+}
+
+fn label_name(l: Label) -> String {
+    format!("L{l}")
+}
+
+fn marg(am: &AddrMode<Reg>) -> MemArg {
+    match am {
+        AddrMode::Global(g, o) => MemArg::Global(g.clone(), *o),
+        AddrMode::Stack(n) => MemArg::Stack(*n),
+        AddrMode::Based(r, d) => MemArg::BaseDisp(*r, *d),
+    }
+}
+
+/// Emits a two-operand ALU instruction `d := d ⊕ src`.
+fn alu(op: &Op, d: Reg, src: Operand) -> Result<Instr, AsmgenError> {
+    Ok(match op {
+        Op::Add | Op::AddImm(_) => Instr::Add(d, src),
+        Op::Sub => Instr::Sub(d, src),
+        Op::Mul | Op::MulImm(_) => Instr::Imul(d, src),
+        Op::Div => Instr::Idiv(d, src),
+        Op::And => Instr::And(d, src),
+        Op::Or => Instr::Or(d, src),
+        Op::Xor => Instr::Xor(d, src),
+        other => return Err(AsmgenError(format!("not an ALU operator: {other:?}"))),
+    })
+}
+
+fn commutes(op: &Op) -> bool {
+    matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
+}
+
+fn emit_op(code: &mut Vec<Instr>, op: &Op, args: &[Reg], d: Reg) -> Result<(), AsmgenError> {
+    match (op, args) {
+        (Op::Const(i), []) => code.push(Instr::Mov(d, Operand::Imm(*i))),
+        (Op::AddrGlobal(g, o), []) => code.push(Instr::Lea(d, MemArg::Global(g.clone(), *o))),
+        (Op::AddrStack(s), []) => code.push(Instr::Lea(d, MemArg::Stack(*s))),
+        (Op::Move, [a]) => {
+            if *a != d {
+                code.push(Instr::Mov(d, Operand::Reg(*a)));
+            } else {
+                // A no-op move must still take one step at the machine
+                // level? No — Asm is allowed to take fewer τ-steps; skip.
+            }
+        }
+        (Op::Neg, [a]) => {
+            if *a != d {
+                code.push(Instr::Mov(d, Operand::Reg(*a)));
+            }
+            code.push(Instr::Neg(d));
+        }
+        (Op::Not, [a]) => {
+            code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(0)));
+            code.push(Instr::Setcc(Cond::E, d));
+        }
+        (Op::AddImm(i), [a]) => {
+            if *a != d {
+                code.push(Instr::Mov(d, Operand::Reg(*a)));
+            }
+            code.push(Instr::Add(d, Operand::Imm(*i)));
+        }
+        (Op::MulImm(i), [a]) => {
+            if *a != d {
+                code.push(Instr::Mov(d, Operand::Reg(*a)));
+            }
+            code.push(Instr::Imul(d, Operand::Imm(*i)));
+        }
+        (Op::CmpImm(c, i), [a]) => {
+            code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
+            code.push(Instr::Setcc(cond_of(*c), d));
+        }
+        (Op::Cmp(c), [a, b]) => {
+            code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
+            code.push(Instr::Setcc(cond_of(*c), d));
+        }
+        (two_ary, [a, b]) => {
+            if d == *a {
+                code.push(alu(two_ary, d, Operand::Reg(*b))?);
+            } else if commutes(two_ary) && d == *b {
+                code.push(alu(two_ary, d, Operand::Reg(*a))?);
+            } else if d != *b {
+                code.push(Instr::Mov(d, Operand::Reg(*a)));
+                code.push(alu(two_ary, d, Operand::Reg(*b))?);
+            } else {
+                return Err(AsmgenError(format!(
+                    "two-address invariant violated: {two_ary:?} dst {d} aliases 2nd operand"
+                )));
+            }
+        }
+        (op, args) => {
+            return Err(AsmgenError(format!(
+                "operator/arity mismatch: {op:?} with {} args",
+                args.len()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
+    let mut code = Vec::new();
+    for i in &f.code {
+        match i {
+            MIn::Label(l) => code.push(Instr::Label(label_name(*l))),
+            MIn::Goto(l) => code.push(Instr::Jmp(label_name(*l))),
+            MIn::Op(op, args, d) => emit_op(&mut code, op, args, *d)?,
+            MIn::Load(am, d) => code.push(Instr::Load(*d, marg(am))),
+            MIn::Store(am, s) => code.push(Instr::Store(marg(am), Operand::Reg(*s))),
+            MIn::Call(f, n) => code.push(Instr::Call(f.clone(), *n)),
+            MIn::Tailcall(f, n) => {
+                code.push(Instr::Call(f.clone(), *n));
+                code.push(Instr::Ret);
+            }
+            MIn::CondJump(c, a, b, l) => {
+                code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
+                code.push(Instr::Jcc(cond_of(*c), label_name(*l)));
+            }
+            MIn::CondImmJump(c, a, i, l) => {
+                code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
+                code.push(Instr::Jcc(cond_of(*c), label_name(*l)));
+            }
+            MIn::Print(r) => code.push(Instr::Print(*r)),
+            MIn::Return => code.push(Instr::Ret),
+        }
+    }
+    Ok(AsmFunc {
+        code,
+        frame_slots: f.frame_slots,
+        arity: f.arity,
+    })
+}
+
+/// Generates assembly for a whole module.
+///
+/// # Errors
+///
+/// Fails on violated Stacking invariants.
+pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function(f)?);
+    }
+    Ok(AsmModule { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+    use ccc_machine::X86Sc;
+
+    #[test]
+    fn ops_lower_to_two_address_form() {
+        let f = MFunction {
+            frame_slots: 0,
+            arity: 0,
+            code: vec![
+                MIn::Op(Op::Const(10), vec![], Reg::Ecx),
+                MIn::Op(Op::Const(3), vec![], Reg::Edx),
+                MIn::Op(Op::Sub, vec![Reg::Ecx, Reg::Edx], Reg::Esi),
+                MIn::Op(Op::Move, vec![Reg::Esi], Reg::Eax),
+                MIn::Return,
+            ],
+        };
+        let m = MachModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let asm = asmgen(&m).expect("asmgen");
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&X86Sc, &asm, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(7));
+    }
+
+    #[test]
+    fn comparisons_materialize_through_flags() {
+        let f = MFunction {
+            frame_slots: 0,
+            arity: 1,
+            code: vec![
+                MIn::Op(Op::CmpImm(Cmp::Lt, 10), vec![Reg::Edi], Reg::Eax),
+                MIn::Return,
+            ],
+        };
+        let m = MachModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let asm = asmgen(&m).expect("asmgen");
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&X86Sc, &asm, &ge, "f", &[Val::Int(5)], 100).expect("runs");
+        assert_eq!(v, Val::Int(1));
+        let (v, _, _) = run_main(&X86Sc, &asm, &ge, "f", &[Val::Int(15)], 100).expect("runs");
+        assert_eq!(v, Val::Int(0));
+    }
+
+    #[test]
+    fn tailcall_lowers_to_call_ret() {
+        let f = MFunction {
+            frame_slots: 0,
+            arity: 0,
+            code: vec![MIn::Tailcall("g".into(), 0)],
+        };
+        let m = MachModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let asm = asmgen(&m).expect("asmgen");
+        let code = &asm.funcs["f"].code;
+        assert!(matches!(code[0], Instr::Call(..)));
+        assert!(matches!(code[1], Instr::Ret));
+    }
+}

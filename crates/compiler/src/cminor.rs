@@ -1,0 +1,167 @@
+//! Cminor: the first back-end IR (covering CompCert's C#minor and
+//! Cminor levels, produced by the combined `Cshmgen`/`Cminorgen` pass).
+//!
+//! Differences from Clight: there are no addressable local *variables* —
+//! the front-end has laid them out as slots of an explicit stack frame —
+//! and every memory access is an explicit [`Expr::Load`] or
+//! `Store`. Temporaries and structured control flow remain; the
+//! statement layer and interpreter are shared with CminorSel (see
+//! [`crate::stmt_sem`]).
+
+use crate::stmt_sem::{EvalCtx, ExprEval, StmtLang, StmtModule};
+use ccc_clight::ast::{Binop, Unop};
+use ccc_clight::sem::{eval_binop, eval_unop};
+use ccc_core::footprint::Footprint;
+use ccc_core::mem::Val;
+
+/// Cminor expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A temporary read.
+    Temp(String),
+    /// The address of a global.
+    AddrGlobal(String),
+    /// The address of stack slot `n` of the current frame.
+    AddrStack(u64),
+    /// An explicit memory load.
+    Load(Box<Expr>),
+    /// A unary operation (Clight's operator set).
+    Unop(Unop, Box<Expr>),
+    /// A binary operation (Clight's operator set).
+    Binop(Binop, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A load from an address expression.
+    pub fn load(e: Expr) -> Expr {
+        Expr::Load(Box::new(e))
+    }
+
+    /// A temporary read.
+    pub fn temp(name: impl Into<String>) -> Expr {
+        Expr::Temp(name.into())
+    }
+
+    /// A binary operation.
+    pub fn bin(op: Binop, a: Expr, b: Expr) -> Expr {
+        Expr::Binop(op, Box::new(a), Box::new(b))
+    }
+}
+
+impl ExprEval for Expr {
+    const LANG_NAME: &'static str = "Cminor";
+
+    fn eval(&self, ctx: &EvalCtx<'_>) -> Option<(Val, Footprint)> {
+        match self {
+            Expr::Const(i) => Some((Val::Int(*i), Footprint::emp())),
+            Expr::Temp(t) => Some((ctx.temp(t), Footprint::emp())),
+            Expr::AddrGlobal(g) => Some((Val::Ptr(ctx.ge.lookup(g)?), Footprint::emp())),
+            Expr::AddrStack(n) => Some((Val::Ptr(ctx.slot_addr(*n)?), Footprint::emp())),
+            Expr::Load(a) => {
+                let (av, mut fp) = a.eval(ctx)?;
+                let Val::Ptr(addr) = av else {
+                    return None;
+                };
+                let v = ctx.load(addr, &mut fp)?;
+                Some((v, fp))
+            }
+            Expr::Unop(op, e) => {
+                let (v, fp) = e.eval(ctx)?;
+                Some((eval_unop(*op, v)?, fp))
+            }
+            Expr::Binop(op, a, b) => {
+                let (va, fpa) = a.eval(ctx)?;
+                let (vb, fpb) = b.eval(ctx)?;
+                Some((eval_binop(*op, va, vb)?, fpa.union(&fpb)))
+            }
+        }
+    }
+}
+
+/// Cminor statements.
+pub type Stmt = crate::stmt_sem::Stmt<Expr>;
+/// Cminor functions.
+pub type Function = crate::stmt_sem::Function<Expr>;
+/// Cminor modules.
+pub type CminorModule = StmtModule<Expr>;
+/// The Cminor language dispatcher.
+pub type CminorLang = StmtLang<Expr>;
+
+/// The Cminor dispatcher value.
+pub const CMINOR: CminorLang = StmtLang::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::refine::ExploreCfg;
+    use ccc_core::wd::{check_det, check_wd};
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn stack_slots_roundtrip() {
+        // f() { [slot0] := 5; t := [slot0] + 1; return t; }
+        let body = Stmt::seq([
+            Stmt::Store(Expr::AddrStack(0), Expr::Const(5)),
+            Stmt::Set(
+                "t".into(),
+                Expr::bin(Binop::Add, Expr::load(Expr::AddrStack(0)), Expr::Const(1)),
+            ),
+            Stmt::Return(Some(Expr::temp("t"))),
+        ]);
+        let m = CminorModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 1,
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&CMINOR, &m, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(6));
+    }
+
+    #[test]
+    fn out_of_range_slot_aborts() {
+        let body = Stmt::Store(Expr::AddrStack(3), Expr::Const(1));
+        let m = CminorModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 1,
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&CMINOR, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn cminor_is_well_defined_and_deterministic() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(2));
+        let body = Stmt::seq([
+            Stmt::Store(Expr::AddrStack(0), Expr::load(Expr::AddrGlobal("x".into()))),
+            Stmt::Store(
+                Expr::AddrGlobal("x".into()),
+                Expr::bin(Binop::Add, Expr::load(Expr::AddrStack(0)), Expr::Const(1)),
+            ),
+            Stmt::Print(Expr::load(Expr::AddrGlobal("x".into()))),
+            Stmt::Return(Some(Expr::load(Expr::AddrStack(0)))),
+        ]);
+        let m = CminorModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 1,
+                body,
+            },
+        )]);
+        let cfg = ExploreCfg::default();
+        check_wd(&CMINOR, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("wd(Cminor)");
+        check_det(&CMINOR, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("det(Cminor)");
+    }
+}

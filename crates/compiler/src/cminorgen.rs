@@ -1,0 +1,222 @@
+//! The combined `Cshmgen` + `Cminorgen` pass: Clight → Cminor.
+//!
+//! Addressable local variables are laid out as slots of an explicit
+//! stack frame, variable reads/writes become explicit loads/stores, and
+//! `&x` becomes frame-slot (or global) address arithmetic. Temporaries,
+//! control flow, calls and builtins translate structurally.
+//!
+//! The footprint obligation of the paper's simulation (§4) holds by
+//! construction: the translated code touches exactly the same *shared*
+//! locations (globals) as the source, while local accesses move from
+//! scattered free-list cells to one frame block — invisible to
+//! `FPmatch`, which constrains shared locations only.
+
+use crate::cminor::{CminorModule, Expr as CmExpr, Function as CmFunction, Stmt as CmStmt};
+use ccc_clight::ast::{ClightModule, Expr, Function, Stmt};
+use std::collections::BTreeMap;
+
+/// An error during translation (ill-formed source).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CminorgenError(pub String);
+
+impl std::fmt::Display for CminorgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cminorgen: {}", self.0)
+    }
+}
+
+impl std::error::Error for CminorgenError {}
+
+struct Ctx {
+    slots: BTreeMap<String, u64>,
+}
+
+impl Ctx {
+    /// The address expression denoted by an lvalue.
+    fn lvalue_addr(&self, e: &Expr) -> Result<CmExpr, CminorgenError> {
+        match e {
+            Expr::Var(x) => Ok(match self.slots.get(x) {
+                Some(&slot) => CmExpr::AddrStack(slot),
+                None => CmExpr::AddrGlobal(x.clone()),
+            }),
+            Expr::Deref(inner) => self.rvalue(inner),
+            other => Err(CminorgenError(format!("not an lvalue: {other:?}"))),
+        }
+    }
+
+    fn rvalue(&self, e: &Expr) -> Result<CmExpr, CminorgenError> {
+        Ok(match e {
+            Expr::Const(i) => CmExpr::Const(*i),
+            Expr::Temp(t) => CmExpr::Temp(t.clone()),
+            Expr::Var(_) | Expr::Deref(_) => CmExpr::load(self.lvalue_addr(e)?),
+            Expr::Addrof(lv) => self.lvalue_addr(lv)?,
+            Expr::Unop(op, a) => CmExpr::Unop(*op, Box::new(self.rvalue(a)?)),
+            Expr::Binop(op, a, b) => {
+                CmExpr::Binop(*op, Box::new(self.rvalue(a)?), Box::new(self.rvalue(b)?))
+            }
+        })
+    }
+
+    fn stmt(&self, s: &Stmt) -> Result<CmStmt, CminorgenError> {
+        Ok(match s {
+            Stmt::Skip => CmStmt::Skip,
+            Stmt::Assign(lv, rv) => CmStmt::Store(self.lvalue_addr(lv)?, self.rvalue(rv)?),
+            Stmt::Set(t, e) => CmStmt::Set(t.clone(), self.rvalue(e)?),
+            Stmt::Call(dst, f, args) => CmStmt::Call(
+                dst.clone(),
+                f.clone(),
+                args.iter()
+                    .map(|a| self.rvalue(a))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Stmt::Print(e) => CmStmt::Print(self.rvalue(e)?),
+            Stmt::Seq(ss) => CmStmt::Seq(
+                ss.iter()
+                    .map(|s| self.stmt(s))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Stmt::If(c, a, b) => CmStmt::If(
+                self.rvalue(c)?,
+                Box::new(self.stmt(a)?),
+                Box::new(self.stmt(b)?),
+            ),
+            Stmt::While(c, b) => CmStmt::While(self.rvalue(c)?, Box::new(self.stmt(b)?)),
+            Stmt::Break => CmStmt::Break,
+            Stmt::Continue => CmStmt::Continue,
+            Stmt::Return(e) => {
+                CmStmt::Return(e.as_ref().map(|e| self.rvalue(e)).transpose()?)
+            }
+        })
+    }
+}
+
+/// Translates one function.
+pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
+    let ctx = Ctx {
+        slots: f
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u64))
+            .collect(),
+    };
+    Ok(CmFunction {
+        params: f.params.clone(),
+        stack_slots: f.vars.len() as u64,
+        body: ctx.stmt(&f.body)?,
+    })
+}
+
+/// Translates a whole module.
+///
+/// # Errors
+///
+/// Fails on ill-formed lvalues.
+pub fn cminorgen(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
+    let mut funcs = BTreeMap::new();
+    for (name, f) in &m.funcs {
+        funcs.insert(name.clone(), translate_function(f)?);
+    }
+    Ok(CminorModule { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cminor::CMINOR;
+    use ccc_clight::ast::Binop;
+    use ccc_clight::ClightLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    fn run_both(m: &ClightModule, ge: &GlobalEnv) -> (Option<Val>, Option<Val>) {
+        let cm = cminorgen(m).expect("translates");
+        let src = run_main(&ClightLang, m, ge, "f", &[], 100_000).map(|(v, _, _)| v);
+        let tgt = run_main(&CMINOR, &cm, ge, "f", &[], 100_000).map(|(v, _, _)| v);
+        (src, tgt)
+    }
+
+    #[test]
+    fn locals_become_stack_slots() {
+        use ccc_clight::ast::{Expr as E, Function, Stmt};
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("a"), E::Const(3)),
+            Stmt::Assign(E::var("b"), E::add(E::var("a"), E::Const(4))),
+            Stmt::Return(Some(E::add(E::var("a"), E::var("b")))),
+        ]);
+        let m = ClightModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                vars: vec!["a".into(), "b".into()],
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (s, t) = run_both(&m, &ge);
+        assert_eq!(s, Some(Val::Int(10)));
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn pointers_to_locals_translate() {
+        use ccc_clight::ast::{Expr as E, Function, Stmt};
+        // f() { int b; b = 1; *(&b) = b + 9; return b; }
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("b"), E::Const(1)),
+            Stmt::Set("p".into(), E::Addrof(Box::new(E::var("b")))),
+            Stmt::Assign(
+                E::Deref(Box::new(E::temp("p"))),
+                E::add(E::var("b"), E::Const(9)),
+            ),
+            Stmt::Return(Some(E::var("b"))),
+        ]);
+        let m = ClightModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                vars: vec!["b".into()],
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (s, t) = run_both(&m, &ge);
+        assert_eq!(s, Some(Val::Int(10)));
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn globals_stay_shared() {
+        use ccc_clight::ast::{Expr as E, Function, Stmt};
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(5));
+        let body = Stmt::seq([
+            Stmt::Assign(E::var("x"), E::bin(Binop::Mul, E::var("x"), E::Const(2))),
+            Stmt::Return(Some(E::var("x"))),
+        ]);
+        let m = ClightModule::new([("f", Function::simple(body))]);
+        let (s, t) = run_both(&m, &ge);
+        assert_eq!(s, Some(Val::Int(10)));
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn random_programs_agree() {
+        use ccc_clight::gen::{gen_module, GenCfg};
+        for seed in 0..40 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let cm = cminorgen(&m).expect("translates");
+            let s = run_main(&ClightLang, &m, &ge, "f", &[], 200_000);
+            let t = run_main(&CMINOR, &cm, &ge, "f", &[], 200_000);
+            let (sv, smem, sev) = s.expect("source runs");
+            let (tv, tmem, tev) = t.expect("target runs");
+            assert_eq!(sv, tv, "seed {seed}: return values differ");
+            assert_eq!(sev, tev, "seed {seed}: events differ");
+            // Shared (global) memory must agree exactly.
+            for (a, v) in ge.initial_memory().iter() {
+                let _ = v;
+                assert_eq!(smem.load(a), tmem.load(a), "seed {seed}: global at {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! CminorSel: Cminor after instruction selection — expressions are
+//! trees of machine operators ([`Op`]) and loads through selected
+//! addressing modes ([`AddrMode`]).
+
+use crate::ops::{AddrMode, Op};
+use crate::stmt_sem::{EvalCtx, ExprEval, StmtLang, StmtModule};
+use ccc_core::footprint::Footprint;
+use ccc_core::mem::{Addr, Val};
+
+/// CminorSel expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A temporary read.
+    Temp(String),
+    /// An operator application.
+    Op(Op, Vec<Expr>),
+    /// A load through an addressing mode.
+    Load(AddrMode<Box<Expr>>),
+}
+
+impl Expr {
+    /// An integer constant.
+    pub fn imm(i: i64) -> Expr {
+        Expr::Op(Op::Const(i), vec![])
+    }
+
+    /// A temporary read.
+    pub fn temp(name: impl Into<String>) -> Expr {
+        Expr::Temp(name.into())
+    }
+}
+
+/// Resolves an addressing mode to an address, accumulating footprints of
+/// the base expression.
+pub(crate) fn resolve_addr(
+    am: &AddrMode<Box<Expr>>,
+    ctx: &EvalCtx<'_>,
+) -> Option<(Addr, Footprint)> {
+    match am {
+        AddrMode::Global(g, o) => Some((ctx.ge.lookup(g)?.offset(*o), Footprint::emp())),
+        AddrMode::Stack(n) => Some((ctx.slot_addr(*n)?, Footprint::emp())),
+        AddrMode::Based(e, d) => {
+            let (v, fp) = e.eval(ctx)?;
+            let Val::Ptr(a) = v else {
+                return None;
+            };
+            Some((Addr(a.0.wrapping_add(*d as u64)), fp))
+        }
+    }
+}
+
+impl ExprEval for Expr {
+    const LANG_NAME: &'static str = "CminorSel";
+
+    fn eval(&self, ctx: &EvalCtx<'_>) -> Option<(Val, Footprint)> {
+        match self {
+            Expr::Temp(t) => Some((ctx.temp(t), Footprint::emp())),
+            Expr::Op(op, args) => {
+                let mut fp = Footprint::emp();
+                let mut vals = Vec::new();
+                for a in args {
+                    let (v, f) = a.eval(ctx)?;
+                    fp.extend(&f);
+                    vals.push(v);
+                }
+                // Address operators need the context.
+                let v = match op {
+                    Op::AddrGlobal(g, o) => Val::Ptr(ctx.ge.lookup(g)?.offset(*o)),
+                    Op::AddrStack(n) => Val::Ptr(ctx.slot_addr(*n)?),
+                    other => other.eval(&vals)?,
+                };
+                Some((v, fp))
+            }
+            Expr::Load(am) => {
+                let (a, mut fp) = resolve_addr(am, ctx)?;
+                let v = ctx.load(a, &mut fp)?;
+                Some((v, fp))
+            }
+        }
+    }
+}
+
+/// CminorSel statements.
+pub type Stmt = crate::stmt_sem::Stmt<Expr>;
+/// CminorSel functions.
+pub type Function = crate::stmt_sem::Function<Expr>;
+/// CminorSel modules.
+pub type CminorSelModule = StmtModule<Expr>;
+/// The CminorSel language dispatcher.
+pub type CminorSelLang = StmtLang<Expr>;
+
+/// The CminorSel dispatcher value.
+pub const CMINORSEL: CminorSelLang = StmtLang::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Cmp;
+    use ccc_core::mem::GlobalEnv;
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn selected_ops_evaluate() {
+        // f() { t := (3 + 4) * 2; return t == 14; }
+        let body = Stmt::seq([
+            Stmt::Set(
+                "t".into(),
+                Expr::Op(
+                    Op::MulImm(2),
+                    vec![Expr::Op(Op::AddImm(4), vec![Expr::imm(3)])],
+                ),
+            ),
+            Stmt::Return(Some(Expr::Op(
+                Op::CmpImm(Cmp::Eq, 14),
+                vec![Expr::temp("t")],
+            ))),
+        ]);
+        let m = CminorSelModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 0,
+                body,
+            },
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&CMINORSEL, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(1));
+    }
+
+    #[test]
+    fn addressing_modes_resolve() {
+        let mut ge = GlobalEnv::new();
+        ge.define_block("arr", &[Val::Int(10), Val::Int(20)]);
+        // f() { t := [arr + 1 word]; [stack0] := t; return [stack0]; }
+        let body = Stmt::seq([
+            Stmt::Set("t".into(), Expr::Load(AddrMode::Global("arr".into(), 1))),
+            Stmt::Store(
+                Expr::Op(Op::AddrStack(0), vec![]),
+                Expr::temp("t"),
+            ),
+            Stmt::Return(Some(Expr::Load(AddrMode::Stack(0)))),
+        ]);
+        let m = CminorSelModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 1,
+                body,
+            },
+        )]);
+        let (v, _, _) = run_main(&CMINORSEL, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(20));
+    }
+
+    #[test]
+    fn based_addressing_with_displacement() {
+        let mut ge = GlobalEnv::new();
+        let base = ge.define_block("arr", &[Val::Int(1), Val::Int(2), Val::Int(3)]);
+        let _ = base;
+        // f() { p := &arr; return [p + 2]; }
+        let body = Stmt::seq([
+            Stmt::Set("p".into(), Expr::Op(Op::AddrGlobal("arr".into(), 0), vec![])),
+            Stmt::Return(Some(Expr::Load(AddrMode::Based(
+                Box::new(Expr::temp("p")),
+                2,
+            )))),
+        ]);
+        let m = CminorSelModule::new([(
+            "f",
+            Function {
+                params: vec![],
+                stack_slots: 0,
+                body,
+            },
+        )]);
+        let (v, _, _) = run_main(&CMINORSEL, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(3));
+    }
+}

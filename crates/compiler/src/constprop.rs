@@ -1,0 +1,347 @@
+//! Constant propagation on RTL — an *extension* pass beyond the four
+//! optimizations the paper verifies ("proving other optimization passes
+//! would be similar and is left as future work", §7.2 / §8).
+//!
+//! A forward dataflow analysis computes, per CFG node, which
+//! pseudo-registers surely hold which integer constants; the rewrite
+//! then folds fully-constant operators, strengthens register operands
+//! into immediate forms, and folds decided conditional branches.
+//!
+//! The pass only ever *removes* register evaluations — loads, stores
+//! and calls are untouched — so footprints can only shrink, exactly the
+//! direction the footprint-preserving simulation (§4) permits. Division
+//! is folded only when defined, preserving abort behaviour.
+
+use crate::ops::Op;
+use crate::rtl::{Function, Instr, Node, PReg, RtlModule};
+use ccc_core::mem::Val;
+use std::collections::BTreeMap;
+
+/// The abstract value of a register: a known integer constant or
+/// unknown. (Pointers are never tracked — their values are runtime
+/// dependent.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AVal {
+    Const(i64),
+    Top,
+}
+
+type Env = BTreeMap<PReg, AVal>;
+
+fn lookup(env: &Env, r: PReg) -> AVal {
+    env.get(&r).copied().unwrap_or(AVal::Top)
+}
+
+fn join(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (&r, &va) in a {
+        if let AVal::Const(ca) = va {
+            if lookup(b, r) == AVal::Const(ca) {
+                out.insert(r, va);
+            }
+        }
+    }
+    out
+}
+
+/// Abstract evaluation of an operator over known constants.
+fn abstract_op(op: &Op, args: &[AVal]) -> AVal {
+    let consts: Option<Vec<Val>> = args
+        .iter()
+        .map(|a| match a {
+            AVal::Const(i) => Some(Val::Int(*i)),
+            AVal::Top => None,
+        })
+        .collect();
+    match (op, consts) {
+        (Op::Const(i), _) => AVal::Const(*i),
+        (Op::AddrGlobal(..) | Op::AddrStack(_), _) => AVal::Top,
+        (op, Some(vals)) => match op.eval(&vals) {
+            Some(Val::Int(i)) => AVal::Const(i),
+            _ => AVal::Top, // undefined (e.g. division by zero): keep
+        },
+        _ => AVal::Top,
+    }
+}
+
+fn transfer(i: &Instr, env: &Env) -> Env {
+    let mut out = env.clone();
+    match i {
+        Instr::Op(op, args, dst, _) => {
+            let avs: Vec<AVal> = args.iter().map(|&r| lookup(env, r)).collect();
+            match abstract_op(op, &avs) {
+                AVal::Const(c) => {
+                    out.insert(*dst, AVal::Const(c));
+                }
+                AVal::Top => {
+                    out.remove(dst);
+                }
+            }
+        }
+        Instr::Load(_, dst, _) => {
+            out.remove(dst);
+        }
+        Instr::Call(Some(dst), ..) => {
+            out.remove(dst);
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Per-node input environments by forward fixpoint iteration.
+fn analyze(f: &Function) -> BTreeMap<Node, Env> {
+    let mut inputs: BTreeMap<Node, Env> = BTreeMap::new();
+    inputs.insert(f.entry, Env::new());
+    let mut work: Vec<Node> = vec![f.entry];
+    while let Some(n) = work.pop() {
+        let Some(instr) = f.code.get(&n) else {
+            continue;
+        };
+        let env_in = inputs.get(&n).cloned().unwrap_or_default();
+        let env_out = transfer(instr, &env_in);
+        for s in instr.succs() {
+            let merged = match inputs.get(&s) {
+                Some(prev) => join(prev, &env_out),
+                None => env_out.clone(),
+            };
+            if inputs.get(&s) != Some(&merged) {
+                inputs.insert(s, merged);
+                work.push(s);
+            }
+        }
+    }
+    inputs
+}
+
+fn rewrite(i: &Instr, env: &Env) -> Instr {
+    match i {
+        Instr::Op(op, args, dst, n) => {
+            let avs: Vec<AVal> = args.iter().map(|&r| lookup(env, r)).collect();
+            // Full fold.
+            if let AVal::Const(c) = abstract_op(op, &avs) {
+                return Instr::Op(Op::Const(c), vec![], *dst, *n);
+            }
+            // Strength reduction of 2-ary ops with one known operand.
+            if args.len() == 2 {
+                let (a, b) = (args[0], args[1]);
+                match (op, lookup(env, a), lookup(env, b)) {
+                    (Op::Add, AVal::Const(c), _) => {
+                        return Instr::Op(Op::AddImm(c), vec![b], *dst, *n)
+                    }
+                    (Op::Add, _, AVal::Const(c)) => {
+                        return Instr::Op(Op::AddImm(c), vec![a], *dst, *n)
+                    }
+                    (Op::Sub, _, AVal::Const(c)) if c != i64::MIN => {
+                        return Instr::Op(Op::AddImm(-c), vec![a], *dst, *n)
+                    }
+                    (Op::Mul, AVal::Const(c), _) => {
+                        return Instr::Op(Op::MulImm(c), vec![b], *dst, *n)
+                    }
+                    (Op::Mul, _, AVal::Const(c)) => {
+                        return Instr::Op(Op::MulImm(c), vec![a], *dst, *n)
+                    }
+                    (Op::Cmp(cc), _, AVal::Const(c)) => {
+                        return Instr::Op(Op::CmpImm(*cc, c), vec![a], *dst, *n)
+                    }
+                    (Op::Cmp(cc), AVal::Const(c), _) => {
+                        return Instr::Op(Op::CmpImm(cc.swap(), c), vec![b], *dst, *n)
+                    }
+                    _ => {}
+                }
+            }
+            i.clone()
+        }
+        // Branch folding on decided conditions.
+        Instr::Cond(c, r1, r2, t, e) => {
+            if let (AVal::Const(a), AVal::Const(b)) = (lookup(env, *r1), lookup(env, *r2)) {
+                if let Some(taken) = c.eval(Val::Int(a), Val::Int(b)) {
+                    return Instr::Nop(if taken { *t } else { *e });
+                }
+            }
+            if let AVal::Const(b) = lookup(env, *r2) {
+                return Instr::CondImm(*c, *r1, b, *t, *e);
+            }
+            if let AVal::Const(a) = lookup(env, *r1) {
+                return Instr::CondImm(c.swap(), *r2, a, *t, *e);
+            }
+            i.clone()
+        }
+        Instr::CondImm(c, r, imm, t, e) => {
+            if let AVal::Const(a) = lookup(env, *r) {
+                if let Some(taken) = c.eval(Val::Int(a), Val::Int(*imm)) {
+                    return Instr::Nop(if taken { *t } else { *e });
+                }
+            }
+            i.clone()
+        }
+        other => other.clone(),
+    }
+}
+
+fn transform_function(f: &Function) -> Function {
+    let inputs = analyze(f);
+    let mut code = BTreeMap::new();
+    for (&n, i) in &f.code {
+        match inputs.get(&n) {
+            Some(env) => code.insert(n, rewrite(i, env)),
+            None => code.insert(n, i.clone()), // unreachable node: keep
+        };
+    }
+    Function {
+        params: f.params.clone(),
+        stack_slots: f.stack_slots,
+        entry: f.entry,
+        code,
+    }
+}
+
+/// Runs constant propagation over a module.
+pub fn constprop(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Cmp;
+    use crate::rtl::RtlLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    fn module_of(f: Function) -> RtlModule {
+        RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        }
+    }
+
+    #[test]
+    fn straightline_constants_fold() {
+        // r1 := 6; r2 := r1 * 7; return r2 — becomes r2 := 42.
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(6), vec![], 1, 1)),
+                (1, Instr::Op(Op::MulImm(7), vec![1], 2, 2)),
+                (2, Instr::Return(Some(2))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        assert!(matches!(
+            m.funcs["f"].code.get(&1),
+            Some(Instr::Op(Op::Const(42), ..))
+        ));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn decided_branches_fold_to_nops() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(1), vec![], 1, 1)),
+                (1, Instr::CondImm(Cmp::Eq, 1, 1, 2, 3)),
+                (2, Instr::Return(Some(1))),
+                (3, Instr::Op(Op::Const(99), vec![], 1, 2)),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        assert!(matches!(m.funcs["f"].code.get(&1), Some(Instr::Nop(2))));
+    }
+
+    #[test]
+    fn join_loses_disagreeing_constants() {
+        // if (param) r := 1 else r := 2; return r — r unknown at merge.
+        let f = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::CondImm(Cmp::Ne, 0, 0, 1, 2)),
+                (1, Instr::Op(Op::Const(1), vec![], 1, 3)),
+                (2, Instr::Op(Op::Const(2), vec![], 1, 3)),
+                (3, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        // Node 3 unchanged; both constants kept.
+        assert!(matches!(m.funcs["f"].code.get(&3), Some(Instr::Return(Some(1)))));
+        let ge = GlobalEnv::new();
+        for (arg, expect) in [(5, 1), (0, 2)] {
+            let (v, _, _) =
+                run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("runs");
+            assert_eq!(v, Val::Int(expect));
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded_away() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(1), vec![], 1, 1)),
+                (1, Instr::Op(Op::Const(0), vec![], 2, 2)),
+                (2, Instr::Op(Op::Div, vec![1, 2], 3, 3)),
+                (3, Instr::Return(Some(3))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        // The division stays (possibly strength-reduced is fine, but it
+        // must still abort at runtime).
+        let ge = GlobalEnv::new();
+        assert!(run_main(&RtlLang, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn loop_carried_values_are_not_miscounted() {
+        // r := 0; while (p != 0) { r := r + 1; p := p - 1 }; return r.
+        // r is NOT constant at the loop head.
+        let f = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(0), vec![], 1, 1)),
+                (1, Instr::CondImm(Cmp::Ne, 0, 0, 2, 4)),
+                (2, Instr::Op(Op::AddImm(1), vec![1], 1, 3)),
+                (3, Instr::Op(Op::AddImm(-1), vec![0], 0, 1)),
+                (4, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(4)], 1000).expect("runs");
+        assert_eq!(v, Val::Int(4));
+    }
+
+    #[test]
+    fn random_programs_agree_through_constprop() {
+        use crate::cminorgen::cminorgen;
+        use crate::rtlgen::rtlgen;
+        use crate::selection::selection;
+        use ccc_clight::gen::{gen_module, GenCfg};
+        for seed in 0..30 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let rtl = rtlgen(&selection(&cminorgen(&m).expect("cminorgen")));
+            let opt = constprop(&rtl);
+            let a = run_main(&RtlLang, &rtl, &ge, "f", &[], 500_000).expect("rtl runs");
+            let b = run_main(&RtlLang, &opt, &ge, "f", &[], 500_000).expect("opt runs");
+            assert_eq!(a.0, b.0, "seed {seed}: return values");
+            assert_eq!(a.2, b.2, "seed {seed}: events");
+        }
+    }
+}

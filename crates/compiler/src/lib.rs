@@ -1,0 +1,49 @@
+//! # ccc-compiler — the CompCert-shaped compilation pipeline
+//!
+//! From-scratch reproduction of the CompCert pass structure that
+//! CASCompCert verifies (Fig. 11 of the paper):
+//!
+//! ```text
+//! Clight ─Cshmgen/Cminorgen→ Cminor ─Selection→ CminorSel ─RTLgen→ RTL
+//!   ─Tailcall→ RTL ─Renumber→ RTL ─Allocation→ LTL ─Tunneling→ LTL
+//!   ─Linearize→ Linear ─CleanupLabels→ Linear ─Stacking→ Mach
+//!   ─Asmgen→ x86
+//! ```
+//!
+//! Every IR has a **footprint-instrumented interpreter** implementing
+//! [`ccc_core::lang::Lang`], so each pass can be validated against the
+//! paper's footprint-preserving simulation (`ccc_core::sim`) and by
+//! differential execution — the executable substitute for the Coq
+//! correctness proofs (Fig. 13).
+//!
+//! See [`driver`] for the composed pipeline (`CompCert(·)` of §7.2) and
+//! per-pass artifacts.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocation;
+pub mod asmgen;
+pub mod cleanuplabels;
+pub mod constprop;
+pub mod cminor;
+pub mod cminorgen;
+pub mod cminorsel;
+pub mod driver;
+pub mod linear;
+pub mod linearize;
+pub mod ltl;
+pub mod mach;
+pub mod ops;
+pub mod pretty;
+pub mod renumber;
+pub mod rtl;
+pub mod rtlgen;
+pub mod selection;
+pub mod stacking;
+pub mod stmt_sem;
+pub mod tailcall;
+pub mod tunneling;
+pub mod verif;
+
+pub use driver::{compile, compile_with_artifacts, CompilationArtifacts, CompileError, PASS_NAMES};

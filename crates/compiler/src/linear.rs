@@ -1,0 +1,371 @@
+//! Linear: LTL linearized into an instruction list with labels and
+//! explicit jumps (the `Linearize` output, cleaned by `CleanupLabels`).
+
+use crate::ltl::Loc;
+use crate::ops::{AddrMode, Cmp, Op};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use ccc_machine::Reg as MReg;
+use std::collections::BTreeMap;
+
+/// A code label.
+pub type Label = u32;
+
+/// One Linear instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `dst := op(args…)`.
+    Op(Op, Vec<Loc>, Loc),
+    /// `dst := [mode]`.
+    Load(AddrMode<Loc>, Loc),
+    /// `[mode] := src`.
+    Store(AddrMode<Loc>, Loc),
+    /// `dst := f(args…)` (arguments in spill slots).
+    Call(Option<Loc>, String, Vec<Loc>),
+    /// Tail call.
+    Tailcall(String, Vec<Loc>),
+    /// Conditional jump.
+    CondJump(Cmp, Loc, Loc, Label),
+    /// Conditional jump against an immediate.
+    CondImmJump(Cmp, Loc, i64, Label),
+    /// Unconditional jump.
+    Goto(Label),
+    /// A label definition.
+    Label(Label),
+    /// Output.
+    Print(Loc),
+    /// Return.
+    Return(Option<Loc>),
+}
+
+/// A Linear function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Parameter locations (spill slots).
+    pub params: Vec<Loc>,
+    /// Source-level frame slots.
+    pub stack_slots: u64,
+    /// Abstract spill slots.
+    pub spill_slots: u32,
+    /// The instruction list.
+    pub code: Vec<Instr>,
+}
+
+/// A Linear module.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinearModule {
+    /// Functions by name.
+    pub funcs: BTreeMap<String, Function>,
+}
+
+/// The Linear core state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LinearCore {
+    fun: String,
+    pc: usize,
+    regs: BTreeMap<MReg, Val>,
+    spills: BTreeMap<u32, Val>,
+    frame: Option<Addr>,
+    stack_slots: u64,
+    awaiting: Option<Option<Loc>>,
+    /// Set while a tail call is in flight: the next resume returns.
+    tail_pending: bool,
+}
+
+impl LinearCore {
+    fn get(&self, l: Loc) -> Val {
+        match l {
+            Loc::Reg(r) => self.regs.get(&r).copied().unwrap_or(Val::Undef),
+            Loc::Spill(s) => self.spills.get(&s).copied().unwrap_or(Val::Undef),
+        }
+    }
+
+    fn set(&mut self, l: Loc, v: Val) {
+        match l {
+            Loc::Reg(r) => {
+                self.regs.insert(r, v);
+            }
+            Loc::Spill(s) => {
+                self.spills.insert(s, v);
+            }
+        }
+    }
+}
+
+/// The Linear language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LinearLang;
+
+fn find_label(f: &Function, l: Label) -> Option<usize> {
+    f.code.iter().position(|i| matches!(i, Instr::Label(x) if *x == l))
+}
+
+fn resolve_addr(am: &AddrMode<Loc>, core: &LinearCore, ge: &GlobalEnv) -> Option<Addr> {
+    match am {
+        AddrMode::Global(g, o) => Some(ge.lookup(g)?.offset(*o)),
+        AddrMode::Stack(n) => {
+            if *n >= core.stack_slots {
+                return None;
+            }
+            Some(core.frame?.offset(*n))
+        }
+        AddrMode::Based(l, d) => match core.get(*l) {
+            Val::Ptr(a) => Some(Addr(a.0.wrapping_add(*d as u64))),
+            _ => None,
+        },
+    }
+}
+
+impl Lang for LinearLang {
+    type Module = LinearModule;
+    type Core = LinearCore;
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let f = module.funcs.get(entry)?;
+        if args.len() > f.params.len() {
+            return None;
+        }
+        let mut core = LinearCore {
+            fun: entry.to_string(),
+            pc: 0,
+            regs: BTreeMap::new(),
+            spills: BTreeMap::new(),
+            frame: (f.stack_slots == 0).then_some(Addr(0)),
+            stack_slots: f.stack_slots,
+            awaiting: None,
+            tail_pending: false,
+        };
+        for (&p, &v) in f.params.iter().zip(args) {
+            core.set(p, v);
+        }
+        Some(core)
+    }
+
+    fn step(
+        &self,
+        module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let tau = |core: LinearCore, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let Some(f) = module.funcs.get(&core.fun) else {
+            return abort();
+        };
+        let mut next = core.clone();
+        if next.awaiting.is_some() {
+            return abort();
+        }
+        if next.tail_pending {
+            return vec![LocalStep::Ret {
+                val: core.get(Loc::Reg(MReg::Eax)),
+            }];
+        }
+        if next.frame.is_none() {
+            let base = crate::stmt_sem::first_free_block(flist, mem, next.stack_slots);
+            let mut m = mem.clone();
+            let mut fp = Footprint::emp();
+            for k in 0..next.stack_slots {
+                m.alloc(base.offset(k), Val::Undef);
+                fp.extend(&Footprint::write(base.offset(k)));
+            }
+            next.frame = Some(base);
+            return tau(next, m, fp);
+        }
+        let Some(instr) = f.code.get(core.pc) else {
+            return abort(); // fell off the end
+        };
+        next.pc += 1;
+        match instr {
+            Instr::Label(_) => tau(next, mem.clone(), Footprint::emp()),
+            Instr::Op(op, args, dst) => {
+                let v = match op {
+                    Op::AddrGlobal(g, o) => match ge.lookup(g) {
+                        Some(a) => Val::Ptr(a.offset(*o)),
+                        None => return abort(),
+                    },
+                    Op::AddrStack(s) => {
+                        if *s >= next.stack_slots {
+                            return abort();
+                        }
+                        Val::Ptr(next.frame.expect("allocated").offset(*s))
+                    }
+                    other => {
+                        let vals: Vec<Val> = args.iter().map(|&l| core.get(l)).collect();
+                        match other.eval(&vals) {
+                            Some(v) => v,
+                            None => return abort(),
+                        }
+                    }
+                };
+                next.set(*dst, v);
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Load(am, dst) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let Some(v) = mem.load(a) else {
+                    return abort();
+                };
+                next.set(*dst, v);
+                tau(next, mem.clone(), Footprint::read(a))
+            }
+            Instr::Store(am, src) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let mut m = mem.clone();
+                if !m.store(a, core.get(*src)) {
+                    return abort();
+                }
+                tau(next, m, Footprint::write(a))
+            }
+            Instr::Call(dst, callee, args) => {
+                next.awaiting = Some(*dst);
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|&l| core.get(l)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::Tailcall(callee, args) => {
+                next.awaiting = Some(None);
+                next.tail_pending = true;
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|&l| core.get(l)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::CondJump(c, l1, l2, lab) => {
+                let Some(t) = c.eval(core.get(*l1), core.get(*l2)) else {
+                    return abort();
+                };
+                if t {
+                    let Some(pos) = find_label(f, *lab) else {
+                        return abort();
+                    };
+                    next.pc = pos;
+                }
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::CondImmJump(c, l, i, lab) => {
+                let Some(t) = c.eval(core.get(*l), Val::Int(*i)) else {
+                    return abort();
+                };
+                if t {
+                    let Some(pos) = find_label(f, *lab) else {
+                        return abort();
+                    };
+                    next.pc = pos;
+                }
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Goto(lab) => {
+                let Some(pos) = find_label(f, *lab) else {
+                    return abort();
+                };
+                next.pc = pos;
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Print(l) => match core.get(*l) {
+                Val::Int(i) => vec![LocalStep::Step {
+                    msg: StepMsg::Event(Event::Print(i)),
+                    fp: Footprint::emp(),
+                    core: next,
+                    mem: mem.clone(),
+                }],
+                _ => abort(),
+            },
+            Instr::Return(l) => vec![LocalStep::Ret {
+                val: l.map_or(Val::Int(0), |l| core.get(l)),
+            }],
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        let dst = next.awaiting.take()?;
+        if next.tail_pending {
+            next.set(Loc::Reg(MReg::Eax), ret);
+            return Some(next);
+        }
+        if let Some(l) = dst {
+            next.set(l, ret);
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn labels_and_jumps_execute() {
+        // ecx := 0; loop: if spill0 == 0 goto end; ecx += spill0;
+        // spill0 -= 1; goto loop; end: return ecx
+        let f = Function {
+            params: vec![Loc::Spill(0)],
+            stack_slots: 0,
+            spill_slots: 1,
+            code: vec![
+                Instr::Op(Op::Const(0), vec![], Loc::Reg(MReg::Ecx)),
+                Instr::Label(0),
+                Instr::CondImmJump(Cmp::Eq, Loc::Spill(0), 0, 1),
+                Instr::Op(Op::Add, vec![Loc::Reg(MReg::Ecx), Loc::Spill(0)], Loc::Reg(MReg::Ecx)),
+                Instr::Op(Op::AddImm(-1), vec![Loc::Spill(0)], Loc::Spill(0)),
+                Instr::Goto(0),
+                Instr::Label(1),
+                Instr::Return(Some(Loc::Reg(MReg::Ecx))),
+            ],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&LinearLang, &m, &ge, "f", &[Val::Int(4)], 1000).expect("runs");
+        assert_eq!(v, Val::Int(10));
+    }
+
+    #[test]
+    fn missing_label_aborts() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            spill_slots: 0,
+            code: vec![Instr::Goto(9)],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let ge = GlobalEnv::new();
+        assert!(run_main(&LinearLang, &m, &ge, "f", &[], 100).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! The `Linearize` pass: LTL → Linear (Fig. 11).
+//!
+//! CFG nodes are emitted in depth-first order from the entry; fall-
+//! through is used where the next node in the layout is the successor,
+//! explicit `Goto`s otherwise. Labels carry the original node ids (the
+//! following `CleanupLabels` pass removes the unreferenced ones).
+
+use crate::linear::{Function as LinFunction, Instr as LIn, LinearModule};
+use crate::ltl::{Function, Instr, LtlModule};
+use crate::rtl::Node;
+
+fn layout(f: &Function) -> Vec<Node> {
+    let mut order = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![f.entry];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) || !f.code.contains_key(&n) {
+            continue;
+        }
+        order.push(n);
+        // Push the fall-through candidate last so it is visited next.
+        let succs = f.code[&n].succs();
+        for &s in succs.iter().rev() {
+            stack.push(s);
+        }
+    }
+    order
+}
+
+fn transform_function(f: &Function) -> LinFunction {
+    let order = layout(f);
+    let mut code = Vec::new();
+    for (idx, &n) in order.iter().enumerate() {
+        let next = order.get(idx + 1).copied();
+        code.push(LIn::Label(n));
+        let goto_unless_next = |code: &mut Vec<LIn>, target: Node| {
+            if next != Some(target) {
+                code.push(LIn::Goto(target));
+            }
+        };
+        match &f.code[&n] {
+            Instr::Nop(s) => goto_unless_next(&mut code, *s),
+            Instr::Op(op, args, dst, s) => {
+                code.push(LIn::Op(op.clone(), args.clone(), *dst));
+                goto_unless_next(&mut code, *s);
+            }
+            Instr::Load(am, dst, s) => {
+                code.push(LIn::Load(am.clone(), *dst));
+                goto_unless_next(&mut code, *s);
+            }
+            Instr::Store(am, src, s) => {
+                code.push(LIn::Store(am.clone(), *src));
+                goto_unless_next(&mut code, *s);
+            }
+            Instr::Call(dst, callee, args, s) => {
+                code.push(LIn::Call(*dst, callee.clone(), args.clone()));
+                goto_unless_next(&mut code, *s);
+            }
+            Instr::Tailcall(callee, args) => {
+                code.push(LIn::Tailcall(callee.clone(), args.clone()));
+            }
+            Instr::Cond(c, a, b, t, e) => {
+                // Prefer falling through to the false branch.
+                if next == Some(*e) {
+                    code.push(LIn::CondJump(*c, *a, *b, *t));
+                } else if next == Some(*t) {
+                    code.push(LIn::CondJump(c.negate(), *a, *b, *e));
+                } else {
+                    code.push(LIn::CondJump(*c, *a, *b, *t));
+                    code.push(LIn::Goto(*e));
+                }
+            }
+            Instr::CondImm(c, r, i, t, e) => {
+                if next == Some(*e) {
+                    code.push(LIn::CondImmJump(*c, *r, *i, *t));
+                } else if next == Some(*t) {
+                    code.push(LIn::CondImmJump(c.negate(), *r, *i, *e));
+                } else {
+                    code.push(LIn::CondImmJump(*c, *r, *i, *t));
+                    code.push(LIn::Goto(*e));
+                }
+            }
+            Instr::Print(r, s) => {
+                code.push(LIn::Print(*r));
+                goto_unless_next(&mut code, *s);
+            }
+            Instr::Return(r) => code.push(LIn::Return(*r)),
+        }
+    }
+    LinFunction {
+        params: f.params.clone(),
+        stack_slots: f.stack_slots,
+        spill_slots: f.spill_slots,
+        code,
+    }
+}
+
+/// Runs linearization over a module.
+pub fn linearize(m: &LtlModule) -> LinearModule {
+    LinearModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearLang;
+    use crate::ltl::{Loc, LtlLang};
+    use crate::ops::{Cmp, Op};
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+    use ccc_machine::Reg;
+    use std::collections::BTreeMap;
+
+    fn branching_ltl() -> LtlModule {
+        let f = Function {
+            params: vec![Loc::Spill(0)],
+            stack_slots: 0,
+            spill_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::CondImm(Cmp::Lt, Loc::Spill(0), 0, 1, 2)),
+                (1, Instr::Op(Op::Const(-1), vec![], Loc::Reg(Reg::Ecx), 3)),
+                (2, Instr::Op(Op::Const(1), vec![], Loc::Reg(Reg::Ecx), 3)),
+                (3, Instr::Return(Some(Loc::Reg(Reg::Ecx)))),
+            ]),
+        };
+        LtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        }
+    }
+
+    #[test]
+    fn linearized_code_behaves_identically() {
+        let m = branching_ltl();
+        let lin = linearize(&m);
+        let ge = GlobalEnv::new();
+        for arg in [-5, 5] {
+            let (v1, _, _) =
+                run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("ltl");
+            let (v2, _, _) =
+                run_main(&LinearLang, &lin, &ge, "f", &[Val::Int(arg)], 100).expect("linear");
+            assert_eq!(v1, v2, "arg {arg}");
+        }
+    }
+
+    #[test]
+    fn fallthrough_avoids_redundant_gotos() {
+        let m = branching_ltl();
+        let lin = linearize(&m);
+        let gotos = lin.funcs["f"]
+            .code
+            .iter()
+            .filter(|i| matches!(i, LIn::Goto(_)))
+            .count();
+        // The diamond needs at most one explicit goto.
+        assert!(gotos <= 1, "{:?}", lin.funcs["f"].code);
+    }
+}

@@ -1,0 +1,361 @@
+//! Mach: the last IR before assembly — Linear with locations resolved
+//! to machine registers and concrete stack-frame offsets.
+//!
+//! After `Stacking`, spill slots live in the frame (real memory from the
+//! thread's free list), arguments are marshalled into the argument
+//! registers before calls, and results/returns use `%eax` — the
+//! machine's calling convention. `Asmgen` then only lowers three-address
+//! operators onto two-address x86 instructions and materializes
+//! comparisons through flags.
+
+use crate::linear::Label;
+use crate::ops::{AddrMode, Cmp, Op};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use ccc_machine::Reg as MReg;
+use std::collections::BTreeMap;
+
+/// One Mach instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `dst := op(args…)` over machine registers.
+    Op(Op, Vec<MReg>, MReg),
+    /// `dst := [mode]` (frame slots are concrete offsets now).
+    Load(AddrMode<MReg>, MReg),
+    /// `[mode] := src`.
+    Store(AddrMode<MReg>, MReg),
+    /// `call f` with `n` arguments already in the argument registers;
+    /// the result arrives in `%eax`.
+    Call(String, usize),
+    /// Tail call (arguments marshalled identically).
+    Tailcall(String, usize),
+    /// Conditional jump comparing two registers.
+    CondJump(Cmp, MReg, MReg, Label),
+    /// Conditional jump against an immediate.
+    CondImmJump(Cmp, MReg, i64, Label),
+    /// Unconditional jump.
+    Goto(Label),
+    /// Label definition.
+    Label(Label),
+    /// Output.
+    Print(MReg),
+    /// Return (`%eax` holds the value).
+    Return,
+}
+
+/// A Mach function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Total frame size in words (source slots + spill area).
+    pub frame_slots: u64,
+    /// Number of register arguments.
+    pub arity: usize,
+    /// The instruction list.
+    pub code: Vec<Instr>,
+}
+
+/// A Mach module.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MachModule {
+    /// Functions by name.
+    pub funcs: BTreeMap<String, Function>,
+}
+
+/// The Mach core state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MachCore {
+    fun: String,
+    pc: usize,
+    regs: [Val; 6],
+    frame: Option<Addr>,
+    frame_slots: u64,
+    awaiting: bool,
+    tail_pending: bool,
+}
+
+impl MachCore {
+    fn reg(&self, r: MReg) -> Val {
+        self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: MReg, v: Val) {
+        self.regs[r.index()] = v;
+    }
+}
+
+/// The Mach language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MachLang;
+
+fn find_label(f: &Function, l: Label) -> Option<usize> {
+    f.code.iter().position(|i| matches!(i, Instr::Label(x) if *x == l))
+}
+
+fn resolve_addr(am: &AddrMode<MReg>, core: &MachCore, ge: &GlobalEnv) -> Option<Addr> {
+    match am {
+        AddrMode::Global(g, o) => Some(ge.lookup(g)?.offset(*o)),
+        AddrMode::Stack(n) => {
+            if *n >= core.frame_slots {
+                return None;
+            }
+            Some(core.frame?.offset(*n))
+        }
+        AddrMode::Based(r, d) => match core.reg(*r) {
+            Val::Ptr(a) => Some(Addr(a.0.wrapping_add(*d as u64))),
+            _ => None,
+        },
+    }
+}
+
+impl Lang for MachLang {
+    type Module = MachModule;
+    type Core = MachCore;
+
+    fn name(&self) -> &'static str {
+        "Mach"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let f = module.funcs.get(entry)?;
+        if args.len() > f.arity || f.arity > MReg::ARGS.len() {
+            return None;
+        }
+        let mut regs = [Val::Undef; 6];
+        for (i, &v) in args.iter().enumerate() {
+            regs[MReg::ARGS[i].index()] = v;
+        }
+        Some(MachCore {
+            fun: entry.to_string(),
+            pc: 0,
+            regs,
+            frame: (f.frame_slots == 0).then_some(Addr(0)),
+            frame_slots: f.frame_slots,
+            awaiting: false,
+            tail_pending: false,
+        })
+    }
+
+    fn step(
+        &self,
+        module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let tau = |core: MachCore, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let Some(f) = module.funcs.get(&core.fun) else {
+            return abort();
+        };
+        let mut next = core.clone();
+        if next.awaiting {
+            return abort();
+        }
+        if next.tail_pending {
+            return vec![LocalStep::Ret {
+                val: core.reg(MReg::Eax),
+            }];
+        }
+        if next.frame.is_none() {
+            let base = crate::stmt_sem::first_free_block(flist, mem, next.frame_slots);
+            let mut m = mem.clone();
+            let mut fp = Footprint::emp();
+            for k in 0..next.frame_slots {
+                m.alloc(base.offset(k), Val::Undef);
+                fp.extend(&Footprint::write(base.offset(k)));
+            }
+            next.frame = Some(base);
+            return tau(next, m, fp);
+        }
+        let Some(instr) = f.code.get(core.pc) else {
+            return abort();
+        };
+        next.pc += 1;
+        match instr {
+            Instr::Label(_) => tau(next, mem.clone(), Footprint::emp()),
+            Instr::Op(op, args, dst) => {
+                let v = match op {
+                    Op::AddrGlobal(g, o) => match ge.lookup(g) {
+                        Some(a) => Val::Ptr(a.offset(*o)),
+                        None => return abort(),
+                    },
+                    Op::AddrStack(s) => {
+                        if *s >= next.frame_slots {
+                            return abort();
+                        }
+                        Val::Ptr(next.frame.expect("allocated").offset(*s))
+                    }
+                    other => {
+                        let vals: Vec<Val> = args.iter().map(|&r| core.reg(r)).collect();
+                        match other.eval(&vals) {
+                            Some(v) => v,
+                            None => return abort(),
+                        }
+                    }
+                };
+                next.set(*dst, v);
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Load(am, dst) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let Some(v) = mem.load(a) else {
+                    return abort();
+                };
+                next.set(*dst, v);
+                tau(next, mem.clone(), Footprint::read(a))
+            }
+            Instr::Store(am, src) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let mut m = mem.clone();
+                if !m.store(a, core.reg(*src)) {
+                    return abort();
+                }
+                tau(next, m, Footprint::write(a))
+            }
+            Instr::Call(callee, n) => {
+                if *n > MReg::ARGS.len() {
+                    return abort();
+                }
+                next.awaiting = true;
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: MReg::ARGS[..*n].iter().map(|&r| core.reg(r)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::Tailcall(callee, n) => {
+                if *n > MReg::ARGS.len() {
+                    return abort();
+                }
+                next.awaiting = true;
+                next.tail_pending = true;
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: MReg::ARGS[..*n].iter().map(|&r| core.reg(r)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::CondJump(c, r1, r2, lab) => {
+                let Some(t) = c.eval(core.reg(*r1), core.reg(*r2)) else {
+                    return abort();
+                };
+                if t {
+                    let Some(pos) = find_label(f, *lab) else {
+                        return abort();
+                    };
+                    next.pc = pos;
+                }
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::CondImmJump(c, r, i, lab) => {
+                let Some(t) = c.eval(core.reg(*r), Val::Int(*i)) else {
+                    return abort();
+                };
+                if t {
+                    let Some(pos) = find_label(f, *lab) else {
+                        return abort();
+                    };
+                    next.pc = pos;
+                }
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Goto(lab) => {
+                let Some(pos) = find_label(f, *lab) else {
+                    return abort();
+                };
+                next.pc = pos;
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Print(r) => match core.reg(*r) {
+                Val::Int(i) => vec![LocalStep::Step {
+                    msg: StepMsg::Event(Event::Print(i)),
+                    fp: Footprint::emp(),
+                    core: next,
+                    mem: mem.clone(),
+                }],
+                _ => abort(),
+            },
+            Instr::Return => vec![LocalStep::Ret {
+                val: core.reg(MReg::Eax),
+            }],
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        if !core.awaiting {
+            return None;
+        }
+        let mut next = core.clone();
+        next.awaiting = false;
+        next.set(MReg::Eax, ret);
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn frame_and_registers_work() {
+        // f(n): [slot0] := n; eax := [slot0] * 3; ret
+        let f = Function {
+            frame_slots: 1,
+            arity: 1,
+            code: vec![
+                Instr::Store(AddrMode::Stack(0), MReg::Edi),
+                Instr::Load(AddrMode::Stack(0), MReg::Eax),
+                Instr::Op(Op::MulImm(3), vec![MReg::Eax], MReg::Eax),
+                Instr::Return,
+            ],
+        };
+        let m = MachModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&MachLang, &m, &ge, "f", &[Val::Int(5)], 100).expect("runs");
+        assert_eq!(v, Val::Int(15));
+    }
+
+    #[test]
+    fn return_uses_eax_convention() {
+        let f = Function {
+            frame_slots: 0,
+            arity: 0,
+            code: vec![
+                Instr::Op(Op::Const(9), vec![], MReg::Eax),
+                Instr::Return,
+            ],
+        };
+        let m = MachModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&MachLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(9));
+    }
+}

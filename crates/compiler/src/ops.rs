@@ -1,0 +1,245 @@
+//! Machine-level operators shared by the back-end IRs (CminorSel, RTL,
+//! LTL, Linear, Mach).
+//!
+//! The `Selection` pass (§7.2, Fig. 11/12 of the paper) rewrites Cminor
+//! operators into these — folding constants into immediate forms and
+//! address arithmetic into addressing modes — and every later IR keeps
+//! them unchanged until `Asmgen` maps them onto x86 instructions.
+
+use ccc_core::mem::{Addr, Val};
+
+/// Comparison predicates (signed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluates the predicate on two values; `None` when undefined
+    /// (e.g. ordering a pointer against an integer).
+    pub fn eval(self, a: Val, b: Val) -> Option<bool> {
+        match (self, a, b) {
+            (_, Val::Undef, _) | (_, _, Val::Undef) => None,
+            (Cmp::Eq, x, y) => Some(x == y),
+            (Cmp::Ne, x, y) => Some(x != y),
+            (Cmp::Lt, Val::Int(x), Val::Int(y)) => Some(x < y),
+            (Cmp::Le, Val::Int(x), Val::Int(y)) => Some(x <= y),
+            (Cmp::Gt, Val::Int(x), Val::Int(y)) => Some(x > y),
+            (Cmp::Ge, Val::Int(x), Val::Int(y)) => Some(x >= y),
+            _ => None,
+        }
+    }
+
+    /// The swapped predicate (`a ? b` ⇔ `b ?.swap a`).
+    pub fn swap(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+
+    /// The negated predicate.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+}
+
+/// A selected operator, taking its arguments from registers (the arity
+/// is implied by the variant).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// 0-ary: an integer constant.
+    Const(i64),
+    /// 0-ary: the address of a global (plus word offset).
+    AddrGlobal(String, u64),
+    /// 0-ary: the address of a stack slot of the current frame.
+    AddrStack(u64),
+    /// 1-ary: identity move.
+    Move,
+    /// 1-ary: arithmetic negation.
+    Neg,
+    /// 1-ary: logical not (`e == 0`).
+    Not,
+    /// 1-ary: add an immediate (also valid on pointers).
+    AddImm(i64),
+    /// 1-ary: multiply by an immediate.
+    MulImm(i64),
+    /// 1-ary: compare against an immediate.
+    CmpImm(Cmp, i64),
+    /// 2-ary: addition (also `ptr + int`).
+    Add,
+    /// 2-ary: subtraction (also `ptr - int`).
+    Sub,
+    /// 2-ary: multiplication.
+    Mul,
+    /// 2-ary: signed division (aborts on division by zero / overflow).
+    Div,
+    /// 2-ary: bitwise and.
+    And,
+    /// 2-ary: bitwise or.
+    Or,
+    /// 2-ary: bitwise xor.
+    Xor,
+    /// 2-ary: comparison producing 0/1.
+    Cmp(Cmp),
+}
+
+impl Op {
+    /// The number of register arguments the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Const(_) | Op::AddrGlobal(..) | Op::AddrStack(_) => 0,
+            Op::Move | Op::Neg | Op::Not | Op::AddImm(_) | Op::MulImm(_) | Op::CmpImm(..) => 1,
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::And | Op::Or | Op::Xor | Op::Cmp(_) => 2,
+        }
+    }
+
+    /// Evaluates the operator. Address operators are resolved by the
+    /// caller (they need the global environment / frame base); passing
+    /// them here returns `None`.
+    pub fn eval(&self, args: &[Val]) -> Option<Val> {
+        if args.len() != self.arity() {
+            return None;
+        }
+        let int = |v: Val| v.as_int();
+        Some(match self {
+            Op::Const(i) => Val::Int(*i),
+            Op::AddrGlobal(..) | Op::AddrStack(_) => return None,
+            Op::Move => args[0],
+            Op::Neg => Val::Int(int(args[0])?.wrapping_neg()),
+            Op::Not => Val::Int(i64::from(int(args[0])? == 0)),
+            Op::AddImm(i) => match args[0] {
+                Val::Int(x) => Val::Int(x.wrapping_add(*i)),
+                Val::Ptr(p) => Val::Ptr(Addr(p.0.wrapping_add(*i as u64))),
+                Val::Undef => return None,
+            },
+            Op::MulImm(i) => Val::Int(int(args[0])?.wrapping_mul(*i)),
+            Op::CmpImm(c, i) => Val::Int(i64::from(c.eval(args[0], Val::Int(*i))?)),
+            Op::Add => match (args[0], args[1]) {
+                (Val::Int(x), Val::Int(y)) => Val::Int(x.wrapping_add(y)),
+                (Val::Ptr(p), Val::Int(y)) | (Val::Int(y), Val::Ptr(p)) => {
+                    Val::Ptr(Addr(p.0.wrapping_add(y as u64)))
+                }
+                _ => return None,
+            },
+            Op::Sub => match (args[0], args[1]) {
+                (Val::Int(x), Val::Int(y)) => Val::Int(x.wrapping_sub(y)),
+                (Val::Ptr(p), Val::Int(y)) => Val::Ptr(Addr(p.0.wrapping_sub(y as u64))),
+                _ => return None,
+            },
+            Op::Mul => Val::Int(int(args[0])?.wrapping_mul(int(args[1])?)),
+            Op::Div => {
+                let (x, y) = (int(args[0])?, int(args[1])?);
+                if y == 0 || (x == i64::MIN && y == -1) {
+                    return None;
+                }
+                Val::Int(x / y)
+            }
+            Op::And => Val::Int(int(args[0])? & int(args[1])?),
+            Op::Or => Val::Int(int(args[0])? | int(args[1])?),
+            Op::Xor => Val::Int(int(args[0])? ^ int(args[1])?),
+            Op::Cmp(c) => Val::Int(i64::from(c.eval(args[0], args[1])?)),
+        })
+    }
+}
+
+/// An addressing mode of a selected load/store, parameterized by how
+/// register arguments are named (expressions in CminorSel, pseudo-regs
+/// in RTL, locations in LTL/Linear, machine regs in Mach).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AddrMode<R> {
+    /// A global plus word offset.
+    Global(String, u64),
+    /// A stack slot of the current frame.
+    Stack(u64),
+    /// A register holding a pointer, plus displacement.
+    Based(R, i64),
+}
+
+impl<R> AddrMode<R> {
+    /// Maps the register argument.
+    pub fn map<S>(self, f: impl FnOnce(R) -> S) -> AddrMode<S> {
+        match self {
+            AddrMode::Global(g, o) => AddrMode::Global(g, o),
+            AddrMode::Stack(s) => AddrMode::Stack(s),
+            AddrMode::Based(r, d) => AddrMode::Based(f(r), d),
+        }
+    }
+
+    /// The register argument, if any.
+    pub fn base(&self) -> Option<&R> {
+        match self {
+            AddrMode::Based(r, _) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_arities_respected() {
+        assert_eq!(Op::Const(3).eval(&[]), Some(Val::Int(3)));
+        assert_eq!(Op::Const(3).eval(&[Val::Int(0)]), None);
+        assert_eq!(Op::Add.eval(&[Val::Int(2), Val::Int(3)]), Some(Val::Int(5)));
+        assert_eq!(Op::Add.eval(&[Val::Int(2)]), None);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let p = Val::Ptr(Addr(100));
+        assert_eq!(Op::Add.eval(&[p, Val::Int(4)]), Some(Val::Ptr(Addr(104))));
+        assert_eq!(Op::AddImm(-4).eval(&[p]), Some(Val::Ptr(Addr(96))));
+        assert_eq!(Op::Mul.eval(&[p, Val::Int(2)]), None);
+    }
+
+    #[test]
+    fn division_ub() {
+        assert_eq!(Op::Div.eval(&[Val::Int(7), Val::Int(2)]), Some(Val::Int(3)));
+        assert_eq!(Op::Div.eval(&[Val::Int(1), Val::Int(0)]), None);
+        assert_eq!(Op::Div.eval(&[Val::Int(i64::MIN), Val::Int(-1)]), None);
+    }
+
+    #[test]
+    fn cmp_eval_and_transforms() {
+        assert_eq!(Cmp::Lt.eval(Val::Int(1), Val::Int(2)), Some(true));
+        assert_eq!(Cmp::Lt.swap().eval(Val::Int(2), Val::Int(1)), Some(true));
+        assert_eq!(Cmp::Lt.negate().eval(Val::Int(1), Val::Int(2)), Some(false));
+        assert_eq!(Cmp::Lt.eval(Val::Ptr(Addr(1)), Val::Int(2)), None);
+        assert_eq!(
+            Cmp::Eq.eval(Val::Ptr(Addr(1)), Val::Ptr(Addr(1))),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn undef_propagates_to_none() {
+        assert_eq!(Op::Move.eval(&[Val::Undef]), Some(Val::Undef));
+        assert_eq!(Op::Neg.eval(&[Val::Undef]), None);
+        assert_eq!(Cmp::Eq.eval(Val::Undef, Val::Int(0)), None);
+    }
+}

@@ -1,0 +1,475 @@
+//! Pretty-printers for every IR of the pipeline, plus a whole-pipeline
+//! dump — the usual `-dclight`/`-drtl`/… facility of a production
+//! compiler, handy when inspecting what a pass did.
+
+use crate::cminor;
+use crate::cminorsel;
+use crate::linear;
+use crate::ltl::{self, Loc};
+use crate::mach;
+use crate::ops::{AddrMode, Cmp, Op};
+use crate::rtl;
+use crate::stmt_sem::Stmt;
+use std::fmt::Write;
+
+fn cmp_str(c: Cmp) -> &'static str {
+    match c {
+        Cmp::Eq => "==",
+        Cmp::Ne => "!=",
+        Cmp::Lt => "<",
+        Cmp::Le => "<=",
+        Cmp::Gt => ">",
+        Cmp::Ge => ">=",
+    }
+}
+
+fn op_str(op: &Op, args: &[String]) -> String {
+    match (op, args) {
+        (Op::Const(i), _) => format!("{i}"),
+        (Op::AddrGlobal(g, 0), _) => format!("&{g}"),
+        (Op::AddrGlobal(g, o), _) => format!("&{g}+{o}"),
+        (Op::AddrStack(s), _) => format!("&stack[{s}]"),
+        (Op::Move, [a]) => a.clone(),
+        (Op::Neg, [a]) => format!("-{a}"),
+        (Op::Not, [a]) => format!("!{a}"),
+        (Op::AddImm(i), [a]) => format!("{a} + {i}"),
+        (Op::MulImm(i), [a]) => format!("{a} * {i}"),
+        (Op::CmpImm(c, i), [a]) => format!("{a} {} {i}", cmp_str(*c)),
+        (Op::Add, [a, b]) => format!("{a} + {b}"),
+        (Op::Sub, [a, b]) => format!("{a} - {b}"),
+        (Op::Mul, [a, b]) => format!("{a} * {b}"),
+        (Op::Div, [a, b]) => format!("{a} / {b}"),
+        (Op::And, [a, b]) => format!("{a} & {b}"),
+        (Op::Or, [a, b]) => format!("{a} | {b}"),
+        (Op::Xor, [a, b]) => format!("{a} ^ {b}"),
+        (Op::Cmp(c), [a, b]) => format!("{a} {} {b}", cmp_str(*c)),
+        (op, args) => format!("{op:?}{args:?}"),
+    }
+}
+
+fn addr_mode<R>(am: &AddrMode<R>, show: impl Fn(&R) -> String) -> String {
+    match am {
+        AddrMode::Global(g, 0) => format!("[{g}]"),
+        AddrMode::Global(g, o) => format!("[{g}+{o}]"),
+        AddrMode::Stack(n) => format!("[stack+{n}]"),
+        AddrMode::Based(r, 0) => format!("[{}]", show(r)),
+        AddrMode::Based(r, d) => format!("[{}+{d}]", show(r)),
+    }
+}
+
+/// Renders a Cminor expression.
+pub fn cminor_expr(e: &cminor::Expr) -> String {
+    use cminor::Expr as E;
+    match e {
+        E::Const(i) => format!("{i}"),
+        E::Temp(t) => t.clone(),
+        E::AddrGlobal(g) => format!("&{g}"),
+        E::AddrStack(n) => format!("&stack[{n}]"),
+        E::Load(a) => format!("[{}]", cminor_expr(a)),
+        E::Unop(op, a) => format!("{op:?}({})", cminor_expr(a)),
+        E::Binop(op, a, b) => format!("({} {op:?} {})", cminor_expr(a), cminor_expr(b)),
+    }
+}
+
+/// Renders a CminorSel expression.
+pub fn cminorsel_expr(e: &cminorsel::Expr) -> String {
+    use cminorsel::Expr as E;
+    match e {
+        E::Temp(t) => t.clone(),
+        E::Op(op, args) => {
+            let rendered: Vec<String> = args.iter().map(cminorsel_expr).collect();
+            op_str(op, &rendered)
+        }
+        E::Load(am) => addr_mode(am, |b| cminorsel_expr(b)),
+    }
+}
+
+fn stmt_block<E>(s: &Stmt<E>, show: &impl Fn(&E) -> String, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Skip => {}
+        Stmt::Set(t, e) => {
+            let _ = writeln!(out, "{pad}{t} = {};", show(e));
+        }
+        Stmt::Store(a, v) => {
+            let _ = writeln!(out, "{pad}[{}] = {};", show(a), show(v));
+        }
+        Stmt::Call(dst, f, args) => {
+            let args: Vec<String> = args.iter().map(show).collect();
+            match dst {
+                Some(t) => {
+                    let _ = writeln!(out, "{pad}{t} = {f}({});", args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{f}({});", args.join(", "));
+                }
+            }
+        }
+        Stmt::Print(e) => {
+            let _ = writeln!(out, "{pad}print({});", show(e));
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                stmt_block(s, show, indent, out);
+            }
+        }
+        Stmt::If(c, a, b) => {
+            let _ = writeln!(out, "{pad}if ({}) {{", show(c));
+            stmt_block(a, show, indent + 1, out);
+            let _ = writeln!(out, "{pad}}} else {{");
+            stmt_block(b, show, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While(c, b) => {
+            let _ = writeln!(out, "{pad}while ({}) {{", show(c));
+            stmt_block(b, show, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::Continue => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "{pad}return {};", show(e));
+        }
+    }
+}
+
+/// Renders a Cminor module.
+pub fn cminor_module(m: &cminor::CminorModule) -> String {
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let _ = writeln!(
+            out,
+            "fn {name}({}) /* frame: {} words */ {{",
+            f.params.join(", "),
+            f.stack_slots
+        );
+        stmt_block(&f.body, &cminor_expr, 1, &mut out);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders a CminorSel module.
+pub fn cminorsel_module(m: &cminorsel::CminorSelModule) -> String {
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let _ = writeln!(
+            out,
+            "fn {name}({}) /* frame: {} words */ {{",
+            f.params.join(", "),
+            f.stack_slots
+        );
+        stmt_block(&f.body, &cminorsel_expr, 1, &mut out);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn preg(r: &rtl::PReg) -> String {
+    format!("x{r}")
+}
+
+/// Renders an RTL module, one instruction per line in node order.
+pub fn rtl_module(m: &rtl::RtlModule) -> String {
+    use rtl::Instr as I;
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let params: Vec<String> = f.params.iter().map(preg).collect();
+        let _ = writeln!(
+            out,
+            "fn {name}({}) /* entry: n{}, frame: {} */ {{",
+            params.join(", "),
+            f.entry,
+            f.stack_slots
+        );
+        for (n, i) in &f.code {
+            let s = match i {
+                I::Nop(s) => format!("nop → n{s}"),
+                I::Op(op, args, d, s) => {
+                    let rendered: Vec<String> = args.iter().map(preg).collect();
+                    format!("{} = {} → n{s}", preg(d), op_str(op, &rendered))
+                }
+                I::Load(am, d, s) => {
+                    format!("{} = {} → n{s}", preg(d), addr_mode(am, preg))
+                }
+                I::Store(am, r, s) => {
+                    format!("{} = {} → n{s}", addr_mode(am, preg), preg(r))
+                }
+                I::Call(d, f, args, s) => {
+                    let args: Vec<String> = args.iter().map(preg).collect();
+                    let dst = d.as_ref().map(preg).unwrap_or_default();
+                    format!("{dst} = call {f}({}) → n{s}", args.join(", "))
+                }
+                I::Tailcall(f, args) => {
+                    let args: Vec<String> = args.iter().map(preg).collect();
+                    format!("tailcall {f}({})", args.join(", "))
+                }
+                I::Cond(c, a, b, t, e) => format!(
+                    "if {} {} {} → n{t} else n{e}",
+                    preg(a),
+                    cmp_str(*c),
+                    preg(b)
+                ),
+                I::CondImm(c, r, i, t, e) => {
+                    format!("if {} {} {i} → n{t} else n{e}", preg(r), cmp_str(*c))
+                }
+                I::Print(r, s) => format!("print {} → n{s}", preg(r)),
+                I::Return(None) => "return".into(),
+                I::Return(Some(r)) => format!("return {}", preg(r)),
+            };
+            let _ = writeln!(out, "  n{n}: {s}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn loc(l: &Loc) -> String {
+    match l {
+        Loc::Reg(r) => r.to_string(),
+        Loc::Spill(s) => format!("spill[{s}]"),
+    }
+}
+
+/// Renders an LTL module.
+pub fn ltl_module(m: &ltl::LtlModule) -> String {
+    use ltl::Instr as I;
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let params: Vec<String> = f.params.iter().map(loc).collect();
+        let _ = writeln!(
+            out,
+            "fn {name}({}) /* entry: n{}, frame: {}, spills: {} */ {{",
+            params.join(", "),
+            f.entry,
+            f.stack_slots,
+            f.spill_slots
+        );
+        for (n, i) in &f.code {
+            let s = match i {
+                I::Nop(s) => format!("nop → n{s}"),
+                I::Op(op, args, d, s) => {
+                    let rendered: Vec<String> = args.iter().map(loc).collect();
+                    format!("{} = {} → n{s}", loc(d), op_str(op, &rendered))
+                }
+                I::Load(am, d, s) => format!("{} = {} → n{s}", loc(d), addr_mode(am, loc)),
+                I::Store(am, r, s) => format!("{} = {} → n{s}", addr_mode(am, loc), loc(r)),
+                I::Call(d, f, args, s) => {
+                    let args: Vec<String> = args.iter().map(loc).collect();
+                    let dst = d.as_ref().map(loc).unwrap_or_default();
+                    format!("{dst} = call {f}({}) → n{s}", args.join(", "))
+                }
+                I::Tailcall(f, args) => {
+                    let args: Vec<String> = args.iter().map(loc).collect();
+                    format!("tailcall {f}({})", args.join(", "))
+                }
+                I::Cond(c, a, b, t, e) => {
+                    format!("if {} {} {} → n{t} else n{e}", loc(a), cmp_str(*c), loc(b))
+                }
+                I::CondImm(c, r, i, t, e) => {
+                    format!("if {} {} {i} → n{t} else n{e}", loc(r), cmp_str(*c))
+                }
+                I::Print(r, s) => format!("print {} → n{s}", loc(r)),
+                I::Return(None) => "return".into(),
+                I::Return(Some(r)) => format!("return {}", loc(r)),
+            };
+            let _ = writeln!(out, "  n{n}: {s}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders a Linear module.
+pub fn linear_module(m: &linear::LinearModule) -> String {
+    use linear::Instr as I;
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let params: Vec<String> = f.params.iter().map(loc).collect();
+        let _ = writeln!(
+            out,
+            "fn {name}({}) /* frame: {}, spills: {} */ {{",
+            params.join(", "),
+            f.stack_slots,
+            f.spill_slots
+        );
+        for i in &f.code {
+            let s = match i {
+                I::Label(l) => {
+                    let _ = writeln!(out, "L{l}:");
+                    continue;
+                }
+                I::Op(op, args, d) => {
+                    let rendered: Vec<String> = args.iter().map(loc).collect();
+                    format!("{} = {}", loc(d), op_str(op, &rendered))
+                }
+                I::Load(am, d) => format!("{} = {}", loc(d), addr_mode(am, loc)),
+                I::Store(am, r) => format!("{} = {}", addr_mode(am, loc), loc(r)),
+                I::Call(d, f, args) => {
+                    let args: Vec<String> = args.iter().map(loc).collect();
+                    let dst = d.as_ref().map(loc).unwrap_or_default();
+                    format!("{dst} = call {f}({})", args.join(", "))
+                }
+                I::Tailcall(f, args) => {
+                    let args: Vec<String> = args.iter().map(loc).collect();
+                    format!("tailcall {f}({})", args.join(", "))
+                }
+                I::CondJump(c, a, b, l) => {
+                    format!("if {} {} {} goto L{l}", loc(a), cmp_str(*c), loc(b))
+                }
+                I::CondImmJump(c, r, i, l) => {
+                    format!("if {} {} {i} goto L{l}", loc(r), cmp_str(*c))
+                }
+                I::Goto(l) => format!("goto L{l}"),
+                I::Print(r) => format!("print {}", loc(r)),
+                I::Return(None) => "return".into(),
+                I::Return(Some(r)) => format!("return {}", loc(r)),
+            };
+            let _ = writeln!(out, "  {s}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders a Mach module.
+pub fn mach_module(m: &mach::MachModule) -> String {
+    use mach::Instr as I;
+    let mut out = String::new();
+    for (name, f) in &m.funcs {
+        let _ = writeln!(
+            out,
+            "fn {name} /* frame: {} words, arity: {} */ {{",
+            f.frame_slots, f.arity
+        );
+        for i in &f.code {
+            let reg = |r: &ccc_machine::Reg| r.to_string();
+            let s = match i {
+                I::Label(l) => {
+                    let _ = writeln!(out, "L{l}:");
+                    continue;
+                }
+                I::Op(op, args, d) => {
+                    let rendered: Vec<String> = args.iter().map(reg).collect();
+                    format!("{} = {}", reg(d), op_str(op, &rendered))
+                }
+                I::Load(am, d) => format!("{} = {}", reg(d), addr_mode(am, reg)),
+                I::Store(am, r) => format!("{} = {}", addr_mode(am, reg), reg(r)),
+                I::Call(f, n) => format!("call {f}/{n}"),
+                I::Tailcall(f, n) => format!("tailcall {f}/{n}"),
+                I::CondJump(c, a, b, l) => {
+                    format!("if {} {} {} goto L{l}", reg(a), cmp_str(*c), reg(b))
+                }
+                I::CondImmJump(c, r, i, l) => {
+                    format!("if {} {} {i} goto L{l}", reg(r), cmp_str(*c))
+                }
+                I::Goto(l) => format!("goto L{l}"),
+                I::Print(r) => format!("print {}", reg(r)),
+                I::Return => "return".into(),
+            };
+            let _ = writeln!(out, "  {s}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Dumps every intermediate program of a compilation, labelled by the
+/// pass that produced it — the `-dall` of this compiler.
+pub fn dump_artifacts(arts: &crate::driver::CompilationArtifacts) -> String {
+    let mut out = String::new();
+    let mut section = |title: &str, body: String| {
+        let _ = writeln!(out, "=== {title} ===\n{body}");
+    };
+    section("Cminor (after Cshmgen/Cminorgen)", cminor_module(&arts.cminor));
+    section("CminorSel (after Selection)", cminorsel_module(&arts.cminorsel));
+    section("RTL (after RTLgen)", rtl_module(&arts.rtl));
+    section("RTL (after Tailcall)", rtl_module(&arts.rtl_tailcall));
+    section("RTL (after Renumber)", rtl_module(&arts.rtl_renumber));
+    section("LTL (after Allocation)", ltl_module(&arts.ltl));
+    section("LTL (after Tunneling)", ltl_module(&arts.ltl_tunneled));
+    section("Linear (after Linearize)", linear_module(&arts.linear));
+    section("Linear (after CleanupLabels)", linear_module(&arts.linear_clean));
+    section("Mach (after Stacking)", mach_module(&arts.mach));
+    section("x86 (after Asmgen)", arts.asm.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::compile_with_artifacts;
+    use ccc_clight::gen::{gen_module, GenCfg};
+
+    #[test]
+    fn all_printers_render_nonempty() {
+        let (m, _ge) = gen_module(11, &GenCfg::default());
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        let dump = dump_artifacts(&arts);
+        for title in [
+            "Cminor (after",
+            "CminorSel",
+            "RTL (after RTLgen)",
+            "LTL (after Allocation)",
+            "Linear (after Linearize)",
+            "Mach (after Stacking)",
+            "x86 (after Asmgen)",
+        ] {
+            assert!(dump.contains(title), "missing section {title}");
+        }
+        assert!(dump.len() > 1000, "suspiciously small dump");
+    }
+
+    #[test]
+    fn rtl_printer_shows_structure() {
+        use crate::ops::Op;
+        use crate::rtl::{Function, Instr, RtlModule};
+        use std::collections::BTreeMap;
+        let f = Function {
+            params: vec![0],
+            stack_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::AddImm(1), vec![0], 1, 1)),
+                (1, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let s = rtl_module(&m);
+        assert!(s.contains("x1 = x0 + 1 → n1"), "{s}");
+        assert!(s.contains("return x1"), "{s}");
+    }
+
+    #[test]
+    fn linear_printer_shows_labels_and_spills() {
+        use crate::linear::{Function, Instr, LinearModule};
+        use crate::ltl::Loc;
+        use crate::ops::Op;
+        let f = Function {
+            params: vec![Loc::Spill(0)],
+            stack_slots: 0,
+            spill_slots: 1,
+            code: vec![
+                Instr::Label(3),
+                Instr::Op(Op::Const(1), vec![], Loc::Reg(ccc_machine::Reg::Ecx)),
+                Instr::Goto(3),
+            ],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let s = linear_module(&m);
+        assert!(s.contains("L3:"), "{s}");
+        assert!(s.contains("spill[0]"), "{s}");
+        assert!(s.contains("goto L3"), "{s}");
+    }
+}

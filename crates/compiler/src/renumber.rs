@@ -1,0 +1,117 @@
+//! The `Renumber` pass: RTL → RTL (Fig. 11).
+//!
+//! Renumbers CFG nodes into a compact range in depth-first order from
+//! the entry, dropping unreachable instructions along the way.
+
+use crate::rtl::{Function, Node, RtlModule};
+use std::collections::BTreeMap;
+
+fn transform_function(f: &Function) -> Function {
+    // Depth-first numbering from the entry.
+    let mut order: BTreeMap<Node, Node> = BTreeMap::new();
+    let mut stack = vec![f.entry];
+    let mut next: Node = 0;
+    while let Some(n) = stack.pop() {
+        if order.contains_key(&n) {
+            continue;
+        }
+        let Some(instr) = f.code.get(&n) else {
+            continue; // dangling edge; keep the graph as-is for it
+        };
+        order.insert(n, next);
+        next += 1;
+        for s in instr.succs().into_iter().rev() {
+            if !order.contains_key(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    let renum = |n: Node| order.get(&n).copied().unwrap_or(n);
+    let mut code = BTreeMap::new();
+    for (n, instr) in &f.code {
+        let Some(&new_n) = order.get(n) else {
+            continue; // unreachable instruction dropped
+        };
+        let mut i = instr.clone();
+        i.map_succs(renum);
+        code.insert(new_n, i);
+    }
+    Function {
+        params: f.params.clone(),
+        stack_slots: f.stack_slots,
+        entry: renum(f.entry),
+        code,
+    }
+}
+
+/// Runs the renumbering over a module.
+pub fn renumber(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Cmp, Op};
+    use crate::rtl::Instr;
+    use crate::rtl::RtlLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn nodes_become_compact_and_entry_is_zero() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 100,
+            code: BTreeMap::from([
+                (100, Instr::Op(Op::Const(1), vec![], 0, 250)),
+                (250, Instr::Return(Some(0))),
+                (999, Instr::Nop(999)), // unreachable
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let r = renumber(&m);
+        let rf = &r.funcs["f"];
+        assert_eq!(rf.entry, 0);
+        assert_eq!(rf.code.keys().copied().collect::<Vec<_>>(), vec![0, 1]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &r, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(1));
+    }
+
+    #[test]
+    fn behaviour_preserved_on_branching_code() {
+        let f = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 7,
+            code: BTreeMap::from([
+                (7, Instr::CondImm(Cmp::Lt, 0, 10, 20, 30)),
+                (20, Instr::Op(Op::Const(1), vec![], 1, 40)),
+                (30, Instr::Op(Op::Const(2), vec![], 1, 40)),
+                (40, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let r = renumber(&m);
+        let ge = GlobalEnv::new();
+        for arg in [5, 15] {
+            let (v1, _, _) =
+                run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
+            let (v2, _, _) =
+                run_main(&RtlLang, &r, &ge, "f", &[Val::Int(arg)], 100).expect("renum");
+            assert_eq!(v1, v2);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! RTL: a control-flow graph of three-address instructions over
+//! infinitely many pseudo-registers — the IR where CompCert (and this
+//! pipeline) performs its optimizations.
+//!
+//! Unlike the statement IRs, every transition executes exactly one CFG
+//! instruction, so footprints are per-instruction; calls, returns and
+//! prints read only registers and hence carry empty footprints without
+//! any staging.
+
+use crate::ops::{AddrMode, Cmp, Op};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use std::collections::BTreeMap;
+
+/// A CFG node id.
+pub type Node = u32;
+/// A pseudo-register.
+pub type PReg = u32;
+
+/// One RTL instruction; each carries its successor node(s).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// No-op, jump to successor.
+    Nop(Node),
+    /// `dst := op(args…)`.
+    Op(Op, Vec<PReg>, PReg, Node),
+    /// `dst := [mode]`.
+    Load(AddrMode<PReg>, PReg, Node),
+    /// `[mode] := src`.
+    Store(AddrMode<PReg>, PReg, Node),
+    /// `dst := f(args…)`.
+    Call(Option<PReg>, String, Vec<PReg>, Node),
+    /// Tail call: `return f(args…)` without growing this activation.
+    Tailcall(String, Vec<PReg>),
+    /// Two-way branch on `r1 ? r2`.
+    Cond(Cmp, PReg, PReg, Node, Node),
+    /// Two-way branch on `r ? imm`.
+    CondImm(Cmp, PReg, i64, Node, Node),
+    /// Output `r`, continue.
+    Print(PReg, Node),
+    /// Return (`None` returns 0).
+    Return(Option<PReg>),
+}
+
+impl Instr {
+    /// The successor nodes of this instruction.
+    pub fn succs(&self) -> Vec<Node> {
+        match self {
+            Instr::Nop(n)
+            | Instr::Op(.., n)
+            | Instr::Load(.., n)
+            | Instr::Store(.., n)
+            | Instr::Call(.., n)
+            | Instr::Print(_, n) => vec![*n],
+            Instr::Cond(.., a, b) | Instr::CondImm(.., a, b) => vec![*a, *b],
+            Instr::Tailcall(..) | Instr::Return(_) => vec![],
+        }
+    }
+
+    /// Rewrites every successor through `f`.
+    pub fn map_succs(&mut self, f: impl Fn(Node) -> Node) {
+        match self {
+            Instr::Nop(n)
+            | Instr::Op(.., n)
+            | Instr::Load(.., n)
+            | Instr::Store(.., n)
+            | Instr::Call(.., n)
+            | Instr::Print(_, n) => *n = f(*n),
+            Instr::Cond(.., a, b) | Instr::CondImm(.., a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Instr::Tailcall(..) | Instr::Return(_) => {}
+        }
+    }
+
+    /// The registers this instruction reads.
+    pub fn uses(&self) -> Vec<PReg> {
+        let mut out = Vec::new();
+        match self {
+            Instr::Nop(_) | Instr::Return(None) => {}
+            Instr::Op(_, args, ..) => out.extend(args),
+            Instr::Load(am, ..) => out.extend(am.base().copied()),
+            Instr::Store(am, src, _) => {
+                out.extend(am.base().copied());
+                out.push(*src);
+            }
+            Instr::Call(_, _, args, _) | Instr::Tailcall(_, args) => out.extend(args),
+            Instr::Cond(_, a, b, ..) => out.extend([*a, *b]),
+            Instr::CondImm(_, r, ..) => out.push(*r),
+            Instr::Print(r, _) => out.push(*r),
+            Instr::Return(Some(r)) => out.push(*r),
+        }
+        out
+    }
+
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<PReg> {
+        match self {
+            Instr::Op(.., dst, _) => Some(*dst),
+            Instr::Load(_, dst, _) => Some(*dst),
+            Instr::Call(dst, ..) => *dst,
+            _ => None,
+        }
+    }
+}
+
+/// An RTL function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Parameter registers.
+    pub params: Vec<PReg>,
+    /// Frame size in words.
+    pub stack_slots: u64,
+    /// The entry node.
+    pub entry: Node,
+    /// The graph.
+    pub code: BTreeMap<Node, Instr>,
+}
+
+/// An RTL module.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RtlModule {
+    /// Functions by name.
+    pub funcs: BTreeMap<String, Function>,
+}
+
+/// The RTL core state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RtlCore {
+    fun: String,
+    pc: Node,
+    regs: BTreeMap<PReg, Val>,
+    frame: Option<Addr>,
+    stack_slots: u64,
+    /// `Some(dst)` while waiting for an external call's result.
+    awaiting: Option<Option<PReg>>,
+}
+
+impl RtlCore {
+    fn reg(&self, r: PReg) -> Val {
+        self.regs.get(&r).copied().unwrap_or(Val::Undef)
+    }
+}
+
+/// The RTL language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RtlLang;
+
+fn resolve_addr(
+    am: &AddrMode<PReg>,
+    core: &RtlCore,
+    ge: &GlobalEnv,
+) -> Option<Addr> {
+    match am {
+        AddrMode::Global(g, o) => Some(ge.lookup(g)?.offset(*o)),
+        AddrMode::Stack(n) => {
+            if *n >= core.stack_slots {
+                return None;
+            }
+            Some(core.frame?.offset(*n))
+        }
+        AddrMode::Based(r, d) => match core.reg(*r) {
+            Val::Ptr(a) => Some(Addr(a.0.wrapping_add(*d as u64))),
+            _ => None,
+        },
+    }
+}
+
+impl Lang for RtlLang {
+    type Module = RtlModule;
+    type Core = RtlCore;
+
+    fn name(&self) -> &'static str {
+        "RTL"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let f = module.funcs.get(entry)?;
+        if args.len() > f.params.len() {
+            return None;
+        }
+        let mut regs = BTreeMap::new();
+        for (&p, &v) in f.params.iter().zip(args) {
+            regs.insert(p, v);
+        }
+        Some(RtlCore {
+            fun: entry.to_string(),
+            pc: f.entry,
+            regs,
+            frame: (f.stack_slots == 0).then_some(Addr(0)),
+            stack_slots: f.stack_slots,
+            awaiting: None,
+        })
+    }
+
+    fn step(
+        &self,
+        module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let tau = |core: RtlCore, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let Some(f) = module.funcs.get(&core.fun) else {
+            return abort();
+        };
+        let mut next = core.clone();
+        if next.awaiting.is_some() {
+            return abort(); // a call result arrived without resume
+        }
+        if next.pc == TAILCALL_RET_NODE {
+            // A completed tail call: forward the callee's value.
+            return vec![LocalStep::Ret {
+                val: core.reg(TAILCALL_RET_REG),
+            }];
+        }
+
+        // Pending frame allocation is the first step.
+        if next.frame.is_none() {
+            let base = crate::stmt_sem::first_free_block(flist, mem, next.stack_slots);
+            let mut m = mem.clone();
+            let mut fp = Footprint::emp();
+            for k in 0..next.stack_slots {
+                m.alloc(base.offset(k), Val::Undef);
+                fp.extend(&Footprint::write(base.offset(k)));
+            }
+            next.frame = Some(base);
+            return tau(next, m, fp);
+        }
+
+        let Some(instr) = f.code.get(&core.pc) else {
+            return abort();
+        };
+        match instr {
+            Instr::Nop(n) => {
+                next.pc = *n;
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Op(op, args, dst, n) => {
+                let v = match op {
+                    Op::AddrGlobal(g, o) => match ge.lookup(g) {
+                        Some(a) => Val::Ptr(a.offset(*o)),
+                        None => return abort(),
+                    },
+                    Op::AddrStack(s) => {
+                        if *s >= next.stack_slots {
+                            return abort();
+                        }
+                        Val::Ptr(next.frame.expect("allocated").offset(*s))
+                    }
+                    other => {
+                        let vals: Vec<Val> = args.iter().map(|&r| core.reg(r)).collect();
+                        match other.eval(&vals) {
+                            Some(v) => v,
+                            None => return abort(),
+                        }
+                    }
+                };
+                next.regs.insert(*dst, v);
+                next.pc = *n;
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Load(am, dst, n) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let Some(v) = mem.load(a) else {
+                    return abort();
+                };
+                next.regs.insert(*dst, v);
+                next.pc = *n;
+                tau(next, mem.clone(), Footprint::read(a))
+            }
+            Instr::Store(am, src, n) => {
+                let Some(a) = resolve_addr(am, core, ge) else {
+                    return abort();
+                };
+                let mut m = mem.clone();
+                if !m.store(a, core.reg(*src)) {
+                    return abort();
+                }
+                next.pc = *n;
+                tau(next, m, Footprint::write(a))
+            }
+            Instr::Call(dst, callee, args, n) => {
+                next.pc = *n;
+                next.awaiting = Some(*dst);
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|&r| core.reg(r)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::Tailcall(callee, args) => {
+                // A tail call transfers control without a continuation:
+                // the callee's return value becomes ours. Modelled as a
+                // call whose continuation immediately returns.
+                next.awaiting = Some(None);
+                next.pc = TAILCALL_RET_NODE;
+                vec![LocalStep::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|&r| core.reg(r)).collect(),
+                    cont: next,
+                }]
+            }
+            Instr::Cond(c, r1, r2, a, b) => {
+                let Some(t) = c.eval(core.reg(*r1), core.reg(*r2)) else {
+                    return abort();
+                };
+                next.pc = if t { *a } else { *b };
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::CondImm(c, r, i, a, b) => {
+                let Some(t) = c.eval(core.reg(*r), Val::Int(*i)) else {
+                    return abort();
+                };
+                next.pc = if t { *a } else { *b };
+                tau(next, mem.clone(), Footprint::emp())
+            }
+            Instr::Print(r, n) => match core.reg(*r) {
+                Val::Int(i) => {
+                    next.pc = *n;
+                    vec![LocalStep::Step {
+                        msg: StepMsg::Event(Event::Print(i)),
+                        fp: Footprint::emp(),
+                        core: next,
+                        mem: mem.clone(),
+                    }]
+                }
+                _ => abort(),
+            },
+            Instr::Return(r) => vec![LocalStep::Ret {
+                val: r.map_or(Val::Int(0), |r| core.reg(r)),
+            }],
+        }
+    }
+
+    fn resume(&self, module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        let dst = next.awaiting.take()?;
+        if next.pc == TAILCALL_RET_NODE {
+            // Tail call: forward the value out of this activation. The
+            // caller of `resume` will step us next; make that step a
+            // return of `ret`.
+            next.regs.insert(TAILCALL_RET_REG, ret);
+            return Some(next);
+        }
+        if let Some(r) = dst {
+            next.regs.insert(r, ret);
+        }
+        let _ = module;
+        Some(next)
+    }
+}
+
+/// The reserved node a tail call "returns through" (see
+/// [`Instr::Tailcall`]); functions must not use it. The interpreter
+/// fabricates a `Return` of [`TAILCALL_RET_REG`] there.
+pub const TAILCALL_RET_NODE: Node = u32::MAX;
+/// The reserved register holding a tail call's forwarded result.
+pub const TAILCALL_RET_REG: PReg = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::world::run_main;
+
+    fn module_of(f: Function) -> RtlModule {
+        RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        }
+    }
+
+    #[test]
+    fn straightline_ops() {
+        // r1 := 6; r2 := r1 * 7; return r2
+        let code = BTreeMap::from([
+            (0, Instr::Op(Op::Const(6), vec![], 1, 1)),
+            (1, Instr::Op(Op::MulImm(7), vec![1], 2, 2)),
+            (2, Instr::Return(Some(2))),
+        ]);
+        let m = module_of(Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code,
+        });
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn loop_via_cond() {
+        // sum 1..=n (param r0): r1 := 0; while (r0 != 0) { r1 += r0; r0 -= 1 }
+        let code = BTreeMap::from([
+            (0, Instr::Op(Op::Const(0), vec![], 1, 1)),
+            (1, Instr::CondImm(Cmp::Ne, 0, 0, 2, 4)),
+            (2, Instr::Op(Op::Add, vec![1, 0], 1, 3)),
+            (3, Instr::Op(Op::AddImm(-1), vec![0], 0, 1)),
+            (4, Instr::Return(Some(1))),
+        ]);
+        let m = module_of(Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code,
+        });
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(5)], 1000).expect("runs");
+        assert_eq!(v, Val::Int(15));
+    }
+
+    #[test]
+    fn loads_and_stores_report_footprints() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(3));
+        let code = BTreeMap::from([
+            (0, Instr::Load(AddrMode::Global("x".into(), 0), 1, 1)),
+            (1, Instr::Op(Op::AddImm(1), vec![1], 2, 2)),
+            (2, Instr::Store(AddrMode::Global("x".into(), 0), 2, 3)),
+            (3, Instr::Return(Some(2))),
+        ]);
+        let m = module_of(Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code,
+        });
+        let lang = RtlLang;
+        let fl = FreeList::for_thread(0);
+        let mut core = lang.init_core(&m, &ge, "f", &[]).expect("init");
+        let mut mem = ge.initial_memory();
+        let x = ge.lookup("x").unwrap();
+        let mut saw_read = false;
+        let mut saw_write = false;
+        loop {
+            match lang.step(&m, &ge, &fl, &core, &mem).into_iter().next().expect("steps") {
+                LocalStep::Step { fp, core: c, mem: m2, .. } => {
+                    saw_read |= fp.rs.contains(&x);
+                    saw_write |= fp.ws.contains(&x);
+                    core = c;
+                    mem = m2;
+                }
+                LocalStep::Ret { val } => {
+                    assert_eq!(val, Val::Int(4));
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_read && saw_write);
+    }
+
+    #[test]
+    fn rtl_is_well_defined_and_deterministic() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(1));
+        let code = BTreeMap::from([
+            (0, Instr::Op(Op::AddrStack(0), vec![], 1, 1)),
+            (1, Instr::Load(AddrMode::Global("x".into(), 0), 2, 2)),
+            (2, Instr::Store(AddrMode::Based(1, 0), 2, 3)),
+            (3, Instr::Load(AddrMode::Stack(0), 3, 4)),
+            (4, Instr::Print(3, 5)),
+            (5, Instr::Return(Some(3))),
+        ]);
+        let m = module_of(Function {
+            params: vec![],
+            stack_slots: 1,
+            entry: 0,
+            code,
+        });
+        let cfg = ccc_core::refine::ExploreCfg::default();
+        ccc_core::wd::check_wd(&RtlLang, &m, &ge, "f", &ge.initial_memory(), &cfg)
+            .expect("wd(RTL)");
+        ccc_core::wd::check_det(&RtlLang, &m, &ge, "f", &ge.initial_memory(), &cfg)
+            .expect("det(RTL)");
+    }
+}

@@ -1,0 +1,271 @@
+//! The `RTLgen` pass: CminorSel → RTL.
+//!
+//! Structured statements become a control-flow graph; expression trees
+//! are flattened into sequences of three-address instructions over fresh
+//! pseudo-registers, preserving CminorSel's left-to-right evaluation
+//! order (and hence the order of loads, aborts and footprints).
+
+use crate::cminorsel::{CminorSelModule, Expr as SelExpr};
+use crate::ops::{AddrMode, Cmp, Op};
+use crate::rtl::{Function as RtlFunction, Instr, Node, PReg, RtlModule};
+use crate::stmt_sem::Stmt;
+use std::collections::BTreeMap;
+
+struct Builder {
+    code: BTreeMap<Node, Instr>,
+    next_node: Node,
+    next_reg: PReg,
+    temps: BTreeMap<String, PReg>,
+}
+
+impl Builder {
+    fn add(&mut self, i: Instr) -> Node {
+        let n = self.next_node;
+        self.next_node += 1;
+        self.code.insert(n, i);
+        n
+    }
+
+    /// Reserves a node id to be filled in later (loop headers).
+    fn reserve(&mut self) -> Node {
+        let n = self.next_node;
+        self.next_node += 1;
+        n
+    }
+
+    fn fresh(&mut self) -> PReg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn temp(&mut self, t: &str) -> PReg {
+        if let Some(&r) = self.temps.get(t) {
+            return r;
+        }
+        let r = self.fresh();
+        self.temps.insert(t.to_string(), r);
+        r
+    }
+
+    /// Emits code computing `e` into `dst`, continuing at `succ`;
+    /// returns the entry node.
+    fn expr(&mut self, e: &SelExpr, dst: PReg, succ: Node) -> Node {
+        match e {
+            SelExpr::Temp(t) => {
+                let src = self.temp(t);
+                self.add(Instr::Op(Op::Move, vec![src], dst, succ))
+            }
+            SelExpr::Op(op, args) => {
+                let regs: Vec<PReg> = args.iter().map(|_| self.fresh()).collect();
+                let mut entry = self.add(Instr::Op(op.clone(), regs.clone(), dst, succ));
+                for (a, &r) in args.iter().zip(&regs).rev() {
+                    entry = self.expr(a, r, entry);
+                }
+                entry
+            }
+            SelExpr::Load(am) => match am {
+                AddrMode::Global(g, o) => {
+                    self.add(Instr::Load(AddrMode::Global(g.clone(), *o), dst, succ))
+                }
+                AddrMode::Stack(n) => self.add(Instr::Load(AddrMode::Stack(*n), dst, succ)),
+                AddrMode::Based(e, d) => {
+                    let r = self.fresh();
+                    let ld = self.add(Instr::Load(AddrMode::Based(r, *d), dst, succ));
+                    self.expr(e, r, ld)
+                }
+            },
+        }
+    }
+
+    /// Emits a statement, continuing at `succ`; `loops` is the stack of
+    /// `(continue, break)` targets.
+    fn stmt(&mut self, s: &Stmt<SelExpr>, succ: Node, loops: &mut Vec<(Node, Node)>) -> Node {
+        match s {
+            Stmt::Skip => succ,
+            Stmt::Set(t, e) => {
+                let dst = self.temp(t);
+                self.expr(e, dst, succ)
+            }
+            Stmt::Store(ea, ev) => {
+                // Recover the addressing mode from the address expression
+                // (the Selection pass emits AddrGlobal/AddrStack/AddImm
+                // shapes for it).
+                let v = self.fresh();
+                match ea {
+                    SelExpr::Op(Op::AddrGlobal(g, o), args) if args.is_empty() => {
+                        let st =
+                            self.add(Instr::Store(AddrMode::Global(g.clone(), *o), v, succ));
+                        self.expr(ev, v, st)
+                    }
+                    SelExpr::Op(Op::AddrStack(n), args) if args.is_empty() => {
+                        let st = self.add(Instr::Store(AddrMode::Stack(*n), v, succ));
+                        self.expr(ev, v, st)
+                    }
+                    SelExpr::Op(Op::AddImm(d), args) if args.len() == 1 => {
+                        let a = self.fresh();
+                        let st = self.add(Instr::Store(AddrMode::Based(a, *d), v, succ));
+                        let ve = self.expr(ev, v, st);
+                        self.expr(&args[0], a, ve)
+                    }
+                    other => {
+                        let a = self.fresh();
+                        let st = self.add(Instr::Store(AddrMode::Based(a, 0), v, succ));
+                        let ve = self.expr(ev, v, st);
+                        self.expr(other, a, ve)
+                    }
+                }
+            }
+            Stmt::Call(dst, f, args) => {
+                let dreg = dst.as_ref().map(|t| self.temp(t));
+                let regs: Vec<PReg> = args.iter().map(|_| self.fresh()).collect();
+                let mut entry = self.add(Instr::Call(dreg, f.clone(), regs.clone(), succ));
+                for (a, &r) in args.iter().zip(&regs).rev() {
+                    entry = self.expr(a, r, entry);
+                }
+                entry
+            }
+            Stmt::Print(e) => {
+                let r = self.fresh();
+                let p = self.add(Instr::Print(r, succ));
+                self.expr(e, r, p)
+            }
+            Stmt::Seq(ss) => {
+                let mut entry = succ;
+                for s in ss.iter().rev() {
+                    entry = self.stmt(s, entry, loops);
+                }
+                entry
+            }
+            Stmt::If(c, a, b) => {
+                let then_e = self.stmt(a, succ, loops);
+                let else_e = self.stmt(b, succ, loops);
+                let r = self.fresh();
+                let cond = self.add(Instr::CondImm(Cmp::Ne, r, 0, then_e, else_e));
+                self.expr(c, r, cond)
+            }
+            Stmt::While(c, b) => {
+                let head = self.reserve();
+                loops.push((head, succ));
+                let body_entry = self.stmt(b, head, loops);
+                loops.pop();
+                let r = self.fresh();
+                let cond = self.add(Instr::CondImm(Cmp::Ne, r, 0, body_entry, succ));
+                let cond_entry = self.expr(c, r, cond);
+                self.code.insert(head, Instr::Nop(cond_entry));
+                head
+            }
+            Stmt::Break => loops.last().map_or(succ, |&(_, brk)| brk),
+            Stmt::Continue => loops.last().map_or(succ, |&(cont, _)| cont),
+            Stmt::Return(None) => self.add(Instr::Return(None)),
+            Stmt::Return(Some(e)) => {
+                let r = self.fresh();
+                let ret = self.add(Instr::Return(Some(r)));
+                self.expr(e, r, ret)
+            }
+        }
+    }
+}
+
+/// Translates one function.
+pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction {
+    let mut b = Builder {
+        code: BTreeMap::new(),
+        next_node: 0,
+        next_reg: 0,
+        temps: BTreeMap::new(),
+    };
+    let params: Vec<PReg> = f.params.iter().map(|p| b.temp(p)).collect();
+    let ret0 = b.add(Instr::Return(None));
+    let mut loops = Vec::new();
+    let entry = b.stmt(&f.body, ret0, &mut loops);
+    RtlFunction {
+        params,
+        stack_slots: f.stack_slots,
+        entry,
+        code: b.code,
+    }
+}
+
+/// Runs RTL generation over a whole module.
+pub fn rtlgen(m: &CminorSelModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), translate_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cminorgen::cminorgen;
+    use crate::cminorsel::CMINORSEL;
+    use crate::rtl::RtlLang;
+    use crate::selection::selection;
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_clight::ClightLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn break_and_continue_translate() {
+        use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
+        let body = Stmt::seq([
+            Stmt::Set("s".into(), E::Const(0)),
+            Stmt::Set("i".into(), E::Const(0)),
+            Stmt::while_loop(
+                E::Const(1),
+                Stmt::seq([
+                    Stmt::Set("i".into(), E::add(E::temp("i"), E::Const(1))),
+                    Stmt::if_else(E::eq(E::temp("i"), E::Const(3)), Stmt::Continue, Stmt::Skip),
+                    Stmt::if_else(
+                        E::bin(Binop::Lt, E::Const(5), E::temp("i")),
+                        Stmt::Break,
+                        Stmt::Skip,
+                    ),
+                    Stmt::Set("s".into(), E::add(E::temp("s"), E::temp("i"))),
+                ]),
+            ),
+            Stmt::Return(Some(E::temp("s"))),
+        ]);
+        let m = ccc_clight::ClightModule::new([("f", Function::simple(body))]);
+        let rtl = rtlgen(&selection(&cminorgen(&m).expect("cminorgen")));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &rtl, &ge, "f", &[], 10_000).expect("runs");
+        assert_eq!(v, Val::Int(12));
+    }
+
+    #[test]
+    fn random_programs_agree_through_rtlgen() {
+        for seed in 0..40 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let sel = selection(&cminorgen(&m).expect("cminorgen"));
+            let rtl = rtlgen(&sel);
+            let s = run_main(&ClightLang, &m, &ge, "f", &[], 500_000).expect("clight runs");
+            let c = run_main(&CMINORSEL, &sel, &ge, "f", &[], 500_000).expect("cminorsel runs");
+            let t = run_main(&RtlLang, &rtl, &ge, "f", &[], 500_000).expect("rtl runs");
+            assert_eq!(s.0, t.0, "seed {seed}: return values");
+            assert_eq!(c.2, t.2, "seed {seed}: events");
+            for (a, _) in ge.initial_memory().iter() {
+                assert_eq!(c.1.load(a), t.1.load(a), "seed {seed}: global {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn rtlgen_output_is_wd_and_det() {
+        let (m, ge) = gen_module(3, &GenCfg::default());
+        let rtl = rtlgen(&selection(&cminorgen(&m).expect("cminorgen")));
+        let cfg = ccc_core::refine::ExploreCfg {
+            fuel: 3000,
+            ..Default::default()
+        };
+        ccc_core::wd::check_wd(&RtlLang, &rtl, &ge, "f", &ge.initial_memory(), &cfg)
+            .expect("wd(RTL output)");
+        ccc_core::wd::check_det(&RtlLang, &rtl, &ge, "f", &ge.initial_memory(), &cfg)
+            .expect("det(RTL output)");
+    }
+}

@@ -1,0 +1,316 @@
+//! The `Selection` pass: Cminor → CminorSel (Fig. 11/12 of the paper).
+//!
+//! Instruction selection rewrites Clight-level operators into machine
+//! operators, folds constants (including immediate forms `AddImm`,
+//! `MulImm`, `CmpImm`), and sinks address arithmetic into addressing
+//! modes. This is the pass the paper uses to illustrate footprint
+//! adaptation (`sel_expr_correct`, Fig. 12): the selected expression
+//! must evaluate to the same value with the *same or smaller* footprint
+//! — smaller, for instance, when `e * 0` folds to `0` and `e`'s loads
+//! disappear.
+
+use crate::cminor;
+use crate::cminorsel::{self, Expr as SelExpr};
+use crate::ops::{AddrMode, Cmp, Op};
+use crate::stmt_sem::{Function, Stmt, StmtModule};
+use ccc_clight::ast::{Binop, Unop};
+
+/// Selects an address expression into an addressing mode.
+fn select_addr(e: &cminor::Expr) -> AddrMode<Box<SelExpr>> {
+    use cminor::Expr as E;
+    match e {
+        E::AddrGlobal(g) => AddrMode::Global(g.clone(), 0),
+        E::AddrStack(n) => AddrMode::Stack(*n),
+        // (&g + c) and (e + c) fold the constant into the mode.
+        E::Binop(Binop::Add, a, b) => match (a.as_ref(), b.as_ref()) {
+            (E::AddrGlobal(g), E::Const(c)) | (E::Const(c), E::AddrGlobal(g)) if *c >= 0 => {
+                AddrMode::Global(g.clone(), *c as u64)
+            }
+            (inner, E::Const(c)) | (E::Const(c), inner) => {
+                AddrMode::Based(Box::new(select_expr(inner)), *c)
+            }
+            _ => AddrMode::Based(Box::new(select_expr(e)), 0),
+        },
+        other => AddrMode::Based(Box::new(select_expr(other)), 0),
+    }
+}
+
+/// The constant value of a selected expression, if it is one.
+fn as_const(e: &SelExpr) -> Option<i64> {
+    match e {
+        SelExpr::Op(Op::Const(i), _) => Some(*i),
+        _ => None,
+    }
+}
+
+fn cmp_of(op: Binop) -> Option<Cmp> {
+    Some(match op {
+        Binop::Eq => Cmp::Eq,
+        Binop::Ne => Cmp::Ne,
+        Binop::Lt => Cmp::Lt,
+        Binop::Le => Cmp::Le,
+        Binop::Gt => Cmp::Gt,
+        Binop::Ge => Cmp::Ge,
+        _ => return None,
+    })
+}
+
+/// Selects one expression (`sel_expr` of Fig. 12).
+pub fn select_expr(e: &cminor::Expr) -> SelExpr {
+    use cminor::Expr as E;
+    match e {
+        E::Const(i) => SelExpr::imm(*i),
+        E::Temp(t) => SelExpr::Temp(t.clone()),
+        E::AddrGlobal(g) => SelExpr::Op(Op::AddrGlobal(g.clone(), 0), vec![]),
+        E::AddrStack(n) => SelExpr::Op(Op::AddrStack(*n), vec![]),
+        E::Load(a) => SelExpr::Load(select_addr(a)),
+        E::Unop(op, a) => {
+            let sa = select_expr(a);
+            match (op, as_const(&sa)) {
+                (Unop::Neg, Some(c)) => SelExpr::imm(c.wrapping_neg()),
+                (Unop::Not, Some(c)) => SelExpr::imm(i64::from(c == 0)),
+                (Unop::Neg, None) => SelExpr::Op(Op::Neg, vec![sa]),
+                (Unop::Not, None) => SelExpr::Op(Op::Not, vec![sa]),
+            }
+        }
+        E::Binop(op, a, b) => select_binop(*op, select_expr(a), select_expr(b)),
+    }
+}
+
+fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
+    let (ca, cb) = (as_const(&sa), as_const(&sb));
+    // Full constant folding.
+    if let (Some(x), Some(y)) = (ca, cb) {
+        if let Some(v) =
+            ccc_clight::sem::eval_binop(op, ccc_core::mem::Val::Int(x), ccc_core::mem::Val::Int(y))
+        {
+            if let Some(i) = v.as_int() {
+                return SelExpr::imm(i);
+            }
+        }
+    }
+    match (op, ca, cb) {
+        // Immediate forms. `x + c`, `c + x`, `x - c` → AddImm.
+        (Binop::Add, Some(c), None) => SelExpr::Op(Op::AddImm(c), vec![sb]),
+        (Binop::Add, None, Some(c)) => SelExpr::Op(Op::AddImm(c), vec![sa]),
+        (Binop::Sub, None, Some(c)) if c != i64::MIN => {
+            SelExpr::Op(Op::AddImm(-c), vec![sa])
+        }
+        // `x * 0` → 0: the classic footprint-shrinking strength
+        // reduction (safe for Safe sources; see module docs).
+        (Binop::Mul, None, Some(0)) | (Binop::Mul, Some(0), None) => SelExpr::imm(0),
+        (Binop::Mul, Some(c), None) => SelExpr::Op(Op::MulImm(c), vec![sb]),
+        (Binop::Mul, None, Some(c)) => SelExpr::Op(Op::MulImm(c), vec![sa]),
+        // Comparisons against an immediate.
+        (op, None, Some(c)) if cmp_of(op).is_some() => {
+            SelExpr::Op(Op::CmpImm(cmp_of(op).expect("checked"), c), vec![sa])
+        }
+        (op, Some(c), None) if cmp_of(op).is_some() => SelExpr::Op(
+            Op::CmpImm(cmp_of(op).expect("checked").swap(), c),
+            vec![sb],
+        ),
+        // General register-register forms.
+        (Binop::Add, ..) => SelExpr::Op(Op::Add, vec![sa, sb]),
+        (Binop::Sub, ..) => SelExpr::Op(Op::Sub, vec![sa, sb]),
+        (Binop::Mul, ..) => SelExpr::Op(Op::Mul, vec![sa, sb]),
+        (Binop::Div, ..) => SelExpr::Op(Op::Div, vec![sa, sb]),
+        (Binop::And, ..) => SelExpr::Op(Op::And, vec![sa, sb]),
+        (Binop::Or, ..) => SelExpr::Op(Op::Or, vec![sa, sb]),
+        (Binop::Xor, ..) => SelExpr::Op(Op::Xor, vec![sa, sb]),
+        (op, ..) => SelExpr::Op(Op::Cmp(cmp_of(op).expect("remaining ops compare")), vec![sa, sb]),
+    }
+}
+
+fn select_stmt(s: &cminor::Stmt) -> cminorsel::Stmt {
+    match s {
+        Stmt::Skip => Stmt::Skip,
+        Stmt::Set(t, e) => Stmt::Set(t.clone(), select_expr(e)),
+        Stmt::Store(a, v) => {
+            // Stores go through a selected addressing mode, expressed as
+            // a Based/Global/Stack load-address on the lvalue side. The
+            // statement layer keeps `Store(addr_expr, val)`, so fold the
+            // mode back into an address expression.
+            let am = select_addr(a);
+            let addr_expr = match am {
+                AddrMode::Global(g, o) => SelExpr::Op(Op::AddrGlobal(g, o), vec![]),
+                AddrMode::Stack(n) => SelExpr::Op(Op::AddrStack(n), vec![]),
+                AddrMode::Based(e, 0) => *e,
+                AddrMode::Based(e, d) => SelExpr::Op(Op::AddImm(d), vec![*e]),
+            };
+            Stmt::Store(addr_expr, select_expr(v))
+        }
+        Stmt::Call(dst, f, args) => {
+            Stmt::Call(dst.clone(), f.clone(), args.iter().map(select_expr).collect())
+        }
+        Stmt::Print(e) => Stmt::Print(select_expr(e)),
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(select_stmt).collect()),
+        Stmt::If(c, a, b) => Stmt::If(
+            select_expr(c),
+            Box::new(select_stmt(a)),
+            Box::new(select_stmt(b)),
+        ),
+        Stmt::While(c, b) => Stmt::While(select_expr(c), Box::new(select_stmt(b))),
+        Stmt::Break => Stmt::Break,
+        Stmt::Continue => Stmt::Continue,
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(select_expr)),
+    }
+}
+
+/// Runs selection over a whole module.
+pub fn selection(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
+    StmtModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| {
+                (
+                    n.clone(),
+                    Function {
+                        params: f.params.clone(),
+                        stack_slots: f.stack_slots,
+                        body: select_stmt(&f.body),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cminor::{CminorModule, Expr as CmE, CMINOR};
+    use crate::cminorsel::CMINORSEL;
+    use crate::stmt_sem::{EvalCtx, ExprEval};
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn constants_fold() {
+        let e = CmE::bin(Binop::Add, CmE::Const(3), CmE::Const(4));
+        assert_eq!(select_expr(&e), SelExpr::imm(7));
+        let e = CmE::bin(Binop::Lt, CmE::Const(3), CmE::Const(4));
+        assert_eq!(select_expr(&e), SelExpr::imm(1));
+    }
+
+    #[test]
+    fn immediates_selected() {
+        let e = CmE::bin(Binop::Add, CmE::temp("t"), CmE::Const(4));
+        assert_eq!(
+            select_expr(&e),
+            SelExpr::Op(Op::AddImm(4), vec![SelExpr::temp("t")])
+        );
+        let e = CmE::bin(Binop::Lt, CmE::Const(0), CmE::temp("t"));
+        assert_eq!(
+            select_expr(&e),
+            SelExpr::Op(Op::CmpImm(Cmp::Gt, 0), vec![SelExpr::temp("t")])
+        );
+    }
+
+    #[test]
+    fn global_offset_addressing_selected() {
+        let e = CmE::load(CmE::bin(Binop::Add, CmE::AddrGlobal("arr".into()), CmE::Const(2)));
+        assert_eq!(
+            select_expr(&e),
+            SelExpr::Load(AddrMode::Global("arr".into(), 2))
+        );
+    }
+
+    /// The executable content of Fig. 12 (`sel_expr_correct`): for any
+    /// expression and state, the selected expression evaluates to the
+    /// same value with a subset footprint.
+    #[test]
+    fn sel_expr_correct_value_and_footprint() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(5));
+        ge.define("y", Val::Int(7));
+        let mem = ge.initial_memory();
+        let mut temps = BTreeMap::new();
+        temps.insert("t".to_string(), Val::Int(3));
+        let ctx = EvalCtx {
+            temps: &temps,
+            frame: Some(ccc_core::mem::Addr(0)),
+            stack_slots: 0,
+            ge: &ge,
+            mem: &mem,
+        };
+        let exprs = [
+            CmE::bin(Binop::Add, CmE::load(CmE::AddrGlobal("x".into())), CmE::Const(1)),
+            CmE::bin(
+                Binop::Mul,
+                CmE::load(CmE::AddrGlobal("x".into())),
+                CmE::load(CmE::AddrGlobal("y".into())),
+            ),
+            CmE::bin(Binop::Le, CmE::temp("t"), CmE::Const(9)),
+            CmE::Unop(Unop::Not, Box::new(CmE::Const(0))),
+            CmE::bin(Binop::Sub, CmE::temp("t"), CmE::Const(2)),
+        ];
+        for e in &exprs {
+            let (sv, sfp) = ExprEval::eval(e, &ctx).expect("source evaluates");
+            let sel = select_expr(e);
+            let (tv, tfp) = sel.eval(&ctx).expect("selected evaluates");
+            assert_eq!(sv, tv, "value preserved for {e:?}");
+            assert!(tfp.subset(&sfp), "footprint grew for {e:?}");
+        }
+    }
+
+    /// `e * 0 → 0` strictly shrinks the footprint — the selected side
+    /// reads nothing.
+    #[test]
+    fn mul_zero_shrinks_footprint() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(5));
+        let mem = ge.initial_memory();
+        let temps = BTreeMap::new();
+        let ctx = EvalCtx {
+            temps: &temps,
+            frame: None,
+            stack_slots: 0,
+            ge: &ge,
+            mem: &mem,
+        };
+        let e = CmE::bin(Binop::Mul, CmE::load(CmE::AddrGlobal("x".into())), CmE::Const(0));
+        let (sv, sfp) = ExprEval::eval(&e, &ctx).expect("source");
+        let sel = select_expr(&e);
+        let (tv, tfp) = sel.eval(&ctx).expect("selected");
+        assert_eq!(sv, tv);
+        assert!(tfp.is_emp() && !sfp.is_emp(), "strict shrink");
+    }
+
+    #[test]
+    fn random_programs_agree_through_selection() {
+        use crate::cminorgen::cminorgen;
+        use ccc_clight::gen::{gen_module, GenCfg};
+        use ccc_clight::ClightLang;
+        for seed in 0..40 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let cm = cminorgen(&m).expect("cminorgen");
+            let sel = selection(&cm);
+            let s = run_main(&ClightLang, &m, &ge, "f", &[], 200_000).expect("clight runs");
+            let c = run_main(&CMINOR, &cm, &ge, "f", &[], 200_000).expect("cminor runs");
+            let t = run_main(&CMINORSEL, &sel, &ge, "f", &[], 200_000).expect("cminorsel runs");
+            assert_eq!(s.0, t.0, "seed {seed}: return values");
+            assert_eq!(c.2, t.2, "seed {seed}: events");
+            for (a, _) in ge.initial_memory().iter() {
+                assert_eq!(c.1.load(a), t.1.load(a), "seed {seed}: global {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_keeps_module_shape() {
+        let m = CminorModule::new([(
+            "f",
+            crate::cminor::Function {
+                params: vec!["a".into()],
+                stack_slots: 2,
+                body: crate::cminor::Stmt::Return(Some(CmE::temp("a"))),
+            },
+        )]);
+        let sel = selection(&m);
+        let f = &sel.funcs["f"];
+        assert_eq!(f.params, vec!["a".to_string()]);
+        assert_eq!(f.stack_slots, 2);
+    }
+}

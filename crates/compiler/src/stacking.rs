@@ -1,0 +1,318 @@
+//! The `Stacking` pass: Linear → Mach (Fig. 11) — concrete stack-frame
+//! layout and calling-convention expansion.
+//!
+//! * spill slot `i` becomes frame offset `stack_slots + i` (after the
+//!   source-level `AddrStack` slots, whose offsets are preserved);
+//! * spill reads/writes become frame loads/stores through the reserved
+//!   scratch registers (`%ebx` for first operands and destinations,
+//!   `%eax` for second operands — neither is allocatable);
+//! * call arguments (always spill slots, by the allocator's convention)
+//!   are loaded into the argument registers; results and return values
+//!   move through `%eax`.
+//!
+//! In the paper this is the pass with the largest proof delta (Fig. 13),
+//! precisely because of the argument-marshalling it introduces.
+
+use crate::linear::{Function as LinFunction, Instr as LIn, LinearModule};
+use crate::ltl::Loc;
+use crate::mach::{Function as MFunction, Instr as MIn, MachModule};
+use crate::ops::{AddrMode, Op};
+use ccc_machine::Reg as MReg;
+
+/// An error during stacking (violated allocator conventions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StackingError(pub String);
+
+impl std::fmt::Display for StackingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stacking: {}", self.0)
+    }
+}
+
+impl std::error::Error for StackingError {}
+
+const SCRATCH1: MReg = MReg::Ebx;
+const SCRATCH2: MReg = MReg::Eax;
+
+struct Ctx {
+    stack_slots: u64,
+    code: Vec<MIn>,
+}
+
+impl Ctx {
+    fn off(&self, spill: u32) -> u64 {
+        self.stack_slots + spill as u64
+    }
+
+    /// Materializes a location into a register, using `scratch` for
+    /// spills.
+    fn read(&mut self, l: Loc, scratch: MReg) -> MReg {
+        match l {
+            Loc::Reg(r) => r,
+            Loc::Spill(s) => {
+                self.code.push(MIn::Load(AddrMode::Stack(self.off(s)), scratch));
+                scratch
+            }
+        }
+    }
+
+    /// The register a destination computes into, plus the flush-back
+    /// slot for spilled destinations.
+    fn dst(&self, l: Loc) -> (MReg, Option<u64>) {
+        match l {
+            Loc::Reg(r) => (r, None),
+            Loc::Spill(s) => (SCRATCH1, Some(self.off(s))),
+        }
+    }
+
+    fn flush(&mut self, slot: Option<u64>) {
+        if let Some(o) = slot {
+            self.code.push(MIn::Store(AddrMode::Stack(o), SCRATCH1));
+        }
+    }
+
+    fn addr_mode(&mut self, am: &AddrMode<Loc>) -> AddrMode<MReg> {
+        match am {
+            AddrMode::Global(g, o) => AddrMode::Global(g.clone(), *o),
+            AddrMode::Stack(n) => AddrMode::Stack(*n),
+            AddrMode::Based(l, d) => AddrMode::Based(self.read(*l, SCRATCH2), *d),
+        }
+    }
+
+    fn marshal_args(&mut self, args: &[Loc]) -> Result<usize, StackingError> {
+        if args.len() > MReg::ARGS.len() {
+            return Err(StackingError(format!("too many call args: {}", args.len())));
+        }
+        for (i, &a) in args.iter().enumerate() {
+            match a {
+                Loc::Spill(s) => self
+                    .code
+                    .push(MIn::Load(AddrMode::Stack(self.off(s)), MReg::ARGS[i])),
+                Loc::Reg(_) => {
+                    return Err(StackingError(
+                        "call argument in a register (allocator convention violated)".into(),
+                    ))
+                }
+            }
+        }
+        Ok(args.len())
+    }
+}
+
+fn op_commutes(op: &Op) -> bool {
+    matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
+}
+
+fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
+    let mut ctx = Ctx {
+        stack_slots: f.stack_slots,
+        code: Vec::new(),
+    };
+    // Prologue: store incoming argument registers into the parameter
+    // slots.
+    if f.params.len() > MReg::ARGS.len() {
+        return Err(StackingError("too many parameters".into()));
+    }
+    for (i, &p) in f.params.iter().enumerate() {
+        match p {
+            Loc::Spill(s) => {
+                let o = ctx.off(s);
+                ctx.code.push(MIn::Store(AddrMode::Stack(o), MReg::ARGS[i]));
+            }
+            Loc::Reg(r) => ctx.code.push(MIn::Op(Op::Move, vec![MReg::ARGS[i]], r)),
+        }
+    }
+
+    for i in &f.code {
+        match i {
+            LIn::Label(l) => ctx.code.push(MIn::Label(*l)),
+            LIn::Goto(l) => ctx.code.push(MIn::Goto(*l)),
+            LIn::Op(op, args, dst) => match args.len() {
+                0 => {
+                    let (dreg, flush) = ctx.dst(*dst);
+                    ctx.code.push(MIn::Op(op.clone(), vec![], dreg));
+                    ctx.flush(flush);
+                }
+                1 => {
+                    let a = ctx.read(args[0], SCRATCH2);
+                    let (dreg, flush) = ctx.dst(*dst);
+                    ctx.code.push(MIn::Op(op.clone(), vec![a], dreg));
+                    ctx.flush(flush);
+                }
+                2 => {
+                    let a = ctx.read(args[0], SCRATCH1);
+                    let mut b = ctx.read(args[1], SCRATCH2);
+                    let (dreg, flush) = ctx.dst(*dst);
+                    // Keep Asmgen's two-address invariant: for
+                    // non-commutative operators the destination must not
+                    // alias the second operand.
+                    if !op_commutes(op) && dreg == b {
+                        ctx.code.push(MIn::Op(Op::Move, vec![b], SCRATCH2));
+                        b = SCRATCH2;
+                    }
+                    ctx.code.push(MIn::Op(op.clone(), vec![a, b], dreg));
+                    ctx.flush(flush);
+                }
+                n => return Err(StackingError(format!("operator arity {n}"))),
+            },
+            LIn::Load(am, dst) => {
+                let mode = ctx.addr_mode(am);
+                let (dreg, flush) = ctx.dst(*dst);
+                ctx.code.push(MIn::Load(mode, dreg));
+                ctx.flush(flush);
+            }
+            LIn::Store(am, src) => {
+                let sreg = ctx.read(*src, SCRATCH1);
+                let mode = ctx.addr_mode(am);
+                ctx.code.push(MIn::Store(mode, sreg));
+            }
+            LIn::Call(dst, callee, args) => {
+                let n = ctx.marshal_args(args)?;
+                ctx.code.push(MIn::Call(callee.clone(), n));
+                match dst {
+                    Some(Loc::Reg(r)) => ctx.code.push(MIn::Op(Op::Move, vec![MReg::Eax], *r)),
+                    Some(Loc::Spill(s)) => {
+                        let o = ctx.off(*s);
+                        ctx.code.push(MIn::Store(AddrMode::Stack(o), MReg::Eax));
+                    }
+                    None => {}
+                }
+            }
+            LIn::Tailcall(callee, args) => {
+                let n = ctx.marshal_args(args)?;
+                ctx.code.push(MIn::Tailcall(callee.clone(), n));
+            }
+            LIn::CondJump(c, l1, l2, lab) => {
+                let a = ctx.read(*l1, SCRATCH1);
+                let b = ctx.read(*l2, SCRATCH2);
+                ctx.code.push(MIn::CondJump(*c, a, b, *lab));
+            }
+            LIn::CondImmJump(c, l, i, lab) => {
+                let a = ctx.read(*l, SCRATCH1);
+                ctx.code.push(MIn::CondImmJump(*c, a, *i, *lab));
+            }
+            LIn::Print(l) => {
+                let r = ctx.read(*l, SCRATCH1);
+                ctx.code.push(MIn::Print(r));
+            }
+            LIn::Return(l) => {
+                match l {
+                    Some(Loc::Reg(r)) => {
+                        ctx.code.push(MIn::Op(Op::Move, vec![*r], MReg::Eax))
+                    }
+                    Some(Loc::Spill(s)) => {
+                        let o = ctx.off(*s);
+                        ctx.code.push(MIn::Load(AddrMode::Stack(o), MReg::Eax));
+                    }
+                    None => ctx.code.push(MIn::Op(Op::Const(0), vec![], MReg::Eax)),
+                }
+                ctx.code.push(MIn::Return);
+            }
+        }
+    }
+
+    Ok(MFunction {
+        frame_slots: f.stack_slots + f.spill_slots as u64,
+        arity: f.params.len(),
+        code: ctx.code,
+    })
+}
+
+/// Runs frame layout over a module.
+///
+/// # Errors
+///
+/// Fails if the allocator's conventions were violated.
+pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function(f)?);
+    }
+    Ok(MachModule { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mach::MachLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn spills_become_frame_slots() {
+        // f(spill0): spill1 := spill0 + 1; return spill1
+        let f = LinFunction {
+            params: vec![Loc::Spill(0)],
+            stack_slots: 2, // two source slots shift the spill area
+            spill_slots: 2,
+            code: vec![
+                LIn::Op(Op::AddImm(1), vec![Loc::Spill(0)], Loc::Spill(1)),
+                LIn::Return(Some(Loc::Spill(1))),
+            ],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let mach = stacking(&m).expect("stacks");
+        let mf = &mach.funcs["f"];
+        assert_eq!(mf.frame_slots, 4);
+        // Spill 0 lives at offset 2.
+        assert!(mf
+            .code
+            .iter()
+            .any(|i| matches!(i, MIn::Store(AddrMode::Stack(2), _))));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&MachLang, &mach, &ge, "f", &[Val::Int(41)], 100).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn register_call_arguments_are_rejected() {
+        let f = LinFunction {
+            params: vec![],
+            stack_slots: 0,
+            spill_slots: 0,
+            code: vec![LIn::Call(None, "g".into(), vec![Loc::Reg(MReg::Ecx)])],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        assert!(stacking(&m).is_err());
+    }
+
+    #[test]
+    fn non_commutative_dst_aliasing_is_resolved() {
+        // ecx := 10 - ecx  (dst aliases the second operand).
+        let f = LinFunction {
+            params: vec![],
+            stack_slots: 0,
+            spill_slots: 0,
+            code: vec![
+                LIn::Op(Op::Const(3), vec![], Loc::Reg(MReg::Ecx)),
+                LIn::Op(Op::Const(10), vec![], Loc::Reg(MReg::Edx)),
+                LIn::Op(
+                    Op::Sub,
+                    vec![Loc::Reg(MReg::Edx), Loc::Reg(MReg::Ecx)],
+                    Loc::Reg(MReg::Ecx),
+                ),
+                LIn::Return(Some(Loc::Reg(MReg::Ecx))),
+            ],
+        };
+        let m = LinearModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let mach = stacking(&m).expect("stacks");
+        // The invariant holds in the output…
+        for i in mach.funcs["f"].code.iter() {
+            if let MIn::Op(op, args, dst) = i {
+                if args.len() == 2 && !op_commutes(op) {
+                    assert_ne!(*dst, args[1], "asmgen invariant");
+                }
+            }
+        }
+        // …and the value is right.
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&MachLang, &mach, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(7));
+    }
+}

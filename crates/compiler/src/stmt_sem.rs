@@ -1,0 +1,442 @@
+//! A generic footprint-instrumented interpreter for statement-structured
+//! IRs with explicit stack frames (Cminor and CminorSel).
+//!
+//! The two IRs share their statement layer — only expressions differ
+//! (Clight operators vs selected machine operators). The interpreter is
+//! therefore generic over an expression type implementing [`ExprEval`],
+//! and each IR is an instantiation ([`crate::cminor`],
+//! [`crate::cminorsel`]).
+
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Event, Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// The evaluation context an expression sees: the temporaries, the
+/// frame, the global environment and the memory.
+#[derive(Debug)]
+pub struct EvalCtx<'a> {
+    /// Temporary environment.
+    pub temps: &'a BTreeMap<String, Val>,
+    /// Frame base address (always allocated by the time expressions
+    /// run).
+    pub frame: Option<Addr>,
+    /// Declared frame size in words.
+    pub stack_slots: u64,
+    /// The linked global environment.
+    pub ge: &'a GlobalEnv,
+    /// The memory.
+    pub mem: &'a Memory,
+}
+
+impl EvalCtx<'_> {
+    /// The address of frame slot `n`, bounds-checked.
+    pub fn slot_addr(&self, n: u64) -> Option<Addr> {
+        if n >= self.stack_slots {
+            return None;
+        }
+        Some(self.frame?.offset(n))
+    }
+
+    /// The value of temporary `t` (`undef` if unset).
+    pub fn temp(&self, t: &str) -> Val {
+        self.temps.get(t).copied().unwrap_or(Val::Undef)
+    }
+
+    /// Loads from `a`, extending `fp` with the read.
+    pub fn load(&self, a: Addr, fp: &mut Footprint) -> Option<Val> {
+        let v = self.mem.load(a)?;
+        fp.extend(&Footprint::read(a));
+        Some(v)
+    }
+}
+
+/// An expression language usable by the generic statement machine.
+pub trait ExprEval: Clone + PartialEq + Eq + Hash + fmt::Debug {
+    /// The IR's display name.
+    const LANG_NAME: &'static str;
+
+    /// Evaluates the expression, returning its value and read
+    /// footprint; `None` means the evaluation goes wrong.
+    fn eval(&self, ctx: &EvalCtx<'_>) -> Option<(Val, Footprint)>;
+}
+
+/// Statements over expressions `E` (the Cminor statement layer).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt<E> {
+    /// No-op.
+    Skip,
+    /// `t = e`.
+    Set(String, E),
+    /// `[e1] = e2`.
+    Store(E, E),
+    /// `t = f(args…)` / `f(args…)`.
+    Call(Option<String>, String, Vec<E>),
+    /// `print(e)`.
+    Print(E),
+    /// Sequential composition.
+    Seq(Vec<Stmt<E>>),
+    /// Conditional.
+    If(E, Box<Stmt<E>>, Box<Stmt<E>>),
+    /// Loop.
+    While(E, Box<Stmt<E>>),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Return.
+    Return(Option<E>),
+}
+
+impl<E> Stmt<E> {
+    /// Sequences statements, flattening nested sequences and dropping
+    /// skips.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt<E>>) -> Stmt<E> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => out.extend(inner),
+                Stmt::Skip => {}
+                other => out.push(other),
+            }
+        }
+        Stmt::Seq(out)
+    }
+}
+
+/// A function of a statement IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function<E> {
+    /// Parameters (temporaries).
+    pub params: Vec<String>,
+    /// Frame size in words.
+    pub stack_slots: u64,
+    /// The body.
+    pub body: Stmt<E>,
+}
+
+/// A module of a statement IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StmtModule<E> {
+    /// Functions by name.
+    pub funcs: BTreeMap<String, Function<E>>,
+}
+
+impl<E> Default for StmtModule<E> {
+    fn default() -> Self {
+        StmtModule {
+            funcs: BTreeMap::new(),
+        }
+    }
+}
+
+impl<E> StmtModule<E> {
+    /// Builds a module from `(name, function)` pairs.
+    pub fn new(funcs: impl IntoIterator<Item = (impl Into<String>, Function<E>)>) -> Self {
+        StmtModule {
+            funcs: funcs.into_iter().map(|(n, f)| (n.into(), f)).collect(),
+        }
+    }
+}
+
+/// Work items of the continuation machine.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Kont<E> {
+    /// Execute a statement.
+    Stmt(Stmt<E>),
+    /// Loop marker.
+    Loop(E, Stmt<E>),
+    /// Emit a pending external call.
+    DoCall(Option<String>, String, Vec<Val>),
+    /// Emit a pending print event.
+    DoPrint(i64),
+    /// Emit a pending return.
+    DoRet(Val),
+    /// Receive a call result.
+    RecvRet(Option<String>),
+}
+
+/// The core state of a statement IR.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StmtCore<E> {
+    temps: BTreeMap<String, Val>,
+    frame: Option<Addr>,
+    stack_slots: u64,
+    cont: Vec<Kont<E>>,
+}
+
+/// The generic language dispatcher; instantiate with an expression
+/// type, e.g. `StmtLang<crate::cminor::Expr>`.
+pub struct StmtLang<E>(PhantomData<E>);
+
+impl<E> StmtLang<E> {
+    /// The dispatcher value.
+    pub const fn new() -> StmtLang<E> {
+        StmtLang(PhantomData)
+    }
+}
+
+impl<E> Default for StmtLang<E> {
+    fn default() -> Self {
+        StmtLang::new()
+    }
+}
+
+impl<E> Clone for StmtLang<E> {
+    fn clone(&self) -> Self {
+        StmtLang(PhantomData)
+    }
+}
+impl<E> Copy for StmtLang<E> {}
+impl<E> fmt::Debug for StmtLang<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StmtLang")
+    }
+}
+
+/// First-fit allocation of a contiguous block from the free list.
+pub(crate) fn first_free_block(flist: &FreeList, mem: &Memory, words: u64) -> Addr {
+    let mut n = 0;
+    'outer: loop {
+        for k in 0..words {
+            if mem.contains(flist.addr_at(n + k)) {
+                n += k + 1;
+                continue 'outer;
+            }
+        }
+        return flist.addr_at(n);
+    }
+}
+
+impl<E: ExprEval> Lang for StmtLang<E> {
+    type Module = StmtModule<E>;
+    type Core = StmtCore<E>;
+
+    fn name(&self) -> &'static str {
+        E::LANG_NAME
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        let f = module.funcs.get(entry)?;
+        if args.len() > f.params.len() {
+            return None;
+        }
+        let mut temps = BTreeMap::new();
+        for (p, &v) in f.params.iter().zip(args) {
+            temps.insert(p.clone(), v);
+        }
+        Some(StmtCore {
+            temps,
+            frame: (f.stack_slots == 0).then_some(Addr(0)),
+            stack_slots: f.stack_slots,
+            cont: vec![Kont::Stmt(f.body.clone())],
+        })
+    }
+
+    fn step(
+        &self,
+        _module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let tau = |core: StmtCore<E>, mem: Memory, fp: Footprint| {
+            vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp,
+                core,
+                mem,
+            }]
+        };
+        let abort = || vec![LocalStep::Abort];
+        let mut next = core.clone();
+
+        // Pending frame allocation is the first step.
+        if next.frame.is_none() {
+            let base = first_free_block(flist, mem, next.stack_slots);
+            let mut m = mem.clone();
+            let mut fp = Footprint::emp();
+            for k in 0..next.stack_slots {
+                m.alloc(base.offset(k), Val::Undef);
+                fp.extend(&Footprint::write(base.offset(k)));
+            }
+            next.frame = Some(base);
+            return tau(next, m, fp);
+        }
+
+        // Short-lived evaluation helper: borrows `next` only for the
+        // duration of one call, so the arms below may mutate it.
+        fn eval_e<E: ExprEval>(
+            e: &E,
+            core: &StmtCore<E>,
+            ge: &GlobalEnv,
+            mem: &Memory,
+        ) -> Option<(Val, Footprint)> {
+            e.eval(&EvalCtx {
+                temps: &core.temps,
+                frame: core.frame,
+                stack_slots: core.stack_slots,
+                ge,
+                mem,
+            })
+        }
+
+        let Some(item) = next.cont.pop() else {
+            return vec![LocalStep::Ret { val: Val::Int(0) }];
+        };
+        match item {
+            Kont::Loop(c, body) => {
+                let Some((v, fp)) = eval_e(&c, &next, ge, mem) else {
+                    return abort();
+                };
+                match v.truth() {
+                    Some(true) => {
+                        next.cont.push(Kont::Loop(c, body.clone()));
+                        next.cont.push(Kont::Stmt(body));
+                        tau(next, mem.clone(), fp)
+                    }
+                    Some(false) => tau(next, mem.clone(), fp),
+                    None => abort(),
+                }
+            }
+            Kont::DoCall(dst, callee, args) => {
+                next.cont.push(Kont::RecvRet(dst));
+                vec![LocalStep::Call {
+                    callee,
+                    args,
+                    cont: next,
+                }]
+            }
+            Kont::DoPrint(i) => vec![LocalStep::Step {
+                msg: StepMsg::Event(Event::Print(i)),
+                fp: Footprint::emp(),
+                core: next,
+                mem: mem.clone(),
+            }],
+            Kont::DoRet(v) => vec![LocalStep::Ret { val: v }],
+            Kont::RecvRet(_) => abort(),
+            Kont::Stmt(stmt) => match stmt {
+                Stmt::Skip => tau(next, mem.clone(), Footprint::emp()),
+                Stmt::Set(t, e) => {
+                    let Some((v, fp)) = eval_e(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.temps.insert(t, v);
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Store(ea, ev) => {
+                    let Some((Val::Ptr(a), fp1)) = eval_e(&ea, &next, ge, mem) else {
+                        return abort();
+                    };
+                    let Some((v, fp2)) = eval_e(&ev, &next, ge, mem) else {
+                        return abort();
+                    };
+                    let mut m = mem.clone();
+                    if !m.store(a, v) {
+                        return abort();
+                    }
+                    tau(next, m, fp1.union(&fp2).union(&Footprint::write(a)))
+                }
+                Stmt::Call(dst, callee, args) => {
+                    let mut fp = Footprint::emp();
+                    let mut vals = Vec::new();
+                    for a in &args {
+                        let Some((v, f)) = eval_e(a, &next, ge, mem) else {
+                            return abort();
+                        };
+                        fp.extend(&f);
+                        vals.push(v);
+                    }
+                    next.cont.push(Kont::DoCall(dst, callee, vals));
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Print(e) => {
+                    let Some((Val::Int(i), fp)) = eval_e(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.cont.push(Kont::DoPrint(i));
+                    tau(next, mem.clone(), fp)
+                }
+                Stmt::Seq(stmts) => {
+                    for s in stmts.into_iter().rev() {
+                        next.cont.push(Kont::Stmt(s));
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::If(c, then, els) => {
+                    let Some((v, fp)) = eval_e(&c, &next, ge, mem) else {
+                        return abort();
+                    };
+                    match v.truth() {
+                        Some(t) => {
+                            next.cont.push(Kont::Stmt(if t { *then } else { *els }));
+                            tau(next, mem.clone(), fp)
+                        }
+                        None => abort(),
+                    }
+                }
+                Stmt::While(c, body) => {
+                    next.cont.push(Kont::Loop(c, *body));
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Break => {
+                    loop {
+                        match next.cont.pop() {
+                            Some(Kont::Loop(..)) => break,
+                            Some(_) => {}
+                            None => return abort(),
+                        }
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Continue => {
+                    loop {
+                        match next.cont.last() {
+                            Some(Kont::Loop(..)) => break,
+                            Some(_) => {
+                                next.cont.pop();
+                            }
+                            None => return abort(),
+                        }
+                    }
+                    tau(next, mem.clone(), Footprint::emp())
+                }
+                Stmt::Return(None) => vec![LocalStep::Ret { val: Val::Int(0) }],
+                Stmt::Return(Some(e)) => {
+                    let Some((v, fp)) = eval_e(&e, &next, ge, mem) else {
+                        return abort();
+                    };
+                    next.cont.push(Kont::DoRet(v));
+                    tau(next, mem.clone(), fp)
+                }
+            },
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        match next.cont.pop() {
+            Some(Kont::RecvRet(dst)) => {
+                if let Some(t) = dst {
+                    next.temps.insert(t, ret);
+                }
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+}

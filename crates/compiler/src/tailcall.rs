@@ -1,0 +1,145 @@
+//! The `Tailcall` optimization pass: RTL → RTL (one of the four
+//! CompCert optimization passes verified in the paper, Fig. 11).
+//!
+//! A call whose continuation immediately returns the call's result —
+//! possibly through a chain of `Nop`s — is turned into a
+//! [`Instr::Tailcall`], eliminating the useless continuation.
+
+use crate::rtl::{Function, Instr, Node, RtlModule};
+
+/// Follows `Nop` chains from `n` (bounded by the graph size, so cycles
+/// of `Nop`s terminate the walk).
+fn skip_nops(f: &Function, mut n: Node) -> Node {
+    for _ in 0..f.code.len() {
+        match f.code.get(&n) {
+            Some(Instr::Nop(next)) => n = *next,
+            _ => break,
+        }
+    }
+    n
+}
+
+fn transform_function(f: &Function) -> Function {
+    let mut out = f.clone();
+    for (node, instr) in &f.code {
+        if let Instr::Call(Some(dst), callee, args, succ) = instr {
+            let ret = skip_nops(f, *succ);
+            if let Some(Instr::Return(Some(r))) = f.code.get(&ret) {
+                if r == dst {
+                    out.code
+                        .insert(*node, Instr::Tailcall(callee.clone(), args.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the transformation over a module.
+pub fn tailcall(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use crate::rtl::RtlLang;
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+    use std::collections::BTreeMap;
+
+    fn call_then_return_module() -> RtlModule {
+        // g(a): return a + 1        f(): r := g(41); nop; return r
+        let g = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::AddImm(1), vec![0], 1, 1)),
+                (1, Instr::Return(Some(1))),
+            ]),
+        };
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(41), vec![], 1, 1)),
+                (1, Instr::Call(Some(2), "g".into(), vec![1], 2)),
+                (2, Instr::Nop(3)),
+                (3, Instr::Return(Some(2))),
+            ]),
+        };
+        RtlModule {
+            funcs: [("f".to_string(), f), ("g".to_string(), g)].into(),
+        }
+    }
+
+    #[test]
+    fn call_return_becomes_tailcall() {
+        let m = call_then_return_module();
+        let t = tailcall(&m);
+        assert!(matches!(
+            t.funcs["f"].code.get(&1),
+            Some(Instr::Tailcall(callee, _)) if callee == "g"
+        ));
+        // g is unchanged (its call-free body has no candidates).
+        assert_eq!(t.funcs["g"], m.funcs["g"]);
+    }
+
+    #[test]
+    fn transformed_program_behaves_identically() {
+        let m = call_then_return_module();
+        let t = tailcall(&m);
+        let ge = GlobalEnv::new();
+        let (v1, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 1000).expect("orig runs");
+        let (v2, _, _) = run_main(&RtlLang, &t, &ge, "f", &[], 1000).expect("tc runs");
+        assert_eq!(v1, Val::Int(42));
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn mismatched_return_register_not_transformed() {
+        // r := g(x); return OTHER — must not become a tail call.
+        let f = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Call(Some(1), "g".into(), vec![0], 1)),
+                (1, Instr::Return(Some(0))),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let t = tailcall(&m);
+        assert!(matches!(t.funcs["f"].code.get(&0), Some(Instr::Call(..))));
+    }
+
+    #[test]
+    fn discarded_result_not_transformed() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Call(None, "g".into(), vec![], 1)),
+                (1, Instr::Return(None)),
+            ]),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let t = tailcall(&m);
+        // Return(None) returns 0, not g's value: not a tail call.
+        assert!(matches!(t.funcs["f"].code.get(&0), Some(Instr::Call(..))));
+    }
+}

@@ -1,0 +1,135 @@
+//! The `Tunneling` optimization pass: LTL → LTL (Fig. 11).
+//!
+//! Branch tunneling: every edge that leads into a chain of `Nop`s is
+//! redirected to the end of the chain, so the later `Linearize` pass
+//! never materializes jumps-to-jumps. The `Nop`s themselves become
+//! unreachable and are dropped.
+
+use crate::ltl::{Function, Instr, LtlModule};
+use crate::rtl::Node;
+use std::collections::BTreeMap;
+
+fn chase(f: &Function, mut n: Node) -> Node {
+    // Bounded chase handles (degenerate) Nop cycles.
+    for _ in 0..f.code.len() {
+        match f.code.get(&n) {
+            Some(Instr::Nop(next)) if *next != n => n = *next,
+            _ => break,
+        }
+    }
+    n
+}
+
+fn transform_function(f: &Function) -> Function {
+    let mut code: BTreeMap<Node, Instr> = BTreeMap::new();
+    for (&n, i) in &f.code {
+        let mut i = i.clone();
+        i.map_succs(|s| chase(f, s));
+        code.insert(n, i);
+    }
+    // Drop Nops that nothing reaches anymore (entry is chased too).
+    let entry = chase(f, f.entry);
+    let mut reachable = std::collections::BTreeSet::new();
+    let mut stack = vec![entry];
+    while let Some(n) = stack.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        if let Some(i) = code.get(&n) {
+            stack.extend(i.succs());
+        }
+    }
+    code.retain(|n, _| reachable.contains(n));
+    Function {
+        params: f.params.clone(),
+        stack_slots: f.stack_slots,
+        spill_slots: f.spill_slots,
+        entry,
+        code,
+    }
+}
+
+/// Runs branch tunneling over a module.
+pub fn tunneling(m: &LtlModule) -> LtlModule {
+    LtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltl::{Loc, LtlLang};
+    use crate::ops::{Cmp, Op};
+    use ccc_core::mem::{GlobalEnv, Val};
+    use ccc_core::world::run_main;
+    use ccc_machine::Reg;
+
+    #[test]
+    fn nop_chains_are_collapsed() {
+        // 0: cond → (1 | 4); 1: nop→2; 2: nop→3; 3: ret; 4: ret
+        let f = Function {
+            params: vec![Loc::Spill(0)],
+            stack_slots: 0,
+            spill_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::CondImm(Cmp::Lt, Loc::Spill(0), 0, 1, 4)),
+                (1, Instr::Nop(2)),
+                (2, Instr::Nop(3)),
+                (
+                    3,
+                    Instr::Op(Op::Const(1), vec![], Loc::Reg(Reg::Ecx), 5),
+                ),
+                (
+                    4,
+                    Instr::Op(Op::Const(2), vec![], Loc::Reg(Reg::Ecx), 5),
+                ),
+                (5, Instr::Return(Some(Loc::Reg(Reg::Ecx)))),
+            ]),
+        };
+        let m = LtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let t = tunneling(&m);
+        let tf = &t.funcs["f"];
+        // The Nops are gone and the branch goes straight to 3.
+        assert!(!tf.code.values().any(|i| matches!(i, Instr::Nop(_))));
+        assert!(matches!(
+            tf.code.get(&0),
+            Some(Instr::CondImm(_, _, _, 3, 4))
+        ));
+        // Behaviour preserved.
+        let ge = GlobalEnv::new();
+        for arg in [-1, 1] {
+            let (v1, _, _) =
+                run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
+            let (v2, _, _) =
+                run_main(&LtlLang, &t, &ge, "f", &[Val::Int(arg)], 100).expect("tunneled");
+            assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn nop_cycle_does_not_hang() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            spill_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Nop(1)),
+                (1, Instr::Nop(0)), // cycle: a diverging function
+            ]),
+        };
+        let m = LtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let t = tunneling(&m); // must terminate
+        assert!(!t.funcs["f"].code.is_empty());
+    }
+}

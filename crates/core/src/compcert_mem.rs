@@ -1,0 +1,341 @@
+//! A CompCert-style block memory and its bijection to the framework's
+//! free-list memory model (§7.2 of the paper, "Converting memory
+//! layout").
+//!
+//! CompCert's memory allocates blocks with *consecutive* natural-number
+//! ids from a single `nextblock` counter — a fact its proof libraries
+//! use pervasively. The paper's concurrent model cannot share one
+//! counter across threads (allocations would interfere, §2.3), so each
+//! thread owns a disjoint free list instead. To reuse CompCert proofs,
+//! the paper defines a **bijection** between the two layouts and shows
+//! a thread's behaviours correspond across it; this module reproduces
+//! that construction executably:
+//!
+//! * [`CompcertMem`] — a sequential `nextblock` memory (blocks of
+//!   words, allocated consecutively);
+//! * [`LayoutBijection`] — the order-preserving correspondence between
+//!   CompCert block ids and the framework addresses a given thread
+//!   would have used (globals first, then its free-list region);
+//! * conversion both ways plus agreement checks, validated by tests
+//!   that replay the same allocation/store/load script against both
+//!   models.
+
+use crate::mem::{Addr, FreeList, Memory, Val};
+use std::collections::BTreeMap;
+
+/// A CompCert block id (`b ∈ N+`, §7.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// A CompCert-style memory: finitely many blocks with consecutive ids
+/// below `nextblock`, each a fixed-size array of values.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CompcertMem {
+    blocks: BTreeMap<BlockId, Vec<Val>>,
+    next: u32,
+}
+
+impl CompcertMem {
+    /// An empty memory with `nextblock = 1`.
+    pub fn new() -> CompcertMem {
+        CompcertMem {
+            blocks: BTreeMap::new(),
+            next: 1,
+        }
+    }
+
+    /// The current `nextblock`.
+    pub fn nextblock(&self) -> BlockId {
+        BlockId(self.next)
+    }
+
+    /// `alloc`: a fresh block of `words` cells, all `Undef`. Block ids
+    /// are consecutive — the CompCert invariant.
+    pub fn alloc(&mut self, words: u32) -> BlockId {
+        let b = BlockId(self.next);
+        self.next += 1;
+        self.blocks.insert(b, vec![Val::Undef; words as usize]);
+        b
+    }
+
+    /// `load(b, off)`.
+    pub fn load(&self, b: BlockId, off: u32) -> Option<Val> {
+        self.blocks.get(&b)?.get(off as usize).copied()
+    }
+
+    /// `store(b, off, v)`; fails on invalid blocks/offsets.
+    #[must_use]
+    pub fn store(&mut self, b: BlockId, off: u32, v: Val) -> bool {
+        match self.blocks.get_mut(&b).and_then(|c| c.get_mut(off as usize)) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The size of block `b`, if allocated.
+    pub fn block_size(&self, b: BlockId) -> Option<u32> {
+        self.blocks.get(&b).map(|c| c.len() as u32)
+    }
+
+    /// `valid_block` (CompCert): `b < nextblock`.
+    pub fn valid_block(&self, b: BlockId) -> bool {
+        b.0 >= 1 && b.0 < self.next
+    }
+}
+
+/// The order-preserving bijection between one thread's CompCert-style
+/// allocation history and its framework addresses: the `k`-th block of
+/// size `sₖ` maps to the next `sₖ` consecutive free-list words (after
+/// any global blocks, which map to their global addresses).
+#[derive(Clone, Debug, Default)]
+pub struct LayoutBijection {
+    /// For each block, its framework base address and size.
+    map: BTreeMap<BlockId, (Addr, u32)>,
+    /// Reverse index from base address to block.
+    rev: BTreeMap<Addr, BlockId>,
+}
+
+impl LayoutBijection {
+    /// An empty bijection.
+    pub fn new() -> LayoutBijection {
+        LayoutBijection::default()
+    }
+
+    /// Registers block `b` (of `size` words) at framework base `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block or the address is already mapped.
+    pub fn insert(&mut self, b: BlockId, addr: Addr, size: u32) {
+        assert!(self.map.insert(b, (addr, size)).is_none(), "block mapped twice");
+        assert!(self.rev.insert(addr, b).is_none(), "address mapped twice");
+    }
+
+    /// The framework address of `(b, off)`.
+    pub fn to_addr(&self, b: BlockId, off: u32) -> Option<Addr> {
+        let &(base, size) = self.map.get(&b)?;
+        (off < size).then(|| base.offset(off as u64))
+    }
+
+    /// The `(block, offset)` of a framework address, if it falls inside
+    /// a mapped block.
+    pub fn to_block(&self, a: Addr) -> Option<(BlockId, u32)> {
+        // The candidate block is the one with the largest base ≤ a.
+        let (&base, &b) = self.rev.range(..=a).next_back()?;
+        let (_, size) = self.map[&b];
+        let off = a.0.checked_sub(base.0)?;
+        (off < size as u64).then_some((b, off as u32))
+    }
+
+    /// True if the bijection is consistent (injective both ways and
+    /// non-overlapping).
+    pub fn well_formed(&self) -> bool {
+        let mut prev_end: Option<u64> = None;
+        for (&base, &b) in &self.rev {
+            let (mapped_base, size) = self.map[&b];
+            if mapped_base != base || size == 0 {
+                return false;
+            }
+            if let Some(end) = prev_end {
+                if base.0 < end {
+                    return false; // overlap
+                }
+            }
+            prev_end = Some(base.0 + size as u64);
+        }
+        self.rev.len() == self.map.len()
+    }
+}
+
+/// Replays a thread-local allocation under both models simultaneously,
+/// maintaining the bijection — the executable content of the paper's
+/// "behaviours of a thread under our model are equivalent to its
+/// behaviours under the CompCert model".
+#[derive(Debug)]
+pub struct TwinMemory {
+    /// The CompCert-side memory.
+    pub compcert: CompcertMem,
+    /// The framework-side memory.
+    pub framework: Memory,
+    /// The bijection built so far.
+    pub bij: LayoutBijection,
+    flist: FreeList,
+}
+
+impl TwinMemory {
+    /// Starts with empty memories for the given thread.
+    pub fn new(thread: usize) -> TwinMemory {
+        TwinMemory {
+            compcert: CompcertMem::new(),
+            framework: Memory::new(),
+            bij: LayoutBijection::new(),
+            flist: FreeList::for_thread(thread),
+        }
+    }
+
+    fn first_free(&self, words: u32) -> Addr {
+        let mut n = 0;
+        'outer: loop {
+            for k in 0..words as u64 {
+                if self.framework.contains(self.flist.addr_at(n + k)) {
+                    n += k + 1;
+                    continue 'outer;
+                }
+            }
+            return self.flist.addr_at(n);
+        }
+    }
+
+    /// Allocates a block on both sides and extends the bijection.
+    pub fn alloc(&mut self, words: u32) -> BlockId {
+        let b = self.compcert.alloc(words);
+        let base = self.first_free(words);
+        for k in 0..words as u64 {
+            self.framework.alloc(base.offset(k), Val::Undef);
+        }
+        self.bij.insert(b, base, words);
+        b
+    }
+
+    /// Stores through both sides; true iff both succeeded.
+    #[must_use]
+    pub fn store(&mut self, b: BlockId, off: u32, v: Val) -> bool {
+        let cc = self.compcert.store(b, off, v);
+        let fw = match self.bij.to_addr(b, off) {
+            Some(a) => self.framework.store(a, v),
+            None => false,
+        };
+        assert_eq!(cc, fw, "models disagree on store validity");
+        cc && fw
+    }
+
+    /// Loads from both sides, asserting agreement.
+    pub fn load(&self, b: BlockId, off: u32) -> Option<Val> {
+        let cc = self.compcert.load(b, off);
+        let fw = self.bij.to_addr(b, off).and_then(|a| self.framework.load(a));
+        assert_eq!(cc, fw, "models disagree on load at {b:?}+{off}");
+        cc
+    }
+
+    /// Checks full agreement of the two memories through the bijection.
+    pub fn agrees(&self) -> bool {
+        if !self.bij.well_formed() {
+            return false;
+        }
+        for (&b, cells) in &self.compcert.blocks {
+            for (off, &v) in cells.iter().enumerate() {
+                let Some(a) = self.bij.to_addr(b, off as u32) else {
+                    return false;
+                };
+                if self.framework.load(a) != Some(v) {
+                    return false;
+                }
+                if self.bij.to_block(a) != Some((b, off as u32)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compcert_blocks_are_consecutive() {
+        let mut m = CompcertMem::new();
+        let b1 = m.alloc(2);
+        let b2 = m.alloc(1);
+        assert_eq!(b1, BlockId(1));
+        assert_eq!(b2, BlockId(2));
+        assert_eq!(m.nextblock(), BlockId(3));
+        assert!(m.valid_block(b1) && m.valid_block(b2));
+        assert!(!m.valid_block(BlockId(3)));
+    }
+
+    #[test]
+    fn twin_allocation_and_access_agree() {
+        let mut tm = TwinMemory::new(0);
+        let b1 = tm.alloc(3);
+        let b2 = tm.alloc(2);
+        assert!(tm.store(b1, 0, Val::Int(10)));
+        assert!(tm.store(b1, 2, Val::Int(12)));
+        assert!(tm.store(b2, 1, Val::Int(21)));
+        assert!(!tm.store(b1, 3, Val::Int(99)), "out of bounds both sides");
+        assert_eq!(tm.load(b1, 0), Some(Val::Int(10)));
+        assert_eq!(tm.load(b2, 1), Some(Val::Int(21)));
+        assert!(tm.agrees());
+    }
+
+    #[test]
+    fn bijection_roundtrips() {
+        let mut tm = TwinMemory::new(1);
+        let blocks: Vec<BlockId> = (0..5).map(|i| tm.alloc(i % 3 + 1)).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            let size = tm.compcert.block_size(b).unwrap();
+            for off in 0..size {
+                let a = tm.bij.to_addr(b, off).expect("mapped");
+                assert_eq!(tm.bij.to_block(a), Some((b, off)), "block {i} off {off}");
+                assert!(FreeList::for_thread(1).contains(a));
+            }
+        }
+        assert!(tm.bij.well_formed());
+    }
+
+    #[test]
+    fn two_threads_twin_memories_do_not_interfere() {
+        // The paper's point: per-thread free lists mean thread 1's
+        // allocations never perturb thread 0's layout — while a shared
+        // CompCert nextblock would have.
+        let mut t0 = TwinMemory::new(0);
+        let mut t1 = TwinMemory::new(1);
+        let a0 = t0.alloc(1);
+        let a1 = t1.alloc(4);
+        let b0 = t0.alloc(1);
+        // Same block ids on both threads (each has its own counter)…
+        assert_eq!(a0, BlockId(1));
+        assert_eq!(a1, BlockId(1));
+        assert_eq!(b0, BlockId(2));
+        // …mapped into disjoint regions.
+        let addr0 = t0.bij.to_addr(a0, 0).unwrap();
+        let addr1 = t1.bij.to_addr(a1, 0).unwrap();
+        assert_ne!(addr0.region(), addr1.region());
+        assert!(t0.agrees() && t1.agrees());
+    }
+
+    #[test]
+    fn scripted_replay_agrees() {
+        // A pseudo-random alloc/store/load script, replayed against the
+        // twin; every observation must agree and full agreement holds at
+        // the end.
+        let mut tm = TwinMemory::new(2);
+        let mut blocks = Vec::new();
+        let mut x: u64 = 0x12345;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for step in 0..200 {
+            match next() % 3 {
+                0 => blocks.push(tm.alloc(next() % 4 + 1)),
+                1 if !blocks.is_empty() => {
+                    let b = blocks[(next() as usize) % blocks.len()];
+                    let size = tm.compcert.block_size(b).unwrap();
+                    let _ = tm.store(b, next() % (size + 1), Val::Int(step));
+                }
+                _ if !blocks.is_empty() => {
+                    let b = blocks[(next() as usize) % blocks.len()];
+                    let size = tm.compcert.block_size(b).unwrap();
+                    let _ = tm.load(b, next() % size);
+                }
+                _ => {}
+            }
+        }
+        assert!(tm.agrees());
+    }
+}

@@ -1,0 +1,431 @@
+//! Footprints and their algebra (Fig. 4, Fig. 6, Fig. 8 of the paper).
+//!
+//! A footprint `δ = (rs, ws)` records the set of memory locations read
+//! and written by an execution step. Footprints are the machinery the
+//! framework uses to
+//!
+//! * define data races ([`Footprint::conflicts`], §5),
+//! * state the extensional well-definedness conditions of languages
+//!   ([`leffect`], [`leq_pre`], [`leq_post`]; Def. 1), and
+//! * state footprint preservation across compilation ([`Mu`],
+//!   [`fp_match`]; §4), which reduces DRF preservation — a whole-program
+//!   property — to a module-local obligation.
+
+use crate::mem::{Addr, Memory};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A set of memory addresses (the components `rs`, `ws ∈ P(Addr)`).
+pub type AddrSet = BTreeSet<Addr>;
+
+/// A footprint `δ ::= (rs, ws)` (Fig. 4): the read set and write set of
+/// one or more execution steps.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::footprint::Footprint;
+/// use ccc_core::mem::Addr;
+/// let read_x = Footprint::read(Addr(8));
+/// let write_x = Footprint::write(Addr(8));
+/// assert!(read_x.conflicts(&write_x));
+/// assert!(!read_x.conflicts(&read_x));
+/// assert!(read_x.subset(&read_x.union(&write_x)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Footprint {
+    /// The read set.
+    pub rs: AddrSet,
+    /// The write set.
+    pub ws: AddrSet,
+}
+
+impl fmt::Debug for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(rs: {:?}, ws: {:?})", self.rs, self.ws)
+    }
+}
+
+impl Footprint {
+    /// The empty footprint `emp`.
+    pub fn emp() -> Footprint {
+        Footprint::default()
+    }
+
+    /// A footprint reading exactly `a`.
+    pub fn read(a: Addr) -> Footprint {
+        Footprint {
+            rs: [a].into(),
+            ws: AddrSet::new(),
+        }
+    }
+
+    /// A footprint writing exactly `a`.
+    pub fn write(a: Addr) -> Footprint {
+        Footprint {
+            rs: AddrSet::new(),
+            ws: [a].into(),
+        }
+    }
+
+    /// A footprint reading several addresses.
+    pub fn reads(addrs: impl IntoIterator<Item = Addr>) -> Footprint {
+        Footprint {
+            rs: addrs.into_iter().collect(),
+            ws: AddrSet::new(),
+        }
+    }
+
+    /// A footprint writing several addresses.
+    pub fn writes(addrs: impl IntoIterator<Item = Addr>) -> Footprint {
+        Footprint {
+            rs: AddrSet::new(),
+            ws: addrs.into_iter().collect(),
+        }
+    }
+
+    /// True if both sets are empty.
+    pub fn is_emp(&self) -> bool {
+        self.rs.is_empty() && self.ws.is_empty()
+    }
+
+    /// `δ ∪ δ′` (Fig. 6): componentwise union.
+    pub fn union(&self, other: &Footprint) -> Footprint {
+        Footprint {
+            rs: self.rs.union(&other.rs).copied().collect(),
+            ws: self.ws.union(&other.ws).copied().collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self` in place.
+    pub fn extend(&mut self, other: &Footprint) {
+        self.rs.extend(other.rs.iter().copied());
+        self.ws.extend(other.ws.iter().copied());
+    }
+
+    /// `δ ⊆ δ′` (Fig. 6): componentwise subset.
+    pub fn subset(&self, other: &Footprint) -> bool {
+        self.rs.is_subset(&other.rs) && self.ws.is_subset(&other.ws)
+    }
+
+    /// The set `δ` used "as a set" in the paper: `rs ∪ ws`.
+    pub fn locs(&self) -> AddrSet {
+        self.rs.union(&self.ws).copied().collect()
+    }
+
+    /// `δ1 ⌢ δ2` (§5): the footprints conflict — one's write set meets the
+    /// other's locations.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        let meets = |ws: &AddrSet, other: &Footprint| {
+            ws.iter().any(|a| other.rs.contains(a) || other.ws.contains(a))
+        };
+        meets(&self.ws, other) || meets(&other.ws, self)
+    }
+
+    /// True if every location lies within `pred` (used for the scoping
+    /// side conditions `δ ⊆ (F ∪ µ.S)` of Def. 3).
+    pub fn within(&self, pred: impl Fn(Addr) -> bool) -> bool {
+        self.rs.iter().chain(self.ws.iter()).all(|&a| pred(a))
+    }
+}
+
+impl FromIterator<Footprint> for Footprint {
+    fn from_iter<I: IntoIterator<Item = Footprint>>(iter: I) -> Footprint {
+        let mut acc = Footprint::emp();
+        for fp in iter {
+            acc.extend(&fp);
+        }
+        acc
+    }
+}
+
+/// An *instrumented* footprint `(δ, d)` (§5): the footprint together with
+/// the atomic bit `d` recording whether it was generated inside an atomic
+/// block (`d = 1`, [`AtomicBit::Inside`]) or not.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TaggedFootprint {
+    /// The footprint proper.
+    pub fp: Footprint,
+    /// Whether the footprint was generated inside an atomic block.
+    pub bit: AtomicBit,
+}
+
+/// The atomic bit `d ::= 0 | 1` (Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AtomicBit {
+    /// `d = 0`: outside any atomic block.
+    #[default]
+    Outside,
+    /// `d = 1`: inside an atomic block.
+    Inside,
+}
+
+impl TaggedFootprint {
+    /// `(δ1, d1) ⌢ (δ2, d2)` (§5): the instrumented footprints conflict —
+    /// the underlying footprints conflict and at least one was generated
+    /// outside an atomic block. Two accesses both inside atomic blocks are
+    /// serialized by the semantics and never race.
+    pub fn conflicts(&self, other: &TaggedFootprint) -> bool {
+        self.fp.conflicts(&other.fp)
+            && (self.bit == AtomicBit::Outside || other.bit == AtomicBit::Outside)
+    }
+}
+
+/// `σ1 ==S== σ2` (Fig. 6): the memories agree on the address set — every
+/// `l ∈ S` is either outside both domains, or inside both with equal
+/// values.
+pub fn mem_eq_on<'a>(m1: &Memory, m2: &Memory, s: impl IntoIterator<Item = &'a Addr>) -> bool {
+    s.into_iter().all(|&l| match (m1.load(l), m2.load(l)) {
+        (None, None) => true,
+        (Some(v1), Some(v2)) => v1 == v2,
+        _ => false,
+    })
+}
+
+/// `LEffect(σ1, σ2, δ, F)` (Fig. 6): the step from `σ1` to `σ2` touched at
+/// most `δ.ws` — memory outside the write set is unchanged — and any newly
+/// allocated addresses come from the free list `F` and appear in the write
+/// set.
+pub fn leffect(pre: &Memory, post: &Memory, fp: &Footprint, in_flist: impl Fn(Addr) -> bool) -> bool {
+    // σ1 ==dom(σ1) − δ.ws== σ2
+    let untouched = pre
+        .dom()
+        .filter(|a| !fp.ws.contains(a))
+        .all(|a| pre.load(a) == post.load(a));
+    // (dom(σ2) − dom(σ1)) ⊆ (δ.ws ∩ F)
+    let fresh_ok = post
+        .dom()
+        .filter(|&a| !pre.contains(a))
+        .all(|a| fp.ws.contains(&a) && in_flist(a));
+    untouched && fresh_ok
+}
+
+/// `LEqPre(σ1, σ2, δ, F)` (Fig. 6): the two memories are indistinguishable
+/// as far as the step is concerned — equal on the read set, with the same
+/// availability of write-set cells and free-list cells.
+pub fn leq_pre(m1: &Memory, m2: &Memory, fp: &Footprint, in_flist: impl Fn(Addr) -> bool) -> bool {
+    let avail_eq = |a: Addr| m1.contains(a) == m2.contains(a);
+    mem_eq_on(m1, m2, &fp.rs)
+        && fp.ws.iter().all(|&a| avail_eq(a))
+        && dom_union(m1, m2).into_iter().filter(|&a| in_flist(a)).all(avail_eq)
+}
+
+/// `LEqPost(σ1, σ2, δ, F)` (Fig. 6): the results agree on the write set
+/// and on free-list availability.
+pub fn leq_post(m1: &Memory, m2: &Memory, fp: &Footprint, in_flist: impl Fn(Addr) -> bool) -> bool {
+    let avail_eq = |a: Addr| m1.contains(a) == m2.contains(a);
+    mem_eq_on(m1, m2, &fp.ws)
+        && dom_union(m1, m2).into_iter().filter(|&a| in_flist(a)).all(avail_eq)
+}
+
+fn dom_union(m1: &Memory, m2: &Memory) -> AddrSet {
+    m1.dom().chain(m2.dom()).collect()
+}
+
+/// The triple `µ = (S, S, f)` of §4: the shared memory locations at the
+/// source (`s_src`) and target (`s_tgt`) levels, and the injective partial
+/// mapping `f` from source addresses to target addresses.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::footprint::Mu;
+/// use ccc_core::mem::Addr;
+/// // Identity mapping over two shared globals.
+/// let mu = Mu::identity([Addr(8), Addr(16)]);
+/// assert!(mu.well_formed());
+/// assert_eq!(mu.map(Addr(8)), Some(Addr(8)));
+/// assert_eq!(mu.map(Addr(64)), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Mu {
+    /// Shared locations at the source level (`µ.S`).
+    pub s_src: AddrSet,
+    /// Shared locations at the target level (`µ.S` lower level).
+    pub s_tgt: AddrSet,
+    /// The injective mapping `µ.f` from source to target addresses.
+    pub f: BTreeMap<Addr, Addr>,
+}
+
+impl Mu {
+    /// Builds the identity `µ` over a common shared-location set — the
+    /// instantiation used when the compiler preserves the global layout.
+    pub fn identity(shared: impl IntoIterator<Item = Addr>) -> Mu {
+        let s: AddrSet = shared.into_iter().collect();
+        Mu {
+            f: s.iter().map(|&a| (a, a)).collect(),
+            s_src: s.clone(),
+            s_tgt: s,
+        }
+    }
+
+    /// Builds a `µ` from an explicit source→target address mapping.
+    pub fn from_map(f: impl IntoIterator<Item = (Addr, Addr)>) -> Mu {
+        let f: BTreeMap<Addr, Addr> = f.into_iter().collect();
+        Mu {
+            s_src: f.keys().copied().collect(),
+            s_tgt: f.values().copied().collect(),
+            f,
+        }
+    }
+
+    /// `wf(µ)` (Fig. 8): `µ.f` is injective, defined exactly on `µ.S`, and
+    /// maps `µ.S` onto the target shared set.
+    pub fn well_formed(&self) -> bool {
+        let injective = {
+            let mut seen = AddrSet::new();
+            self.f.values().all(|&v| seen.insert(v))
+        };
+        let dom_ok = self.f.keys().copied().collect::<AddrSet>() == self.s_src;
+        let img: AddrSet = self.f.values().copied().collect();
+        injective && dom_ok && img == self.s_tgt
+    }
+
+    /// `µ.f(l)`.
+    pub fn map(&self, a: Addr) -> Option<Addr> {
+        self.f.get(&a).copied()
+    }
+
+    /// `f{{S}}` (Fig. 8): the image of `s` under `µ.f`.
+    pub fn image<'a>(&self, s: impl IntoIterator<Item = &'a Addr>) -> AddrSet {
+        s.into_iter().filter_map(|&a| self.map(a)).collect()
+    }
+}
+
+/// `FPmatch(µ, ∆, δ)` (Fig. 8): footprint consistency between a source
+/// footprint `∆` and target footprint `δ`.
+///
+/// Shared reads of the target must come from shared reads *or writes* of
+/// the source (turning a write into a read cannot introduce races), and
+/// shared writes of the target must come from shared writes of the
+/// source. Local (non-shared) locations are unconstrained: accesses of
+/// module-local memory can never race.
+pub fn fp_match(mu: &Mu, src: &Footprint, tgt: &Footprint) -> bool {
+    let src_reads_or_writes = mu.image(src.rs.union(&src.ws));
+    let src_writes = mu.image(&src.ws);
+    let tgt_shared_reads: AddrSet = tgt.rs.intersection(&mu.s_tgt).copied().collect();
+    let tgt_shared_writes: AddrSet = tgt.ws.intersection(&mu.s_tgt).copied().collect();
+    tgt_shared_reads.is_subset(&src_reads_or_writes) && tgt_shared_writes.is_subset(&src_writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Val;
+
+    fn a(n: u64) -> Addr {
+        Addr(n)
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let f1 = Footprint::read(a(1));
+        let f2 = Footprint::write(a(2));
+        let u = f1.union(&f2);
+        assert!(f1.subset(&u) && f2.subset(&u));
+        assert!(!u.subset(&f1));
+        assert_eq!(u.locs(), [a(1), a(2)].into());
+    }
+
+    #[test]
+    fn conflict_requires_a_write() {
+        let r = Footprint::read(a(1));
+        let w = Footprint::write(a(1));
+        assert!(!r.conflicts(&r));
+        assert!(r.conflicts(&w));
+        assert!(w.conflicts(&w));
+        assert!(!w.conflicts(&Footprint::write(a(2))));
+    }
+
+    #[test]
+    fn tagged_conflict_ignores_atomic_atomic() {
+        let w = Footprint::write(a(1));
+        let t0 = TaggedFootprint { fp: w.clone(), bit: AtomicBit::Outside };
+        let t1 = TaggedFootprint { fp: w, bit: AtomicBit::Inside };
+        assert!(t0.conflicts(&t0));
+        assert!(t0.conflicts(&t1));
+        assert!(!t1.conflicts(&t1));
+    }
+
+    #[test]
+    fn leffect_rejects_out_of_ws_change() {
+        let mut pre = Memory::new();
+        pre.alloc(a(1), Val::Int(0));
+        pre.alloc(a(2), Val::Int(0));
+        let mut post = pre.clone();
+        assert!(post.store(a(1), Val::Int(7)));
+        let fp = Footprint::write(a(1));
+        assert!(leffect(&pre, &post, &fp, |_| false));
+        assert!(!leffect(&pre, &post, &Footprint::emp(), |_| false));
+    }
+
+    #[test]
+    fn leffect_checks_allocation_from_flist() {
+        let pre = Memory::new();
+        let mut post = Memory::new();
+        post.alloc(a(100), Val::Undef);
+        let fp = Footprint::write(a(100));
+        assert!(leffect(&pre, &post, &fp, |x| x == a(100)));
+        assert!(!leffect(&pre, &post, &fp, |_| false));
+    }
+
+    #[test]
+    fn leq_pre_ignores_unread_locations() {
+        let mut m1 = Memory::new();
+        m1.alloc(a(1), Val::Int(0));
+        m1.alloc(a(2), Val::Int(5));
+        let mut m2 = m1.clone();
+        assert!(m2.store(a(2), Val::Int(9)));
+        let fp = Footprint::read(a(1));
+        assert!(leq_pre(&m1, &m2, &fp, |_| false));
+        let fp2 = Footprint::read(a(2));
+        assert!(!leq_pre(&m1, &m2, &fp2, |_| false));
+    }
+
+    #[test]
+    fn leq_pre_checks_ws_availability_and_flist() {
+        let mut m1 = Memory::new();
+        m1.alloc(a(1), Val::Int(0));
+        let m2 = Memory::new();
+        // a(1) available in m1 but not m2: fails if a(1) ∈ ws
+        assert!(!leq_pre(&m1, &m2, &Footprint::write(a(1)), |_| false));
+        // also fails if a(1) ∈ F
+        assert!(!leq_pre(&m1, &m2, &Footprint::emp(), |x| x == a(1)));
+        // fine if a(1) is neither read, written, nor in F
+        assert!(leq_pre(&m1, &m2, &Footprint::emp(), |_| false));
+    }
+
+    #[test]
+    fn mu_well_formedness() {
+        let mu = Mu::identity([a(1), a(2)]);
+        assert!(mu.well_formed());
+        let mut bad = mu.clone();
+        bad.f.insert(a(3), a(1)); // not injective, dom ≠ S
+        assert!(!bad.well_formed());
+    }
+
+    #[test]
+    fn fp_match_basics() {
+        let mu = Mu::identity([a(1), a(2)]);
+        let src = Footprint { rs: [a(1)].into(), ws: [a(2)].into() };
+        // Target reads what source wrote: allowed.
+        let tgt = Footprint::reads([a(1), a(2)]);
+        assert!(fp_match(&mu, &src, &tgt));
+        // Target writes what source only read: rejected.
+        let tgt2 = Footprint::write(a(1));
+        assert!(!fp_match(&mu, &src, &tgt2));
+        // Local target accesses are unconstrained.
+        let tgt3 = Footprint::write(a(99));
+        assert!(fp_match(&mu, &src, &tgt3));
+    }
+
+    #[test]
+    fn fp_match_is_monotone_in_source() {
+        let mu = Mu::identity([a(1), a(2)]);
+        let small = Footprint::write(a(1));
+        let big = small.union(&Footprint::write(a(2)));
+        let tgt = Footprint::write(a(1));
+        assert!(fp_match(&mu, &small, &tgt));
+        assert!(fp_match(&mu, &big, &tgt));
+    }
+}

@@ -1,0 +1,582 @@
+//! The memory model of the framework (Fig. 4 and Fig. 5 of the paper).
+//!
+//! Memory is a finite partial mapping from word addresses to values
+//! (`State σ, Σ ::= Addr ⇀fin Val`). Each module (thread) owns a *free
+//! list* `F` — an infinite set of addresses reserved for allocating its
+//! local stack frames. Free lists of different threads are disjoint, which
+//! is the paper's key memory-model decision (§2.3): allocation in one
+//! thread never affects allocation in another, so non-conflicting
+//! operations of different threads can be reordered without changing the
+//! final state.
+//!
+//! Concretely, the address space is carved into disjoint regions:
+//! addresses below [`FreeList::REGION_SIZE`] form the *global region*
+//! holding statically allocated globals (the shared part `S` in Fig. 5),
+//! and thread `t` draws stack addresses from region `t + 1`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A memory address (`l ∈ Addr`).
+///
+/// Addresses are abstract words. The helpers [`Addr::region`] and
+/// [`FreeList`] impose the region discipline described in the module
+/// documentation.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::mem::Addr;
+/// let a = Addr(16);
+/// assert_eq!(a.region(), 0); // global region
+/// assert_eq!(a.offset(16), Addr(32));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The region index this address belongs to (0 = global region,
+    /// `t + 1` = stack region of thread `t`).
+    pub fn region(self) -> u64 {
+        self.0 / FreeList::REGION_SIZE
+    }
+
+    /// Returns the address `delta` words past `self`.
+    pub fn offset(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+
+    /// True if this address lies in the global (shared) region.
+    pub fn is_global(self) -> bool {
+        self.region() == 0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// A runtime value (`v ∈ Val`). Values are word-sized: integers,
+/// addresses (pointers), or the undefined value produced by reading
+/// uninitialized storage.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::mem::{Addr, Val};
+/// assert!(Val::Int(3).as_int().is_some());
+/// assert!(Val::Ptr(Addr(8)).as_addr().is_some());
+/// assert!(Val::Undef.as_int().is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Val {
+    /// An integer value.
+    Int(i64),
+    /// A pointer value.
+    Ptr(Addr),
+    /// The undefined value.
+    #[default]
+    Undef,
+}
+
+impl Val {
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The address payload, if this is a `Ptr`.
+    pub fn as_addr(self) -> Option<Addr> {
+        match self {
+            Val::Ptr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by conditionals: nonzero integers and all pointers
+    /// are true. Returns `None` for `Undef` (conditioning on undef aborts).
+    pub fn truth(self) -> Option<bool> {
+        match self {
+            Val::Int(i) => Some(i != 0),
+            Val::Ptr(_) => Some(true),
+            Val::Undef => None,
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Val {
+        Val::Int(i)
+    }
+}
+
+impl From<Addr> for Val {
+    fn from(a: Addr) -> Val {
+        Val::Ptr(a)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Ptr(a) => write!(f, "{a}"),
+            Val::Undef => write!(f, "undef"),
+        }
+    }
+}
+
+/// The global memory state (`σ, Σ ∈ Addr ⇀fin Val`).
+///
+/// A finite partial mapping from addresses to values. `dom(σ)` grows by
+/// allocation (from a thread's free list) and never shrinks
+/// ([`forward`]).
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::mem::{Addr, Memory, Val};
+/// let mut m = Memory::new();
+/// m.alloc(Addr(8), Val::Int(1));
+/// assert_eq!(m.load(Addr(8)), Some(Val::Int(1)));
+/// assert!(m.load(Addr(16)).is_none());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Memory {
+    map: BTreeMap<Addr, Val>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// The value stored at `a`, or `None` if `a ∉ dom(σ)`.
+    pub fn load(&self, a: Addr) -> Option<Val> {
+        self.map.get(&a).copied()
+    }
+
+    /// Stores `v` at `a`. Fails (returns `false`) if `a ∉ dom(σ)`:
+    /// stores never extend the domain, only [`Memory::alloc`] does.
+    #[must_use]
+    pub fn store(&mut self, a: Addr, v: Val) -> bool {
+        match self.map.get_mut(&a) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extends the domain with `a ↦ v`. Panics if `a` is already
+    /// allocated — allocation from a free list never re-allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ∈ dom(σ)`.
+    pub fn alloc(&mut self, a: Addr, v: Val) {
+        let prev = self.map.insert(a, v);
+        assert!(prev.is_none(), "double allocation at {a}");
+    }
+
+    /// True if `a ∈ dom(σ)`.
+    pub fn contains(&self, a: Addr) -> bool {
+        self.map.contains_key(&a)
+    }
+
+    /// Iterates over the mapping in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, Val)> + '_ {
+        self.map.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// The domain `dom(σ)` in address order.
+    pub fn dom(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no cell is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes `a` from the domain (used only by test harnesses that build
+    /// perturbed memories for the well-definedness checker; the semantics
+    /// itself never frees).
+    pub fn remove(&mut self, a: Addr) -> Option<Val> {
+        self.map.remove(&a)
+    }
+
+    /// `closed(S, σ)` (Fig. 7): every pointer stored at an address in `S`
+    /// again points into `S`. Instantiated with `S = dom(σ)` this is the
+    /// "no wild pointers" condition `closed(σ)` of the `Load` rule.
+    pub fn closed_on<'a>(&self, s: impl Fn(Addr) -> bool) -> bool {
+        self.map.iter().all(|(&a, &v)| match v {
+            Val::Ptr(p) => !s(a) || s(p),
+            _ => true,
+        })
+    }
+
+    /// `closed(σ)`: pointers stored in `σ` point into `dom(σ)`.
+    pub fn closed(&self) -> bool {
+        self.closed_on(|a| self.contains(a))
+    }
+}
+
+impl FromIterator<(Addr, Val)> for Memory {
+    fn from_iter<I: IntoIterator<Item = (Addr, Val)>>(iter: I) -> Memory {
+        Memory {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// `forward(σ, σ′)` (Fig. 6): the domain only grows.
+pub fn forward(pre: &Memory, post: &Memory) -> bool {
+    pre.dom().all(|a| post.contains(a))
+}
+
+/// A module's free list `F ∈ Pω(Addr)` (Fig. 4): the reserved, infinite
+/// set of addresses from which the module allocates local stack frames.
+///
+/// Free lists are represented as whole address-space regions: the free
+/// list of thread `t` is the region `[(t+1)·R, (t+2)·R)` for
+/// `R =` [`FreeList::REGION_SIZE`]. Distinct threads thus own disjoint
+/// free lists by construction, and the global region `[0, R)` intersects
+/// none of them — exactly the `Fi ∩ Fj = ∅` and `dom(σ) ∩ Fi = ∅` side
+/// conditions of the `Load` rule (Fig. 7).
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::mem::FreeList;
+/// let f0 = FreeList::for_thread(0);
+/// let f1 = FreeList::for_thread(1);
+/// assert!(!f0.contains(f1.addr_at(0)));
+/// assert!(f0.contains(f0.addr_at(42)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FreeList {
+    region: u64,
+}
+
+impl FreeList {
+    /// Size of one address-space region in words. Region 0 holds globals;
+    /// region `t + 1` is the free list of thread `t`.
+    pub const REGION_SIZE: u64 = 1 << 32;
+
+    /// The free list reserved for thread `t`.
+    pub fn for_thread(t: usize) -> FreeList {
+        FreeList {
+            region: t as u64 + 1,
+        }
+    }
+
+    /// True if `a ∈ F`.
+    pub fn contains(&self, a: Addr) -> bool {
+        a.region() == self.region
+    }
+
+    /// The `n`-th address of this free list. Languages instantiating the
+    /// framework keep a cursor (the paper's block index `N`) in their core
+    /// state and allocate `addr_at(N)`, `addr_at(N+1)`, ….
+    pub fn addr_at(&self, n: u64) -> Addr {
+        assert!(n < FreeList::REGION_SIZE, "free list exhausted");
+        Addr(self.region * FreeList::REGION_SIZE + n)
+    }
+
+    /// True if the two free lists are disjoint (always, unless identical).
+    pub fn disjoint(&self, other: &FreeList) -> bool {
+        self.region != other.region
+    }
+}
+
+/// A module's global environment `ge ∈ Addr ⇀fin Val` (Fig. 4), extended
+/// with a symbol table so that languages can resolve global identifiers.
+///
+/// `GE(Π)` — the union of the global environments of all linked modules —
+/// is computed by [`GlobalEnv::link`]; it is defined only when the pieces
+/// agree on overlapping addresses and symbols (Fig. 7).
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::mem::{GlobalEnv, Val};
+/// let mut ge = GlobalEnv::new();
+/// let x = ge.define("x", Val::Int(0));
+/// assert_eq!(ge.lookup("x"), Some(x));
+/// assert_eq!(ge.initial_value(x), Some(Val::Int(0)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GlobalEnv {
+    symbols: BTreeMap<String, Addr>,
+    init: BTreeMap<Addr, Val>,
+    next: u64,
+}
+
+impl GlobalEnv {
+    /// Creates an empty global environment.
+    pub fn new() -> GlobalEnv {
+        GlobalEnv::with_base(8)
+    }
+
+    /// Creates an empty environment allocating fresh globals from
+    /// `base` upwards. Separately built module environments link only
+    /// if their globals do not collide; giving each module (e.g. a
+    /// synchronization object) its own base region is the simple
+    /// convention used throughout this workspace. Address 0 is reserved
+    /// (languages may use it as a null pointer).
+    pub fn with_base(base: u64) -> GlobalEnv {
+        GlobalEnv {
+            symbols: BTreeMap::new(),
+            init: BTreeMap::new(),
+            next: base.max(8),
+        }
+    }
+
+    /// Defines a fresh one-word global named `name` with initial value
+    /// `v`, returning its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already defined.
+    pub fn define(&mut self, name: impl Into<String>, v: Val) -> Addr {
+        self.define_block(name, &[v])
+    }
+
+    /// Defines a fresh multi-word global (e.g. an array), returning the
+    /// address of its first word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already defined or `words` is empty.
+    pub fn define_block(&mut self, name: impl Into<String>, words: &[Val]) -> Addr {
+        let name = name.into();
+        assert!(!words.is_empty(), "empty global {name}");
+        assert!(
+            !self.symbols.contains_key(&name),
+            "duplicate global {name}"
+        );
+        let base = Addr(self.next);
+        assert!(base.is_global(), "global region exhausted");
+        for (i, &w) in words.iter().enumerate() {
+            self.init.insert(base.offset(i as u64), w);
+        }
+        self.next += words.len() as u64;
+        self.symbols.insert(name, base);
+        base
+    }
+
+    /// Defines `name` at a caller-chosen global address (used when linking
+    /// modules that must agree on a layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is taken, the address is outside the global
+    /// region, or any word collides with an existing definition.
+    pub fn define_at(&mut self, name: impl Into<String>, base: Addr, words: &[Val]) {
+        let name = name.into();
+        assert!(base.is_global(), "global {name} outside the global region");
+        assert!(!self.symbols.contains_key(&name), "duplicate global {name}");
+        for (i, &w) in words.iter().enumerate() {
+            let a = base.offset(i as u64);
+            let prev = self.init.insert(a, w);
+            assert!(prev.is_none_or(|p| p == w), "conflicting init at {a}");
+        }
+        self.symbols.insert(name, base);
+        self.next = self.next.max(base.0 + words.len() as u64);
+    }
+
+    /// Builds an environment from raw `(symbol, address)` and
+    /// `(address, initial value)` lists. Returns `None` on duplicate
+    /// symbols, conflicting initial values, or non-global addresses.
+    pub fn from_parts(
+        symbols: impl IntoIterator<Item = (String, Addr)>,
+        init: impl IntoIterator<Item = (Addr, Val)>,
+    ) -> Option<GlobalEnv> {
+        let mut out = GlobalEnv::new();
+        for (name, addr) in symbols {
+            if !addr.is_global() || out.symbols.insert(name, addr).is_some() {
+                return None;
+            }
+            out.next = out.next.max(addr.0 + 1);
+        }
+        for (addr, v) in init {
+            if !addr.is_global() {
+                return None;
+            }
+            if let Some(prev) = out.init.insert(addr, v) {
+                if prev != v {
+                    return None;
+                }
+            }
+            out.next = out.next.max(addr.0 + 1);
+        }
+        Some(out)
+    }
+
+    /// The address of global `name`, if defined.
+    pub fn lookup(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The initial value stored at `a`, if `a` belongs to a global.
+    pub fn initial_value(&self, a: Addr) -> Option<Val> {
+        self.init.get(&a).copied()
+    }
+
+    /// Iterates over `(address, initial value)` pairs.
+    pub fn init_iter(&self) -> impl Iterator<Item = (Addr, Val)> + '_ {
+        self.init.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Iterates over `(symbol, address)` pairs.
+    pub fn symbol_iter(&self) -> impl Iterator<Item = (&str, Addr)> + '_ {
+        self.symbols.iter().map(|(s, &a)| (s.as_str(), a))
+    }
+
+    /// `GE(Π)` (Fig. 7): the union of the given global environments.
+    /// Returns `None` if two environments disagree on an overlapping
+    /// address or symbol — the union is then undefined and the program
+    /// does not load.
+    pub fn link<'a>(envs: impl IntoIterator<Item = &'a GlobalEnv>) -> Option<GlobalEnv> {
+        let mut out = GlobalEnv::new();
+        for ge in envs {
+            for (name, addr) in &ge.symbols {
+                match out.symbols.get(name) {
+                    Some(&prev) if prev != *addr => return None,
+                    Some(_) => {}
+                    None => {
+                        out.symbols.insert(name.clone(), *addr);
+                    }
+                }
+            }
+            for (&a, &v) in &ge.init {
+                match out.init.get(&a) {
+                    Some(&prev) if prev != v => return None,
+                    Some(_) => {}
+                    None => {
+                        out.init.insert(a, v);
+                    }
+                }
+            }
+            out.next = out.next.max(ge.next);
+        }
+        Some(out)
+    }
+
+    /// The initial memory `σ = GE(Π)` of the `Load` rule.
+    pub fn initial_memory(&self) -> Memory {
+        self.init.iter().map(|(&a, &v)| (a, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_regions() {
+        assert!(Addr(0).is_global());
+        assert!(Addr(FreeList::REGION_SIZE - 1).is_global());
+        assert!(!Addr(FreeList::REGION_SIZE).is_global());
+        assert_eq!(Addr(FreeList::REGION_SIZE).region(), 1);
+    }
+
+    #[test]
+    fn freelists_disjoint_from_globals_and_each_other() {
+        let f0 = FreeList::for_thread(0);
+        let f1 = FreeList::for_thread(1);
+        assert!(f0.disjoint(&f1));
+        assert!(!f0.contains(Addr(100)));
+        assert!(f0.contains(f0.addr_at(0)));
+        assert!(!f1.contains(f0.addr_at(0)));
+    }
+
+    #[test]
+    fn store_does_not_extend_domain() {
+        let mut m = Memory::new();
+        assert!(!m.store(Addr(8), Val::Int(1)));
+        m.alloc(Addr(8), Val::Undef);
+        assert!(m.store(Addr(8), Val::Int(1)));
+        assert_eq!(m.load(Addr(8)), Some(Val::Int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn double_alloc_panics() {
+        let mut m = Memory::new();
+        m.alloc(Addr(8), Val::Undef);
+        m.alloc(Addr(8), Val::Undef);
+    }
+
+    #[test]
+    fn forward_checks_domain_growth() {
+        let mut pre = Memory::new();
+        pre.alloc(Addr(8), Val::Int(1));
+        let mut post = pre.clone();
+        post.alloc(Addr(16), Val::Int(2));
+        assert!(forward(&pre, &post));
+        assert!(!forward(&post, &pre));
+    }
+
+    #[test]
+    fn closed_detects_wild_pointers() {
+        let mut m = Memory::new();
+        m.alloc(Addr(8), Val::Ptr(Addr(16)));
+        assert!(!m.closed());
+        m.alloc(Addr(16), Val::Int(0));
+        assert!(m.closed());
+    }
+
+    #[test]
+    fn global_env_define_and_link() {
+        let mut g1 = GlobalEnv::new();
+        let x = g1.define("x", Val::Int(1));
+        let mut g2 = GlobalEnv::new();
+        g2.define_at("x", x, &[Val::Int(1)]);
+        g2.define("y", Val::Int(2));
+        let linked = GlobalEnv::link([&g1, &g2]).expect("compatible");
+        assert_eq!(linked.lookup("x"), Some(x));
+        assert!(linked.lookup("y").is_some());
+
+        // Conflicting initial values make the union undefined.
+        let mut g3 = GlobalEnv::new();
+        g3.define_at("x", x, &[Val::Int(9)]);
+        assert!(GlobalEnv::link([&g1, &g3]).is_none());
+    }
+
+    #[test]
+    fn global_env_initial_memory_closed() {
+        let mut ge = GlobalEnv::new();
+        let x = ge.define("x", Val::Int(0));
+        ge.define("p", Val::Ptr(x));
+        assert!(ge.initial_memory().closed());
+    }
+
+    #[test]
+    fn linked_env_next_avoids_collisions() {
+        let mut g1 = GlobalEnv::new();
+        g1.define("x", Val::Int(1));
+        let mut linked = GlobalEnv::link([&g1]).expect("compatible");
+        let y = linked.define("y", Val::Int(2));
+        assert_ne!(Some(y), g1.lookup("x"));
+    }
+}

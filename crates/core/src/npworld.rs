@@ -1,0 +1,317 @@
+//! The non-preemptive global semantics (bottom of Fig. 7 of the paper).
+//!
+//! The non-preemptive world `W̃ = (T, t, 𝕕, σ)` replaces the single
+//! atomic bit of the preemptive [`crate::world::World`] with an
+//! atomic-bit *map* `𝕕` recording, for every thread, whether its next
+//! step is inside an atomic block — necessary because a context switch
+//! may occur right when a thread has just entered an atomic block.
+//!
+//! There is no analogue of the `Switch` rule: control moves to another
+//! thread only at *synchronization points* — the entry and exit of
+//! atomic blocks (rules `EntAtnp`, `ExtAtnp`) and thread termination.
+//! For data-race-free programs this semantics is equivalent to the
+//! preemptive one (Lem. 9, validated by [`crate::refine`]), and its far
+//! smaller state space is what makes sequential-compiler reuse possible.
+
+use crate::footprint::Footprint;
+use crate::lang::{Lang, StepMsg};
+use crate::mem::Memory;
+use crate::world::{GLabel, Loaded, ThreadId, ThreadState, ThreadStep};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The non-preemptive world `W̃ = (T, t, 𝕕, σ)`.
+pub struct NpWorld<L: Lang> {
+    /// The thread pool `T`.
+    pub threads: Vec<ThreadState<L>>,
+    /// The current thread `t`.
+    pub cur: ThreadId,
+    /// The atomic-bit map `𝕕`.
+    pub dbits: Vec<bool>,
+    /// The shared memory `σ`.
+    pub mem: Memory,
+}
+
+impl<L: Lang> NpWorld<L> {
+    /// True if every thread has terminated.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(ThreadState::is_done)
+    }
+
+    /// Thread ids of live (unterminated) threads.
+    pub fn live_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_done())
+            .map(|(i, _)| i)
+    }
+}
+
+impl<L: Lang> Clone for NpWorld<L> {
+    fn clone(&self) -> Self {
+        NpWorld {
+            threads: self.threads.clone(),
+            cur: self.cur,
+            dbits: self.dbits.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+}
+impl<L: Lang> PartialEq for NpWorld<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.cur == other.cur
+            && self.dbits == other.dbits
+            && self.mem == other.mem
+    }
+}
+impl<L: Lang> Eq for NpWorld<L> {}
+impl<L: Lang> Hash for NpWorld<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.threads.hash(state);
+        self.cur.hash(state);
+        self.dbits.hash(state);
+        self.mem.hash(state);
+    }
+}
+impl<L: Lang> fmt::Debug for NpWorld<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NpWorld")
+            .field("cur", &self.cur)
+            .field("dbits", &self.dbits)
+            .field("threads", &self.threads)
+            .field("mem", &self.mem)
+            .finish()
+    }
+}
+
+/// One possible non-preemptive global step outcome.
+pub enum NpStep<L: Lang> {
+    /// A successor world.
+    Next {
+        /// The step label (`τ`, `sw`, or an event).
+        label: GLabel,
+        /// The footprint of the underlying local step.
+        fp: Footprint,
+        /// The successor world.
+        world: NpWorld<L>,
+    },
+    /// The step aborts.
+    Abort,
+}
+
+impl<L: Lang> fmt::Debug for NpStep<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpStep::Next { label, fp, .. } => f
+                .debug_struct("Next")
+                .field("label", label)
+                .field("fp", fp)
+                .finish_non_exhaustive(),
+            NpStep::Abort => write!(f, "Abort"),
+        }
+    }
+}
+
+impl<L: Lang> Loaded<L> {
+    /// Builds the initial non-preemptive world with current thread
+    /// `first` (the `Load` rule's nondeterministic choice of `t`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Loaded::load_with_first`].
+    pub fn np_load_with_first(&self, first: ThreadId) -> Result<NpWorld<L>, crate::world::LoadError> {
+        let w = self.load_with_first(first)?;
+        let n = w.threads.len();
+        Ok(NpWorld {
+            threads: w.threads,
+            cur: w.cur,
+            dbits: vec![false; n],
+            mem: w.mem,
+        })
+    }
+
+    /// All global steps from `w` under the non-preemptive semantics.
+    ///
+    /// The current thread executes locally; a nondeterministic switch to
+    /// any live thread is offered exactly at the synchronization points:
+    /// atomic-block entry/exit (rules `EntAtnp`/`ExtAtnp`) and thread
+    /// termination.
+    pub fn step_np(&self, w: &NpWorld<L>) -> Vec<NpStep<L>> {
+        let mut out = Vec::new();
+        if w.threads[w.cur].is_done() {
+            // Scheduling left a done thread current (initial choice);
+            // allow recovery switches to live threads.
+            for t in w.live_threads() {
+                let mut w2 = w.clone();
+                w2.cur = t;
+                out.push(NpStep::Next {
+                    label: GLabel::Sw,
+                    fp: Footprint::emp(),
+                    world: w2,
+                });
+            }
+            return out;
+        }
+        for ts in self.local_thread_steps(&w.threads[w.cur], &w.mem) {
+            match ts {
+                ThreadStep::Internal { msg, fp, frames, mem } => match msg {
+                    StepMsg::Tau | StepMsg::Event(_) => {
+                        let mut w2 = w.clone();
+                        w2.threads[w.cur].frames = frames;
+                        w2.mem = mem;
+                        let label = match msg {
+                            StepMsg::Event(e) => GLabel::Ev(e),
+                            _ => GLabel::Tau,
+                        };
+                        out.push(NpStep::Next { label, fp, world: w2 });
+                    }
+                    StepMsg::EntAtom | StepMsg::ExtAtom => {
+                        let entering = msg == StepMsg::EntAtom;
+                        if w.dbits[w.cur] == entering {
+                            out.push(NpStep::Abort); // nested entry / stray exit
+                            continue;
+                        }
+                        // Rules EntAtnp / ExtAtnp: perform the step, flip
+                        // the thread's atomic bit, and switch (possibly to
+                        // the same thread).
+                        let mut base = w.clone();
+                        base.threads[w.cur].frames = frames;
+                        base.mem = mem;
+                        base.dbits[w.cur] = entering;
+                        for t in base.live_threads().collect::<Vec<_>>() {
+                            let mut w2 = base.clone();
+                            w2.cur = t;
+                            out.push(NpStep::Next {
+                                label: GLabel::Sw,
+                                fp: fp.clone(),
+                                world: w2,
+                            });
+                        }
+                    }
+                },
+                ThreadStep::Terminated => {
+                    let mut base = w.clone();
+                    base.threads[w.cur].frames.clear();
+                    let live: Vec<_> = base.live_threads().collect();
+                    if live.is_empty() {
+                        out.push(NpStep::Next {
+                            label: GLabel::Tau,
+                            fp: Footprint::emp(),
+                            world: base,
+                        });
+                    } else {
+                        for t in live {
+                            let mut w2 = base.clone();
+                            w2.cur = t;
+                            out.push(NpStep::Next {
+                                label: GLabel::Sw,
+                                fp: Footprint::emp(),
+                                world: w2,
+                            });
+                        }
+                    }
+                }
+                ThreadStep::Abort => out.push(NpStep::Abort),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Prog;
+    use crate::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
+
+    fn two_thread_prog() -> Prog<ToyLang> {
+        let body = vec![
+            ToyInstr::Const(1),
+            ToyInstr::EntAtom,
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::Add(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let (m, _) = toy_module(&[("t1", body.clone()), ("t2", body)], &[]);
+        Prog::new(ToyLang, vec![(m, toy_globals(&[("x", 0)]))], ["t1", "t2"])
+    }
+
+    #[test]
+    fn no_switch_on_tau_steps() {
+        let loaded = Loaded::new(two_thread_prog()).expect("link");
+        let w = loaded.np_load_with_first(0).expect("load");
+        // First instruction is Const: a τ-step, no switch offered.
+        let steps = loaded.step_np(&w);
+        assert_eq!(steps.len(), 1);
+        assert!(matches!(
+            steps[0],
+            NpStep::Next { label: GLabel::Tau, .. }
+        ));
+    }
+
+    #[test]
+    fn switch_offered_at_atomic_entry() {
+        let loaded = Loaded::new(two_thread_prog()).expect("link");
+        let w = loaded.np_load_with_first(0).expect("load");
+        let w = match loaded.step_np(&w).into_iter().next().expect("tau") {
+            NpStep::Next { world, .. } => world,
+            NpStep::Abort => panic!("abort"),
+        };
+        // Second instruction is EntAtom: switches to both threads.
+        let steps = loaded.step_np(&w);
+        assert_eq!(steps.len(), 2);
+        let targets: Vec<_> = steps
+            .iter()
+            .map(|s| match s {
+                NpStep::Next { label: GLabel::Sw, world, .. } => world.cur,
+                _ => panic!("expected switch"),
+            })
+            .collect();
+        assert_eq!(targets, vec![0, 1]);
+        // The entering thread's atomic bit is recorded in 𝕕.
+        if let NpStep::Next { world, .. } = &steps[1] {
+            assert!(world.dbits[0]);
+            assert!(!world.dbits[1]);
+        }
+    }
+
+    #[test]
+    fn np_run_completes_under_any_switch_choice() {
+        let loaded = Loaded::new(two_thread_prog()).expect("link");
+        // Depth-first over all nondeterministic choices; all runs must
+        // terminate with x incremented twice.
+        let w0 = loaded.np_load_with_first(0).expect("load");
+        let mut stack = vec![(w0, 0usize)];
+        let mut finished = 0;
+        while let Some((w, depth)) = stack.pop() {
+            assert!(depth < 100, "runaway execution");
+            if w.is_done() {
+                let x = crate::toy::toy_global_addr("x");
+                assert_eq!(w.mem.load(x), Some(crate::mem::Val::Int(2)));
+                finished += 1;
+                continue;
+            }
+            for s in loaded.step_np(&w) {
+                match s {
+                    NpStep::Next { world, .. } => stack.push((world, depth + 1)),
+                    NpStep::Abort => panic!("abort"),
+                }
+            }
+        }
+        assert!(finished > 0);
+    }
+
+    #[test]
+    fn stray_extatom_aborts() {
+        let (m, _) = toy_module(&[("t", vec![ToyInstr::ExtAtom, ToyInstr::Ret(0)])], &[]);
+        let prog = Prog::new(ToyLang, vec![(m, crate::mem::GlobalEnv::new())], ["t"]);
+        let loaded = Loaded::new(prog).expect("link");
+        let w = loaded.np_load_with_first(0).expect("load");
+        let steps = loaded.step_np(&w);
+        assert!(matches!(steps[0], NpStep::Abort));
+    }
+}

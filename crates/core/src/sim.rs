@@ -1,0 +1,755 @@
+//! The footprint-preserving, compositional module-local simulation
+//! (§4, Defs. 2 and 3 of the paper) as an executable checker.
+//!
+//! `(sl, ge, γ) 4φ (tl, ge′, π)` relates the non-preemptive executions
+//! of a source and a target module:
+//!
+//! * the target's global environment is the `φ`-image of the source's;
+//! * `τ`-steps of the source correspond to `τ*` sequences of the target
+//!   with *consistent footprints* (`FPmatch`) — the key to reducing DRF
+//!   preservation to a module-local obligation;
+//! * at every switch point (events, atomic boundaries, external calls,
+//!   returns) the two sides emit the same message, the low-level
+//!   guarantee `LG` holds, and the simulation survives any environment
+//!   step satisfying `Rely`.
+//!
+//! The Coq artifact *proves* this relation for every CompCert pass; this
+//! crate *checks* it along concrete executions: the universally
+//! quantified rely steps are replaced by sampled perturbations applied
+//! at switch points (round-robin over [`SimOptions::perturbations`]),
+//! and external call results are drawn from a caller-provided oracle.
+//! See DESIGN.md ("Limitations") for the precise testing-for-proof
+//! substitution.
+
+use crate::footprint::{Footprint, Mu};
+use crate::lang::{Event, Lang, LocalStep, StepMsg};
+use crate::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use crate::rg::{self, map_val};
+use std::fmt;
+
+/// A module under test: language, code, and global environment.
+#[derive(Clone, Copy)]
+#[allow(missing_debug_implementations)]
+pub struct ModuleCtx<'a, L: Lang> {
+    /// The language dispatcher.
+    pub lang: &'a L,
+    /// The module code.
+    pub module: &'a L::Module,
+    /// The module's global environment.
+    pub ge: &'a GlobalEnv,
+}
+
+/// The observable content of a switch point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SyncKind {
+    /// An output event.
+    Event(Event),
+    /// Entry into an atomic block.
+    EntAtom,
+    /// Exit from an atomic block.
+    ExtAtom,
+    /// An external call (to another module).
+    Call {
+        /// The callee's name.
+        callee: String,
+        /// The argument values.
+        args: Vec<Val>,
+    },
+}
+
+/// One environment perturbation: source-level writes to shared cells,
+/// mirrored on the target through `µ`. Must keep the shared region
+/// closed (integer values always do).
+pub type SharedUpdate = Vec<(Addr, Val)>;
+
+/// Options for a simulation check.
+#[allow(missing_debug_implementations)]
+pub struct SimOptions<'a> {
+    /// Environment perturbations, applied round-robin (interleaved with
+    /// the identity) at switch points — the sampled stand-ins for the
+    /// `∀`-quantified rely steps of Def. 3 case 2(c).
+    pub perturbations: Vec<SharedUpdate>,
+    /// Supplies the return value of the `i`-th external call.
+    pub call_oracle: &'a dyn Fn(&str, &[Val], usize) -> Val,
+    /// Per-side step budget.
+    pub fuel: usize,
+}
+
+impl Default for SimOptions<'static> {
+    fn default() -> Self {
+        SimOptions {
+            perturbations: Vec::new(),
+            call_oracle: &|_, _, _| Val::Int(0),
+            fuel: 100_000,
+        }
+    }
+}
+
+/// Why a simulation check failed.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// `⌊φ⌋(ge) ≠ ge′` (Def. 2 item 1).
+    GeMismatch,
+    /// `initM` failed on the provided initial memories.
+    InitM,
+    /// `InitCore` failed on one side.
+    InitCore {
+        /// True if the source side failed.
+        source: bool,
+    },
+    /// A side was nondeterministic (this checker requires `det`).
+    Nondet {
+        /// True if the source side was nondeterministic.
+        source: bool,
+    },
+    /// The source aborted or got stuck (a `Safe`/`ReachClose` violation
+    /// of the input, not of the compiler).
+    SourceAbort,
+    /// The target aborted or got stuck where the source did not.
+    TargetAbort,
+    /// Source footprints escaped `F ∪ µ.S` (a `ReachClose` violation).
+    SourceScope(Footprint),
+    /// The target emitted a different switch-point message.
+    MsgMismatch {
+        /// What the source emitted (`None` = returned).
+        source: Option<SyncKind>,
+        /// What the target emitted (`None` = returned).
+        target: Option<SyncKind>,
+    },
+    /// Return values were unrelated.
+    RetMismatch {
+        /// The source return value.
+        source: Val,
+        /// The target return value.
+        target: Val,
+    },
+    /// The low-level guarantee `LG` (footprint consistency, scoping,
+    /// closedness, or the memory invariant) failed at a switch point.
+    LgFailed {
+        /// Accumulated source footprint.
+        src_fp: Footprint,
+        /// Accumulated target footprint.
+        tgt_fp: Footprint,
+    },
+    /// The source terminated but the target ran out of fuel
+    /// (termination preservation, the index `i` of Def. 3).
+    TargetDiverged,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GeMismatch => write!(f, "⌊φ⌋(ge) ≠ ge′"),
+            SimError::InitM => write!(f, "initM failed"),
+            SimError::InitCore { source } => {
+                write!(f, "InitCore failed on {}", side(*source))
+            }
+            SimError::Nondet { source } => {
+                write!(f, "nondeterministic {} module", side(*source))
+            }
+            SimError::SourceAbort => write!(f, "source aborted (unsafe input)"),
+            SimError::TargetAbort => write!(f, "target aborted where source did not"),
+            SimError::SourceScope(fp) => {
+                write!(f, "source footprint escaped F ∪ µ.S: {fp:?}")
+            }
+            SimError::MsgMismatch { source, target } => {
+                write!(f, "switch-point mismatch: source {source:?}, target {target:?}")
+            }
+            SimError::RetMismatch { source, target } => {
+                write!(f, "return values unrelated: {source} vs {target}")
+            }
+            SimError::LgFailed { src_fp, tgt_fp } => {
+                write!(f, "LG failed: ∆ = {src_fp:?}, δ = {tgt_fp:?}")
+            }
+            SimError::TargetDiverged => write!(f, "target diverged under a terminating source"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn side(source: bool) -> &'static str {
+    if source {
+        "source"
+    } else {
+        "target"
+    }
+}
+
+/// Statistics from a successful simulation check.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SimReport {
+    /// Switch points crossed.
+    pub switch_points: usize,
+    /// Source steps executed.
+    pub src_steps: usize,
+    /// Target steps executed.
+    pub tgt_steps: usize,
+    /// True if fuel ran out before the source returned (the verdict
+    /// covers only the explored prefix).
+    pub truncated: bool,
+}
+
+/// Module-local execution state: a frame stack of cores plus the
+/// module's view of memory.
+struct LocalCfg<L: Lang> {
+    frames: Vec<L::Core>,
+    mem: Memory,
+}
+
+/// What a module-local run stopped at.
+enum RunStop<L: Lang> {
+    Sync {
+        kind: SyncKind,
+        cfg: LocalCfg<L>,
+        /// For calls: the caller core to resume (top of `cfg.frames`).
+        pending_call: bool,
+    },
+    Terminated {
+        val: Val,
+        mem: Memory,
+    },
+    Abort,
+    Nondet,
+    Fuel,
+}
+
+/// Runs a module locally until its next switch point, accumulating the
+/// footprint into `acc`. Intra-module calls are resolved internally;
+/// only calls to functions the module does not export surface as
+/// [`SyncKind::Call`].
+fn run_to_sync<L: Lang>(
+    ctx: &ModuleCtx<'_, L>,
+    flist: &FreeList,
+    mut cfg: LocalCfg<L>,
+    acc: &mut Footprint,
+    steps: &mut usize,
+    fuel: usize,
+) -> RunStop<L> {
+    let exports = ctx.lang.exports(ctx.module);
+    for _ in 0..fuel {
+        let Some(core) = cfg.frames.last() else {
+            unreachable!("empty frame stack mid-run");
+        };
+        let mut outs = ctx.lang.step(ctx.module, ctx.ge, flist, core, &cfg.mem);
+        if outs.is_empty() {
+            return RunStop::Abort;
+        }
+        if outs.len() > 1 {
+            return RunStop::Nondet;
+        }
+        *steps += 1;
+        match outs.remove(0) {
+            LocalStep::Step { msg, fp, core, mem } => {
+                acc.extend(&fp);
+                *cfg.frames.last_mut().expect("live") = core;
+                cfg.mem = mem;
+                match msg {
+                    StepMsg::Tau => {}
+                    StepMsg::Event(e) => {
+                        return RunStop::Sync {
+                            kind: SyncKind::Event(e),
+                            cfg,
+                            pending_call: false,
+                        }
+                    }
+                    StepMsg::EntAtom => {
+                        return RunStop::Sync {
+                            kind: SyncKind::EntAtom,
+                            cfg,
+                            pending_call: false,
+                        }
+                    }
+                    StepMsg::ExtAtom => {
+                        return RunStop::Sync {
+                            kind: SyncKind::ExtAtom,
+                            cfg,
+                            pending_call: false,
+                        }
+                    }
+                }
+            }
+            LocalStep::Call { callee, args, cont } => {
+                *cfg.frames.last_mut().expect("live") = cont;
+                if exports.iter().any(|e| *e == callee) {
+                    // Intra-module call: resolved locally, stays silent.
+                    match ctx.lang.init_core(ctx.module, ctx.ge, &callee, &args) {
+                        Some(inner) => cfg.frames.push(inner),
+                        None => return RunStop::Abort,
+                    }
+                } else {
+                    return RunStop::Sync {
+                        kind: SyncKind::Call { callee, args },
+                        cfg,
+                        pending_call: true,
+                    };
+                }
+            }
+            LocalStep::Ret { val } => {
+                cfg.frames.pop();
+                match cfg.frames.last() {
+                    Some(caller) => {
+                        match ctx.lang.resume(ctx.module, caller, val) {
+                            Some(resumed) => *cfg.frames.last_mut().expect("live") = resumed,
+                            None => return RunStop::Abort,
+                        }
+                    }
+                    None => {
+                        return RunStop::Terminated { val, mem: cfg.mem }
+                    }
+                }
+            }
+            LocalStep::Abort => return RunStop::Abort,
+        }
+    }
+    RunStop::Fuel
+}
+
+/// Checks the module-local downward simulation
+/// `(sl, ge, γ) 4φ (tl, ge′, π)` (Def. 2) for one entry point, along the
+/// deterministic joint execution with sampled rely perturbations.
+///
+/// The initial source memory is `src.ge`'s initial memory extended with
+/// `extra_shared` (so callers can model shared cells owned by other
+/// modules); the target memory is its `µ`-image.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
+pub fn check_module_sim<S: Lang, T: Lang>(
+    src: &ModuleCtx<'_, S>,
+    tgt: &ModuleCtx<'_, T>,
+    mu: &Mu,
+    entry: &str,
+    extra_shared: &[(Addr, Val)],
+    opts: &SimOptions<'_>,
+) -> Result<SimReport, SimError> {
+    // Def. 2 item 1: ⌊φ⌋(ge) = ge′.
+    let mapped = rg::map_ge(mu, src.ge).ok_or(SimError::GeMismatch)?;
+    if !ge_subsumes(tgt.ge, &mapped) {
+        return Err(SimError::GeMismatch);
+    }
+
+    // Initial memories: Σ from ge ∪ extra shared cells; σ = φ-image.
+    let mut src_mem = src.ge.initial_memory();
+    for &(a, v) in extra_shared {
+        if !src_mem.contains(a) {
+            src_mem.alloc(a, v);
+        }
+    }
+    let tgt_mem: Memory = src_mem
+        .iter()
+        .map(|(a, v)| {
+            let a2 = mu.map(a).ok_or(SimError::InitM)?;
+            let v2 = map_val(mu, v).ok_or(SimError::InitM)?;
+            Ok((a2, v2))
+        })
+        .collect::<Result<_, SimError>>()?;
+    if !rg::init_m(mu, src.ge, &src_mem, &tgt_mem) {
+        return Err(SimError::InitM);
+    }
+
+    let flist = FreeList::for_thread(0);
+    let src_core = src
+        .lang
+        .init_core(src.module, src.ge, entry, &[])
+        .ok_or(SimError::InitCore { source: true })?;
+    let tgt_core = tgt
+        .lang
+        .init_core(tgt.module, tgt.ge, entry, &[])
+        .ok_or(SimError::InitCore { source: false })?;
+
+    let mut s_cfg = LocalCfg::<S> {
+        frames: vec![src_core],
+        mem: src_mem,
+    };
+    let mut t_cfg = LocalCfg::<T> {
+        frames: vec![tgt_core],
+        mem: tgt_mem,
+    };
+
+    let mut report = SimReport::default();
+    let mut calls = 0usize;
+    let in_scope_src = |a: Addr| flist.contains(a) || mu.s_src.contains(&a);
+
+    loop {
+        let mut src_fp = Footprint::emp();
+        let mut tgt_fp = Footprint::emp();
+
+        let s_stop = run_to_sync(src, &flist, s_cfg, &mut src_fp, &mut report.src_steps, opts.fuel);
+        if !src_fp.within(in_scope_src) {
+            return Err(SimError::SourceScope(src_fp));
+        }
+        let t_stop = run_to_sync(tgt, &flist, t_cfg, &mut tgt_fp, &mut report.tgt_steps, opts.fuel);
+
+        match (s_stop, t_stop) {
+            (RunStop::Nondet, _) => return Err(SimError::Nondet { source: true }),
+            (_, RunStop::Nondet) => return Err(SimError::Nondet { source: false }),
+            (RunStop::Abort, _) => return Err(SimError::SourceAbort),
+            (_, RunStop::Abort) => return Err(SimError::TargetAbort),
+            (RunStop::Fuel, _) => {
+                report.truncated = true;
+                return Ok(report);
+            }
+            (RunStop::Terminated { .. }, RunStop::Fuel) => {
+                return Err(SimError::TargetDiverged)
+            }
+            (
+                RunStop::Terminated { val: sv, mem: sm },
+                RunStop::Terminated { val: tv, mem: tm },
+            ) => {
+                if map_val(mu, sv) != Some(tv) {
+                    return Err(SimError::RetMismatch { source: sv, target: tv });
+                }
+                if !rg::lg(mu, &tgt_fp, &tm, &flist, &src_fp, &sm) {
+                    return Err(SimError::LgFailed { src_fp, tgt_fp });
+                }
+                return Ok(report);
+            }
+            (RunStop::Terminated { .. }, RunStop::Sync { kind, .. }) => {
+                return Err(SimError::MsgMismatch {
+                    source: None,
+                    target: Some(kind),
+                })
+            }
+            (RunStop::Sync { kind, .. }, RunStop::Terminated { .. }) => {
+                return Err(SimError::MsgMismatch {
+                    source: Some(kind),
+                    target: None,
+                })
+            }
+            (RunStop::Sync { kind, .. }, RunStop::Fuel) => {
+                let _ = kind;
+                return Err(SimError::TargetDiverged);
+            }
+            (
+                RunStop::Sync { kind: sk, cfg: mut s2, pending_call: s_call },
+                RunStop::Sync { kind: tk, cfg: mut t2, pending_call: t_call },
+            ) => {
+                // Messages must match (arguments modulo µ).
+                let args_match = match (&sk, &tk) {
+                    (
+                        SyncKind::Call { callee: sc, args: sa },
+                        SyncKind::Call { callee: tc, args: ta },
+                    ) => {
+                        sc == tc
+                            && sa.len() == ta.len()
+                            && sa
+                                .iter()
+                                .zip(ta)
+                                .all(|(&a, &b)| map_val(mu, a) == Some(b))
+                    }
+                    _ => sk == tk,
+                };
+                if !args_match {
+                    return Err(SimError::MsgMismatch {
+                        source: Some(sk),
+                        target: Some(tk),
+                    });
+                }
+                // LG at the switch point (includes FPmatch and Inv).
+                if !rg::lg(mu, &tgt_fp, &t2.mem, &flist, &src_fp, &s2.mem) {
+                    return Err(SimError::LgFailed { src_fp, tgt_fp });
+                }
+                report.switch_points += 1;
+
+                // External call: feed the oracle's return value to both.
+                if s_call {
+                    debug_assert!(t_call);
+                    let SyncKind::Call { callee, args } = &sk else {
+                        unreachable!()
+                    };
+                    let rv = (opts.call_oracle)(callee, args, calls);
+                    calls += 1;
+                    let tv = map_val(mu, rv).ok_or(SimError::InitM)?;
+                    let sc = src
+                        .lang
+                        .resume(src.module, s2.frames.last().expect("live"), rv)
+                        .ok_or(SimError::SourceAbort)?;
+                    *s2.frames.last_mut().expect("live") = sc;
+                    let tc = tgt
+                        .lang
+                        .resume(tgt.module, t2.frames.last().expect("live"), tv)
+                        .ok_or(SimError::TargetAbort)?;
+                    *t2.frames.last_mut().expect("live") = tc;
+                }
+
+                // Rely step: apply the round-robin perturbation to the
+                // shared memory on both sides.
+                if !opts.perturbations.is_empty() {
+                    let n = opts.perturbations.len() + 1;
+                    let idx = report.switch_points % n;
+                    if idx > 0 {
+                        let update = &opts.perturbations[idx - 1];
+                        for &(a, v) in update {
+                            debug_assert!(mu.s_src.contains(&a), "perturbation outside µ.S");
+                            let _ = s2.mem.store(a, v);
+                            if let (Some(a2), Some(v2)) = (mu.map(a), map_val(mu, v)) {
+                                let _ = t2.mem.store(a2, v2);
+                            }
+                        }
+                    }
+                }
+
+                s_cfg = s2;
+                t_cfg = t2;
+            }
+        }
+    }
+}
+
+/// True if `ge` defines at least everything `expected` does, with equal
+/// addresses and initial values (the target may define extra private
+/// globals, e.g. compiler-introduced constants).
+fn ge_subsumes(ge: &GlobalEnv, expected: &GlobalEnv) -> bool {
+    expected
+        .symbol_iter()
+        .all(|(name, addr)| ge.lookup(name) == Some(addr))
+        && expected
+            .init_iter()
+            .all(|(a, v)| ge.initial_value(a) == Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{toy_global_addr, toy_globals, toy_module, ToyInstr, ToyLang};
+
+    fn lock_shaped_body() -> Vec<ToyInstr> {
+        vec![
+            ToyInstr::EntAtom,
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::Add(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::ExtAtom,
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::Print,
+            ToyInstr::RetAcc,
+        ]
+    }
+
+    fn ctx<'a>(lang: &'a ToyLang, m: &'a crate::toy::ToyModule, ge: &'a GlobalEnv) -> ModuleCtx<'a, ToyLang> {
+        ModuleCtx { lang, module: m, ge }
+    }
+
+    #[test]
+    fn identity_transformation_simulates() {
+        let ge = toy_globals(&[("x", 0)]);
+        let (m, _) = toy_module(&[("f", lock_shaped_body())], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let r = check_module_sim(
+            &ctx(&lang, &m, &ge),
+            &ctx(&lang, &m, &ge),
+            &mu,
+            "f",
+            &[],
+            &SimOptions::default(),
+        )
+        .expect("identity simulates");
+        assert!(r.switch_points >= 2);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn reordered_local_writes_simulate() {
+        // Source: x := 1; y := 2 — target: y := 2; x := 1 (both inside an
+        // atomic block). FPmatch accumulates across the block, so the
+        // reordering is accepted (§4's swap example).
+        let src_body = vec![
+            ToyInstr::EntAtom,
+            ToyInstr::Const(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::Const(2),
+            ToyInstr::StoreG("y".into()),
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let tgt_body = vec![
+            ToyInstr::EntAtom,
+            ToyInstr::Const(2),
+            ToyInstr::StoreG("y".into()),
+            ToyInstr::Const(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let ge = toy_globals(&[("x", 0), ("y", 0)]);
+        let (ms, _) = toy_module(&[("f", src_body)], &[]);
+        let (mt, _) = toy_module(&[("f", tgt_body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &SimOptions::default(),
+        )
+        .expect("reordering within a block simulates");
+    }
+
+    #[test]
+    fn extra_shared_write_is_rejected() {
+        // Target writes y which the source never touches: FPmatch fails.
+        let src_body = vec![
+            ToyInstr::Const(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::EntAtom,
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let tgt_body = vec![
+            ToyInstr::Const(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::Const(9),
+            ToyInstr::StoreG("y".into()),
+            ToyInstr::EntAtom,
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let ge = toy_globals(&[("x", 0), ("y", 0)]);
+        let (ms, _) = toy_module(&[("f", src_body)], &[]);
+        let (mt, _) = toy_module(&[("f", tgt_body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let err = check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &SimOptions::default(),
+        )
+        .expect_err("extra shared write must be rejected");
+        assert!(matches!(err, SimError::LgFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn event_value_mismatch_is_rejected() {
+        let src_body = vec![ToyInstr::Const(1), ToyInstr::Print, ToyInstr::Ret(0)];
+        let tgt_body = vec![ToyInstr::Const(2), ToyInstr::Print, ToyInstr::Ret(0)];
+        let ge = toy_globals(&[]);
+        let (ms, _) = toy_module(&[("f", src_body)], &[]);
+        let (mt, _) = toy_module(&[("f", tgt_body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let err = check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &SimOptions::default(),
+        )
+        .expect_err("different events");
+        assert!(matches!(err, SimError::MsgMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn rely_perturbation_exposes_invalid_caching() {
+        // Source re-reads x after the atomic section; target "caches" the
+        // old value (models an optimization crossing a switch point).
+        let src_body = vec![
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::EntAtom,
+            ToyInstr::ExtAtom,
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::Print,
+            ToyInstr::Ret(0),
+        ];
+        let tgt_body = vec![
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::EntAtom,
+            ToyInstr::ExtAtom,
+            ToyInstr::Print, // prints the stale accumulator
+            ToyInstr::Ret(0),
+        ];
+        let ge = toy_globals(&[("x", 0)]);
+        let (ms, _) = toy_module(&[("f", src_body)], &[]);
+        let (mt, _) = toy_module(&[("f", tgt_body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let x = toy_global_addr("x");
+        let opts = SimOptions {
+            perturbations: vec![vec![(x, Val::Int(5))]],
+            ..SimOptions::default()
+        };
+        let err = check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &opts,
+        )
+        .expect_err("caching across a switch point must be exposed");
+        assert!(matches!(err, SimError::MsgMismatch { .. }), "{err}");
+
+        // Without any perturbation the bad optimization goes unnoticed —
+        // exactly why Def. 3 quantifies over the environment.
+        check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &SimOptions::default(),
+        )
+        .expect("unnoticed without rely steps");
+    }
+
+    #[test]
+    fn external_calls_are_switch_points() {
+        let body = vec![
+            ToyInstr::Call("ext".into()),
+            ToyInstr::Print,
+            ToyInstr::Ret(0),
+        ];
+        let ge = toy_globals(&[]);
+        let (m, _) = toy_module(&[("f", body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let opts = SimOptions {
+            call_oracle: &|_, _, _| Val::Int(41),
+            ..SimOptions::default()
+        };
+        let r = check_module_sim(
+            &ctx(&lang, &m, &ge),
+            &ctx(&lang, &m, &ge),
+            &mu,
+            "f",
+            &[],
+            &opts,
+        )
+        .expect("call handled");
+        assert_eq!(r.switch_points, 2); // the call + the print event
+    }
+
+    #[test]
+    fn termination_preservation() {
+        let src_body = vec![ToyInstr::Ret(0)];
+        // Target spins forever.
+        let tgt_body = vec![ToyInstr::Jmp(0)];
+        let ge = toy_globals(&[]);
+        let (ms, _) = toy_module(&[("f", src_body)], &[]);
+        let (mt, _) = toy_module(&[("f", tgt_body)], &[]);
+        let mu = Mu::identity(ge.initial_memory().dom());
+        let lang = ToyLang;
+        let opts = SimOptions {
+            fuel: 1000,
+            ..SimOptions::default()
+        };
+        let err = check_module_sim(
+            &ctx(&lang, &ms, &ge),
+            &ctx(&lang, &mt, &ge),
+            &mu,
+            "f",
+            &[],
+            &opts,
+        )
+        .expect_err("diverging target");
+        assert!(matches!(err, SimError::TargetDiverged), "{err}");
+    }
+}

@@ -1,0 +1,424 @@
+//! A miniature module language instantiating [`Lang`], used to exercise
+//! the framework in this crate's own tests, examples, and benchmarks.
+//!
+//! The language is a one-accumulator machine over global variables with
+//! atomic blocks, local (free-list-allocated) cells, cross-module calls,
+//! branching, output, and an explicit nondeterministic-choice instruction
+//! (to exercise the determinism and well-definedness checkers). It is
+//! deliberately tiny; real instantiations live in the `ccc-clight`,
+//! `ccc-cimp`, `ccc-machine` and `ccc-compiler` crates.
+
+use crate::footprint::Footprint;
+use crate::lang::{Lang, LocalStep, StepMsg};
+use crate::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use std::collections::BTreeMap;
+
+/// One toy instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ToyInstr {
+    /// `acc := n`.
+    Const(i64),
+    /// `acc := [g]` for global `g`.
+    LoadG(String),
+    /// `[g] := acc`.
+    StoreG(String),
+    /// `acc := acc + n`. Aborts on an undef or pointer accumulator.
+    Add(i64),
+    /// Emits `print(acc)`. Aborts on a non-integer accumulator.
+    Print,
+    /// Enters an atomic block.
+    EntAtom,
+    /// Exits an atomic block.
+    ExtAtom,
+    /// Calls an external function with no arguments; `acc` receives the
+    /// return value.
+    Call(String),
+    /// Returns the constant `n`.
+    Ret(i64),
+    /// Returns the accumulator.
+    RetAcc,
+    /// Unconditional jump to instruction index `pc`.
+    Jmp(usize),
+    /// Jump to `pc` if `acc ≠ 0`.
+    Bnz(usize),
+    /// Allocates a fresh local cell from the free list and appends its
+    /// address to the local environment.
+    AllocLocal,
+    /// `acc := [local i]`.
+    LoadL(usize),
+    /// `[local i] := acc`.
+    StoreL(usize),
+    /// Nondeterministically sets `acc` to 0 or 1.
+    Choice,
+}
+
+/// A toy module: named instruction sequences.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ToyModule {
+    /// The functions of the module.
+    pub funcs: BTreeMap<String, Vec<ToyInstr>>,
+}
+
+/// The toy core state `κ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ToyCore {
+    fun: String,
+    pc: usize,
+    acc: Val,
+    locals: Vec<Addr>,
+    next_alloc: u64,
+}
+
+/// The toy language dispatcher (zero-sized).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ToyLang;
+
+/// Convenience constructor: builds a module plus a [`GlobalEnv`]
+/// defining integer globals.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::toy::{toy_module, ToyInstr};
+/// let (module, ge) = toy_module(
+///     &[("main", vec![ToyInstr::Const(1), ToyInstr::StoreG("x".into()), ToyInstr::Ret(0)])],
+///     &[("x", 0)],
+/// );
+/// assert!(ge.lookup("x").is_some());
+/// assert!(module.funcs.contains_key("main"));
+/// ```
+pub fn toy_module(funcs: &[(&str, Vec<ToyInstr>)], globals: &[(&str, i64)]) -> (ToyModule, GlobalEnv) {
+    let mut ge = GlobalEnv::new();
+    for &(name, v) in globals {
+        ge.define(name, Val::Int(v));
+    }
+    let module = ToyModule {
+        funcs: funcs
+            .iter()
+            .map(|(n, is)| (n.to_string(), is.clone()))
+            .collect(),
+    };
+    (module, ge)
+}
+
+impl ToyCore {
+    fn at(&self, module: &ToyModule) -> Option<ToyInstr> {
+        module.funcs.get(&self.fun)?.get(self.pc).cloned()
+    }
+
+    fn next(&self, acc: Val) -> ToyCore {
+        ToyCore {
+            pc: self.pc + 1,
+            acc,
+            ..self.clone()
+        }
+    }
+}
+
+impl Lang for ToyLang {
+    type Module = ToyModule;
+    type Core = ToyCore;
+
+    fn name(&self) -> &'static str {
+        "toy"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        if !module.funcs.contains_key(entry) {
+            return None;
+        }
+        Some(ToyCore {
+            fun: entry.to_string(),
+            pc: 0,
+            acc: args.first().copied().unwrap_or(Val::Int(0)),
+            locals: Vec::new(),
+            next_alloc: 0,
+        })
+    }
+
+    fn step(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        // Toy globals live at fixed name-derived addresses (see
+        // `toy_global_addr`), so no symbol resolution through `ge` is
+        // needed here.
+        let step = |msg, fp, core, mem| vec![LocalStep::Step { msg, fp, core, mem }];
+        let tau = StepMsg::Tau;
+        let Some(instr) = core.at(module) else {
+            return Vec::new(); // stuck: pc out of range
+        };
+        match instr {
+            ToyInstr::Const(n) => step(tau, Footprint::emp(), core.next(Val::Int(n)), mem.clone()),
+            ToyInstr::LoadG(name) => {
+                let Some(addr) = resolve_global(&name) else {
+                    return vec![LocalStep::Abort];
+                };
+                match mem.load(addr) {
+                    Some(v) => step(tau, Footprint::read(addr), core.next(v), mem.clone()),
+                    None => vec![LocalStep::Abort],
+                }
+            }
+            ToyInstr::StoreG(name) => {
+                let Some(addr) = resolve_global(&name) else {
+                    return vec![LocalStep::Abort];
+                };
+                let mut m = mem.clone();
+                if !m.store(addr, core.acc) {
+                    return vec![LocalStep::Abort];
+                }
+                step(tau, Footprint::write(addr), core.next(core.acc), m)
+            }
+            ToyInstr::Add(n) => match core.acc {
+                Val::Int(i) => step(
+                    tau,
+                    Footprint::emp(),
+                    core.next(Val::Int(i.wrapping_add(n))),
+                    mem.clone(),
+                ),
+                _ => vec![LocalStep::Abort],
+            },
+            ToyInstr::Print => match core.acc {
+                Val::Int(i) => step(
+                    StepMsg::Event(crate::lang::Event::Print(i)),
+                    Footprint::emp(),
+                    core.next(core.acc),
+                    mem.clone(),
+                ),
+                _ => vec![LocalStep::Abort],
+            },
+            ToyInstr::EntAtom => step(
+                StepMsg::EntAtom,
+                Footprint::emp(),
+                core.next(core.acc),
+                mem.clone(),
+            ),
+            ToyInstr::ExtAtom => step(
+                StepMsg::ExtAtom,
+                Footprint::emp(),
+                core.next(core.acc),
+                mem.clone(),
+            ),
+            ToyInstr::Call(name) => vec![LocalStep::Call {
+                callee: name.clone(),
+                args: Vec::new(),
+                cont: core.clone(),
+            }],
+            ToyInstr::Ret(n) => vec![LocalStep::Ret { val: Val::Int(n) }],
+            ToyInstr::RetAcc => vec![LocalStep::Ret { val: core.acc }],
+            ToyInstr::Jmp(pc) => {
+                let mut c = core.clone();
+                c.pc = pc;
+                step(tau, Footprint::emp(), c, mem.clone())
+            }
+            ToyInstr::Bnz(pc) => {
+                let Some(t) = core.acc.truth() else {
+                    return vec![LocalStep::Abort];
+                };
+                let mut c = core.next(core.acc);
+                if t {
+                    c.pc = pc;
+                }
+                step(tau, Footprint::emp(), c, mem.clone())
+            }
+            ToyInstr::AllocLocal => {
+                let addr = flist.addr_at(core.next_alloc);
+                let mut m = mem.clone();
+                if m.contains(addr) {
+                    return vec![LocalStep::Abort];
+                }
+                m.alloc(addr, Val::Int(0));
+                let mut c = core.next(core.acc);
+                c.locals.push(addr);
+                c.next_alloc += 1;
+                step(tau, Footprint::write(addr), c, m)
+            }
+            ToyInstr::LoadL(i) => {
+                let Some(&addr) = core.locals.get(i) else {
+                    return vec![LocalStep::Abort];
+                };
+                match mem.load(addr) {
+                    Some(v) => step(tau, Footprint::read(addr), core.next(v), mem.clone()),
+                    None => vec![LocalStep::Abort],
+                }
+            }
+            ToyInstr::StoreL(i) => {
+                let Some(&addr) = core.locals.get(i) else {
+                    return vec![LocalStep::Abort];
+                };
+                let mut m = mem.clone();
+                if !m.store(addr, core.acc) {
+                    return vec![LocalStep::Abort];
+                }
+                step(tau, Footprint::write(addr), core.next(core.acc), m)
+            }
+            ToyInstr::Choice => [0, 1]
+                .into_iter()
+                .map(|b| LocalStep::Step {
+                    msg: tau,
+                    fp: Footprint::emp(),
+                    core: core.next(Val::Int(b)),
+                    mem: mem.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        Some(core.next(ret))
+    }
+}
+
+/// Global-name resolution for the toy language.
+///
+/// Toy globals are placed at fixed addresses derived from the name via
+/// the shared [`toy_global_addr`] convention, so that separately
+/// constructed toy modules agree on the layout (and hence link).
+fn resolve_global(name: &str) -> Option<Addr> {
+    Some(toy_global_addr(name))
+}
+
+/// The fixed global address assigned to toy global `name`.
+///
+/// Names hash into the global region deterministically; tests use few
+/// distinct names, and [`GlobalEnv::define_at`] catches collisions.
+pub fn toy_global_addr(name: &str) -> Addr {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Keep within the global region, word-aligned, away from address 0.
+    Addr(8 + (h % 0x0fff_0000) * 8 % FreeList::REGION_SIZE)
+}
+
+/// Builds a [`GlobalEnv`] for toy globals at their fixed addresses.
+pub fn toy_globals(globals: &[(&str, i64)]) -> GlobalEnv {
+    let mut ge = GlobalEnv::new();
+    for &(name, v) in globals {
+        ge.define_at(name, toy_global_addr(name), &[Val::Int(v)]);
+    }
+    ge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_ret(module: &ToyModule, ge: &GlobalEnv, entry: &str, mem: &mut Memory) -> Option<Val> {
+        let lang = ToyLang;
+        let fl = FreeList::for_thread(0);
+        let mut core = lang.init_core(module, ge, entry, &[])?;
+        for _ in 0..1000 {
+            let steps = lang.step(module, ge, &fl, &core, mem);
+            match steps.into_iter().next()? {
+                LocalStep::Step { core: c, mem: m, .. } => {
+                    core = c;
+                    *mem = m;
+                }
+                LocalStep::Ret { val } => return Some(val),
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn const_store_load_roundtrip() {
+        let ge = toy_globals(&[("x", 0)]);
+        let (module, _) = toy_module(
+            &[(
+                "main",
+                vec![
+                    ToyInstr::Const(7),
+                    ToyInstr::StoreG("x".into()),
+                    ToyInstr::Const(0),
+                    ToyInstr::LoadG("x".into()),
+                    ToyInstr::RetAcc,
+                ],
+            )],
+            &[],
+        );
+        let mut mem = ge.initial_memory();
+        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(7)));
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let (module, _) = toy_module(
+            &[(
+                "main",
+                vec![
+                    ToyInstr::Const(3),
+                    ToyInstr::Add(-1),
+                    ToyInstr::Bnz(1),
+                    ToyInstr::RetAcc,
+                ],
+            )],
+            &[],
+        );
+        let ge = GlobalEnv::new();
+        let mut mem = Memory::new();
+        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(0)));
+    }
+
+    #[test]
+    fn locals_allocate_from_flist() {
+        let (module, _) = toy_module(
+            &[(
+                "main",
+                vec![
+                    ToyInstr::AllocLocal,
+                    ToyInstr::Const(5),
+                    ToyInstr::StoreL(0),
+                    ToyInstr::Const(0),
+                    ToyInstr::LoadL(0),
+                    ToyInstr::RetAcc,
+                ],
+            )],
+            &[],
+        );
+        let ge = GlobalEnv::new();
+        let mut mem = Memory::new();
+        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(5)));
+        // The allocated cell lives in thread 0's free list region.
+        let fl = FreeList::for_thread(0);
+        assert!(mem.dom().all(|a| fl.contains(a)));
+    }
+
+    #[test]
+    fn choice_is_nondeterministic() {
+        let (module, _) = toy_module(&[("main", vec![ToyInstr::Choice, ToyInstr::RetAcc])], &[]);
+        let lang = ToyLang;
+        let ge = GlobalEnv::new();
+        let core = lang.init_core(&module, &ge, "main", &[]).expect("init");
+        let fl = FreeList::for_thread(0);
+        let steps = lang.step(&module, &ge, &fl, &core, &Memory::new());
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn load_of_unallocated_global_aborts() {
+        let (module, _) = toy_module(&[("main", vec![ToyInstr::LoadG("nope".into()), ToyInstr::RetAcc])], &[]);
+        let lang = ToyLang;
+        let ge = GlobalEnv::new();
+        let core = lang.init_core(&module, &ge, "main", &[]).expect("init");
+        let fl = FreeList::for_thread(0);
+        let steps = lang.step(&module, &ge, &fl, &core, &Memory::new());
+        assert_eq!(steps, vec![LocalStep::Abort]);
+    }
+}

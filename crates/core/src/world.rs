@@ -1,0 +1,791 @@
+//! The global preemptive semantics (Fig. 7 of the paper).
+//!
+//! A world `W = (T, t, d, σ)` holds the thread pool, the id of the
+//! current thread, the atomic bit `d`, and the shared memory. Each global
+//! step executes the current module locally and processes the resulting
+//! message: `τ`-steps and events stay in the thread, `EntAtom`/`ExtAtom`
+//! flip the atomic bit, and the `Switch` rule may move control to any
+//! other thread at any point where `d = 0` — that is what makes the
+//! semantics preemptive.
+//!
+//! Following footnote 5 of the paper, a thread is a *stack* of
+//! `(module, core)` frames so that modules can call each other's external
+//! functions; `Call`/`Ret` push and pop frames.
+
+use crate::footprint::Footprint;
+use crate::lang::{Event, Lang, LocalStep, Prog, StepMsg};
+use crate::mem::{FreeList, GlobalEnv, Memory, Val};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A thread identifier `t`.
+pub type ThreadId = usize;
+
+/// One stack frame: a core state executing within a module.
+pub struct Frame<L: Lang> {
+    /// Index of the module (into [`Prog::modules`]) this frame runs in.
+    pub module: usize,
+    /// The module-local core state.
+    pub core: L::Core,
+}
+
+/// The state of one thread: its frame stack and free list. A thread with
+/// an empty frame stack has terminated.
+pub struct ThreadState<L: Lang> {
+    /// The frame stack; the last element is the active frame.
+    pub frames: Vec<Frame<L>>,
+    /// The thread's free list `F`.
+    pub flist: FreeList,
+}
+
+impl<L: Lang> ThreadState<L> {
+    /// True if the thread has terminated.
+    pub fn is_done(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The active frame, if the thread is live.
+    pub fn top(&self) -> Option<&Frame<L>> {
+        self.frames.last()
+    }
+}
+
+/// The world `W = (T, t, d, σ)` of the preemptive semantics.
+pub struct World<L: Lang> {
+    /// The thread pool `T`.
+    pub threads: Vec<ThreadState<L>>,
+    /// The current thread `t`.
+    pub cur: ThreadId,
+    /// The atomic bit `d`: true when the current thread is inside an
+    /// atomic block (no switches allowed).
+    pub atom: bool,
+    /// The shared memory `σ`.
+    pub mem: Memory,
+}
+
+impl<L: Lang> World<L> {
+    /// True if every thread has terminated.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(ThreadState::is_done)
+    }
+
+    /// Thread ids of live (unterminated) threads.
+    pub fn live_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_done())
+            .map(|(i, _)| i)
+    }
+}
+
+// Manual impls: deriving would wrongly require `L: Clone + Eq + …`.
+impl<L: Lang> Clone for Frame<L> {
+    fn clone(&self) -> Self {
+        Frame {
+            module: self.module,
+            core: self.core.clone(),
+        }
+    }
+}
+impl<L: Lang> PartialEq for Frame<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.module == other.module && self.core == other.core
+    }
+}
+impl<L: Lang> Eq for Frame<L> {}
+impl<L: Lang> Hash for Frame<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.module.hash(state);
+        self.core.hash(state);
+    }
+}
+impl<L: Lang> fmt::Debug for Frame<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frame")
+            .field("module", &self.module)
+            .field("core", &self.core)
+            .finish()
+    }
+}
+
+impl<L: Lang> Clone for ThreadState<L> {
+    fn clone(&self) -> Self {
+        ThreadState {
+            frames: self.frames.clone(),
+            flist: self.flist,
+        }
+    }
+}
+impl<L: Lang> PartialEq for ThreadState<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.frames == other.frames && self.flist == other.flist
+    }
+}
+impl<L: Lang> Eq for ThreadState<L> {}
+impl<L: Lang> Hash for ThreadState<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.frames.hash(state);
+        self.flist.hash(state);
+    }
+}
+impl<L: Lang> fmt::Debug for ThreadState<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadState")
+            .field("frames", &self.frames)
+            .field("flist", &self.flist)
+            .finish()
+    }
+}
+
+impl<L: Lang> Clone for World<L> {
+    fn clone(&self) -> Self {
+        World {
+            threads: self.threads.clone(),
+            cur: self.cur,
+            atom: self.atom,
+            mem: self.mem.clone(),
+        }
+    }
+}
+impl<L: Lang> PartialEq for World<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.cur == other.cur
+            && self.atom == other.atom
+            && self.mem == other.mem
+    }
+}
+impl<L: Lang> Eq for World<L> {}
+impl<L: Lang> Hash for World<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.threads.hash(state);
+        self.cur.hash(state);
+        self.atom.hash(state);
+        self.mem.hash(state);
+    }
+}
+impl<L: Lang> fmt::Debug for World<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("threads", &self.threads)
+            .field("cur", &self.cur)
+            .field("atom", &self.atom)
+            .field("mem", &self.mem)
+            .finish()
+    }
+}
+
+/// The label `o` of a global step: silent, a switch event `sw`, or an
+/// observable event `e` (Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GLabel {
+    /// Silent.
+    Tau,
+    /// A context switch (`sw`).
+    Sw,
+    /// An observable event.
+    Ev(Event),
+}
+
+/// One possible thread-local outcome of a step, with calls and returns
+/// already resolved into frame operations. Produced by
+/// [`Loaded::local_thread_steps`].
+pub enum ThreadStep<L: Lang> {
+    /// The thread advances: its new frame stack, the step's message,
+    /// footprint, and successor memory.
+    Internal {
+        /// The step's message.
+        msg: StepMsg,
+        /// The step's footprint.
+        fp: Footprint,
+        /// The thread's new frame stack.
+        frames: Vec<Frame<L>>,
+        /// The successor memory.
+        mem: Memory,
+    },
+    /// The thread's bottom frame returned: the thread terminates.
+    Terminated,
+    /// The thread aborts.
+    Abort,
+}
+
+impl<L: Lang> fmt::Debug for ThreadStep<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadStep::Internal { msg, fp, .. } => f
+                .debug_struct("Internal")
+                .field("msg", msg)
+                .field("fp", fp)
+                .finish_non_exhaustive(),
+            ThreadStep::Terminated => write!(f, "Terminated"),
+            ThreadStep::Abort => write!(f, "Abort"),
+        }
+    }
+}
+
+/// One possible global step outcome.
+pub enum GStep<L: Lang> {
+    /// A successor world with its label and footprint.
+    Next {
+        /// The step label.
+        label: GLabel,
+        /// The footprint of the underlying local step.
+        fp: Footprint,
+        /// The successor world.
+        world: World<L>,
+    },
+    /// The step aborts (local abort, stuck configuration, or a protocol
+    /// violation such as nested atomic blocks).
+    Abort,
+}
+
+impl<L: Lang> fmt::Debug for GStep<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GStep::Next { label, fp, .. } => f
+                .debug_struct("Next")
+                .field("label", label)
+                .field("fp", fp)
+                .finish_non_exhaustive(),
+            GStep::Abort => write!(f, "Abort"),
+        }
+    }
+}
+
+/// Why a program failed to load (the side conditions of the `Load` rule).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LoadError {
+    /// The modules' global environments are incompatible (`GE(Π)`
+    /// undefined).
+    IncompatibleGlobalEnvs,
+    /// The initial memory contains wild pointers (`¬closed(σ)`).
+    NotClosed,
+    /// A thread entry `f` is not exported by any module.
+    UnresolvedEntry(String),
+    /// `InitCore` failed for a thread entry.
+    InitCoreFailed(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::IncompatibleGlobalEnvs => write!(f, "incompatible global environments"),
+            LoadError::NotClosed => write!(f, "initial memory is not closed"),
+            LoadError::UnresolvedEntry(e) => write!(f, "unresolved thread entry `{e}`"),
+            LoadError::InitCoreFailed(e) => write!(f, "InitCore failed for entry `{e}`"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A loaded program: the program text together with its linked global
+/// environment `GE(Π)`. All global-step functions live here.
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::lang::Prog;
+/// use ccc_core::toy::{toy_module, ToyInstr, ToyLang};
+/// use ccc_core::world::Loaded;
+/// let (m, ge) = toy_module(&[("main", vec![ToyInstr::Ret(0)])], &[]);
+/// let loaded = Loaded::new(Prog::new(ToyLang, vec![(m, ge)], ["main"]))?;
+/// let w = loaded.load()?;
+/// assert!(!w.is_done());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Loaded<L: Lang> {
+    /// The program.
+    pub prog: Prog<L>,
+    /// The linked global environment `GE(Π)`.
+    pub ge: GlobalEnv,
+    /// Cache of function name → exporting module index (declaration
+    /// order wins, as in [`Prog::resolve`]).
+    resolve: std::collections::BTreeMap<String, usize>,
+}
+
+impl<L: Lang> fmt::Debug for Loaded<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Loaded")
+            .field("entries", &self.prog.entries)
+            .field("modules", &self.prog.modules.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: Lang> Loaded<L> {
+    /// Links the program's global environments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::IncompatibleGlobalEnvs`] if `GE(Π)` is
+    /// undefined.
+    pub fn new(prog: Prog<L>) -> Result<Loaded<L>, LoadError> {
+        let ge = prog.linked_ge().ok_or(LoadError::IncompatibleGlobalEnvs)?;
+        let mut resolve = std::collections::BTreeMap::new();
+        for (idx, m) in prog.modules.iter().enumerate() {
+            for name in prog.lang.exports(&m.code) {
+                resolve.entry(name).or_insert(idx);
+            }
+        }
+        Ok(Loaded { prog, ge, resolve })
+    }
+
+    /// Cached variant of [`Prog::resolve`].
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        self.resolve.get(name).copied()
+    }
+
+    /// The `Load` rule (Fig. 7): builds the initial world with current
+    /// thread `first`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoadError`] if any side condition of the rule fails.
+    pub fn load_with_first(&self, first: ThreadId) -> Result<World<L>, LoadError> {
+        let mem = self.ge.initial_memory();
+        if !mem.closed() {
+            return Err(LoadError::NotClosed);
+        }
+        let mut threads = Vec::new();
+        for (tid, entry) in self.prog.entries.iter().enumerate() {
+            let midx = self
+                .prog
+                .resolve(entry)
+                .ok_or_else(|| LoadError::UnresolvedEntry(entry.clone()))?;
+            let core = self
+                .prog
+                .lang
+                .init_core(&self.prog.modules[midx].code, &self.ge, entry, &[])
+                .ok_or_else(|| LoadError::InitCoreFailed(entry.clone()))?;
+            threads.push(ThreadState {
+                frames: vec![Frame { module: midx, core }],
+                flist: FreeList::for_thread(tid),
+            });
+        }
+        assert!(first < threads.len(), "initial thread out of range");
+        Ok(World {
+            threads,
+            cur: first,
+            atom: false,
+            mem,
+        })
+    }
+
+    /// The `Load` rule with the canonical initial thread 0.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Loaded::load_with_first`].
+    pub fn load(&self) -> Result<World<L>, LoadError> {
+        self.load_with_first(0)
+    }
+
+    /// The possible thread-local outcomes of one step of `thread` against
+    /// memory `mem`. This resolves external calls and returns into frame
+    /// pushes/pops but performs no global bookkeeping; both the
+    /// preemptive and the non-preemptive global semantics are built on
+    /// it.
+    pub fn local_thread_steps(&self, thread: &ThreadState<L>, mem: &Memory) -> Vec<ThreadStep<L>> {
+        let Some(frame) = thread.top() else {
+            return Vec::new(); // terminated thread: no local steps
+        };
+        let module = &self.prog.modules[frame.module].code;
+        let locals = self
+            .prog
+            .lang
+            .step(module, &self.ge, &thread.flist, &frame.core, mem);
+        if locals.is_empty() {
+            return vec![ThreadStep::Abort]; // stuck
+        }
+        let mut out = Vec::new();
+        for local in locals {
+            match local {
+                LocalStep::Step { msg, fp, core, mem: m } => {
+                    // Rules EntAt/ExtAt require an empty footprint and
+                    // unchanged memory.
+                    if matches!(msg, StepMsg::EntAtom | StepMsg::ExtAtom)
+                        && (!fp.is_emp() || &m != mem)
+                    {
+                        out.push(ThreadStep::Abort);
+                        continue;
+                    }
+                    let mut frames = thread.frames.clone();
+                    frames.last_mut().expect("live").core = core;
+                    out.push(ThreadStep::Internal { msg, fp, frames, mem: m });
+                }
+                LocalStep::Call { callee, args, cont } => {
+                    let Some(midx) = self.resolve(&callee) else {
+                        out.push(ThreadStep::Abort);
+                        continue;
+                    };
+                    let Some(core) = self.prog.lang.init_core(
+                        &self.prog.modules[midx].code,
+                        &self.ge,
+                        &callee,
+                        &args,
+                    ) else {
+                        out.push(ThreadStep::Abort);
+                        continue;
+                    };
+                    let mut frames = thread.frames.clone();
+                    frames.last_mut().expect("live").core = cont;
+                    frames.push(Frame { module: midx, core });
+                    out.push(ThreadStep::Internal {
+                        msg: StepMsg::Tau,
+                        fp: Footprint::emp(),
+                        frames,
+                        mem: mem.clone(),
+                    });
+                }
+                LocalStep::Ret { val } => {
+                    let mut frames = thread.frames.clone();
+                    frames.pop();
+                    if let Some(caller) = frames.last_mut() {
+                        let module = &self.prog.modules[caller.module].code;
+                        match self.prog.lang.resume(module, &caller.core, val) {
+                            Some(resumed) => caller.core = resumed,
+                            None => {
+                                out.push(ThreadStep::Abort);
+                                continue;
+                            }
+                        }
+                        out.push(ThreadStep::Internal {
+                            msg: StepMsg::Tau,
+                            fp: Footprint::emp(),
+                            frames,
+                            mem: mem.clone(),
+                        });
+                    } else {
+                        out.push(ThreadStep::Terminated);
+                    }
+                }
+                LocalStep::Abort => out.push(ThreadStep::Abort),
+            }
+        }
+        out
+    }
+
+    /// All global steps of the current thread of `w` — everything except
+    /// the `Switch` rule.
+    pub fn thread_steps(&self, w: &World<L>) -> Vec<GStep<L>> {
+        let mut out = Vec::new();
+        for ts in self.local_thread_steps(&w.threads[w.cur], &w.mem) {
+            match ts {
+                ThreadStep::Internal { msg, fp, frames, mem } => {
+                    let (label, atom) = match msg {
+                        StepMsg::Tau => (GLabel::Tau, w.atom),
+                        StepMsg::Event(e) => (GLabel::Ev(e), w.atom),
+                        StepMsg::EntAtom => {
+                            if w.atom {
+                                out.push(GStep::Abort); // nested atomic: no rule
+                                continue;
+                            }
+                            (GLabel::Tau, true)
+                        }
+                        StepMsg::ExtAtom => {
+                            if !w.atom {
+                                out.push(GStep::Abort);
+                                continue;
+                            }
+                            (GLabel::Tau, false)
+                        }
+                    };
+                    let mut w2 = w.clone();
+                    w2.threads[w.cur].frames = frames;
+                    w2.mem = mem;
+                    w2.atom = atom;
+                    out.push(GStep::Next { label, fp, world: w2 });
+                }
+                ThreadStep::Terminated => {
+                    let mut w2 = w.clone();
+                    w2.threads[w.cur].frames.clear();
+                    out.push(GStep::Next {
+                        label: GLabel::Tau,
+                        fp: Footprint::emp(),
+                        world: w2,
+                    });
+                }
+                ThreadStep::Abort => out.push(GStep::Abort),
+            }
+        }
+        out
+    }
+
+    /// All global steps from `w` under the preemptive semantics with the
+    /// `Switch` rule *fused* into the following thread step: instead of
+    /// enumerating bare `sw` transitions (which produce silent
+    /// switch-only cycles), each live thread's next steps are enumerated
+    /// directly. Trace sets are unchanged — `sw` is not an observable
+    /// event — but exploration terminates on terminating programs.
+    pub fn step_preemptive_sched(&self, w: &World<L>) -> Vec<GStep<L>> {
+        if w.atom {
+            return self.thread_steps(w);
+        }
+        let mut out = Vec::new();
+        for t in w.live_threads().collect::<Vec<_>>() {
+            let mut w2 = w.clone();
+            w2.cur = t;
+            out.extend(self.thread_steps(&w2));
+        }
+        out
+    }
+
+    /// All global steps from `w` under the preemptive semantics: the
+    /// current thread's steps plus, when `d = 0`, a `Switch` to every
+    /// other live thread.
+    pub fn step_preemptive(&self, w: &World<L>) -> Vec<GStep<L>> {
+        let mut out = self.thread_steps(w);
+        if !w.atom {
+            for t in w.live_threads() {
+                if t != w.cur {
+                    let mut w2 = w.clone();
+                    w2.cur = t;
+                    out.push(GStep::Next {
+                        label: GLabel::Sw,
+                        fp: Footprint::emp(),
+                        world: w2,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of a single scheduled run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunResult {
+    /// Events produced, in order.
+    pub events: Vec<Event>,
+    /// How the run ended.
+    pub end: RunEnd,
+    /// Number of global steps taken.
+    pub steps: usize,
+}
+
+/// How a scheduled run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunEnd {
+    /// All threads terminated.
+    Done,
+    /// The program aborted.
+    Abort,
+    /// The step budget was exhausted.
+    OutOfFuel,
+}
+
+/// Executes one schedule of the loaded program, resolving scheduling and
+/// internal nondeterminism with `pick` (which receives the number of
+/// enabled alternatives and returns the chosen index). This is the fast
+/// path used by examples and benchmarks; exhaustive exploration lives in
+/// [`crate::refine`] and [`crate::race`].
+pub fn run_schedule<L: Lang>(
+    loaded: &Loaded<L>,
+    mut world: World<L>,
+    max_steps: usize,
+    mut pick: impl FnMut(usize) -> usize,
+) -> RunResult {
+    let mut events = Vec::new();
+    for steps in 0..max_steps {
+        if world.is_done() {
+            return RunResult {
+                events,
+                end: RunEnd::Done,
+                steps,
+            };
+        }
+        let choices = loaded.step_preemptive(&world);
+        if choices.is_empty() {
+            // Current thread finished but others are live and no switch
+            // was enumerated — cannot happen, but be defensive.
+            return RunResult {
+                events,
+                end: RunEnd::Abort,
+                steps,
+            };
+        }
+        let idx = pick(choices.len()) % choices.len();
+        match choices.into_iter().nth(idx).expect("index in range") {
+            GStep::Next { label, world: w2, .. } => {
+                if let GLabel::Ev(e) = label {
+                    events.push(e);
+                }
+                world = w2;
+            }
+            GStep::Abort => {
+                return RunResult {
+                    events,
+                    end: RunEnd::Abort,
+                    steps,
+                }
+            }
+        }
+    }
+    RunResult {
+        events,
+        end: RunEnd::OutOfFuel,
+        steps: max_steps,
+    }
+}
+
+/// Runs the program under a deterministic round-robin-ish schedule: the
+/// first enabled alternative is always taken (the current thread runs to
+/// completion before any switch, since switches are enumerated last).
+pub fn run_sequential<L: Lang>(loaded: &Loaded<L>, max_steps: usize) -> Result<RunResult, LoadError> {
+    let w = loaded.load()?;
+    Ok(run_schedule(loaded, w, max_steps, |_| 0))
+}
+
+/// The return value of the first thread's bottom frame is not tracked by
+/// the global semantics; this helper runs a single-threaded program and
+/// extracts the value returned by its entry function.
+pub fn run_main<L: Lang>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    entry: &str,
+    args: &[Val],
+    max_steps: usize,
+) -> Option<(Val, Memory, Vec<Event>)> {
+    let mut mem = ge.initial_memory();
+    let fl = FreeList::for_thread(0);
+    let mut core = lang.init_core(module, ge, entry, args)?;
+    let mut events = Vec::new();
+    let mut stack: Vec<L::Core> = Vec::new();
+    for _ in 0..max_steps {
+        let steps = lang.step(module, ge, &fl, &core, &mem);
+        match steps.into_iter().next()? {
+            LocalStep::Step { msg, core: c, mem: m, .. } => {
+                if let StepMsg::Event(e) = msg {
+                    events.push(e);
+                }
+                core = c;
+                mem = m;
+            }
+            LocalStep::Call { callee, args, cont } => {
+                // Intra-module call only (single-module helper).
+                let c = lang.init_core(module, ge, &callee, &args)?;
+                stack.push(cont);
+                core = c;
+            }
+            LocalStep::Ret { val } => match stack.pop() {
+                Some(cont) => core = lang.resume(module, &cont, val)?,
+                None => return Some((val, mem, events)),
+            },
+            LocalStep::Abort => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
+
+    fn inc_prog() -> Prog<ToyLang> {
+        // Two threads, each: acquire atomic, x++, release, print x-ish.
+        let body = vec![
+            ToyInstr::EntAtom,
+            ToyInstr::LoadG("x".into()),
+            ToyInstr::Add(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::ExtAtom,
+            ToyInstr::Ret(0),
+        ];
+        let (m, _) = toy_module(&[("t1", body.clone()), ("t2", body)], &[]);
+        let ge = toy_globals(&[("x", 0)]);
+        Prog::new(ToyLang, vec![(m, ge)], ["t1", "t2"])
+    }
+
+    #[test]
+    fn load_initializes_all_threads() {
+        let loaded = Loaded::new(inc_prog()).expect("link");
+        let w = loaded.load().expect("load");
+        assert_eq!(w.threads.len(), 2);
+        assert!(!w.atom);
+        assert!(w.mem.closed());
+        assert!(w.threads[0].flist.disjoint(&w.threads[1].flist));
+    }
+
+    #[test]
+    fn sequential_run_completes() {
+        let loaded = Loaded::new(inc_prog()).expect("link");
+        let r = run_sequential(&loaded, 1000).expect("load");
+        assert_eq!(r.end, RunEnd::Done);
+    }
+
+    #[test]
+    fn switch_disabled_inside_atomic() {
+        let loaded = Loaded::new(inc_prog()).expect("link");
+        let w = loaded.load().expect("load");
+        // Initially (d=0) there is a switch among the steps.
+        let steps = loaded.step_preemptive(&w);
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, GStep::Next { label: GLabel::Sw, .. })));
+        // Take the EntAtom step; afterwards no switch is offered.
+        let w2 = steps
+            .into_iter()
+            .find_map(|s| match s {
+                GStep::Next { label: GLabel::Tau, world, .. } if world.atom => Some(world),
+                _ => None,
+            })
+            .expect("EntAtom step");
+        let steps2 = loaded.step_preemptive(&w2);
+        assert!(steps2
+            .iter()
+            .all(|s| !matches!(s, GStep::Next { label: GLabel::Sw, .. })));
+    }
+
+    #[test]
+    fn nested_atomic_aborts() {
+        let (m, _) = toy_module(
+            &[("t", vec![ToyInstr::EntAtom, ToyInstr::EntAtom, ToyInstr::Ret(0)])],
+            &[],
+        );
+        let prog = Prog::new(ToyLang, vec![(m, GlobalEnv::new())], ["t"]);
+        let loaded = Loaded::new(prog).expect("link");
+        let r = run_sequential(&loaded, 100).expect("load");
+        assert_eq!(r.end, RunEnd::Abort);
+    }
+
+    #[test]
+    fn cross_module_call_and_return() {
+        let (m1, _) = toy_module(
+            &[("main", vec![ToyInstr::Call("get7".into()), ToyInstr::Print, ToyInstr::RetAcc])],
+            &[],
+        );
+        let (m2, _) = toy_module(&[("get7", vec![ToyInstr::Ret(7)])], &[]);
+        let prog = Prog::new(
+            ToyLang,
+            vec![(m1, GlobalEnv::new()), (m2, GlobalEnv::new())],
+            ["main"],
+        );
+        let loaded = Loaded::new(prog).expect("link");
+        let r = run_sequential(&loaded, 100).expect("load");
+        assert_eq!(r.end, RunEnd::Done);
+        assert_eq!(r.events, vec![Event::Print(7)]);
+    }
+
+    #[test]
+    fn unresolved_call_aborts() {
+        let (m, _) = toy_module(&[("main", vec![ToyInstr::Call("missing".into())])], &[]);
+        let prog = Prog::new(ToyLang, vec![(m, GlobalEnv::new())], ["main"]);
+        let loaded = Loaded::new(prog).expect("link");
+        let r = run_sequential(&loaded, 100).expect("load");
+        assert_eq!(r.end, RunEnd::Abort);
+    }
+
+    #[test]
+    fn wild_pointer_initial_memory_fails_load() {
+        let mut ge = GlobalEnv::new();
+        ge.define("p", Val::Ptr(crate::mem::Addr(0xdead_beef)));
+        let (m, _) = toy_module(&[("main", vec![ToyInstr::Ret(0)])], &[]);
+        let prog = Prog::new(ToyLang, vec![(m, ge)], ["main"]);
+        let loaded = Loaded::new(prog).expect("link");
+        assert_eq!(loaded.load().unwrap_err(), LoadError::NotClosed);
+    }
+}

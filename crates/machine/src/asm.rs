@@ -1,0 +1,334 @@
+//! Syntax of the x86-like target assembly.
+//!
+//! The instruction set mirrors what the CASCompCert backend needs
+//! (§7, Fig. 10(b) of the paper): moves between registers, immediates
+//! and memory; integer ALU operations; flag-setting compares with
+//! conditional jumps and `setcc`; calls and returns under a
+//! register-based calling convention; the `lock cmpxchg` atomic
+//! read-modify-write and `mfence`; and a `print` pseudo-instruction
+//! standing in for an output system call.
+//!
+//! One syntax, two semantics: [`crate::sc`] interprets programs under
+//! sequential consistency (`x86-SC`), [`crate::tso`] under the
+//! store-buffer model of Sewell et al. (`x86-TSO`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// General-purpose registers available to the register allocator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Reg {
+    /// Accumulator; also the return-value register and the compare
+    /// operand of `lock cmpxchg`.
+    Eax,
+    /// General purpose.
+    Ebx,
+    /// General purpose.
+    Ecx,
+    /// General purpose.
+    Edx,
+    /// General purpose; 2nd argument register.
+    Esi,
+    /// General purpose; 1st argument register.
+    Edi,
+}
+
+impl Reg {
+    /// All allocatable registers.
+    pub const ALL: [Reg; 6] = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi];
+
+    /// The argument-passing registers, in order.
+    pub const ARGS: [Reg; 4] = [Reg::Edi, Reg::Esi, Reg::Edx, Reg::Ecx];
+
+    /// The index of this register in [`Reg::ALL`].
+    pub fn index(self) -> usize {
+        Reg::ALL.iter().position(|&r| r == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reg::Eax => "%eax",
+            Reg::Ebx => "%ebx",
+            Reg::Ecx => "%ecx",
+            Reg::Edx => "%edx",
+            Reg::Esi => "%esi",
+            Reg::Edi => "%edi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A register-or-immediate operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// An immediate integer.
+    Imm(i64),
+    /// A register.
+    Reg(Reg),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(i) => write!(f, "${i}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A memory operand (word-granular addressing).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemArg {
+    /// A slot of the current stack frame (bounds-checked against the
+    /// function's declared frame size).
+    Stack(u64),
+    /// A global variable plus a word offset, resolved through the
+    /// linked global environment.
+    Global(String, u64),
+    /// Register-indirect with displacement (`disp(%reg)`).
+    BaseDisp(Reg, i64),
+}
+
+impl fmt::Display for MemArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemArg::Stack(s) => write!(f, "{s}(%esp)"),
+            MemArg::Global(g, 0) => write!(f, "({g})"),
+            MemArg::Global(g, o) => write!(f, "{o}({g})"),
+            MemArg::BaseDisp(r, 0) => write!(f, "({r})"),
+            MemArg::BaseDisp(r, d) => write!(f, "{d}({r})"),
+        }
+    }
+}
+
+/// Condition codes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Equal.
+    E,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    L,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    G,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// The negated condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::Ge => Cond::L,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `mov op, reg`.
+    Mov(Reg, Operand),
+    /// `mov mem, reg` (load).
+    Load(Reg, MemArg),
+    /// `mov op, mem` (store).
+    Store(MemArg, Operand),
+    /// `lea mem, reg` (address computation, no access).
+    Lea(Reg, MemArg),
+    /// `add op, reg` (also defined on `ptr + int`).
+    Add(Reg, Operand),
+    /// `sub op, reg`.
+    Sub(Reg, Operand),
+    /// `imul op, reg`.
+    Imul(Reg, Operand),
+    /// Signed division pseudo-instruction (`reg := reg / op`); division
+    /// by zero and `MIN / -1` abort.
+    Idiv(Reg, Operand),
+    /// `and op, reg`.
+    And(Reg, Operand),
+    /// `or op, reg`.
+    Or(Reg, Operand),
+    /// `xor op, reg`.
+    Xor(Reg, Operand),
+    /// `neg reg`.
+    Neg(Reg),
+    /// `cmp b, a` — sets the flags from `a ? b`.
+    Cmp(Operand, Operand),
+    /// `set<cc> reg` — reg := 0/1 from the flags.
+    Setcc(Cond, Reg),
+    /// `jmp label`.
+    Jmp(String),
+    /// `j<cc> label`.
+    Jcc(Cond, String),
+    /// `call f` with the given arity (arguments in [`Reg::ARGS`]); the
+    /// result arrives in `%eax`.
+    Call(String, usize),
+    /// `ret` — returns `%eax`.
+    Ret,
+    /// Output pseudo-instruction (observable event).
+    Print(Reg),
+    /// `lock cmpxchgl reg, mem`: atomically compare `%eax` with `[mem]`;
+    /// if equal store `reg` and set ZF, else load `[mem]` into `%eax`
+    /// and clear ZF. Drains the store buffer first under TSO.
+    LockCmpxchg(MemArg, Reg),
+    /// `mfence` — drains the store buffer under TSO; no-op under SC.
+    Mfence,
+    /// A label definition (no-op at execution).
+    Label(String),
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov(r, o) => write!(f, "\tmovq {o}, {r}"),
+            Instr::Load(r, m) => write!(f, "\tmovq {m}, {r}"),
+            Instr::Store(m, o) => write!(f, "\tmovq {o}, {m}"),
+            Instr::Lea(r, m) => write!(f, "\tleaq {m}, {r}"),
+            Instr::Add(r, o) => write!(f, "\taddq {o}, {r}"),
+            Instr::Sub(r, o) => write!(f, "\tsubq {o}, {r}"),
+            Instr::Imul(r, o) => write!(f, "\timulq {o}, {r}"),
+            Instr::Idiv(r, o) => write!(f, "\tidivq {o}, {r}"),
+            Instr::And(r, o) => write!(f, "\tandq {o}, {r}"),
+            Instr::Or(r, o) => write!(f, "\torq {o}, {r}"),
+            Instr::Xor(r, o) => write!(f, "\txorq {o}, {r}"),
+            Instr::Neg(r) => write!(f, "\tnegq {r}"),
+            Instr::Cmp(a, b) => write!(f, "\tcmpq {b}, {a}"),
+            Instr::Setcc(c, r) => write!(f, "\tset{c} {r}"),
+            Instr::Jmp(l) => write!(f, "\tjmp {l}"),
+            Instr::Jcc(c, l) => write!(f, "\tj{c} {l}"),
+            Instr::Call(g, _) => write!(f, "\tcall {g}"),
+            Instr::Ret => write!(f, "\tretq"),
+            Instr::Print(r) => write!(f, "\tcall print({r})"),
+            Instr::LockCmpxchg(m, r) => write!(f, "\tlock cmpxchgq {r}, {m}"),
+            Instr::Mfence => write!(f, "\tmfence"),
+            Instr::Label(l) => write!(f, "{l}:"),
+        }
+    }
+}
+
+/// An assembly function: code, declared frame size (in words) and arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmFunc {
+    /// The instruction sequence (labels inline).
+    pub code: Vec<Instr>,
+    /// Number of stack-frame words, allocated from the thread's free
+    /// list on entry.
+    pub frame_slots: u64,
+    /// Number of register arguments.
+    pub arity: usize,
+}
+
+impl AsmFunc {
+    /// Resolves `label` to an instruction index.
+    pub fn label_pos(&self, label: &str) -> Option<usize> {
+        self.code
+            .iter()
+            .position(|i| matches!(i, Instr::Label(l) if l == label))
+    }
+}
+
+/// An assembly module: named functions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AsmModule {
+    /// The functions, by name.
+    pub funcs: BTreeMap<String, AsmFunc>,
+}
+
+impl AsmModule {
+    /// Builds a module from `(name, function)` pairs.
+    pub fn new(funcs: impl IntoIterator<Item = (impl Into<String>, AsmFunc)>) -> AsmModule {
+        AsmModule {
+            funcs: funcs.into_iter().map(|(n, f)| (n.into(), f)).collect(),
+        }
+    }
+
+    /// Links two modules into one (as a static linker would); fails on a
+    /// duplicate symbol.
+    pub fn link(&self, other: &AsmModule) -> Option<AsmModule> {
+        let mut out = self.clone();
+        for (n, f) in &other.funcs {
+            if out.funcs.insert(n.clone(), f.clone()).is_some() {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for AsmModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, func) in &self.funcs {
+            writeln!(f, "{name}:  # frame={} arity={}", func.frame_slots, func.arity)?;
+            for i in &func.code {
+                writeln!(f, "{i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let f = AsmFunc {
+            code: vec![
+                Instr::Label("start".into()),
+                Instr::Mov(Reg::Eax, Operand::Imm(1)),
+                Instr::Label("end".into()),
+                Instr::Ret,
+            ],
+            frame_slots: 0,
+            arity: 0,
+        };
+        assert_eq!(f.label_pos("start"), Some(0));
+        assert_eq!(f.label_pos("end"), Some(2));
+        assert_eq!(f.label_pos("nope"), None);
+    }
+
+    #[test]
+    fn linking_rejects_duplicates() {
+        let f = AsmFunc {
+            code: vec![Instr::Ret],
+            frame_slots: 0,
+            arity: 0,
+        };
+        let m1 = AsmModule::new([("f", f.clone())]);
+        let m2 = AsmModule::new([("g", f.clone())]);
+        assert!(m1.link(&m2).is_some());
+        assert!(m1.link(&m1).is_none());
+    }
+
+    #[test]
+    fn display_looks_like_att_syntax() {
+        let i = Instr::LockCmpxchg(MemArg::Global("L".into(), 0), Reg::Edx);
+        assert_eq!(i.to_string(), "\tlock cmpxchgq %edx, (L)");
+        assert_eq!(Cond::L.negate(), Cond::Ge);
+    }
+}

@@ -1,0 +1,431 @@
+//! The shared execution engine of the x86 machine: one instruction
+//! interpreter, parameterized by a [`MemView`] so that the SC semantics
+//! (direct memory access) and the TSO semantics (store-buffered access)
+//! share every other detail.
+
+use crate::asm::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg};
+use ccc_core::lang::Event;
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Val};
+
+/// How the interpreter touches memory. Implementations record the
+/// footprint of the accesses they perform.
+pub(crate) trait MemView {
+    /// An ordinary load (buffer-forwarded under TSO).
+    fn load(&mut self, a: Addr) -> Option<Val>;
+    /// An ordinary store (buffered under TSO).
+    #[must_use]
+    fn store(&mut self, a: Addr, v: Val) -> bool;
+    /// A store that bypasses any buffer (used by locked instructions,
+    /// which execute with an empty buffer).
+    #[must_use]
+    fn store_direct(&mut self, a: Addr, v: Val) -> bool;
+    /// Fresh stack allocation (always direct).
+    fn alloc(&mut self, a: Addr, v: Val);
+    /// Does `a` exist in this view (allocated, possibly via buffer)?
+    fn contains(&self, a: Addr) -> bool;
+}
+
+/// Flags state: `None` after flag-clobbering operations whose flags we
+/// leave undefined, otherwise the result of the last compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Flags {
+    /// Zero flag (operands equal).
+    pub eq: bool,
+    /// "Less" flag (signed a < b).
+    pub lt: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code.
+    pub fn cond(self, c: Cond) -> bool {
+        match c {
+            Cond::E => self.eq,
+            Cond::Ne => !self.eq,
+            Cond::L => self.lt,
+            Cond::Le => self.lt || self.eq,
+            Cond::G => !(self.lt || self.eq),
+            Cond::Ge => !self.lt,
+        }
+    }
+}
+
+/// One activation record of the in-core call stack.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Activation {
+    pub fun: String,
+    pub pc: usize,
+    /// Base address of the allocated frame; `None` while allocation is
+    /// pending (the first step of the activation performs it).
+    pub frame: Option<Addr>,
+}
+
+/// The x86 core state `κ`: machine registers, flags, and the call stack
+/// (the whole linked program runs inside one module, so calls between
+/// its functions are internal; see §7.3 — the TSO program is the linked
+/// machine-level program).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct X86Core {
+    pub(crate) regs: [Val; 6],
+    pub(crate) flags: Option<Flags>,
+    pub(crate) stack: Vec<Activation>,
+}
+
+impl X86Core {
+    /// Builds the initial core for `entry` with register arguments.
+    pub(crate) fn entry(module: &AsmModule, entry: &str, args: &[Val]) -> Option<X86Core> {
+        let f = module.funcs.get(entry)?;
+        if args.len() > f.arity || f.arity > Reg::ARGS.len() {
+            return None;
+        }
+        let mut regs = [Val::Undef; 6];
+        for (i, &v) in args.iter().enumerate() {
+            regs[Reg::ARGS[i].index()] = v;
+        }
+        Some(X86Core {
+            regs,
+            flags: None,
+            stack: vec![Activation {
+                fun: entry.to_string(),
+                pc: 0,
+                frame: (f.frame_slots == 0).then_some(Addr(0)),
+            }],
+        })
+    }
+
+    /// The value of a register.
+    pub fn reg(&self, r: Reg) -> Val {
+        self.regs[r.index()]
+    }
+
+    /// Sets a register.
+    pub fn set_reg(&mut self, r: Reg, v: Val) {
+        self.regs[r.index()] = v;
+    }
+
+    pub(crate) fn top(&self) -> Option<&Activation> {
+        self.stack.last()
+    }
+
+    /// The instruction about to execute, if any.
+    pub(crate) fn current_instr<'m>(&self, module: &'m AsmModule) -> Option<&'m Instr> {
+        let act = self.top()?;
+        module.funcs.get(&act.fun)?.code.get(act.pc)
+    }
+
+    /// True if the next step needs an empty store buffer under TSO:
+    /// locked instructions, fences, thread exit, and external calls.
+    pub(crate) fn requires_drain(&self, module: &AsmModule) -> bool {
+        let Some(act) = self.top() else {
+            return true;
+        };
+        // Pending frame allocation never needs a drain.
+        let needs_frame = {
+            let f = module.funcs.get(&act.fun);
+            act.frame.is_none() && f.is_some()
+        };
+        if needs_frame {
+            return false;
+        }
+        match self.current_instr(module) {
+            Some(Instr::LockCmpxchg(..)) | Some(Instr::Mfence) => true,
+            Some(Instr::Ret) => self.stack.len() == 1,
+            Some(Instr::Call(f, _)) => !module.funcs.contains_key(f),
+            _ => false,
+        }
+    }
+}
+
+/// The outcome of one micro-step, before footprints and memory deltas
+/// (which the [`MemView`] captured) are attached.
+pub(crate) enum Outcome {
+    /// Advance silently.
+    Next(X86Core),
+    /// Advance, emitting an event.
+    Event(X86Core, Event),
+    /// An external call (callee not defined in this module).
+    CallExt {
+        callee: String,
+        args: Vec<Val>,
+        cont: X86Core,
+    },
+    /// The bottom activation returned: the thread's value.
+    Done(Val),
+    /// Undefined behaviour.
+    Abort,
+}
+
+fn first_free_block(flist: &FreeList, view: &dyn MemView, words: u64) -> Addr {
+    let mut n = 0;
+    'outer: loop {
+        for k in 0..words {
+            if view.contains(flist.addr_at(n + k)) {
+                n += k + 1;
+                continue 'outer;
+            }
+        }
+        return flist.addr_at(n);
+    }
+}
+
+fn mem_addr(
+    m: &MemArg,
+    core: &X86Core,
+    f: &AsmFunc,
+    ge: &GlobalEnv,
+) -> Option<Addr> {
+    match m {
+        MemArg::Stack(slot) => {
+            if *slot >= f.frame_slots {
+                return None;
+            }
+            let base = core.top()?.frame?;
+            Some(base.offset(*slot))
+        }
+        MemArg::Global(g, off) => Some(ge.lookup(g)?.offset(*off)),
+        MemArg::BaseDisp(r, d) => match core.reg(*r) {
+            Val::Ptr(a) => Some(Addr(a.0.wrapping_add(*d as u64))),
+            _ => None,
+        },
+    }
+}
+
+fn operand(o: Operand, core: &X86Core) -> Val {
+    match o {
+        Operand::Imm(i) => Val::Int(i),
+        Operand::Reg(r) => core.reg(r),
+    }
+}
+
+fn alu(op: &Instr, a: Val, b: Val) -> Option<Val> {
+    match (op, a, b) {
+        (Instr::Add(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_add(y))),
+        (Instr::Add(..), Val::Ptr(p), Val::Int(y)) => {
+            Some(Val::Ptr(Addr(p.0.wrapping_add(y as u64))))
+        }
+        (Instr::Sub(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_sub(y))),
+        (Instr::Sub(..), Val::Ptr(p), Val::Int(y)) => {
+            Some(Val::Ptr(Addr(p.0.wrapping_sub(y as u64))))
+        }
+        (Instr::Imul(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x.wrapping_mul(y))),
+        (Instr::Idiv(..), Val::Int(x), Val::Int(y)) => {
+            if y == 0 || (x == i64::MIN && y == -1) {
+                None
+            } else {
+                Some(Val::Int(x / y))
+            }
+        }
+        (Instr::And(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x & y)),
+        (Instr::Or(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x | y)),
+        (Instr::Xor(..), Val::Int(x), Val::Int(y)) => Some(Val::Int(x ^ y)),
+        _ => None,
+    }
+}
+
+fn compare(a: Val, b: Val) -> Option<Flags> {
+    match (a, b) {
+        (Val::Int(x), Val::Int(y)) => Some(Flags {
+            eq: x == y,
+            lt: x < y,
+        }),
+        (Val::Ptr(x), Val::Ptr(y)) => Some(Flags {
+            eq: x == y,
+            lt: x.0 < y.0,
+        }),
+        // Pointer/integer comparison: equality is decidable (a valid
+        // pointer never equals an integer in our model) but order isn't.
+        (Val::Ptr(_), Val::Int(_)) | (Val::Int(_), Val::Ptr(_)) => Some(Flags {
+            eq: false,
+            lt: false,
+        }),
+        _ => None,
+    }
+}
+
+/// Executes one step of the machine against the given memory view.
+pub(crate) fn step_instr(
+    module: &AsmModule,
+    ge: &GlobalEnv,
+    flist: &FreeList,
+    core: &X86Core,
+    view: &mut dyn MemView,
+) -> Outcome {
+    let mut next = core.clone();
+    let Some(act) = next.stack.last_mut() else {
+        return Outcome::Abort;
+    };
+    let Some(f) = module.funcs.get(&act.fun) else {
+        return Outcome::Abort;
+    };
+
+    // Pending frame allocation is a step of its own.
+    if act.frame.is_none() {
+        let base = first_free_block(flist, view, f.frame_slots);
+        for k in 0..f.frame_slots {
+            view.alloc(base.offset(k), Val::Undef);
+        }
+        act.frame = Some(base);
+        return Outcome::Next(next);
+    }
+
+    let Some(instr) = f.code.get(act.pc).cloned() else {
+        return Outcome::Abort; // fell off the end of the code
+    };
+    act.pc += 1;
+
+    match instr {
+        Instr::Label(_) => Outcome::Next(next),
+        Instr::Mov(r, o) => {
+            let v = operand(o, core);
+            next.set_reg(r, v);
+            Outcome::Next(next)
+        }
+        Instr::Load(r, m) => {
+            let Some(a) = mem_addr(&m, core, f, ge) else {
+                return Outcome::Abort;
+            };
+            let Some(v) = view.load(a) else {
+                return Outcome::Abort;
+            };
+            next.set_reg(r, v);
+            Outcome::Next(next)
+        }
+        Instr::Store(m, o) => {
+            let Some(a) = mem_addr(&m, core, f, ge) else {
+                return Outcome::Abort;
+            };
+            if !view.store(a, operand(o, core)) {
+                return Outcome::Abort;
+            }
+            Outcome::Next(next)
+        }
+        Instr::Lea(r, m) => {
+            let Some(a) = mem_addr(&m, core, f, ge) else {
+                return Outcome::Abort;
+            };
+            next.set_reg(r, Val::Ptr(a));
+            Outcome::Next(next)
+        }
+        Instr::Add(r, o) | Instr::Sub(r, o) | Instr::Imul(r, o) | Instr::Idiv(r, o)
+        | Instr::And(r, o) | Instr::Or(r, o) | Instr::Xor(r, o) => {
+            let Some(v) = alu(&instr, core.reg(r), operand(o, core)) else {
+                return Outcome::Abort;
+            };
+            next.set_reg(r, v);
+            next.flags = match v {
+                Val::Int(i) => Some(Flags {
+                    eq: i == 0,
+                    lt: i < 0,
+                }),
+                _ => None,
+            };
+            Outcome::Next(next)
+        }
+        Instr::Neg(r) => match core.reg(r) {
+            Val::Int(i) => {
+                let v = i.wrapping_neg();
+                next.set_reg(r, Val::Int(v));
+                next.flags = Some(Flags {
+                    eq: v == 0,
+                    lt: v < 0,
+                });
+                Outcome::Next(next)
+            }
+            _ => Outcome::Abort,
+        },
+        Instr::Cmp(a, b) => {
+            let Some(flags) = compare(operand(a, core), operand(b, core)) else {
+                return Outcome::Abort;
+            };
+            next.flags = Some(flags);
+            Outcome::Next(next)
+        }
+        Instr::Setcc(c, r) => {
+            let Some(flags) = core.flags else {
+                return Outcome::Abort;
+            };
+            next.set_reg(r, Val::Int(i64::from(flags.cond(c))));
+            Outcome::Next(next)
+        }
+        Instr::Jmp(l) => {
+            let Some(pos) = f.label_pos(&l) else {
+                return Outcome::Abort;
+            };
+            next.stack.last_mut().expect("live").pc = pos;
+            Outcome::Next(next)
+        }
+        Instr::Jcc(c, l) => {
+            let Some(flags) = core.flags else {
+                return Outcome::Abort;
+            };
+            if flags.cond(c) {
+                let Some(pos) = f.label_pos(&l) else {
+                    return Outcome::Abort;
+                };
+                next.stack.last_mut().expect("live").pc = pos;
+            }
+            Outcome::Next(next)
+        }
+        Instr::Call(callee, arity) => {
+            if arity > Reg::ARGS.len() {
+                return Outcome::Abort;
+            }
+            let args: Vec<Val> = Reg::ARGS[..arity].iter().map(|&r| core.reg(r)).collect();
+            match module.funcs.get(&callee) {
+                Some(cf) => {
+                    if args.len() > cf.arity {
+                        return Outcome::Abort;
+                    }
+                    next.stack.push(Activation {
+                        fun: callee,
+                        pc: 0,
+                        frame: (cf.frame_slots == 0).then_some(Addr(0)),
+                    });
+                    // Flags are clobbered across calls.
+                    next.flags = None;
+                    Outcome::Next(next)
+                }
+                None => {
+                    next.flags = None;
+                    Outcome::CallExt {
+                        callee,
+                        args,
+                        cont: next,
+                    }
+                }
+            }
+        }
+        Instr::Ret => {
+            next.stack.pop();
+            next.flags = None;
+            if next.stack.is_empty() {
+                Outcome::Done(core.reg(Reg::Eax))
+            } else {
+                Outcome::Next(next)
+            }
+        }
+        Instr::Print(r) => match core.reg(r) {
+            Val::Int(i) => Outcome::Event(next, Event::Print(i)),
+            _ => Outcome::Abort,
+        },
+        Instr::LockCmpxchg(m, r) => {
+            let Some(a) = mem_addr(&m, core, f, ge) else {
+                return Outcome::Abort;
+            };
+            let Some(cur) = view.load(a) else {
+                return Outcome::Abort;
+            };
+            let expected = core.reg(Reg::Eax);
+            if cur != Val::Undef && expected != Val::Undef && cur == expected {
+                if !view.store_direct(a, core.reg(r)) {
+                    return Outcome::Abort;
+                }
+                next.flags = Some(Flags { eq: true, lt: false });
+            } else {
+                next.set_reg(Reg::Eax, cur);
+                next.flags = Some(Flags { eq: false, lt: false });
+            }
+            Outcome::Next(next)
+        }
+        Instr::Mfence => Outcome::Next(next),
+    }
+}

@@ -1,0 +1,35 @@
+//! # ccc-machine — the x86-like target machine
+//!
+//! One assembly syntax ([`asm`]), two semantics:
+//!
+//! * [`sc`] — **x86-SC**, the sequentially consistent machine targeted
+//!   by the basic framework (Fig. 2, Thm. 14 of the paper). It is
+//!   deterministic, as the Flip step of the framework requires.
+//! * [`tso`] — **x86-TSO**, the store-buffer relaxed model of Sewell et
+//!   al., targeted by the extended framework (Fig. 3, Thm. 15). Store
+//!   buffers make it internally nondeterministic; lock-prefixed
+//!   instructions and `mfence` drain the buffer.
+//!
+//! Both instantiate [`ccc_core::lang::Lang`] over the same
+//! [`asm::AsmModule`] type — the "identity transformation with a change
+//! of semantics" of §7 is literally reusing the same module value under
+//! the other dispatcher.
+//!
+//! ## Example: observing TSO relaxation
+//!
+//! The store-buffering litmus test (`x := 1; read y` ∥ `y := 1; read x`)
+//! can print `0/0` under TSO but never under SC — see the tests in
+//! [`tso`] and the `spinlock_tso` example binary.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+mod exec;
+pub mod sc;
+pub mod tso;
+
+pub use asm::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg};
+pub use exec::{Flags, X86Core};
+pub use sc::X86Sc;
+pub use tso::{TsoCore, X86Tso};

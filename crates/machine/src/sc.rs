@@ -1,0 +1,327 @@
+//! x86-SC: the sequentially consistent interpretation of the assembly
+//! (the target of Thm. 14). Deterministic — as required by the Flip
+//! step (④ of Fig. 2) of the framework.
+
+use crate::asm::AsmModule;
+use crate::exec::{step_instr, MemView, Outcome, X86Core};
+use ccc_core::footprint::Footprint;
+use ccc_core::lang::{Lang, LocalStep, StepMsg};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+
+/// The x86-SC language dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct X86Sc;
+
+struct ScView {
+    mem: Memory,
+    fp: Footprint,
+}
+
+impl MemView for ScView {
+    fn load(&mut self, a: Addr) -> Option<Val> {
+        let v = self.mem.load(a)?;
+        self.fp.extend(&Footprint::read(a));
+        Some(v)
+    }
+
+    fn store(&mut self, a: Addr, v: Val) -> bool {
+        if self.mem.store(a, v) {
+            self.fp.extend(&Footprint::write(a));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn store_direct(&mut self, a: Addr, v: Val) -> bool {
+        self.store(a, v)
+    }
+
+    fn alloc(&mut self, a: Addr, v: Val) {
+        self.mem.alloc(a, v);
+        self.fp.extend(&Footprint::write(a));
+    }
+
+    fn contains(&self, a: Addr) -> bool {
+        self.mem.contains(a)
+    }
+}
+
+impl Lang for X86Sc {
+    type Module = AsmModule;
+    type Core = X86Core;
+
+    fn name(&self) -> &'static str {
+        "x86-SC"
+    }
+
+    fn exports(&self, module: &Self::Module) -> Vec<String> {
+        module.funcs.keys().cloned().collect()
+    }
+
+    fn init_core(
+        &self,
+        module: &Self::Module,
+        _ge: &GlobalEnv,
+        entry: &str,
+        args: &[Val],
+    ) -> Option<Self::Core> {
+        X86Core::entry(module, entry, args)
+    }
+
+    fn step(
+        &self,
+        module: &Self::Module,
+        ge: &GlobalEnv,
+        flist: &FreeList,
+        core: &Self::Core,
+        mem: &Memory,
+    ) -> Vec<LocalStep<Self::Core>> {
+        let mut view = ScView {
+            mem: mem.clone(),
+            fp: Footprint::emp(),
+        };
+        match step_instr(module, ge, flist, core, &mut view) {
+            Outcome::Next(c) => vec![LocalStep::Step {
+                msg: StepMsg::Tau,
+                fp: view.fp,
+                core: c,
+                mem: view.mem,
+            }],
+            Outcome::Event(c, e) => vec![LocalStep::Step {
+                msg: StepMsg::Event(e),
+                fp: view.fp,
+                core: c,
+                mem: view.mem,
+            }],
+            Outcome::CallExt { callee, args, cont } => vec![LocalStep::Call {
+                callee,
+                args,
+                cont,
+            }],
+            Outcome::Done(v) => vec![LocalStep::Ret { val: v }],
+            Outcome::Abort => vec![LocalStep::Abort],
+        }
+    }
+
+    fn resume(&self, _module: &Self::Module, core: &Self::Core, ret: Val) -> Option<Self::Core> {
+        let mut next = core.clone();
+        next.set_reg(crate::asm::Reg::Eax, ret);
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{AsmFunc, Cond, Instr, MemArg, Operand, Reg};
+    use ccc_core::refine::ExploreCfg;
+    use ccc_core::wd::{check_det, check_wd};
+    use ccc_core::world::run_main;
+
+    fn func(code: Vec<Instr>, frame_slots: u64, arity: usize) -> AsmFunc {
+        AsmFunc {
+            code,
+            frame_slots,
+            arity,
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        // f: eax := 6; eax := eax * 7; ret
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Mov(Reg::Eax, Operand::Imm(6)),
+                    Instr::Imul(Reg::Eax, Operand::Imm(7)),
+                    Instr::Ret,
+                ],
+                0,
+                0,
+            ),
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&X86Sc, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn loop_with_flags() {
+        // f(n in edi): eax := 0; while (n != 0) { eax += n; n -= 1 }
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Mov(Reg::Eax, Operand::Imm(0)),
+                    Instr::Label("loop".into()),
+                    Instr::Cmp(Operand::Reg(Reg::Edi), Operand::Imm(0)),
+                    Instr::Jcc(Cond::E, "end".into()),
+                    Instr::Add(Reg::Eax, Operand::Reg(Reg::Edi)),
+                    Instr::Sub(Reg::Edi, Operand::Imm(1)),
+                    Instr::Jmp("loop".into()),
+                    Instr::Label("end".into()),
+                    Instr::Ret,
+                ],
+                0,
+                1,
+            ),
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&X86Sc, &m, &ge, "f", &[Val::Int(5)], 1000).expect("runs");
+        assert_eq!(v, Val::Int(15));
+    }
+
+    #[test]
+    fn stack_frame_roundtrip() {
+        // f: [slot0] := 11; [slot1] := 22; eax := [slot0] + [slot1]; ret
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Store(MemArg::Stack(0), Operand::Imm(11)),
+                    Instr::Store(MemArg::Stack(1), Operand::Imm(22)),
+                    Instr::Load(Reg::Eax, MemArg::Stack(0)),
+                    Instr::Load(Reg::Ebx, MemArg::Stack(1)),
+                    Instr::Add(Reg::Eax, Operand::Reg(Reg::Ebx)),
+                    Instr::Ret,
+                ],
+                2,
+                0,
+            ),
+        )]);
+        let ge = GlobalEnv::new();
+        let (v, mem, _) = run_main(&X86Sc, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(33));
+        let fl = FreeList::for_thread(0);
+        assert!(mem.dom().all(|a| fl.contains(a)), "frame from free list");
+    }
+
+    #[test]
+    fn out_of_frame_slot_aborts() {
+        let m = AsmModule::new([(
+            "f",
+            func(vec![Instr::Store(MemArg::Stack(5), Operand::Imm(1)), Instr::Ret], 2, 0),
+        )]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&X86Sc, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn internal_call_passes_args_and_result() {
+        // g(a): eax := a + 1; ret      f: edi := 41; call g; ret
+        let g = func(
+            vec![
+                Instr::Mov(Reg::Eax, Operand::Reg(Reg::Edi)),
+                Instr::Add(Reg::Eax, Operand::Imm(1)),
+                Instr::Ret,
+            ],
+            0,
+            1,
+        );
+        let f = func(
+            vec![
+                Instr::Mov(Reg::Edi, Operand::Imm(41)),
+                Instr::Call("g".into(), 1),
+                Instr::Ret,
+            ],
+            0,
+            0,
+        );
+        let m = AsmModule::new([("f", f), ("g", g)]);
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&X86Sc, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(42));
+    }
+
+    #[test]
+    fn globals_and_lea() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(5));
+        // f: lea x, ebx; load (ebx) into eax; add 1; store to (x); ret
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Lea(Reg::Ebx, MemArg::Global("x".into(), 0)),
+                    Instr::Load(Reg::Eax, MemArg::BaseDisp(Reg::Ebx, 0)),
+                    Instr::Add(Reg::Eax, Operand::Imm(1)),
+                    Instr::Store(MemArg::Global("x".into(), 0), Operand::Reg(Reg::Eax)),
+                    Instr::Ret,
+                ],
+                0,
+                0,
+            ),
+        )]);
+        let (v, mem, _) = run_main(&X86Sc, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(6));
+        assert_eq!(mem.load(ge.lookup("x").unwrap()), Some(Val::Int(6)));
+    }
+
+    #[test]
+    fn cmpxchg_success_and_failure() {
+        let mut ge = GlobalEnv::new();
+        ge.define("l", Val::Int(1));
+        // try_acquire: eax := 1; edx := 0; lock cmpxchg (l), edx; sete bx; ret bx
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Mov(Reg::Eax, Operand::Imm(1)),
+                    Instr::Mov(Reg::Edx, Operand::Imm(0)),
+                    Instr::LockCmpxchg(MemArg::Global("l".into(), 0), Reg::Edx),
+                    Instr::Setcc(Cond::E, Reg::Eax),
+                    Instr::Ret,
+                ],
+                0,
+                0,
+            ),
+        )]);
+        let (v, mem, _) = run_main(&X86Sc, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(1), "CAS succeeded");
+        assert_eq!(mem.load(ge.lookup("l").unwrap()), Some(Val::Int(0)));
+
+        // Second run starting from l = 0: CAS fails.
+        let mut ge2 = GlobalEnv::new();
+        ge2.define("l", Val::Int(0));
+        let (v2, mem2, _) = run_main(&X86Sc, &m, &ge2, "f", &[], 100).expect("runs");
+        assert_eq!(v2, Val::Int(0), "CAS failed");
+        assert_eq!(mem2.load(ge2.lookup("l").unwrap()), Some(Val::Int(0)));
+    }
+
+    #[test]
+    fn jcc_on_undefined_flags_aborts() {
+        let m = AsmModule::new([(
+            "f",
+            func(vec![Instr::Jcc(Cond::E, "x".into()), Instr::Label("x".into()), Instr::Ret], 0, 0),
+        )]);
+        let ge = GlobalEnv::new();
+        assert!(run_main(&X86Sc, &m, &ge, "f", &[], 100).is_none());
+    }
+
+    #[test]
+    fn x86_sc_is_well_defined_and_deterministic() {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(3));
+        let m = AsmModule::new([(
+            "f",
+            func(
+                vec![
+                    Instr::Store(MemArg::Stack(0), Operand::Imm(7)),
+                    Instr::Load(Reg::Eax, MemArg::Global("x".into(), 0)),
+                    Instr::Load(Reg::Ebx, MemArg::Stack(0)),
+                    Instr::Add(Reg::Eax, Operand::Reg(Reg::Ebx)),
+                    Instr::Store(MemArg::Global("x".into(), 0), Operand::Reg(Reg::Eax)),
+                    Instr::Print(Reg::Eax),
+                    Instr::Ret,
+                ],
+                1,
+                0,
+            ),
+        )]);
+        let cfg = ExploreCfg::default();
+        check_wd(&X86Sc, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("wd(x86-SC)");
+        check_det(&X86Sc, &m, &ge, "f", &ge.initial_memory(), &cfg).expect("det(x86-SC)");
+    }
+}

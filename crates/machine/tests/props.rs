@@ -1,0 +1,150 @@
+//! Property-based tests for the x86 machine: single-threaded programs
+//! behave identically under SC and TSO (store buffering is invisible
+//! without concurrency — the baseline sanity condition of the TSO
+//! model), flags/condition laws, and executions stay within the
+//! thread's memory regions.
+
+use ccc_core::lang::Prog;
+use ccc_core::mem::{FreeList, GlobalEnv, Val};
+use ccc_core::refine::{collect_traces, trace_equiv, ExploreCfg, Preemptive};
+use ccc_core::world::{run_main, Loaded};
+use ccc_machine::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg, X86Sc, X86Tso};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        Just(Reg::Eax),
+        Just(Reg::Ebx),
+        Just(Reg::Ecx),
+        Just(Reg::Edx),
+        Just(Reg::Esi),
+        Just(Reg::Edi),
+    ]
+}
+
+/// Straight-line instructions over two globals and two frame slots,
+/// restricted so programs never abort: registers are pre-initialized,
+/// and memory is accessed through valid globals/slots only.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let garg = || {
+        prop_oneof![
+            Just(MemArg::Global("g0".to_string(), 0)),
+            Just(MemArg::Global("g1".to_string(), 0)),
+            Just(MemArg::Stack(0)),
+            Just(MemArg::Stack(1)),
+        ]
+    };
+    prop_oneof![
+        (arb_reg(), -8i64..8).prop_map(|(r, i)| Instr::Mov(r, Operand::Imm(i))),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mov(a, Operand::Reg(b))),
+        (arb_reg(), garg()).prop_map(|(r, m)| Instr::Load(r, m)),
+        (garg(), arb_reg()).prop_map(|(m, r)| Instr::Store(m, Operand::Reg(r))),
+        (garg(), -8i64..8).prop_map(|(m, i)| Instr::Store(m, Operand::Imm(i))),
+        (arb_reg(), -4i64..4).prop_map(|(r, i)| Instr::Add(r, Operand::Imm(i))),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Add(a, Operand::Reg(b))),
+        (arb_reg(), -4i64..4).prop_map(|(r, i)| Instr::Sub(r, Operand::Imm(i))),
+        (arb_reg(), -3i64..3).prop_map(|(r, i)| Instr::Imul(r, Operand::Imm(i))),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Xor(a, Operand::Reg(b))),
+        arb_reg().prop_map(Instr::Neg),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Cmp(Operand::Reg(a), Operand::Reg(b))),
+        Just(Instr::Mfence),
+    ]
+}
+
+/// A deterministic, abort-free, loop-free function: init all registers,
+/// run the body (Cmp results are immediately consumed by a Setcc so
+/// flags are always defined when used), print a digest, return.
+fn arb_func() -> impl Strategy<Value = AsmFunc> {
+    proptest::collection::vec(arb_instr(), 0..25).prop_map(|body| {
+        let mut code = Vec::new();
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            code.push(Instr::Mov(*r, Operand::Imm(i as i64)));
+        }
+        // Initialize the frame slots too: loads of undef would poison
+        // later arithmetic.
+        code.push(Instr::Store(MemArg::Stack(0), Operand::Imm(7)));
+        code.push(Instr::Store(MemArg::Stack(1), Operand::Imm(-7)));
+        for ins in body {
+            let is_cmp = matches!(ins, Instr::Cmp(..));
+            code.push(ins);
+            if is_cmp {
+                code.push(Instr::Setcc(Cond::Le, Reg::Ebx));
+            }
+        }
+        // Digest: print eax (+ the globals via loads).
+        code.push(Instr::Load(Reg::Ecx, MemArg::Global("g0".into(), 0)));
+        code.push(Instr::Add(Reg::Eax, Operand::Reg(Reg::Ecx)));
+        code.push(Instr::Load(Reg::Ecx, MemArg::Global("g1".into(), 0)));
+        code.push(Instr::Add(Reg::Eax, Operand::Reg(Reg::Ecx)));
+        code.push(Instr::Print(Reg::Eax));
+        code.push(Instr::Ret);
+        AsmFunc {
+            code,
+            frame_slots: 2,
+            arity: 0,
+        }
+    })
+}
+
+fn ge() -> GlobalEnv {
+    let mut ge = GlobalEnv::new();
+    ge.define("g0", Val::Int(3));
+    ge.define("g1", Val::Int(-2));
+    ge
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequential TSO ≡ SC: with a single thread, every TSO schedule
+    /// (any flush placement) yields the same events and final shared
+    /// memory as SC.
+    #[test]
+    fn single_thread_tso_equals_sc(f in arb_func()) {
+        let ge = ge();
+        let m = AsmModule::new([("main", f)]);
+        let sc = Loaded::new(Prog::new(X86Sc, vec![(m.clone(), ge.clone())], ["main"])).unwrap();
+        let tso = Loaded::new(Prog::new(X86Tso, vec![(m, ge)], ["main"])).unwrap();
+        let cfg = ExploreCfg::default();
+        let sc_traces = collect_traces(&Preemptive(&sc), &cfg).unwrap();
+        let tso_traces = collect_traces(&Preemptive(&tso), &cfg).unwrap();
+        prop_assert!(!sc_traces.truncated && !tso_traces.truncated);
+        prop_assert!(trace_equiv(&sc_traces, &tso_traces),
+            "sc: {:?}\ntso: {:?}", sc_traces.traces, tso_traces.traces);
+    }
+
+    /// SC execution is deterministic and stays inside the thread's
+    /// regions: globals plus its own free list.
+    #[test]
+    fn sc_execution_stays_in_region(f in arb_func()) {
+        let genv = ge();
+        let m = AsmModule::new([("main", f)]);
+        let r1 = run_main(&X86Sc, &m, &genv, "main", &[], 100_000);
+        let r2 = run_main(&X86Sc, &m, &genv, "main", &[], 100_000);
+        let (v, mem, ev) = r1.expect("runs");
+        let (v2, _, ev2) = r2.expect("runs again");
+        prop_assert_eq!(v, v2);
+        prop_assert_eq!(ev, ev2);
+        let fl = FreeList::for_thread(0);
+        prop_assert!(mem.dom().all(|a| a.is_global() || fl.contains(a)));
+    }
+
+    /// Condition codes and their negations partition every defined
+    /// comparison.
+    #[test]
+    fn cond_negation_partitions(a in -50i64..50, b in -50i64..50) {
+        use ccc_machine::Flags;
+        let flags = Flags { eq: a == b, lt: a < b };
+        for c in [Cond::E, Cond::Ne, Cond::L, Cond::Le, Cond::G, Cond::Ge] {
+            prop_assert_ne!(flags.cond(c), flags.cond(c.negate()));
+        }
+    }
+}
+
+#[test]
+fn flags_struct_is_consistent_with_integer_order() {
+    use ccc_machine::Flags;
+    let f = Flags { eq: false, lt: true };
+    assert!(f.cond(Cond::L) && f.cond(Cond::Le) && f.cond(Cond::Ne));
+    assert!(!f.cond(Cond::G) && !f.cond(Cond::Ge) && !f.cond(Cond::E));
+}

@@ -1,0 +1,266 @@
+//! The strengthened DRF-guarantee theorem for x86-TSO (Lem. 16 and the
+//! extended framework of Fig. 3) as an executable checker.
+//!
+//! Given client code `π1 … πm` (x86), an object implementation `πo`
+//! (x86, possibly with confined benign races) and its abstract
+//! specification `γo` (CImp), the theorem says: if
+//!
+//! * `P_sc = let {π(sc), γo} in f1 ∥ … ∥ fn` is safe and DRF, and
+//! * `πo 4ᵒ γo` (the object refines its specification),
+//!
+//! then `P_tso = let {π(tso) ∘ πo} in f1 ∥ … ∥ fn ⊑′ P_sc` — the racy
+//! machine program under the relaxed model behaves like the abstract
+//! program under SC (up to termination, §7.3).
+//!
+//! [`check_drf_guarantee`] validates the *conclusion* directly by
+//! bounded exploration of both sides (which simultaneously exercises
+//! the premise `4ᵒ` on this client, a contextual-refinement test; see
+//! DESIGN.md).
+
+use ccc_cimp::{CImpLang, CImpModule};
+use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::mem::GlobalEnv;
+use ccc_core::race::check_drf;
+use ccc_core::refine::{
+    check_safe, collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive,
+};
+use ccc_core::world::{LoadError, Loaded};
+use ccc_machine::{AsmModule, X86Sc, X86Tso};
+
+/// A synchronization object: its abstract CImp specification and its
+/// x86 implementation.
+#[derive(Clone, Debug)]
+pub struct SyncObject {
+    /// The specification `γo`.
+    pub spec: CImpModule,
+    /// The specification's globals.
+    pub spec_ge: GlobalEnv,
+    /// The implementation `πo`.
+    pub impl_asm: AsmModule,
+    /// The implementation's globals.
+    pub impl_ge: GlobalEnv,
+}
+
+/// The cross-language program `P_sc`: x86-SC clients calling the CImp
+/// specification.
+pub type ScLang = SumLang<X86Sc, CImpLang>;
+
+/// Builds `P_sc` (Fig. 3 middle layer).
+///
+/// # Errors
+///
+/// Fails if the global environments do not link.
+pub fn build_psc(
+    clients: &AsmModule,
+    client_ge: &GlobalEnv,
+    entries: &[String],
+    obj: &SyncObject,
+) -> Result<Loaded<ScLang>, LoadError> {
+    Loaded::new(Prog {
+        lang: SumLang(X86Sc, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(clients.clone()),
+                ge: client_ge.clone(),
+            },
+            ModuleDecl {
+                code: Sum::R(obj.spec.clone()),
+                ge: obj.spec_ge.clone(),
+            },
+        ],
+        entries: entries.to_vec(),
+    })
+}
+
+/// Builds `P_tso` (Fig. 3 bottom layer): the statically linked machine
+/// program under the relaxed model.
+///
+/// # Errors
+///
+/// Fails if linking collides or the globals do not link.
+pub fn build_ptso(
+    clients: &AsmModule,
+    client_ge: &GlobalEnv,
+    entries: &[String],
+    obj: &SyncObject,
+) -> Result<Loaded<X86Tso>, LoadError> {
+    let linked = clients
+        .link(&obj.impl_asm)
+        .ok_or(LoadError::IncompatibleGlobalEnvs)?;
+    let ge = GlobalEnv::link([client_ge, &obj.impl_ge])
+        .ok_or(LoadError::IncompatibleGlobalEnvs)?;
+    Loaded::new(Prog::new(X86Tso, vec![(linked, ge)], entries.to_vec()))
+}
+
+/// The verdict of one DRF-guarantee check.
+#[derive(Clone, Debug)]
+pub struct DrfGuaranteeReport {
+    /// `Safe(P_sc)` — premise.
+    pub safe_sc: bool,
+    /// `DRF(P_sc)` — premise.
+    pub drf_sc: bool,
+    /// `P_tso ⊑′ P_sc` — conclusion.
+    pub refines: bool,
+    /// Distinct SC traces observed.
+    pub sc_traces: usize,
+    /// Distinct TSO traces observed.
+    pub tso_traces: usize,
+    /// True if any exploration hit its budget.
+    pub truncated: bool,
+}
+
+impl DrfGuaranteeReport {
+    /// True when the premises hold and the conclusion was validated.
+    pub fn holds(&self) -> bool {
+        self.safe_sc && self.drf_sc && self.refines
+    }
+}
+
+/// Checks Lem. 16 on a concrete client/object configuration.
+///
+/// # Errors
+///
+/// Propagates load/link failures.
+pub fn check_drf_guarantee(
+    clients: &AsmModule,
+    client_ge: &GlobalEnv,
+    entries: &[String],
+    obj: &SyncObject,
+    cfg: &ExploreCfg,
+) -> Result<DrfGuaranteeReport, LoadError> {
+    let psc = build_psc(clients, client_ge, entries, obj)?;
+    let ptso = build_ptso(clients, client_ge, entries, obj)?;
+
+    let safety = check_safe(&Preemptive(&psc), cfg)?;
+    let drf = check_drf(&psc, cfg)?;
+    let sc = collect_traces(&Preemptive(&psc), cfg)?;
+    let tso = collect_traces(&Preemptive(&ptso), cfg)?;
+
+    Ok(DrfGuaranteeReport {
+        safe_sc: safety.safe,
+        drf_sc: drf.is_drf(),
+        refines: trace_refines_nonterm(&tso, &sc),
+        sc_traces: sc.traces.len(),
+        tso_traces: tso.traces.len(),
+        truncated: safety.truncated || drf.truncated || sc.truncated || tso.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::{lock_impl, lock_spec};
+    use ccc_machine::{AsmFunc, Instr, MemArg, Operand, Reg};
+
+    fn lock_object() -> SyncObject {
+        let (spec, spec_ge) = lock_spec("L");
+        let (impl_asm, impl_ge) = lock_impl("L");
+        SyncObject {
+            spec,
+            spec_ge,
+            impl_asm,
+            impl_ge,
+        }
+    }
+
+    fn counter_asm_clients() -> (AsmModule, GlobalEnv, Vec<String>) {
+        let client = AsmFunc {
+            code: vec![
+                Instr::Call("lock".into(), 0),
+                Instr::Load(Reg::Ecx, MemArg::Global("x".into(), 0)),
+                Instr::Mov(Reg::Ebx, Operand::Reg(Reg::Ecx)),
+                Instr::Add(Reg::Ebx, Operand::Imm(1)),
+                Instr::Store(MemArg::Global("x".into(), 0), Operand::Reg(Reg::Ebx)),
+                Instr::Call("unlock".into(), 0),
+                Instr::Print(Reg::Ecx),
+                Instr::Mov(Reg::Eax, Operand::Imm(0)),
+                Instr::Ret,
+            ],
+            frame_slots: 0,
+            arity: 0,
+        };
+        let mut ge = GlobalEnv::new();
+        ge.define("x", ccc_core::mem::Val::Int(0));
+        (
+            AsmModule::new([("t1", client.clone()), ("t2", client)]),
+            ge,
+            vec!["t1".into(), "t2".into()],
+        )
+    }
+
+    #[test]
+    fn lemma16_holds_for_the_lock_counter() {
+        let (clients, ge, entries) = counter_asm_clients();
+        let cfg = ExploreCfg {
+            fuel: 300,
+            max_states: 3_000_000,
+            ..Default::default()
+        };
+        let report =
+            check_drf_guarantee(&clients, &ge, &entries, &lock_object(), &cfg).expect("checks");
+        assert!(report.safe_sc, "P_sc must be safe");
+        assert!(report.drf_sc, "P_sc must be DRF");
+        assert!(report.refines, "P_tso ⊑′ P_sc");
+        assert!(report.holds());
+    }
+
+    #[test]
+    fn unconfined_races_break_the_guarantee() {
+        // The SB litmus shape as "clients": direct unsynchronized
+        // accesses to x and y (no object calls). The racy TSO program
+        // exhibits 0/0, which the SC side cannot — refinement fails,
+        // because DRF(P_sc) fails: the confinement condition is
+        // load-bearing.
+        let mk = |mine: &str, theirs: &str| AsmFunc {
+            code: vec![
+                Instr::Store(MemArg::Global(mine.into(), 0), Operand::Imm(1)),
+                Instr::Load(Reg::Ecx, MemArg::Global(theirs.into(), 0)),
+                Instr::Print(Reg::Ecx),
+                Instr::Mov(Reg::Eax, Operand::Imm(0)),
+                Instr::Ret,
+            ],
+            frame_slots: 0,
+            arity: 0,
+        };
+        let clients = AsmModule::new([("t1", mk("x", "y")), ("t2", mk("y", "x"))]);
+        let mut ge = GlobalEnv::new();
+        ge.define("x", ccc_core::mem::Val::Int(0));
+        ge.define("y", ccc_core::mem::Val::Int(0));
+        let entries = vec!["t1".to_string(), "t2".to_string()];
+        let cfg = ExploreCfg::default();
+        let report =
+            check_drf_guarantee(&clients, &ge, &entries, &lock_object(), &cfg).expect("checks");
+        assert!(!report.drf_sc, "the SB clients race");
+        assert!(!report.refines, "TSO exhibits non-SC behaviour (0/0)");
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn fenced_version_restores_refinement_but_still_races() {
+        // mfence after the store: the 0/0 outcome disappears, so the
+        // refinement holds again even though the program still races —
+        // DRF is sufficient, not necessary (cf. TRF, Owens [22]).
+        let mk = |mine: &str, theirs: &str| AsmFunc {
+            code: vec![
+                Instr::Store(MemArg::Global(mine.into(), 0), Operand::Imm(1)),
+                Instr::Mfence,
+                Instr::Load(Reg::Ecx, MemArg::Global(theirs.into(), 0)),
+                Instr::Print(Reg::Ecx),
+                Instr::Mov(Reg::Eax, Operand::Imm(0)),
+                Instr::Ret,
+            ],
+            frame_slots: 0,
+            arity: 0,
+        };
+        let clients = AsmModule::new([("t1", mk("x", "y")), ("t2", mk("y", "x"))]);
+        let mut ge = GlobalEnv::new();
+        ge.define("x", ccc_core::mem::Val::Int(0));
+        ge.define("y", ccc_core::mem::Val::Int(0));
+        let entries = vec!["t1".to_string(), "t2".to_string()];
+        let cfg = ExploreCfg::default();
+        let report =
+            check_drf_guarantee(&clients, &ge, &entries, &lock_object(), &cfg).expect("checks");
+        assert!(!report.drf_sc);
+        assert!(report.refines);
+    }
+}

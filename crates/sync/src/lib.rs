@@ -1,0 +1,31 @@
+//! # ccc-sync — synchronization objects with confined benign races
+//!
+//! The object layer of the CASCompCert reproduction (§7 and Fig. 3 of
+//! the paper):
+//!
+//! * [`lock`] — the spin lock of Fig. 10: the CImp specification
+//!   `γ_lock` (atomic blocks + assert) and the x86 TTAS implementation
+//!   `π_lock`, whose unfenced spin read and release store are the
+//!   paper's canonical *confined benign races*;
+//! * [`stack`] — the Treiber stack generalization (§2.4): a lock-free
+//!   x86 implementation against an atomic CImp stack specification;
+//! * [`drf_guarantee`] — the strengthened DRF-guarantee theorem for
+//!   x86-TSO (Lem. 16) as an executable checker: builds `P_sc` (SC
+//!   clients + abstract object) and `P_tso` (linked machine program
+//!   under TSO) and validates `P_tso ⊑′ P_sc` given `Safe`/`DRF`
+//!   premises.
+//!
+//! The checkers double as the executable reading of the object
+//! simulation `πo 4ᵒ γo`: refinement is tested contextually, against
+//! concrete DRF client programs (see DESIGN.md, "Limitations").
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod drf_guarantee;
+pub mod lock;
+pub mod stack;
+
+pub use drf_guarantee::{check_drf_guarantee, DrfGuaranteeReport, SyncObject};
+pub use lock::{counter_client, lock_impl, lock_spec};
+pub use stack::{stack_impl, stack_object, stack_spec};

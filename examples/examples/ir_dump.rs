@@ -1,0 +1,48 @@
+//! Dumps every intermediate representation of one compilation — the
+//! pipeline of Fig. 11 made visible. Useful for seeing what each pass
+//! (including the Constprop extension) actually does to the code.
+//!
+//! Run with: `cargo run -p ccc-examples --example ir_dump`
+
+use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
+use ccc_clight::ClightModule;
+use ccc_compiler::constprop::constprop;
+use ccc_compiler::driver::compile_with_artifacts;
+use ccc_compiler::pretty::{dump_artifacts, rtl_module};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // sum(n) — a small function with a loop, a local, a call and a print.
+    let sum = Function {
+        params: vec!["n".into()],
+        vars: vec!["acc".into()],
+        body: Stmt::seq([
+            Stmt::Assign(E::var("acc"), E::Const(0)),
+            Stmt::while_loop(
+                E::bin(Binop::Lt, E::Const(0), E::temp("n")),
+                Stmt::seq([
+                    Stmt::Assign(E::var("acc"), E::add(E::var("acc"), E::temp("n"))),
+                    Stmt::Set("n".into(), E::bin(Binop::Sub, E::temp("n"), E::Const(1))),
+                ]),
+            ),
+            Stmt::Return(Some(E::var("acc"))),
+        ]),
+    };
+    let main_fn = Function::simple(Stmt::seq([
+        Stmt::Call(Some("t".into()), "sum".into(), vec![E::bin(
+            Binop::Mul,
+            E::Const(2),
+            E::Const(5),
+        )]),
+        Stmt::Print(E::temp("t")),
+        Stmt::Return(Some(E::temp("t"))),
+    ]));
+    let m = ClightModule::new([("main", main_fn), ("sum", sum)]);
+
+    let arts = compile_with_artifacts(&m)?;
+    println!("{}", dump_artifacts(&arts));
+
+    println!("=== RTL after the Constprop extension ===");
+    println!("{}", rtl_module(&constprop(&arts.rtl_renumber)));
+    println!("(note `2 * 5` folded to 10 before reaching the call)");
+    Ok(())
+}

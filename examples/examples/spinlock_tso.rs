@@ -1,0 +1,113 @@
+//! The TTAS spin lock of Fig. 10 under x86-TSO (§7.3 of the paper):
+//!
+//! 1. shows the store-buffering litmus test exhibiting genuinely relaxed
+//!    (non-SC) behaviour on our TSO machine;
+//! 2. shows the racy lock implementation `π_lock` nevertheless refining
+//!    its atomic CImp specification `γ_lock` for a DRF client — the
+//!    strengthened DRF-guarantee theorem (Lem. 16);
+//! 3. shows what goes wrong without confinement (the same litmus as a
+//!    "client", where the guarantee's premises fail).
+//!
+//! Run with: `cargo run -p ccc-examples --example spinlock_tso`
+
+use ccc_core::lang::{Event, Prog};
+use ccc_core::mem::{GlobalEnv, Val};
+use ccc_core::refine::{collect_traces, ExploreCfg, Preemptive, Terminal};
+use ccc_core::world::Loaded;
+use ccc_machine::{AsmFunc, AsmModule, Instr, MemArg, Operand, Reg, X86Sc, X86Tso};
+use ccc_sync::drf_guarantee::{check_drf_guarantee, SyncObject};
+use ccc_sync::lock::{lock_impl, lock_spec};
+
+fn sb_clients() -> (AsmModule, GlobalEnv, Vec<String>) {
+    let mk = |mine: &str, theirs: &str| AsmFunc {
+        code: vec![
+            Instr::Store(MemArg::Global(mine.into(), 0), Operand::Imm(1)),
+            Instr::Load(Reg::Ecx, MemArg::Global(theirs.into(), 0)),
+            Instr::Print(Reg::Ecx),
+            Instr::Mov(Reg::Eax, Operand::Imm(0)),
+            Instr::Ret,
+        ],
+        frame_slots: 0,
+        arity: 0,
+    };
+    let mut ge = GlobalEnv::new();
+    ge.define("sbx", Val::Int(0));
+    ge.define("sby", Val::Int(0));
+    (
+        AsmModule::new([("t1", mk("sbx", "sby")), ("t2", mk("sby", "sbx"))]),
+        ge,
+        vec!["t1".into(), "t2".into()],
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExploreCfg {
+        fuel: 300,
+        max_states: 3_000_000,
+        ..Default::default()
+    };
+
+    // 1. The SB litmus: TSO is really relaxed.
+    println!("== 1. Store-buffering litmus (x := 1; read y ∥ y := 1; read x) ==");
+    let (sb, sb_ge, sb_entries) = sb_clients();
+    let zero_zero = |ts: &ccc_core::refine::TraceSet| {
+        ts.traces.iter().any(|t| {
+            t.end == Terminal::Done && t.events == vec![Event::Print(0), Event::Print(0)]
+        })
+    };
+    let sc = Loaded::new(Prog::new(X86Sc, vec![(sb.clone(), sb_ge.clone())], sb_entries.clone()))?;
+    let tso = Loaded::new(Prog::new(X86Tso, vec![(sb.clone(), sb_ge.clone())], sb_entries.clone()))?;
+    let sc_traces = collect_traces(&Preemptive(&sc), &cfg)?;
+    let tso_traces = collect_traces(&Preemptive(&tso), &cfg)?;
+    println!("  under x86-SC : 0/0 observable = {}", zero_zero(&sc_traces));
+    println!("  under x86-TSO: 0/0 observable = {}", zero_zero(&tso_traces));
+    assert!(!zero_zero(&sc_traces) && zero_zero(&tso_traces));
+
+    // 2. The TTAS lock: racy, yet correct for DRF clients.
+    println!("\n== 2. TTAS spin lock under TSO (Fig. 10 + Lem. 16) ==");
+    let (spec, spec_ge) = lock_spec("L");
+    let (imp, imp_ge) = lock_impl("L");
+    println!("γ_lock (CImp spec):\n{spec}");
+    println!("π_lock (x86-TSO, note the unfenced release store):\n{imp}");
+    let obj = SyncObject {
+        spec,
+        spec_ge,
+        impl_asm: imp,
+        impl_ge: imp_ge,
+    };
+    let client = AsmFunc {
+        code: vec![
+            Instr::Call("lock".into(), 0),
+            Instr::Load(Reg::Ecx, MemArg::Global("x".into(), 0)),
+            Instr::Mov(Reg::Ebx, Operand::Reg(Reg::Ecx)),
+            Instr::Add(Reg::Ebx, Operand::Imm(1)),
+            Instr::Store(MemArg::Global("x".into(), 0), Operand::Reg(Reg::Ebx)),
+            Instr::Call("unlock".into(), 0),
+            Instr::Print(Reg::Ecx),
+            Instr::Mov(Reg::Eax, Operand::Imm(0)),
+            Instr::Ret,
+        ],
+        frame_slots: 0,
+        arity: 0,
+    };
+    let clients = AsmModule::new([("t1", client.clone()), ("t2", client)]);
+    let mut client_ge = GlobalEnv::new();
+    client_ge.define("x", Val::Int(0));
+    let entries = vec!["t1".to_string(), "t2".to_string()];
+    let report = check_drf_guarantee(&clients, &client_ge, &entries, &obj, &cfg)?;
+    println!("  Safe(P_sc) = {}", report.safe_sc);
+    println!("  DRF(P_sc)  = {}", report.drf_sc);
+    println!("  P_tso ⊑′ P_sc = {}   ({} TSO traces vs {} SC traces)",
+        report.refines, report.tso_traces, report.sc_traces);
+    assert!(report.holds());
+
+    // 3. Without confinement the guarantee fails.
+    println!("\n== 3. Unconfined races: the premise is load-bearing ==");
+    let report = check_drf_guarantee(&sb, &sb_ge, &sb_entries, &obj, &ExploreCfg::default())?;
+    println!("  DRF(P_sc)  = {} (the SB clients race)", report.drf_sc);
+    println!("  P_tso ⊑′ P_sc = {} (TSO exhibits 0/0)", report.refines);
+    assert!(!report.drf_sc && !report.refines);
+
+    println!("\nConfined benign races are fine; unconfined races are not.");
+    Ok(())
+}

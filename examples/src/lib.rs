@@ -1,0 +1,1 @@
+//! Shared helpers for the example binaries (see the `examples/` files).

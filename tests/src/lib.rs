@@ -1,0 +1,1 @@
+//! Integration-test crate; the tests live in `tests/tests/`.

@@ -1,0 +1,181 @@
+//! End-to-end validation of the final theorem (Thm. 12/14 of the
+//! paper): correct sequential compilers, composed over concurrent DRF
+//! Clight programs linked with a CImp synchronization object, preserve
+//! whole-program semantics — and the framework detects it when any
+//! premise breaks.
+
+use ccc_cimp::CImpLang;
+use ccc_clight::gen::gen_concurrent_client;
+use ccc_clight::ClightLang;
+use ccc_compiler::driver::compile;
+use ccc_core::framework::{validate_fig2, validate_refinement};
+use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::race::check_drf;
+use ccc_core::refine::{check_safe, ExploreCfg, Preemptive};
+use ccc_core::world::Loaded;
+use ccc_machine::X86Sc;
+use ccc_sync::lock::lock_spec;
+
+type SrcLang = SumLang<ClightLang, CImpLang>;
+type TgtLang = SumLang<X86Sc, CImpLang>;
+
+fn source_program(
+    client: &ccc_clight::ClightModule,
+    client_ge: &ccc_core::mem::GlobalEnv,
+    entries: &[String],
+) -> Loaded<SrcLang> {
+    let (lock, lock_ge) = lock_spec("L");
+    Loaded::new(Prog {
+        lang: SumLang(ClightLang, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client.clone()),
+                ge: client_ge.clone(),
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries: entries.to_vec(),
+    })
+    .expect("source links")
+}
+
+fn target_program(
+    client_asm: &ccc_machine::AsmModule,
+    client_ge: &ccc_core::mem::GlobalEnv,
+    entries: &[String],
+) -> Loaded<TgtLang> {
+    let (lock, lock_ge) = lock_spec("L");
+    Loaded::new(Prog {
+        lang: SumLang(X86Sc, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client_asm.clone()),
+                ge: client_ge.clone(),
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries: entries.to_vec(),
+    })
+    .expect("target links")
+}
+
+#[test]
+fn gcorrect_on_generated_drf_clients() {
+    // Thm. 14 on a corpus of generated lock-synchronized clients: the
+    // premises (Safe, DRF) hold and the compiled program validates the
+    // whole Fig. 2 framework.
+    let cfg = ExploreCfg {
+        fuel: 300,
+        ..Default::default()
+    };
+    for seed in 0..6 {
+        let (client, ge, entries) = gen_concurrent_client(seed, 2, &["s0", "s1"], false);
+        let src = source_program(&client, &ge, &entries);
+
+        let safety = check_safe(&Preemptive(&src), &cfg).expect("explore");
+        assert!(safety.safe, "seed {seed}: source unsafe");
+        let drf = check_drf(&src, &cfg).expect("drf");
+        assert!(drf.is_drf(), "seed {seed}: source racy: {:?}", drf.race);
+
+        let asm = compile(&client).expect("compiles");
+        let tgt = target_program(&asm, &ge, &entries);
+        let report = validate_fig2(&src, &tgt, &cfg).expect("validate");
+        assert!(
+            report.all_hold(),
+            "seed {seed}: failures {:?}",
+            report.failures()
+        );
+    }
+}
+
+#[test]
+fn racy_clients_are_rejected_by_the_premise() {
+    // The same generator without locks: DRF(P) fails, which is exactly
+    // the premise Thm. 12 requires (GCorrect says nothing about racy
+    // sources).
+    let cfg = ExploreCfg::default();
+    let mut caught = 0;
+    for seed in 0..6 {
+        let (client, ge, entries) = gen_concurrent_client(seed, 2, &["s0"], true);
+        let src = source_program(&client, &ge, &entries);
+        let drf = check_drf(&src, &cfg).expect("drf");
+        if !drf.is_drf() {
+            caught += 1;
+        }
+    }
+    assert!(caught >= 5, "only {caught}/6 racy programs detected");
+}
+
+#[test]
+fn refinement_holds_even_without_full_equivalence_check() {
+    // The bare conclusion of GCorrect (Def. 11): target ⊑ source.
+    let cfg = ExploreCfg {
+        fuel: 300,
+        ..Default::default()
+    };
+    for seed in [11u64, 23] {
+        let (client, ge, entries) = gen_concurrent_client(seed, 2, &["s0", "s1"], false);
+        let src = source_program(&client, &ge, &entries);
+        let asm = compile(&client).expect("compiles");
+        let tgt = target_program(&asm, &ge, &entries);
+        assert!(
+            validate_refinement(&src, &tgt, &cfg).expect("refinement"),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn miscompilation_is_detected_by_the_framework() {
+    // Mutate the compiled client (swap a printed constant) and check
+    // the framework rejects the "compilation".
+    let (client, ge, entries) = gen_concurrent_client(3, 2, &["s0"], false);
+    let src = source_program(&client, &ge, &entries);
+    let mut asm = compile(&client).expect("compiles");
+    // Find a Print and corrupt the register it prints from by inserting
+    // a constant overwrite just before it.
+    let mut mutated = false;
+    for f in asm.funcs.values_mut() {
+        if let Some(pos) = f
+            .code
+            .iter()
+            .position(|i| matches!(i, ccc_machine::Instr::Print(_)))
+        {
+            let ccc_machine::Instr::Print(r) = f.code[pos] else {
+                unreachable!()
+            };
+            f.code
+                .insert(pos, ccc_machine::Instr::Mov(r, ccc_machine::Operand::Imm(4242)));
+            mutated = true;
+            break;
+        }
+    }
+    assert!(mutated, "no print to corrupt");
+    let tgt = target_program(&asm, &ge, &entries);
+    let cfg = ExploreCfg {
+        fuel: 300,
+        ..Default::default()
+    };
+    let report = validate_fig2(&src, &tgt, &cfg).expect("validate");
+    assert!(!report.preemptive_equiv, "mutation must be caught");
+}
+
+#[test]
+fn three_thread_client_compiles_and_validates() {
+    let cfg = ExploreCfg {
+        fuel: 380,
+        max_states: 4_000_000,
+        ..Default::default()
+    };
+    let (client, ge, entries) = gen_concurrent_client(1, 3, &["s0"], false);
+    let src = source_program(&client, &ge, &entries);
+    let asm = compile(&client).expect("compiles");
+    let tgt = target_program(&asm, &ge, &entries);
+    assert!(validate_refinement(&src, &tgt, &cfg).expect("refinement"));
+}

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) over the framework's core data
+//! structures and the compiler: footprint algebra, memory-model
+//! invariants, `FPmatch` monotonicity, comparison-operator laws, and
+//! randomized differential compilation.
+
+use ccc_core::footprint::{fp_match, mem_eq_on, AddrSet, Footprint, Mu};
+use ccc_core::mem::{Addr, FreeList, GlobalEnv, Memory, Val};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (0u64..64).prop_map(|n| Addr(8 + n * 8))
+}
+
+fn arb_addr_set() -> impl Strategy<Value = AddrSet> {
+    proptest::collection::btree_set(arb_addr(), 0..6)
+}
+
+fn arb_fp() -> impl Strategy<Value = Footprint> {
+    (arb_addr_set(), arb_addr_set()).prop_map(|(rs, ws)| Footprint { rs, ws })
+}
+
+fn arb_val() -> impl Strategy<Value = Val> {
+    prop_oneof![
+        (-100i64..100).prop_map(Val::Int),
+        arb_addr().prop_map(Val::Ptr),
+        Just(Val::Undef),
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = Memory> {
+    proptest::collection::btree_map(arb_addr(), arb_val(), 0..10)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn footprint_union_is_commutative_and_idempotent(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.subset(&a.union(&b)));
+        prop_assert!(b.subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn footprint_conflict_is_symmetric(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a.conflicts(&b), b.conflicts(&a));
+    }
+
+    #[test]
+    fn conflict_is_monotone_in_accumulation(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        // If a ⌢ b then (a ∪ c) ⌢ b — the property race prediction
+        // relies on when it keeps only maximal block accumulations.
+        if a.conflicts(&b) {
+            prop_assert!(a.union(&c).conflicts(&b));
+        }
+    }
+
+    #[test]
+    fn read_read_never_conflicts(rs1 in arb_addr_set(), rs2 in arb_addr_set()) {
+        let f1 = Footprint { rs: rs1, ws: AddrSet::new() };
+        let f2 = Footprint { rs: rs2, ws: AddrSet::new() };
+        prop_assert!(!f1.conflicts(&f2));
+    }
+
+    #[test]
+    fn fp_match_is_monotone_in_the_source(src in arb_fp(), extra in arb_fp(), tgt in arb_fp()) {
+        // Enlarging the source footprint can only help FPmatch.
+        let mu = Mu::identity((0u64..64).map(|n| Addr(8 + n * 8)));
+        if fp_match(&mu, &src, &tgt) {
+            prop_assert!(fp_match(&mu, &src.union(&extra), &tgt));
+        }
+    }
+
+    #[test]
+    fn fp_match_reflexive_under_identity(fp in arb_fp()) {
+        let mu = Mu::identity((0u64..64).map(|n| Addr(8 + n * 8)));
+        prop_assert!(fp_match(&mu, &fp, &fp));
+    }
+
+    #[test]
+    fn fp_match_ignores_local_target_accesses(src in arb_fp()) {
+        // Accesses entirely outside µ.S never violate FPmatch.
+        let mu = Mu::identity((0u64..8).map(|n| Addr(8 + n * 8)));
+        let local = Footprint::writes([FreeList::for_thread(0).addr_at(3)]);
+        prop_assert!(fp_match(&mu, &src, &local));
+    }
+
+    #[test]
+    fn mem_eq_on_is_an_equivalence_on_fixed_sets(m1 in arb_mem(), m2 in arb_mem(), m3 in arb_mem(), s in arb_addr_set()) {
+        prop_assert!(mem_eq_on(&m1, &m1, &s));
+        if mem_eq_on(&m1, &m2, &s) {
+            prop_assert!(mem_eq_on(&m2, &m1, &s));
+            if mem_eq_on(&m2, &m3, &s) {
+                prop_assert!(mem_eq_on(&m1, &m3, &s));
+            }
+        }
+    }
+
+    #[test]
+    fn store_preserves_domain(mut m in arb_mem(), a in arb_addr(), v in arb_val()) {
+        let dom_before: Vec<Addr> = m.dom().collect();
+        let ok = m.store(a, v);
+        let dom_after: Vec<Addr> = m.dom().collect();
+        prop_assert_eq!(dom_before.clone(), dom_after);
+        prop_assert_eq!(ok, dom_before.contains(&a));
+        if ok {
+            prop_assert_eq!(m.load(a), Some(v));
+        }
+    }
+
+    #[test]
+    fn freelists_partition_the_address_space(t1 in 0usize..8, t2 in 0usize..8, n in 0u64..1000) {
+        let f1 = FreeList::for_thread(t1);
+        let f2 = FreeList::for_thread(t2);
+        let a = f1.addr_at(n);
+        prop_assert!(f1.contains(a));
+        prop_assert!(!a.is_global());
+        if t1 != t2 {
+            prop_assert!(!f2.contains(a));
+        }
+    }
+
+    #[test]
+    fn cmp_negate_and_swap_laws(a in -50i64..50, b in -50i64..50) {
+        use ccc_compiler::ops::Cmp;
+        for c in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            let va = Val::Int(a);
+            let vb = Val::Int(b);
+            let direct = c.eval(va, vb).unwrap();
+            prop_assert_eq!(c.negate().eval(va, vb).unwrap(), !direct);
+            prop_assert_eq!(c.swap().eval(vb, va).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn global_env_link_is_idempotent_and_monotone(names in proptest::collection::btree_set("[a-d]", 1..4)) {
+        let mut ge = GlobalEnv::new();
+        for n in &names {
+            ge.define(n, Val::Int(1));
+        }
+        let linked = GlobalEnv::link([&ge, &ge]).expect("self-link");
+        for n in &names {
+            prop_assert_eq!(linked.lookup(n), ge.lookup(n));
+        }
+    }
+}
+
+// Differential compilation under proptest: arbitrary seeds into the
+// structured Clight generator, full pipeline, compare with the source.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_code_agrees_with_source(seed in any::<u64>()) {
+        use ccc_clight::gen::{gen_module, GenCfg};
+        use ccc_clight::ClightLang;
+        use ccc_core::world::run_main;
+        use ccc_machine::X86Sc;
+
+        let (m, ge) = gen_module(seed, &GenCfg::default());
+        let asm = ccc_compiler::compile(&m).expect("compiles");
+        let s = run_main(&ClightLang, &m, &ge, "f", &[], 1_000_000).expect("source runs");
+        let t = run_main(&X86Sc, &asm, &ge, "f", &[], 1_000_000).expect("target runs");
+        prop_assert_eq!(s.0, t.0, "return values");
+        prop_assert_eq!(s.2, t.2, "events");
+        for (a, _) in ge.initial_memory().iter() {
+            prop_assert_eq!(s.1.load(a), t.1.load(a), "global {}", a);
+        }
+    }
+
+    #[test]
+    fn selection_shrinks_footprints(seed in any::<u64>()) {
+        // The Fig. 12 obligation as a property: on every generated
+        // program, the end-to-end simulation (which checks FPmatch at
+        // every switch point) accepts the Selection pass.
+        use ccc_clight::gen::{gen_module, GenCfg};
+        use ccc_compiler::driver::compile_with_artifacts;
+        use ccc_compiler::verif::verify_passes;
+
+        let (m, ge) = gen_module(seed, &GenCfg::default());
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        let verdicts = verify_passes(&arts, &ge, "f");
+        let sel = verdicts.iter().find(|v| v.pass == "Selection").expect("has pass");
+        prop_assert!(sel.ok());
+    }
+}
