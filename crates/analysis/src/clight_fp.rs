@@ -1,0 +1,324 @@
+//! Static footprint inference for mini-Clight.
+//!
+//! A forward abstract interpretation over the source AST: each function
+//! gets an [`AbsFootprint`] over-approximating the memory its executions
+//! may read and write. Temporaries are tracked with a flow-insensitive
+//! [`AbsVal`] abstraction (what matters is only whether a temporary may
+//! hold a pointer, and into which region); addressable locals map to
+//! [`Region::StackLocal`], named globals to [`Region::Global`].
+//!
+//! Calls are resolved interprocedurally within the module by a summary
+//! fixpoint; calls that leave the module use the caller-provided
+//! external summaries (e.g. the lock model inferred from a CImp object
+//! by [`crate::lockset::infer_lock_model`]) and default to ⊤.
+
+use crate::region::{AbsFootprint, AbsVal, Region};
+use ccc_clight::ast::{Binop, ClightModule, Expr, Function, Stmt};
+use std::collections::BTreeMap;
+
+/// Per-function abstract footprints of one Clight module.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClightSummaries {
+    /// Function name → inferred footprint of a call to it.
+    pub funcs: BTreeMap<String, AbsFootprint>,
+}
+
+impl ClightSummaries {
+    /// The inferred footprint of `name`, if it is defined in the module.
+    pub fn footprint(&self, name: &str) -> Option<&AbsFootprint> {
+        self.funcs.get(name)
+    }
+}
+
+/// Infers per-function footprints, treating every call that leaves the
+/// module as ⊤ (reads and writes anything).
+pub fn infer_clight(m: &ClightModule) -> ClightSummaries {
+    infer_clight_with(m, &BTreeMap::new())
+}
+
+/// Infers per-function footprints with summaries for external functions
+/// (name → footprint of one call). Unknown externals still default to ⊤.
+pub fn infer_clight_with(
+    m: &ClightModule,
+    externals: &BTreeMap<String, AbsFootprint>,
+) -> ClightSummaries {
+    // Per-function temporary abstractions are independent of call
+    // summaries (call results are abstracted to unknown), so compute
+    // them once up front.
+    let temps: BTreeMap<&String, BTreeMap<String, AbsVal>> = m
+        .funcs
+        .iter()
+        .map(|(name, f)| (name, temp_abstraction(f)))
+        .collect();
+    // Interprocedural summary fixpoint: footprints only grow and the
+    // region lattice is finite, so this terminates.
+    let mut summaries: BTreeMap<String, AbsFootprint> = m
+        .funcs
+        .keys()
+        .map(|n| (n.clone(), AbsFootprint::emp()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, f) in &m.funcs {
+            let mut fp = AbsFootprint::emp();
+            if !f.vars.is_empty() {
+                // Entry allocates the addressable locals (a write to the
+                // thread-private area in the instrumented semantics).
+                fp.extend(&AbsFootprint::write(Region::StackLocal));
+            }
+            stmt_fp(&f.body, f, &temps[name], &summaries, externals, &mut fp);
+            if summaries[name] != fp {
+                summaries.insert(name.clone(), fp);
+                changed = true;
+            }
+        }
+        if !changed {
+            return ClightSummaries { funcs: summaries };
+        }
+    }
+}
+
+/// The region an addressable variable names: a thread-private local if
+/// declared in the function, the global block of that name otherwise.
+pub(crate) fn region_of(f: &Function, v: &str) -> Region {
+    if f.vars.iter().any(|x| x == v) {
+        Region::StackLocal
+    } else {
+        Region::Global(v.to_string())
+    }
+}
+
+/// Flow-insensitive per-temporary abstract values: the join of every
+/// expression ever assigned to the temporary (parameters and call
+/// results are unknown). Iterated to a fixpoint because assigned
+/// expressions read other temporaries.
+pub(crate) fn temp_abstraction(f: &Function) -> BTreeMap<String, AbsVal> {
+    // Gather every assignment to a temporary once; call results are
+    // abstracted to "unknown".
+    let mut assigns: Vec<(&String, Option<&Expr>)> = Vec::new();
+    let mut stack = vec![&f.body];
+    while let Some(s) = stack.pop() {
+        match s {
+            Stmt::Set(t, e) => assigns.push((t, Some(e))),
+            Stmt::Call(Some(t), ..) => assigns.push((t, None)),
+            Stmt::Seq(ss) => stack.extend(ss),
+            Stmt::If(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Stmt::While(_, b) => stack.push(b),
+            _ => {}
+        }
+    }
+    let mut temps: BTreeMap<String, AbsVal> = f
+        .params
+        .iter()
+        .map(|p| (p.clone(), AbsVal::Ptr(Region::Top)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (t, src) in &assigns {
+            let v = match src {
+                Some(e) => eval(e, f, &temps),
+                None => AbsVal::Ptr(Region::Top),
+            };
+            let cur = temps.get(*t).cloned().unwrap_or(AbsVal::Bot);
+            let joined = cur.join(&v);
+            if joined != cur {
+                temps.insert((*t).clone(), joined);
+                changed = true;
+            }
+        }
+        if !changed {
+            return temps;
+        }
+    }
+}
+
+/// Abstract evaluation of an rvalue.
+pub(crate) fn eval(e: &Expr, f: &Function, temps: &BTreeMap<String, AbsVal>) -> AbsVal {
+    match e {
+        Expr::Const(_) => AbsVal::Int,
+        Expr::Temp(t) => temps.get(t).cloned().unwrap_or(AbsVal::Bot),
+        // Values loaded from memory are unknown (memory may hold stored
+        // pointers).
+        Expr::Var(_) | Expr::Deref(_) => AbsVal::Ptr(Region::Top),
+        Expr::Addrof(lv) => match &**lv {
+            Expr::Var(v) => AbsVal::Ptr(region_of(f, v)),
+            Expr::Deref(e) => eval(e, f, temps),
+            _ => AbsVal::Ptr(Region::Top),
+        },
+        Expr::Unop(..) => AbsVal::Int,
+        Expr::Binop(op, a, b) => match op {
+            // `ptr ± int` stays a pointer; the block may be left.
+            Binop::Add | Binop::Sub => {
+                let (va, vb) = (eval(a, f, temps), eval(b, f, temps));
+                va.arith().join(&vb.arith())
+            }
+            _ => AbsVal::Int,
+        },
+    }
+}
+
+/// Read footprint of evaluating `e` as an rvalue.
+pub(crate) fn expr_fp(
+    e: &Expr,
+    f: &Function,
+    temps: &BTreeMap<String, AbsVal>,
+    out: &mut AbsFootprint,
+) {
+    match e {
+        Expr::Const(_) | Expr::Temp(_) => {}
+        Expr::Var(v) => out.extend(&AbsFootprint::read(region_of(f, v))),
+        Expr::Deref(a) => {
+            expr_fp(a, f, temps, out);
+            if let Some(r) = eval(a, f, temps).ptr_region() {
+                out.extend(&AbsFootprint::read(r));
+            }
+        }
+        // Taking an address performs no load, but the lvalue's own
+        // address computation may.
+        Expr::Addrof(lv) => match &**lv {
+            Expr::Var(_) => {}
+            Expr::Deref(a) => expr_fp(a, f, temps, out),
+            other => expr_fp(other, f, temps, out),
+        },
+        Expr::Unop(_, a) => expr_fp(a, f, temps, out),
+        Expr::Binop(_, a, b) => {
+            expr_fp(a, f, temps, out);
+            expr_fp(b, f, temps, out);
+        }
+    }
+}
+
+/// Footprint of a statement, accumulating into `out`.
+fn stmt_fp(
+    s: &Stmt,
+    f: &Function,
+    temps: &BTreeMap<String, AbsVal>,
+    summaries: &BTreeMap<String, AbsFootprint>,
+    externals: &BTreeMap<String, AbsFootprint>,
+    out: &mut AbsFootprint,
+) {
+    match s {
+        Stmt::Skip | Stmt::Break | Stmt::Continue | Stmt::Return(None) => {}
+        Stmt::Assign(lv, e) => {
+            expr_fp(e, f, temps, out);
+            match lv {
+                Expr::Var(v) => out.extend(&AbsFootprint::write(region_of(f, v))),
+                Expr::Deref(a) => {
+                    expr_fp(a, f, temps, out);
+                    if let Some(r) = eval(a, f, temps).ptr_region() {
+                        out.extend(&AbsFootprint::write(r));
+                    }
+                }
+                // Not an lvalue: the program aborts without accessing
+                // memory, but stay conservative.
+                _ => out.extend(&AbsFootprint::write(Region::Top)),
+            }
+        }
+        Stmt::Set(_, e) | Stmt::Print(e) | Stmt::Return(Some(e)) => expr_fp(e, f, temps, out),
+        Stmt::Call(_, callee, args) => {
+            for a in args {
+                expr_fp(a, f, temps, out);
+            }
+            if let Some(fp) = summaries.get(callee) {
+                out.extend(fp);
+            } else if let Some(fp) = externals.get(callee) {
+                out.extend(fp);
+            } else {
+                out.extend(&AbsFootprint::top());
+            }
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                stmt_fp(s, f, temps, summaries, externals, out);
+            }
+        }
+        Stmt::If(c, a, b) => {
+            expr_fp(c, f, temps, out);
+            stmt_fp(a, f, temps, summaries, externals, out);
+            stmt_fp(b, f, temps, summaries, externals, out);
+        }
+        Stmt::While(c, b) => {
+            expr_fp(c, f, temps, out);
+            stmt_fp(b, f, temps, summaries, externals, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::ast::Function;
+
+    fn module(funcs: Vec<(&str, Function)>) -> ClightModule {
+        ClightModule::new(funcs)
+    }
+
+    #[test]
+    fn global_accesses_are_named() {
+        // f() { t = g; h = t + 1; }
+        let f = Function::simple(Stmt::seq([
+            Stmt::Set("t".into(), Expr::var("g")),
+            Stmt::Assign(Expr::var("h"), Expr::add(Expr::temp("t"), Expr::Const(1))),
+        ]));
+        let s = infer_clight(&module(vec![("f", f)]));
+        let fp = s.footprint("f").unwrap();
+        assert!(fp.reads.contains(&Region::Global("g".into())));
+        assert!(fp.writes.contains(&Region::Global("h".into())));
+        assert!(!fp.writes.contains(&Region::Global("g".into())));
+    }
+
+    #[test]
+    fn locals_stay_thread_private() {
+        // f() { v = 1; p = &v; *p = 2; } with v addressable.
+        let f = Function {
+            params: vec![],
+            vars: vec!["v".into()],
+            body: Stmt::seq([
+                Stmt::Assign(Expr::var("v"), Expr::Const(1)),
+                Stmt::Set("p".into(), Expr::Addrof(Box::new(Expr::var("v")))),
+                Stmt::Assign(Expr::Deref(Box::new(Expr::temp("p"))), Expr::Const(2)),
+            ]),
+        };
+        let s = infer_clight(&module(vec![("f", f)]));
+        let fp = s.footprint("f").unwrap();
+        assert_eq!(fp.writes, [Region::StackLocal].into());
+        assert!(fp.reads.is_empty());
+    }
+
+    #[test]
+    fn pointer_arithmetic_widens_to_any_global() {
+        // f() { p = &g + 1; *p = 0; }
+        let f = Function::simple(Stmt::seq([
+            Stmt::Set(
+                "p".into(),
+                Expr::add(Expr::Addrof(Box::new(Expr::var("g"))), Expr::Const(1)),
+            ),
+            Stmt::Assign(Expr::Deref(Box::new(Expr::temp("p"))), Expr::Const(0)),
+        ]));
+        let s = infer_clight(&module(vec![("f", f)]));
+        let fp = s.footprint("f").unwrap();
+        assert!(fp.writes.contains(&Region::AnyGlobal));
+    }
+
+    #[test]
+    fn internal_calls_are_summarized() {
+        let callee = Function::simple(Stmt::Assign(Expr::var("g"), Expr::Const(3)));
+        let caller = Function::simple(Stmt::call0("callee", vec![]));
+        let s = infer_clight(&module(vec![("callee", callee), ("caller", caller)]));
+        assert!(s
+            .footprint("caller")
+            .unwrap()
+            .writes
+            .contains(&Region::Global("g".into())));
+    }
+
+    #[test]
+    fn unknown_externals_are_top() {
+        let f = Function::simple(Stmt::call0("mystery", vec![]));
+        let s = infer_clight(&module(vec![("f", f)]));
+        assert!(s.footprint("f").unwrap().writes.contains(&Region::Top));
+    }
+}

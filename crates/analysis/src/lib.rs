@@ -1,0 +1,39 @@
+//! `ccc-analysis` — static analyses over the CASCompCert reproduction.
+//!
+//! Three cooperating passes, all validated against the instrumented
+//! dynamic semantics in `ccc-core`:
+//!
+//! * **Footprint inference** ([`clight_fp`], [`rtl_fp`]): per-function
+//!   abstract read/write sets over symbolic [`region::Region`]s, at the
+//!   source (Clight) and register-transfer (RTL) levels. Soundness
+//!   contract: the concrete footprint of every instrumented execution is
+//!   [`region::AbsFootprint::covers`]-contained in the inferred one
+//!   (cross-validated in `tests/` on the generated corpus).
+//!
+//! * **Lockset race analysis** ([`lockset`]): an Eraser-style must-hold
+//!   lockset analysis of Clight clients against a lock protocol inferred
+//!   from a CImp object module, yielding `StaticDrf` / `MayRace`
+//!   verdicts that are cross-checked both directions against the
+//!   exhaustive interleaving exploration of `ccc_core::race::check_drf`.
+//!
+//! * **Per-pass IR lint** ([`lint`]): structural well-formedness checks
+//!   for all 12 pipeline stages (plus `Constprop`), catching
+//!   mutation-broken passes at the stage that introduced the breakage.
+
+pub mod clight_fp;
+pub mod lint;
+pub mod lockset;
+pub mod region;
+pub mod rtl_fp;
+
+pub use clight_fp::{infer_clight, infer_clight_with, ClightSummaries};
+pub use lint::{
+    compile_checked, lint_artifacts, lint_asm, lint_clight, lint_cminor, lint_cminorsel,
+    lint_linear, lint_ltl, lint_mach, lint_rtl, CheckedError, LintError, CONSTPROP_STAGE,
+};
+pub use lockset::{
+    check_static_race, infer_lock_model, Access, LockModel, ObjectSummary, RacePair,
+    StaticRaceReport, StaticVerdict,
+};
+pub use region::{AbsFootprint, AbsVal, Region};
+pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};

@@ -1,0 +1,1106 @@
+//! Per-pass structural IR lints for the 12-stage pipeline (plus the
+//! optional `Constprop` optimization).
+//!
+//! Every compiler pass is supposed to preserve a handful of structural
+//! invariants — branch targets resolve, operator arities match, frame
+//! and spill accesses stay in bounds, locations are defined before they
+//! are used, calls do not over-apply their callee. A pass that breaks
+//! one of them produces a module whose executions abort (or silently go
+//! wrong) for reasons that are invisible in the per-pass refinement
+//! tests until a program happens to exercise the broken path. The lints
+//! here reject such modules eagerly, naming the pass output
+//! ([`CompilationArtifacts::STAGE_NAMES`]) in which the breakage first
+//! appears.
+//!
+//! [`compile_checked`] is the linted entry point: it runs the full
+//! pipeline and fails with the collected [`LintError`]s if any stage is
+//! malformed. The mutation tests in `tests/` seed one deliberate
+//! breakage per stage and assert the lint attributes it to the right
+//! stage name.
+
+use ccc_clight::ast::{ClightModule, Stmt as CStmt};
+use ccc_compiler::cminor::{self, CminorModule};
+use ccc_compiler::cminorsel::{self, CminorSelModule};
+use ccc_compiler::constprop::constprop;
+use ccc_compiler::driver::{compile_with_artifacts, CompilationArtifacts, CompileError};
+use ccc_compiler::linear::{self, LinearModule};
+use ccc_compiler::ltl::{self, Loc, LtlModule};
+use ccc_compiler::mach::{self, MachModule};
+use ccc_compiler::ops::{AddrMode, Op};
+use ccc_compiler::rtl::{Node, RtlModule};
+use ccc_compiler::stmt_sem::Stmt;
+use ccc_machine::asm::{AsmModule, Instr as AInstr, MemArg};
+use ccc_machine::Reg;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// The stage name the lint uses for the optional constant-propagation
+/// output (which is not one of the 12 always-produced artifacts).
+pub const CONSTPROP_STAGE: &str = "Constprop";
+
+/// One structural defect found in a pass output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintError {
+    /// Pipeline stage whose output is malformed (a
+    /// [`CompilationArtifacts::STAGE_NAMES`] entry or
+    /// [`CONSTPROP_STAGE`]).
+    pub stage: &'static str,
+    /// The offending function.
+    pub func: String,
+    /// What is broken.
+    pub detail: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.stage, self.func, self.detail)
+    }
+}
+
+/// The error of [`compile_checked`]: either the pipeline itself failed,
+/// or it produced at least one malformed stage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckedError {
+    /// A pass reported failure.
+    Compile(CompileError),
+    /// The pipeline ran, but some stage outputs are malformed.
+    Lint(Vec<LintError>),
+}
+
+impl fmt::Display for CheckedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckedError::Compile(e) => write!(f, "compilation failed: {e:?}"),
+            CheckedError::Lint(errs) => {
+                writeln!(f, "{} lint error(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckedError {}
+
+/// Compiles through the full pipeline and lints every stage output,
+/// including the [`constprop`] of the register-allocation input.
+pub fn compile_checked(m: &ClightModule) -> Result<CompilationArtifacts, CheckedError> {
+    let arts = compile_with_artifacts(m).map_err(CheckedError::Compile)?;
+    let errs = lint_artifacts(&arts);
+    if errs.is_empty() {
+        Ok(arts)
+    } else {
+        Err(CheckedError::Lint(errs))
+    }
+}
+
+/// Lints all 12 stage outputs plus the constant-propagated RTL, tagging
+/// each error with the stage it came from.
+pub fn lint_artifacts(arts: &CompilationArtifacts) -> Vec<LintError> {
+    let s = CompilationArtifacts::STAGE_NAMES;
+    let mut errs = Vec::new();
+    errs.extend(lint_clight(&arts.clight, s[0]));
+    errs.extend(lint_cminor(&arts.cminor, s[1]));
+    errs.extend(lint_cminorsel(&arts.cminorsel, s[2]));
+    errs.extend(lint_rtl(&arts.rtl, s[3]));
+    errs.extend(lint_rtl(&arts.rtl_tailcall, s[4]));
+    errs.extend(lint_rtl(&arts.rtl_renumber, s[5]));
+    errs.extend(lint_ltl(&arts.ltl, s[6]));
+    errs.extend(lint_ltl(&arts.ltl_tunneled, s[7]));
+    errs.extend(lint_linear(&arts.linear, s[8]));
+    errs.extend(lint_linear(&arts.linear_clean, s[9]));
+    errs.extend(lint_mach(&arts.mach, s[10]));
+    errs.extend(lint_asm(&arts.asm, s[11]));
+    errs.extend(lint_rtl(&constprop(&arts.rtl_renumber), CONSTPROP_STAGE));
+    errs
+}
+
+fn err(stage: &'static str, func: &str, detail: impl Into<String>) -> LintError {
+    LintError {
+        stage,
+        func: func.to_string(),
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clight
+// ---------------------------------------------------------------------
+
+/// Lints a Clight module: well-formed declarations and no
+/// over-application of in-module callees.
+pub fn lint_clight(m: &ClightModule, stage: &'static str) -> Vec<LintError> {
+    let mut errs = Vec::new();
+    if let Err(e) = m.validate() {
+        errs.push(err(stage, "", e));
+    }
+    for (name, f) in &m.funcs {
+        let mut stack = vec![&f.body];
+        while let Some(s) = stack.pop() {
+            match s {
+                CStmt::Call(_, callee, args) => {
+                    if let Some(g) = m.funcs.get(callee) {
+                        if args.len() > g.params.len() {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "call to `{callee}` passes {} args for {} params",
+                                    args.len(),
+                                    g.params.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                CStmt::Seq(ss) => stack.extend(ss),
+                CStmt::If(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                CStmt::While(_, b) => stack.push(b),
+                _ => {}
+            }
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Statement IRs (Cminor, CminorSel)
+// ---------------------------------------------------------------------
+
+/// Collects every expression and every call site of a statement body.
+fn stmt_parts<E>(body: &Stmt<E>) -> (Vec<&E>, Vec<(&str, usize)>) {
+    let mut exprs = Vec::new();
+    let mut calls = Vec::new();
+    let mut stack = vec![body];
+    while let Some(s) = stack.pop() {
+        match s {
+            Stmt::Skip | Stmt::Break | Stmt::Continue | Stmt::Return(None) => {}
+            Stmt::Set(_, e) | Stmt::Print(e) | Stmt::Return(Some(e)) => exprs.push(e),
+            Stmt::Store(a, v) => {
+                exprs.push(a);
+                exprs.push(v);
+            }
+            Stmt::Call(_, callee, args) => {
+                calls.push((callee.as_str(), args.len()));
+                exprs.extend(args);
+            }
+            Stmt::Seq(ss) => stack.extend(ss),
+            Stmt::If(c, a, b) => {
+                exprs.push(c);
+                stack.push(a);
+                stack.push(b);
+            }
+            Stmt::While(c, b) => {
+                exprs.push(c);
+                stack.push(b);
+            }
+        }
+    }
+    (exprs, calls)
+}
+
+fn check_call_arity<E>(
+    m: &ccc_compiler::stmt_sem::StmtModule<E>,
+    caller: &str,
+    calls: &[(&str, usize)],
+    stage: &'static str,
+    errs: &mut Vec<LintError>,
+) {
+    for &(callee, nargs) in calls {
+        if let Some(g) = m.funcs.get(callee) {
+            if nargs > g.params.len() {
+                errs.push(err(
+                    stage,
+                    caller,
+                    format!(
+                        "call to `{callee}` passes {nargs} args for {} params",
+                        g.params.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Lints a Cminor module: stack-slot references in bounds and no
+/// over-applied in-module calls.
+pub fn lint_cminor(m: &CminorModule, stage: &'static str) -> Vec<LintError> {
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        let (exprs, calls) = stmt_parts(&f.body);
+        let mut stack = exprs;
+        while let Some(e) = stack.pop() {
+            match e {
+                cminor::Expr::AddrStack(n) if *n >= f.stack_slots => {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "AddrStack({n}) out of bounds (stack_slots = {})",
+                            f.stack_slots
+                        ),
+                    ));
+                }
+                cminor::Expr::Load(a) | cminor::Expr::Unop(_, a) => stack.push(a),
+                cminor::Expr::Binop(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        check_call_arity(m, name, &calls, stage, &mut errs);
+    }
+    errs
+}
+
+/// Lints a CminorSel module: operator arities, stack-slot bounds (both
+/// as `Op::AddrStack` and as `AddrMode::Stack`), and call arity.
+pub fn lint_cminorsel(m: &CminorSelModule, stage: &'static str) -> Vec<LintError> {
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        let (exprs, calls) = stmt_parts(&f.body);
+        let mut stack = exprs;
+        while let Some(e) = stack.pop() {
+            match e {
+                cminorsel::Expr::Temp(_) => {}
+                cminorsel::Expr::Op(op, args) => {
+                    if args.len() != op.arity() {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "{op:?} applied to {} args (arity {})",
+                                args.len(),
+                                op.arity()
+                            ),
+                        ));
+                    }
+                    if let Op::AddrStack(n) = op {
+                        if *n >= f.stack_slots {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "AddrStack({n}) out of bounds (stack_slots = {})",
+                                    f.stack_slots
+                                ),
+                            ));
+                        }
+                    }
+                    stack.extend(args);
+                }
+                cminorsel::Expr::Load(am) => match am {
+                    AddrMode::Stack(n) => {
+                        if *n >= f.stack_slots {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "load Stack({n}) out of bounds (stack_slots = {})",
+                                    f.stack_slots
+                                ),
+                            ));
+                        }
+                    }
+                    AddrMode::Based(e, _) => stack.push(e),
+                    AddrMode::Global(..) => {}
+                },
+            }
+        }
+        check_call_arity(m, name, &calls, stage, &mut errs);
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Must-defined dataflow (shared by RTL and LTL)
+// ---------------------------------------------------------------------
+
+/// One node of the abstracted CFG fed to [`must_defined_violations`]:
+/// successors, the values used, and the value defined (if any).
+type UseDefGraph<V> = BTreeMap<Node, (Vec<Node>, Vec<V>, Option<V>)>;
+
+/// Forward must-defined analysis over a node-graph function: each node's
+/// in-state is the set of values defined on *every* path from entry
+/// (intersection at joins). Returns all `(node, value)` pairs where a
+/// node uses a value not definitely defined — a use that some execution
+/// reaches with the value still undefined.
+fn must_defined_violations<V: Copy + Ord>(
+    entry: Node,
+    code: &UseDefGraph<V>,
+    init: &BTreeSet<V>,
+) -> Vec<(Node, V)> {
+    let mut ins: BTreeMap<Node, BTreeSet<V>> = BTreeMap::new();
+    if !code.contains_key(&entry) {
+        return Vec::new(); // reported separately as a CFG defect
+    }
+    ins.insert(entry, init.clone());
+    let mut work = VecDeque::from([entry]);
+    while let Some(n) = work.pop_front() {
+        let (succs, _, def) = &code[&n];
+        let mut out = ins[&n].clone();
+        if let Some(d) = def {
+            out.insert(*d);
+        }
+        for &s in succs {
+            if !code.contains_key(&s) {
+                continue; // dangling successor: reported separately
+            }
+            let changed = match ins.get_mut(&s) {
+                Some(cur) => {
+                    let met: BTreeSet<V> = cur.intersection(&out).copied().collect();
+                    if met != *cur {
+                        *cur = met;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => {
+                    ins.insert(s, out.clone());
+                    true
+                }
+            };
+            if changed {
+                work.push_back(s);
+            }
+        }
+    }
+    let mut viol = Vec::new();
+    for (n, (_, uses, _)) in code {
+        if let Some(inn) = ins.get(n) {
+            for u in uses {
+                if !inn.contains(u) {
+                    viol.push((*n, *u));
+                }
+            }
+        }
+    }
+    viol
+}
+
+// ---------------------------------------------------------------------
+// RTL
+// ---------------------------------------------------------------------
+
+/// Lints an RTL module: entry and successors resolve, operator arities
+/// match, stack accesses are in bounds, in-module calls do not
+/// over-apply, and every register is defined before use on all paths.
+pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
+    use ccc_compiler::rtl::Instr;
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        if !f.code.contains_key(&f.entry) {
+            errs.push(err(
+                stage,
+                name,
+                format!("entry node {} not in code", f.entry),
+            ));
+        }
+        for (&n, i) in &f.code {
+            for s in i.succs() {
+                if !f.code.contains_key(&s) {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!("node {n}: dangling successor {s}"),
+                    ));
+                }
+            }
+            if let Instr::Op(op, args, ..) = i {
+                if args.len() != op.arity() {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "node {n}: {op:?} applied to {} args (arity {})",
+                            args.len(),
+                            op.arity()
+                        ),
+                    ));
+                }
+                if let Op::AddrStack(s) = op {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "node {n}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Load(am, ..) | Instr::Store(am, ..) = i {
+                if let AddrMode::Stack(s) = am {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "node {n}: Stack({s}) access out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            let call = match i {
+                Instr::Call(_, callee, args, _) => Some((callee, args.len())),
+                Instr::Tailcall(callee, args) => Some((callee, args.len())),
+                _ => None,
+            };
+            if let Some((callee, nargs)) = call {
+                if let Some(g) = m.funcs.get(callee) {
+                    if nargs > g.params.len() {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "node {n}: call to `{callee}` passes {nargs} args for {} params",
+                                g.params.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        let graph: UseDefGraph<u32> = f
+            .code
+            .iter()
+            .map(|(&n, i)| (n, (i.succs(), i.uses(), i.def())))
+            .collect();
+        let init: BTreeSet<u32> = f.params.iter().copied().collect();
+        for (n, r) in must_defined_violations(f.entry, &graph, &init) {
+            errs.push(err(
+                stage,
+                name,
+                format!("node {n}: r{r} may be used before definition"),
+            ));
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// LTL
+// ---------------------------------------------------------------------
+
+/// Lints an LTL module: the RTL graph checks over locations, plus the
+/// allocation invariants — spill indices in bounds, parameters and call
+/// arguments in spill slots.
+pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
+    use ltl::Instr;
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        if !f.code.contains_key(&f.entry) {
+            errs.push(err(
+                stage,
+                name,
+                format!("entry node {} not in code", f.entry),
+            ));
+        }
+        let check_spill = |errs: &mut Vec<LintError>, where_: String, l: Loc| {
+            if let Loc::Spill(s) = l {
+                if s >= f.spill_slots {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "{where_}: Spill({s}) out of bounds (spill_slots = {})",
+                            f.spill_slots
+                        ),
+                    ));
+                }
+            }
+        };
+        for (i, &p) in f.params.iter().enumerate() {
+            if !matches!(p, Loc::Spill(_)) {
+                errs.push(err(
+                    stage,
+                    name,
+                    format!("param {i} is not a spill slot: {p:?}"),
+                ));
+            }
+            check_spill(&mut errs, format!("param {i}"), p);
+        }
+        for (&n, i) in &f.code {
+            for s in i.succs() {
+                if !f.code.contains_key(&s) {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!("node {n}: dangling successor {s}"),
+                    ));
+                }
+            }
+            if let Instr::Op(op, args, ..) = i {
+                if args.len() != op.arity() {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "node {n}: {op:?} applied to {} args (arity {})",
+                            args.len(),
+                            op.arity()
+                        ),
+                    ));
+                }
+                if let Op::AddrStack(s) = op {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "node {n}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Load(am, ..) | Instr::Store(am, ..) = i {
+                if let AddrMode::Stack(s) = am {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "node {n}: Stack({s}) access out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Call(_, _, args, _) | Instr::Tailcall(_, args) = i {
+                for a in args {
+                    if !matches!(a, Loc::Spill(_)) {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!("node {n}: call argument not a spill slot: {a:?}"),
+                        ));
+                    }
+                }
+            }
+            for l in i.uses().into_iter().chain(i.def()) {
+                check_spill(&mut errs, format!("node {n}"), l);
+            }
+        }
+        let graph: UseDefGraph<Loc> = f
+            .code
+            .iter()
+            .map(|(&n, i)| (n, (i.succs(), i.uses(), i.def())))
+            .collect();
+        let init: BTreeSet<Loc> = f.params.iter().copied().collect();
+        for (n, l) in must_defined_violations(f.entry, &graph, &init) {
+            errs.push(err(
+                stage,
+                name,
+                format!("node {n}: {l:?} may be used before definition"),
+            ));
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+fn linear_locs(i: &linear::Instr) -> Vec<Loc> {
+    use linear::Instr;
+    match i {
+        Instr::Op(_, args, dst) => {
+            let mut ls = args.clone();
+            ls.push(*dst);
+            ls
+        }
+        Instr::Load(am, dst) => {
+            let mut ls: Vec<Loc> = am.base().copied().into_iter().collect();
+            ls.push(*dst);
+            ls
+        }
+        Instr::Store(am, src) => {
+            let mut ls: Vec<Loc> = am.base().copied().into_iter().collect();
+            ls.push(*src);
+            ls
+        }
+        Instr::Call(dst, _, args) => {
+            let mut ls = args.clone();
+            ls.extend(*dst);
+            ls
+        }
+        Instr::Tailcall(_, args) => args.clone(),
+        Instr::CondJump(_, a, b, _) => vec![*a, *b],
+        Instr::CondImmJump(_, a, ..) | Instr::Print(a) => vec![*a],
+        Instr::Return(l) => l.iter().copied().collect(),
+        Instr::Goto(_) | Instr::Label(_) => vec![],
+    }
+}
+
+/// Lints a Linear module: unique labels, resolving jump targets, spill
+/// and stack bounds, a proper terminator (control must not fall off the
+/// end), and call conventions as in LTL.
+pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
+    use linear::Instr;
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        let mut labels = BTreeSet::new();
+        for i in &f.code {
+            if let Instr::Label(l) = i {
+                if !labels.insert(*l) {
+                    errs.push(err(stage, name, format!("duplicate label {l}")));
+                }
+            }
+        }
+        for (pos, i) in f.code.iter().enumerate() {
+            let target = match i {
+                Instr::CondJump(.., l) | Instr::CondImmJump(.., l) | Instr::Goto(l) => Some(*l),
+                _ => None,
+            };
+            if let Some(l) = target {
+                if !labels.contains(&l) {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!("instr {pos}: jump to missing label {l}"),
+                    ));
+                }
+            }
+            if let Instr::Op(op, args, _) = i {
+                if args.len() != op.arity() {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "instr {pos}: {op:?} applied to {} args (arity {})",
+                            args.len(),
+                            op.arity()
+                        ),
+                    ));
+                }
+                if let Op::AddrStack(s) = op {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "instr {pos}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Load(am, _) | Instr::Store(am, _) = i {
+                if let AddrMode::Stack(s) = am {
+                    if *s >= f.stack_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "instr {pos}: Stack({s}) access out of bounds (stack_slots = {})",
+                                f.stack_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Call(_, _, args, ..) = i {
+                for a in args {
+                    if !matches!(a, Loc::Spill(_)) {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!("instr {pos}: call argument not a spill slot: {a:?}"),
+                        ));
+                    }
+                }
+            }
+            if let Instr::Tailcall(_, args) = i {
+                for a in args {
+                    if !matches!(a, Loc::Spill(_)) {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!("instr {pos}: call argument not a spill slot: {a:?}"),
+                        ));
+                    }
+                }
+            }
+            for l in linear_locs(i) {
+                if let Loc::Spill(s) = l {
+                    if s >= f.spill_slots {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "instr {pos}: Spill({s}) out of bounds (spill_slots = {})",
+                                f.spill_slots
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (i, p) in f.params.iter().enumerate() {
+            match p {
+                Loc::Spill(s) if *s < f.spill_slots => {}
+                _ => errs.push(err(
+                    stage,
+                    name,
+                    format!("param {i} is not an in-bounds spill slot: {p:?}"),
+                )),
+            }
+        }
+        match f.code.last() {
+            None => errs.push(err(stage, name, "empty body")),
+            Some(Instr::Return(_) | Instr::Tailcall(..) | Instr::Goto(_)) => {}
+            Some(other) => errs.push(err(
+                stage,
+                name,
+                format!("control can fall off the end (last instr {other:?})"),
+            )),
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Mach
+// ---------------------------------------------------------------------
+
+/// Lints a Mach module: frame accesses in bounds, call arities within
+/// the register convention and the callee's declared arity, unique
+/// resolving labels, and a proper terminator.
+pub fn lint_mach(m: &MachModule, stage: &'static str) -> Vec<LintError> {
+    use mach::Instr;
+    let max_args = Reg::ARGS.len();
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        if f.arity > max_args {
+            errs.push(err(
+                stage,
+                name,
+                format!(
+                    "arity {} exceeds the {max_args} argument registers",
+                    f.arity
+                ),
+            ));
+        }
+        let mut labels = BTreeSet::new();
+        for i in &f.code {
+            if let Instr::Label(l) = i {
+                if !labels.insert(*l) {
+                    errs.push(err(stage, name, format!("duplicate label {l}")));
+                }
+            }
+        }
+        for (pos, i) in f.code.iter().enumerate() {
+            match i {
+                Instr::CondJump(.., l) | Instr::CondImmJump(.., l) | Instr::Goto(l)
+                    if !labels.contains(l) =>
+                {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!("instr {pos}: jump to missing label {l}"),
+                    ));
+                }
+                Instr::Op(op, args, _) => {
+                    if args.len() != op.arity() {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!(
+                                "instr {pos}: {op:?} applied to {} args (arity {})",
+                                args.len(),
+                                op.arity()
+                            ),
+                        ));
+                    }
+                    if let Op::AddrStack(s) = op {
+                        if *s >= f.frame_slots {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "instr {pos}: AddrStack({s}) out of bounds (frame_slots = {})",
+                                    f.frame_slots
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Instr::Load(am, _) | Instr::Store(am, _) => {
+                    if let AddrMode::Stack(s) = am {
+                        if *s >= f.frame_slots {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!("instr {pos}: Stack({s}) access out of bounds (frame_slots = {})", f.frame_slots),
+                            ));
+                        }
+                    }
+                }
+                Instr::Call(callee, n) | Instr::Tailcall(callee, n) => {
+                    if *n > max_args {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!("instr {pos}: call passes {n} register args (max {max_args})"),
+                        ));
+                    }
+                    if let Some(g) = m.funcs.get(callee) {
+                        if *n > g.arity {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "instr {pos}: call to `{callee}` passes {n} args for arity {}",
+                                    g.arity
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        match f.code.last() {
+            None => errs.push(err(stage, name, "empty body")),
+            Some(Instr::Return | Instr::Tailcall(..) | Instr::Goto(_)) => {}
+            Some(other) => errs.push(err(
+                stage,
+                name,
+                format!("control can fall off the end (last instr {other:?})"),
+            )),
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// Asm
+// ---------------------------------------------------------------------
+
+fn asm_mem(i: &AInstr) -> Option<&MemArg> {
+    match i {
+        AInstr::Load(_, m)
+        | AInstr::Lea(_, m)
+        | AInstr::Store(m, _)
+        | AInstr::LockCmpxchg(m, _) => Some(m),
+        _ => None,
+    }
+}
+
+/// Lints an assembly module: unique resolving labels, in-bounds frame
+/// accesses, the register calling convention, and a proper terminator.
+pub fn lint_asm(m: &AsmModule, stage: &'static str) -> Vec<LintError> {
+    let max_args = Reg::ARGS.len();
+    let mut errs = Vec::new();
+    for (name, f) in &m.funcs {
+        if f.arity > max_args {
+            errs.push(err(
+                stage,
+                name,
+                format!(
+                    "arity {} exceeds the {max_args} argument registers",
+                    f.arity
+                ),
+            ));
+        }
+        let mut labels: BTreeSet<&str> = BTreeSet::new();
+        for i in &f.code {
+            if let AInstr::Label(l) = i {
+                if !labels.insert(l) {
+                    errs.push(err(stage, name, format!("duplicate label {l}")));
+                }
+            }
+        }
+        for (pos, i) in f.code.iter().enumerate() {
+            match i {
+                AInstr::Jmp(l) | AInstr::Jcc(_, l) if !labels.contains(l.as_str()) => {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!("instr {pos}: jump to missing label {l}"),
+                    ));
+                }
+                AInstr::Call(callee, n) => {
+                    if *n > max_args {
+                        errs.push(err(
+                            stage,
+                            name,
+                            format!("instr {pos}: call passes {n} register args (max {max_args})"),
+                        ));
+                    }
+                    if let Some(g) = m.funcs.get(callee) {
+                        if *n > g.arity {
+                            errs.push(err(
+                                stage,
+                                name,
+                                format!(
+                                    "instr {pos}: call to `{callee}` passes {n} args for arity {}",
+                                    g.arity
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if let Some(MemArg::Stack(s)) = asm_mem(i) {
+                if *s >= f.frame_slots {
+                    errs.push(err(
+                        stage,
+                        name,
+                        format!(
+                            "instr {pos}: stack slot {s} out of bounds (frame_slots = {})",
+                            f.frame_slots
+                        ),
+                    ));
+                }
+            }
+        }
+        match f.code.last() {
+            None => errs.push(err(stage, name, "empty body")),
+            Some(AInstr::Ret | AInstr::Jmp(_)) => {}
+            Some(other) => errs.push(err(
+                stage,
+                name,
+                format!("control can fall off the end (last instr {other:?})"),
+            )),
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_compiler::rtl;
+
+    #[test]
+    fn clean_pipelines_lint_clean() {
+        for seed in 0..5 {
+            let (m, _) = gen_module(seed, &GenCfg::default());
+            let arts = compile_checked(&m).expect("pipeline clean");
+            assert!(lint_artifacts(&arts).is_empty());
+        }
+    }
+
+    #[test]
+    fn dangling_successor_is_reported() {
+        let (m, _) = gen_module(1, &GenCfg::default());
+        let mut arts = compile_with_artifacts(&m).expect("compiles");
+        let f = arts.rtl.funcs.get_mut("f").unwrap();
+        let n = *f.code.keys().next().unwrap();
+        f.code.insert(n, rtl::Instr::Nop(999_999));
+        let errs = lint_rtl(&arts.rtl, "RTL");
+        assert!(
+            errs.iter()
+                .any(|e| e.detail.contains("dangling successor 999999")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn use_before_def_is_reported() {
+        // entry: r7 := r42 + 1 — r42 never defined.
+        let f = rtl::Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: [
+                (0, rtl::Instr::Op(Op::AddImm(1), vec![42], 7, 1)),
+                (1, rtl::Instr::Return(None)),
+            ]
+            .into(),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let errs = lint_rtl(&m, "RTL");
+        assert!(
+            errs.iter()
+                .any(|e| e.detail.contains("r42 may be used before definition")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn one_branch_definition_is_flagged() {
+        // if (p0) r5 := 1; use r5 — undefined on the else path.
+        let f = rtl::Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: [
+                (
+                    0,
+                    rtl::Instr::CondImm(ccc_compiler::ops::Cmp::Eq, 0, 0, 1, 2),
+                ),
+                (1, rtl::Instr::Op(Op::Const(1), vec![], 5, 2)),
+                (2, rtl::Instr::Print(5, 3)),
+                (3, rtl::Instr::Return(None)),
+            ]
+            .into(),
+        };
+        let m = RtlModule {
+            funcs: [("f".to_string(), f)].into(),
+        };
+        let errs = lint_rtl(&m, "RTL");
+        assert!(
+            errs.iter()
+                .any(|e| e.detail.contains("r5 may be used before definition")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn linear_missing_label_is_reported() {
+        let (m, _) = gen_module(2, &GenCfg::default());
+        let mut arts = compile_with_artifacts(&m).expect("compiles");
+        let f = arts.linear_clean.funcs.get_mut("f").unwrap();
+        f.code.push(linear::Instr::Goto(31_337));
+        let errs = lint_linear(&arts.linear_clean, "Linear/clean");
+        assert!(
+            errs.iter()
+                .any(|e| e.detail.contains("missing label 31337")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn asm_bad_jump_and_frame_overflow_are_reported() {
+        let (m, _) = gen_module(3, &GenCfg::default());
+        let mut arts = compile_with_artifacts(&m).expect("compiles");
+        let f = arts.asm.funcs.get_mut("f").unwrap();
+        let slots = f.frame_slots;
+        f.code
+            .insert(0, AInstr::Jcc(ccc_machine::Cond::E, "nowhere".into()));
+        f.code
+            .insert(0, AInstr::Load(Reg::Eax, MemArg::Stack(slots + 3)));
+        let errs = lint_asm(&arts.asm, "Asm");
+        assert!(
+            errs.iter()
+                .any(|e| e.detail.contains("missing label nowhere")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.detail.contains("out of bounds")),
+            "{errs:?}"
+        );
+    }
+}

@@ -1,0 +1,602 @@
+//! Eraser-style lockset race analysis for Clight clients synchronized
+//! through a CImp object.
+//!
+//! Two cooperating pieces:
+//!
+//! 1. [`infer_lock_model`] analyzes a CImp object module structurally:
+//!    which exported functions acquire/release which lock word (a
+//!    `while`-wrapped atomic load+store of the same global is an
+//!    acquire, a loop-free atomic store a release — exactly the shape of
+//!    `γ_lock`, Fig. 10(a)), plus an abstract footprint and
+//!    atomicity flag for every object function.
+//! 2. [`check_static_race`] walks each client entry with a *must-hold*
+//!    lockset (intersection at control-flow joins, fixpoint over loops)
+//!    and records every abstract memory access with the locks held at
+//!    that point. Two accesses may race when they come from different
+//!    threads, overlap in some region, are not both atomic, include a
+//!    write, and share no lock.
+//!
+//! The verdict is cross-validated both ways against the dynamic
+//! exploration ([`ccc_core::race::check_drf`]) in `tests/`: statically
+//! race-free clients must explore race-free, and every explored race
+//! must be statically flagged (`StaticDrf` is sound, `MayRace` is
+//! complete relative to the corpus).
+
+use crate::clight_fp;
+use crate::region::{AbsFootprint, AbsVal, Region};
+use ccc_cimp::ast::{BinOp, CImpModule, Expr as CExpr, Stmt as CStmt};
+use ccc_clight::ast::{ClightModule, Expr, Function, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of one CImp object function.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObjectSummary {
+    /// Abstract footprint of one call.
+    pub fp: AbsFootprint,
+    /// True if every memory access of the function happens inside an
+    /// atomic block (so concurrent calls never constitute a race).
+    pub atomic: bool,
+}
+
+/// What a CImp object module provides, as seen by the race analysis.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LockModel {
+    /// Function name → the lock global it acquires.
+    pub acquires: BTreeMap<String, String>,
+    /// Function name → the lock global it releases.
+    pub releases: BTreeMap<String, String>,
+    /// Footprint/atomicity summaries for every object function.
+    pub objects: BTreeMap<String, ObjectSummary>,
+}
+
+impl LockModel {
+    /// The object summaries as external footprints for
+    /// [`crate::clight_fp::infer_clight_with`].
+    pub fn external_footprints(&self) -> BTreeMap<String, AbsFootprint> {
+        self.objects
+            .iter()
+            .map(|(n, s)| (n.clone(), s.fp.clone()))
+            .collect()
+    }
+}
+
+/// One abstract memory access of a client thread, with the analysis
+/// context needed to decide races.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Access {
+    /// Index of the entry (thread) performing the access.
+    pub thread: usize,
+    /// The function the access occurs in.
+    pub func: String,
+    /// The region accessed.
+    pub region: Region,
+    /// True for a write.
+    pub write: bool,
+    /// Locks definitely held at the access (must-hold set).
+    pub locks: BTreeSet<String>,
+    /// True if the access happens inside an atomic block.
+    pub atomic: bool,
+}
+
+/// A pair of accesses that may race.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RacePair {
+    /// One access.
+    pub first: Access,
+    /// The other, from a different thread.
+    pub second: Access,
+}
+
+/// The verdict of the static race analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StaticVerdict {
+    /// No pair of accesses can race: the program is data-race-free.
+    StaticDrf,
+    /// These pairs may race (over-approximation: some may be spurious,
+    /// but a dynamically reachable race is always among them).
+    MayRace(Vec<RacePair>),
+}
+
+/// The full result of [`check_static_race`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StaticRaceReport {
+    /// The verdict.
+    pub verdict: StaticVerdict,
+    /// Every abstract access collected, for diagnostics.
+    pub accesses: Vec<Access>,
+}
+
+impl StaticRaceReport {
+    /// True if the verdict is [`StaticVerdict::StaticDrf`].
+    pub fn is_drf(&self) -> bool {
+        matches!(self.verdict, StaticVerdict::StaticDrf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CImp object analysis
+// ---------------------------------------------------------------------------
+
+/// Flow-insensitive abstract register values of one CImp function.
+fn cimp_regs(f: &ccc_cimp::ast::Func) -> BTreeMap<String, AbsVal> {
+    let mut assigns: Vec<(&String, Option<&CExpr>)> = Vec::new();
+    let mut stack = vec![&f.body];
+    while let Some(s) = stack.pop() {
+        match s {
+            CStmt::Assign(r, e) => assigns.push((r, Some(e))),
+            CStmt::Load(r, _) | CStmt::CallExt(r, ..) => assigns.push((r, None)),
+            CStmt::Seq(ss) => stack.extend(ss),
+            CStmt::If(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            CStmt::While(_, b) | CStmt::Atomic(b) => stack.push(b),
+            _ => {}
+        }
+    }
+    let mut regs: BTreeMap<String, AbsVal> = f
+        .params
+        .iter()
+        .map(|p| (p.clone(), AbsVal::Ptr(Region::Top)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (r, src) in &assigns {
+            let v = match src {
+                Some(e) => cimp_eval(e, &regs),
+                None => AbsVal::Ptr(Region::Top),
+            };
+            let cur = regs.get(*r).cloned().unwrap_or(AbsVal::Bot);
+            let joined = cur.join(&v);
+            if joined != cur {
+                regs.insert((*r).clone(), joined);
+                changed = true;
+            }
+        }
+        if !changed {
+            return regs;
+        }
+    }
+}
+
+fn cimp_eval(e: &CExpr, regs: &BTreeMap<String, AbsVal>) -> AbsVal {
+    match e {
+        CExpr::Int(_) => AbsVal::Int,
+        CExpr::Reg(r) => regs.get(r).cloned().unwrap_or(AbsVal::Bot),
+        CExpr::GlobalAddr(g) => AbsVal::Ptr(Region::Global(g.clone())),
+        CExpr::Not(_) => AbsVal::Int,
+        CExpr::Bin(op, a, b) => match op {
+            BinOp::Add | BinOp::Sub => {
+                let (va, vb) = (cimp_eval(a, regs), cimp_eval(b, regs));
+                va.arith().join(&vb.arith())
+            }
+            _ => AbsVal::Int,
+        },
+    }
+}
+
+/// One atomic block's shape, for lock-protocol detection.
+struct AtomicShape {
+    in_loop: bool,
+    loads: BTreeSet<String>,
+    stores: BTreeSet<String>,
+}
+
+struct CimpScan {
+    accesses: Vec<(Region, bool, bool)>, // (region, write, in_atomic)
+    atomics: Vec<AtomicShape>,
+}
+
+fn cimp_scan(
+    s: &CStmt,
+    regs: &BTreeMap<String, AbsVal>,
+    in_atomic: bool,
+    in_loop: bool,
+    out: &mut CimpScan,
+) {
+    match s {
+        CStmt::Skip
+        | CStmt::Assign(..)
+        | CStmt::Assert(_)
+        | CStmt::Print(_)
+        | CStmt::Return(_)
+        | CStmt::CallExt(..) => {}
+        CStmt::Load(_, a) => {
+            if let Some(r) = cimp_eval(a, regs).ptr_region() {
+                out.accesses.push((r, false, in_atomic));
+            }
+            if in_atomic {
+                if let CExpr::GlobalAddr(g) = a {
+                    if let Some(shape) = out.atomics.last_mut() {
+                        shape.loads.insert(g.clone());
+                    }
+                }
+            }
+        }
+        CStmt::Store(a, _) => {
+            if let Some(r) = cimp_eval(a, regs).ptr_region() {
+                out.accesses.push((r, true, in_atomic));
+            }
+            if in_atomic {
+                if let CExpr::GlobalAddr(g) = a {
+                    if let Some(shape) = out.atomics.last_mut() {
+                        shape.stores.insert(g.clone());
+                    }
+                }
+            }
+        }
+        CStmt::Seq(ss) => {
+            for s in ss {
+                cimp_scan(s, regs, in_atomic, in_loop, out);
+            }
+        }
+        CStmt::If(_, a, b) => {
+            cimp_scan(a, regs, in_atomic, in_loop, out);
+            cimp_scan(b, regs, in_atomic, in_loop, out);
+        }
+        CStmt::While(_, b) => cimp_scan(b, regs, in_atomic, true, out),
+        CStmt::Atomic(b) => {
+            out.atomics.push(AtomicShape {
+                in_loop,
+                loads: BTreeSet::new(),
+                stores: BTreeSet::new(),
+            });
+            cimp_scan(b, regs, true, in_loop, out);
+        }
+    }
+}
+
+/// Infers the lock model of a CImp object module from its structure.
+///
+/// A function *acquires* `L` if it contains, inside a loop, an atomic
+/// block that both loads and stores the global `L` (the test-and-set
+/// retry shape). A function *releases* `L` if it is not an acquirer and
+/// contains a loop-free atomic block storing `L`. Every function also
+/// gets a footprint summary and an "all accesses atomic" flag.
+pub fn infer_lock_model(m: &CImpModule) -> LockModel {
+    let mut model = LockModel::default();
+    for (name, f) in &m.funcs {
+        let regs = cimp_regs(f);
+        let mut scan = CimpScan {
+            accesses: Vec::new(),
+            atomics: Vec::new(),
+        };
+        cimp_scan(&f.body, &regs, false, false, &mut scan);
+        let mut fp = AbsFootprint::emp();
+        for (r, write, _) in &scan.accesses {
+            if *write {
+                fp.extend(&AbsFootprint::write(r.clone()));
+            } else {
+                fp.extend(&AbsFootprint::read(r.clone()));
+            }
+        }
+        let atomic = scan.accesses.iter().all(|(_, _, a)| *a);
+        model
+            .objects
+            .insert(name.clone(), ObjectSummary { fp, atomic });
+        let acquire = scan.atomics.iter().find_map(|a| {
+            a.in_loop
+                .then(|| a.stores.intersection(&a.loads).next().cloned())
+                .flatten()
+        });
+        if let Some(l) = acquire {
+            model.acquires.insert(name.clone(), l);
+            continue;
+        }
+        let release = scan.atomics.iter().find_map(|a| {
+            (!a.in_loop)
+                .then(|| a.stores.iter().next().cloned())
+                .flatten()
+        });
+        if let Some(l) = release {
+            model.releases.insert(name.clone(), l);
+        }
+    }
+    model
+}
+
+// ---------------------------------------------------------------------------
+// Clight client walk
+// ---------------------------------------------------------------------------
+
+type Lockset = BTreeSet<String>;
+
+fn meet(a: &Lockset, b: &Lockset) -> Lockset {
+    a.intersection(b).cloned().collect()
+}
+
+struct Walker<'a> {
+    m: &'a ClightModule,
+    model: &'a LockModel,
+    temps: &'a BTreeMap<String, BTreeMap<String, AbsVal>>,
+    thread: usize,
+    out: Vec<Access>,
+    /// Per enclosing loop: locksets at `break`s and `continue`s.
+    loop_stack: Vec<(Vec<Lockset>, Vec<Lockset>)>,
+    call_stack: Vec<String>,
+}
+
+impl<'a> Walker<'a> {
+    fn push(&mut self, func: &str, region: Region, write: bool, locks: &Lockset, atomic: bool) {
+        self.out.push(Access {
+            thread: self.thread,
+            func: func.to_string(),
+            region,
+            write,
+            locks: locks.clone(),
+            atomic,
+        });
+    }
+
+    fn push_fp(&mut self, func: &str, fp: &AbsFootprint, locks: &Lockset, atomic: bool) {
+        for r in &fp.reads {
+            self.push(func, r.clone(), false, locks, atomic);
+        }
+        for r in &fp.writes {
+            self.push(func, r.clone(), true, locks, atomic);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, f: &Function, fname: &str, locks: &Lockset) {
+        let mut fp = AbsFootprint::emp();
+        clight_fp::expr_fp(e, f, &self.temps[fname], &mut fp);
+        self.push_fp(fname, &fp, locks, false);
+    }
+
+    fn stmt(&mut self, s: &Stmt, f: &Function, fname: &str, locks: &mut Lockset) {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Break => {
+                if let Some((breaks, _)) = self.loop_stack.last_mut() {
+                    breaks.push(locks.clone());
+                }
+            }
+            Stmt::Continue => {
+                if let Some((_, continues)) = self.loop_stack.last_mut() {
+                    continues.push(locks.clone());
+                }
+            }
+            Stmt::Return(None) => {}
+            Stmt::Return(Some(e)) | Stmt::Set(_, e) | Stmt::Print(e) => {
+                self.expr(e, f, fname, locks);
+            }
+            Stmt::Assign(lv, e) => {
+                self.expr(e, f, fname, locks);
+                let temps = &self.temps[fname];
+                match lv {
+                    Expr::Var(v) => {
+                        self.push(fname, clight_fp::region_of(f, v), true, locks, false);
+                    }
+                    Expr::Deref(a) => {
+                        self.expr(a, f, fname, locks);
+                        if let Some(r) = clight_fp::eval(a, f, temps).ptr_region() {
+                            self.push(fname, r, true, locks, false);
+                        }
+                    }
+                    _ => self.push(fname, Region::Top, true, locks, false),
+                }
+            }
+            Stmt::Call(_, callee, args) => {
+                for a in args {
+                    self.expr(a, f, fname, locks);
+                }
+                self.call(callee, locks);
+            }
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    self.stmt(s, f, fname, locks);
+                }
+            }
+            Stmt::If(c, a, b) => {
+                self.expr(c, f, fname, locks);
+                let mut l1 = locks.clone();
+                let mut l2 = locks.clone();
+                self.stmt(a, f, fname, &mut l1);
+                self.stmt(b, f, fname, &mut l2);
+                *locks = meet(&l1, &l2);
+            }
+            Stmt::While(c, body) => {
+                // Fixpoint of the must-hold set at the loop head: the
+                // meet of the entry set with every back edge (body exit
+                // and `continue`s).
+                let mut inset = locks.clone();
+                loop {
+                    let mark = self.out.len();
+                    self.loop_stack.push((Vec::new(), Vec::new()));
+                    let mut l = inset.clone();
+                    self.stmt(body, f, fname, &mut l);
+                    let (_, continues) = self.loop_stack.pop().expect("pushed");
+                    self.out.truncate(mark); // trial pass: discard accesses
+                    let mut next = meet(&inset, &l);
+                    for c in &continues {
+                        next = meet(&next, c);
+                    }
+                    if next == inset {
+                        break;
+                    }
+                    inset = next;
+                }
+                // Recording pass with the stable head set.
+                self.expr(c, f, fname, &inset);
+                self.loop_stack.push((Vec::new(), Vec::new()));
+                let mut l = inset.clone();
+                self.stmt(body, f, fname, &mut l);
+                let (breaks, _) = self.loop_stack.pop().expect("pushed");
+                // Loop exits: the head test failing (head set) or a
+                // `break` (its own set).
+                let mut after = inset;
+                for b in &breaks {
+                    after = meet(&after, b);
+                }
+                *locks = after;
+            }
+        }
+    }
+
+    fn call(&mut self, callee: &str, locks: &mut Lockset) {
+        if let Some(lock) = self.model.acquires.get(callee) {
+            if let Some(obj) = self.model.objects.get(callee) {
+                self.push_fp(callee, &obj.fp, locks, obj.atomic);
+            }
+            locks.insert(lock.clone());
+        } else if let Some(lock) = self.model.releases.get(callee) {
+            if let Some(obj) = self.model.objects.get(callee) {
+                self.push_fp(callee, &obj.fp, locks, obj.atomic);
+            }
+            locks.remove(lock);
+        } else if let Some(g) = self.m.funcs.get(callee) {
+            if self.call_stack.iter().any(|c| c == callee) || self.call_stack.len() > 32 {
+                // Recursion: give up on precision for this call.
+                self.push_fp(callee, &AbsFootprint::top(), locks, false);
+            } else {
+                self.call_stack.push(callee.to_string());
+                self.stmt(&g.body, g, callee, locks);
+                self.call_stack.pop();
+            }
+        } else if let Some(obj) = self.model.objects.get(callee) {
+            self.push_fp(callee, &obj.fp, locks, obj.atomic);
+        } else {
+            // Unknown external: anything may happen.
+            self.push_fp(callee, &AbsFootprint::top(), locks, false);
+        }
+    }
+}
+
+fn may_race(a: &Access, b: &Access) -> bool {
+    a.thread != b.thread
+        && (a.write || b.write)
+        && !(a.atomic && b.atomic)
+        && a.region.may_overlap_cross_thread(&b.region)
+        && a.locks.is_disjoint(&b.locks)
+}
+
+/// Runs the lockset analysis on a Clight client against an inferred
+/// [`LockModel`] and reports whether any pair of accesses may race.
+///
+/// `entries[t]` is the function thread `t` runs, as in
+/// [`ccc_core::lang::Prog::entries`].
+pub fn check_static_race(
+    client: &ClightModule,
+    entries: &[String],
+    model: &LockModel,
+) -> StaticRaceReport {
+    let temps: BTreeMap<String, BTreeMap<String, AbsVal>> = client
+        .funcs
+        .iter()
+        .map(|(n, f)| (n.clone(), clight_fp::temp_abstraction(f)))
+        .collect();
+    let mut accesses = Vec::new();
+    for (t, entry) in entries.iter().enumerate() {
+        let mut w = Walker {
+            m: client,
+            model,
+            temps: &temps,
+            thread: t,
+            out: Vec::new(),
+            loop_stack: Vec::new(),
+            call_stack: vec![entry.clone()],
+        };
+        let mut locks = Lockset::new();
+        if let Some(f) = client.funcs.get(entry) {
+            if !f.vars.is_empty() {
+                w.push(entry, Region::StackLocal, true, &locks, false);
+            }
+            w.stmt(&f.body, f, entry, &mut locks);
+        } else {
+            // Entry provided by some other module: unknown behaviour.
+            w.push_fp(entry, &AbsFootprint::top(), &locks, false);
+        }
+        accesses.extend(w.out);
+    }
+    let mut pairs = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(i + 1) {
+            if may_race(a, b) {
+                let key = (
+                    a.thread,
+                    b.thread,
+                    a.region.clone(),
+                    b.region.clone(),
+                    a.write,
+                    b.write,
+                    a.func.clone(),
+                    b.func.clone(),
+                );
+                if seen.insert(key) {
+                    pairs.push(RacePair {
+                        first: a.clone(),
+                        second: b.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let verdict = if pairs.is_empty() {
+        StaticVerdict::StaticDrf
+    } else {
+        StaticVerdict::MayRace(pairs)
+    };
+    StaticRaceReport { verdict, accesses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::gen::gen_concurrent_client;
+    use ccc_sync::lock::lock_spec;
+
+    fn lock_model() -> LockModel {
+        let (m, _) = lock_spec("L");
+        infer_lock_model(&m)
+    }
+
+    #[test]
+    fn gamma_lock_shape_is_recognized() {
+        let model = lock_model();
+        assert_eq!(model.acquires.get("lock"), Some(&"L".to_string()));
+        assert_eq!(model.releases.get("unlock"), Some(&"L".to_string()));
+        assert!(model.objects["lock"].atomic);
+        assert!(model.objects["unlock"].atomic);
+        let fp = &model.objects["lock"].fp;
+        assert!(fp.reads.contains(&Region::Global("L".into())));
+        assert!(fp.writes.contains(&Region::Global("L".into())));
+    }
+
+    #[test]
+    fn locked_clients_are_statically_drf() {
+        let model = lock_model();
+        for seed in 0..10 {
+            let (client, _, entries) = gen_concurrent_client(seed, 3, &["s0", "s1"], false);
+            let report = check_static_race(&client, &entries, &model);
+            assert!(
+                report.is_drf(),
+                "seed {seed}: locked client flagged: {:?}",
+                report.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn racy_clients_are_flagged() {
+        let model = lock_model();
+        for seed in 0..10 {
+            let (client, _, entries) = gen_concurrent_client(seed, 2, &["s0"], true);
+            let report = check_static_race(&client, &entries, &model);
+            assert!(!report.is_drf(), "seed {seed}: racy client not flagged");
+        }
+    }
+
+    #[test]
+    fn witnesses_name_the_shared_global() {
+        let model = lock_model();
+        let (client, _, entries) = gen_concurrent_client(1, 2, &["s0"], true);
+        let report = check_static_race(&client, &entries, &model);
+        let StaticVerdict::MayRace(pairs) = &report.verdict else {
+            panic!("expected MayRace");
+        };
+        assert!(pairs
+            .iter()
+            .any(|p| p.first.region == Region::Global("s0".into())));
+    }
+}

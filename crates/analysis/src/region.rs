@@ -1,0 +1,313 @@
+//! Abstract memory regions and abstract footprints.
+//!
+//! The dynamic semantics works with concrete footprints — sets of
+//! [`Addr`]esses ([`Footprint`]). Static analysis cannot know concrete
+//! addresses (they are assigned at link time by the [`GlobalEnv`]), so
+//! it computes over *regions*: symbolic names for sets of addresses. A
+//! region is either one named global block, the whole global area, the
+//! executing thread's private area (stack slots, addressable locals,
+//! frames), or ⊤.
+//!
+//! The soundness contract tying the two together is
+//! [`AbsFootprint::covers`]: every concrete footprint observed by the
+//! instrumented semantics must be contained in the inferred abstract
+//! one, once regions are concretized against the linked global
+//! environment.
+
+use ccc_core::footprint::Footprint;
+use ccc_core::mem::{Addr, GlobalEnv};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An abstract memory region: a symbolic set of concrete addresses.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Region {
+    /// The block of the named global: `[base, base + len)` where `len`
+    /// is the number of contiguously initialized cells at its base.
+    Global(String),
+    /// Any address in the shared global area (address region 0). This is
+    /// what pointer arithmetic on a global address widens to — the
+    /// result may leave the source block but stays in the global area.
+    AnyGlobal,
+    /// Any address private to the executing thread: stack slots,
+    /// addressable locals, and frames drawn from its free list.
+    StackLocal,
+    /// Unknown (⊤): any address at all.
+    Top,
+}
+
+/// The number of contiguously initialized cells at `base` — the extent
+/// of one global block as the linker laid it out.
+fn block_len(ge: &GlobalEnv, base: Addr) -> u64 {
+    // Blocks are laid out contiguously, so the initialized cells of the
+    // next global follow immediately: cap the extent at the nearest
+    // symbol past `base`.
+    let cap = ge
+        .symbol_iter()
+        .filter_map(|(_, a)| a.0.checked_sub(base.0).filter(|d| *d > 0))
+        .min()
+        .unwrap_or(u64::MAX);
+    let mut n = 0;
+    while n < cap && ge.initial_value(base.offset(n)).is_some() {
+        n += 1;
+    }
+    n.max(1)
+}
+
+impl Region {
+    /// Concretization: does the region contain address `a` under the
+    /// linked environment `ge`?
+    pub fn contains(&self, ge: &GlobalEnv, a: Addr) -> bool {
+        match self {
+            Region::Global(g) => match ge.lookup(g) {
+                Some(base) => a.0 >= base.0 && a.0 < base.0 + block_len(ge, base),
+                None => false,
+            },
+            Region::AnyGlobal => a.is_global(),
+            Region::StackLocal => !a.is_global(),
+            Region::Top => true,
+        }
+    }
+
+    /// Least upper bound of two regions in the lattice
+    /// `Global(g) ⊑ AnyGlobal ⊑ Top`, `StackLocal ⊑ Top`.
+    pub fn lub(&self, other: &Region) -> Region {
+        use Region::*;
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Global(_) | AnyGlobal, Global(_) | AnyGlobal) => AnyGlobal,
+            _ => Top,
+        }
+    }
+
+    /// May two accesses *from different threads* through these regions
+    /// touch a common address? Thread-private regions of distinct
+    /// threads live in distinct address regions, so `StackLocal` never
+    /// meets another thread's `StackLocal` (nor any global region);
+    /// distinct named globals occupy disjoint blocks.
+    pub fn may_overlap_cross_thread(&self, other: &Region) -> bool {
+        use Region::*;
+        match (self, other) {
+            (Top, _) | (_, Top) => true,
+            (StackLocal, _) | (_, StackLocal) => false,
+            (AnyGlobal, _) | (_, AnyGlobal) => true,
+            (Global(a), Global(b)) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Global(g) => write!(f, "{g}"),
+            Region::AnyGlobal => f.write_str("globals"),
+            Region::StackLocal => f.write_str("stack"),
+            Region::Top => f.write_str("⊤"),
+        }
+    }
+}
+
+/// An abstract footprint: sets of regions that over-approximate the read
+/// and write sets of every execution.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct AbsFootprint {
+    /// Regions that may be read.
+    pub reads: BTreeSet<Region>,
+    /// Regions that may be written.
+    pub writes: BTreeSet<Region>,
+}
+
+impl AbsFootprint {
+    /// The empty abstract footprint.
+    pub fn emp() -> AbsFootprint {
+        AbsFootprint::default()
+    }
+
+    /// An abstract footprint reading one region.
+    pub fn read(r: Region) -> AbsFootprint {
+        AbsFootprint {
+            reads: [r].into(),
+            writes: BTreeSet::new(),
+        }
+    }
+
+    /// An abstract footprint writing one region.
+    pub fn write(r: Region) -> AbsFootprint {
+        AbsFootprint {
+            reads: BTreeSet::new(),
+            writes: [r].into(),
+        }
+    }
+
+    /// A footprint that reads and writes everything — the summary of an
+    /// unknown external function.
+    pub fn top() -> AbsFootprint {
+        AbsFootprint {
+            reads: [Region::Top].into(),
+            writes: [Region::Top].into(),
+        }
+    }
+
+    /// True if both sets are empty.
+    pub fn is_emp(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Accumulates `other` into `self` in place.
+    pub fn extend(&mut self, other: &AbsFootprint) {
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+    }
+
+    /// Componentwise union.
+    pub fn union(&self, other: &AbsFootprint) -> AbsFootprint {
+        let mut out = self.clone();
+        out.extend(other);
+        out
+    }
+
+    /// All regions mentioned, reads and writes together.
+    pub fn regions(&self) -> BTreeSet<Region> {
+        self.reads.union(&self.writes).cloned().collect()
+    }
+
+    /// The soundness relation: every concretely read (written) address
+    /// lies in some abstract read (write) region under `ge`.
+    pub fn covers(&self, ge: &GlobalEnv, fp: &Footprint) -> bool {
+        let covered = |rs: &BTreeSet<Region>, a: Addr| rs.iter().any(|r| r.contains(ge, a));
+        fp.rs.iter().all(|&a| covered(&self.reads, a))
+            && fp.ws.iter().all(|&a| covered(&self.writes, a))
+    }
+}
+
+impl fmt::Display for AbsFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let list = |s: &BTreeSet<Region>| {
+            s.iter()
+                .map(Region::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "r{{{}}} w{{{}}}", list(&self.reads), list(&self.writes))
+    }
+}
+
+/// An abstract value: what a temporary or register may hold. `Any` is
+/// represented as `Ptr(Top)` — "if this is ever a pointer, it may point
+/// anywhere" — so only three shapes are needed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbsVal {
+    /// Unreachable / never assigned.
+    Bot,
+    /// Definitely an integer (dereferencing it aborts, touching no
+    /// memory — so it contributes no region).
+    Int,
+    /// Possibly a pointer into the given region.
+    Ptr(Region),
+}
+
+impl AbsVal {
+    /// Least upper bound.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Bot, v) | (v, Bot) => v.clone(),
+            (Int, Int) => Int,
+            (Ptr(r), Int) | (Int, Ptr(r)) => Ptr(r.clone()),
+            (Ptr(a), Ptr(b)) => Ptr(a.lub(b)),
+        }
+    }
+
+    /// The region a dereference of this value may touch, if any.
+    /// `Int`/`Bot` values cannot be successfully dereferenced, so they
+    /// contribute no region.
+    pub fn ptr_region(&self) -> Option<Region> {
+        match self {
+            AbsVal::Ptr(r) => Some(r.clone()),
+            AbsVal::Int | AbsVal::Bot => None,
+        }
+    }
+
+    /// The effect of arithmetic (`+`, `-`, `+imm`) on this value: a
+    /// pointer into a named global block may leave the block but stays
+    /// in the global area, so it widens to `AnyGlobal`; thread-private
+    /// and unknown pointers stay put (offsets are small relative to the
+    /// 2³²-word address regions).
+    pub fn arith(&self) -> AbsVal {
+        match self {
+            AbsVal::Ptr(Region::Global(_)) => AbsVal::Ptr(Region::AnyGlobal),
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_core::mem::Val;
+
+    fn env() -> GlobalEnv {
+        let mut ge = GlobalEnv::new();
+        ge.define("x", Val::Int(1));
+        ge.define("y", Val::Int(2));
+        ge
+    }
+
+    #[test]
+    fn global_region_contains_exactly_its_block() {
+        let ge = env();
+        let x = ge.lookup("x").unwrap();
+        let y = ge.lookup("y").unwrap();
+        assert!(Region::Global("x".into()).contains(&ge, x));
+        assert!(!Region::Global("x".into()).contains(&ge, y));
+        assert!(Region::AnyGlobal.contains(&ge, x));
+        assert!(Region::AnyGlobal.contains(&ge, y));
+        assert!(!Region::StackLocal.contains(&ge, x));
+        assert!(Region::Top.contains(&ge, x));
+    }
+
+    #[test]
+    fn lub_is_monotone_widening() {
+        let gx = Region::Global("x".into());
+        let gy = Region::Global("y".into());
+        assert_eq!(gx.lub(&gx), gx);
+        assert_eq!(gx.lub(&gy), Region::AnyGlobal);
+        assert_eq!(gx.lub(&Region::StackLocal), Region::Top);
+        assert_eq!(Region::AnyGlobal.lub(&gx), Region::AnyGlobal);
+    }
+
+    #[test]
+    fn cross_thread_overlap_respects_privacy() {
+        let gx = Region::Global("x".into());
+        let gy = Region::Global("y".into());
+        assert!(gx.may_overlap_cross_thread(&gx));
+        assert!(!gx.may_overlap_cross_thread(&gy));
+        assert!(!Region::StackLocal.may_overlap_cross_thread(&Region::StackLocal));
+        assert!(!Region::StackLocal.may_overlap_cross_thread(&Region::AnyGlobal));
+        assert!(Region::Top.may_overlap_cross_thread(&Region::StackLocal));
+    }
+
+    #[test]
+    fn covers_checks_both_components() {
+        let ge = env();
+        let x = ge.lookup("x").unwrap();
+        let fp = Footprint::read(x).union(&Footprint::write(x));
+        let mut abs = AbsFootprint::read(Region::Global("x".into()));
+        assert!(!abs.covers(&ge, &fp), "write not covered yet");
+        abs.extend(&AbsFootprint::write(Region::AnyGlobal));
+        assert!(abs.covers(&ge, &fp));
+    }
+
+    #[test]
+    fn arith_widens_named_globals_only() {
+        assert_eq!(
+            AbsVal::Ptr(Region::Global("x".into())).arith(),
+            AbsVal::Ptr(Region::AnyGlobal)
+        );
+        assert_eq!(
+            AbsVal::Ptr(Region::StackLocal).arith(),
+            AbsVal::Ptr(Region::StackLocal)
+        );
+        assert_eq!(AbsVal::Int.arith(), AbsVal::Int);
+    }
+}

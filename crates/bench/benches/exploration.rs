@@ -27,7 +27,12 @@ fn program(threads: usize) -> Loaded<ToyLang> {
     let names: Vec<String> = (0..threads).map(|i| format!("t{i}")).collect();
     let funcs: Vec<(&str, Vec<I>)> = names.iter().map(|n| (n.as_str(), worker_body())).collect();
     let (m, _) = toy_module(&funcs, &[]);
-    Loaded::new(Prog::new(ToyLang, vec![(m, toy_globals(&[("x", 0)]))], names)).expect("link")
+    Loaded::new(Prog::new(
+        ToyLang,
+        vec![(m, toy_globals(&[("x", 0)]))],
+        names,
+    ))
+    .expect("link")
 }
 
 fn bench_exploration(c: &mut Criterion) {
@@ -37,11 +42,9 @@ fn bench_exploration(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [2usize, 3] {
         let prog = program(threads);
-        group.bench_with_input(
-            BenchmarkId::new("preemptive", threads),
-            &prog,
-            |b, p| b.iter(|| count_states(&Preemptive(p), &cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("preemptive", threads), &prog, |b, p| {
+            b.iter(|| count_states(&Preemptive(p), &cfg).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("non_preemptive", threads),
             &prog,

@@ -36,8 +36,18 @@ fn sb_module() -> (AsmModule, GlobalEnv, Vec<String>) {
 fn bench_tso(c: &mut Criterion) {
     let cfg = ExploreCfg::default();
     let (m, ge, entries) = sb_module();
-    let sc = Loaded::new(Prog::new(X86Sc, vec![(m.clone(), ge.clone())], entries.clone())).unwrap();
-    let tso = Loaded::new(Prog::new(X86Tso, vec![(m.clone(), ge.clone())], entries.clone())).unwrap();
+    let sc = Loaded::new(Prog::new(
+        X86Sc,
+        vec![(m.clone(), ge.clone())],
+        entries.clone(),
+    ))
+    .unwrap();
+    let tso = Loaded::new(Prog::new(
+        X86Tso,
+        vec![(m.clone(), ge.clone())],
+        entries.clone(),
+    ))
+    .unwrap();
 
     let mut group = c.benchmark_group("sb_litmus");
     group.sample_size(10);

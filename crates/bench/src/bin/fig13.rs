@@ -51,16 +51,38 @@ const PAPER_FRAMEWORK: [(&str, u32, u32); 4] = [
 fn pass_files() -> BTreeMap<&'static str, Vec<&'static str>> {
     BTreeMap::from([
         ("Cshmgen", vec!["compiler/src/cminorgen.rs"]),
-        ("Cminorgen", vec!["compiler/src/cminor.rs", "compiler/src/stmt_sem.rs"]),
-        ("Selection", vec!["compiler/src/selection.rs", "compiler/src/cminorsel.rs", "compiler/src/ops.rs"]),
-        ("RTLgen", vec!["compiler/src/rtlgen.rs", "compiler/src/rtl.rs"]),
+        (
+            "Cminorgen",
+            vec!["compiler/src/cminor.rs", "compiler/src/stmt_sem.rs"],
+        ),
+        (
+            "Selection",
+            vec![
+                "compiler/src/selection.rs",
+                "compiler/src/cminorsel.rs",
+                "compiler/src/ops.rs",
+            ],
+        ),
+        (
+            "RTLgen",
+            vec!["compiler/src/rtlgen.rs", "compiler/src/rtl.rs"],
+        ),
         ("Tailcall", vec!["compiler/src/tailcall.rs"]),
         ("Renumber", vec!["compiler/src/renumber.rs"]),
-        ("Allocation", vec!["compiler/src/allocation.rs", "compiler/src/ltl.rs"]),
+        (
+            "Allocation",
+            vec!["compiler/src/allocation.rs", "compiler/src/ltl.rs"],
+        ),
         ("Tunneling", vec!["compiler/src/tunneling.rs"]),
-        ("Linearize", vec!["compiler/src/linearize.rs", "compiler/src/linear.rs"]),
+        (
+            "Linearize",
+            vec!["compiler/src/linearize.rs", "compiler/src/linear.rs"],
+        ),
         ("CleanupLabels", vec!["compiler/src/cleanuplabels.rs"]),
-        ("Stacking", vec!["compiler/src/stacking.rs", "compiler/src/mach.rs"]),
+        (
+            "Stacking",
+            vec!["compiler/src/stacking.rs", "compiler/src/mach.rs"],
+        ),
         ("Asmgen", vec!["compiler/src/asmgen.rs"]),
     ])
 }
@@ -71,9 +93,16 @@ fn framework_files() -> BTreeMap<&'static str, Vec<&'static str>> {
         ("DRF preservation (Lem. 8)", vec!["core/src/race.rs"]),
         (
             "Semantics equiv. (Lem. 9)",
-            vec!["core/src/world.rs", "core/src/npworld.rs", "core/src/refine.rs"],
+            vec![
+                "core/src/world.rs",
+                "core/src/npworld.rs",
+                "core/src/refine.rs",
+            ],
         ),
-        ("Lifting", vec!["core/src/framework.rs", "core/src/wd.rs", "core/src/rg.rs"]),
+        (
+            "Lifting",
+            vec!["core/src/framework.rs", "core/src/wd.rs", "core/src/rg.rs"],
+        ),
     ])
 }
 
@@ -159,7 +188,14 @@ fn main() {
             "{:<16} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>10.2}",
             name, sc, so, pc, po, il, vl, t
         );
-        tot = (tot.0 + sc, tot.1 + so, tot.2 + pc, tot.3 + po, tot.4 + il, tot.5 + vl);
+        tot = (
+            tot.0 + sc,
+            tot.1 + so,
+            tot.2 + pc,
+            tot.3 + po,
+            tot.4 + il,
+            tot.5 + vl,
+        );
     }
     println!("{}", "-".repeat(84));
     println!(
@@ -180,7 +216,10 @@ fn main() {
             il += i;
             vl += v;
         }
-        println!("{:<28} | {:>6} {:>6} | {:>6} {:>6}", name, spec, proof, il, vl);
+        println!(
+            "{:<28} | {:>6} {:>6} | {:>6} {:>6}",
+            name, spec, proof, il, vl
+        );
     }
 
     println!("\nShape check (as in the paper): Stacking is the costliest pass to");

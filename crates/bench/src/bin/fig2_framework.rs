@@ -24,7 +24,18 @@ fn main() {
     println!("Fig. 2 — framework arrows over compiled lock-synchronized clients\n");
     println!(
         "{:<5} {:>5} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>4} {:>8} {:>8} {:>8}",
-        "seed", "DRF", "NPDRFs", "NPDRFt", "npEq_s", "npEq_t", "np⊑", "np≈", "≈", "Pstates", "NPstate", "time(s)"
+        "seed",
+        "DRF",
+        "NPDRFs",
+        "NPDRFt",
+        "npEq_s",
+        "npEq_t",
+        "np⊑",
+        "np≈",
+        "≈",
+        "Pstates",
+        "NPstate",
+        "time(s)"
     );
     println!("{}", "-".repeat(88));
     let mut all_ok = true;

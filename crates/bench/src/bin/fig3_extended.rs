@@ -123,16 +123,52 @@ fn main() {
         max_states: 4_000_000,
         ..Default::default()
     };
-    let rows: Vec<(&str, AsmModule, GlobalEnv, Vec<String>, SyncObject, bool)> = {
+    type Row = (
+        &'static str,
+        AsmModule,
+        GlobalEnv,
+        Vec<String>,
+        SyncObject,
+        bool,
+    );
+    let rows: Vec<Row> = {
         let (cc, cge, ce) = counter_clients();
         let (sc, sge, se) = stack_clients();
         let (bb, bge, be) = sb_clients();
         let (cc2, cge2, ce2) = counter_clients();
         vec![
-            ("TTAS lock + counter clients", cc, cge, ce, lock_object(), true),
-            ("Treiber stack + push/pop clients", sc, sge, se, stack_object(), true),
-            ("SB litmus (unconfined races)", bb, bge, be, lock_object(), false),
-            ("broken lock (no-op acquire)", cc2, cge2, ce2, broken_lock_object(), false),
+            (
+                "TTAS lock + counter clients",
+                cc,
+                cge,
+                ce,
+                lock_object(),
+                true,
+            ),
+            (
+                "Treiber stack + push/pop clients",
+                sc,
+                sge,
+                se,
+                stack_object(),
+                true,
+            ),
+            (
+                "SB litmus (unconfined races)",
+                bb,
+                bge,
+                be,
+                lock_object(),
+                false,
+            ),
+            (
+                "broken lock (no-op acquire)",
+                cc2,
+                cge2,
+                ce2,
+                broken_lock_object(),
+                false,
+            ),
         ]
     };
 
@@ -155,7 +191,11 @@ fn main() {
             r.tso_traces,
             start.elapsed().as_secs_f64()
         );
-        assert_eq!(r.holds(), expect, "{name}: expected holds={expect}, got {r:?}");
+        assert_eq!(
+            r.holds(),
+            expect,
+            "{name}: expected holds={expect}, got {r:?}"
+        );
     }
     println!("{}", "-".repeat(92));
     println!(

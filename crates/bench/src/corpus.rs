@@ -16,7 +16,9 @@ pub type TgtLang = SumLang<X86Sc, CImpLang>;
 
 /// A generated sequential module plus its globals (pipeline workloads).
 pub fn sequential_modules(n: usize) -> Vec<(ClightModule, GlobalEnv)> {
-    (0..n as u64).map(|s| gen_module(s, &GenCfg::default())).collect()
+    (0..n as u64)
+        .map(|s| gen_module(s, &GenCfg::default()))
+        .collect()
 }
 
 /// A larger sequential module (scaled generator) for throughput-style
@@ -40,7 +42,17 @@ pub fn concurrent_source(
     seed: u64,
     threads: usize,
 ) -> (Loaded<SrcLang>, ClightModule, GlobalEnv, Vec<String>) {
-    let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], false);
+    concurrent_source_with(seed, threads, false)
+}
+
+/// Like [`concurrent_source`], but optionally dropping the lock calls to
+/// produce a racy client (used by the race-analysis evaluation).
+pub fn concurrent_source_with(
+    seed: u64,
+    threads: usize,
+    racy: bool,
+) -> (Loaded<SrcLang>, ClightModule, GlobalEnv, Vec<String>) {
+    let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], racy);
     let (lock, lock_ge) = lock_spec("L");
     let loaded = Loaded::new(Prog {
         lang: SumLang(ClightLang, CImpLang),

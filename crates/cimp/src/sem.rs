@@ -83,12 +83,7 @@ fn eval(e: &Expr, regs: &BTreeMap<String, Val>, ge: &GlobalEnv) -> Option<Val> {
 }
 
 impl CImpLang {
-    fn exec(
-        &self,
-        core: &CImpCore,
-        ge: &GlobalEnv,
-        mem: &Memory,
-    ) -> Vec<LocalStep<CImpCore>> {
+    fn exec(&self, core: &CImpCore, ge: &GlobalEnv, mem: &Memory) -> Vec<LocalStep<CImpCore>> {
         let tau = |core: CImpCore, mem: Memory, fp: Footprint| {
             vec![LocalStep::Step {
                 msg: StepMsg::Tau,
@@ -156,17 +151,15 @@ impl CImpLang {
                     }
                     None => abort(),
                 },
-                Stmt::While(c, body) => {
-                    match eval(&c, &next.regs, ge).and_then(Val::truth) {
-                        Some(true) => {
-                            next.cont.push(Kont::Stmt(Stmt::While(c, body.clone())));
-                            next.cont.push(Kont::Stmt(*body));
-                            tau(next, mem.clone(), Footprint::emp())
-                        }
-                        Some(false) => tau(next, mem.clone(), Footprint::emp()),
-                        None => abort(),
+                Stmt::While(c, body) => match eval(&c, &next.regs, ge).and_then(Val::truth) {
+                    Some(true) => {
+                        next.cont.push(Kont::Stmt(Stmt::While(c, body.clone())));
+                        next.cont.push(Kont::Stmt(*body));
+                        tau(next, mem.clone(), Footprint::emp())
                     }
-                }
+                    Some(false) => tau(next, mem.clone(), Footprint::emp()),
+                    None => abort(),
+                },
                 Stmt::Atomic(body) => {
                     next.cont.push(Kont::EndAtomic);
                     next.cont.push(Kont::Stmt(*body));
@@ -310,8 +303,7 @@ mod tests {
     fn counter_increments() {
         let ge = ge_with(&[("c", 10)]);
         let m = counter_module();
-        let (val, mem, _) =
-            run_main(&CImpLang, &m, &ge, "inc", &[], 1000).expect("runs");
+        let (val, mem, _) = run_main(&CImpLang, &m, &ge, "inc", &[], 1000).expect("runs");
         assert_eq!(val, Val::Int(10));
         assert_eq!(mem.load(ge.lookup("c").unwrap()), Some(Val::Int(11)));
     }
@@ -329,7 +321,13 @@ mod tests {
             ),
             Stmt::Return(Expr::reg("n")),
         ]);
-        let m = CImpModule::new([("f", Func { params: vec!["n".into()], body })]);
+        let m = CImpModule::new([(
+            "f",
+            Func {
+                params: vec!["n".into()],
+                body,
+            },
+        )]);
         let ge = GlobalEnv::new();
         let (val, _, _) = run_main(&CImpLang, &m, &ge, "f", &[Val::Int(5)], 1000).expect("runs");
         assert_eq!(val, Val::Int(0));
@@ -378,7 +376,12 @@ mod tests {
         let mut seen_write = false;
         for _ in 0..100 {
             match lang.step(&m, &ge, &fl, &core, &mem).into_iter().next() {
-                Some(LocalStep::Step { fp, core: c, mem: mm, .. }) => {
+                Some(LocalStep::Step {
+                    fp,
+                    core: c,
+                    mem: mm,
+                    ..
+                }) => {
                     seen_read |= fp.rs.contains(&addr);
                     seen_write |= fp.ws.contains(&addr);
                     core = c;
@@ -405,7 +408,13 @@ mod tests {
             Stmt::CallExt("r".into(), "other".into(), vec![Expr::Int(7)]),
             Stmt::Return(Expr::reg("r")),
         ]);
-        let m = CImpModule::new([("f", Func { params: vec![], body })]);
+        let m = CImpModule::new([(
+            "f",
+            Func {
+                params: vec![],
+                body,
+            },
+        )]);
         let ge = GlobalEnv::new();
         let lang = CImpLang;
         let fl = FreeList::for_thread(0);

@@ -27,8 +27,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.prop_map(|e| Expr::Not(Box::new(e))),
         ]
     })
@@ -41,7 +44,13 @@ fn eval_via_program(e: &Expr, a: i64, b: i64) -> Option<Val> {
         Stmt::Assign("b".into(), Expr::Int(b)),
         Stmt::Return(e.clone()),
     ]);
-    let m = CImpModule::new([("f", Func { params: vec![], body })]);
+    let m = CImpModule::new([(
+        "f",
+        Func {
+            params: vec![],
+            body,
+        },
+    )]);
     let ge = GlobalEnv::new();
     run_main(&CImpLang, &m, &ge, "f", &[], 100_000).map(|(v, _, _)| v)
 }

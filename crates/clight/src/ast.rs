@@ -97,6 +97,7 @@ impl Expr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::bin(Binop::Add, a, b)
     }

@@ -87,7 +87,7 @@ fn gen_expr(rng: &mut StdRng, cfg: &GenCfg, depth: usize) -> Expr {
                 Binop::And,
                 Binop::Or,
                 Binop::Xor,
-            ][rng.gen_range(0..10)];
+            ][rng.gen_range(0..10usize)];
             Expr::bin(
                 op,
                 gen_expr(rng, cfg, depth - 1),

@@ -87,12 +87,7 @@ fn first_free(flist: &FreeList, mem: &Memory) -> Addr {
 }
 
 /// Evaluates an rvalue, collecting the locations read.
-fn eval(
-    e: &Expr,
-    core: &ClightCore,
-    ge: &GlobalEnv,
-    mem: &Memory,
-) -> Option<(Val, Footprint)> {
+fn eval(e: &Expr, core: &ClightCore, ge: &GlobalEnv, mem: &Memory) -> Option<(Val, Footprint)> {
     match e {
         Expr::Const(i) => Some((Val::Int(*i), Footprint::emp())),
         Expr::Temp(t) => Some((core.temp(t), Footprint::emp())),
@@ -422,7 +417,8 @@ mod tests {
             },
         )]);
         let ge = GlobalEnv::new();
-        let (v, _, _) = run_main(&ClightLang, &m, &ge, "fact", &[Val::Int(5)], 10_000).expect("runs");
+        let (v, _, _) =
+            run_main(&ClightLang, &m, &ge, "fact", &[Val::Int(5)], 10_000).expect("runs");
         assert_eq!(v, Val::Int(120));
     }
 

@@ -154,11 +154,11 @@ fn transform_function(f: &Function) -> LtlFunction {
     // needed moves from the call's original node id (so predecessor
     // edges keep working).
     let route_call = |n: Node,
-                          args: &[PReg],
-                          alloc: &mut Allocator,
-                          code: &mut BTreeMap<Node, LInstr>,
-                          next_node: &mut Node,
-                          mk: &dyn Fn(Vec<Loc>) -> LInstr| {
+                      args: &[PReg],
+                      alloc: &mut Allocator,
+                      code: &mut BTreeMap<Node, LInstr>,
+                      next_node: &mut Node,
+                      mk: &dyn Fn(Vec<Loc>) -> LInstr| {
         let mut spilled_args = Vec::new();
         let mut moves = Vec::new();
         for &a in args {
@@ -328,7 +328,10 @@ mod tests {
                 _ => None,
             })
             .expect("const instruction survives");
-        assert!(matches!(const_dst, Loc::Spill(_)), "live-across-call spilled");
+        assert!(
+            matches!(const_dst, Loc::Spill(_)),
+            "live-across-call spilled"
+        );
     }
 
     #[test]

@@ -70,11 +70,9 @@ impl Ctx {
                     .collect::<Result<_, _>>()?,
             ),
             Stmt::Print(e) => CmStmt::Print(self.rvalue(e)?),
-            Stmt::Seq(ss) => CmStmt::Seq(
-                ss.iter()
-                    .map(|s| self.stmt(s))
-                    .collect::<Result<_, _>>()?,
-            ),
+            Stmt::Seq(ss) => {
+                CmStmt::Seq(ss.iter().map(|s| self.stmt(s)).collect::<Result<_, _>>()?)
+            }
             Stmt::If(c, a, b) => CmStmt::If(
                 self.rvalue(c)?,
                 Box::new(self.stmt(a)?),
@@ -83,9 +81,7 @@ impl Ctx {
             Stmt::While(c, b) => CmStmt::While(self.rvalue(c)?, Box::new(self.stmt(b)?)),
             Stmt::Break => CmStmt::Break,
             Stmt::Continue => CmStmt::Continue,
-            Stmt::Return(e) => {
-                CmStmt::Return(e.as_ref().map(|e| self.rvalue(e)).transpose()?)
-            }
+            Stmt::Return(e) => CmStmt::Return(e.as_ref().map(|e| self.rvalue(e)).transpose()?),
         })
     }
 }

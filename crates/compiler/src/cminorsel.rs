@@ -135,10 +135,7 @@ mod tests {
         // f() { t := [arr + 1 word]; [stack0] := t; return [stack0]; }
         let body = Stmt::seq([
             Stmt::Set("t".into(), Expr::Load(AddrMode::Global("arr".into(), 1))),
-            Stmt::Store(
-                Expr::Op(Op::AddrStack(0), vec![]),
-                Expr::temp("t"),
-            ),
+            Stmt::Store(Expr::Op(Op::AddrStack(0), vec![]), Expr::temp("t")),
             Stmt::Return(Some(Expr::Load(AddrMode::Stack(0)))),
         ]);
         let m = CminorSelModule::new([(
@@ -160,7 +157,10 @@ mod tests {
         let _ = base;
         // f() { p := &arr; return [p + 2]; }
         let body = Stmt::seq([
-            Stmt::Set("p".into(), Expr::Op(Op::AddrGlobal("arr".into(), 0), vec![])),
+            Stmt::Set(
+                "p".into(),
+                Expr::Op(Op::AddrGlobal("arr".into(), 0), vec![]),
+            ),
             Stmt::Return(Some(Expr::Load(AddrMode::Based(
                 Box::new(Expr::temp("p")),
                 2,

@@ -277,11 +277,13 @@ mod tests {
         };
         let m = constprop(&module_of(f));
         // Node 3 unchanged; both constants kept.
-        assert!(matches!(m.funcs["f"].code.get(&3), Some(Instr::Return(Some(1)))));
+        assert!(matches!(
+            m.funcs["f"].code.get(&3),
+            Some(Instr::Return(Some(1)))
+        ));
         let ge = GlobalEnv::new();
         for (arg, expect) in [(5, 1), (0, 2)] {
-            let (v, _, _) =
-                run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("runs");
+            let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("runs");
             assert_eq!(v, Val::Int(expect));
         }
     }

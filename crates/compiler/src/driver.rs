@@ -98,6 +98,27 @@ pub struct CompilationArtifacts {
     pub asm: AsmModule,
 }
 
+impl CompilationArtifacts {
+    /// Display names for the programs held in the artifacts, in pipeline
+    /// order. Stage 0 is the source; stage `i > 0` is the output of
+    /// [`PASS_NAMES`]`[i - 1]`. Structural checkers (the `ccc-analysis`
+    /// per-pass lint) iterate these to label per-stage diagnostics.
+    pub const STAGE_NAMES: [&'static str; 12] = [
+        "Clight",
+        "Cminor",
+        "CminorSel",
+        "RTL",
+        "RTL/tailcall",
+        "RTL/renumber",
+        "LTL",
+        "LTL/tunneled",
+        "Linear",
+        "Linear/clean",
+        "Mach",
+        "Asm",
+    ];
+}
+
 /// Runs the whole pipeline, keeping every intermediate program.
 ///
 /// # Errors
@@ -220,8 +241,8 @@ mod tests {
         for seed in [1u64, 7, 13, 23] {
             let (m, ge) = gen_module(seed, &GenCfg::default());
             let a = compile_with_artifacts(&m).expect("compiles");
-            let reference = run_main(&ClightLang, &m, &ge, "f", &[], 1_000_000)
-                .expect("source runs");
+            let reference =
+                run_main(&ClightLang, &m, &ge, "f", &[], 1_000_000).expect("source runs");
             macro_rules! check_stage {
                 ($lang:expr, $module:expr, $name:literal) => {{
                     let r = run_main(&$lang, $module, &ge, "f", &[], 1_000_000)

@@ -25,10 +25,10 @@
 pub mod allocation;
 pub mod asmgen;
 pub mod cleanuplabels;
-pub mod constprop;
 pub mod cminor;
 pub mod cminorgen;
 pub mod cminorsel;
+pub mod constprop;
 pub mod driver;
 pub mod linear;
 pub mod linearize;

@@ -98,7 +98,9 @@ impl LinearCore {
 pub struct LinearLang;
 
 fn find_label(f: &Function, l: Label) -> Option<usize> {
-    f.code.iter().position(|i| matches!(i, Instr::Label(x) if *x == l))
+    f.code
+        .iter()
+        .position(|i| matches!(i, Instr::Label(x) if *x == l))
 }
 
 fn resolve_addr(am: &AddrMode<Loc>, core: &LinearCore, ge: &GlobalEnv) -> Option<Addr> {
@@ -339,7 +341,11 @@ mod tests {
                 Instr::Op(Op::Const(0), vec![], Loc::Reg(MReg::Ecx)),
                 Instr::Label(0),
                 Instr::CondImmJump(Cmp::Eq, Loc::Spill(0), 0, 1),
-                Instr::Op(Op::Add, vec![Loc::Reg(MReg::Ecx), Loc::Spill(0)], Loc::Reg(MReg::Ecx)),
+                Instr::Op(
+                    Op::Add,
+                    vec![Loc::Reg(MReg::Ecx), Loc::Spill(0)],
+                    Loc::Reg(MReg::Ecx),
+                ),
                 Instr::Op(Op::AddImm(-1), vec![Loc::Spill(0)], Loc::Spill(0)),
                 Instr::Goto(0),
                 Instr::Label(1),

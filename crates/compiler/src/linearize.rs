@@ -141,8 +141,7 @@ mod tests {
         let lin = linearize(&m);
         let ge = GlobalEnv::new();
         for arg in [-5, 5] {
-            let (v1, _, _) =
-                run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("ltl");
+            let (v1, _, _) = run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("ltl");
             let (v2, _, _) =
                 run_main(&LinearLang, &lin, &ge, "f", &[Val::Int(arg)], 100).expect("linear");
             assert_eq!(v1, v2, "arg {arg}");

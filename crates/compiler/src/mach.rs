@@ -89,7 +89,9 @@ impl MachCore {
 pub struct MachLang;
 
 fn find_label(f: &Function, l: Label) -> Option<usize> {
-    f.code.iter().position(|i| matches!(i, Instr::Label(x) if *x == l))
+    f.code
+        .iter()
+        .position(|i| matches!(i, Instr::Label(x) if *x == l))
 }
 
 fn resolve_addr(am: &AddrMode<MReg>, core: &MachCore, ge: &GlobalEnv) -> Option<Addr> {
@@ -346,10 +348,7 @@ mod tests {
         let f = Function {
             frame_slots: 0,
             arity: 0,
-            code: vec![
-                Instr::Op(Op::Const(9), vec![], MReg::Eax),
-                Instr::Return,
-            ],
+            code: vec![Instr::Op(Op::Const(9), vec![], MReg::Eax), Instr::Return],
         };
         let m = MachModule {
             funcs: [("f".to_string(), f)].into(),

@@ -388,15 +388,24 @@ pub fn dump_artifacts(arts: &crate::driver::CompilationArtifacts) -> String {
     let mut section = |title: &str, body: String| {
         let _ = writeln!(out, "=== {title} ===\n{body}");
     };
-    section("Cminor (after Cshmgen/Cminorgen)", cminor_module(&arts.cminor));
-    section("CminorSel (after Selection)", cminorsel_module(&arts.cminorsel));
+    section(
+        "Cminor (after Cshmgen/Cminorgen)",
+        cminor_module(&arts.cminor),
+    );
+    section(
+        "CminorSel (after Selection)",
+        cminorsel_module(&arts.cminorsel),
+    );
     section("RTL (after RTLgen)", rtl_module(&arts.rtl));
     section("RTL (after Tailcall)", rtl_module(&arts.rtl_tailcall));
     section("RTL (after Renumber)", rtl_module(&arts.rtl_renumber));
     section("LTL (after Allocation)", ltl_module(&arts.ltl));
     section("LTL (after Tunneling)", ltl_module(&arts.ltl_tunneled));
     section("Linear (after Linearize)", linear_module(&arts.linear));
-    section("Linear (after CleanupLabels)", linear_module(&arts.linear_clean));
+    section(
+        "Linear (after CleanupLabels)",
+        linear_module(&arts.linear_clean),
+    );
     section("Mach (after Stacking)", mach_module(&arts.mach));
     section("x86 (after Asmgen)", arts.asm.to_string());
     out

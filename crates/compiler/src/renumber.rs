@@ -107,8 +107,7 @@ mod tests {
         let r = renumber(&m);
         let ge = GlobalEnv::new();
         for arg in [5, 15] {
-            let (v1, _, _) =
-                run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
+            let (v1, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
             let (v2, _, _) =
                 run_main(&RtlLang, &r, &ge, "f", &[Val::Int(arg)], 100).expect("renum");
             assert_eq!(v1, v2);

@@ -148,11 +148,7 @@ impl RtlCore {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RtlLang;
 
-fn resolve_addr(
-    am: &AddrMode<PReg>,
-    core: &RtlCore,
-    ge: &GlobalEnv,
-) -> Option<Addr> {
+fn resolve_addr(am: &AddrMode<PReg>, core: &RtlCore, ge: &GlobalEnv) -> Option<Addr> {
     match am {
         AddrMode::Global(g, o) => Some(ge.lookup(g)?.offset(*o)),
         AddrMode::Stack(n) => {
@@ -456,8 +452,18 @@ mod tests {
         let mut saw_read = false;
         let mut saw_write = false;
         loop {
-            match lang.step(&m, &ge, &fl, &core, &mem).into_iter().next().expect("steps") {
-                LocalStep::Step { fp, core: c, mem: m2, .. } => {
+            match lang
+                .step(&m, &ge, &fl, &core, &mem)
+                .into_iter()
+                .next()
+                .expect("steps")
+            {
+                LocalStep::Step {
+                    fp,
+                    core: c,
+                    mem: m2,
+                    ..
+                } => {
                     saw_read |= fp.rs.contains(&x);
                     saw_write |= fp.ws.contains(&x);
                     core = c;

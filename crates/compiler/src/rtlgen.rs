@@ -94,8 +94,7 @@ impl Builder {
                 let v = self.fresh();
                 match ea {
                     SelExpr::Op(Op::AddrGlobal(g, o), args) if args.is_empty() => {
-                        let st =
-                            self.add(Instr::Store(AddrMode::Global(g.clone(), *o), v, succ));
+                        let st = self.add(Instr::Store(AddrMode::Global(g.clone(), *o), v, succ));
                         self.expr(ev, v, st)
                     }
                     SelExpr::Op(Op::AddrStack(n), args) if args.is_empty() => {

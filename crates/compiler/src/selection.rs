@@ -93,9 +93,7 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
         // Immediate forms. `x + c`, `c + x`, `x - c` → AddImm.
         (Binop::Add, Some(c), None) => SelExpr::Op(Op::AddImm(c), vec![sb]),
         (Binop::Add, None, Some(c)) => SelExpr::Op(Op::AddImm(c), vec![sa]),
-        (Binop::Sub, None, Some(c)) if c != i64::MIN => {
-            SelExpr::Op(Op::AddImm(-c), vec![sa])
-        }
+        (Binop::Sub, None, Some(c)) if c != i64::MIN => SelExpr::Op(Op::AddImm(-c), vec![sa]),
         // `x * 0` → 0: the classic footprint-shrinking strength
         // reduction (safe for Safe sources; see module docs).
         (Binop::Mul, None, Some(0)) | (Binop::Mul, Some(0), None) => SelExpr::imm(0),
@@ -105,10 +103,9 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
         (op, None, Some(c)) if cmp_of(op).is_some() => {
             SelExpr::Op(Op::CmpImm(cmp_of(op).expect("checked"), c), vec![sa])
         }
-        (op, Some(c), None) if cmp_of(op).is_some() => SelExpr::Op(
-            Op::CmpImm(cmp_of(op).expect("checked").swap(), c),
-            vec![sb],
-        ),
+        (op, Some(c), None) if cmp_of(op).is_some() => {
+            SelExpr::Op(Op::CmpImm(cmp_of(op).expect("checked").swap(), c), vec![sb])
+        }
         // General register-register forms.
         (Binop::Add, ..) => SelExpr::Op(Op::Add, vec![sa, sb]),
         (Binop::Sub, ..) => SelExpr::Op(Op::Sub, vec![sa, sb]),
@@ -117,7 +114,10 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
         (Binop::And, ..) => SelExpr::Op(Op::And, vec![sa, sb]),
         (Binop::Or, ..) => SelExpr::Op(Op::Or, vec![sa, sb]),
         (Binop::Xor, ..) => SelExpr::Op(Op::Xor, vec![sa, sb]),
-        (op, ..) => SelExpr::Op(Op::Cmp(cmp_of(op).expect("remaining ops compare")), vec![sa, sb]),
+        (op, ..) => SelExpr::Op(
+            Op::Cmp(cmp_of(op).expect("remaining ops compare")),
+            vec![sa, sb],
+        ),
     }
 }
 
@@ -139,9 +139,11 @@ fn select_stmt(s: &cminor::Stmt) -> cminorsel::Stmt {
             };
             Stmt::Store(addr_expr, select_expr(v))
         }
-        Stmt::Call(dst, f, args) => {
-            Stmt::Call(dst.clone(), f.clone(), args.iter().map(select_expr).collect())
-        }
+        Stmt::Call(dst, f, args) => Stmt::Call(
+            dst.clone(),
+            f.clone(),
+            args.iter().map(select_expr).collect(),
+        ),
         Stmt::Print(e) => Stmt::Print(select_expr(e)),
         Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(select_stmt).collect()),
         Stmt::If(c, a, b) => Stmt::If(
@@ -210,7 +212,11 @@ mod tests {
 
     #[test]
     fn global_offset_addressing_selected() {
-        let e = CmE::load(CmE::bin(Binop::Add, CmE::AddrGlobal("arr".into()), CmE::Const(2)));
+        let e = CmE::load(CmE::bin(
+            Binop::Add,
+            CmE::AddrGlobal("arr".into()),
+            CmE::Const(2),
+        ));
         assert_eq!(
             select_expr(&e),
             SelExpr::Load(AddrMode::Global("arr".into(), 2))
@@ -236,7 +242,11 @@ mod tests {
             mem: &mem,
         };
         let exprs = [
-            CmE::bin(Binop::Add, CmE::load(CmE::AddrGlobal("x".into())), CmE::Const(1)),
+            CmE::bin(
+                Binop::Add,
+                CmE::load(CmE::AddrGlobal("x".into())),
+                CmE::Const(1),
+            ),
             CmE::bin(
                 Binop::Mul,
                 CmE::load(CmE::AddrGlobal("x".into())),
@@ -270,7 +280,11 @@ mod tests {
             ge: &ge,
             mem: &mem,
         };
-        let e = CmE::bin(Binop::Mul, CmE::load(CmE::AddrGlobal("x".into())), CmE::Const(0));
+        let e = CmE::bin(
+            Binop::Mul,
+            CmE::load(CmE::AddrGlobal("x".into())),
+            CmE::Const(0),
+        );
         let (sv, sfp) = ExprEval::eval(&e, &ctx).expect("source");
         let sel = select_expr(&e);
         let (tv, tfp) = sel.eval(&ctx).expect("selected");

@@ -50,7 +50,8 @@ impl Ctx {
         match l {
             Loc::Reg(r) => r,
             Loc::Spill(s) => {
-                self.code.push(MIn::Load(AddrMode::Stack(self.off(s)), scratch));
+                self.code
+                    .push(MIn::Load(AddrMode::Stack(self.off(s)), scratch));
                 scratch
             }
         }
@@ -197,9 +198,7 @@ fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
             }
             LIn::Return(l) => {
                 match l {
-                    Some(Loc::Reg(r)) => {
-                        ctx.code.push(MIn::Op(Op::Move, vec![*r], MReg::Eax))
-                    }
+                    Some(Loc::Reg(r)) => ctx.code.push(MIn::Op(Op::Move, vec![*r], MReg::Eax)),
                     Some(Loc::Spill(s)) => {
                         let o = ctx.off(*s);
                         ctx.code.push(MIn::Load(AddrMode::Stack(o), MReg::Eax));

@@ -187,7 +187,7 @@ impl<E> Default for StmtLang<E> {
 
 impl<E> Clone for StmtLang<E> {
     fn clone(&self) -> Self {
-        StmtLang(PhantomData)
+        *self
     }
 }
 impl<E> Copy for StmtLang<E> {}

@@ -81,14 +81,8 @@ mod tests {
                 (0, Instr::CondImm(Cmp::Lt, Loc::Spill(0), 0, 1, 4)),
                 (1, Instr::Nop(2)),
                 (2, Instr::Nop(3)),
-                (
-                    3,
-                    Instr::Op(Op::Const(1), vec![], Loc::Reg(Reg::Ecx), 5),
-                ),
-                (
-                    4,
-                    Instr::Op(Op::Const(2), vec![], Loc::Reg(Reg::Ecx), 5),
-                ),
+                (3, Instr::Op(Op::Const(1), vec![], Loc::Reg(Reg::Ecx), 5)),
+                (4, Instr::Op(Op::Const(2), vec![], Loc::Reg(Reg::Ecx), 5)),
                 (5, Instr::Return(Some(Loc::Reg(Reg::Ecx)))),
             ]),
         };
@@ -106,8 +100,7 @@ mod tests {
         // Behaviour preserved.
         let ge = GlobalEnv::new();
         for arg in [-1, 1] {
-            let (v1, _, _) =
-                run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
+            let (v1, _, _) = run_main(&LtlLang, &m, &ge, "f", &[Val::Int(arg)], 100).expect("orig");
             let (v2, _, _) =
                 run_main(&LtlLang, &t, &ge, "f", &[Val::Int(arg)], 100).expect("tunneled");
             assert_eq!(v1, v2);

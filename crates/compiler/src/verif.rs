@@ -45,11 +45,7 @@ pub fn default_perturbations(ge: &GlobalEnv) -> Vec<Vec<(Addr, Val)>> {
 /// Checks the simulation for every pass of a compilation, on entry
 /// `entry`, with the given shared global environment (used on both
 /// sides — the pipeline preserves the layout, so `φ = id`).
-pub fn verify_passes(
-    arts: &CompilationArtifacts,
-    ge: &GlobalEnv,
-    entry: &str,
-) -> Vec<PassVerdict> {
+pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -> Vec<PassVerdict> {
     let mu = Mu::identity(ge.initial_memory().dom());
     let perturbations = default_perturbations(ge);
     let opts = SimOptions {
@@ -86,15 +82,33 @@ pub fn verify_passes(
     }
 
     vec![
-        pass!("Cshmgen/Cminorgen", clight, &arts.clight, cminor, &arts.cminor),
-        pass!("Selection", cminor, &arts.cminor, cminorsel, &arts.cminorsel),
+        pass!(
+            "Cshmgen/Cminorgen",
+            clight,
+            &arts.clight,
+            cminor,
+            &arts.cminor
+        ),
+        pass!(
+            "Selection",
+            cminor,
+            &arts.cminor,
+            cminorsel,
+            &arts.cminorsel
+        ),
         pass!("RTLgen", cminorsel, &arts.cminorsel, rtl, &arts.rtl),
         pass!("Tailcall", rtl, &arts.rtl, rtl, &arts.rtl_tailcall),
         pass!("Renumber", rtl, &arts.rtl_tailcall, rtl, &arts.rtl_renumber),
         pass!("Allocation", rtl, &arts.rtl_renumber, ltl, &arts.ltl),
         pass!("Tunneling", ltl, &arts.ltl, ltl, &arts.ltl_tunneled),
         pass!("Linearize", ltl, &arts.ltl_tunneled, linear, &arts.linear),
-        pass!("CleanupLabels", linear, &arts.linear, linear, &arts.linear_clean),
+        pass!(
+            "CleanupLabels",
+            linear,
+            &arts.linear,
+            linear,
+            &arts.linear_clean
+        ),
         pass!("Stacking", linear, &arts.linear_clean, mach, &arts.mach),
         pass!("Asmgen", mach, &arts.mach, asm, &arts.asm),
     ]
@@ -159,8 +173,8 @@ mod tests {
         for seed in [2u64, 9, 31] {
             let (m, ge) = gen_module(seed, &GenCfg::default());
             let arts = compile_with_artifacts(&m).expect("compiles");
-            let r = verify_end_to_end(&arts, &ge, "f")
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let r =
+                verify_end_to_end(&arts, &ge, "f").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(!r.truncated);
         }
     }
@@ -183,8 +197,16 @@ mod tests {
             };
             let lang = crate::rtl::RtlLang;
             check_module_sim(
-                &ModuleCtx { lang: &lang, module: &arts.rtl_renumber, ge: &ge },
-                &ModuleCtx { lang: &lang, module: &opt_rtl, ge: &ge },
+                &ModuleCtx {
+                    lang: &lang,
+                    module: &arts.rtl_renumber,
+                    ge: &ge,
+                },
+                &ModuleCtx {
+                    lang: &lang,
+                    module: &opt_rtl,
+                    ge: &ge,
+                },
                 &mu,
                 "f",
                 &[],
@@ -234,8 +256,16 @@ mod tests {
         };
         let lang = ccc_clight::ClightLang;
         let err = check_module_sim(
-            &ModuleCtx { lang: &lang, module: &good, ge: &ge },
-            &ModuleCtx { lang: &lang, module: &bad, ge: &ge },
+            &ModuleCtx {
+                lang: &lang,
+                module: &good,
+                ge: &ge,
+            },
+            &ModuleCtx {
+                lang: &lang,
+                module: &bad,
+                ge: &ge,
+            },
             &mu,
             "f",
             &[],

@@ -66,7 +66,11 @@ impl CompcertMem {
     /// `store(b, off, v)`; fails on invalid blocks/offsets.
     #[must_use]
     pub fn store(&mut self, b: BlockId, off: u32, v: Val) -> bool {
-        match self.blocks.get_mut(&b).and_then(|c| c.get_mut(off as usize)) {
+        match self
+            .blocks
+            .get_mut(&b)
+            .and_then(|c| c.get_mut(off as usize))
+        {
             Some(slot) => {
                 *slot = v;
                 true
@@ -110,7 +114,10 @@ impl LayoutBijection {
     ///
     /// Panics if the block or the address is already mapped.
     pub fn insert(&mut self, b: BlockId, addr: Addr, size: u32) {
-        assert!(self.map.insert(b, (addr, size)).is_none(), "block mapped twice");
+        assert!(
+            self.map.insert(b, (addr, size)).is_none(),
+            "block mapped twice"
+        );
         assert!(self.rev.insert(addr, b).is_none(), "address mapped twice");
     }
 
@@ -215,7 +222,10 @@ impl TwinMemory {
     /// Loads from both sides, asserting agreement.
     pub fn load(&self, b: BlockId, off: u32) -> Option<Val> {
         let cc = self.compcert.load(b, off);
-        let fw = self.bij.to_addr(b, off).and_then(|a| self.framework.load(a));
+        let fw = self
+            .bij
+            .to_addr(b, off)
+            .and_then(|a| self.framework.load(a));
         assert_eq!(cc, fw, "models disagree on load at {b:?}+{off}");
         cc
     }
@@ -317,7 +327,9 @@ mod tests {
         let mut blocks = Vec::new();
         let mut x: u64 = 0x12345;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u32
         };
         for step in 0..200 {

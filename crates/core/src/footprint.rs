@@ -117,7 +117,8 @@ impl Footprint {
     /// other's locations.
     pub fn conflicts(&self, other: &Footprint) -> bool {
         let meets = |ws: &AddrSet, other: &Footprint| {
-            ws.iter().any(|a| other.rs.contains(a) || other.ws.contains(a))
+            ws.iter()
+                .any(|a| other.rs.contains(a) || other.ws.contains(a))
         };
         meets(&self.ws, other) || meets(&other.ws, self)
     }
@@ -186,7 +187,12 @@ pub fn mem_eq_on<'a>(m1: &Memory, m2: &Memory, s: impl IntoIterator<Item = &'a A
 /// most `δ.ws` — memory outside the write set is unchanged — and any newly
 /// allocated addresses come from the free list `F` and appear in the write
 /// set.
-pub fn leffect(pre: &Memory, post: &Memory, fp: &Footprint, in_flist: impl Fn(Addr) -> bool) -> bool {
+pub fn leffect(
+    pre: &Memory,
+    post: &Memory,
+    fp: &Footprint,
+    in_flist: impl Fn(Addr) -> bool,
+) -> bool {
     // σ1 ==dom(σ1) − δ.ws== σ2
     let untouched = pre
         .dom()
@@ -207,7 +213,10 @@ pub fn leq_pre(m1: &Memory, m2: &Memory, fp: &Footprint, in_flist: impl Fn(Addr)
     let avail_eq = |a: Addr| m1.contains(a) == m2.contains(a);
     mem_eq_on(m1, m2, &fp.rs)
         && fp.ws.iter().all(|&a| avail_eq(a))
-        && dom_union(m1, m2).into_iter().filter(|&a| in_flist(a)).all(avail_eq)
+        && dom_union(m1, m2)
+            .into_iter()
+            .filter(|&a| in_flist(a))
+            .all(avail_eq)
 }
 
 /// `LEqPost(σ1, σ2, δ, F)` (Fig. 6): the results agree on the write set
@@ -215,7 +224,10 @@ pub fn leq_pre(m1: &Memory, m2: &Memory, fp: &Footprint, in_flist: impl Fn(Addr)
 pub fn leq_post(m1: &Memory, m2: &Memory, fp: &Footprint, in_flist: impl Fn(Addr) -> bool) -> bool {
     let avail_eq = |a: Addr| m1.contains(a) == m2.contains(a);
     mem_eq_on(m1, m2, &fp.ws)
-        && dom_union(m1, m2).into_iter().filter(|&a| in_flist(a)).all(avail_eq)
+        && dom_union(m1, m2)
+            .into_iter()
+            .filter(|&a| in_flist(a))
+            .all(avail_eq)
 }
 
 fn dom_union(m1: &Memory, m2: &Memory) -> AddrSet {
@@ -340,8 +352,14 @@ mod tests {
     #[test]
     fn tagged_conflict_ignores_atomic_atomic() {
         let w = Footprint::write(a(1));
-        let t0 = TaggedFootprint { fp: w.clone(), bit: AtomicBit::Outside };
-        let t1 = TaggedFootprint { fp: w, bit: AtomicBit::Inside };
+        let t0 = TaggedFootprint {
+            fp: w.clone(),
+            bit: AtomicBit::Outside,
+        };
+        let t1 = TaggedFootprint {
+            fp: w,
+            bit: AtomicBit::Inside,
+        };
         assert!(t0.conflicts(&t0));
         assert!(t0.conflicts(&t1));
         assert!(!t1.conflicts(&t1));
@@ -407,7 +425,10 @@ mod tests {
     #[test]
     fn fp_match_basics() {
         let mu = Mu::identity([a(1), a(2)]);
-        let src = Footprint { rs: [a(1)].into(), ws: [a(2)].into() };
+        let src = Footprint {
+            rs: [a(1)].into(),
+            ws: [a(2)].into(),
+        };
         // Target reads what source wrote: allowed.
         let tgt = Footprint::reads([a(1), a(2)]);
         assert!(fp_match(&mu, &src, &tgt));

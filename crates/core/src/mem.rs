@@ -227,7 +227,7 @@ impl Memory {
     /// `closed(S, σ)` (Fig. 7): every pointer stored at an address in `S`
     /// again points into `S`. Instantiated with `S = dom(σ)` this is the
     /// "no wild pointers" condition `closed(σ)` of the `Load` rule.
-    pub fn closed_on<'a>(&self, s: impl Fn(Addr) -> bool) -> bool {
+    pub fn closed_on(&self, s: impl Fn(Addr) -> bool) -> bool {
         self.map.iter().all(|(&a, &v)| match v {
             Val::Ptr(p) => !s(a) || s(p),
             _ => true,
@@ -370,10 +370,7 @@ impl GlobalEnv {
     pub fn define_block(&mut self, name: impl Into<String>, words: &[Val]) -> Addr {
         let name = name.into();
         assert!(!words.is_empty(), "empty global {name}");
-        assert!(
-            !self.symbols.contains_key(&name),
-            "duplicate global {name}"
-        );
+        assert!(!self.symbols.contains_key(&name), "duplicate global {name}");
         let base = Addr(self.next);
         assert!(base.is_global(), "global region exhausted");
         for (i, &w) in words.iter().enumerate() {

@@ -121,7 +121,10 @@ impl<L: Lang> Loaded<L> {
     /// # Errors
     ///
     /// Same as [`Loaded::load_with_first`].
-    pub fn np_load_with_first(&self, first: ThreadId) -> Result<NpWorld<L>, crate::world::LoadError> {
+    pub fn np_load_with_first(
+        &self,
+        first: ThreadId,
+    ) -> Result<NpWorld<L>, crate::world::LoadError> {
         let w = self.load_with_first(first)?;
         let n = w.threads.len();
         Ok(NpWorld {
@@ -156,7 +159,12 @@ impl<L: Lang> Loaded<L> {
         }
         for ts in self.local_thread_steps(&w.threads[w.cur], &w.mem) {
             match ts {
-                ThreadStep::Internal { msg, fp, frames, mem } => match msg {
+                ThreadStep::Internal {
+                    msg,
+                    fp,
+                    frames,
+                    mem,
+                } => match msg {
                     StepMsg::Tau | StepMsg::Event(_) => {
                         let mut w2 = w.clone();
                         w2.threads[w.cur].frames = frames;
@@ -165,7 +173,11 @@ impl<L: Lang> Loaded<L> {
                             StepMsg::Event(e) => GLabel::Ev(e),
                             _ => GLabel::Tau,
                         };
-                        out.push(NpStep::Next { label, fp, world: w2 });
+                        out.push(NpStep::Next {
+                            label,
+                            fp,
+                            world: w2,
+                        });
                     }
                     StepMsg::EntAtom | StepMsg::ExtAtom => {
                         let entering = msg == StepMsg::EntAtom;
@@ -249,7 +261,10 @@ mod tests {
         assert_eq!(steps.len(), 1);
         assert!(matches!(
             steps[0],
-            NpStep::Next { label: GLabel::Tau, .. }
+            NpStep::Next {
+                label: GLabel::Tau,
+                ..
+            }
         ));
     }
 
@@ -267,7 +282,11 @@ mod tests {
         let targets: Vec<_> = steps
             .iter()
             .map(|s| match s {
-                NpStep::Next { label: GLabel::Sw, world, .. } => world.cur,
+                NpStep::Next {
+                    label: GLabel::Sw,
+                    world,
+                    ..
+                } => world.cur,
                 _ => panic!("expected switch"),
             })
             .collect();

@@ -149,7 +149,13 @@ fn accumulate_block<L: Lang>(
         let steps = loaded.local_thread_steps(&thread, &mem);
         let mut extended = false;
         for ts in steps {
-            if let ThreadStep::Internal { msg, fp, frames, mem: m } = ts {
+            if let ThreadStep::Internal {
+                msg,
+                fp,
+                frames,
+                mem: m,
+            } = ts
+            {
                 let in_block = match msg {
                     StepMsg::Tau => true,
                     StepMsg::Event(_) => through_events,
@@ -258,6 +264,49 @@ pub fn check_drf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfRep
     })
 }
 
+/// Explores all reachable preemptive worlds (bounded by
+/// `cfg.max_states`, like [`check_drf`]) and accumulates, per thread,
+/// the union of the footprints of every transition that thread takes in
+/// any explored interleaving.
+///
+/// This is the concurrent counterpart of
+/// [`run_main_traced`](crate::world::run_main_traced): the dynamic
+/// ground truth against which `ccc-analysis` validates its per-entry
+/// static footprints. The result is indexed like `prog.entries` (thread
+/// `t` ran entry `t`).
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn collect_footprints<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<Vec<Footprint>, LoadError> {
+    let mut fps = vec![Footprint::emp(); loaded.prog.entries.len()];
+    let mut visited = HashSet::new();
+    let mut stack = vec![loaded.load()?];
+    while let Some(w) = stack.pop() {
+        if !visited.insert(w.clone()) {
+            continue;
+        }
+        if visited.len() >= cfg.max_states {
+            break;
+        }
+        // Under the fused-switch semantics each successor world's `cur`
+        // is the thread that took the step, so footprints can be
+        // attributed without re-deriving the scheduler choice.
+        for step in loaded.step_preemptive_sched(&w) {
+            if let GStep::Next { fp, world, .. } = step {
+                fps[world.cur].extend(&fp);
+                if !visited.contains(&world) {
+                    stack.push(world);
+                }
+            }
+        }
+    }
+    Ok(fps)
+}
+
 /// `NPDRF(P)`: the race check over the non-preemptive semantics. Threads
 /// parked inside an atomic block (their bit in `𝕕` is 1) contribute the
 /// `τ*` suffix of their pending block as an atomic prediction.
@@ -314,7 +363,11 @@ mod tests {
     use crate::lang::Prog;
     use crate::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
 
-    fn loaded(funcs: &[(&str, Vec<ToyInstr>)], globals: &[(&str, i64)], entries: &[&str]) -> Loaded<ToyLang> {
+    fn loaded(
+        funcs: &[(&str, Vec<ToyInstr>)],
+        globals: &[(&str, i64)],
+        entries: &[&str],
+    ) -> Loaded<ToyLang> {
         let (m, _) = toy_module(funcs, &[]);
         Loaded::new(Prog::new(
             ToyLang,
@@ -325,8 +378,16 @@ mod tests {
     }
 
     fn unsync_writers() -> Loaded<ToyLang> {
-        let body = vec![ToyInstr::Const(1), ToyInstr::StoreG("x".into()), ToyInstr::Ret(0)];
-        loaded(&[("a", body.clone()), ("b", body)], &[("x", 0)], &["a", "b"])
+        let body = vec![
+            ToyInstr::Const(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::Ret(0),
+        ];
+        loaded(
+            &[("a", body.clone()), ("b", body)],
+            &[("x", 0)],
+            &["a", "b"],
+        )
     }
 
     fn atomic_writers() -> Loaded<ToyLang> {
@@ -338,7 +399,11 @@ mod tests {
             ToyInstr::ExtAtom,
             ToyInstr::Ret(0),
         ];
-        loaded(&[("a", body.clone()), ("b", body)], &[("x", 0)], &["a", "b"])
+        loaded(
+            &[("a", body.clone()), ("b", body)],
+            &[("x", 0)],
+            &["a", "b"],
+        )
     }
 
     #[test]
@@ -362,7 +427,11 @@ mod tests {
     #[test]
     fn read_read_is_not_a_race() {
         let body = vec![ToyInstr::LoadG("x".into()), ToyInstr::Ret(0)];
-        let l = loaded(&[("a", body.clone()), ("b", body)], &[("x", 0)], &["a", "b"]);
+        let l = loaded(
+            &[("a", body.clone()), ("b", body)],
+            &[("x", 0)],
+            &["a", "b"],
+        );
         let cfg = ExploreCfg::default();
         assert!(check_drf(&l, &cfg).expect("drf").is_drf());
         assert!(check_npdrf(&l, &cfg).expect("npdrf").is_drf());

@@ -341,13 +341,7 @@ fn trace_matches(t: &Trace, src: &TraceSet) -> bool {
         .any(|s| s.end == Terminal::Cut && t.events.starts_with(&s.events));
     match t.end {
         Terminal::Done | Terminal::Abort | Terminal::Diverge => cut_prefix,
-        Terminal::Cut => {
-            cut_prefix
-                || src
-                    .traces
-                    .iter()
-                    .any(|s| s.events.starts_with(&t.events))
-        }
+        Terminal::Cut => cut_prefix || src.traces.iter().any(|s| s.events.starts_with(&t.events)),
     }
 }
 
@@ -491,7 +485,13 @@ mod tests {
                 ],
             ));
         }
-        let (m, _) = toy_module(&funcs.iter().map(|(n, i)| (*n, i.clone())).collect::<Vec<_>>(), &[]);
+        let (m, _) = toy_module(
+            &funcs
+                .iter()
+                .map(|(n, i)| (*n, i.clone()))
+                .collect::<Vec<_>>(),
+            &[],
+        );
         Prog::new(ToyLang, vec![(m, toy_globals(&[]))], names)
     }
 
@@ -512,7 +512,10 @@ mod tests {
         let cfg = ExploreCfg::default();
         let p = collect_traces(&Preemptive(&l), &cfg).expect("p traces");
         let np = collect_traces(&NonPreemptive(&l), &cfg).expect("np traces");
-        assert!(trace_equiv(&p, &np), "Lem. 9 instance failed:\np: {p:?}\nnp: {np:?}");
+        assert!(
+            trace_equiv(&p, &np),
+            "Lem. 9 instance failed:\np: {p:?}\nnp: {np:?}"
+        );
     }
 
     #[test]
@@ -552,7 +555,7 @@ mod tests {
         let cfg = ExploreCfg::default();
         let big = collect_traces(&Preemptive(&l12), &cfg).expect("big");
         let small = collect_traces(&Preemptive(&l1), &cfg).expect("small");
-        assert!(trace_refines(&small, &big) == false);
+        assert!(!trace_refines(&small, &big));
         assert!(!trace_refines(&big, &small));
     }
 

@@ -114,9 +114,7 @@ pub fn map_ge(mu: &Mu, ge: &GlobalEnv) -> Option<GlobalEnv> {
 /// is closed, and the target memory is exactly the `φ`-image of the
 /// source, related by [`inv`].
 pub fn init_m(mu: &Mu, ge: &GlobalEnv, src: &Memory, tgt: &Memory) -> bool {
-    let ge_contained = ge
-        .init_iter()
-        .all(|(a, v)| src.load(a) == Some(v));
+    let ge_contained = ge.init_iter().all(|(a, v)| src.load(a) == Some(v));
     let dom_matches = {
         let img: BTreeSet<Addr> = src.dom().filter_map(|a| mu.map(a)).collect();
         let tdom: BTreeSet<Addr> = tgt.dom().collect();
@@ -156,6 +154,7 @@ pub type EnvPerturbation = dyn Fn(&mut Memory, &BTreeSet<Addr>);
 /// # Errors
 ///
 /// Returns the first violation found.
+#[allow(clippy::too_many_arguments)]
 pub fn check_reach_close<L: Lang + Clone>(
     lang: &L,
     module: &L::Module,
@@ -206,7 +205,12 @@ pub fn check_reach_close<L: Lang + Clone>(
         }
         for ts in loaded.local_thread_steps(&thread, &mem) {
             match ts {
-                ThreadStep::Internal { msg, fp, frames, mem: m } => {
+                ThreadStep::Internal {
+                    msg,
+                    fp,
+                    frames,
+                    mem: m,
+                } => {
                     if !hg(&fp, &m, &flist, &shared) {
                         return Err(RcViolation {
                             reason: "HG violated".into(),
@@ -358,13 +362,7 @@ mod tests {
         fn exports(&self, _m: &()) -> Vec<String> {
             vec!["f".into()]
         }
-        fn init_core(
-            &self,
-            _m: &(),
-            _ge: &GlobalEnv,
-            entry: &str,
-            _args: &[Val],
-        ) -> Option<u8> {
+        fn init_core(&self, _m: &(), _ge: &GlobalEnv, entry: &str, _args: &[Val]) -> Option<u8> {
             (entry == "f").then_some(0)
         }
         fn step(

@@ -153,7 +153,10 @@ impl fmt::Display for SimError {
                 write!(f, "source footprint escaped F ∪ µ.S: {fp:?}")
             }
             SimError::MsgMismatch { source, target } => {
-                write!(f, "switch-point mismatch: source {source:?}, target {target:?}")
+                write!(
+                    f,
+                    "switch-point mismatch: source {source:?}, target {target:?}"
+                )
             }
             SimError::RetMismatch { source, target } => {
                 write!(f, "return values unrelated: {source} vs {target}")
@@ -271,7 +274,7 @@ fn run_to_sync<L: Lang>(
             }
             LocalStep::Call { callee, args, cont } => {
                 *cfg.frames.last_mut().expect("live") = cont;
-                if exports.iter().any(|e| *e == callee) {
+                if exports.contains(&callee) {
                     // Intra-module call: resolved locally, stays silent.
                     match ctx.lang.init_core(ctx.module, ctx.ge, &callee, &args) {
                         Some(inner) => cfg.frames.push(inner),
@@ -288,15 +291,11 @@ fn run_to_sync<L: Lang>(
             LocalStep::Ret { val } => {
                 cfg.frames.pop();
                 match cfg.frames.last() {
-                    Some(caller) => {
-                        match ctx.lang.resume(ctx.module, caller, val) {
-                            Some(resumed) => *cfg.frames.last_mut().expect("live") = resumed,
-                            None => return RunStop::Abort,
-                        }
-                    }
-                    None => {
-                        return RunStop::Terminated { val, mem: cfg.mem }
-                    }
+                    Some(caller) => match ctx.lang.resume(ctx.module, caller, val) {
+                        Some(resumed) => *cfg.frames.last_mut().expect("live") = resumed,
+                        None => return RunStop::Abort,
+                    },
+                    None => return RunStop::Terminated { val, mem: cfg.mem },
                 }
             }
             LocalStep::Abort => return RunStop::Abort,
@@ -376,11 +375,25 @@ pub fn check_module_sim<S: Lang, T: Lang>(
         let mut src_fp = Footprint::emp();
         let mut tgt_fp = Footprint::emp();
 
-        let s_stop = run_to_sync(src, &flist, s_cfg, &mut src_fp, &mut report.src_steps, opts.fuel);
+        let s_stop = run_to_sync(
+            src,
+            &flist,
+            s_cfg,
+            &mut src_fp,
+            &mut report.src_steps,
+            opts.fuel,
+        );
         if !src_fp.within(in_scope_src) {
             return Err(SimError::SourceScope(src_fp));
         }
-        let t_stop = run_to_sync(tgt, &flist, t_cfg, &mut tgt_fp, &mut report.tgt_steps, opts.fuel);
+        let t_stop = run_to_sync(
+            tgt,
+            &flist,
+            t_cfg,
+            &mut tgt_fp,
+            &mut report.tgt_steps,
+            opts.fuel,
+        );
 
         match (s_stop, t_stop) {
             (RunStop::Nondet, _) => return Err(SimError::Nondet { source: true }),
@@ -391,15 +404,16 @@ pub fn check_module_sim<S: Lang, T: Lang>(
                 report.truncated = true;
                 return Ok(report);
             }
-            (RunStop::Terminated { .. }, RunStop::Fuel) => {
-                return Err(SimError::TargetDiverged)
-            }
+            (RunStop::Terminated { .. }, RunStop::Fuel) => return Err(SimError::TargetDiverged),
             (
                 RunStop::Terminated { val: sv, mem: sm },
                 RunStop::Terminated { val: tv, mem: tm },
             ) => {
                 if map_val(mu, sv) != Some(tv) {
-                    return Err(SimError::RetMismatch { source: sv, target: tv });
+                    return Err(SimError::RetMismatch {
+                        source: sv,
+                        target: tv,
+                    });
                 }
                 if !rg::lg(mu, &tgt_fp, &tm, &flist, &src_fp, &sm) {
                     return Err(SimError::LgFailed { src_fp, tgt_fp });
@@ -423,21 +437,32 @@ pub fn check_module_sim<S: Lang, T: Lang>(
                 return Err(SimError::TargetDiverged);
             }
             (
-                RunStop::Sync { kind: sk, cfg: mut s2, pending_call: s_call },
-                RunStop::Sync { kind: tk, cfg: mut t2, pending_call: t_call },
+                RunStop::Sync {
+                    kind: sk,
+                    cfg: mut s2,
+                    pending_call: s_call,
+                },
+                RunStop::Sync {
+                    kind: tk,
+                    cfg: mut t2,
+                    pending_call: t_call,
+                },
             ) => {
                 // Messages must match (arguments modulo µ).
                 let args_match = match (&sk, &tk) {
                     (
-                        SyncKind::Call { callee: sc, args: sa },
-                        SyncKind::Call { callee: tc, args: ta },
+                        SyncKind::Call {
+                            callee: sc,
+                            args: sa,
+                        },
+                        SyncKind::Call {
+                            callee: tc,
+                            args: ta,
+                        },
                     ) => {
                         sc == tc
                             && sa.len() == ta.len()
-                            && sa
-                                .iter()
-                                .zip(ta)
-                                .all(|(&a, &b)| map_val(mu, a) == Some(b))
+                            && sa.iter().zip(ta).all(|(&a, &b)| map_val(mu, a) == Some(b))
                     }
                     _ => sk == tk,
                 };
@@ -528,8 +553,16 @@ mod tests {
         ]
     }
 
-    fn ctx<'a>(lang: &'a ToyLang, m: &'a crate::toy::ToyModule, ge: &'a GlobalEnv) -> ModuleCtx<'a, ToyLang> {
-        ModuleCtx { lang, module: m, ge }
+    fn ctx<'a>(
+        lang: &'a ToyLang,
+        m: &'a crate::toy::ToyModule,
+        ge: &'a GlobalEnv,
+    ) -> ModuleCtx<'a, ToyLang> {
+        ModuleCtx {
+            lang,
+            module: m,
+            ge,
+        }
     }
 
     #[test]

@@ -87,7 +87,10 @@ pub struct ToyLang;
 /// assert!(ge.lookup("x").is_some());
 /// assert!(module.funcs.contains_key("main"));
 /// ```
-pub fn toy_module(funcs: &[(&str, Vec<ToyInstr>)], globals: &[(&str, i64)]) -> (ToyModule, GlobalEnv) {
+pub fn toy_module(
+    funcs: &[(&str, Vec<ToyInstr>)],
+    globals: &[(&str, i64)],
+) -> (ToyModule, GlobalEnv) {
     let mut ge = GlobalEnv::new();
     for &(name, v) in globals {
         ge.define(name, Val::Int(v));
@@ -319,14 +322,21 @@ pub fn toy_globals(globals: &[(&str, i64)]) -> GlobalEnv {
 mod tests {
     use super::*;
 
-    fn run_to_ret(module: &ToyModule, ge: &GlobalEnv, entry: &str, mem: &mut Memory) -> Option<Val> {
+    fn run_to_ret(
+        module: &ToyModule,
+        ge: &GlobalEnv,
+        entry: &str,
+        mem: &mut Memory,
+    ) -> Option<Val> {
         let lang = ToyLang;
         let fl = FreeList::for_thread(0);
         let mut core = lang.init_core(module, ge, entry, &[])?;
         for _ in 0..1000 {
             let steps = lang.step(module, ge, &fl, &core, mem);
             match steps.into_iter().next()? {
-                LocalStep::Step { core: c, mem: m, .. } => {
+                LocalStep::Step {
+                    core: c, mem: m, ..
+                } => {
                     core = c;
                     *mem = m;
                 }
@@ -354,7 +364,10 @@ mod tests {
             &[],
         );
         let mut mem = ge.initial_memory();
-        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(7)));
+        assert_eq!(
+            run_to_ret(&module, &ge, "main", &mut mem),
+            Some(Val::Int(7))
+        );
     }
 
     #[test]
@@ -373,7 +386,10 @@ mod tests {
         );
         let ge = GlobalEnv::new();
         let mut mem = Memory::new();
-        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(0)));
+        assert_eq!(
+            run_to_ret(&module, &ge, "main", &mut mem),
+            Some(Val::Int(0))
+        );
     }
 
     #[test]
@@ -394,7 +410,10 @@ mod tests {
         );
         let ge = GlobalEnv::new();
         let mut mem = Memory::new();
-        assert_eq!(run_to_ret(&module, &ge, "main", &mut mem), Some(Val::Int(5)));
+        assert_eq!(
+            run_to_ret(&module, &ge, "main", &mut mem),
+            Some(Val::Int(5))
+        );
         // The allocated cell lives in thread 0's free list region.
         let fl = FreeList::for_thread(0);
         assert!(mem.dom().all(|a| fl.contains(a)));
@@ -413,7 +432,13 @@ mod tests {
 
     #[test]
     fn load_of_unallocated_global_aborts() {
-        let (module, _) = toy_module(&[("main", vec![ToyInstr::LoadG("nope".into()), ToyInstr::RetAcc])], &[]);
+        let (module, _) = toy_module(
+            &[(
+                "main",
+                vec![ToyInstr::LoadG("nope".into()), ToyInstr::RetAcc],
+            )],
+            &[],
+        );
         let lang = ToyLang;
         let ge = GlobalEnv::new();
         let core = lang.init_core(&module, &ge, "main", &[]).expect("init");

@@ -54,14 +54,8 @@ pub struct WdReport {
 
 /// Memory perturbations used for items (3) and (4): ways of building a
 /// `σ1` that is `LEqPre`-equivalent to `σ` for a given footprint.
-fn perturb_outside(
-    mem: &Memory,
-    protect: &Footprint,
-    flist: &FreeList,
-) -> Vec<Memory> {
-    let keep = |a: Addr| {
-        protect.rs.contains(&a) || protect.ws.contains(&a) || flist.contains(a)
-    };
+fn perturb_outside(mem: &Memory, protect: &Footprint, flist: &FreeList) -> Vec<Memory> {
+    let keep = |a: Addr| protect.rs.contains(&a) || protect.ws.contains(&a) || flist.contains(a);
     let mut out = Vec::new();
     // (a) Scramble the value of every unprotected cell.
     let mut scrambled = mem.clone();
@@ -102,12 +96,30 @@ fn perturb_outside(
 fn same_step_shape<C: PartialEq>(a: &LocalStep<C>, b: &LocalStep<C>) -> bool {
     match (a, b) {
         (
-            LocalStep::Step { msg: m1, fp: f1, core: c1, .. },
-            LocalStep::Step { msg: m2, fp: f2, core: c2, .. },
+            LocalStep::Step {
+                msg: m1,
+                fp: f1,
+                core: c1,
+                ..
+            },
+            LocalStep::Step {
+                msg: m2,
+                fp: f2,
+                core: c2,
+                ..
+            },
         ) => m1 == m2 && f1 == f2 && c1 == c2,
         (
-            LocalStep::Call { callee: n1, args: a1, cont: c1 },
-            LocalStep::Call { callee: n2, args: a2, cont: c2 },
+            LocalStep::Call {
+                callee: n1,
+                args: a1,
+                cont: c1,
+            },
+            LocalStep::Call {
+                callee: n2,
+                args: a2,
+                cont: c2,
+            },
         ) => n1 == n2 && a1 == a2 && c1 == c2,
         (LocalStep::Ret { val: v1 }, LocalStep::Ret { val: v2 }) => v1 == v2,
         (LocalStep::Abort, LocalStep::Abort) => true,
@@ -168,7 +180,10 @@ pub fn check_wd<L: Lang>(
         // Items (1) and (2) on every outcome, and collect δ0 for item (4).
         let mut delta0 = Footprint::emp();
         for s in &steps {
-            if let LocalStep::Step { msg, fp, mem: post, .. } = s {
+            if let LocalStep::Step {
+                msg, fp, mem: post, ..
+            } = s
+            {
                 report.steps += 1;
                 if !forward(&mem, post) {
                     return Err(WdViolation {
@@ -194,7 +209,13 @@ pub fn check_wd<L: Lang>(
         // Item (3): each Step outcome must be reproducible on an
         // LEqPre-equivalent memory.
         for s in &steps {
-            let LocalStep::Step { msg, fp, core: c2, mem: post } = s else {
+            let LocalStep::Step {
+                msg,
+                fp,
+                core: c2,
+                mem: post,
+            } = s
+            else {
                 continue;
             };
             for m1 in perturb_outside(&mem, fp, &flist) {
@@ -204,7 +225,13 @@ pub fn check_wd<L: Lang>(
                 report.perturbed_runs += 1;
                 let steps1 = lang.step(module, ge, &flist, &core, &m1);
                 let matched = steps1.iter().any(|s1| {
-                    if let LocalStep::Step { msg: m2, fp: f2, core: cc, mem: post1 } = s1 {
+                    if let LocalStep::Step {
+                        msg: m2,
+                        fp: f2,
+                        core: cc,
+                        mem: post1,
+                    } = s1
+                    {
                         m2 == msg
                             && f2 == fp
                             && cc == c2
@@ -243,8 +270,18 @@ pub fn check_wd<L: Lang>(
                         || matches!(s1, LocalStep::Step { .. })
                             && steps.iter().any(|s| match (s, s1) {
                                 (
-                                    LocalStep::Step { msg: m, fp: f, core: c, .. },
-                                    LocalStep::Step { msg: m1, fp: f1, core: c1, .. },
+                                    LocalStep::Step {
+                                        msg: m,
+                                        fp: f,
+                                        core: c,
+                                        ..
+                                    },
+                                    LocalStep::Step {
+                                        msg: m1,
+                                        fp: f1,
+                                        core: c1,
+                                        ..
+                                    },
                                 ) => m == m1 && f == f1 && c == c1,
                                 _ => false,
                             });
@@ -353,8 +390,15 @@ mod tests {
             )],
             &[],
         );
-        let report = check_wd(&ToyLang, &m, &ge, "f", &ge.initial_memory(), &ExploreCfg::default())
-            .expect("toy is well-defined");
+        let report = check_wd(
+            &ToyLang,
+            &m,
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        )
+        .expect("toy is well-defined");
         assert!(report.configs >= 10);
         assert!(report.perturbed_runs > 0);
     }
@@ -363,7 +407,14 @@ mod tests {
     fn det_flags_choice() {
         let ge = toy_globals(&[]);
         let (m, _) = toy_module(&[("f", vec![ToyInstr::Choice, ToyInstr::RetAcc])], &[]);
-        let err = check_det(&ToyLang, &m, &ge, "f", &ge.initial_memory(), &ExploreCfg::default());
+        let err = check_det(
+            &ToyLang,
+            &m,
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        );
         assert!(err.is_err());
     }
 
@@ -371,11 +422,25 @@ mod tests {
     fn det_accepts_straightline() {
         let ge = toy_globals(&[("x", 0)]);
         let (m, _) = toy_module(
-            &[("f", vec![ToyInstr::Const(1), ToyInstr::StoreG("x".into()), ToyInstr::Ret(0)])],
+            &[(
+                "f",
+                vec![
+                    ToyInstr::Const(1),
+                    ToyInstr::StoreG("x".into()),
+                    ToyInstr::Ret(0),
+                ],
+            )],
             &[],
         );
-        let n = check_det(&ToyLang, &m, &ge, "f", &ge.initial_memory(), &ExploreCfg::default())
-            .expect("deterministic");
+        let n = check_det(
+            &ToyLang,
+            &m,
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        )
+        .expect("deterministic");
         assert!(n >= 3);
     }
 
@@ -430,8 +495,15 @@ mod tests {
     #[test]
     fn lying_language_is_caught() {
         let ge = toy_globals(&[("x", 1)]);
-        let err = check_wd(&LyingLang, &(), &ge, "f", &ge.initial_memory(), &ExploreCfg::default())
-            .expect_err("must be flagged");
+        let err = check_wd(
+            &LyingLang,
+            &(),
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        )
+        .expect_err("must be flagged");
         assert_eq!(err.item, 2);
     }
 
@@ -487,8 +559,15 @@ mod tests {
     #[test]
     fn peeking_language_is_caught() {
         let ge = toy_globals(&[("x", 1)]);
-        let err = check_wd(&PeekingLang, &(), &ge, "f", &ge.initial_memory(), &ExploreCfg::default())
-            .expect_err("must be flagged");
+        let err = check_wd(
+            &PeekingLang,
+            &(),
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        )
+        .expect_err("must be flagged");
         assert!(err.item == 3 || err.item == 4, "{err}");
     }
 }

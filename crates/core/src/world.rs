@@ -402,7 +402,12 @@ impl<L: Lang> Loaded<L> {
         let mut out = Vec::new();
         for local in locals {
             match local {
-                LocalStep::Step { msg, fp, core, mem: m } => {
+                LocalStep::Step {
+                    msg,
+                    fp,
+                    core,
+                    mem: m,
+                } => {
                     // Rules EntAt/ExtAt require an empty footprint and
                     // unchanged memory.
                     if matches!(msg, StepMsg::EntAtom | StepMsg::ExtAtom)
@@ -413,7 +418,12 @@ impl<L: Lang> Loaded<L> {
                     }
                     let mut frames = thread.frames.clone();
                     frames.last_mut().expect("live").core = core;
-                    out.push(ThreadStep::Internal { msg, fp, frames, mem: m });
+                    out.push(ThreadStep::Internal {
+                        msg,
+                        fp,
+                        frames,
+                        mem: m,
+                    });
                 }
                 LocalStep::Call { callee, args, cont } => {
                     let Some(midx) = self.resolve(&callee) else {
@@ -473,7 +483,12 @@ impl<L: Lang> Loaded<L> {
         let mut out = Vec::new();
         for ts in self.local_thread_steps(&w.threads[w.cur], &w.mem) {
             match ts {
-                ThreadStep::Internal { msg, fp, frames, mem } => {
+                ThreadStep::Internal {
+                    msg,
+                    fp,
+                    frames,
+                    mem,
+                } => {
                     let (label, atom) = match msg {
                         StepMsg::Tau => (GLabel::Tau, w.atom),
                         StepMsg::Event(e) => (GLabel::Ev(e), w.atom),
@@ -496,7 +511,11 @@ impl<L: Lang> Loaded<L> {
                     w2.threads[w.cur].frames = frames;
                     w2.mem = mem;
                     w2.atom = atom;
-                    out.push(GStep::Next { label, fp, world: w2 });
+                    out.push(GStep::Next {
+                        label,
+                        fp,
+                        world: w2,
+                    });
                 }
                 ThreadStep::Terminated => {
                     let mut w2 = w.clone();
@@ -608,7 +627,9 @@ pub fn run_schedule<L: Lang>(
         }
         let idx = pick(choices.len()) % choices.len();
         match choices.into_iter().nth(idx).expect("index in range") {
-            GStep::Next { label, world: w2, .. } => {
+            GStep::Next {
+                label, world: w2, ..
+            } => {
                 if let GLabel::Ev(e) = label {
                     events.push(e);
                 }
@@ -633,7 +654,10 @@ pub fn run_schedule<L: Lang>(
 /// Runs the program under a deterministic round-robin-ish schedule: the
 /// first enabled alternative is always taken (the current thread runs to
 /// completion before any switch, since switches are enumerated last).
-pub fn run_sequential<L: Lang>(loaded: &Loaded<L>, max_steps: usize) -> Result<RunResult, LoadError> {
+pub fn run_sequential<L: Lang>(
+    loaded: &Loaded<L>,
+    max_steps: usize,
+) -> Result<RunResult, LoadError> {
     let w = loaded.load()?;
     Ok(run_schedule(loaded, w, max_steps, |_| 0))
 }
@@ -657,7 +681,12 @@ pub fn run_main<L: Lang>(
     for _ in 0..max_steps {
         let steps = lang.step(module, ge, &fl, &core, &mem);
         match steps.into_iter().next()? {
-            LocalStep::Step { msg, core: c, mem: m, .. } => {
+            LocalStep::Step {
+                msg,
+                core: c,
+                mem: m,
+                ..
+            } => {
                 if let StepMsg::Event(e) = msg {
                     events.push(e);
                 }
@@ -673,6 +702,58 @@ pub fn run_main<L: Lang>(
             LocalStep::Ret { val } => match stack.pop() {
                 Some(cont) => core = lang.resume(module, &cont, val)?,
                 None => return Some((val, mem, events)),
+            },
+            LocalStep::Abort => return None,
+        }
+    }
+    None
+}
+
+/// Like [`run_main`], but also accumulates the union of the footprints of
+/// every local step taken — the *dynamic* memory footprint of the run.
+///
+/// This is the ground truth against which `ccc-analysis` validates its
+/// static footprint inference: for any run that terminates normally, the
+/// returned footprint must be contained in the statically inferred
+/// over-approximation.
+pub fn run_main_traced<L: Lang>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    entry: &str,
+    args: &[Val],
+    max_steps: usize,
+) -> Option<(Val, Memory, Vec<Event>, Footprint)> {
+    let mut mem = ge.initial_memory();
+    let fl = FreeList::for_thread(0);
+    let mut core = lang.init_core(module, ge, entry, args)?;
+    let mut events = Vec::new();
+    let mut trace = Footprint::emp();
+    let mut stack: Vec<L::Core> = Vec::new();
+    for _ in 0..max_steps {
+        let steps = lang.step(module, ge, &fl, &core, &mem);
+        match steps.into_iter().next()? {
+            LocalStep::Step {
+                msg,
+                fp,
+                core: c,
+                mem: m,
+            } => {
+                if let StepMsg::Event(e) = msg {
+                    events.push(e);
+                }
+                trace.extend(&fp);
+                core = c;
+                mem = m;
+            }
+            LocalStep::Call { callee, args, cont } => {
+                let c = lang.init_core(module, ge, &callee, &args)?;
+                stack.push(cont);
+                core = c;
+            }
+            LocalStep::Ret { val } => match stack.pop() {
+                Some(cont) => core = lang.resume(module, &cont, val)?,
+                None => return Some((val, mem, events, trace)),
             },
             LocalStep::Abort => return None,
         }
@@ -723,27 +804,42 @@ mod tests {
         let w = loaded.load().expect("load");
         // Initially (d=0) there is a switch among the steps.
         let steps = loaded.step_preemptive(&w);
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, GStep::Next { label: GLabel::Sw, .. })));
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            GStep::Next {
+                label: GLabel::Sw,
+                ..
+            }
+        )));
         // Take the EntAtom step; afterwards no switch is offered.
         let w2 = steps
             .into_iter()
             .find_map(|s| match s {
-                GStep::Next { label: GLabel::Tau, world, .. } if world.atom => Some(world),
+                GStep::Next {
+                    label: GLabel::Tau,
+                    world,
+                    ..
+                } if world.atom => Some(world),
                 _ => None,
             })
             .expect("EntAtom step");
         let steps2 = loaded.step_preemptive(&w2);
-        assert!(steps2
-            .iter()
-            .all(|s| !matches!(s, GStep::Next { label: GLabel::Sw, .. })));
+        assert!(steps2.iter().all(|s| !matches!(
+            s,
+            GStep::Next {
+                label: GLabel::Sw,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn nested_atomic_aborts() {
         let (m, _) = toy_module(
-            &[("t", vec![ToyInstr::EntAtom, ToyInstr::EntAtom, ToyInstr::Ret(0)])],
+            &[(
+                "t",
+                vec![ToyInstr::EntAtom, ToyInstr::EntAtom, ToyInstr::Ret(0)],
+            )],
             &[],
         );
         let prog = Prog::new(ToyLang, vec![(m, GlobalEnv::new())], ["t"]);
@@ -755,7 +851,14 @@ mod tests {
     #[test]
     fn cross_module_call_and_return() {
         let (m1, _) = toy_module(
-            &[("main", vec![ToyInstr::Call("get7".into()), ToyInstr::Print, ToyInstr::RetAcc])],
+            &[(
+                "main",
+                vec![
+                    ToyInstr::Call("get7".into()),
+                    ToyInstr::Print,
+                    ToyInstr::RetAcc,
+                ],
+            )],
             &[],
         );
         let (m2, _) = toy_module(&[("get7", vec![ToyInstr::Ret(7)])], &[]);

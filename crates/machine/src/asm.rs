@@ -282,7 +282,11 @@ impl AsmModule {
 impl fmt::Display for AsmModule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, func) in &self.funcs {
-            writeln!(f, "{name}:  # frame={} arity={}", func.frame_slots, func.arity)?;
+            writeln!(
+                f,
+                "{name}:  # frame={} arity={}",
+                func.frame_slots, func.arity
+            )?;
             for i in &func.code {
                 writeln!(f, "{i}")?;
             }

@@ -167,12 +167,7 @@ fn first_free_block(flist: &FreeList, view: &dyn MemView, words: u64) -> Addr {
     }
 }
 
-fn mem_addr(
-    m: &MemArg,
-    core: &X86Core,
-    f: &AsmFunc,
-    ge: &GlobalEnv,
-) -> Option<Addr> {
+fn mem_addr(m: &MemArg, core: &X86Core, f: &AsmFunc, ge: &GlobalEnv) -> Option<Addr> {
     match m {
         MemArg::Stack(slot) => {
             if *slot >= f.frame_slots {
@@ -305,8 +300,13 @@ pub(crate) fn step_instr(
             next.set_reg(r, Val::Ptr(a));
             Outcome::Next(next)
         }
-        Instr::Add(r, o) | Instr::Sub(r, o) | Instr::Imul(r, o) | Instr::Idiv(r, o)
-        | Instr::And(r, o) | Instr::Or(r, o) | Instr::Xor(r, o) => {
+        Instr::Add(r, o)
+        | Instr::Sub(r, o)
+        | Instr::Imul(r, o)
+        | Instr::Idiv(r, o)
+        | Instr::And(r, o)
+        | Instr::Or(r, o)
+        | Instr::Xor(r, o) => {
             let Some(v) = alu(&instr, core.reg(r), operand(o, core)) else {
                 return Outcome::Abort;
             };
@@ -419,10 +419,16 @@ pub(crate) fn step_instr(
                 if !view.store_direct(a, core.reg(r)) {
                     return Outcome::Abort;
                 }
-                next.flags = Some(Flags { eq: true, lt: false });
+                next.flags = Some(Flags {
+                    eq: true,
+                    lt: false,
+                });
             } else {
                 next.set_reg(Reg::Eax, cur);
-                next.flags = Some(Flags { eq: false, lt: false });
+                next.flags = Some(Flags {
+                    eq: false,
+                    lt: false,
+                });
             }
             Outcome::Next(next)
         }

@@ -94,11 +94,7 @@ impl Lang for X86Sc {
                 core: c,
                 mem: view.mem,
             }],
-            Outcome::CallExt { callee, args, cont } => vec![LocalStep::Call {
-                callee,
-                args,
-                cont,
-            }],
+            Outcome::CallExt { callee, args, cont } => vec![LocalStep::Call { callee, args, cont }],
             Outcome::Done(v) => vec![LocalStep::Ret { val: v }],
             Outcome::Abort => vec![LocalStep::Abort],
         }
@@ -202,7 +198,11 @@ mod tests {
     fn out_of_frame_slot_aborts() {
         let m = AsmModule::new([(
             "f",
-            func(vec![Instr::Store(MemArg::Stack(5), Operand::Imm(1)), Instr::Ret], 2, 0),
+            func(
+                vec![Instr::Store(MemArg::Stack(5), Operand::Imm(1)), Instr::Ret],
+                2,
+                0,
+            ),
         )]);
         let ge = GlobalEnv::new();
         assert!(run_main(&X86Sc, &m, &ge, "f", &[], 100).is_none());
@@ -294,7 +294,15 @@ mod tests {
     fn jcc_on_undefined_flags_aborts() {
         let m = AsmModule::new([(
             "f",
-            func(vec![Instr::Jcc(Cond::E, "x".into()), Instr::Label("x".into()), Instr::Ret], 0, 0),
+            func(
+                vec![
+                    Instr::Jcc(Cond::E, "x".into()),
+                    Instr::Label("x".into()),
+                    Instr::Ret,
+                ],
+                0,
+                0,
+            ),
         )]);
         let ge = GlobalEnv::new();
         assert!(run_main(&X86Sc, &m, &ge, "f", &[], 100).is_none());

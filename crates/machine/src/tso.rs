@@ -145,13 +145,19 @@ impl Lang for X86Tso {
                 Outcome::Next(c) => out.push(LocalStep::Step {
                     msg: StepMsg::Tau,
                     fp: view.fp,
-                    core: TsoCore { core: c, buf: view.buf },
+                    core: TsoCore {
+                        core: c,
+                        buf: view.buf,
+                    },
                     mem: view.mem,
                 }),
                 Outcome::Event(c, e) => out.push(LocalStep::Step {
                     msg: StepMsg::Event(e),
                     fp: view.fp,
-                    core: TsoCore { core: c, buf: view.buf },
+                    core: TsoCore {
+                        core: c,
+                        buf: view.buf,
+                    },
                     mem: view.mem,
                 }),
                 Outcome::CallExt { callee, args, cont } => out.push(LocalStep::Call {
@@ -199,7 +205,10 @@ mod tests {
     ///   thread 1: y := 1; print(x)
     /// Under SC the outcome print(0)/print(0) is impossible; under TSO
     /// it is observable — both stores sit in the buffers past the loads.
-    fn sb_program<L: Lang + Clone>(lang: L, module_of: impl Fn(AsmModule) -> L::Module) -> Loaded<L> {
+    fn sb_program<L: Lang + Clone>(
+        lang: L,
+        module_of: impl Fn(AsmModule) -> L::Module,
+    ) -> Loaded<L> {
         let mut ge = GlobalEnv::new();
         ge.define("x", Val::Int(0));
         ge.define("y", Val::Int(0));
@@ -229,10 +238,10 @@ mod tests {
 
     fn has_zero_zero(traces: &ccc_core::refine::TraceSet) -> bool {
         use ccc_core::lang::Event;
-        traces.traces.iter().any(|t| {
-            t.end == Terminal::Done
-                && t.events == vec![Event::Print(0), Event::Print(0)]
-        })
+        traces
+            .traces
+            .iter()
+            .any(|t| t.end == Terminal::Done && t.events == vec![Event::Print(0), Event::Print(0)])
     }
 
     #[test]
@@ -240,11 +249,17 @@ mod tests {
         let cfg = ExploreCfg::default();
         let sc = sb_program(crate::sc::X86Sc, |m| m);
         let sc_traces = collect_traces(&Preemptive(&sc), &cfg).expect("sc traces");
-        assert!(!has_zero_zero(&sc_traces), "0/0 must be impossible under SC");
+        assert!(
+            !has_zero_zero(&sc_traces),
+            "0/0 must be impossible under SC"
+        );
 
         let tso = sb_program(X86Tso, |m| m);
         let tso_traces = collect_traces(&Preemptive(&tso), &cfg).expect("tso traces");
-        assert!(has_zero_zero(&tso_traces), "0/0 must be observable under TSO");
+        assert!(
+            has_zero_zero(&tso_traces),
+            "0/0 must be observable under TSO"
+        );
     }
 
     #[test]
@@ -296,12 +311,11 @@ mod tests {
         // Drive the instruction alternative (never flush) until Ret.
         for _ in 0..10 {
             let steps = lang.step(&m, &ge, &fl, &core, &mem);
-            let instr_step = steps
-                .into_iter()
-                .last()
-                .expect("a step");
+            let instr_step = steps.into_iter().last().expect("a step");
             match instr_step {
-                LocalStep::Step { core: c, mem: m2, .. } => {
+                LocalStep::Step {
+                    core: c, mem: m2, ..
+                } => {
                     core = c;
                     mem = m2;
                 }
@@ -336,7 +350,12 @@ mod tests {
         let mem = ge.initial_memory();
         // Execute the store (instruction alternative).
         let steps = lang.step(&m, &ge, &fl, &core, &mem);
-        let LocalStep::Step { core: c1, mem: m1, fp, .. } = steps.into_iter().last().expect("step")
+        let LocalStep::Step {
+            core: c1,
+            mem: m1,
+            fp,
+            ..
+        } = steps.into_iter().last().expect("step")
         else {
             panic!("expected step");
         };
@@ -345,7 +364,12 @@ mod tests {
         // Now at Ret with non-empty buffer: the only alternative is a flush.
         let steps = lang.step(&m, &ge, &fl, &c1, &m1);
         assert_eq!(steps.len(), 1);
-        let LocalStep::Step { fp, mem: m2, core: c2, .. } = steps.into_iter().next().expect("flush")
+        let LocalStep::Step {
+            fp,
+            mem: m2,
+            core: c2,
+            ..
+        } = steps.into_iter().next().expect("flush")
         else {
             panic!("expected flush step");
         };
@@ -374,7 +398,14 @@ mod tests {
                 0,
             ),
         )]);
-        check_wd(&X86Tso, &m, &ge, "f", &ge.initial_memory(), &ExploreCfg::default())
-            .expect("wd(x86-TSO)");
+        check_wd(
+            &X86Tso,
+            &m,
+            &ge,
+            "f",
+            &ge.initial_memory(),
+            &ExploreCfg::default(),
+        )
+        .expect("wd(x86-TSO)");
     }
 }

@@ -144,7 +144,10 @@ proptest! {
 #[test]
 fn flags_struct_is_consistent_with_integer_order() {
     use ccc_machine::Flags;
-    let f = Flags { eq: false, lt: true };
+    let f = Flags {
+        eq: false,
+        lt: true,
+    };
     assert!(f.cond(Cond::L) && f.cond(Cond::Le) && f.cond(Cond::Ne));
     assert!(!f.cond(Cond::G) && !f.cond(Cond::Ge) && !f.cond(Cond::E));
 }

@@ -21,9 +21,7 @@ use ccc_cimp::{CImpLang, CImpModule};
 use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
 use ccc_core::mem::GlobalEnv;
 use ccc_core::race::check_drf;
-use ccc_core::refine::{
-    check_safe, collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive,
-};
+use ccc_core::refine::{check_safe, collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive};
 use ccc_core::world::{LoadError, Loaded};
 use ccc_machine::{AsmModule, X86Sc, X86Tso};
 
@@ -87,8 +85,7 @@ pub fn build_ptso(
     let linked = clients
         .link(&obj.impl_asm)
         .ok_or(LoadError::IncompatibleGlobalEnvs)?;
-    let ge = GlobalEnv::link([client_ge, &obj.impl_ge])
-        .ok_or(LoadError::IncompatibleGlobalEnvs)?;
+    let ge = GlobalEnv::link([client_ge, &obj.impl_ge]).ok_or(LoadError::IncompatibleGlobalEnvs)?;
     Loaded::new(Prog::new(X86Tso, vec![(linked, ge)], entries.to_vec()))
 }
 

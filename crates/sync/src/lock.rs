@@ -112,10 +112,7 @@ pub fn lock_impl(lock_global: &str) -> (AsmModule, GlobalEnv) {
         arity: 0,
     };
 
-    (
-        AsmModule::new([("lock", lock), ("unlock", unlock)]),
-        ge,
-    )
+    (AsmModule::new([("lock", lock), ("unlock", unlock)]), ge)
 }
 
 /// Builds the lock-synchronized counter client of Fig. 10(c):
@@ -191,9 +188,8 @@ mod tests {
             fuel: 200,
             ..Default::default()
         };
-        let safety =
-            ccc_core::refine::check_safe(&ccc_core::refine::Preemptive(&loaded), &cfg)
-                .expect("explore");
+        let safety = ccc_core::refine::check_safe(&ccc_core::refine::Preemptive(&loaded), &cfg)
+            .expect("explore");
         assert!(safety.safe, "mutual exclusion violated");
         assert!(!safety.truncated);
     }
@@ -226,16 +222,19 @@ mod tests {
         };
         let clients = AsmModule::new([("t1", client(1)), ("t2", client(2))]);
         let linked = clients.link(&lockm).expect("links");
-        let prog = Prog::new(X86Tso, vec![(linked, GlobalEnv::link([&ge, &lock_ge]).unwrap())], ["t1", "t2"]);
+        let prog = Prog::new(
+            X86Tso,
+            vec![(linked, GlobalEnv::link([&ge, &lock_ge]).unwrap())],
+            ["t1", "t2"],
+        );
         let loaded = Loaded::new(prog).expect("load");
         let cfg = ExploreCfg {
             fuel: 400,
             max_states: 3_000_000,
             ..Default::default()
         };
-        let safety =
-            ccc_core::refine::check_safe(&ccc_core::refine::Preemptive(&loaded), &cfg)
-                .expect("explore");
+        let safety = ccc_core::refine::check_safe(&ccc_core::refine::Preemptive(&loaded), &cfg)
+            .expect("explore");
         assert!(safety.safe, "TSO mutual exclusion violated");
     }
 
@@ -299,9 +298,8 @@ mod tests {
             max_states: 3_000_000,
             ..Default::default()
         };
-        let sc_traces =
-            ccc_core::refine::collect_traces(&ccc_core::refine::Preemptive(&psc), &cfg)
-                .expect("sc traces");
+        let sc_traces = ccc_core::refine::collect_traces(&ccc_core::refine::Preemptive(&psc), &cfg)
+            .expect("sc traces");
         let tso_traces =
             ccc_core::refine::collect_traces(&ccc_core::refine::Preemptive(&ptso), &cfg)
                 .expect("tso traces");

@@ -33,10 +33,7 @@ fn stack_ge() -> GlobalEnv {
     let mut ge = GlobalEnv::with_base(STACK_GLOBALS_BASE);
     ge.define("stack_head", Val::Int(0));
     ge.define("stack_alloc", Val::Int(0));
-    ge.define_block(
-        "stack_nodes",
-        &vec![Val::Int(0); (2 * CAPACITY) as usize],
-    );
+    ge.define_block("stack_nodes", &vec![Val::Int(0); (2 * CAPACITY) as usize]);
     ge
 }
 
@@ -109,10 +106,7 @@ pub fn stack_spec() -> (CImpModule, GlobalEnv) {
         ..pop
     };
 
-    (
-        CImpModule::new([("push", push), ("pop", pop)]),
-        stack_ge(),
-    )
+    (CImpModule::new([("push", push), ("pop", pop)]), stack_ge())
 }
 
 /// The lock-free x86 Treiber stack `π_stack`.
@@ -308,8 +302,8 @@ mod tests {
             max_states: 4_000_000,
             ..Default::default()
         };
-        let report = check_drf_guarantee(&clients, &ge, &entries, &stack_object(), &cfg)
-            .expect("checks");
+        let report =
+            check_drf_guarantee(&clients, &ge, &entries, &stack_object(), &cfg).expect("checks");
         assert!(report.safe_sc, "spec-level program must be safe");
         assert!(report.drf_sc, "spec-level program must be DRF");
         assert!(report.refines, "Treiber under TSO refines the atomic stack");

@@ -1,9 +1,11 @@
 //! Dumps every intermediate representation of one compilation — the
 //! pipeline of Fig. 11 made visible. Useful for seeing what each pass
-//! (including the Constprop extension) actually does to the code.
+//! (including the Constprop extension) actually does to the code, and
+//! what the static footprint analysis infers about it.
 //!
 //! Run with: `cargo run -p ccc-examples --example ir_dump`
 
+use ccc_analysis::{infer_clight, infer_rtl};
 use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
 use ccc_clight::ClightModule;
 use ccc_compiler::constprop::constprop;
@@ -28,11 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]),
     };
     let main_fn = Function::simple(Stmt::seq([
-        Stmt::Call(Some("t".into()), "sum".into(), vec![E::bin(
-            Binop::Mul,
-            E::Const(2),
-            E::Const(5),
-        )]),
+        Stmt::Call(
+            Some("t".into()),
+            "sum".into(),
+            vec![E::bin(Binop::Mul, E::Const(2), E::Const(5))],
+        ),
         Stmt::Print(E::temp("t")),
         Stmt::Return(Some(E::temp("t"))),
     ]));
@@ -44,5 +46,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== RTL after the Constprop extension ===");
     println!("{}", rtl_module(&constprop(&arts.rtl_renumber)));
     println!("(note `2 * 5` folded to 10 before reaching the call)");
+
+    println!("=== Static footprints (ccc-analysis) ===\n");
+    let cs = infer_clight(&m);
+    println!("Clight summaries (regions each function may read/write):");
+    for (name, fp) in &cs.funcs {
+        println!("  {name}: {fp}");
+    }
+    let rs = infer_rtl(&arts.rtl);
+    println!("\nRTL, with the inferred footprint next to each memory-touching node:");
+    for (name, r) in &rs.funcs {
+        println!("  {name}:");
+        for (n, instr) in &arts.rtl.funcs[name].code {
+            let fp = &r.per_node[n];
+            if fp.is_emp() {
+                println!("    {n:>3}: {instr:?}");
+            } else {
+                println!("    {n:>3}: {instr:?}   ; {fp}");
+            }
+        }
+        println!("    summary: {}", r.summary);
+    }
+    println!("\n(`stack` is the thread-private area; a dynamic run can only touch");
+    println!("addresses inside these regions — checked for every corpus program.)");
     Ok(())
 }

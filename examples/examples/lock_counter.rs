@@ -49,8 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let drf = check_drf(&src, &cfg)?;
     let npdrf = check_npdrf(&src, &cfg)?;
-    println!("DRF(P)   = {}  ({} preemptive worlds explored)", drf.is_drf(), drf.states);
-    println!("NPDRF(P) = {}  ({} non-preemptive worlds explored)", npdrf.is_drf(), npdrf.states);
+    println!(
+        "DRF(P)   = {}  ({} preemptive worlds explored)",
+        drf.is_drf(),
+        drf.states
+    );
+    println!(
+        "NPDRF(P) = {}  ({} non-preemptive worlds explored)",
+        npdrf.is_drf(),
+        npdrf.states
+    );
     assert!(drf.is_drf() && npdrf.is_drf());
 
     // Compile the *client* module only (separate compilation!); the

@@ -74,8 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("DRF(source) = {}", check_drf(&src, &cfg)?.is_drf());
     let report = validate_fig2(&src, &tgt, &cfg)?;
     println!("Fig. 2 framework validation:");
-    println!("  DRF(src) {}   NPDRF(src) {}", report.drf_src, report.npdrf_src);
-    println!("  DRF(tgt) {}   NPDRF(tgt) {}", report.drf_tgt, report.npdrf_tgt);
+    println!(
+        "  DRF(src) {}   NPDRF(src) {}",
+        report.drf_src, report.npdrf_src
+    );
+    println!(
+        "  DRF(tgt) {}   NPDRF(tgt) {}",
+        report.drf_tgt, report.npdrf_tgt
+    );
     println!("  src preemptive ≈ non-preemptive: {}", report.src_np_equiv);
     println!("  tgt preemptive ≈ non-preemptive: {}", report.tgt_np_equiv);
     println!("  target ⊑ source (np): {}", report.np_refines);

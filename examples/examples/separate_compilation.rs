@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ))?;
     let r = run_sequential(&src, 10_000)?;
     assert_eq!(r.end, RunEnd::Done);
-    println!("Source run prints: {:?} (b = 3 flowed back through &b)", r.events);
+    println!(
+        "Source run prints: {:?} (b = 3 flowed back through &b)",
+        r.events
+    );
 
     // Compile each module INDEPENDENTLY.
     let c1 = compile(&s1)?;
@@ -89,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ExploreCfg::default();
     let st = collect_traces(&Preemptive(&src), &cfg)?;
     let tt = collect_traces(&Preemptive(&tgt), &cfg)?;
-    assert!(trace_equiv(&st, &tt), "separate compilation preserved semantics");
+    assert!(
+        trace_equiv(&st, &tt),
+        "separate compilation preserved semantics"
+    );
     println!("\nTrace sets coincide: separate compilation is semantics-preserving.");
 
     // Mixed-language linking also works: compiled S1 with *source* S2.

@@ -51,16 +51,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== 1. Store-buffering litmus (x := 1; read y ∥ y := 1; read x) ==");
     let (sb, sb_ge, sb_entries) = sb_clients();
     let zero_zero = |ts: &ccc_core::refine::TraceSet| {
-        ts.traces.iter().any(|t| {
-            t.end == Terminal::Done && t.events == vec![Event::Print(0), Event::Print(0)]
-        })
+        ts.traces
+            .iter()
+            .any(|t| t.end == Terminal::Done && t.events == vec![Event::Print(0), Event::Print(0)])
     };
-    let sc = Loaded::new(Prog::new(X86Sc, vec![(sb.clone(), sb_ge.clone())], sb_entries.clone()))?;
-    let tso = Loaded::new(Prog::new(X86Tso, vec![(sb.clone(), sb_ge.clone())], sb_entries.clone()))?;
+    let sc = Loaded::new(Prog::new(
+        X86Sc,
+        vec![(sb.clone(), sb_ge.clone())],
+        sb_entries.clone(),
+    ))?;
+    let tso = Loaded::new(Prog::new(
+        X86Tso,
+        vec![(sb.clone(), sb_ge.clone())],
+        sb_entries.clone(),
+    ))?;
     let sc_traces = collect_traces(&Preemptive(&sc), &cfg)?;
     let tso_traces = collect_traces(&Preemptive(&tso), &cfg)?;
-    println!("  under x86-SC : 0/0 observable = {}", zero_zero(&sc_traces));
-    println!("  under x86-TSO: 0/0 observable = {}", zero_zero(&tso_traces));
+    println!(
+        "  under x86-SC : 0/0 observable = {}",
+        zero_zero(&sc_traces)
+    );
+    println!(
+        "  under x86-TSO: 0/0 observable = {}",
+        zero_zero(&tso_traces)
+    );
     assert!(!zero_zero(&sc_traces) && zero_zero(&tso_traces));
 
     // 2. The TTAS lock: racy, yet correct for DRF clients.
@@ -97,8 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = check_drf_guarantee(&clients, &client_ge, &entries, &obj, &cfg)?;
     println!("  Safe(P_sc) = {}", report.safe_sc);
     println!("  DRF(P_sc)  = {}", report.drf_sc);
-    println!("  P_tso ⊑′ P_sc = {}   ({} TSO traces vs {} SC traces)",
-        report.refines, report.tso_traces, report.sc_traces);
+    println!(
+        "  P_tso ⊑′ P_sc = {}   ({} TSO traces vs {} SC traces)",
+        report.refines, report.tso_traces, report.sc_traces
+    );
     assert!(report.holds());
 
     // 3. Without confinement the guarantee fails.

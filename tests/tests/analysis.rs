@@ -1,0 +1,378 @@
+//! Cross-validation of the `ccc-analysis` static passes against the
+//! instrumented dynamic semantics.
+//!
+//! * **Footprint soundness**: on every corpus program, the concrete
+//!   footprint of the instrumented run is contained in the statically
+//!   inferred abstract footprint (`AbsFootprint::covers`), at both the
+//!   Clight and RTL levels, sequentially and per thread under the
+//!   preemptive exploration.
+//! * **Race verdicts**: the lockset analysis and the exhaustive
+//!   interleaving exploration agree — locked clients are `StaticDrf`
+//!   and explore race-free; racy clients get the same verdict from both
+//!   sides, and genuinely racing seeds are flagged.
+//! * **Mutation coverage**: seeding one structural breakage into each
+//!   of the 12 pipeline stage outputs (plus `Constprop`) makes the
+//!   per-pass lint fail with errors attributed to exactly that stage,
+//!   while clean artifacts lint clean.
+
+use ccc_analysis::lint::{lint_artifacts, lint_rtl, CONSTPROP_STAGE};
+use ccc_analysis::{
+    check_static_race, infer_clight, infer_clight_with, infer_lock_model, infer_rtl,
+};
+use ccc_cimp::CImpLang;
+use ccc_clight::gen::{gen_concurrent_client, gen_module, GenCfg};
+use ccc_clight::{ClightLang, ClightModule};
+use ccc_compiler::constprop::constprop;
+use ccc_compiler::driver::{compile_with_artifacts, CompilationArtifacts};
+use ccc_compiler::ops::{AddrMode, Op};
+use ccc_compiler::rtl::RtlLang;
+use ccc_compiler::{cminorsel, linear, ltl, mach, rtl};
+use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::mem::GlobalEnv;
+use ccc_core::race::{check_drf, collect_footprints};
+use ccc_core::refine::ExploreCfg;
+use ccc_core::world::{run_main_traced, Loaded};
+use ccc_machine::asm;
+use ccc_machine::Reg;
+use ccc_sync::lock::lock_spec;
+use proptest::prelude::*;
+
+type Src = SumLang<ClightLang, CImpLang>;
+
+/// Links a generated client with the CImp lock object.
+fn load_client(client: ClightModule, ge: GlobalEnv, entries: Vec<String>) -> Loaded<Src> {
+    let (lock, lock_ge) = lock_spec("L");
+    Loaded::new(Prog {
+        lang: SumLang(ClightLang, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client),
+                ge,
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries,
+    })
+    .expect("client and lock object link")
+}
+
+// ---------------------------------------------------------------------
+// Footprint soundness
+// ---------------------------------------------------------------------
+
+#[test]
+fn static_footprints_cover_dynamic_sequential() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let (m, ge) = gen_module(seed, &GenCfg::default());
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        let cs = infer_clight(&m);
+        let rs = infer_rtl(&arts.rtl);
+        let (_, _, _, cfp) =
+            run_main_traced(&ClightLang, &m, &ge, "f", &[], 1_000_000).expect("Clight terminates");
+        let (_, _, _, rfp) =
+            run_main_traced(&RtlLang, &arts.rtl, &ge, "f", &[], 1_000_000).expect("RTL terminates");
+        let c = cs.footprint("f").expect("clight summary");
+        let r = rs.footprint("f").expect("rtl summary");
+        assert!(
+            c.covers(&ge, &cfp),
+            "seed {seed}: Clight {c} misses {cfp:?}"
+        );
+        assert!(r.covers(&ge, &rfp), "seed {seed}: RTL {r} misses {rfp:?}");
+        checked += 1;
+    }
+    assert!(checked >= 50, "soundness corpus too small");
+}
+
+#[test]
+fn static_footprints_cover_dynamic_per_thread() {
+    let cfg = ExploreCfg::default();
+    for seed in 0..6u64 {
+        for racy in [false, true] {
+            let (client, ge, entries) = gen_concurrent_client(seed, 2, &["s0", "s1"], racy);
+            let (lock, lock_ge) = lock_spec("L");
+            let linked = GlobalEnv::link([&ge, &lock_ge]).expect("environments link");
+            let model = infer_lock_model(&lock);
+            let summaries = infer_clight_with(&client, &model.external_footprints());
+            let loaded = load_client(client, ge, entries.clone());
+            let fps = collect_footprints(&loaded, &cfg).expect("source loads");
+            for (t, entry) in entries.iter().enumerate() {
+                let stat = summaries.footprint(entry).expect("entry summarized");
+                assert!(
+                    stat.covers(&linked, &fps[t]),
+                    "seed {seed} racy={racy} thread {t}: {stat} misses {:?}",
+                    fps[t]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomized generator configurations: the soundness contract holds
+    /// on arbitrary corpus shapes, and every clean pipeline lints clean.
+    #[test]
+    fn random_programs_have_sound_footprints(
+        seed in 0u64..1_000_000,
+        block_len in 1usize..8,
+        depth in 0usize..3,
+        num_temps in 1usize..6,
+        num_vars in 0usize..4,
+    ) {
+        let cfg = GenCfg {
+            block_len,
+            depth,
+            num_temps,
+            num_vars,
+            prints: seed % 2 == 0,
+            ..GenCfg::default()
+        };
+        let (m, ge) = gen_module(seed, &cfg);
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        prop_assert!(lint_artifacts(&arts).is_empty(), "clean pipeline flagged");
+        let cs = infer_clight(&m);
+        let rs = infer_rtl(&arts.rtl);
+        let (_, _, _, cfp) =
+            run_main_traced(&ClightLang, &m, &ge, "f", &[], 1_000_000).expect("terminates");
+        let (_, _, _, rfp) =
+            run_main_traced(&RtlLang, &arts.rtl, &ge, "f", &[], 1_000_000).expect("terminates");
+        prop_assert!(cs.footprint("f").expect("summary").covers(&ge, &cfp));
+        prop_assert!(rs.footprint("f").expect("summary").covers(&ge, &rfp));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Race verdicts
+// ---------------------------------------------------------------------
+
+#[test]
+fn static_race_verdicts_match_exploration() {
+    let cfg = ExploreCfg::default();
+    let mut racy_flagged = 0;
+    for seed in 0..10u64 {
+        for racy in [false, true] {
+            let (client, ge, entries) = gen_concurrent_client(seed, 2, &["s0", "s1"], racy);
+            let (lock, _) = lock_spec("L");
+            let model = infer_lock_model(&lock);
+            let report = check_static_race(&client, &entries, &model);
+            let loaded = load_client(client, ge, entries);
+            let drf = check_drf(&loaded, &cfg).expect("source loads");
+            assert!(!drf.truncated, "seed {seed}: exploration truncated");
+            if !racy {
+                // Locked clients must be *statically* DRF — the analysis
+                // is precise enough for the lock discipline, not merely
+                // sound.
+                assert!(report.is_drf(), "seed {seed}: locked client flagged");
+            }
+            assert_eq!(
+                report.is_drf(),
+                drf.is_drf(),
+                "seed {seed} racy={racy}: static and dynamic verdicts disagree"
+            );
+            if racy && !report.is_drf() {
+                racy_flagged += 1;
+            }
+        }
+    }
+    // Most racy seeds really do race (some generate threads that touch
+    // disjoint globals — both sides must call those DRF, asserted above).
+    assert!(racy_flagged >= 4, "only {racy_flagged} racy seeds flagged");
+}
+
+// ---------------------------------------------------------------------
+// Per-pass lint: clean pipelines pass, every seeded breakage is caught
+// ---------------------------------------------------------------------
+
+#[test]
+fn clean_corpus_lints_clean() {
+    for seed in 0..20u64 {
+        let (m, _) = gen_module(seed, &GenCfg::default());
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        assert!(lint_artifacts(&arts).is_empty(), "seed {seed} flagged");
+    }
+    for seed in 0..5u64 {
+        for racy in [false, true] {
+            let (client, _, _) = gen_concurrent_client(seed, 2, &["s0", "s1"], racy);
+            let arts = compile_with_artifacts(&client).expect("compiles");
+            assert!(
+                lint_artifacts(&arts).is_empty(),
+                "client seed {seed} flagged"
+            );
+        }
+    }
+}
+
+/// One deliberate breakage per pipeline stage; the lint must reject the
+/// artifacts with every error attributed to exactly the seeded stage.
+#[test]
+fn each_stage_mutation_is_caught_and_attributed() {
+    let (m, _) = gen_module(7, &GenCfg::default());
+    let clean = compile_with_artifacts(&m).expect("compiles");
+    assert!(lint_artifacts(&clean).is_empty(), "baseline not clean");
+
+    type Mutation = (&'static str, Box<dyn Fn(&mut CompilationArtifacts)>);
+    let names = CompilationArtifacts::STAGE_NAMES;
+    let mutations: Vec<Mutation> = vec![
+        (
+            // Clight: duplicate addressable local.
+            names[0],
+            Box::new(|a| a.clight.funcs.get_mut("f").unwrap().vars.push("v0".into())),
+        ),
+        (
+            // Cminor: shrink the frame under its AddrStack references.
+            names[1],
+            Box::new(|a| a.cminor.funcs.get_mut("f").unwrap().stack_slots = 0),
+        ),
+        (
+            // CminorSel: operator applied below its arity.
+            names[2],
+            Box::new(|a| {
+                let f = a.cminorsel.funcs.get_mut("f").unwrap();
+                let body = std::mem::replace(&mut f.body, cminorsel::Stmt::Skip);
+                f.body = cminorsel::Stmt::Seq(vec![
+                    cminorsel::Stmt::Set("tbad".into(), cminorsel::Expr::Op(Op::Add, vec![])),
+                    body,
+                ]);
+            }),
+        ),
+        (
+            // RTL: entry points outside the graph.
+            names[3],
+            Box::new(|a| a.rtl.funcs.get_mut("f").unwrap().entry = 999_999),
+        ),
+        (
+            // RTL/tailcall: dangling successor.
+            names[4],
+            Box::new(|a| {
+                let f = a.rtl_tailcall.funcs.get_mut("f").unwrap();
+                let n = *f.code.keys().next().unwrap();
+                f.code.insert(n, rtl::Instr::Nop(999_999));
+            }),
+        ),
+        (
+            // RTL/renumber: use of a never-defined register.
+            names[5],
+            Box::new(|a| {
+                let f = a.rtl_renumber.funcs.get_mut("f").unwrap();
+                for i in f.code.values_mut() {
+                    if let rtl::Instr::Op(_, args, ..) = i {
+                        if !args.is_empty() {
+                            args[0] = 4242;
+                            return;
+                        }
+                    }
+                }
+                panic!("no Op with arguments to mutate");
+            }),
+        ),
+        (
+            // LTL: out-of-bounds spill slot.
+            names[6],
+            Box::new(|a| {
+                let f = a.ltl.funcs.get_mut("f").unwrap();
+                let bad = ltl::Loc::Spill(f.spill_slots + 7);
+                for i in f.code.values_mut() {
+                    if let ltl::Instr::Op(_, args, ..) = i {
+                        if !args.is_empty() {
+                            args[0] = bad;
+                            return;
+                        }
+                    }
+                }
+                panic!("no Op with arguments to mutate");
+            }),
+        ),
+        (
+            // LTL/tunneled: dangling successor.
+            names[7],
+            Box::new(|a| {
+                let f = a.ltl_tunneled.funcs.get_mut("f").unwrap();
+                let entry = f.entry;
+                f.code.insert(entry, ltl::Instr::Nop(999_999));
+            }),
+        ),
+        (
+            // Linear: jump to a label that does not exist.
+            names[8],
+            Box::new(|a| {
+                a.linear
+                    .funcs
+                    .get_mut("f")
+                    .unwrap()
+                    .code
+                    .push(linear::Instr::Goto(31_337));
+            }),
+        ),
+        (
+            // Linear/clean: duplicate label (and a fall-through end).
+            names[9],
+            Box::new(|a| {
+                let f = a.linear_clean.funcs.get_mut("f").unwrap();
+                f.code.push(linear::Instr::Label(77_777));
+                f.code.push(linear::Instr::Label(77_777));
+            }),
+        ),
+        (
+            // Mach: frame access beyond the allocated frame.
+            names[10],
+            Box::new(|a| {
+                let f = a.mach.funcs.get_mut("f").unwrap();
+                let slots = f.frame_slots;
+                f.code
+                    .insert(0, mach::Instr::Store(AddrMode::Stack(slots + 3), Reg::Eax));
+            }),
+        ),
+        (
+            // Asm: jump to a label that does not exist.
+            names[11],
+            Box::new(|a| {
+                a.asm
+                    .funcs
+                    .get_mut("f")
+                    .unwrap()
+                    .code
+                    .insert(0, asm::Instr::Jmp("nowhere".into()));
+            }),
+        ),
+    ];
+
+    for (stage, mutate) in &mutations {
+        let mut arts = clean.clone();
+        mutate(&mut arts);
+        let errs = lint_artifacts(&arts);
+        assert!(!errs.is_empty(), "mutation in `{stage}` not caught");
+        assert!(
+            errs.iter().any(|e| e.stage == *stage),
+            "mutation in `{stage}` attributed elsewhere: {errs:?}"
+        );
+        for e in &errs {
+            // Constprop is recomputed from RTL/renumber inside the lint,
+            // so a breakage there legitimately shows up at both stages.
+            let also_constprop = *stage == "RTL/renumber" && e.stage == CONSTPROP_STAGE;
+            assert!(
+                e.stage == *stage || also_constprop,
+                "mutation in `{stage}` misattributed: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn constprop_mutation_is_attributed_to_constprop() {
+    let (m, _) = gen_module(7, &GenCfg::default());
+    let arts = compile_with_artifacts(&m).expect("compiles");
+    let mut cp = constprop(&arts.rtl_renumber);
+    assert!(
+        lint_rtl(&cp, CONSTPROP_STAGE).is_empty(),
+        "baseline not clean"
+    );
+    let f = cp.funcs.get_mut("f").unwrap();
+    let n = *f.code.keys().next().unwrap();
+    f.code.insert(n, rtl::Instr::Nop(999_999));
+    let errs = lint_rtl(&cp, CONSTPROP_STAGE);
+    assert!(!errs.is_empty(), "Constprop mutation not caught");
+    assert!(errs.iter().all(|e| e.stage == CONSTPROP_STAGE));
+}

@@ -150,8 +150,10 @@ fn miscompilation_is_detected_by_the_framework() {
             let ccc_machine::Instr::Print(r) = f.code[pos] else {
                 unreachable!()
             };
-            f.code
-                .insert(pos, ccc_machine::Instr::Mov(r, ccc_machine::Operand::Imm(4242)));
+            f.code.insert(
+                pos,
+                ccc_machine::Instr::Mov(r, ccc_machine::Operand::Imm(4242)),
+            );
             mutated = true;
             break;
         }

@@ -58,7 +58,10 @@ fn corpus() -> Vec<(&'static str, Loaded<ToyLang>, bool)> {
     vec![
         (
             "two atomic incrementers",
-            toy_prog(&[("a", atomic_inc.clone()), ("b", atomic_inc.clone())], &[("x", 0)]),
+            toy_prog(
+                &[("a", atomic_inc.clone()), ("b", atomic_inc.clone())],
+                &[("x", 0)],
+            ),
             true,
         ),
         (
@@ -81,7 +84,10 @@ fn corpus() -> Vec<(&'static str, Loaded<ToyLang>, bool)> {
         ),
         (
             "mixed print + atomic section",
-            toy_prog(&[("a", mixed.clone()), ("b", mixed), ("c", print_priv)], &[("x", 0), ("y", 0)]),
+            toy_prog(
+                &[("a", mixed.clone()), ("b", mixed), ("c", print_priv)],
+                &[("x", 0), ("y", 0)],
+            ),
             true,
         ),
     ]
@@ -126,7 +132,9 @@ fn racy_programs_may_lose_behaviours_non_preemptively() {
     // load, so a prints 2; non-preemptively a's block is uninterrupted.
     use ccc_core::lang::Event;
     let prints_two = |ts: &ccc_core::refine::TraceSet| {
-        ts.traces.iter().any(|t| t.events.contains(&Event::Print(2)))
+        ts.traces
+            .iter()
+            .any(|t| t.events.contains(&Event::Print(2)))
     };
     assert!(prints_two(&p), "preemptive semantics realizes print(2)");
     assert!(!prints_two(&np), "non-preemptive semantics cannot");
@@ -165,7 +173,10 @@ fn np_state_space_shrinks_with_silent_work() {
             I::ExtAtom,
             I::Ret(0),
         ]);
-        let prog = toy_prog(&[("a", body.clone()), ("b", body.clone()), ("c", body)], &[("x", 0)]);
+        let prog = toy_prog(
+            &[("a", body.clone()), ("b", body.clone()), ("c", body)],
+            &[("x", 0)],
+        );
         let p = count_states(&Preemptive(&prog), &cfg).expect("p");
         let np = count_states(&NonPreemptive(&prog), &cfg).expect("np");
         assert!(
@@ -239,14 +250,25 @@ fn fig1_wholeprogram_vs_modular_simulation() {
     let cfg = ExploreCfg::default();
     let st = collect_traces(&Preemptive(&sp), &cfg).expect("st");
     let tt = collect_traces(&Preemptive(&tp), &cfg).expect("tt");
-    assert!(trace_equiv(&st, &tt), "closed programs are indistinguishable");
+    assert!(
+        trace_equiv(&st, &tt),
+        "closed programs are indistinguishable"
+    );
 
     // …but the modular, footprint-aware simulation rejects the hoist:
     // the target reads the shared `x` before the switch point where the
     // source has not.
     let err = check_module_sim(
-        &ModuleCtx { lang: &lang, module: &src, ge: &ge },
-        &ModuleCtx { lang: &lang, module: &tgt, ge: &ge },
+        &ModuleCtx {
+            lang: &lang,
+            module: &src,
+            ge: &ge,
+        },
+        &ModuleCtx {
+            lang: &lang,
+            module: &tgt,
+            ge: &ge,
+        },
         &mu,
         "f",
         &[],
@@ -262,8 +284,16 @@ fn fig1_wholeprogram_vs_modular_simulation() {
         ..SimOptions::default()
     };
     let err = check_module_sim(
-        &ModuleCtx { lang: &lang, module: &src, ge: &ge },
-        &ModuleCtx { lang: &lang, module: &tgt, ge: &ge },
+        &ModuleCtx {
+            lang: &lang,
+            module: &src,
+            ge: &ge,
+        },
+        &ModuleCtx {
+            lang: &lang,
+            module: &tgt,
+            ge: &ge,
+        },
         &mu,
         "f",
         &[],
@@ -271,7 +301,10 @@ fn fig1_wholeprogram_vs_modular_simulation() {
     )
     .expect_err("still rejected with rely steps");
     assert!(
-        matches!(err, SimError::LgFailed { .. } | SimError::MsgMismatch { .. }),
+        matches!(
+            err,
+            SimError::LgFailed { .. } | SimError::MsgMismatch { .. }
+        ),
         "{err}"
     );
 }
@@ -285,13 +318,18 @@ fn lemma8_simulation_preserves_npdrf_on_compiled_code() {
         ..Default::default()
     };
     for seed in 0..4 {
-        let (m, ge) = gen_module(seed, &GenCfg { prints: true, ..Default::default() });
+        let (m, ge) = gen_module(
+            seed,
+            &GenCfg {
+                prints: true,
+                ..Default::default()
+            },
+        );
         // Run the module as a 1-thread "concurrent" program plus a
         // sibling thread printing privately — trivially DRF.
         let asm = ccc_compiler::compile(&m).expect("compiles");
         let src = Loaded::new(Prog::new(ClightLang, vec![(m, ge.clone())], ["f"])).expect("src");
-        let tgt =
-            Loaded::new(Prog::new(ccc_machine::X86Sc, vec![(asm, ge)], ["f"])).expect("tgt");
+        let tgt = Loaded::new(Prog::new(ccc_machine::X86Sc, vec![(asm, ge)], ["f"])).expect("tgt");
         assert!(check_npdrf(&src, &cfg).expect("npdrf src").is_drf());
         assert!(check_npdrf(&tgt, &cfg).expect("npdrf tgt").is_drf());
     }

@@ -55,7 +55,12 @@ fn random_schedules_of_the_counter_are_serializable() {
             .collect();
         distinct.insert(vals.clone());
         vals.sort_unstable();
-        assert_eq!(vals, vec![0, 1, 2], "run {run}: lost update in {:?}", r.events);
+        assert_eq!(
+            vals,
+            vec![0, 1, 2],
+            "run {run}: lost update in {:?}",
+            r.events
+        );
     }
     // Chaos scheduling actually exercised more than one interleaving.
     assert!(distinct.len() > 1, "schedules were not diverse");
@@ -75,7 +80,7 @@ fn periodic_schedules_serialize_or_spin_but_never_go_wrong() {
         let mut tick = 0usize;
         let r = run_schedule(&loaded, w, 50_000, |n| {
             tick += 1;
-            if tick % quantum == 0 {
+            if tick.is_multiple_of(quantum) {
                 n - 1 // prefer the last alternative (a switch, when enabled)
             } else {
                 0

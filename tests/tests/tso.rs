@@ -9,9 +9,7 @@ use ccc_compiler::driver::compile;
 use ccc_core::lang::{Event, ModuleDecl, Prog, Sum, SumLang};
 use ccc_core::mem::{GlobalEnv, Val};
 use ccc_core::race::check_drf;
-use ccc_core::refine::{
-    collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive, Terminal,
-};
+use ccc_core::refine::{collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive, Terminal};
 use ccc_core::world::Loaded;
 use ccc_machine::{AsmModule, X86Tso};
 use ccc_sync::drf_guarantee::{build_ptso, check_drf_guarantee, SyncObject};
@@ -61,9 +59,11 @@ fn theorem15_clight_to_tso_with_racy_lock() {
         ..Default::default()
     };
     // Premises: Safe(P) and DRF(P).
-    assert!(ccc_core::refine::check_safe(&Preemptive(&src), &cfg)
-        .expect("safe")
-        .safe);
+    assert!(
+        ccc_core::refine::check_safe(&Preemptive(&src), &cfg)
+            .expect("safe")
+            .safe
+    );
     assert!(check_drf(&src, &cfg).expect("drf").is_drf());
 
     // Compile the clients; link with π_lock; run under TSO.
@@ -127,8 +127,7 @@ fn lemma16_lock_and_stack_objects() {
     let mut ge = GlobalEnv::new();
     ge.define("x", Val::Int(0));
     let entries = vec!["t1".to_string(), "t2".to_string()];
-    let report =
-        check_drf_guarantee(&clients, &ge, &entries, &lock_object(), &cfg).expect("lock");
+    let report = check_drf_guarantee(&clients, &ge, &entries, &lock_object(), &cfg).expect("lock");
     assert!(report.holds(), "lock object: {report:?}");
 
     // Treiber stack object: two pushers + a popper each.
@@ -201,8 +200,7 @@ fn tso_buffer_delays_are_observable_without_sync() {
     let mut ge = GlobalEnv::new();
     ge.define("data", Val::Int(0));
     ge.define("flag", Val::Int(0));
-    let loaded =
-        Loaded::new(Prog::new(X86Tso, vec![(m, ge)], ["t1", "t2"])).expect("links");
+    let loaded = Loaded::new(Prog::new(X86Tso, vec![(m, ge)], ["t1", "t2"])).expect("links");
     let traces = collect_traces(&Preemptive(&loaded), &ExploreCfg::default()).expect("traces");
     // If anything is printed, it is 42: the FIFO buffer never reorders
     // the two stores.

@@ -29,10 +29,18 @@ fn every_ir_instance_is_well_defined_and_deterministic() {
     }
     check!(ccc_clight::ClightLang, &arts.clight, "Clight");
     check!(ccc_compiler::cminor::CMINOR, &arts.cminor, "Cminor");
-    check!(ccc_compiler::cminorsel::CMINORSEL, &arts.cminorsel, "CminorSel");
+    check!(
+        ccc_compiler::cminorsel::CMINORSEL,
+        &arts.cminorsel,
+        "CminorSel"
+    );
     check!(ccc_compiler::rtl::RtlLang, &arts.rtl_renumber, "RTL");
     check!(ccc_compiler::ltl::LtlLang, &arts.ltl_tunneled, "LTL");
-    check!(ccc_compiler::linear::LinearLang, &arts.linear_clean, "Linear");
+    check!(
+        ccc_compiler::linear::LinearLang,
+        &arts.linear_clean,
+        "Linear"
+    );
     check!(ccc_compiler::mach::MachLang, &arts.mach, "Mach");
     check!(ccc_machine::X86Sc, &arts.asm, "x86-SC");
 }
