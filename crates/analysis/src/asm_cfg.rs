@@ -1,0 +1,511 @@
+//! Per-thread, interprocedural control-flow expansion of an
+//! [`AsmModule`], the substrate of the TSO robustness analysis
+//! ([`crate::tso_robust`]).
+//!
+//! Each thread entry is expanded into a graph of [`CfgNode`]s: one node
+//! per shared-memory access, drain point, or inert instruction, with
+//! internal calls spliced in (bounded inlining — recursion and depth
+//! overflows fall back to a conservative "unknown access" cluster that
+//! reads and writes ⊤ and never drains). The expansion deliberately
+//! over-approximates: every path the machine can execute is a path of
+//! the graph, every memory access it can perform is covered by an
+//! access node, and a node is marked draining only if the instruction
+//! *always* empties the store buffer there. Those three properties are
+//! what the robustness verdict's soundness rests on.
+//!
+//! Addressing is abstracted by [`StaticLoc`]: a resolved global word
+//! `(name, offset)` or ⊤ (`Unknown`) for register-indirect accesses.
+//! Stack-slot accesses are *omitted*: frames are carved out of the
+//! thread's own free-list region, so they are thread-private — they can
+//! neither conflict with another thread nor make a store→load delay
+//! observable.
+
+use ccc_machine::{AsmModule, Instr, MemArg};
+use std::fmt;
+
+/// How deep internal calls are inlined before the expansion falls back
+/// to the conservative unknown cluster.
+const INLINE_DEPTH: usize = 8;
+
+/// An abstract memory location.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StaticLoc {
+    /// The word `offset` of global `name`.
+    Global(String, u64),
+    /// ⊤ — a register-indirect access that may touch anything.
+    Unknown,
+}
+
+impl StaticLoc {
+    /// May the two locations denote the same address? Distinct offsets
+    /// of one global are distinct words; distinct globals at offset 0
+    /// have distinct base addresses; everything else (including any
+    /// out-of-block offset and ⊤) conservatively may alias.
+    pub fn may_alias(&self, other: &StaticLoc) -> bool {
+        match (self, other) {
+            (StaticLoc::Unknown, _) | (_, StaticLoc::Unknown) => true,
+            (StaticLoc::Global(g1, o1), StaticLoc::Global(g2, o2)) => {
+                if g1 == g2 {
+                    o1 == o2
+                } else {
+                    // Different blocks: only offset 0 is guaranteed to
+                    // stay inside the block the name denotes.
+                    *o1 != 0 || *o2 != 0
+                }
+            }
+        }
+    }
+
+    /// Must the two locations denote the same address?
+    pub fn must_equal(&self, other: &StaticLoc) -> bool {
+        match (self, other) {
+            (StaticLoc::Global(g1, o1), StaticLoc::Global(g2, o2)) => g1 == g2 && o1 == o2,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StaticLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticLoc::Global(g, 0) => write!(f, "[{g}]"),
+            StaticLoc::Global(g, o) => write!(f, "[{g}+{o}]"),
+            StaticLoc::Unknown => f.write_str("[⊤]"),
+        }
+    }
+}
+
+/// What a node does to shared memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// A shared-memory access.
+    Access {
+        /// The (abstract) location touched.
+        loc: StaticLoc,
+        /// Write access (else read).
+        write: bool,
+        /// True for plain stores, which enter the store buffer; false
+        /// for the direct store of a lock-prefixed RMW, which executes
+        /// against memory with an empty buffer and therefore can never
+        /// be delayed past a later load.
+        buffered: bool,
+    },
+    /// Executes only with an empty store buffer (`mfence`, the lock
+    /// prefix, the final `ret`).
+    Drain,
+    /// No shared-memory effect.
+    Other,
+}
+
+/// One node of the expanded per-thread graph.
+#[derive(Clone, Debug)]
+pub struct CfgNode {
+    /// The function holding the concrete instruction, or the synthetic
+    /// marker of an unknown-code cluster.
+    pub func: String,
+    /// Instruction index within `func` ([`SYNTHETIC`] for cluster
+    /// nodes, which have no concrete instruction).
+    pub idx: usize,
+    /// The node's memory behaviour.
+    pub kind: NodeKind,
+}
+
+/// The `idx` of synthetic nodes (unknown-code clusters).
+pub const SYNTHETIC: usize = usize::MAX;
+
+/// The expanded control-flow graph of one thread.
+#[derive(Clone, Debug)]
+pub struct ThreadCfg {
+    /// Index of the thread in the program's entry list.
+    pub thread: usize,
+    /// The thread's entry function.
+    pub entry: String,
+    /// All nodes; node 0 is the entry.
+    pub nodes: Vec<CfgNode>,
+    /// Successor adjacency, parallel to `nodes`.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl ThreadCfg {
+    /// Indices of all access nodes.
+    pub fn accesses(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| matches!(self.nodes[n].kind, NodeKind::Access { .. }))
+            .collect()
+    }
+
+    /// The nodes strictly reachable from `from` (one or more edges),
+    /// optionally refusing to traverse *out of* draining nodes and
+    /// optionally skipping a set of excluded `(func, idx)` positions
+    /// entirely (used to test whether a fence placement cuts a pair).
+    pub fn reachable(
+        &self,
+        from: usize,
+        through_drains: bool,
+        excluded: Option<&dyn Fn(&CfgNode) -> bool>,
+    ) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self.succs[from].clone();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            if let Some(ex) = excluded {
+                if ex(&self.nodes[n]) {
+                    continue;
+                }
+            }
+            seen[n] = true;
+            let blocked = !through_drains && matches!(self.nodes[n].kind, NodeKind::Drain);
+            if !blocked {
+                stack.extend(self.succs[n].iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+fn loc_of(m: &MemArg) -> Option<StaticLoc> {
+    match m {
+        MemArg::Global(g, o) => Some(StaticLoc::Global(g.clone(), *o)),
+        MemArg::BaseDisp(..) => Some(StaticLoc::Unknown),
+        // Thread-private: frames come from the thread's own free list.
+        MemArg::Stack(_) => None,
+    }
+}
+
+struct Builder<'m> {
+    module: &'m AsmModule,
+    nodes: Vec<CfgNode>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, func: &str, idx: usize, kind: NodeKind) -> usize {
+        self.nodes.push(CfgNode {
+            func: func.to_string(),
+            idx,
+            kind,
+        });
+        self.succs.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+        }
+    }
+
+    /// A conservative stand-in for code the expansion cannot see
+    /// (recursion, too-deep inlining, calls that leave the module): a
+    /// two-node cluster writing and reading ⊤ in an internal loop, so
+    /// any access sequence the real code could perform is covered, and
+    /// never draining. Returns `(entry, exits)`.
+    fn unknown_cluster(&mut self, func: &str) -> (usize, Vec<usize>) {
+        let w = self.push(
+            func,
+            SYNTHETIC,
+            NodeKind::Access {
+                loc: StaticLoc::Unknown,
+                write: true,
+                buffered: true,
+            },
+        );
+        let r = self.push(
+            func,
+            SYNTHETIC,
+            NodeKind::Access {
+                loc: StaticLoc::Unknown,
+                write: false,
+                buffered: false,
+            },
+        );
+        self.edge(w, r);
+        self.edge(r, w);
+        (w, vec![w, r])
+    }
+
+    /// Expands function `fname`. `top_level` marks the thread's entry
+    /// activation, whose final `ret` drains the buffer (and terminates
+    /// the thread); an inlined callee's `ret` is an ordinary internal
+    /// step that flows back to the call's continuation. Returns
+    /// `(entry, exits)` where `exits` are the nodes whose control
+    /// leaves the function.
+    fn expand(
+        &mut self,
+        fname: &str,
+        stack: &mut Vec<String>,
+        top_level: bool,
+    ) -> (usize, Vec<usize>) {
+        let Some(f) = self.module.funcs.get(fname) else {
+            // Calling a symbol outside the module: the machine treats it
+            // as an external call (drains), then unknown code runs.
+            let d = self.push(fname, SYNTHETIC, NodeKind::Drain);
+            let (entry, exits) = self.unknown_cluster(fname);
+            self.edge(d, entry);
+            return (d, exits);
+        };
+        if stack.iter().any(|s| s == fname) || stack.len() >= INLINE_DEPTH {
+            return self.unknown_cluster(fname);
+        }
+        stack.push(fname.to_string());
+
+        // First pass: a chain of nodes per instruction; record each
+        // instruction's entry and exit node so the second pass can wire
+        // intra-function edges from `AsmFunc::succs`.
+        let n = f.code.len();
+        let mut instr_entry = vec![0usize; n];
+        let mut instr_exit = vec![0usize; n];
+        let mut fn_exits: Vec<usize> = Vec::new();
+        for (i, instr) in f.code.iter().enumerate() {
+            let (entry, exit) = match instr {
+                Instr::Store(m, _) => {
+                    let kind = match loc_of(m) {
+                        Some(loc) => NodeKind::Access {
+                            loc,
+                            write: true,
+                            buffered: true,
+                        },
+                        None => NodeKind::Other,
+                    };
+                    let id = self.push(fname, i, kind);
+                    (id, id)
+                }
+                Instr::Load(_, m) => {
+                    let kind = match loc_of(m) {
+                        Some(loc) => NodeKind::Access {
+                            loc,
+                            write: false,
+                            buffered: false,
+                        },
+                        None => NodeKind::Other,
+                    };
+                    let id = self.push(fname, i, kind);
+                    (id, id)
+                }
+                Instr::Mfence => {
+                    let id = self.push(fname, i, NodeKind::Drain);
+                    (id, id)
+                }
+                Instr::LockCmpxchg(m, _) => {
+                    // Drains, then reads and (possibly) writes the
+                    // location — both with an empty buffer, so neither
+                    // access can be delayed or overtaken.
+                    let d = self.push(fname, i, NodeKind::Drain);
+                    match loc_of(m) {
+                        Some(loc) => {
+                            let r = self.push(
+                                fname,
+                                i,
+                                NodeKind::Access {
+                                    loc: loc.clone(),
+                                    write: false,
+                                    buffered: false,
+                                },
+                            );
+                            let w = self.push(
+                                fname,
+                                i,
+                                NodeKind::Access {
+                                    loc,
+                                    write: true,
+                                    buffered: false,
+                                },
+                            );
+                            self.edge(d, r);
+                            self.edge(r, w);
+                            (d, w)
+                        }
+                        None => (d, d),
+                    }
+                }
+                Instr::Call(callee, _) => {
+                    let call = self.push(fname, i, NodeKind::Other);
+                    let (centry, cexits) = self.expand(callee, stack, false);
+                    self.edge(call, centry);
+                    let join = self.push(fname, i, NodeKind::Other);
+                    for e in cexits {
+                        self.edge(e, join);
+                    }
+                    (call, join)
+                }
+                Instr::Ret if top_level => {
+                    // The bottom activation's ret drains the buffer
+                    // before the thread's value is returned.
+                    let id = self.push(fname, i, NodeKind::Drain);
+                    (id, id)
+                }
+                Instr::Ret => {
+                    let id = self.push(fname, i, NodeKind::Other);
+                    (id, id)
+                }
+                _ => {
+                    let id = self.push(fname, i, NodeKind::Other);
+                    (id, id)
+                }
+            };
+            instr_entry[i] = entry;
+            instr_exit[i] = exit;
+            if matches!(instr, Instr::Ret) {
+                fn_exits.push(exit);
+            }
+        }
+        // Second pass: intra-function edges.
+        for (i, &exit) in instr_exit.iter().enumerate() {
+            for s in f.succs(i) {
+                self.edge(exit, instr_entry[s]);
+            }
+        }
+        stack.pop();
+        let entry = if n == 0 {
+            // Empty code: falls off the end immediately (abort).
+            self.push(fname, SYNTHETIC, NodeKind::Other)
+        } else {
+            instr_entry[0]
+        };
+        (entry, fn_exits)
+    }
+}
+
+/// Expands thread number `thread`, entered at `entry`, into its
+/// control-flow graph.
+pub fn thread_cfg(module: &AsmModule, thread: usize, entry: &str) -> ThreadCfg {
+    let mut b = Builder {
+        module,
+        nodes: Vec::new(),
+        succs: Vec::new(),
+    };
+    // Node 0: a synthetic thread-entry point (keeps `nodes[0]` the
+    // entry even when the entry function's first instruction expands to
+    // several nodes or the function does not exist).
+    let root = b.push(entry, SYNTHETIC, NodeKind::Other);
+    let mut stack = Vec::new();
+    let (fentry, _) = b.expand(entry, &mut stack, true);
+    b.edge(root, fentry);
+    debug_assert_eq!(root, 0);
+    ThreadCfg {
+        thread,
+        entry: entry.to_string(),
+        nodes: b.nodes,
+        succs: b.succs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_machine::{AsmFunc, Operand, Reg};
+
+    fn func(code: Vec<Instr>) -> AsmFunc {
+        AsmFunc {
+            code,
+            frame_slots: 0,
+            arity: 0,
+        }
+    }
+
+    #[test]
+    fn aliasing_lattice() {
+        let x = StaticLoc::Global("x".into(), 0);
+        let x1 = StaticLoc::Global("x".into(), 1);
+        let y = StaticLoc::Global("y".into(), 0);
+        let y2 = StaticLoc::Global("y".into(), 2);
+        let top = StaticLoc::Unknown;
+        assert!(x.may_alias(&x) && x.must_equal(&x));
+        assert!(!x.may_alias(&x1), "same block, distinct offsets");
+        assert!(!x.may_alias(&y), "distinct blocks at offset 0");
+        assert!(x.may_alias(&y2), "offset may run into the next block");
+        assert!(top.may_alias(&x) && !top.must_equal(&x));
+    }
+
+    #[test]
+    fn straight_line_expansion() {
+        let m = AsmModule::new([(
+            "t",
+            func(vec![
+                Instr::Store(MemArg::Global("x".into(), 0), Operand::Imm(1)),
+                Instr::Mfence,
+                Instr::Load(Reg::Eax, MemArg::Global("y".into(), 0)),
+                Instr::Ret,
+            ]),
+        )]);
+        let cfg = thread_cfg(&m, 0, "t");
+        let accs = cfg.accesses();
+        assert_eq!(accs.len(), 2);
+        let store = accs[0];
+        let load = accs[1];
+        // The load is reachable from the store, but not drain-free.
+        assert!(cfg.reachable(store, true, None)[load]);
+        assert!(!cfg.reachable(store, false, None)[load]);
+        // The top-level ret is a drain node.
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| n.idx == 3 && matches!(n.kind, NodeKind::Drain)));
+    }
+
+    #[test]
+    fn calls_are_inlined_and_recursion_is_topped() {
+        let m = AsmModule::new([
+            (
+                "t",
+                func(vec![
+                    Instr::Store(MemArg::Global("x".into(), 0), Operand::Imm(1)),
+                    Instr::Call("leaf".into(), 0),
+                    Instr::Ret,
+                ]),
+            ),
+            (
+                "leaf",
+                func(vec![
+                    Instr::Load(Reg::Eax, MemArg::Global("y".into(), 0)),
+                    Instr::Ret,
+                ]),
+            ),
+            ("rec", func(vec![Instr::Call("rec".into(), 0), Instr::Ret])),
+        ]);
+        let cfg = thread_cfg(&m, 0, "t");
+        // The callee's load shows up, reachable drain-free from the store
+        // (an internal call does not drain, and neither does an inlined
+        // ret).
+        let store = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Access { write: true, .. }))
+            .unwrap();
+        let load = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.func == "leaf" && matches!(n.kind, NodeKind::Access { write: false, .. })
+            })
+            .unwrap();
+        assert!(cfg.reachable(store, false, None)[load]);
+
+        // Recursion degrades to the ⊤ cluster instead of diverging.
+        let rec = thread_cfg(&m, 0, "rec");
+        assert!(rec.nodes.iter().any(|n| n.idx == SYNTHETIC
+            && matches!(
+                &n.kind,
+                NodeKind::Access {
+                    loc: StaticLoc::Unknown,
+                    ..
+                }
+            )));
+    }
+
+    #[test]
+    fn external_call_drains_then_anything() {
+        let m = AsmModule::new([("t", func(vec![Instr::Call("ext".into(), 0), Instr::Ret]))]);
+        let cfg = thread_cfg(&m, 0, "t");
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| n.func == "ext" && matches!(n.kind, NodeKind::Drain)));
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| n.func == "ext" && matches!(n.kind, NodeKind::Access { .. })));
+    }
+}

@@ -19,12 +19,21 @@
 //! * **Per-pass IR lint** ([`lint`]): structural well-formedness checks
 //!   for all 12 pipeline stages (plus `Constprop`), catching
 //!   mutation-broken passes at the stage that introduced the breakage.
+//!
+//! * **TSO robustness** ([`asm_cfg`], [`tso_robust`]): a Shasha–Snir
+//!   critical-cycle analysis over per-thread assembly CFGs deciding
+//!   whether a program's x86-TSO behaviours are SC-equal
+//!   (`Robust` / `MayViolateSC` with witnesses), plus minimal fence
+//!   insertion and fence redundancy elimination — all differentially
+//!   validated against the executable `X86Sc`/`X86Tso` machines.
 
+pub mod asm_cfg;
 pub mod clight_fp;
 pub mod lint;
 pub mod lockset;
 pub mod region;
 pub mod rtl_fp;
+pub mod tso_robust;
 
 pub use clight_fp::{infer_clight, infer_clight_with, ClightSummaries};
 pub use lint::{
@@ -37,3 +46,8 @@ pub use lockset::{
 };
 pub use region::{AbsFootprint, AbsVal, Region};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};
+pub use tso_robust::{
+    analyze, compile_with_robustness, eliminate_redundant_fences, insert_fences, AccessRef,
+    CriticalCycle, FenceElimination, FenceInsertion, FencePoint, ReorderablePair, RobustReport,
+    Verdict,
+};

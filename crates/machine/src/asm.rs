@@ -201,6 +201,19 @@ pub enum Instr {
     Label(String),
 }
 
+impl Instr {
+    /// True if executing this instruction requires (and therefore
+    /// forces) an empty store buffer under x86-TSO: `mfence` and the
+    /// lock-prefixed read-modify-write. These are the *draining*
+    /// instructions the static robustness analysis treats as fences.
+    /// (`ret` from the bottom activation and external calls also drain,
+    /// but that is a property of the surrounding core state, not of the
+    /// instruction — see `X86Core::requires_drain`.)
+    pub fn drains(&self) -> bool {
+        matches!(self, Instr::Mfence | Instr::LockCmpxchg(..))
+    }
+}
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -248,6 +261,41 @@ impl AsmFunc {
         self.code
             .iter()
             .position(|i| matches!(i, Instr::Label(l) if l == label))
+    }
+
+    /// The intra-function control-flow successors of the instruction at
+    /// index `i`: fall-through and/or the resolved jump target. `ret`
+    /// (which leaves the function), an unresolvable jump target, and
+    /// falling off the end of the code (both of which abort) have no
+    /// successors. Calls fall through to their return point.
+    pub fn succs(&self, i: usize) -> Vec<usize> {
+        let Some(instr) = self.code.get(i) else {
+            return Vec::new();
+        };
+        let fallthrough = |out: &mut Vec<usize>| {
+            if i + 1 < self.code.len() {
+                out.push(i + 1);
+            }
+        };
+        let mut out = Vec::new();
+        match instr {
+            Instr::Ret => {}
+            Instr::Jmp(l) => {
+                if let Some(p) = self.label_pos(l) {
+                    out.push(p);
+                }
+            }
+            Instr::Jcc(_, l) => {
+                fallthrough(&mut out);
+                if let Some(p) = self.label_pos(l) {
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+            _ => fallthrough(&mut out),
+        }
+        out
     }
 }
 
@@ -327,6 +375,43 @@ mod tests {
         let m2 = AsmModule::new([("g", f.clone())]);
         assert!(m1.link(&m2).is_some());
         assert!(m1.link(&m1).is_none());
+    }
+
+    #[test]
+    fn cfg_successors() {
+        let f = AsmFunc {
+            code: vec![
+                Instr::Label("top".into()),                          // 0
+                Instr::Load(Reg::Eax, MemArg::Stack(0)),             // 1
+                Instr::Cmp(Operand::Reg(Reg::Eax), Operand::Imm(0)), // 2
+                Instr::Jcc(Cond::E, "top".into()),                   // 3
+                Instr::Jmp("end".into()),                            // 4
+                Instr::Label("end".into()),                          // 5
+                Instr::Ret,                                          // 6
+            ],
+            frame_slots: 1,
+            arity: 0,
+        };
+        assert_eq!(f.succs(0), vec![1]);
+        assert_eq!(f.succs(3), vec![4, 0]);
+        assert_eq!(f.succs(4), vec![5]);
+        assert_eq!(f.succs(6), Vec::<usize>::new());
+        // Falling off the end and unresolvable targets have no edges.
+        assert_eq!(f.succs(7), Vec::<usize>::new());
+        let g = AsmFunc {
+            code: vec![Instr::Jmp("nowhere".into())],
+            frame_slots: 0,
+            arity: 0,
+        };
+        assert_eq!(g.succs(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn draining_instructions() {
+        assert!(Instr::Mfence.drains());
+        assert!(Instr::LockCmpxchg(MemArg::Global("L".into(), 0), Reg::Edx).drains());
+        assert!(!Instr::Store(MemArg::Global("x".into(), 0), Operand::Imm(1)).drains());
+        assert!(!Instr::Ret.drains());
     }
 
     #[test]

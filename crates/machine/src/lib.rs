@@ -26,10 +26,12 @@
 
 pub mod asm;
 mod exec;
+pub mod litmus;
 pub mod sc;
 pub mod tso;
 
 pub use asm::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg};
 pub use exec::{Flags, X86Core};
+pub use litmus::Litmus;
 pub use sc::X86Sc;
 pub use tso::{TsoCore, X86Tso};

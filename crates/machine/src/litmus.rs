@@ -1,0 +1,331 @@
+//! The classic weak-memory litmus tests, as fixed x86 assembly
+//! fixtures.
+//!
+//! Each [`Litmus`] is a small multi-threaded [`AsmModule`] together with
+//! its *weak* (SC-forbidden) outcome, encoded as the multiset of values
+//! printed along a terminating execution, and the expected verdict of
+//! the x86-TSO machine: does the store-buffer model exhibit the weak
+//! outcome (`tso_observable`) or not?
+//!
+//! Store-buffering (SB) and its fenced variant come straight from §7.3
+//! of the paper; the rest (MP, LB, R, 2+2W, IRIW, CoRR) are the
+//! standard x86-TSO test battery of Owens, Sarkar and Sewell. On
+//! x86-TSO only the store→load order may be relaxed, so exactly SB and
+//! R are observable; every other weak outcome needs a reordering (W→W,
+//! R→R, R→W, or non-multi-copy-atomic stores) that a FIFO store buffer
+//! cannot produce.
+//!
+//! Final-state litmus tests (R, 2+2W) are made trace-observable with an
+//! *observer thread* that spins on per-writer `done` flags and then
+//! prints the final value: because the buffer is FIFO, a visible `done`
+//! flag implies the writer's earlier stores have also flushed, so the
+//! observer reads the genuinely final state.
+//!
+//! The corpus doubles as the fixed half of the differential oracle for
+//! the static robustness analysis in `ccc-analysis`: a program judged
+//! `Robust` must have SC-equal TSO trace sets, and on this corpus the
+//! verdict must be `MayViolateSC` exactly for SB and R.
+
+use crate::asm::{AsmFunc, AsmModule, Cond, Instr, MemArg, Operand, Reg};
+use ccc_core::mem::{GlobalEnv, Val};
+
+/// One litmus fixture: program, environment, entries, and expectations.
+#[derive(Clone, Debug)]
+pub struct Litmus {
+    /// Conventional name (SB, MP, …).
+    pub name: &'static str,
+    /// What the test pins down.
+    pub description: &'static str,
+    /// The threads, one function per entry.
+    pub module: AsmModule,
+    /// Globals (all zero-initialised unless noted).
+    pub ge: GlobalEnv,
+    /// Thread entry points.
+    pub entries: Vec<String>,
+    /// The weak outcome: the multiset of printed values identifying the
+    /// SC-forbidden behaviour on a terminating (`Done`) trace.
+    pub weak: Vec<i64>,
+    /// True if x86-TSO exhibits the weak outcome (SB and R only).
+    pub tso_observable: bool,
+}
+
+fn func(code: Vec<Instr>) -> AsmFunc {
+    AsmFunc {
+        code,
+        frame_slots: 0,
+        arity: 0,
+    }
+}
+
+fn global(name: &str) -> MemArg {
+    MemArg::Global(name.to_string(), 0)
+}
+
+fn store(name: &str, v: i64) -> Instr {
+    Instr::Store(global(name), Operand::Imm(v))
+}
+
+fn load(r: Reg, name: &str) -> Instr {
+    Instr::Load(r, global(name))
+}
+
+fn epilogue(code: &mut Vec<Instr>) {
+    code.push(Instr::Mov(Reg::Eax, Operand::Imm(0)));
+    code.push(Instr::Ret);
+}
+
+/// Loads two globals and prints the two-digit digest `10·a + b`.
+fn load2_print(a: &str, b: &str) -> Vec<Instr> {
+    let mut code = vec![
+        load(Reg::Eax, a),
+        load(Reg::Ebx, b),
+        Instr::Imul(Reg::Eax, Operand::Imm(10)),
+        Instr::Add(Reg::Eax, Operand::Reg(Reg::Ebx)),
+        Instr::Print(Reg::Eax),
+    ];
+    epilogue(&mut code);
+    code
+}
+
+/// Spin until the global `flag` reads 1 (a unique label prefix keeps
+/// several waits per function well-formed).
+fn wait_for(code: &mut Vec<Instr>, flag: &str) {
+    let label = format!("wait_{flag}");
+    code.push(Instr::Label(label.clone()));
+    code.push(load(Reg::Eax, flag));
+    code.push(Instr::Cmp(Operand::Reg(Reg::Eax), Operand::Imm(1)));
+    code.push(Instr::Jcc(Cond::Ne, label));
+}
+
+fn ge_of(globals: &[&str]) -> GlobalEnv {
+    let mut ge = GlobalEnv::new();
+    for g in globals {
+        ge.define(*g, Val::Int(0));
+    }
+    ge
+}
+
+fn litmus(
+    name: &'static str,
+    description: &'static str,
+    globals: &[&str],
+    threads: Vec<(&str, Vec<Instr>)>,
+    weak: Vec<i64>,
+    tso_observable: bool,
+) -> Litmus {
+    let entries = threads.iter().map(|(n, _)| n.to_string()).collect();
+    Litmus {
+        name,
+        description,
+        module: AsmModule::new(threads.into_iter().map(|(n, c)| (n, func(c)))),
+        ge: ge_of(globals),
+        entries,
+        weak,
+        tso_observable,
+    }
+}
+
+/// Store buffering: `x := 1; print y ∥ y := 1; print x`. The 0/0
+/// outcome needs both stores delayed past the opposite load — the TSO
+/// relaxation.
+fn sb(fenced: bool) -> Litmus {
+    let mk = |mine: &str, theirs: &str| {
+        let mut code = vec![store(mine, 1)];
+        if fenced {
+            code.push(Instr::Mfence);
+        }
+        code.push(load(Reg::Ecx, theirs));
+        code.push(Instr::Print(Reg::Ecx));
+        epilogue(&mut code);
+        code
+    };
+    litmus(
+        if fenced { "SB+mfence" } else { "SB" },
+        if fenced {
+            "store buffering with a full fence between store and load"
+        } else {
+            "store buffering: both loads may overtake the buffered stores"
+        },
+        &["x", "y"],
+        vec![("t0", mk("x", "y")), ("t1", mk("y", "x"))],
+        vec![0, 0],
+        !fenced,
+    )
+}
+
+/// Message passing: `data := 1; flag := 1 ∥ print (10·flag + data)`.
+/// Weak outcome 10 (flag seen, data stale) needs W→W or R→R
+/// reordering; the FIFO buffer forbids it.
+fn mp() -> Litmus {
+    let mut t0 = vec![store("data", 1), store("flag", 1)];
+    epilogue(&mut t0);
+    litmus(
+        "MP",
+        "message passing: FIFO flushing keeps data visible before flag",
+        &["data", "flag"],
+        vec![("t0", t0), ("t1", load2_print("flag", "data"))],
+        vec![10],
+        false,
+    )
+}
+
+/// Load buffering: `print x; y := 1 ∥ print y; x := 1`. The 1/1
+/// outcome needs loads delayed past program-order-later stores (R→W),
+/// which TSO forbids.
+fn lb() -> Litmus {
+    let mk = |mine: &str, theirs: &str| {
+        let mut code = vec![
+            load(Reg::Ecx, theirs),
+            store(mine, 1),
+            Instr::Print(Reg::Ecx),
+        ];
+        epilogue(&mut code);
+        code
+    };
+    litmus(
+        "LB",
+        "load buffering: loads never overtake later stores on TSO",
+        &["x", "y"],
+        vec![("t0", mk("y", "x")), ("t1", mk("x", "y"))],
+        vec![1, 1],
+        false,
+    )
+}
+
+/// The R test: `x := 1; y := 1 ∥ y := 2; print x`, plus an observer of
+/// the final `y`. The weak outcome (x read as 0 *and* y finally 2)
+/// needs t1's store to y delayed past its load of x — TSO exhibits it.
+fn r() -> Litmus {
+    let mut t0 = vec![store("x", 1), store("y", 1), store("done0", 1)];
+    epilogue(&mut t0);
+    let mut t1 = vec![
+        store("y", 2),
+        load(Reg::Ecx, "x"),
+        Instr::Print(Reg::Ecx),
+        store("done1", 1),
+    ];
+    epilogue(&mut t1);
+    let mut obs = Vec::new();
+    wait_for(&mut obs, "done0");
+    wait_for(&mut obs, "done1");
+    obs.push(load(Reg::Ecx, "y"));
+    obs.push(Instr::Add(Reg::Ecx, Operand::Imm(100)));
+    obs.push(Instr::Print(Reg::Ecx));
+    epilogue(&mut obs);
+    litmus(
+        "R",
+        "store vs store/load: the buffered y:=2 may pass the x load",
+        &["x", "y", "done0", "done1"],
+        vec![("t0", t0), ("t1", t1), ("obs", obs)],
+        vec![0, 102],
+        true,
+    )
+}
+
+/// 2+2W: `x := 1; y := 1 ∥ y := 2; x := 2`, final state read by an
+/// observer. The weak outcome (x = 1 and y = 2) needs W→W reordering.
+fn w2plus2() -> Litmus {
+    let mut t0 = vec![store("x", 1), store("y", 1), store("done0", 1)];
+    epilogue(&mut t0);
+    let mut t1 = vec![store("y", 2), store("x", 2), store("done1", 1)];
+    epilogue(&mut t1);
+    let mut obs = Vec::new();
+    wait_for(&mut obs, "done0");
+    wait_for(&mut obs, "done1");
+    obs.extend(load2_print("x", "y"));
+    litmus(
+        "2+2W",
+        "two writers each to both locations: W→W order is preserved",
+        &["x", "y", "done0", "done1"],
+        vec![("t0", t0), ("t1", t1), ("obs", obs)],
+        vec![12],
+        false,
+    )
+}
+
+/// IRIW: two writers to independent locations, two readers observing
+/// them in opposite orders. The weak outcome needs non-multi-copy-
+/// atomic stores; a single shared memory forbids it.
+fn iriw() -> Litmus {
+    let w = |g: &str| {
+        let mut code = vec![store(g, 1)];
+        epilogue(&mut code);
+        code
+    };
+    litmus(
+        "IRIW",
+        "independent readers, independent writers: stores are multi-copy atomic",
+        &["x", "y"],
+        vec![
+            ("w0", w("x")),
+            ("w1", w("y")),
+            ("r0", load2_print("x", "y")),
+            ("r1", load2_print("y", "x")),
+        ],
+        vec![10, 10],
+        false,
+    )
+}
+
+/// CoRR: coherence of read-read — two program-order reads of the same
+/// location never observe new-then-old.
+fn corr() -> Litmus {
+    let mut t0 = vec![store("x", 1)];
+    epilogue(&mut t0);
+    litmus(
+        "CoRR",
+        "read-read coherence on a single location",
+        &["x"],
+        vec![("t0", t0), ("t1", load2_print("x", "x"))],
+        vec![10],
+        false,
+    )
+}
+
+/// The full fixed corpus, in presentation order.
+pub fn corpus() -> Vec<Litmus> {
+    vec![
+        sb(false),
+        sb(true),
+        mp(),
+        lb(),
+        r(),
+        w2plus2(),
+        iriw(),
+        corr(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        let c = corpus();
+        assert_eq!(c.len(), 8);
+        for l in &c {
+            assert_eq!(l.entries.len(), l.module.funcs.len(), "{}", l.name);
+            for e in &l.entries {
+                let f = l.module.funcs.get(e).unwrap_or_else(|| panic!("{e}"));
+                assert!(matches!(f.code.last(), Some(Instr::Ret)), "{}", l.name);
+                // Every jump target resolves.
+                for (i, _) in f.code.iter().enumerate() {
+                    match &f.code[i] {
+                        Instr::Jmp(_) | Instr::Jcc(..) => {
+                            assert!(!f.succs(i).is_empty(), "{}:{e}:{i}", l.name)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Exactly SB and R are TSO-observable.
+        let observable: Vec<&str> = c
+            .iter()
+            .filter(|l| l.tso_observable)
+            .map(|l| l.name)
+            .collect();
+        assert_eq!(observable, vec!["SB", "R"]);
+    }
+}

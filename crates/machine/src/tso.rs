@@ -62,7 +62,15 @@ impl MemView for TsoView {
     }
 
     fn store_direct(&mut self, a: Addr, v: Val) -> bool {
-        debug_assert!(self.buf.is_empty(), "locked op with non-empty buffer");
+        // Hard machine invariant, not a debug assertion: a locked
+        // operation's direct store with a non-empty buffer would let the
+        // RMW overtake its own earlier stores. `requires_drain` makes
+        // this unreachable from the dispatcher, but release-mode
+        // exploration of a buggy caller must fault here rather than
+        // silently reorder.
+        if !self.buf.is_empty() {
+            return false;
+        }
         if self.mem.store(a, v) {
             self.fp.extend(&Footprint::write(a));
             true
@@ -378,6 +386,29 @@ mod tests {
         // After the drain, Ret fires.
         let steps = lang.step(&m, &ge, &fl, &c2, &m2);
         assert!(matches!(steps[0], LocalStep::Ret { .. }));
+    }
+
+    #[test]
+    fn direct_store_with_nonempty_buffer_faults() {
+        // Regression for the promoted invariant: `store_direct` against
+        // a view whose buffer is non-empty must fault (return false and
+        // leave memory untouched), not reorder the locked write ahead of
+        // the buffered one — in release builds too, where the old
+        // `debug_assert!` compiled away.
+        let mut ge = GlobalEnv::new();
+        let x = ge.define("x", Val::Int(0));
+        let mut view = TsoView {
+            mem: ge.initial_memory(),
+            buf: VecDeque::from([(x, Val::Int(7))]),
+            fp: Footprint::emp(),
+        };
+        use crate::exec::MemView;
+        assert!(!view.store_direct(x, Val::Int(9)), "must fault");
+        assert_eq!(view.mem.load(x), Some(Val::Int(0)), "memory untouched");
+        // With a drained buffer the same store goes through.
+        view.buf.clear();
+        assert!(view.store_direct(x, Val::Int(9)));
+        assert_eq!(view.mem.load(x), Some(Val::Int(9)));
     }
 
     #[test]

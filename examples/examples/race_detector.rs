@@ -9,8 +9,15 @@
 //! sharing globals through the CImp lock object, with and without the
 //! lock calls, verdicts side by side.
 //!
+//! A third gallery does the same for the *TSO robustness* analysis:
+//! each litmus program of `ccc_machine::litmus` gets its static
+//! `Robust`/`MayViolateSC` verdict next to the machine's actual
+//! TSO-observability, plus the number of fences `insert_fences` needs
+//! to repair the non-robust ones.
+//!
 //! Run with: `cargo run -p ccc-examples --example race_detector`
 
+use ccc_analysis::tso_robust::{analyze, insert_fences};
 use ccc_analysis::{check_static_race, infer_lock_model, StaticVerdict};
 use ccc_cimp::CImpLang;
 use ccc_clight::gen::gen_concurrent_client;
@@ -184,5 +191,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nThe lockset analysis reaches the exploration's verdict without");
     println!("enumerating a single interleaving.");
+
+    println!("\nStatic TSO-robustness verdicts on the litmus corpus:\n");
+    println!(
+        "{:<11} {:<13} {:>5} {:>7} {:>7} | {:>8}   witness",
+        "litmus", "static", "pairs", "cycles", "fences", "tso-weak"
+    );
+    println!("{}", "-".repeat(86));
+    for l in ccc_machine::litmus::corpus() {
+        let report = analyze(&l.module, &l.entries);
+        let fenced = insert_fences(&l.module, &l.entries);
+        println!(
+            "{:<11} {:<13} {:>5} {:>7} {:>7} | {:>8}   {}",
+            l.name,
+            if report.is_robust() {
+                "Robust"
+            } else {
+                "MayViolateSC"
+            },
+            report.pairs.len(),
+            report.witnesses().len(),
+            fenced.inserted.len(),
+            l.tso_observable,
+            report
+                .witnesses()
+                .first()
+                .map(|w| w.pair.to_string())
+                .unwrap_or_else(|| "—".to_string()),
+        );
+        // The static verdict coincides with the machine's observability
+        // on every corpus program, and fencing always restores
+        // robustness.
+        assert_eq!(report.is_robust(), !l.tso_observable, "{}", l.name);
+        assert!(
+            analyze(&fenced.module, &l.entries).is_robust(),
+            "{}",
+            l.name
+        );
+    }
+    println!("\nThe robustness analysis flags exactly the TSO-observable tests (SB, R)");
+    println!("and repairs them with minimal fences — no interleaving enumerated here");
+    println!("either; see the `tso_robustness` bench for the measured speedup.");
     Ok(())
 }

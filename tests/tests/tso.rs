@@ -11,7 +11,7 @@ use ccc_core::mem::{GlobalEnv, Val};
 use ccc_core::race::check_drf;
 use ccc_core::refine::{collect_traces, trace_refines_nonterm, ExploreCfg, Preemptive, Terminal};
 use ccc_core::world::Loaded;
-use ccc_machine::{AsmModule, X86Tso};
+use ccc_machine::{litmus, AsmModule, X86Sc, X86Tso};
 use ccc_sync::drf_guarantee::{build_ptso, check_drf_guarantee, SyncObject};
 use ccc_sync::lock::{counter_client, lock_impl, lock_spec};
 use ccc_sync::stack::stack_object;
@@ -148,6 +148,91 @@ fn lemma16_lock_and_stack_objects() {
     let report =
         check_drf_guarantee(&clients, &ge, &entries, &stack_object(), &cfg).expect("stack");
     assert!(report.holds(), "stack object: {report:?}");
+}
+
+/// The exploration budget used for the litmus corpus (the observer
+/// threads of R and 2+2W spin, so paths are longer than the default).
+fn litmus_cfg() -> ExploreCfg {
+    ExploreCfg {
+        fuel: 200,
+        max_states: 4_000_000,
+        ..Default::default()
+    }
+}
+
+/// The multiset of printed values of a terminating trace, as a sorted
+/// vector (print order between threads is schedule-dependent; the weak
+/// outcomes are defined up to reordering).
+fn done_outcomes(ts: &ccc_core::refine::TraceSet) -> Vec<Vec<i64>> {
+    ts.traces
+        .iter()
+        .filter(|t| t.end == Terminal::Done)
+        .map(|t| {
+            let mut vals: Vec<i64> = t
+                .events
+                .iter()
+                .map(|e| match e {
+                    Event::Print(i) => *i,
+                })
+                .collect();
+            vals.sort_unstable();
+            vals
+        })
+        .collect()
+}
+
+/// The litmus suite: every weak outcome is SC-forbidden, and x86-TSO
+/// exhibits it exactly when the corpus says it does (SB and R — the
+/// store→load relaxation is the *only* one the store buffer adds).
+#[test]
+fn litmus_corpus_allowed_and_forbidden_outcomes() {
+    let cfg = litmus_cfg();
+    for l in litmus::corpus() {
+        let mut weak = l.weak.clone();
+        weak.sort_unstable();
+        let sc = Loaded::new(Prog::new(
+            X86Sc,
+            vec![(l.module.clone(), l.ge.clone())],
+            l.entries.clone(),
+        ))
+        .expect("sc links");
+        let sc_traces = collect_traces(&Preemptive(&sc), &cfg).expect("sc traces");
+        assert!(!sc_traces.truncated, "{}: SC exploration truncated", l.name);
+        assert!(
+            !done_outcomes(&sc_traces).contains(&weak),
+            "{}: weak outcome {weak:?} must be SC-forbidden",
+            l.name
+        );
+
+        let tso = Loaded::new(Prog::new(
+            X86Tso,
+            vec![(l.module.clone(), l.ge.clone())],
+            l.entries.clone(),
+        ))
+        .expect("tso links");
+        let tso_traces = collect_traces(&Preemptive(&tso), &cfg).expect("tso traces");
+        assert!(
+            !tso_traces.truncated,
+            "{}: TSO exploration truncated",
+            l.name
+        );
+        assert_eq!(
+            done_outcomes(&tso_traces).contains(&weak),
+            l.tso_observable,
+            "{}: TSO observability of {weak:?}",
+            l.name
+        );
+
+        // The trace-set level statement: the corpus programs whose weak
+        // outcome TSO forbids are in fact fully SC-equivalent.
+        use ccc_core::refine::trace_equiv;
+        assert_eq!(
+            trace_equiv(&sc_traces, &tso_traces),
+            !l.tso_observable,
+            "{}: SC/TSO trace-set equality",
+            l.name
+        );
+    }
 }
 
 #[test]
