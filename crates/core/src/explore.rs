@@ -1,0 +1,885 @@
+//! The shared high-performance exploration engine.
+//!
+//! Every checker that substitutes for a Coq proof in this reproduction —
+//! DRF/NPDRF ([`crate::race`]), trace refinement ([`crate::refine`]),
+//! `ReachClose` ([`crate::rg`]), well-definedness ([`crate::wd`]) —
+//! bottoms out in exhaustive exploration of a state graph. This module
+//! provides the three cooperating layers they build on:
+//!
+//! 1. **State interning** ([`Engine`]): worlds are hash-consed into
+//!    [`IWorld`]s whose thread and memory components are structurally
+//!    shared behind [`Arc`]s, so a visited set stores a handful of
+//!    32-bit ids instead of deep-cloned worlds, and successor dedup
+//!    re-hashes only the *changed* component of a step (one thread
+//!    state, and the memory only when it actually changed) instead of
+//!    the whole world.
+//!
+//! 2. **Footprint-directed partial-order reduction**
+//!    ([`Reduction::Ample`]): the paper's own instrumented footprints
+//!    (§5) are precisely an independence relation. A thread is selected
+//!    as an *ample set* at a state only if every step it can take is an
+//!    invisible `τ`-step whose footprint lies entirely inside the
+//!    thread's own free-list region — under the `HG` scoping discipline
+//!    (Fig. 8) no other thread ever touches that region, so such steps
+//!    commute with every step of every other thread, now and forever.
+//!    Events, atomic-block boundaries, thread termination, and any
+//!    shared-region access stay fully interleaved, which preserves
+//!    event-trace sets and race reachability. Soundness is
+//!    unconditional: the engine *monitors* the scoping discipline while
+//!    exploring (see [`Engine::scoping_ok`]) and callers fall back to
+//!    the unreduced exploration if a step ever escapes its region; the
+//!    "ignoring" problem of ample-set reduction is handled by fully
+//!    expanding any state whose ample successor was already expanded,
+//!    which guarantees every cycle of the reduced graph contains a
+//!    fully-expanded state.
+//!
+//! 3. **A parallel frontier** ([`par_explore`]): a `std::thread` worker
+//!    pool over a sharded visited set for the verdict-only explorers.
+//!    Results are merged deterministically: each worker folds its local
+//!    findings into a commutative monoid (footprint unions, minimal
+//!    race witness) so the merged outcome is independent of scheduling
+//!    whenever the exploration completes within its state budget.
+//!
+//! The naive engines remain available behind
+//! `ExploreCfg { reduction: Reduction::Off, .. }` and serve as the
+//! differential oracle: on the whole corpus the reduced and parallel
+//! explorers must produce bit-identical verdicts, trace sets, and
+//! footprint unions (`tests/tests/explore.rs`).
+
+use crate::footprint::Footprint;
+use crate::lang::{Lang, StepMsg};
+use crate::mem::Memory;
+use crate::refine::{Semantics, SuccStep};
+use crate::world::{GLabel, LoadError, Loaded, ThreadId, ThreadState, ThreadStep, World};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Fast non-cryptographic hashing (FxHash-style, implemented in-repo)
+// ---------------------------------------------------------------------------
+
+/// The multiplier of the Firefox `FxHasher` (a gxhash/FNV-style mixing
+/// constant: `π`'s fractional bits, truncated to 64 bits and made odd).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const FX_ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher (the `FxHash`
+/// algorithm used by rustc, re-implemented here to avoid a dependency).
+///
+/// Exploration dominates every checker's runtime and hashing dominates
+/// exploration, so all visited sets and the interner use this instead of
+/// the DoS-resistant (but much slower, and randomly seeded) SipHash of
+/// `std`. Determinism matters: it makes state counts and truncation
+/// points reproducible across runs, which the differential suite and the
+/// benchmark harness rely on.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(FX_ROTATE) ^ i).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// A `HashMap` using the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`].
+pub fn fx_hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Reduction modes
+// ---------------------------------------------------------------------------
+
+/// Which partial-order reduction the preemptive explorers apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Reduction {
+    /// No reduction: the original exhaustive engines (the differential
+    /// oracle).
+    #[default]
+    Off,
+    /// Footprint-directed ample-set reduction over interned states (see
+    /// the module documentation for the soundness argument).
+    Ample,
+    /// A deliberately *unsound* ample criterion that also treats
+    /// shared-global accesses as independent. Exists only so the
+    /// differential test suite can prove it catches a bad independence
+    /// judgment; never use it for real checking.
+    #[doc(hidden)]
+    AmpleOverbroad,
+}
+
+impl Reduction {
+    fn is_ample(self) -> bool {
+        matches!(self, Reduction::Ample | Reduction::AmpleOverbroad)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-consing pools
+// ---------------------------------------------------------------------------
+
+/// A hash-consing pool: interns values behind [`Arc`]s, assigning dense
+/// 32-bit ids, with each value's hash computed exactly once.
+struct Pool<T> {
+    items: Vec<Arc<T>>,
+    /// hash → candidate ids (collision bucket).
+    table: FxHashMap<u64, Vec<u32>>,
+}
+
+impl<T: Eq + Hash> Pool<T> {
+    fn new() -> Pool<T> {
+        Pool {
+            items: Vec::new(),
+            table: FxHashMap::default(),
+        }
+    }
+
+    fn intern(&mut self, value: T) -> u32 {
+        let h = fx_hash_of(&value);
+        if let Some(cands) = self.table.get(&h) {
+            for &id in cands {
+                if *self.items[id as usize] == value {
+                    return id;
+                }
+            }
+        }
+        let id = u32::try_from(self.items.len()).expect("interner overflow");
+        self.items.push(Arc::new(value));
+        self.table.entry(h).or_default().push(id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &Arc<T> {
+        &self.items[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<T> fmt::Debug for Pool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pool({} items)", self.items.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interned worlds and the serial engine
+// ---------------------------------------------------------------------------
+
+/// An interned preemptive world: the same data as
+/// [`World`](crate::world::World), with the thread states and the memory
+/// replaced by pool ids. Hashing and comparing an `IWorld` touches a few
+/// machine words instead of the whole heap structure.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct IWorld {
+    /// Pool id of each thread's state (index = thread id).
+    pub threads: Vec<u32>,
+    /// The current thread.
+    pub cur: ThreadId,
+    /// The atomic bit `d`.
+    pub atom: bool,
+    /// Pool id of the shared memory.
+    pub mem: u32,
+}
+
+/// One global step over interned worlds.
+#[derive(Clone, Debug)]
+pub enum IStep {
+    /// A successor world.
+    Next {
+        /// The step label.
+        label: GLabel,
+        /// The footprint of the underlying local step.
+        fp: Footprint,
+        /// The thread that took the step (`== world.cur`).
+        tid: ThreadId,
+        /// The successor world.
+        world: IWorld,
+    },
+    /// The step aborts.
+    Abort,
+}
+
+/// The interning + partial-order-reducing exploration engine over the
+/// preemptive semantics (fused-switch variant, like
+/// [`Loaded::step_preemptive_sched`]).
+///
+/// # Examples
+///
+/// ```
+/// use ccc_core::explore::{Engine, IStep, Reduction};
+/// use ccc_core::lang::Prog;
+/// use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
+/// use ccc_core::world::Loaded;
+/// let body = vec![ToyInstr::Const(1), ToyInstr::Ret(0)];
+/// let (m, _) = toy_module(&[("a", body.clone()), ("b", body)], &[]);
+/// let l = Loaded::new(Prog::new(ToyLang, vec![(m, toy_globals(&[]))], ["a", "b"]))?;
+/// let mut eng = Engine::new(&l, Reduction::Ample);
+/// let init = eng.load()?;
+/// assert!(!eng.successors(&init).is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine<'a, L: Lang> {
+    loaded: &'a Loaded<L>,
+    threads: Pool<ThreadState<L>>,
+    mems: Pool<Memory>,
+    /// States `successors` has been called on — the ample "ignoring"
+    /// guard: a candidate ample move into an already-expanded state
+    /// forces full expansion, so every cycle of the reduced graph
+    /// contains at least one fully-expanded state.
+    seen: FxHashSet<IWorld>,
+    reduction: Reduction,
+    scoping_ok: bool,
+}
+
+impl<L: Lang> fmt::Debug for Engine<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("mems", &self.mems)
+            .field("reduction", &self.reduction)
+            .field("scoping_ok", &self.scoping_ok)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, L: Lang> Engine<'a, L> {
+    /// Creates an engine over a loaded program.
+    pub fn new(loaded: &'a Loaded<L>, reduction: Reduction) -> Engine<'a, L> {
+        Engine {
+            loaded,
+            threads: Pool::new(),
+            mems: Pool::new(),
+            seen: FxHashSet::default(),
+            reduction,
+            scoping_ok: true,
+        }
+    }
+
+    /// Interns the initial world (the `Load` rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LoadError`].
+    pub fn load(&mut self) -> Result<IWorld, LoadError> {
+        let w = self.loaded.load()?;
+        Ok(self.intern_world(w))
+    }
+
+    /// Interns an arbitrary world.
+    pub fn intern_world(&mut self, w: World<L>) -> IWorld {
+        IWorld {
+            threads: w
+                .threads
+                .into_iter()
+                .map(|t| self.threads.intern(t))
+                .collect(),
+            cur: w.cur,
+            atom: w.atom,
+            mem: self.mems.intern(w.mem),
+        }
+    }
+
+    /// The interned thread state behind `id`.
+    pub fn thread(&self, id: u32) -> &Arc<ThreadState<L>> {
+        self.threads.get(id)
+    }
+
+    /// The interned memory behind `id`.
+    pub fn memory(&self, id: u32) -> &Arc<Memory> {
+        self.mems.get(id)
+    }
+
+    /// True if every thread of `w` has terminated.
+    pub fn is_done(&self, w: &IWorld) -> bool {
+        w.threads.iter().all(|&t| self.threads.get(t).is_done())
+    }
+
+    /// Number of distinct (thread, memory) components interned so far.
+    pub fn interned_components(&self) -> (usize, usize) {
+        (self.threads.len(), self.mems.len())
+    }
+
+    /// False if some explored step's footprint escaped its thread's own
+    /// free-list region ∪ the global region. The ample-set independence
+    /// argument assumes the `HG` scoping discipline; when this monitor
+    /// trips, callers must discard the reduced result and re-run with
+    /// [`Reduction::Off`].
+    pub fn scoping_ok(&self) -> bool {
+        self.scoping_ok
+    }
+
+    /// All global steps of thread `t` from `w` (full expansion for one
+    /// thread; mirrors [`Loaded::thread_steps`] over interned worlds).
+    fn expand_thread(&mut self, w: &IWorld, t: ThreadId) -> Vec<IStep> {
+        let thread = self.threads.get(w.threads[t]).clone();
+        let mem = self.mems.get(w.mem).clone();
+        let mut out = Vec::new();
+        for ts in self.loaded.local_thread_steps(&thread, &mem) {
+            match ts {
+                ThreadStep::Internal {
+                    msg,
+                    fp,
+                    frames,
+                    mem: m,
+                } => {
+                    let (label, atom) = match msg {
+                        StepMsg::Tau => (GLabel::Tau, w.atom),
+                        StepMsg::Event(e) => (GLabel::Ev(e), w.atom),
+                        StepMsg::EntAtom => {
+                            if w.atom {
+                                out.push(IStep::Abort); // nested atomic: no rule
+                                continue;
+                            }
+                            (GLabel::Tau, true)
+                        }
+                        StepMsg::ExtAtom => {
+                            if !w.atom {
+                                out.push(IStep::Abort);
+                                continue;
+                            }
+                            (GLabel::Tau, false)
+                        }
+                    };
+                    if !fp.within(|a| a.is_global() || thread.flist.contains(a)) {
+                        self.scoping_ok = false;
+                    }
+                    let tid = self.threads.intern(ThreadState {
+                        frames,
+                        flist: thread.flist,
+                    });
+                    let mid = if m == **self.mems.get(w.mem) {
+                        w.mem // unchanged memory: reuse the id, skip re-hashing
+                    } else {
+                        self.mems.intern(m)
+                    };
+                    let mut threads = w.threads.clone();
+                    threads[t] = tid;
+                    out.push(IStep::Next {
+                        label,
+                        fp,
+                        tid: t,
+                        world: IWorld {
+                            threads,
+                            cur: t,
+                            atom,
+                            mem: mid,
+                        },
+                    });
+                }
+                ThreadStep::Terminated => {
+                    let tid = self.threads.intern(ThreadState {
+                        frames: Vec::new(),
+                        flist: thread.flist,
+                    });
+                    let mut threads = w.threads.clone();
+                    threads[t] = tid;
+                    out.push(IStep::Next {
+                        label: GLabel::Tau,
+                        fp: Footprint::emp(),
+                        tid: t,
+                        world: IWorld {
+                            threads,
+                            cur: t,
+                            atom: w.atom,
+                            mem: w.mem,
+                        },
+                    });
+                }
+                ThreadStep::Abort => out.push(IStep::Abort),
+            }
+        }
+        out
+    }
+
+    /// Tries to select thread `t` as the ample set at `w`: every enabled
+    /// step of `t` must be an invisible `τ`-step with a footprint inside
+    /// `t`'s own free-list region (empty footprints qualify). Events,
+    /// atomic boundaries, termination, aborts, and shared accesses
+    /// disqualify the thread — those stay fully interleaved.
+    fn try_ample(&mut self, w: &IWorld, t: ThreadId) -> Option<Vec<IStep>> {
+        let thread = self.threads.get(w.threads[t]).clone();
+        let mem = self.mems.get(w.mem).clone();
+        let steps = self.loaded.local_thread_steps(&thread, &mem);
+        if steps.is_empty() {
+            return None;
+        }
+        let overbroad = self.reduction == Reduction::AmpleOverbroad;
+        for ts in &steps {
+            match ts {
+                ThreadStep::Internal {
+                    msg: StepMsg::Tau,
+                    fp,
+                    ..
+                } if fp.within(|a| thread.flist.contains(a) || (overbroad && a.is_global())) => {}
+                _ => return None,
+            }
+        }
+        let mut out = Vec::with_capacity(steps.len());
+        for ts in steps {
+            let ThreadStep::Internal {
+                fp, frames, mem: m, ..
+            } = ts
+            else {
+                unreachable!("eligibility checked above")
+            };
+            let tid = self.threads.intern(ThreadState {
+                frames,
+                flist: thread.flist,
+            });
+            let mid = if m == *mem {
+                w.mem
+            } else {
+                self.mems.intern(m)
+            };
+            let mut threads = w.threads.clone();
+            threads[t] = tid;
+            out.push(IStep::Next {
+                label: GLabel::Tau,
+                fp,
+                tid: t,
+                world: IWorld {
+                    threads,
+                    cur: t,
+                    atom: w.atom,
+                    mem: mid,
+                },
+            });
+        }
+        // The "ignoring" guard (condition C3 of ample-set reduction): if
+        // a candidate successor was already expanded, selecting this
+        // ample set could postpone other threads around a cycle forever.
+        let closes_cycle = out
+            .iter()
+            .any(|s| matches!(s, IStep::Next { world, .. } if self.seen.contains(world)));
+        if closes_cycle {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// All successors of `w` under the configured reduction.
+    pub fn successors(&mut self, w: &IWorld) -> Vec<IStep> {
+        self.seen.insert(w.clone());
+        if w.atom {
+            return self.expand_thread(w, w.cur);
+        }
+        let live: Vec<ThreadId> = (0..w.threads.len())
+            .filter(|&t| !self.threads.get(w.threads[t]).is_done())
+            .collect();
+        if self.reduction.is_ample() && live.len() > 1 {
+            for &t in &live {
+                if let Some(steps) = self.try_ample(w, t) {
+                    return steps;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for &t in &live {
+            out.extend(self.expand_thread(w, t));
+        }
+        out
+    }
+}
+
+/// The reduced, interned preemptive semantics as a
+/// [`Semantics`](crate::refine::Semantics) instance, so
+/// [`collect_traces`](crate::refine::collect_traces) (and with it trace
+/// refinement `⊑`) runs on the engine unchanged.
+pub struct EnginePreemptive<'a, L: Lang> {
+    engine: RefCell<Engine<'a, L>>,
+}
+
+impl<L: Lang> fmt::Debug for EnginePreemptive<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EnginePreemptive({:?})", self.engine.borrow())
+    }
+}
+
+impl<'a, L: Lang> EnginePreemptive<'a, L> {
+    /// Wraps a loaded program with the given reduction mode.
+    pub fn new(loaded: &'a Loaded<L>, reduction: Reduction) -> EnginePreemptive<'a, L> {
+        EnginePreemptive {
+            engine: RefCell::new(Engine::new(loaded, reduction)),
+        }
+    }
+
+    /// See [`Engine::scoping_ok`].
+    pub fn scoping_ok(&self) -> bool {
+        self.engine.borrow().scoping_ok()
+    }
+}
+
+impl<L: Lang> Semantics for EnginePreemptive<'_, L> {
+    type State = IWorld;
+
+    fn initials(&self) -> Result<Vec<IWorld>, LoadError> {
+        Ok(vec![self.engine.borrow_mut().load()?])
+    }
+
+    fn successors(&self, s: &IWorld) -> Vec<SuccStep<IWorld>> {
+        self.engine
+            .borrow_mut()
+            .successors(s)
+            .into_iter()
+            .map(|g| match g {
+                IStep::Next { label, world, .. } => SuccStep::Next {
+                    event: match label {
+                        GLabel::Ev(e) => Some(e),
+                        _ => None,
+                    },
+                    state: world,
+                },
+                IStep::Abort => SuccStep::Abort,
+            })
+            .collect()
+    }
+
+    fn is_done(&self, s: &IWorld) -> bool {
+        self.engine.borrow().is_done(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel frontier
+// ---------------------------------------------------------------------------
+
+/// Number of visited-set shards (a power of two; indexed by state hash).
+const VISITED_SHARDS: usize = 64;
+
+/// The outcome of a parallel exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParOutcome<A> {
+    /// The merged per-worker accumulators.
+    pub acc: A,
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// True if the state budget was exhausted.
+    pub truncated: bool,
+}
+
+/// Explores the graph generated by `expand` from `initials` with
+/// `nthreads` workers over a sharded visited set.
+///
+/// `expand` receives each distinct state exactly once, together with the
+/// worker-local accumulator, and returns the state's successors. After
+/// the frontier drains, the per-worker accumulators are folded with
+/// `merge`. The result is deterministic whenever (a) the exploration
+/// completes within `max_states` (the visited *set* is then exactly the
+/// reachable set, independent of scheduling) and (b) `merge` together
+/// with the accumulation in `expand` is commutative and associative —
+/// which is how the callers in [`crate::race`], [`crate::rg`], and
+/// [`crate::wd`] are written (footprint unions, minimal witnesses).
+/// Under truncation the visited subset is scheduling-dependent, exactly
+/// as the serial engines' truncated verdicts are stack-order-dependent;
+/// the `truncated` flag reports it.
+pub fn par_explore<S, A, FE, FM>(
+    initials: Vec<S>,
+    nthreads: usize,
+    max_states: usize,
+    expand: FE,
+    merge: FM,
+) -> ParOutcome<A>
+where
+    S: Clone + Eq + Hash + Send,
+    A: Default + Send,
+    FE: Fn(&S, &mut A) -> Vec<S> + Sync,
+    FM: Fn(&mut A, A),
+{
+    let nthreads = nthreads.max(1);
+    let shards: Vec<Mutex<FxHashSet<S>>> = (0..VISITED_SHARDS)
+        .map(|_| Mutex::new(FxHashSet::default()))
+        .collect();
+    let count = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+    struct Frontier<S> {
+        queue: VecDeque<S>,
+        idle: usize,
+        done: bool,
+    }
+    let frontier = Mutex::new(Frontier {
+        queue: initials.into(),
+        idle: 0,
+        done: false,
+    });
+    let ready = Condvar::new();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..nthreads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = A::default();
+                    loop {
+                        let next = {
+                            let mut f = frontier.lock().expect("frontier lock");
+                            loop {
+                                if f.done {
+                                    break None;
+                                }
+                                if let Some(s) = f.queue.pop_front() {
+                                    break Some(s);
+                                }
+                                f.idle += 1;
+                                if f.idle == nthreads {
+                                    f.done = true;
+                                    ready.notify_all();
+                                    break None;
+                                }
+                                f = ready.wait(f).expect("frontier wait");
+                                f.idle -= 1;
+                            }
+                        };
+                        let Some(s) = next else {
+                            return acc;
+                        };
+                        let shard = &shards[(fx_hash_of(&s) as usize) % VISITED_SHARDS];
+                        let fresh = shard.lock().expect("shard lock").insert(s.clone());
+                        if !fresh {
+                            continue;
+                        }
+                        let n = count.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n >= max_states {
+                            truncated.store(true, Ordering::Relaxed);
+                            continue;
+                        }
+                        let succs = expand(&s, &mut acc);
+                        if !succs.is_empty() {
+                            let mut f = frontier.lock().expect("frontier lock");
+                            f.queue.extend(succs);
+                            ready.notify_all();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut acc = A::default();
+        for w in workers {
+            merge(&mut acc, w.join().expect("exploration worker panicked"));
+        }
+        ParOutcome {
+            acc,
+            states: count.load(Ordering::Relaxed),
+            truncated: truncated.load(Ordering::Relaxed),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Prog;
+    use crate::race::check_drf;
+    use crate::refine::{collect_traces, trace_equiv, ExploreCfg, Preemptive};
+    use crate::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
+
+    #[test]
+    fn fx_hash_is_stable() {
+        // The hasher must be deterministic across runs, processes, and
+        // platforms — state counts and truncation points depend on it.
+        assert_eq!(fx_hash_of(&0u64), 0);
+        assert_eq!(fx_hash_of(&1u64), FX_SEED);
+        assert_eq!(fx_hash_of(&0x1234_5678_9abc_def0u64), 0x6cc4_aad9_9c83_21b0);
+        assert_eq!(fx_hash_of("footprint"), 0x48f0_5578_aec0_314c);
+        assert_eq!(fx_hash_of(&(3usize, true, 7u8)), 0x3b98_a6b6_b257_fd88);
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(fx_hash_of(&v), fx_hash_of(&[1u32, 2, 3][..]));
+    }
+
+    #[test]
+    fn fx_hash_distinguishes_close_inputs() {
+        assert_ne!(fx_hash_of(&1u64), fx_hash_of(&2u64));
+        assert_ne!(fx_hash_of("ab"), fx_hash_of("ba"));
+        assert_ne!(fx_hash_of(&(1u8, 2u8)), fx_hash_of(&(2u8, 1u8)));
+    }
+
+    fn private_prefix_prog(threads: usize) -> Loaded<ToyLang> {
+        // Long silent register-only prefixes followed by one atomic
+        // print: the worst case for naive preemption, the best case for
+        // ample reduction.
+        let mut funcs = Vec::new();
+        let names: Vec<String> = (0..threads).map(|i| format!("t{i}")).collect();
+        for (i, _) in names.iter().enumerate() {
+            funcs.push(vec![
+                ToyInstr::Const(i as i64),
+                ToyInstr::Add(1),
+                ToyInstr::Add(2),
+                ToyInstr::Add(3),
+                ToyInstr::EntAtom,
+                ToyInstr::Print,
+                ToyInstr::ExtAtom,
+                ToyInstr::Ret(0),
+            ]);
+        }
+        let pairs: Vec<(&str, Vec<ToyInstr>)> = names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(funcs.iter().cloned())
+            .collect();
+        let (m, _) = toy_module(&pairs, &[]);
+        Loaded::new(Prog::new(ToyLang, vec![(m, toy_globals(&[]))], names)).expect("link")
+    }
+
+    #[test]
+    fn interning_dedups_components() {
+        let l = private_prefix_prog(2);
+        let mut eng = Engine::new(&l, Reduction::Off);
+        let init = eng.load().expect("load");
+        let succs = eng.successors(&init);
+        // Both threads stepped once each; only the stepping thread's
+        // component is fresh, and the memory id is shared (no step
+        // touched memory).
+        for s in &succs {
+            let IStep::Next { world, .. } = s else {
+                panic!("no aborts expected")
+            };
+            assert_eq!(world.mem, init.mem, "silent steps share the memory id");
+        }
+        let (threads, mems) = eng.interned_components();
+        assert_eq!(mems, 1);
+        assert_eq!(threads, 2 + succs.len());
+    }
+
+    #[test]
+    fn reduced_traces_match_naive() {
+        let l = private_prefix_prog(3);
+        let cfg = ExploreCfg::default();
+        let naive = collect_traces(&Preemptive(&l), &cfg).expect("naive");
+        let red = EnginePreemptive::new(&l, Reduction::Ample);
+        let reduced = collect_traces(&red, &cfg).expect("reduced");
+        assert!(red.scoping_ok());
+        assert!(trace_equiv(&naive, &reduced));
+        assert_eq!(naive.traces, reduced.traces, "trace sets must be identical");
+        assert!(
+            reduced.expansions * 2 < naive.expansions,
+            "reduction must shrink the exploration ({} vs {})",
+            reduced.expansions,
+            naive.expansions
+        );
+    }
+
+    #[test]
+    fn reduction_preserves_drf_verdicts() {
+        let racy_body = vec![
+            ToyInstr::Const(1),
+            ToyInstr::Add(1),
+            ToyInstr::StoreG("x".into()),
+            ToyInstr::Ret(0),
+        ];
+        let (m, _) = toy_module(&[("a", racy_body.clone()), ("b", racy_body)], &[]);
+        let l = Loaded::new(Prog::new(
+            ToyLang,
+            vec![(m, toy_globals(&[("x", 0)]))],
+            ["a", "b"],
+        ))
+        .expect("link");
+        let naive = check_drf(&l, &ExploreCfg::default()).expect("naive");
+        let reduced = check_drf(
+            &l,
+            &ExploreCfg {
+                reduction: Reduction::Ample,
+                ..Default::default()
+            },
+        )
+        .expect("reduced");
+        assert_eq!(naive.is_drf(), reduced.is_drf());
+        assert!(!reduced.is_drf());
+    }
+
+    #[test]
+    fn par_explore_counts_states_and_merges() {
+        // A diamond graph over u32 pairs: (i, j) -> (i+1, j), (i, j+1)
+        // for i, j < 8. 81 states, each contributing its coordinate sum.
+        let out = par_explore(
+            vec![(0u32, 0u32)],
+            4,
+            1_000_000,
+            |&(i, j): &(u32, u32), acc: &mut u64| {
+                *acc += u64::from(i + j);
+                let mut succ = Vec::new();
+                if i < 8 {
+                    succ.push((i + 1, j));
+                }
+                if j < 8 {
+                    succ.push((i, j + 1));
+                }
+                succ
+            },
+            |a, b| *a += b,
+        );
+        assert_eq!(out.states, 81);
+        assert!(!out.truncated);
+        // Σ (i + j) over the 9×9 grid = 2 · 9 · Σ0..8 = 648.
+        assert_eq!(out.acc, 648);
+    }
+
+    #[test]
+    fn par_explore_respects_budget() {
+        let out = par_explore(
+            vec![0u64],
+            2,
+            100,
+            |&n: &u64, _: &mut ()| vec![n + 1],
+            |_, ()| {},
+        );
+        assert!(out.truncated);
+        assert!(out.states >= 100);
+    }
+}

@@ -32,7 +32,7 @@ pub type AddrSet = BTreeSet<Addr>;
 /// assert!(!read_x.conflicts(&read_x));
 /// assert!(read_x.subset(&read_x.union(&write_x)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Footprint {
     /// The read set.
     pub rs: AddrSet,
@@ -143,7 +143,7 @@ impl FromIterator<Footprint> for Footprint {
 /// An *instrumented* footprint `(δ, d)` (§5): the footprint together with
 /// the atomic bit `d` recording whether it was generated inside an atomic
 /// block (`d = 1`, [`AtomicBit::Inside`]) or not.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct TaggedFootprint {
     /// The footprint proper.
     pub fp: Footprint,
@@ -152,7 +152,7 @@ pub struct TaggedFootprint {
 }
 
 /// The atomic bit `d ::= 0 | 1` (Fig. 7).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum AtomicBit {
     /// `d = 0`: outside any atomic block.
     #[default]

@@ -66,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compcert_mem;
+pub mod explore;
 pub mod footprint;
 pub mod framework;
 pub mod lang;
@@ -79,6 +80,7 @@ pub mod toy;
 pub mod wd;
 pub mod world;
 
+pub use explore::{FxHashMap, FxHashSet, Reduction};
 pub use footprint::{Footprint, Mu};
 pub use lang::{Event, Lang, LocalStep, Prog, StepMsg, Sum, SumLang};
 pub use mem::{Addr, FreeList, GlobalEnv, Memory, Val};

@@ -11,16 +11,20 @@
 //! framework's step ⑥/⑧ (Fig. 2) is their equivalence, validated here by
 //! exhaustive checking on bounded programs.
 
+use crate::explore::{par_explore, Engine, FxHashSet, IStep, Reduction};
 use crate::footprint::{AtomicBit, Footprint, TaggedFootprint};
 use crate::lang::{Lang, StepMsg};
 use crate::mem::Memory;
-use crate::npworld::NpStep;
+use crate::npworld::{NpStep, NpWorld};
 use crate::refine::ExploreCfg;
-use crate::world::{GStep, LoadError, Loaded, ThreadId, ThreadState, ThreadStep};
-use std::collections::HashSet;
+use crate::world::{GStep, LoadError, Loaded, ThreadId, ThreadState, ThreadStep, World};
 
 /// A witness that two threads race.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Ord` orders witnesses lexicographically by thread pair and footprint;
+/// the parallel checkers use it to merge per-worker findings into the
+/// minimum witness, making their reports scheduling-independent.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct RaceWitness {
     /// The first racing thread.
     pub t1: ThreadId,
@@ -223,7 +227,17 @@ fn find_conflict(preds: &[Vec<TaggedFootprint>]) -> Option<RaceWitness> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn check_drf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
-    let mut visited = HashSet::new();
+    match cfg.reduction {
+        Reduction::Off => check_drf_naive(loaded, cfg),
+        _ => check_drf_engine(loaded, cfg),
+    }
+}
+
+/// The exhaustive oracle: plain DFS over owned worlds, no interning, no
+/// reduction. Kept verbatim so the reduced and parallel engines have a
+/// trusted baseline to differ against.
+fn check_drf_naive<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
+    let mut visited = FxHashSet::default();
     let mut stack = vec![loaded.load()?];
     let mut truncated = false;
     while let Some(w) = stack.pop() {
@@ -264,16 +278,151 @@ pub fn check_drf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfRep
     })
 }
 
+/// The interning + partial-order-reducing DRF check.
+///
+/// A race found in the reduced graph is always real (every reduced path
+/// is a path of the full graph). A *DRF* verdict additionally relies on
+/// the ample-set independence argument, which assumes the scoping
+/// discipline; if the engine's monitor observed a violation, the check
+/// re-runs without reduction before trusting "no race".
+fn check_drf_engine<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
+    let mut eng = Engine::new(loaded, cfg.reduction);
+    let mut visited: FxHashSet<_> = FxHashSet::default();
+    let mut stack = vec![eng.load()?];
+    let mut truncated = false;
+    while let Some(w) = stack.pop() {
+        if !visited.insert(w.clone()) {
+            continue;
+        }
+        if visited.len() >= cfg.max_states {
+            truncated = true;
+            break;
+        }
+        if !w.atom {
+            let mem = eng.memory(w.mem).clone();
+            let preds: Vec<_> = w
+                .threads
+                .iter()
+                .map(|&tid| predict(loaded, eng.thread(tid), &mem, cfg))
+                .collect();
+            if let Some(witness) = find_conflict(&preds) {
+                return Ok(DrfReport {
+                    race: Some(witness),
+                    states: visited.len(),
+                    truncated,
+                });
+            }
+        }
+        for step in eng.successors(&w) {
+            if let IStep::Next { world, .. } = step {
+                if !visited.contains(&world) {
+                    stack.push(world);
+                }
+            }
+        }
+    }
+    if !eng.scoping_ok() {
+        return check_drf_naive(loaded, cfg);
+    }
+    Ok(DrfReport {
+        race: None,
+        states: visited.len(),
+        truncated,
+    })
+}
+
+/// Merges two optional race witnesses, keeping the minimum (a
+/// commutative, associative monoid — the parallel merge step).
+fn merge_witness(total: &mut Option<RaceWitness>, other: Option<RaceWitness>) {
+    match (total.as_ref(), other) {
+        (_, None) => {}
+        (None, Some(w)) => *total = Some(w),
+        (Some(t), Some(w)) => {
+            if w < *t {
+                *total = Some(w);
+            }
+        }
+    }
+}
+
+/// [`check_drf`] on a worker pool of `cfg.threads` OS threads (no
+/// reduction: the whole graph is explored, partitioned dynamically over
+/// workers; see [`par_explore`] for the determinism contract). Unlike
+/// the serial check it does not stop at the first race — every worker
+/// keeps its minimal witness and the merged report carries the global
+/// minimum, so the verdict *and* the witness are deterministic whenever
+/// the exploration is not truncated.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn check_drf_par<L>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    if cfg.threads <= 1 {
+        return check_drf(loaded, cfg);
+    }
+    let init: World<L> = loaded.load()?;
+    let out = par_explore(
+        vec![init],
+        cfg.threads,
+        cfg.max_states,
+        |w: &World<L>, acc: &mut Option<RaceWitness>| {
+            if !w.atom {
+                let preds: Vec<_> = w
+                    .threads
+                    .iter()
+                    .map(|t| predict(loaded, t, &w.mem, cfg))
+                    .collect();
+                merge_witness(acc, find_conflict(&preds));
+            }
+            loaded
+                .step_preemptive_sched(w)
+                .into_iter()
+                .filter_map(|s| match s {
+                    GStep::Next { world, .. } => Some(world),
+                    GStep::Abort => None,
+                })
+                .collect()
+        },
+        merge_witness,
+    );
+    Ok(DrfReport {
+        race: out.acc,
+        states: out.states,
+        truncated: out.truncated,
+    })
+}
+
+/// The per-thread dynamic footprint unions of [`collect_footprints`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FootprintReport {
+    /// Per-thread footprint unions, indexed like `prog.entries`.
+    pub fps: Vec<Footprint>,
+    /// Number of distinct worlds visited.
+    pub states: usize,
+    /// True if the state budget was exhausted: the unions then cover
+    /// only the explored prefix of the behaviour, and soundness
+    /// arguments built on them (e.g. static-footprint coverage) must
+    /// not trust a truncated report.
+    pub truncated: bool,
+}
+
 /// Explores all reachable preemptive worlds (bounded by
 /// `cfg.max_states`, like [`check_drf`]) and accumulates, per thread,
 /// the union of the footprints of every transition that thread takes in
-/// any explored interleaving.
+/// any explored interleaving. Honours `cfg.reduction` the same way
+/// [`check_drf`] does (under the scoping discipline the reduction only
+/// reorders thread-private steps, so every thread still takes every
+/// local transition it can and the per-thread unions are unchanged).
 ///
 /// This is the concurrent counterpart of
 /// [`run_main_traced`](crate::world::run_main_traced): the dynamic
 /// ground truth against which `ccc-analysis` validates its per-entry
-/// static footprints. The result is indexed like `prog.entries` (thread
-/// `t` ran entry `t`).
+/// static footprints.
 ///
 /// # Errors
 ///
@@ -281,15 +430,27 @@ pub fn check_drf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfRep
 pub fn collect_footprints<L: Lang>(
     loaded: &Loaded<L>,
     cfg: &ExploreCfg,
-) -> Result<Vec<Footprint>, LoadError> {
+) -> Result<FootprintReport, LoadError> {
+    match cfg.reduction {
+        Reduction::Off => collect_footprints_naive(loaded, cfg),
+        _ => collect_footprints_engine(loaded, cfg),
+    }
+}
+
+fn collect_footprints_naive<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<FootprintReport, LoadError> {
     let mut fps = vec![Footprint::emp(); loaded.prog.entries.len()];
-    let mut visited = HashSet::new();
+    let mut visited = FxHashSet::default();
     let mut stack = vec![loaded.load()?];
+    let mut truncated = false;
     while let Some(w) = stack.pop() {
         if !visited.insert(w.clone()) {
             continue;
         }
         if visited.len() >= cfg.max_states {
+            truncated = true;
             break;
         }
         // Under the fused-switch semantics each successor world's `cur`
@@ -304,7 +465,110 @@ pub fn collect_footprints<L: Lang>(
             }
         }
     }
-    Ok(fps)
+    Ok(FootprintReport {
+        fps,
+        states: visited.len(),
+        truncated,
+    })
+}
+
+fn collect_footprints_engine<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<FootprintReport, LoadError> {
+    let mut eng = Engine::new(loaded, cfg.reduction);
+    let mut fps = vec![Footprint::emp(); loaded.prog.entries.len()];
+    let mut visited: FxHashSet<_> = FxHashSet::default();
+    let mut stack = vec![eng.load()?];
+    let mut truncated = false;
+    while let Some(w) = stack.pop() {
+        if !visited.insert(w.clone()) {
+            continue;
+        }
+        if visited.len() >= cfg.max_states {
+            truncated = true;
+            break;
+        }
+        for step in eng.successors(&w) {
+            if let IStep::Next { fp, tid, world, .. } = step {
+                fps[tid].extend(&fp);
+                if !visited.contains(&world) {
+                    stack.push(world);
+                }
+            }
+        }
+    }
+    if !eng.scoping_ok() {
+        return collect_footprints_naive(loaded, cfg);
+    }
+    Ok(FootprintReport {
+        fps,
+        states: visited.len(),
+        truncated,
+    })
+}
+
+/// [`collect_footprints`] on a worker pool of `cfg.threads` OS threads.
+/// Per-worker unions are merged elementwise, a commutative monoid, so
+/// the report is deterministic whenever it is not truncated.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn collect_footprints_par<L>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<FootprintReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    if cfg.threads <= 1 {
+        return collect_footprints(loaded, cfg);
+    }
+    let n = loaded.prog.entries.len();
+    let init: World<L> = loaded.load()?;
+    let out = par_explore(
+        vec![init],
+        cfg.threads,
+        cfg.max_states,
+        |w: &World<L>, acc: &mut Vec<Footprint>| {
+            if acc.is_empty() {
+                *acc = vec![Footprint::emp(); n];
+            }
+            loaded
+                .step_preemptive_sched(w)
+                .into_iter()
+                .filter_map(|s| match s {
+                    GStep::Next { fp, world, .. } => {
+                        acc[world.cur].extend(&fp);
+                        Some(world)
+                    }
+                    GStep::Abort => None,
+                })
+                .collect()
+        },
+        |total: &mut Vec<Footprint>, part| {
+            if total.is_empty() {
+                *total = part;
+            } else if !part.is_empty() {
+                for (t, p) in total.iter_mut().zip(part) {
+                    t.extend(&p);
+                }
+            }
+        },
+    );
+    let fps = if out.acc.is_empty() {
+        vec![Footprint::emp(); n]
+    } else {
+        out.acc
+    };
+    Ok(FootprintReport {
+        fps,
+        states: out.states,
+        truncated: out.truncated,
+    })
 }
 
 /// `NPDRF(P)`: the race check over the non-preemptive semantics. Threads
@@ -315,7 +579,7 @@ pub fn collect_footprints<L: Lang>(
 ///
 /// Propagates `Load` failures.
 pub fn check_npdrf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
-    let mut visited = HashSet::new();
+    let mut visited = FxHashSet::default();
     let mut stack = Vec::new();
     for t in 0..loaded.prog.entries.len() {
         stack.push(loaded.np_load_with_first(t)?);
@@ -354,6 +618,57 @@ pub fn check_npdrf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfR
         race: None,
         states: visited.len(),
         truncated,
+    })
+}
+
+/// [`check_npdrf`] on a worker pool of `cfg.threads` OS threads. The
+/// non-preemptive graph is already interleaving-minimal (switch points
+/// only at atomic boundaries and termination), so no reduction applies —
+/// the parallel frontier alone carries the speedup.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn check_npdrf_par<L>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    if cfg.threads <= 1 {
+        return check_npdrf(loaded, cfg);
+    }
+    let mut initials = Vec::new();
+    for t in 0..loaded.prog.entries.len() {
+        initials.push(loaded.np_load_with_first(t)?);
+    }
+    let out = par_explore(
+        initials,
+        cfg.threads,
+        cfg.max_states,
+        |w: &NpWorld<L>, acc: &mut Option<RaceWitness>| {
+            let preds: Vec<_> = w
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, ts)| predict_np(loaded, ts, &w.mem, w.dbits[t], cfg))
+                .collect();
+            merge_witness(acc, find_conflict(&preds));
+            loaded
+                .step_np(w)
+                .into_iter()
+                .filter_map(|s| match s {
+                    NpStep::Next { world, .. } => Some(world),
+                    NpStep::Abort => None,
+                })
+                .collect()
+        },
+        merge_witness,
+    );
+    Ok(DrfReport {
+        race: out.acc,
+        states: out.states,
+        truncated: out.truncated,
     })
 }
 

@@ -18,10 +18,11 @@
 //! equivalence `let Π in f1 | … | fn ≈ let Π in f1 ∥ … ∥ fn` for DRF
 //! programs (Lem. 9, steps ① and ② of Fig. 2).
 
+use crate::explore::{EnginePreemptive, FxHashMap, FxHashSet, Reduction};
 use crate::lang::{Event, Lang};
 use crate::npworld::{NpStep, NpWorld};
 use crate::world::{GLabel, GStep, LoadError, Loaded, World};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::hash::Hash;
 use std::rc::Rc;
 
@@ -34,6 +35,13 @@ pub struct ExploreCfg {
     pub max_states: usize,
     /// Bound on `τ*` lookahead inside atomic blocks (race prediction).
     pub atomic_fuel: usize,
+    /// Partial-order reduction applied by the preemptive explorers
+    /// ([`crate::race::check_drf`], [`crate::race::collect_footprints`],
+    /// [`collect_traces_preemptive`]). `Off` is the exhaustive oracle.
+    pub reduction: Reduction,
+    /// Worker threads used by the parallel `*_par` explorers (ignored by
+    /// the serial entry points; `0` and `1` both mean serial).
+    pub threads: usize,
 }
 
 impl Default for ExploreCfg {
@@ -42,6 +50,8 @@ impl Default for ExploreCfg {
             fuel: 120,
             max_states: 1_000_000,
             atomic_fuel: 64,
+            reduction: Reduction::Off,
+            threads: 1,
         }
     }
 }
@@ -225,65 +235,131 @@ impl<L: Lang> Semantics for NonPreemptive<'_, L> {
 struct Collector<'a, S: Semantics> {
     sem: &'a S,
     cfg: &'a ExploreCfg,
-    memo: HashMap<S::State, Rc<BTreeSet<Trace>>>,
+    memo: FxHashMap<S::State, Rc<BTreeSet<Trace>>>,
     /// States on the current DFS path (cycle detection).
-    on_path: std::collections::HashSet<S::State>,
+    on_path: FxHashSet<S::State>,
     expansions: usize,
     truncated: bool,
 }
 
+/// One open node of the iterative trace DFS: a state mid-expansion, the
+/// event on the edge from its parent, its pending successors, and the
+/// suffix traces accumulated so far.
+struct TraceFrame<St> {
+    state: St,
+    edge: Option<Event>,
+    succs: Vec<SuccStep<St>>,
+    next: usize,
+    out: BTreeSet<Trace>,
+}
+
 impl<S: Semantics> Collector<'_, S> {
-    /// The suffix traces of `s`, memoized per state. A state revisited
-    /// on the current DFS path marks a cycle: that occurrence
-    /// contributes a [`Terminal::Cut`] prefix (the executable stand-in
-    /// for the infinite/divergent behaviours through the cycle), which
-    /// refinement checking treats as "extendable". This keeps the
-    /// computation linear in the size of the (bounded) state graph
-    /// instead of `states × fuel`.
-    fn traces(&mut self, s: &S::State) -> Rc<BTreeSet<Trace>> {
+    /// Resolves `s` without expanding it, if possible: memo hit, cycle
+    /// (diverges), terminated, or budget exhausted. `None` means the
+    /// state needs expansion.
+    fn resolve_leaf(&mut self, s: &S::State) -> Option<Rc<BTreeSet<Trace>>> {
         if let Some(hit) = self.memo.get(s) {
-            return hit.clone();
+            return Some(hit.clone());
         }
         if self.on_path.contains(s) {
             // A cycle: this schedule diverges (no new events past the
             // revisit, since the loop body's events were already
             // prepended on the way in). Exact, so not a truncation.
-            return Rc::new([Trace::just(Terminal::Diverge)].into());
+            return Some(Rc::new([Trace::just(Terminal::Diverge)].into()));
         }
         if self.sem.is_done(s) {
             let rc: Rc<BTreeSet<_>> = Rc::new([Trace::just(Terminal::Done)].into());
             self.memo.insert(s.clone(), rc.clone());
-            return rc;
+            return Some(rc);
         }
         if self.expansions >= self.cfg.max_states {
             self.truncated = true;
-            return Rc::new([Trace::just(Terminal::Cut)].into());
+            return Some(Rc::new([Trace::just(Terminal::Cut)].into()));
         }
+        None
+    }
+
+    /// Starts expanding `s`: counts it, puts it on the DFS path, and
+    /// fetches its successors (an empty successor set is stuck, which we
+    /// treat as abort).
+    fn open_frame(&mut self, state: S::State, edge: Option<Event>) -> TraceFrame<S::State> {
         self.expansions += 1;
-        self.on_path.insert(s.clone());
+        self.on_path.insert(state.clone());
+        let succs = self.sem.successors(&state);
         let mut out = BTreeSet::new();
-        let succs = self.sem.successors(s);
         if succs.is_empty() {
-            // No rule applies: stuck, which we treat as abort.
             out.insert(Trace::just(Terminal::Abort));
         }
-        for succ in succs {
-            match succ {
-                SuccStep::Next { event, state } => {
-                    let sub = self.traces(&state);
-                    for t in sub.iter() {
-                        out.insert(Trace::cons(event, t.clone()));
+        TraceFrame {
+            state,
+            edge,
+            succs,
+            next: 0,
+            out,
+        }
+    }
+
+    /// The suffix traces of `s`, memoized per state. A state revisited
+    /// on the current DFS path marks a cycle: that occurrence
+    /// contributes a [`Terminal::Diverge`] (the executable stand-in for
+    /// the infinite behaviours through the cycle). This keeps the
+    /// computation linear in the size of the (bounded) state graph
+    /// instead of `states × fuel`, and the DFS runs on an explicit heap
+    /// stack so deep state graphs cannot overflow the call stack before
+    /// reaching `max_states`.
+    fn traces(&mut self, root: &S::State) -> Rc<BTreeSet<Trace>> {
+        if let Some(rc) = self.resolve_leaf(root) {
+            return rc;
+        }
+        let mut stack = vec![self.open_frame(root.clone(), None)];
+        loop {
+            // Advance the top frame past every child resolvable in
+            // place; descend at the first child that needs expansion.
+            let mut descend: Option<(S::State, Option<Event>)> = None;
+            {
+                let top = stack.last_mut().expect("stack nonempty");
+                while top.next < top.succs.len() {
+                    let i = top.next;
+                    top.next += 1;
+                    // Take the successor out of the frame (leaving an
+                    // inert placeholder) so `self` can be borrowed.
+                    match std::mem::replace(&mut top.succs[i], SuccStep::Abort) {
+                        SuccStep::Abort => {
+                            top.out.insert(Trace::just(Terminal::Abort));
+                        }
+                        SuccStep::Next { event, state } => {
+                            if let Some(sub) = self.resolve_leaf(&state) {
+                                for t in sub.iter() {
+                                    top.out.insert(Trace::cons(event, t.clone()));
+                                }
+                            } else {
+                                descend = Some((state, event));
+                                break;
+                            }
+                        }
                     }
                 }
-                SuccStep::Abort => {
-                    out.insert(Trace::just(Terminal::Abort));
+            }
+            if let Some((state, event)) = descend {
+                let frame = self.open_frame(state, event);
+                stack.push(frame);
+                continue;
+            }
+            // The top frame is fully explored: memoize and fold its
+            // traces into the parent (or return at the root).
+            let done = stack.pop().expect("stack nonempty");
+            self.on_path.remove(&done.state);
+            let rc = Rc::new(done.out);
+            self.memo.insert(done.state, rc.clone());
+            match stack.last_mut() {
+                None => return rc,
+                Some(parent) => {
+                    for t in rc.iter() {
+                        parent.out.insert(Trace::cons(done.edge, t.clone()));
+                    }
                 }
             }
         }
-        self.on_path.remove(s);
-        let rc = Rc::new(out);
-        self.memo.insert(s.clone(), rc.clone());
-        rc
     }
 }
 
@@ -310,8 +386,8 @@ pub fn collect_traces<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<TraceSe
     let mut c = Collector {
         sem,
         cfg,
-        memo: HashMap::new(),
-        on_path: std::collections::HashSet::new(),
+        memo: FxHashMap::default(),
+        on_path: FxHashSet::default(),
         expansions: 0,
         truncated: false,
     };
@@ -324,6 +400,34 @@ pub fn collect_traces<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<TraceSe
         truncated: c.truncated,
         expansions: c.expansions,
     })
+}
+
+/// Collects the bounded trace set of a loaded program under the
+/// preemptive semantics, honouring `cfg.reduction`: with
+/// [`Reduction::Off`] this is exactly `collect_traces(&Preemptive(l))`;
+/// otherwise the interning + partial-order-reducing engine
+/// ([`EnginePreemptive`]) explores instead, and if its scoping monitor
+/// trips (a step's footprint escaped its thread's region, voiding the
+/// independence argument) the exhaustive exploration is re-run so the
+/// result is always sound.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn collect_traces_preemptive<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<TraceSet, LoadError> {
+    if cfg.reduction == Reduction::Off {
+        return collect_traces(&Preemptive(loaded), cfg);
+    }
+    let sem = EnginePreemptive::new(loaded, cfg.reduction);
+    let ts = collect_traces(&sem, cfg)?;
+    if sem.scoping_ok() {
+        Ok(ts)
+    } else {
+        collect_traces(&Preemptive(loaded), cfg)
+    }
 }
 
 /// True if trace `t` is accounted for by the trace set `src`,
@@ -390,7 +494,7 @@ pub struct SafetyReport {
 ///
 /// Propagates `Load` failures.
 pub fn check_safe<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyReport, LoadError> {
-    let mut visited: std::collections::HashSet<S::State> = std::collections::HashSet::new();
+    let mut visited: FxHashSet<S::State> = FxHashSet::default();
     let mut stack = sem.initials()?;
     let mut truncated = false;
     while let Some(s) = stack.pop() {
@@ -432,7 +536,7 @@ pub fn check_safe<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyRepor
 ///
 /// Propagates `Load` failures.
 pub fn count_states<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyReport, LoadError> {
-    let mut visited: std::collections::HashSet<S::State> = std::collections::HashSet::new();
+    let mut visited: FxHashSet<S::State> = FxHashSet::default();
     let mut stack = sem.initials()?;
     let mut truncated = false;
     while let Some(s) = stack.pop() {

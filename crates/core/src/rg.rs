@@ -10,11 +10,12 @@
 //! footprint-consistency obligation `FPmatch` central to DRF
 //! preservation.
 
+use crate::explore::{par_explore, FxHashSet};
 use crate::footprint::{fp_match, mem_eq_on, Footprint, Mu};
 use crate::lang::{Lang, StepMsg};
 use crate::mem::{forward, Addr, FreeList, GlobalEnv, Memory, Val};
 use crate::refine::ExploreCfg;
-use crate::world::{Frame, ThreadState, ThreadStep};
+use crate::world::{Frame, Loaded, ThreadState, ThreadStep};
 use std::collections::BTreeSet;
 
 /// `f̂(v)` (Fig. 8): value transformation along an address mapping —
@@ -124,7 +125,10 @@ pub fn init_m(mu: &Mu, ge: &GlobalEnv, src: &Memory, tgt: &Memory) -> bool {
 }
 
 /// A violation of the `ReachClose` obligation (Def. 4).
-#[derive(Clone, Debug)]
+///
+/// `Ord` (lexicographic on reason, then footprint) lets the parallel
+/// checker merge per-worker findings into a deterministic minimum.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct RcViolation {
     /// Human-readable description of the failing condition.
     pub reason: String,
@@ -140,7 +144,7 @@ pub struct RcViolation {
 /// values; implementations must satisfy `R` (they must not touch
 /// free-list memory, must keep the shared part closed, and must not
 /// shrink the domain).
-pub type EnvPerturbation = dyn Fn(&mut Memory, &BTreeSet<Addr>);
+pub type EnvPerturbation = dyn Fn(&mut Memory, &BTreeSet<Addr>) + Sync;
 
 /// Checks `ReachClose(sl, ge, γ)` (Def. 4) for one module entry by
 /// bounded exploration: along every execution path — with sampled
@@ -165,6 +169,106 @@ pub fn check_reach_close<L: Lang + Clone>(
     perturbations: &[&EnvPerturbation],
     cfg: &ExploreCfg,
 ) -> Result<(), RcViolation> {
+    let (shared, loaded, thread) = rc_setup(lang, module, ge, entry, init_mem, flist)?;
+    let mut stack = vec![(thread, init_mem.clone(), cfg.fuel)];
+    let mut seen = FxHashSet::default();
+    while let Some((thread, mem, fuel)) = stack.pop() {
+        if fuel == 0 || !seen.insert((thread.clone(), mem.clone())) {
+            continue;
+        }
+        if seen.len() >= cfg.max_states {
+            break;
+        }
+        stack.extend(rc_expand(
+            &loaded,
+            flist,
+            &shared,
+            perturbations,
+            &thread,
+            &mem,
+            fuel,
+        )?);
+    }
+    Ok(())
+}
+
+/// [`check_reach_close`] on a worker pool of `cfg.threads` OS threads.
+///
+/// The parallel frontier dedups on `(thread, memory, fuel)` — including
+/// the fuel, unlike the serial check, whose fuel-blind `seen` set makes
+/// fuel-bound verdicts depend on pop order. The two therefore agree
+/// whenever `cfg.fuel` does not bind (the serial check may *miss*
+/// violations behind a state first reached with little fuel; the
+/// parallel one will not). Per-worker violations merge to the minimum,
+/// so the verdict and the reported violation are deterministic whenever
+/// the exploration is not truncated.
+///
+/// # Errors
+///
+/// Returns the minimal violation found.
+#[allow(clippy::too_many_arguments)]
+pub fn check_reach_close_par<L>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    entry: &str,
+    init_mem: &Memory,
+    flist: FreeList,
+    perturbations: &[&EnvPerturbation],
+    cfg: &ExploreCfg,
+) -> Result<(), RcViolation>
+where
+    L: Lang + Clone + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    if cfg.threads <= 1 {
+        return check_reach_close(lang, module, ge, entry, init_mem, flist, perturbations, cfg);
+    }
+    let (shared, loaded, thread) = rc_setup(lang, module, ge, entry, init_mem, flist)?;
+    let out = par_explore(
+        vec![(thread, init_mem.clone(), cfg.fuel)],
+        cfg.threads,
+        cfg.max_states,
+        |(thread, mem, fuel): &(ThreadState<L>, Memory, usize), acc: &mut Option<RcViolation>| {
+            if *fuel == 0 {
+                return Vec::new();
+            }
+            match rc_expand(&loaded, flist, &shared, perturbations, thread, mem, *fuel) {
+                Ok(succs) => succs,
+                Err(v) => {
+                    if acc.as_ref().is_none_or(|prev| v < *prev) {
+                        *acc = Some(v);
+                    }
+                    Vec::new()
+                }
+            }
+        },
+        |total, part| {
+            if let Some(v) = part {
+                if total.as_ref().is_none_or(|prev| v < *prev) {
+                    *total = Some(v);
+                }
+            }
+        },
+    );
+    match out.acc {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// Shared setup of the `ReachClose` checkers: the shared set `S`, the
+/// one-module program context, and the initial thread state.
+#[allow(clippy::type_complexity)]
+fn rc_setup<L: Lang + Clone>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    entry: &str,
+    init_mem: &Memory,
+    flist: FreeList,
+) -> Result<(BTreeSet<Addr>, Loaded<L>, ThreadState<L>), RcViolation> {
     // The shared set S (Fig. 5): the statically allocated globals. Cells
     // of `init_mem` lying in other threads' free-list regions (their
     // stacks) are *not* shared — touching them is exactly what
@@ -194,55 +298,58 @@ pub fn check_reach_close<L: Lang + Clone>(
         frames: vec![Frame { module: 0, core }],
         flist,
     };
-    let mut stack = vec![(thread, init_mem.clone(), cfg.fuel)];
-    let mut seen = std::collections::HashSet::new();
-    while let Some((thread, mem, fuel)) = stack.pop() {
-        if fuel == 0 || !seen.insert((thread.clone(), mem.clone())) {
-            continue;
-        }
-        if seen.len() >= cfg.max_states {
-            break;
-        }
-        for ts in loaded.local_thread_steps(&thread, &mem) {
-            match ts {
-                ThreadStep::Internal {
-                    msg,
-                    fp,
+    Ok((shared, loaded, thread))
+}
+
+/// Expands one configuration of the `ReachClose` exploration: checks
+/// `HG` on every step and returns the successor configurations
+/// (including perturbed memories at switch points).
+fn rc_expand<L: Lang>(
+    loaded: &Loaded<L>,
+    flist: FreeList,
+    shared: &BTreeSet<Addr>,
+    perturbations: &[&EnvPerturbation],
+    thread: &ThreadState<L>,
+    mem: &Memory,
+    fuel: usize,
+) -> Result<Vec<(ThreadState<L>, Memory, usize)>, RcViolation> {
+    let mut out = Vec::new();
+    for ts in loaded.local_thread_steps(thread, mem) {
+        match ts {
+            ThreadStep::Internal {
+                msg,
+                fp,
+                frames,
+                mem: m,
+            } => {
+                if !hg(&fp, &m, &flist, shared) {
+                    return Err(RcViolation {
+                        reason: "HG violated".into(),
+                        fp: Some(fp),
+                    });
+                }
+                let next = ThreadState {
                     frames,
-                    mem: m,
-                } => {
-                    if !hg(&fp, &m, &flist, &shared) {
-                        return Err(RcViolation {
-                            reason: "HG violated".into(),
-                            fp: Some(fp),
-                        });
+                    flist: thread.flist,
+                };
+                // At switch points, sample environment interference.
+                if msg != StepMsg::Tau {
+                    for p in perturbations {
+                        let mut m2 = m.clone();
+                        p(&mut m2, shared);
+                        debug_assert!(r_cond(&m, &m2, &flist, shared), "perturbation violates R");
+                        out.push((next.clone(), m2, fuel - 1));
                     }
-                    let next = ThreadState {
-                        frames,
-                        flist: thread.flist,
-                    };
-                    // At switch points, sample environment interference.
-                    if msg != StepMsg::Tau {
-                        for p in perturbations {
-                            let mut m2 = m.clone();
-                            p(&mut m2, &shared);
-                            debug_assert!(
-                                r_cond(&m, &m2, &flist, &shared),
-                                "perturbation violates R"
-                            );
-                            stack.push((next.clone(), m2, fuel - 1));
-                        }
-                    }
-                    stack.push((next, m, fuel - 1));
                 }
-                ThreadStep::Terminated => {}
-                ThreadStep::Abort => {
-                    // Aborting is a safety issue, not a ReachClose one.
-                }
+                out.push((next, m, fuel - 1));
+            }
+            ThreadStep::Terminated => {}
+            ThreadStep::Abort => {
+                // Aborting is a safety issue, not a ReachClose one.
             }
         }
     }
-    Ok(())
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -18,14 +18,17 @@
 //! memory perturbations, which is how every language crate in this
 //! workspace validates its `Lang` instance.
 
+use crate::explore::{par_explore, FxHashSet};
 use crate::footprint::{leffect, leq_post, leq_pre, Footprint};
 use crate::lang::{Lang, LocalStep, StepMsg};
 use crate::mem::{forward, Addr, FreeList, GlobalEnv, Memory, Val};
 use crate::refine::ExploreCfg;
-use std::collections::HashSet;
 
 /// A violation of one of the four well-definedness conditions.
-#[derive(Clone, Debug)]
+///
+/// `Ord` (item first, then detail) lets the parallel checker merge
+/// per-worker findings into a deterministic minimum.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct WdViolation {
     /// Which Def. 1 item failed (1–4).
     pub item: u8,
@@ -166,7 +169,7 @@ pub fn check_wd<L: Lang>(
         });
     };
     let mut stack: Vec<(L::Core, Memory, usize)> = vec![(core, init_mem.clone(), cfg.fuel)];
-    let mut seen: HashSet<(L::Core, Memory)> = HashSet::new();
+    let mut seen: FxHashSet<(L::Core, Memory)> = FxHashSet::default();
     while let Some((core, mem, fuel)) = stack.pop() {
         if fuel == 0 || !seen.insert((core.clone(), mem.clone())) {
             continue;
@@ -174,129 +177,7 @@ pub fn check_wd<L: Lang>(
         if seen.len() >= cfg.max_states {
             break;
         }
-        report.configs += 1;
-        let steps = lang.step(module, ge, &flist, &core, &mem);
-
-        // Items (1) and (2) on every outcome, and collect δ0 for item (4).
-        let mut delta0 = Footprint::emp();
-        for s in &steps {
-            if let LocalStep::Step {
-                msg, fp, mem: post, ..
-            } = s
-            {
-                report.steps += 1;
-                if !forward(&mem, post) {
-                    return Err(WdViolation {
-                        item: 1,
-                        detail: format!("domain shrank on a step of `{}`", lang.name()),
-                    });
-                }
-                if !leffect(&mem, post, fp, |a| flist.contains(a)) {
-                    return Err(WdViolation {
-                        item: 2,
-                        detail: format!(
-                            "LEffect violated on a step of `{}` (fp {fp:?})",
-                            lang.name()
-                        ),
-                    });
-                }
-                if *msg == StepMsg::Tau {
-                    delta0.extend(fp);
-                }
-            }
-        }
-
-        // Item (3): each Step outcome must be reproducible on an
-        // LEqPre-equivalent memory.
-        for s in &steps {
-            let LocalStep::Step {
-                msg,
-                fp,
-                core: c2,
-                mem: post,
-            } = s
-            else {
-                continue;
-            };
-            for m1 in perturb_outside(&mem, fp, &flist) {
-                if !leq_pre(&mem, &m1, fp, |a| flist.contains(a)) {
-                    continue; // perturbation out of LEqPre range; skip
-                }
-                report.perturbed_runs += 1;
-                let steps1 = lang.step(module, ge, &flist, &core, &m1);
-                let matched = steps1.iter().any(|s1| {
-                    if let LocalStep::Step {
-                        msg: m2,
-                        fp: f2,
-                        core: cc,
-                        mem: post1,
-                    } = s1
-                    {
-                        m2 == msg
-                            && f2 == fp
-                            && cc == c2
-                            && leq_post(post, post1, fp, |a| flist.contains(a))
-                    } else {
-                        false
-                    }
-                });
-                if !matched {
-                    return Err(WdViolation {
-                        item: 3,
-                        detail: format!(
-                            "step not reproducible on LEqPre-equivalent memory ({}, fp {fp:?})",
-                            lang.name()
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Item (4): nondeterminism is insensitive to memory outside δ0.rs.
-        {
-            let protect = Footprint {
-                rs: delta0.locs(),
-                ws: delta0.locs(),
-            };
-            for m1 in perturb_outside(&mem, &protect, &flist) {
-                if !leq_pre(&mem, &m1, &delta0, |a| flist.contains(a)) {
-                    continue;
-                }
-                report.perturbed_runs += 1;
-                let steps1 = lang.step(module, ge, &flist, &core, &m1);
-                for s1 in &steps1 {
-                    // Only the step *shape* must be reproducible from σ.
-                    let matched = steps.iter().any(|s| same_step_shape(s, s1))
-                        || matches!(s1, LocalStep::Step { .. })
-                            && steps.iter().any(|s| match (s, s1) {
-                                (
-                                    LocalStep::Step {
-                                        msg: m,
-                                        fp: f,
-                                        core: c,
-                                        ..
-                                    },
-                                    LocalStep::Step {
-                                        msg: m1,
-                                        fp: f1,
-                                        core: c1,
-                                        ..
-                                    },
-                                ) => m == m1 && f == f1 && c == c1,
-                                _ => false,
-                            });
-                    if !matched {
-                        return Err(WdViolation {
-                            item: 4,
-                            detail: format!(
-                                "nondeterminism affected by memory outside δ0.rs ({})",
-                                lang.name()
-                            ),
-                        });
-                    }
-                }
-            }
-        }
+        let steps = wd_check_config(lang, module, ge, &flist, &core, &mem, &mut report)?;
 
         // Explore onward: follow Step outcomes; answer calls with Int(0).
         for s in steps {
@@ -312,6 +193,226 @@ pub fn check_wd<L: Lang>(
         }
     }
     Ok(report)
+}
+
+/// Runs the four Def. 1 item checks on one configuration `(κ, σ)` and
+/// returns its step outcomes (shared by [`check_wd`] and
+/// [`check_wd_par`]).
+fn wd_check_config<L: Lang>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    flist: &FreeList,
+    core: &L::Core,
+    mem: &Memory,
+    report: &mut WdReport,
+) -> Result<Vec<LocalStep<L::Core>>, WdViolation> {
+    report.configs += 1;
+    let steps = lang.step(module, ge, flist, core, mem);
+
+    // Items (1) and (2) on every outcome, and collect δ0 for item (4).
+    let mut delta0 = Footprint::emp();
+    for s in &steps {
+        if let LocalStep::Step {
+            msg, fp, mem: post, ..
+        } = s
+        {
+            report.steps += 1;
+            if !forward(mem, post) {
+                return Err(WdViolation {
+                    item: 1,
+                    detail: format!("domain shrank on a step of `{}`", lang.name()),
+                });
+            }
+            if !leffect(mem, post, fp, |a| flist.contains(a)) {
+                return Err(WdViolation {
+                    item: 2,
+                    detail: format!(
+                        "LEffect violated on a step of `{}` (fp {fp:?})",
+                        lang.name()
+                    ),
+                });
+            }
+            if *msg == StepMsg::Tau {
+                delta0.extend(fp);
+            }
+        }
+    }
+
+    // Item (3): each Step outcome must be reproducible on an
+    // LEqPre-equivalent memory.
+    for s in &steps {
+        let LocalStep::Step {
+            msg,
+            fp,
+            core: c2,
+            mem: post,
+        } = s
+        else {
+            continue;
+        };
+        for m1 in perturb_outside(mem, fp, flist) {
+            if !leq_pre(mem, &m1, fp, |a| flist.contains(a)) {
+                continue; // perturbation out of LEqPre range; skip
+            }
+            report.perturbed_runs += 1;
+            let steps1 = lang.step(module, ge, flist, core, &m1);
+            let matched = steps1.iter().any(|s1| {
+                if let LocalStep::Step {
+                    msg: m2,
+                    fp: f2,
+                    core: cc,
+                    mem: post1,
+                } = s1
+                {
+                    m2 == msg
+                        && f2 == fp
+                        && cc == c2
+                        && leq_post(post, post1, fp, |a| flist.contains(a))
+                } else {
+                    false
+                }
+            });
+            if !matched {
+                return Err(WdViolation {
+                    item: 3,
+                    detail: format!(
+                        "step not reproducible on LEqPre-equivalent memory ({}, fp {fp:?})",
+                        lang.name()
+                    ),
+                });
+            }
+        }
+    }
+
+    // Item (4): nondeterminism is insensitive to memory outside δ0.rs.
+    {
+        let protect = Footprint {
+            rs: delta0.locs(),
+            ws: delta0.locs(),
+        };
+        for m1 in perturb_outside(mem, &protect, flist) {
+            if !leq_pre(mem, &m1, &delta0, |a| flist.contains(a)) {
+                continue;
+            }
+            report.perturbed_runs += 1;
+            let steps1 = lang.step(module, ge, flist, core, &m1);
+            for s1 in &steps1 {
+                // Only the step *shape* must be reproducible from σ.
+                let matched = steps.iter().any(|s| same_step_shape(s, s1))
+                    || matches!(s1, LocalStep::Step { .. })
+                        && steps.iter().any(|s| match (s, s1) {
+                            (
+                                LocalStep::Step {
+                                    msg: m,
+                                    fp: f,
+                                    core: c,
+                                    ..
+                                },
+                                LocalStep::Step {
+                                    msg: m1,
+                                    fp: f1,
+                                    core: c1,
+                                    ..
+                                },
+                            ) => m == m1 && f == f1 && c == c1,
+                            _ => false,
+                        });
+                if !matched {
+                    return Err(WdViolation {
+                        item: 4,
+                        detail: format!(
+                            "nondeterminism affected by memory outside δ0.rs ({})",
+                            lang.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(steps)
+}
+
+/// [`check_wd`] on a worker pool of `cfg.threads` OS threads. The
+/// parallel frontier dedups on `(κ, σ, fuel)` — including the fuel,
+/// unlike the serial check — so the two agree whenever `cfg.fuel` does
+/// not bind. Per-worker statistics are summed and violations merged to
+/// the minimum, so the result is deterministic whenever the exploration
+/// is not truncated.
+///
+/// # Errors
+///
+/// Returns the minimal [`WdViolation`] found.
+pub fn check_wd_par<L>(
+    lang: &L,
+    module: &L::Module,
+    ge: &GlobalEnv,
+    entry: &str,
+    init_mem: &Memory,
+    cfg: &ExploreCfg,
+) -> Result<WdReport, WdViolation>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    if cfg.threads <= 1 {
+        return check_wd(lang, module, ge, entry, init_mem, cfg);
+    }
+    let flist = FreeList::for_thread(0);
+    let Some(core) = lang.init_core(module, ge, entry, &[]) else {
+        return Err(WdViolation {
+            item: 0,
+            detail: format!("InitCore failed for `{entry}`"),
+        });
+    };
+    let out = par_explore(
+        vec![(core, init_mem.clone(), cfg.fuel)],
+        cfg.threads,
+        cfg.max_states,
+        |(core, mem, fuel): &(L::Core, Memory, usize),
+         acc: &mut (WdReport, Option<WdViolation>)| {
+            if *fuel == 0 {
+                return Vec::new();
+            }
+            let steps = match wd_check_config(lang, module, ge, &flist, core, mem, &mut acc.0) {
+                Ok(steps) => steps,
+                Err(v) => {
+                    if acc.1.as_ref().is_none_or(|prev| v < *prev) {
+                        acc.1 = Some(v);
+                    }
+                    return Vec::new();
+                }
+            };
+            let mut succ = Vec::new();
+            for s in steps {
+                match s {
+                    LocalStep::Step { core, mem, .. } => succ.push((core, mem, fuel - 1)),
+                    LocalStep::Call { cont, .. } => {
+                        if let Some(resumed) = lang.resume(module, &cont, Val::Int(0)) {
+                            succ.push((resumed, mem.clone(), fuel - 1));
+                        }
+                    }
+                    LocalStep::Ret { .. } | LocalStep::Abort => {}
+                }
+            }
+            succ
+        },
+        |total: &mut (WdReport, Option<WdViolation>), part| {
+            total.0.configs += part.0.configs;
+            total.0.steps += part.0.steps;
+            total.0.perturbed_runs += part.0.perturbed_runs;
+            if let Some(v) = part.1 {
+                if total.1.as_ref().is_none_or(|prev| v < *prev) {
+                    total.1 = Some(v);
+                }
+            }
+        },
+    );
+    match out.acc.1 {
+        Some(v) => Err(v),
+        None => Ok(out.acc.0),
+    }
 }
 
 /// Checks `det(tl)` — every configuration reached from `entry` has at
@@ -333,7 +434,7 @@ pub fn check_det<L: Lang>(
         return Err(format!("InitCore failed for `{entry}`"));
     };
     let mut stack = vec![(core, init_mem.clone(), cfg.fuel)];
-    let mut seen = HashSet::new();
+    let mut seen = FxHashSet::default();
     let mut checked = 0;
     while let Some((core, mem, fuel)) = stack.pop() {
         if fuel == 0 || !seen.insert((core.clone(), mem.clone())) {

@@ -98,13 +98,19 @@ fn static_footprints_cover_dynamic_per_thread() {
             let model = infer_lock_model(&lock);
             let summaries = infer_clight_with(&client, &model.external_footprints());
             let loaded = load_client(client, ge, entries.clone());
-            let fps = collect_footprints(&loaded, &cfg).expect("source loads");
+            let report = collect_footprints(&loaded, &cfg).expect("source loads");
+            assert!(
+                !report.truncated,
+                "seed {seed} racy={racy}: dynamic exploration truncated at {} states — \
+                 coverage against a partial footprint union proves nothing",
+                report.states
+            );
             for (t, entry) in entries.iter().enumerate() {
                 let stat = summaries.footprint(entry).expect("entry summarized");
                 assert!(
-                    stat.covers(&linked, &fps[t]),
+                    stat.covers(&linked, &report.fps[t]),
                     "seed {seed} racy={racy} thread {t}: {stat} misses {:?}",
-                    fps[t]
+                    report.fps[t]
                 );
             }
         }

@@ -1,0 +1,326 @@
+//! Differential battery for the exploration engines: on generated
+//! toy, Clight, and x86 (SC/TSO litmus) programs, the footprint-directed
+//! ample reduction and the parallel frontier must agree with the naive
+//! exhaustive oracle on every observable — DRF and NPDRF verdicts,
+//! per-thread footprint unions, and full trace sets.
+//!
+//! The file ends with a mutation test: a deliberately overbroad ample
+//! condition (`Reduction::AmpleOverbroad`, which also treats silent
+//! *global* accesses as independent) must flip the DRF verdict on a
+//! program whose race hides behind private prefixes — evidence that
+//! this battery would catch an unsound independence relation.
+
+use ccc_cimp::CImpLang;
+use ccc_clight::gen::gen_concurrent_client;
+use ccc_clight::ClightLang;
+use ccc_core::lang::{Lang, ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::race::{
+    check_drf, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
+    collect_footprints_par,
+};
+use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
+use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
+use ccc_core::world::Loaded;
+use ccc_core::Reduction;
+use ccc_machine::{litmus, X86Sc, X86Tso};
+use ccc_sync::lock::lock_spec;
+use proptest::prelude::*;
+
+fn cfg_with(reduction: Reduction, threads: usize) -> ExploreCfg {
+    ExploreCfg {
+        fuel: 240,
+        max_states: 600_000,
+        reduction,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Runs all engines on one program and cross-checks every observable.
+/// `traces` additionally compares the full trace sets (viable only when
+/// the interleaving space is small).
+fn assert_engines_agree<L>(name: &str, loaded: &Loaded<L>, traces: bool)
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    let naive_cfg = cfg_with(Reduction::Off, 1);
+    let ample_cfg = cfg_with(Reduction::Ample, 1);
+    let par_cfg = cfg_with(Reduction::Off, 3);
+
+    let naive = check_drf(loaded, &naive_cfg).expect("loads");
+    let ample = check_drf(loaded, &ample_cfg).expect("loads");
+    let par = check_drf_par(loaded, &par_cfg).expect("loads");
+    assert!(
+        !naive.truncated && !ample.truncated && !par.truncated,
+        "{name}: truncated exploration proves nothing"
+    );
+    assert_eq!(
+        naive.is_drf(),
+        ample.is_drf(),
+        "{name}: DRF verdict (ample)"
+    );
+    assert_eq!(naive.is_drf(), par.is_drf(), "{name}: DRF verdict (par)");
+
+    let np = check_npdrf(loaded, &naive_cfg).expect("loads");
+    let np_par = check_npdrf_par(loaded, &par_cfg).expect("loads");
+    assert!(
+        !np.truncated && !np_par.truncated,
+        "{name}: NPDRF truncated"
+    );
+    assert_eq!(np.is_drf(), np_par.is_drf(), "{name}: NPDRF verdict (par)");
+
+    let fp_naive = collect_footprints(loaded, &naive_cfg).expect("loads");
+    let fp_ample = collect_footprints(loaded, &ample_cfg).expect("loads");
+    let fp_par = collect_footprints_par(loaded, &par_cfg).expect("loads");
+    assert!(
+        !fp_naive.truncated && !fp_ample.truncated && !fp_par.truncated,
+        "{name}: footprint exploration truncated"
+    );
+    assert_eq!(
+        fp_naive.fps, fp_ample.fps,
+        "{name}: footprint unions (ample)"
+    );
+    assert_eq!(fp_naive.fps, fp_par.fps, "{name}: footprint unions (par)");
+
+    if traces {
+        let ts_naive = collect_traces_preemptive(loaded, &naive_cfg).expect("loads");
+        let ts_ample = collect_traces_preemptive(loaded, &ample_cfg).expect("loads");
+        assert!(
+            !ts_naive.truncated && !ts_ample.truncated,
+            "{name}: trace collection truncated"
+        );
+        assert_eq!(
+            ts_naive.traces, ts_ample.traces,
+            "{name}: trace sets (ample)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated toy programs
+// ---------------------------------------------------------------------------
+
+/// One generated thread body op. Lowered so every program is
+/// well-formed: locals exist before use, atomic blocks are balanced,
+/// the accumulator is always an integer.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Silent own-region work: `local += k` (the ample fodder).
+    Priv(i64),
+    /// Unprotected global read.
+    Read(u8),
+    /// Unprotected global write.
+    Write(u8),
+    /// An atomic block of global reads/writes/arithmetic.
+    Atomic(Vec<AOp>),
+    /// An observable event (never ample).
+    Print,
+    /// Nondeterministic branch on the accumulator.
+    Choice,
+}
+
+#[derive(Clone, Debug)]
+enum AOp {
+    Read(u8),
+    Write(u8),
+    Add(i64),
+}
+
+const GLOBALS: [&str; 2] = ["x", "y"];
+
+fn lower(ops: &[Op]) -> Vec<ToyInstr> {
+    let g = |i: u8| GLOBALS[i as usize % GLOBALS.len()].to_string();
+    let mut v = vec![
+        ToyInstr::AllocLocal,
+        ToyInstr::Const(0),
+        ToyInstr::StoreL(0),
+    ];
+    for op in ops {
+        match op {
+            Op::Priv(k) => {
+                v.push(ToyInstr::LoadL(0));
+                v.push(ToyInstr::Add(*k));
+                v.push(ToyInstr::StoreL(0));
+            }
+            Op::Read(i) => v.push(ToyInstr::LoadG(g(*i))),
+            Op::Write(i) => v.push(ToyInstr::StoreG(g(*i))),
+            Op::Atomic(inner) => {
+                v.push(ToyInstr::EntAtom);
+                for a in inner {
+                    match a {
+                        AOp::Read(i) => v.push(ToyInstr::LoadG(g(*i))),
+                        AOp::Write(i) => v.push(ToyInstr::StoreG(g(*i))),
+                        AOp::Add(k) => v.push(ToyInstr::Add(*k)),
+                    }
+                }
+                v.push(ToyInstr::ExtAtom);
+            }
+            Op::Print => v.push(ToyInstr::Print),
+            Op::Choice => v.push(ToyInstr::Choice),
+        }
+    }
+    v.push(ToyInstr::Ret(0));
+    v
+}
+
+fn toy_loaded(threads: &[Vec<Op>]) -> Loaded<ToyLang> {
+    let names: Vec<String> = (0..threads.len()).map(|i| format!("t{i}")).collect();
+    let bodies: Vec<Vec<ToyInstr>> = threads.iter().map(|t| lower(t)).collect();
+    let pairs: Vec<(&str, Vec<ToyInstr>)> = names
+        .iter()
+        .map(|n| n.as_str())
+        .zip(bodies.iter().cloned())
+        .collect();
+    let (m, _) = toy_module(&pairs, &[]);
+    Loaded::new(Prog::new(
+        ToyLang,
+        vec![(m, toy_globals(&[("x", 0), ("y", 1)]))],
+        names,
+    ))
+    .expect("toy links")
+}
+
+fn arb_aop() -> impl Strategy<Value = AOp> {
+    prop_oneof![
+        (0u8..2).prop_map(AOp::Read),
+        (0u8..2).prop_map(AOp::Write),
+        (-3i64..4).prop_map(AOp::Add),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest has no weighted arms; repeating `Priv`
+    // biases generation toward the silent prefixes the reduction
+    // actually exercises.
+    prop_oneof![
+        (-3i64..4).prop_map(Op::Priv),
+        (-3i64..4).prop_map(Op::Priv),
+        (-3i64..4).prop_map(Op::Priv),
+        (0u8..2).prop_map(Op::Read),
+        (0u8..2).prop_map(Op::Write),
+        proptest::collection::vec(arb_aop(), 1..3).prop_map(Op::Atomic),
+        Just(Op::Print),
+        Just(Op::Choice),
+    ]
+}
+
+/// 2 threads with up to 4 ops each, or 3 threads with up to 2 — both
+/// small enough to compare full trace sets against the oracle.
+fn arb_toy_threads() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop_oneof![
+        proptest::collection::vec(proptest::collection::vec(arb_op(), 1..5), 2..3),
+        proptest::collection::vec(proptest::collection::vec(arb_op(), 1..3), 3..4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(56))]
+
+    #[test]
+    fn toy_engines_agree(threads in arb_toy_threads()) {
+        let loaded = toy_loaded(&threads);
+        assert_engines_agree("generated toy", &loaded, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated Clight clients + CImp lock object
+// ---------------------------------------------------------------------------
+
+type SrcLang = SumLang<ClightLang, CImpLang>;
+
+fn clight_loaded(seed: u64, threads: usize, racy: bool) -> Loaded<SrcLang> {
+    let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], racy);
+    let (lock, lock_ge) = lock_spec("L");
+    Loaded::new(Prog {
+        lang: SumLang(ClightLang, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client),
+                ge,
+            },
+            ModuleDecl {
+                code: Sum::R(lock),
+                ge: lock_ge,
+            },
+        ],
+        entries,
+    })
+    .expect("source links")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn clight_engines_agree(seed in any::<u64>(), racy in any::<bool>()) {
+        let loaded = clight_loaded(seed, 2, racy);
+        assert_engines_agree("generated clight", &loaded, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86 litmus corpus, under both SC and TSO
+// ---------------------------------------------------------------------------
+
+#[test]
+fn litmus_engines_agree_sc_and_tso() {
+    // The observer threads of R and 2+2W spin; their buffered state
+    // spaces dwarf the rest of the corpus for no extra coverage here.
+    for l in litmus::corpus()
+        .into_iter()
+        .filter(|l| !matches!(l.name, "R" | "2+2W"))
+    {
+        let sc = Loaded::new(Prog::new(
+            X86Sc,
+            vec![(l.module.clone(), l.ge.clone())],
+            l.entries.clone(),
+        ))
+        .expect("sc links");
+        assert_engines_agree(&format!("{}/sc", l.name), &sc, true);
+
+        let tso =
+            Loaded::new(Prog::new(X86Tso, vec![(l.module, l.ge)], l.entries)).expect("tso links");
+        assert_engines_agree(&format!("{}/tso", l.name), &tso, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation test: the battery catches an unsound independence relation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overbroad_ample_condition_is_caught_by_the_differential() {
+    // Two threads, each: a silent private prefix, then an unprotected
+    // write to the same global. The race only shows at interleavings
+    // where both threads are poised at the write; the overbroad ample
+    // condition (silent global accesses treated as independent) runs
+    // each thread to completion alone and never reaches one.
+    let racy: Vec<Op> = vec![Op::Priv(1), Op::Priv(2), Op::Write(0)];
+    let loaded = toy_loaded(&[racy.clone(), racy]);
+
+    let naive = check_drf(&loaded, &cfg_with(Reduction::Off, 1)).expect("loads");
+    assert!(!naive.truncated);
+    assert!(!naive.is_drf(), "the oracle must see the write-write race");
+
+    let sound = check_drf(&loaded, &cfg_with(Reduction::Ample, 1)).expect("loads");
+    assert!(
+        !sound.is_drf(),
+        "the shipped ample condition keeps the race"
+    );
+
+    let mutated = check_drf(&loaded, &cfg_with(Reduction::AmpleOverbroad, 1)).expect("loads");
+    assert!(
+        mutated.is_drf(),
+        "the seeded commutativity bug must miss the race — if this fails, \
+         the mutant is no longer a mutant and the battery's sensitivity \
+         claim is untested"
+    );
+    assert_ne!(
+        naive.is_drf(),
+        mutated.is_drf(),
+        "differential testing flags the unsound reduction"
+    );
+}
