@@ -1,0 +1,131 @@
+//! Differential-fuzzer evaluation: clean-pipeline throughput and the
+//! mutation-kill scoreboard.
+//!
+//! Two measurements:
+//!
+//! * **throughput** — a window of the deterministic input stream is run
+//!   through the clean differential oracle (`check_program` with no
+//!   mutant); every input must pass, and the wall-clock gives the
+//!   inputs/second figure the evaluation quotes;
+//! * **scoreboard** — each of the 13 pipeline mutants faces the same
+//!   stream until the oracle kills it or the per-mutant budget runs
+//!   out. The run aborts unless *every* mutant is killed — a surviving
+//!   mutant means a checker lost its teeth.
+//!
+//! With `--corpus <dir>` each killing input is additionally shrunk via
+//! delta debugging and written as a corpus entry (the regression files
+//! replayed by `cargo test -p ccc-tests`).
+//!
+//! Run with: `cargo run --release -p ccc-bench --bin fuzz_throughput`
+//! (`--smoke` shrinks the budgets for CI). Results are also written to
+//! `BENCH_fuzz.json` in the current directory.
+
+use ccc_fuzz::mutation::stream_input;
+use ccc_fuzz::{check_program, run_scoreboard, shrink_to_entry, OracleCfg};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (clean_inputs, budget, shrink_budget) = if smoke {
+        (40usize, 60usize, 200usize)
+    } else {
+        (200usize, 200usize, 800usize)
+    };
+    let cfg = OracleCfg::default();
+
+    // Throughput: the clean pipeline over the shared stream.
+    println!("clean-pipeline differential oracle over {clean_inputs} inputs...");
+    let mut seq = 0usize;
+    let mut conc = 0usize;
+    let t = Instant::now();
+    for i in 0..clean_inputs {
+        let p = stream_input(i);
+        if p.is_sequential() {
+            seq += 1;
+        } else {
+            conc += 1;
+        }
+        if let Err(e) = check_program(&p, None, &cfg) {
+            panic!(
+                "clean pipeline failed the oracle on stream input {i}: {e}\n{}",
+                ccc_fuzz::program_to_text(&p)
+            );
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let throughput = clean_inputs as f64 / secs;
+    println!(
+        "  {clean_inputs} inputs ({seq} sequential, {conc} concurrent) in {secs:.1}s \
+         = {throughput:.1} inputs/s, 0 disagreements"
+    );
+
+    // Scoreboard: every mutant against the same stream.
+    println!("mutation-kill scoreboard (budget {budget} inputs per mutant)...");
+    let t = Instant::now();
+    let sb = run_scoreboard(budget, &cfg);
+    let sb_secs = t.elapsed().as_secs_f64();
+    print!("{}", sb.to_markdown());
+    println!("scoreboard wall-clock: {sb_secs:.1}s");
+
+    let survivors: Vec<_> = sb.survivors().collect();
+    assert!(
+        survivors.is_empty(),
+        "surviving mutants: {survivors:?} — a checker lost its teeth"
+    );
+
+    // Optionally shrink each killing input into a corpus entry.
+    if let Some(dir) = &corpus_dir {
+        std::fs::create_dir_all(dir).expect("create corpus dir");
+        for s in &sb.scores {
+            let p = stream_input(s.inputs - 1);
+            let entry = shrink_to_entry(&p, Some(s.mutant), shrink_budget, &cfg);
+            let path = format!("{dir}/kill_{:?}.txt", s.mutant).to_lowercase();
+            std::fs::write(&path, entry.to_text()).expect("write corpus entry");
+            println!(
+                "  {path}: shrunk {} -> {} statements",
+                p.size(),
+                entry.program.size()
+            );
+        }
+    }
+
+    let mut json = String::from("{\n");
+    write!(
+        json,
+        "  \"bench\": \"fuzz\",\n  \"smoke\": {smoke},\n  \"throughput\": {{\
+         \"inputs\": {clean_inputs}, \"sequential\": {seq}, \"concurrent\": {conc}, \
+         \"secs\": {secs:.3}, \"inputs_per_sec\": {throughput:.2}}},\n  \"scoreboard\": {{\
+         \"budget\": {budget}, \"kill_rate\": {:.4}, \"mean_inputs_to_kill\": {:.2}, \
+         \"secs\": {sb_secs:.3}, \"mutants\": [\n",
+        sb.kill_rate(),
+        sb.mean_inputs_to_kill(),
+    )
+    .unwrap();
+    for (i, s) in sb.scores.iter().enumerate() {
+        let at = s
+            .kill
+            .as_ref()
+            .map_or("null".to_string(), |f| format!("\"{}\"", f.stage));
+        write!(
+            json,
+            "    {{\"mutant\": \"{:?}\", \"pass\": \"{}\", \"killed\": {}, \
+             \"inputs\": {}, \"localized_at\": {at}}}",
+            s.mutant,
+            s.mutant.pass_name(),
+            s.killed(),
+            s.inputs,
+        )
+        .unwrap();
+        json.push_str(if i + 1 < sb.scores.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]}\n}\n");
+    std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
+    println!("wrote BENCH_fuzz.json (13 mutants, {clean_inputs} clean inputs)");
+}

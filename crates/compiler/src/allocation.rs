@@ -75,7 +75,7 @@ impl Allocator {
     }
 }
 
-fn transform_function(f: &Function) -> LtlFunction {
+fn transform_function_with(f: &Function, ignore_interference: bool) -> LtlFunction {
     let live_out = liveness(f);
 
     // Collect every preg mentioned.
@@ -127,15 +127,22 @@ fn transform_function(f: &Function) -> LtlFunction {
             alloc.spill(r);
             continue;
         }
-        let taken: BTreeSet<MReg> = interf
-            .get(&r)
-            .into_iter()
-            .flatten()
-            .filter_map(|o| match alloc.assign.get(o) {
-                Some(Loc::Reg(m)) => Some(*m),
-                _ => None,
-            })
-            .collect();
+        // `ignore_interference` is the seeded bug for mutation scoring:
+        // the coloring pretends no neighbor's register is taken, so
+        // interfering live ranges coalesce onto the same register.
+        let taken: BTreeSet<MReg> = if ignore_interference {
+            BTreeSet::new()
+        } else {
+            interf
+                .get(&r)
+                .into_iter()
+                .flatten()
+                .filter_map(|o| match alloc.assign.get(o) {
+                    Some(Loc::Reg(m)) => Some(*m),
+                    _ => None,
+                })
+                .collect()
+        };
         match ALLOC_REGS.iter().find(|m| !taken.contains(m)) {
             Some(&m) => {
                 alloc.assign.insert(r, Loc::Reg(m));
@@ -255,7 +262,20 @@ pub fn allocation(m: &RtlModule) -> LtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): the
+/// coloring ignores the interference graph, coalescing interfering live
+/// ranges onto the first allocatable register.
+pub fn allocation_mutated(m: &RtlModule) -> LtlModule {
+    LtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

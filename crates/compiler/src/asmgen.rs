@@ -25,10 +25,13 @@ impl std::fmt::Display for AsmgenError {
 
 impl std::error::Error for AsmgenError {}
 
-fn cond_of(c: Cmp) -> Cond {
+fn cond_of_with(c: Cmp, lt_as_le: bool) -> Cond {
     match c {
         Cmp::Eq => Cond::E,
         Cmp::Ne => Cond::Ne,
+        // `lt_as_le` is the seeded bug for mutation scoring: strict
+        // less-than is emitted as the off-by-one `jle`/`setle`.
+        Cmp::Lt if lt_as_le => Cond::Le,
         Cmp::Lt => Cond::L,
         Cmp::Le => Cond::Le,
         Cmp::Gt => Cond::G,
@@ -66,7 +69,13 @@ fn commutes(op: &Op) -> bool {
     matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
 }
 
-fn emit_op(code: &mut Vec<Instr>, op: &Op, args: &[Reg], d: Reg) -> Result<(), AsmgenError> {
+fn emit_op(
+    code: &mut Vec<Instr>,
+    op: &Op,
+    args: &[Reg],
+    d: Reg,
+    mx: bool,
+) -> Result<(), AsmgenError> {
     match (op, args) {
         (Op::Const(i), []) => code.push(Instr::Mov(d, Operand::Imm(*i))),
         (Op::AddrGlobal(g, o), []) => code.push(Instr::Lea(d, MemArg::Global(g.clone(), *o))),
@@ -103,11 +112,11 @@ fn emit_op(code: &mut Vec<Instr>, op: &Op, args: &[Reg], d: Reg) -> Result<(), A
         }
         (Op::CmpImm(c, i), [a]) => {
             code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
-            code.push(Instr::Setcc(cond_of(*c), d));
+            code.push(Instr::Setcc(cond_of_with(*c, mx), d));
         }
         (Op::Cmp(c), [a, b]) => {
             code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
-            code.push(Instr::Setcc(cond_of(*c), d));
+            code.push(Instr::Setcc(cond_of_with(*c, mx), d));
         }
         (two_ary, [a, b]) => {
             if d == *a {
@@ -133,13 +142,13 @@ fn emit_op(code: &mut Vec<Instr>, op: &Op, args: &[Reg], d: Reg) -> Result<(), A
     Ok(())
 }
 
-fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
+fn transform_function_with(f: &MFunction, mx: bool) -> Result<AsmFunc, AsmgenError> {
     let mut code = Vec::new();
     for i in &f.code {
         match i {
             MIn::Label(l) => code.push(Instr::Label(label_name(*l))),
             MIn::Goto(l) => code.push(Instr::Jmp(label_name(*l))),
-            MIn::Op(op, args, d) => emit_op(&mut code, op, args, *d)?,
+            MIn::Op(op, args, d) => emit_op(&mut code, op, args, *d, mx)?,
             MIn::Load(am, d) => code.push(Instr::Load(*d, marg(am))),
             MIn::Store(am, s) => code.push(Instr::Store(marg(am), Operand::Reg(*s))),
             MIn::Call(f, n) => code.push(Instr::Call(f.clone(), *n)),
@@ -149,11 +158,11 @@ fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
             }
             MIn::CondJump(c, a, b, l) => {
                 code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
-                code.push(Instr::Jcc(cond_of(*c), label_name(*l)));
+                code.push(Instr::Jcc(cond_of_with(*c, mx), label_name(*l)));
             }
             MIn::CondImmJump(c, a, i, l) => {
                 code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
-                code.push(Instr::Jcc(cond_of(*c), label_name(*l)));
+                code.push(Instr::Jcc(cond_of_with(*c, mx), label_name(*l)));
             }
             MIn::Print(r) => code.push(Instr::Print(*r)),
             MIn::Return => code.push(Instr::Ret),
@@ -174,7 +183,21 @@ fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
 pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function(f)?);
+        funcs.insert(n.clone(), transform_function_with(f, false)?);
+    }
+    Ok(AsmModule { funcs })
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): every
+/// `Lt` comparison is emitted with the off-by-one `Le` condition code.
+///
+/// # Errors
+///
+/// Fails on violated Stacking invariants, like the real pass.
+pub fn asmgen_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function_with(f, true)?);
     }
     Ok(AsmModule { funcs })
 }

@@ -7,18 +7,22 @@
 use crate::linear::{Function, Instr, Label, LinearModule};
 use std::collections::BTreeSet;
 
-fn referenced_labels(f: &Function) -> BTreeSet<Label> {
+fn referenced_labels_with(f: &Function, only_gotos: bool) -> BTreeSet<Label> {
     f.code
         .iter()
         .filter_map(|i| match i {
-            Instr::Goto(l) | Instr::CondJump(.., l) | Instr::CondImmJump(.., l) => Some(*l),
+            Instr::Goto(l) => Some(*l),
+            // `only_gotos` is the seeded bug for mutation scoring:
+            // conditional-jump targets are not counted as references, so
+            // live branch targets get deleted.
+            Instr::CondJump(.., l) | Instr::CondImmJump(.., l) if !only_gotos => Some(*l),
             _ => None,
         })
         .collect()
 }
 
-fn transform_function(f: &Function) -> Function {
-    let used = referenced_labels(f);
+fn transform_function_with(f: &Function, only_gotos: bool) -> Function {
+    let used = referenced_labels_with(f, only_gotos);
     Function {
         params: f.params.clone(),
         stack_slots: f.stack_slots,
@@ -41,7 +45,20 @@ pub fn cleanup_labels(m: &LinearModule) -> LinearModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): only
+/// `Goto` targets count as references, so labels reached exclusively by
+/// conditional jumps are removed and those jumps abort at runtime.
+pub fn cleanup_labels_mutated(m: &LinearModule) -> LinearModule {
+    LinearModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

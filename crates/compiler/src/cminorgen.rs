@@ -86,14 +86,16 @@ impl Ctx {
     }
 }
 
-/// Translates one function.
-pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
+fn translate_function_with(
+    f: &Function,
+    collapse_locals: bool,
+) -> Result<CmFunction, CminorgenError> {
     let ctx = Ctx {
         slots: f
             .vars
             .iter()
             .enumerate()
-            .map(|(i, v)| (v.clone(), i as u64))
+            .map(|(i, v)| (v.clone(), if collapse_locals { 0 } else { i as u64 }))
             .collect(),
     };
     Ok(CmFunction {
@@ -101,6 +103,11 @@ pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
         stack_slots: f.vars.len() as u64,
         body: ctx.stmt(&f.body)?,
     })
+}
+
+/// Translates one function.
+pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
+    translate_function_with(f, false)
 }
 
 /// Translates a whole module.
@@ -112,6 +119,20 @@ pub fn cminorgen(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
     let mut funcs = BTreeMap::new();
     for (name, f) in &m.funcs {
         funcs.insert(name.clone(), translate_function(f)?);
+    }
+    Ok(CminorModule { funcs })
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): every
+/// local variable is laid out at frame slot 0, so distinct locals alias.
+///
+/// # Errors
+///
+/// Fails on ill-formed lvalues, like the real pass.
+pub fn cminorgen_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
+    let mut funcs = BTreeMap::new();
+    for (name, f) in &m.funcs {
+        funcs.insert(name.clone(), translate_function_with(f, true)?);
     }
     Ok(CminorModule { funcs })
 }

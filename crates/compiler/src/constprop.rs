@@ -114,7 +114,7 @@ fn analyze(f: &Function) -> BTreeMap<Node, Env> {
     inputs
 }
 
-fn rewrite(i: &Instr, env: &Env) -> Instr {
+fn rewrite(i: &Instr, env: &Env, mx: bool) -> Instr {
     match i {
         Instr::Op(op, args, dst, n) => {
             let avs: Vec<AVal> = args.iter().map(|&r| lookup(env, r)).collect();
@@ -156,7 +156,9 @@ fn rewrite(i: &Instr, env: &Env) -> Instr {
         Instr::Cond(c, r1, r2, t, e) => {
             if let (AVal::Const(a), AVal::Const(b)) = (lookup(env, *r1), lookup(env, *r2)) {
                 if let Some(taken) = c.eval(Val::Int(a), Val::Int(b)) {
-                    return Instr::Nop(if taken { *t } else { *e });
+                    // `mx` is the seeded bug for mutation scoring:
+                    // decided branches fold to the *wrong* arm.
+                    return Instr::Nop(if taken != mx { *t } else { *e });
                 }
             }
             if let AVal::Const(b) = lookup(env, *r2) {
@@ -170,7 +172,7 @@ fn rewrite(i: &Instr, env: &Env) -> Instr {
         Instr::CondImm(c, r, imm, t, e) => {
             if let AVal::Const(a) = lookup(env, *r) {
                 if let Some(taken) = c.eval(Val::Int(a), Val::Int(*imm)) {
-                    return Instr::Nop(if taken { *t } else { *e });
+                    return Instr::Nop(if taken != mx { *t } else { *e });
                 }
             }
             i.clone()
@@ -179,12 +181,12 @@ fn rewrite(i: &Instr, env: &Env) -> Instr {
     }
 }
 
-fn transform_function(f: &Function) -> Function {
+fn transform_function_with(f: &Function, mx: bool) -> Function {
     let inputs = analyze(f);
     let mut code = BTreeMap::new();
     for (&n, i) in &f.code {
         match inputs.get(&n) {
-            Some(env) => code.insert(n, rewrite(i, env)),
+            Some(env) => code.insert(n, rewrite(i, env, mx)),
             None => code.insert(n, i.clone()), // unreachable node: keep
         };
     }
@@ -202,7 +204,20 @@ pub fn constprop(m: &RtlModule) -> RtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): branch
+/// folding on decided conditions picks the arm the condition does *not*
+/// take.
+pub fn constprop_mutated(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

@@ -84,6 +84,11 @@ pub struct CompilationArtifacts {
     pub rtl_tailcall: RtlModule,
     /// After Renumber.
     pub rtl_renumber: RtlModule,
+    /// After the optional Constprop extension pass (`None` in the
+    /// standard pipeline; `Some` under
+    /// [`compile_optimized_with_artifacts`] and the mutation harness).
+    /// When present, it is the input `Allocation` consumed.
+    pub rtl_constprop: Option<RtlModule>,
     /// After Allocation.
     pub ltl: LtlModule,
     /// After Tunneling.
@@ -143,6 +148,7 @@ pub fn compile_with_artifacts(m: &ClightModule) -> Result<CompilationArtifacts, 
         rtl,
         rtl_tailcall,
         rtl_renumber,
+        rtl_constprop: None,
         ltl,
         ltl_tunneled,
         linear,
@@ -196,12 +202,20 @@ pub fn id_trans<M: Clone>(m: &M) -> M {
 ///
 /// Propagates the failing pass's error.
 pub fn compile_optimized(m: &ClightModule) -> Result<AsmModule, CompileError> {
-    let cminor = cminorgen(m).map_err(CompileError::Cminorgen)?;
-    let rtl = renumber(&tailcall(&rtlgen(&selection(&cminor))));
-    let rtl = crate::constprop::constprop(&rtl);
-    let mach = stacking(&cleanup_labels(&linearize(&tunneling(&allocation(&rtl)))))
-        .map_err(CompileError::Stacking)?;
-    asmgen(&mach).map_err(CompileError::Asmgen)
+    Ok(compile_optimized_with_artifacts(m)?.asm)
+}
+
+/// Like [`compile_with_artifacts`], but running the extension pipeline
+/// (Constprop after Renumber); the artifacts carry the Constprop stage
+/// in [`CompilationArtifacts::rtl_constprop`].
+///
+/// # Errors
+///
+/// Propagates the failing pass's error.
+pub fn compile_optimized_with_artifacts(
+    m: &ClightModule,
+) -> Result<CompilationArtifacts, CompileError> {
+    crate::mutant::compile_with_artifacts_mutated(m, None)
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod linear;
 pub mod linearize;
 pub mod ltl;
 pub mod mach;
+pub mod mutant;
 pub mod ops;
 pub mod pretty;
 pub mod renumber;
@@ -47,3 +48,4 @@ pub mod tunneling;
 pub mod verif;
 
 pub use driver::{compile, compile_with_artifacts, CompilationArtifacts, CompileError, PASS_NAMES};
+pub use mutant::{compile_with_artifacts_mutated, id_trans_mutated, Mutant};

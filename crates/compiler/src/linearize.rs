@@ -27,7 +27,7 @@ fn layout(f: &Function) -> Vec<Node> {
     order
 }
 
-fn transform_function(f: &Function) -> LinFunction {
+fn transform_function_with(f: &Function, unnegated: bool) -> LinFunction {
     let order = layout(f);
     let mut code = Vec::new();
     for (idx, &n) in order.iter().enumerate() {
@@ -60,11 +60,15 @@ fn transform_function(f: &Function) -> LinFunction {
                 code.push(LIn::Tailcall(callee.clone(), args.clone()));
             }
             Instr::Cond(c, a, b, t, e) => {
-                // Prefer falling through to the false branch.
+                // Prefer falling through to the false branch. `unnegated`
+                // is the seeded bug for mutation scoring: when the layout
+                // falls through to the *true* branch, the jump to the
+                // false branch keeps the un-negated condition.
                 if next == Some(*e) {
                     code.push(LIn::CondJump(*c, *a, *b, *t));
                 } else if next == Some(*t) {
-                    code.push(LIn::CondJump(c.negate(), *a, *b, *e));
+                    let c = if unnegated { *c } else { c.negate() };
+                    code.push(LIn::CondJump(c, *a, *b, *e));
                 } else {
                     code.push(LIn::CondJump(*c, *a, *b, *t));
                     code.push(LIn::Goto(*e));
@@ -74,7 +78,8 @@ fn transform_function(f: &Function) -> LinFunction {
                 if next == Some(*e) {
                     code.push(LIn::CondImmJump(*c, *r, *i, *t));
                 } else if next == Some(*t) {
-                    code.push(LIn::CondImmJump(c.negate(), *r, *i, *e));
+                    let c = if unnegated { *c } else { c.negate() };
+                    code.push(LIn::CondImmJump(c, *r, *i, *e));
                 } else {
                     code.push(LIn::CondImmJump(*c, *r, *i, *t));
                     code.push(LIn::Goto(*e));
@@ -101,7 +106,20 @@ pub fn linearize(m: &LtlModule) -> LinearModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): when the
+/// layout falls through to the true branch, the branch to the false
+/// label forgets to negate the condition, inverting the conditional.
+pub fn linearize_mutated(m: &LtlModule) -> LinearModule {
+    LinearModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

@@ -1,0 +1,359 @@
+//! Seeded-bug pass variants ("mutants") for mutation scoring.
+//!
+//! The executable checkers of this reproduction — the per-pass
+//! simulation ([`crate::verif`]), the differential interpreters, and the
+//! `ccc-fuzz` pipeline fuzzer — replace CASCompCert's Coq proofs, so
+//! their *sensitivity* must itself be validated. This module provides
+//! one intentionally-wrong variant of every pipeline pass (plus the
+//! `Constprop` extension and the `IdTrans` object-module transformation)
+//! behind the [`Mutant`] enum. A mutation-kill harness compiles fuzzed
+//! programs with [`compile_with_artifacts_mutated`] and proves each
+//! mutant is caught ("killed") by the differential oracle within a
+//! bounded budget.
+//!
+//! Every mutant is a *realistic* compiler bug: a dropped negation, an
+//! off-by-one frame offset, an inverted branch, a coloring that ignores
+//! interference, a lock object whose atomic blocks are silently erased.
+
+use crate::allocation::{allocation, allocation_mutated};
+use crate::asmgen::{asmgen, asmgen_mutated};
+use crate::cleanuplabels::{cleanup_labels, cleanup_labels_mutated};
+use crate::cminorgen::{cminorgen, cminorgen_mutated};
+use crate::constprop::{constprop, constprop_mutated};
+use crate::driver::{CompilationArtifacts, CompileError};
+use crate::linearize::{linearize, linearize_mutated};
+use crate::renumber::{renumber, renumber_mutated};
+use crate::rtlgen::{rtlgen, rtlgen_mutated};
+use crate::selection::{selection, selection_mutated};
+use crate::stacking::{stacking, stacking_mutated};
+use crate::tailcall::{tailcall, tailcall_mutated};
+use crate::tunneling::{tunneling, tunneling_mutated};
+use ccc_cimp::ast::{CImpModule, Func, Stmt};
+use ccc_clight::ClightModule;
+
+/// One intentionally-wrong variant of each pipeline pass.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Mutant {
+    /// Cshmgen/Cminorgen lays every local out at frame slot 0, so
+    /// distinct locals alias.
+    Cminorgen,
+    /// Selection drops the negation in the `x - c` → `x + (-c)`
+    /// strength reduction.
+    Selection,
+    /// RTLgen branches to the *else* arm when the condition holds.
+    Rtlgen,
+    /// Tailcall turns discarded-result calls into tail calls, dropping
+    /// the continuation (a frame-clear's worth of trailing statements).
+    Tailcall,
+    /// Renumber keeps the function entry's stale pre-pass node id.
+    Renumber,
+    /// Constprop folds decided branches to the arm *not* taken.
+    Constprop,
+    /// Allocation coalesces interfering live ranges onto one register.
+    Allocation,
+    /// Tunneling chases through `Op`s, skipping real computation.
+    Tunneling,
+    /// Linearize forgets to negate the condition when the layout falls
+    /// through to the true branch.
+    Linearize,
+    /// CleanupLabels deletes labels referenced only by conditional
+    /// jumps.
+    CleanupLabels,
+    /// Stacking lays spill slot `i` at frame offset `i` instead of
+    /// `stack_slots + i`, clobbering stack variables.
+    Stacking,
+    /// Asmgen emits `Lt` comparisons with the `Le` condition code.
+    Asmgen,
+    /// IdTrans strips atomic blocks from object (CImp) modules,
+    /// breaking the mutual exclusion of the lock specification.
+    IdTrans,
+}
+
+impl Mutant {
+    /// Every mutant, in pipeline order.
+    pub const ALL: [Mutant; 13] = [
+        Mutant::Cminorgen,
+        Mutant::Selection,
+        Mutant::Rtlgen,
+        Mutant::Tailcall,
+        Mutant::Renumber,
+        Mutant::Constprop,
+        Mutant::Allocation,
+        Mutant::Tunneling,
+        Mutant::Linearize,
+        Mutant::CleanupLabels,
+        Mutant::Stacking,
+        Mutant::Asmgen,
+        Mutant::IdTrans,
+    ];
+
+    /// The name of the pass this mutant corrupts (matching
+    /// [`crate::PASS_NAMES`] where applicable).
+    pub fn pass_name(self) -> &'static str {
+        match self {
+            Mutant::Cminorgen => "Cshmgen/Cminorgen",
+            Mutant::Selection => "Selection",
+            Mutant::Rtlgen => "RTLgen",
+            Mutant::Tailcall => "Tailcall",
+            Mutant::Renumber => "Renumber",
+            Mutant::Constprop => "Constprop",
+            Mutant::Allocation => "Allocation",
+            Mutant::Tunneling => "Tunneling",
+            Mutant::Linearize => "Linearize",
+            Mutant::CleanupLabels => "CleanupLabels",
+            Mutant::Stacking => "Stacking",
+            Mutant::Asmgen => "Asmgen",
+            Mutant::IdTrans => "IdTrans",
+        }
+    }
+
+    /// A one-line description of the seeded bug.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Mutant::Cminorgen => "all locals share frame slot 0",
+            Mutant::Selection => "x - c selects as x + c",
+            Mutant::Rtlgen => "if-branches swapped",
+            Mutant::Tailcall => "discarded-result calls drop their continuation",
+            Mutant::Renumber => "entry keeps its stale node id",
+            Mutant::Constprop => "decided branches fold to the wrong arm",
+            Mutant::Allocation => "coloring ignores interference",
+            Mutant::Tunneling => "edges tunnel through Ops",
+            Mutant::Linearize => "fall-through to true branch unnegated",
+            Mutant::CleanupLabels => "cond-jump targets deleted",
+            Mutant::Stacking => "spill offsets forget the stack_slots base",
+            Mutant::Asmgen => "Lt emitted as Le",
+            Mutant::IdTrans => "atomic blocks stripped from object modules",
+        }
+    }
+}
+
+impl std::fmt::Display for Mutant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.pass_name())
+    }
+}
+
+/// Runs the *extended* pipeline (all standard passes plus the Constprop
+/// extension after Renumber), with at most one pass replaced by its
+/// seeded-bug variant. `mutant: None` gives the reference compilation
+/// the differential oracle compares against.
+///
+/// The returned artifacts always carry the Constprop stage in
+/// [`CompilationArtifacts::rtl_constprop`], so per-stage oracles cover
+/// all thirteen transformations.
+///
+/// # Errors
+///
+/// Propagates the failing pass's error.
+pub fn compile_with_artifacts_mutated(
+    m: &ClightModule,
+    mutant: Option<Mutant>,
+) -> Result<CompilationArtifacts, CompileError> {
+    let mu = |which: Mutant| mutant == Some(which);
+    let cminor = if mu(Mutant::Cminorgen) {
+        cminorgen_mutated(m)
+    } else {
+        cminorgen(m)
+    }
+    .map_err(CompileError::Cminorgen)?;
+    let cminorsel = if mu(Mutant::Selection) {
+        selection_mutated(&cminor)
+    } else {
+        selection(&cminor)
+    };
+    let rtl = if mu(Mutant::Rtlgen) {
+        rtlgen_mutated(&cminorsel)
+    } else {
+        rtlgen(&cminorsel)
+    };
+    let rtl_tailcall = if mu(Mutant::Tailcall) {
+        tailcall_mutated(&rtl)
+    } else {
+        tailcall(&rtl)
+    };
+    let rtl_renumber = if mu(Mutant::Renumber) {
+        renumber_mutated(&rtl_tailcall)
+    } else {
+        renumber(&rtl_tailcall)
+    };
+    let rtl_constprop = if mu(Mutant::Constprop) {
+        constprop_mutated(&rtl_renumber)
+    } else {
+        constprop(&rtl_renumber)
+    };
+    let ltl = if mu(Mutant::Allocation) {
+        allocation_mutated(&rtl_constprop)
+    } else {
+        allocation(&rtl_constprop)
+    };
+    let ltl_tunneled = if mu(Mutant::Tunneling) {
+        tunneling_mutated(&ltl)
+    } else {
+        tunneling(&ltl)
+    };
+    let linear = if mu(Mutant::Linearize) {
+        linearize_mutated(&ltl_tunneled)
+    } else {
+        linearize(&ltl_tunneled)
+    };
+    let linear_clean = if mu(Mutant::CleanupLabels) {
+        cleanup_labels_mutated(&linear)
+    } else {
+        cleanup_labels(&linear)
+    };
+    let mach = if mu(Mutant::Stacking) {
+        stacking_mutated(&linear_clean)
+    } else {
+        stacking(&linear_clean)
+    }
+    .map_err(CompileError::Stacking)?;
+    let asm = if mu(Mutant::Asmgen) {
+        asmgen_mutated(&mach)
+    } else {
+        asmgen(&mach)
+    }
+    .map_err(CompileError::Asmgen)?;
+    Ok(CompilationArtifacts {
+        clight: m.clone(),
+        cminor,
+        cminorsel,
+        rtl,
+        rtl_tailcall,
+        rtl_renumber,
+        rtl_constprop: Some(rtl_constprop),
+        ltl,
+        ltl_tunneled,
+        linear,
+        linear_clean,
+        mach,
+        asm,
+    })
+}
+
+fn strip_atomic(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Atomic(inner) => strip_atomic(inner),
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(strip_atomic).collect()),
+        Stmt::If(c, a, b) => Stmt::If(
+            c.clone(),
+            Box::new(strip_atomic(a)),
+            Box::new(strip_atomic(b)),
+        ),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(strip_atomic(b))),
+        other => other.clone(),
+    }
+}
+
+/// The [`Mutant::IdTrans`] seeded bug: the "identity" transformation of
+/// object modules silently erases every atomic block, so the lock
+/// specification's test-and-set races with itself.
+pub fn id_trans_mutated(m: &CImpModule) -> CImpModule {
+    CImpModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| {
+                (
+                    n.clone(),
+                    Func {
+                        params: f.params.clone(),
+                        body: strip_atomic(&f.body),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_clight::ClightLang;
+    use ccc_core::world::run_main;
+    use ccc_machine::X86Sc;
+
+    #[test]
+    fn reference_pipeline_matches_source() {
+        for seed in 0..8 {
+            let (m, ge) = gen_module(seed, &GenCfg::default());
+            let arts = compile_with_artifacts_mutated(&m, None).expect("compiles");
+            assert!(arts.rtl_constprop.is_some());
+            let s = run_main(&ClightLang, &m, &ge, "f", &[], 1_000_000).expect("source runs");
+            let t = run_main(&X86Sc, &arts.asm, &ge, "f", &[], 1_000_000).expect("target runs");
+            assert_eq!(s.0, t.0, "seed {seed}");
+            assert_eq!(s.2, t.2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_mutant_changes_some_compilation() {
+        // Not every mutant fires on every program, but each must alter
+        // the output of *some* seed in a small pool — otherwise it is
+        // not a mutant at all.
+        let mut pool: Vec<_> = (0..12)
+            .map(|seed| gen_module(seed, &GenCfg::default()).0)
+            .collect();
+        // gen_module emits no calls; the Tailcall mutant needs a
+        // discarded-result call with a live continuation.
+        {
+            use ccc_clight::ast::{Expr as E, Function, Stmt};
+            let g = Function {
+                params: vec![],
+                vars: vec![],
+                body: Stmt::seq([Stmt::Print(E::Const(7)), Stmt::Return(Some(E::Const(1)))]),
+            };
+            let f = Function::simple(Stmt::seq([
+                Stmt::call0("g", vec![]),
+                Stmt::Print(E::Const(8)),
+                Stmt::Return(Some(E::Const(2))),
+            ]));
+            pool.push(ClightModule::new([("f", f), ("g", g)]));
+        }
+        for mu in Mutant::ALL {
+            if mu == Mutant::IdTrans {
+                continue; // exercised on CImp modules below
+            }
+            let fired = pool.iter().any(|m| {
+                let a = compile_with_artifacts_mutated(m, None);
+                let b = compile_with_artifacts_mutated(m, Some(mu));
+                match (a, b) {
+                    (Ok(a), Ok(b)) => format!("{:?}", a.asm) != format!("{:?}", b.asm),
+                    _ => true,
+                }
+            });
+            assert!(fired, "{mu}: mutant never alters the assembly");
+        }
+    }
+
+    #[test]
+    fn id_trans_mutant_strips_atomics() {
+        let (lock, _) = ccc_sync_lock_spec();
+        let stripped = id_trans_mutated(&lock);
+        fn has_atomic(s: &Stmt) -> bool {
+            match s {
+                Stmt::Atomic(_) => true,
+                Stmt::Seq(ss) => ss.iter().any(has_atomic),
+                Stmt::If(_, a, b) => has_atomic(a) || has_atomic(b),
+                Stmt::While(_, b) => has_atomic(b),
+                _ => false,
+            }
+        }
+        assert!(lock.funcs.values().any(|f| has_atomic(&f.body)));
+        assert!(!stripped.funcs.values().any(|f| has_atomic(&f.body)));
+    }
+
+    // A local copy of the sync crate's lock spec shape (ccc-compiler
+    // does not depend on ccc-sync; any CImp module with atomics works).
+    fn ccc_sync_lock_spec() -> (CImpModule, ()) {
+        use ccc_cimp::ast::Expr;
+        let lock = Func {
+            params: vec![],
+            body: Stmt::atomic(Stmt::Seq(vec![
+                Stmt::Load("t".into(), Expr::global("L")),
+                Stmt::Store(Expr::global("L"), Expr::Int(1)),
+            ])),
+        };
+        (CImpModule::new([("lock", lock)]), ())
+    }
+}

@@ -6,7 +6,7 @@
 use crate::rtl::{Function, Node, RtlModule};
 use std::collections::BTreeMap;
 
-fn transform_function(f: &Function) -> Function {
+fn transform_function_with(f: &Function, stale_entry: bool) -> Function {
     // Depth-first numbering from the entry.
     let mut order: BTreeMap<Node, Node> = BTreeMap::new();
     let mut stack = vec![f.entry];
@@ -39,7 +39,9 @@ fn transform_function(f: &Function) -> Function {
     Function {
         params: f.params.clone(),
         stack_slots: f.stack_slots,
-        entry: renum(f.entry),
+        // The seeded bug for mutation scoring: keeping the entry's *old*
+        // node id, which now names a different instruction (or none).
+        entry: if stale_entry { f.entry } else { renum(f.entry) },
         code,
     }
 }
@@ -50,7 +52,19 @@ pub fn renumber(m: &RtlModule) -> RtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): nodes
+/// are renumbered but the function entry keeps its stale pre-pass id.
+pub fn renumber_mutated(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

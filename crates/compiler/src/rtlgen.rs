@@ -16,6 +16,8 @@ struct Builder {
     next_node: Node,
     next_reg: PReg,
     temps: BTreeMap<String, PReg>,
+    /// The seeded bug for mutation scoring: emit `If` branches swapped.
+    swap_if: bool,
 }
 
 impl Builder {
@@ -140,7 +142,11 @@ impl Builder {
                 let then_e = self.stmt(a, succ, loops);
                 let else_e = self.stmt(b, succ, loops);
                 let r = self.fresh();
-                let cond = self.add(Instr::CondImm(Cmp::Ne, r, 0, then_e, else_e));
+                let cond = if self.swap_if {
+                    self.add(Instr::CondImm(Cmp::Ne, r, 0, else_e, then_e))
+                } else {
+                    self.add(Instr::CondImm(Cmp::Ne, r, 0, then_e, else_e))
+                };
                 self.expr(c, r, cond)
             }
             Stmt::While(c, b) => {
@@ -166,13 +172,13 @@ impl Builder {
     }
 }
 
-/// Translates one function.
-pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction {
+fn translate_function_with(f: &crate::stmt_sem::Function<SelExpr>, swap_if: bool) -> RtlFunction {
     let mut b = Builder {
         code: BTreeMap::new(),
         next_node: 0,
         next_reg: 0,
         temps: BTreeMap::new(),
+        swap_if,
     };
     let params: Vec<PReg> = f.params.iter().map(|p| b.temp(p)).collect();
     let ret0 = b.add(Instr::Return(None));
@@ -186,6 +192,11 @@ pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction
     }
 }
 
+/// Translates one function.
+pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction {
+    translate_function_with(f, false)
+}
+
 /// Runs RTL generation over a whole module.
 pub fn rtlgen(m: &CminorSelModule) -> RtlModule {
     RtlModule {
@@ -193,6 +204,18 @@ pub fn rtlgen(m: &CminorSelModule) -> RtlModule {
             .funcs
             .iter()
             .map(|(n, f)| (n.clone(), translate_function(f)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]):
+/// conditionals branch to the *else* arm when the condition holds.
+pub fn rtlgen_mutated(m: &CminorSelModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), translate_function_with(f, true)))
             .collect(),
     }
 }

@@ -16,7 +16,7 @@ use crate::stmt_sem::{Function, Stmt, StmtModule};
 use ccc_clight::ast::{Binop, Unop};
 
 /// Selects an address expression into an addressing mode.
-fn select_addr(e: &cminor::Expr) -> AddrMode<Box<SelExpr>> {
+fn select_addr(e: &cminor::Expr, mx: bool) -> AddrMode<Box<SelExpr>> {
     use cminor::Expr as E;
     match e {
         E::AddrGlobal(g) => AddrMode::Global(g.clone(), 0),
@@ -27,11 +27,11 @@ fn select_addr(e: &cminor::Expr) -> AddrMode<Box<SelExpr>> {
                 AddrMode::Global(g.clone(), *c as u64)
             }
             (inner, E::Const(c)) | (E::Const(c), inner) => {
-                AddrMode::Based(Box::new(select_expr(inner)), *c)
+                AddrMode::Based(Box::new(select_expr_in(inner, mx)), *c)
             }
-            _ => AddrMode::Based(Box::new(select_expr(e)), 0),
+            _ => AddrMode::Based(Box::new(select_expr_in(e, mx)), 0),
         },
-        other => AddrMode::Based(Box::new(select_expr(other)), 0),
+        other => AddrMode::Based(Box::new(select_expr_in(other, mx)), 0),
     }
 }
 
@@ -57,15 +57,19 @@ fn cmp_of(op: Binop) -> Option<Cmp> {
 
 /// Selects one expression (`sel_expr` of Fig. 12).
 pub fn select_expr(e: &cminor::Expr) -> SelExpr {
+    select_expr_in(e, false)
+}
+
+fn select_expr_in(e: &cminor::Expr, mx: bool) -> SelExpr {
     use cminor::Expr as E;
     match e {
         E::Const(i) => SelExpr::imm(*i),
         E::Temp(t) => SelExpr::Temp(t.clone()),
         E::AddrGlobal(g) => SelExpr::Op(Op::AddrGlobal(g.clone(), 0), vec![]),
         E::AddrStack(n) => SelExpr::Op(Op::AddrStack(*n), vec![]),
-        E::Load(a) => SelExpr::Load(select_addr(a)),
+        E::Load(a) => SelExpr::Load(select_addr(a, mx)),
         E::Unop(op, a) => {
-            let sa = select_expr(a);
+            let sa = select_expr_in(a, mx);
             match (op, as_const(&sa)) {
                 (Unop::Neg, Some(c)) => SelExpr::imm(c.wrapping_neg()),
                 (Unop::Not, Some(c)) => SelExpr::imm(i64::from(c == 0)),
@@ -73,11 +77,11 @@ pub fn select_expr(e: &cminor::Expr) -> SelExpr {
                 (Unop::Not, None) => SelExpr::Op(Op::Not, vec![sa]),
             }
         }
-        E::Binop(op, a, b) => select_binop(*op, select_expr(a), select_expr(b)),
+        E::Binop(op, a, b) => select_binop(*op, select_expr_in(a, mx), select_expr_in(b, mx), mx),
     }
 }
 
-fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
+fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: bool) -> SelExpr {
     let (ca, cb) = (as_const(&sa), as_const(&sb));
     // Full constant folding.
     if let (Some(x), Some(y)) = (ca, cb) {
@@ -93,7 +97,11 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
         // Immediate forms. `x + c`, `c + x`, `x - c` → AddImm.
         (Binop::Add, Some(c), None) => SelExpr::Op(Op::AddImm(c), vec![sb]),
         (Binop::Add, None, Some(c)) => SelExpr::Op(Op::AddImm(c), vec![sa]),
-        (Binop::Sub, None, Some(c)) if c != i64::MIN => SelExpr::Op(Op::AddImm(-c), vec![sa]),
+        // `mx` is the seeded bug for mutation scoring: the immediate's
+        // negation is dropped, so `x - c` selects as `x + c`.
+        (Binop::Sub, None, Some(c)) if c != i64::MIN => {
+            SelExpr::Op(Op::AddImm(if mx { c } else { -c }), vec![sa])
+        }
         // `x * 0` → 0: the classic footprint-shrinking strength
         // reduction (safe for Safe sources; see module docs).
         (Binop::Mul, None, Some(0)) | (Binop::Mul, Some(0), None) => SelExpr::imm(0),
@@ -121,45 +129,44 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr) -> SelExpr {
     }
 }
 
-fn select_stmt(s: &cminor::Stmt) -> cminorsel::Stmt {
+fn select_stmt(s: &cminor::Stmt, mx: bool) -> cminorsel::Stmt {
     match s {
         Stmt::Skip => Stmt::Skip,
-        Stmt::Set(t, e) => Stmt::Set(t.clone(), select_expr(e)),
+        Stmt::Set(t, e) => Stmt::Set(t.clone(), select_expr_in(e, mx)),
         Stmt::Store(a, v) => {
             // Stores go through a selected addressing mode, expressed as
             // a Based/Global/Stack load-address on the lvalue side. The
             // statement layer keeps `Store(addr_expr, val)`, so fold the
             // mode back into an address expression.
-            let am = select_addr(a);
+            let am = select_addr(a, mx);
             let addr_expr = match am {
                 AddrMode::Global(g, o) => SelExpr::Op(Op::AddrGlobal(g, o), vec![]),
                 AddrMode::Stack(n) => SelExpr::Op(Op::AddrStack(n), vec![]),
                 AddrMode::Based(e, 0) => *e,
                 AddrMode::Based(e, d) => SelExpr::Op(Op::AddImm(d), vec![*e]),
             };
-            Stmt::Store(addr_expr, select_expr(v))
+            Stmt::Store(addr_expr, select_expr_in(v, mx))
         }
         Stmt::Call(dst, f, args) => Stmt::Call(
             dst.clone(),
             f.clone(),
-            args.iter().map(select_expr).collect(),
+            args.iter().map(|a| select_expr_in(a, mx)).collect(),
         ),
-        Stmt::Print(e) => Stmt::Print(select_expr(e)),
-        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(select_stmt).collect()),
+        Stmt::Print(e) => Stmt::Print(select_expr_in(e, mx)),
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|s| select_stmt(s, mx)).collect()),
         Stmt::If(c, a, b) => Stmt::If(
-            select_expr(c),
-            Box::new(select_stmt(a)),
-            Box::new(select_stmt(b)),
+            select_expr_in(c, mx),
+            Box::new(select_stmt(a, mx)),
+            Box::new(select_stmt(b, mx)),
         ),
-        Stmt::While(c, b) => Stmt::While(select_expr(c), Box::new(select_stmt(b))),
+        Stmt::While(c, b) => Stmt::While(select_expr_in(c, mx), Box::new(select_stmt(b, mx))),
         Stmt::Break => Stmt::Break,
         Stmt::Continue => Stmt::Continue,
-        Stmt::Return(e) => Stmt::Return(e.as_ref().map(select_expr)),
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| select_expr_in(e, mx))),
     }
 }
 
-/// Runs selection over a whole module.
-pub fn selection(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
+fn selection_with(m: &cminor::CminorModule, mx: bool) -> cminorsel::CminorSelModule {
     StmtModule {
         funcs: m
             .funcs
@@ -170,12 +177,24 @@ pub fn selection(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
                     Function {
                         params: f.params.clone(),
                         stack_slots: f.stack_slots,
-                        body: select_stmt(&f.body),
+                        body: select_stmt(&f.body, mx),
                     },
                 )
             })
             .collect(),
     }
+}
+
+/// Runs selection over a whole module.
+pub fn selection(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
+    selection_with(m, false)
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): the
+/// `x - c` → `x + (-c)` strength reduction drops the negation, so every
+/// subtraction-by-constant becomes an addition.
+pub fn selection_mutated(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
+    selection_with(m, true)
 }
 
 #[cfg(test)]

@@ -37,11 +37,18 @@ const SCRATCH2: MReg = MReg::Eax;
 struct Ctx {
     stack_slots: u64,
     code: Vec<MIn>,
+    /// The seeded bug for mutation scoring: spill offsets forget the
+    /// `stack_slots` base, aliasing the source-level `AddrStack` slots.
+    forget_base: bool,
 }
 
 impl Ctx {
     fn off(&self, spill: u32) -> u64 {
-        self.stack_slots + spill as u64
+        if self.forget_base {
+            spill as u64
+        } else {
+            self.stack_slots + spill as u64
+        }
     }
 
     /// Materializes a location into a register, using `scratch` for
@@ -104,10 +111,11 @@ fn op_commutes(op: &Op) -> bool {
     matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
 }
 
-fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
+fn transform_function_with(f: &LinFunction, forget_base: bool) -> Result<MFunction, StackingError> {
     let mut ctx = Ctx {
         stack_slots: f.stack_slots,
         code: Vec::new(),
+        forget_base,
     };
     // Prologue: store incoming argument registers into the parameter
     // slots.
@@ -225,7 +233,23 @@ fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
 pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function(f)?);
+        funcs.insert(n.clone(), transform_function_with(f, false)?);
+    }
+    Ok(MachModule { funcs })
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): spill
+/// slot `i` is laid out at frame offset `i` instead of
+/// `stack_slots + i`, so spills overwrite source-level stack variables.
+///
+/// # Errors
+///
+/// Fails if the allocator's conventions were violated, like the real
+/// pass.
+pub fn stacking_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function_with(f, true)?);
     }
     Ok(MachModule { funcs })
 }

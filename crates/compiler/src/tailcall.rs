@@ -19,17 +19,26 @@ fn skip_nops(f: &Function, mut n: Node) -> Node {
     n
 }
 
-fn transform_function(f: &Function) -> Function {
+fn transform_function_with(f: &Function, drop_continuations: bool) -> Function {
     let mut out = f.clone();
     for (node, instr) in &f.code {
-        if let Instr::Call(Some(dst), callee, args, succ) = instr {
-            let ret = skip_nops(f, *succ);
-            if let Some(Instr::Return(Some(r))) = f.code.get(&ret) {
-                if r == dst {
-                    out.code
-                        .insert(*node, Instr::Tailcall(callee.clone(), args.clone()));
+        match instr {
+            Instr::Call(Some(dst), callee, args, succ) => {
+                let ret = skip_nops(f, *succ);
+                if let Some(Instr::Return(Some(r))) = f.code.get(&ret) {
+                    if r == dst {
+                        out.code
+                            .insert(*node, Instr::Tailcall(callee.clone(), args.clone()));
+                    }
                 }
             }
+            Instr::Call(None, callee, args, _succ) if drop_continuations => {
+                // The seeded bug: a discarded-result call is treated as a
+                // tail call, silently dropping the whole continuation.
+                out.code
+                    .insert(*node, Instr::Tailcall(callee.clone(), args.clone()));
+            }
+            _ => {}
         }
     }
     out
@@ -41,7 +50,20 @@ pub fn tailcall(m: &RtlModule) -> RtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): also
+/// "optimizes" discarded-result calls into tail calls, dropping every
+/// statement after them.
+pub fn tailcall_mutated(m: &RtlModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

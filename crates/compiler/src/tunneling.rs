@@ -9,26 +9,29 @@ use crate::ltl::{Function, Instr, LtlModule};
 use crate::rtl::Node;
 use std::collections::BTreeMap;
 
-fn chase(f: &Function, mut n: Node) -> Node {
+fn chase_with(f: &Function, mut n: Node, through_ops: bool) -> Node {
     // Bounded chase handles (degenerate) Nop cycles.
     for _ in 0..f.code.len() {
         match f.code.get(&n) {
             Some(Instr::Nop(next)) if *next != n => n = *next,
+            // The seeded bug for mutation scoring: `Op`s are treated as
+            // tunnelable too, so edges skip over real computation.
+            Some(Instr::Op(_, _, _, next)) if through_ops && *next != n => n = *next,
             _ => break,
         }
     }
     n
 }
 
-fn transform_function(f: &Function) -> Function {
+fn transform_function_with(f: &Function, through_ops: bool) -> Function {
     let mut code: BTreeMap<Node, Instr> = BTreeMap::new();
     for (&n, i) in &f.code {
         let mut i = i.clone();
-        i.map_succs(|s| chase(f, s));
+        i.map_succs(|s| chase_with(f, s, through_ops));
         code.insert(n, i);
     }
     // Drop Nops that nothing reaches anymore (entry is chased too).
-    let entry = chase(f, f.entry);
+    let entry = chase_with(f, f.entry, through_ops);
     let mut reachable = std::collections::BTreeSet::new();
     let mut stack = vec![entry];
     while let Some(n) = stack.pop() {
@@ -55,7 +58,19 @@ pub fn tunneling(m: &LtlModule) -> LtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), transform_function(f)))
+            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
+            .collect(),
+    }
+}
+
+/// Seeded-bug variant for mutation scoring ([`crate::mutant`]): the
+/// chase also tunnels through `Op` instructions, skipping computation.
+pub fn tunneling_mutated(m: &LtlModule) -> LtlModule {
+    LtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
             .collect(),
     }
 }

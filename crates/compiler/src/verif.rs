@@ -25,8 +25,58 @@ pub struct PassVerdict {
 
 impl PassVerdict {
     /// True if the simulation held.
+    #[must_use]
     pub fn ok(&self) -> bool {
         self.result.is_ok()
+    }
+}
+
+/// The verdicts of every pass of one compilation, in pipeline order.
+///
+/// Unlike a bare bool, the verdict names the first *failing pass*, so a
+/// broken compilation localizes itself.
+#[derive(Debug)]
+pub struct PipelineVerdict {
+    /// One verdict per pass, in pipeline order.
+    pub verdicts: Vec<PassVerdict>,
+}
+
+impl PipelineVerdict {
+    /// True if every pass's simulation held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.verdicts.iter().all(PassVerdict::ok)
+    }
+
+    /// The first failing verdict, if any.
+    pub fn failing(&self) -> Option<&PassVerdict> {
+        self.verdicts.iter().find(|v| !v.ok())
+    }
+
+    /// The name of the first failing pass, if any.
+    pub fn failing_pass(&self) -> Option<&'static str> {
+        self.failing().map(|v| v.pass)
+    }
+
+    /// Iterates the per-pass verdicts.
+    pub fn iter(&self) -> std::slice::Iter<'_, PassVerdict> {
+        self.verdicts.iter()
+    }
+}
+
+impl IntoIterator for PipelineVerdict {
+    type Item = PassVerdict;
+    type IntoIter = std::vec::IntoIter<PassVerdict>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.verdicts.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PipelineVerdict {
+    type Item = &'a PassVerdict;
+    type IntoIter = std::slice::Iter<'a, PassVerdict>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.verdicts.iter()
     }
 }
 
@@ -44,8 +94,9 @@ pub fn default_perturbations(ge: &GlobalEnv) -> Vec<Vec<(Addr, Val)>> {
 
 /// Checks the simulation for every pass of a compilation, on entry
 /// `entry`, with the given shared global environment (used on both
-/// sides — the pipeline preserves the layout, so `φ = id`).
-pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -> Vec<PassVerdict> {
+/// sides — the pipeline preserves the layout, so `φ = id`). When the
+/// artifacts carry the Constprop extension stage, it is verified too.
+pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -> PipelineVerdict {
     let mu = Mu::identity(ge.initial_memory().dom());
     let perturbations = default_perturbations(ge);
     let opts = SimOptions {
@@ -81,7 +132,7 @@ pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -
         };
     }
 
-    vec![
+    let mut verdicts = vec![
         pass!(
             "Cshmgen/Cminorgen",
             clight,
@@ -99,7 +150,17 @@ pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -
         pass!("RTLgen", cminorsel, &arts.cminorsel, rtl, &arts.rtl),
         pass!("Tailcall", rtl, &arts.rtl, rtl, &arts.rtl_tailcall),
         pass!("Renumber", rtl, &arts.rtl_tailcall, rtl, &arts.rtl_renumber),
-        pass!("Allocation", rtl, &arts.rtl_renumber, ltl, &arts.ltl),
+    ];
+    // Allocation consumes the Constprop output when that stage ran.
+    let alloc_src = match &arts.rtl_constprop {
+        Some(cp) => {
+            verdicts.push(pass!("Constprop", rtl, &arts.rtl_renumber, rtl, cp));
+            cp
+        }
+        None => &arts.rtl_renumber,
+    };
+    verdicts.extend([
+        pass!("Allocation", rtl, alloc_src, ltl, &arts.ltl),
         pass!("Tunneling", ltl, &arts.ltl, ltl, &arts.ltl_tunneled),
         pass!("Linearize", ltl, &arts.ltl_tunneled, linear, &arts.linear),
         pass!(
@@ -111,7 +172,8 @@ pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -
         ),
         pass!("Stacking", linear, &arts.linear_clean, mach, &arts.mach),
         pass!("Asmgen", mach, &arts.mach, asm, &arts.asm),
-    ]
+    ]);
+    PipelineVerdict { verdicts }
 }
 
 /// Checks the *composed* simulation source-to-target directly (the
@@ -146,6 +208,121 @@ pub fn verify_end_to_end(
     )
 }
 
+/// Why [`verify_end_to_end_tso`] failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TsoVerifyError {
+    /// Loading one side failed.
+    Load(String),
+    /// Trace-set comparison failed (or was truncated, proving nothing).
+    Traces(String),
+    /// The executions disagree on value, events, or shared memory.
+    Result(String),
+}
+
+impl std::fmt::Display for TsoVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsoVerifyError::Load(e) => write!(f, "tso verify: load failed: {e}"),
+            TsoVerifyError::Traces(e) => write!(f, "tso verify: {e}"),
+            TsoVerifyError::Result(e) => write!(f, "tso verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsoVerifyError {}
+
+/// Checks the end-to-end compilation against the **TSO** machine.
+///
+/// The lockstep checker of [`verify_end_to_end`] needs deterministic
+/// sides, and the TSO machine is not (every buffered store adds a flush
+/// alternative), so this check compares behaviours instead: the full
+/// trace set of the closed single-module program on the Clight source
+/// must equal the trace set on the TSO target, and the deterministic
+/// driver runs must agree on value, events, and shared memory. For a
+/// single thread the store buffer is invisible (loads forward from it,
+/// and returns drain it), so equality — not just refinement — is the
+/// right relation.
+///
+/// # Errors
+///
+/// Returns which comparison failed.
+pub fn verify_end_to_end_tso(
+    arts: &CompilationArtifacts,
+    ge: &GlobalEnv,
+    entry: &str,
+) -> Result<(), TsoVerifyError> {
+    use ccc_core::lang::Prog;
+    use ccc_core::refine::{collect_traces_preemptive, trace_equiv, ExploreCfg};
+    use ccc_core::world::{run_main, Loaded};
+
+    let cfg = ExploreCfg {
+        fuel: 6000,
+        ..Default::default()
+    };
+    let load = |e: &dyn std::fmt::Debug| TsoVerifyError::Load(format!("{e:?}"));
+    let src = Loaded::new(Prog::new(
+        ccc_clight::ClightLang,
+        vec![(arts.clight.clone(), ge.clone())],
+        vec![entry.to_string()],
+    ))
+    .map_err(|e| load(&e))?;
+    let tgt = Loaded::new(Prog::new(
+        ccc_machine::X86Tso,
+        vec![(arts.asm.clone(), ge.clone())],
+        vec![entry.to_string()],
+    ))
+    .map_err(|e| load(&e))?;
+    let ts_src = collect_traces_preemptive(&src, &cfg).map_err(|e| load(&e))?;
+    let ts_tgt = collect_traces_preemptive(&tgt, &cfg).map_err(|e| load(&e))?;
+    if ts_src.truncated || ts_tgt.truncated {
+        return Err(TsoVerifyError::Traces(
+            "trace exploration truncated".to_string(),
+        ));
+    }
+    if !trace_equiv(&ts_src, &ts_tgt) {
+        return Err(TsoVerifyError::Traces(format!(
+            "trace sets differ: source {:?} vs TSO target {:?}",
+            ts_src.traces, ts_tgt.traces
+        )));
+    }
+
+    let s = run_main(
+        &ccc_clight::ClightLang,
+        &arts.clight,
+        ge,
+        entry,
+        &[],
+        2_000_000,
+    );
+    let t = run_main(&ccc_machine::X86Tso, &arts.asm, ge, entry, &[], 2_000_000);
+    match (s, t) {
+        (Some((sv, sm, se)), Some((tv, tm, te))) => {
+            if sv != tv {
+                return Err(TsoVerifyError::Result(format!(
+                    "values differ: {sv:?} vs {tv:?}"
+                )));
+            }
+            if se != te {
+                return Err(TsoVerifyError::Result(format!(
+                    "events differ: {se:?} vs {te:?}"
+                )));
+            }
+            for (a, _) in ge.initial_memory().iter() {
+                if sm.load(a) != tm.load(a) {
+                    return Err(TsoVerifyError::Result(format!("global {a} differs")));
+                }
+            }
+            Ok(())
+        }
+        (None, None) => Ok(()),
+        (s, t) => Err(TsoVerifyError::Result(format!(
+            "one side aborted: source {:?}, target {:?}",
+            s.is_some(),
+            t.is_some()
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,14 +334,8 @@ mod tests {
         for seed in 0..12 {
             let (m, ge) = gen_module(seed, &GenCfg::default());
             let arts = compile_with_artifacts(&m).expect("compiles");
-            for v in verify_passes(&arts, &ge, "f") {
-                assert!(
-                    v.ok(),
-                    "seed {seed}: pass {} failed: {}",
-                    v.pass,
-                    v.result.unwrap_err()
-                );
-            }
+            let pv = verify_passes(&arts, &ge, "f");
+            assert!(pv.ok(), "seed {seed}: pass {:?} failed", pv.failing_pass());
         }
     }
 

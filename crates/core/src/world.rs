@@ -651,6 +651,65 @@ pub fn run_schedule<L: Lang>(
     }
 }
 
+/// A recorded schedule: the sequence of choice indices a run resolved,
+/// one entry per global step. Replaying the same schedule on the same
+/// loaded program reproduces the run exactly, which is what the fuzzer's
+/// shrinker and regression corpus rely on.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule(pub Vec<usize>);
+
+impl Schedule {
+    /// Number of recorded choices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no choices were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Like [`run_schedule`], but also records every choice index taken so
+/// the run can be reproduced later with [`replay_schedule`]. The
+/// recorded index is the post-modulo value, so replay is exact even if
+/// `pick` returned out-of-range indices.
+pub fn run_schedule_recorded<L: Lang>(
+    loaded: &Loaded<L>,
+    world: World<L>,
+    max_steps: usize,
+    mut pick: impl FnMut(usize) -> usize,
+) -> (RunResult, Schedule) {
+    let mut rec = Vec::new();
+    let result = run_schedule(loaded, world, max_steps, |n| {
+        let i = pick(n) % n;
+        rec.push(i);
+        i
+    });
+    (result, Schedule(rec))
+}
+
+/// Replays a [`Schedule`] recorded by [`run_schedule_recorded`] from the
+/// initial world of `loaded`. Choices beyond the end of the schedule
+/// fall back to index 0 (first enabled alternative), so a schedule
+/// recorded on one program is still a total scheduler on a shrunk
+/// variant of it.
+pub fn replay_schedule<L: Lang>(
+    loaded: &Loaded<L>,
+    max_steps: usize,
+    schedule: &Schedule,
+) -> Result<RunResult, LoadError> {
+    let w = loaded.load()?;
+    let mut i = 0;
+    Ok(run_schedule(loaded, w, max_steps, |_| {
+        let c = schedule.0.get(i).copied().unwrap_or(0);
+        i += 1;
+        c
+    }))
+}
+
 /// Runs the program under a deterministic round-robin-ish schedule: the
 /// first enabled alternative is always taken (the current thread runs to
 /// completion before any switch, since switches are enumerated last).
@@ -890,5 +949,34 @@ mod tests {
         let prog = Prog::new(ToyLang, vec![(m, ge)], ["main"]);
         let loaded = Loaded::new(prog).expect("link");
         assert_eq!(loaded.load().unwrap_err(), LoadError::NotClosed);
+    }
+
+    #[test]
+    fn recorded_schedules_replay_exactly() {
+        let loaded = Loaded::new(inc_prog()).expect("link");
+        // A handful of quasi-random pickers, including out-of-range
+        // ones (the recorder stores the post-modulo index).
+        for salt in 0..8usize {
+            let w = loaded.load().expect("load");
+            let mut i = 0usize;
+            let (r1, sched) = run_schedule_recorded(&loaded, w, 1000, |_| {
+                i += 1;
+                i.wrapping_mul(2654435761).wrapping_add(salt)
+            });
+            assert_eq!(r1.end, RunEnd::Done);
+            assert_eq!(sched.len(), r1.steps);
+            let r2 = replay_schedule(&loaded, 1000, &sched).expect("load");
+            assert_eq!(r1, r2, "salt {salt}: replay diverged");
+        }
+    }
+
+    #[test]
+    fn short_schedules_fall_back_to_first_choice() {
+        // Replaying an empty schedule is the round-robin run.
+        let loaded = Loaded::new(inc_prog()).expect("link");
+        let r = replay_schedule(&loaded, 1000, &Schedule::default()).expect("load");
+        let seq = run_sequential(&loaded, 1000).expect("load");
+        assert_eq!(r, seq);
+        assert!(Schedule::default().is_empty());
     }
 }

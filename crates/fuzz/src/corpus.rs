@@ -1,0 +1,158 @@
+//! The persisted regression corpus.
+//!
+//! Every counterexample the fuzzer finds is shrunk to a minimal
+//! program and written to a text file (see [`crate::text`] for the
+//! format) whose header records which mutant it kills — or `none` for
+//! a genuine pipeline bug. `cargo test` replays the whole corpus
+//! deterministically: a mutant entry must still be killed by its
+//! program, and a `none` entry must pass the clean oracle once the bug
+//! it witnessed is fixed.
+
+use crate::oracle::{check_program, OracleCfg};
+use crate::shrink::shrink;
+use crate::spec::FuzzProgram;
+use crate::text::{parse_program, program_to_text, ParseError};
+use ccc_compiler::Mutant;
+
+/// One corpus entry: a program plus the mutant it kills (`None` for a
+/// clean-pipeline counterexample).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusEntry {
+    /// The mutant this program kills, if any.
+    pub mutant: Option<Mutant>,
+    /// The (shrunk) program.
+    pub program: FuzzProgram,
+}
+
+fn mutant_token(m: Option<Mutant>) -> String {
+    match m {
+        None => "none".into(),
+        Some(m) => format!("{m:?}"),
+    }
+}
+
+fn parse_mutant(tok: &str) -> Result<Option<Mutant>, ParseError> {
+    if tok == "none" {
+        return Ok(None);
+    }
+    Mutant::ALL
+        .iter()
+        .find(|m| format!("{m:?}") == tok)
+        .copied()
+        .map(Some)
+        .ok_or_else(|| ParseError(format!("unknown mutant `{tok}`")))
+}
+
+impl CorpusEntry {
+    /// Serializes the entry to the corpus file format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "# mutant: {}\n{}",
+            mutant_token(self.mutant),
+            program_to_text(&self.program)
+        )
+    }
+
+    /// Parses a corpus file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on a malformed header or program.
+    pub fn from_text(text: &str) -> Result<CorpusEntry, ParseError> {
+        let mut mutant = None;
+        for line in text.lines() {
+            if let Some(rest) = line.trim().strip_prefix("# mutant:") {
+                mutant = Some(parse_mutant(rest.trim())?);
+            }
+        }
+        let mutant = mutant.ok_or_else(|| ParseError("missing `# mutant:` header".into()))?;
+        Ok(CorpusEntry {
+            mutant,
+            program: parse_program(text)?,
+        })
+    }
+
+    /// Replays the entry: a mutant entry must still be killed (and the
+    /// clean pipeline must still accept its program); a `none` entry
+    /// must pass the clean oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the replay violation.
+    pub fn replay(&self, cfg: &OracleCfg) -> Result<(), String> {
+        match self.mutant {
+            Some(m) => {
+                if let Err(e) = check_program(&self.program, None, cfg) {
+                    return Err(format!(
+                        "corpus program no longer passes the clean pipeline: {e}"
+                    ));
+                }
+                match check_program(&self.program, Some(m), cfg) {
+                    Err(_) => Ok(()),
+                    Ok(()) => Err(format!("mutant {m} is no longer killed by its witness")),
+                }
+            }
+            None => check_program(&self.program, None, cfg)
+                .map_err(|e| format!("regression reappeared: {e}")),
+        }
+    }
+}
+
+/// Shrinks a failing program against its mutant and packages it as a
+/// corpus entry. The predicate preserves "the mutant is killed while
+/// the clean pipeline agrees", so shrinking can never land on a
+/// generator artifact.
+#[must_use]
+pub fn shrink_to_entry(
+    p: &FuzzProgram,
+    mutant: Option<Mutant>,
+    budget: usize,
+    cfg: &OracleCfg,
+) -> CorpusEntry {
+    let program = shrink(p, budget, |q| {
+        check_program(q, mutant, cfg).is_err()
+            && (mutant.is_none() || check_program(q, None, cfg).is_ok())
+    });
+    CorpusEntry { mutant, program }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SExpr, SStmt};
+
+    #[test]
+    fn entries_round_trip() {
+        let e = CorpusEntry {
+            mutant: Some(Mutant::Selection),
+            program: FuzzProgram {
+                globals: 1,
+                helpers: vec![],
+                threads: vec![vec![SStmt::Print(SExpr::Const(1))]],
+            },
+        };
+        let text = e.to_text();
+        assert_eq!(CorpusEntry::from_text(&text).expect("parses"), e);
+        let none = CorpusEntry {
+            mutant: None,
+            ..e.clone()
+        };
+        assert_eq!(
+            CorpusEntry::from_text(&none.to_text()).expect("parses"),
+            none
+        );
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(
+            CorpusEntry::from_text("(thread (print 1))").is_err(),
+            "no header"
+        );
+        assert!(
+            CorpusEntry::from_text("# mutant: Frobnicate\n(thread (print 1))").is_err(),
+            "unknown mutant"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded structured generation of [`FuzzProgram`] values.
+//!
+//! The generator is deterministic in `(seed, size)`. `size` indexes the
+//! weight tables: small sizes produce short straight-line programs,
+//! larger sizes unlock nesting, helpers, loops, and concurrency. Every
+//! generated program lowers to a well-formed module by construction
+//! (see [`crate::spec`]), so the oracle never wastes budget rejecting
+//! inputs.
+//!
+//! Roughly a quarter of the stream is *concurrent* (two threads whose
+//! shared-global accesses sit inside `lock()`/`unlock()` critical
+//! sections, with an occasional deliberately racy thread); the rest is
+//! *sequential* (one thread, no lock), which is the shape driven
+//! through every IR interpreter by the per-stage oracle.
+
+use crate::spec::{FuzzProgram, HelperSpec, SBin, SExpr, SStmt, NUM_TEMPS, NUM_VARS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Ctx {
+    /// Number of declared globals (0 disables global expressions).
+    globals: u8,
+    /// Number of declared helpers (0 disables call statements).
+    helpers: u8,
+    /// Whether global accesses are allowed outside a locked section
+    /// (true for sequential programs and racy concurrent threads).
+    free_globals: bool,
+    /// Whether `Locked` sections may be generated (concurrent shape
+    /// only, and never nested — nesting would self-deadlock).
+    locks: bool,
+}
+
+fn gen_expr(rng: &mut StdRng, cx: &Ctx, depth: u32, globals_ok: bool) -> SExpr {
+    let leaf = |rng: &mut StdRng| match rng.gen_range(0..4u32) {
+        0 => SExpr::Const(rng.gen_range(-4..8)),
+        1 => SExpr::Temp(rng.gen_range(0..NUM_TEMPS)),
+        2 if globals_ok && cx.globals > 0 => SExpr::Global(rng.gen_range(0..cx.globals)),
+        _ => SExpr::Var(rng.gen_range(0..NUM_VARS)),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..8u32) {
+        0 => SExpr::Neg(Box::new(gen_expr(rng, cx, depth - 1, globals_ok))),
+        1 => SExpr::Not(Box::new(gen_expr(rng, cx, depth - 1, globals_ok))),
+        2..=5 => {
+            let op = SBin::ALL[rng.gen_range(0..SBin::ALL.len())];
+            SExpr::Bin(
+                op,
+                Box::new(gen_expr(rng, cx, depth - 1, globals_ok)),
+                Box::new(gen_expr(rng, cx, depth - 1, globals_ok)),
+            )
+        }
+        6 => {
+            // `x - c`: the exact shape the Selection pass folds to an
+            // `AddImm`, so the corresponding mutant has prey.
+            SExpr::Bin(
+                SBin::Sub,
+                Box::new(gen_expr(rng, cx, depth - 1, globals_ok)),
+                Box::new(SExpr::Const(rng.gen_range(-4..8))),
+            )
+        }
+        _ => leaf(rng),
+    }
+}
+
+fn gen_block(rng: &mut StdRng, cx: &Ctx, len: u32, depth: u32, in_lock: bool) -> Vec<SStmt> {
+    let n = rng.gen_range(1..=len.max(1));
+    (0..n).map(|_| gen_stmt(rng, cx, depth, in_lock)).collect()
+}
+
+fn gen_stmt(rng: &mut StdRng, cx: &Ctx, depth: u32, in_lock: bool) -> SStmt {
+    // Globals may be touched here if the program allows them freely
+    // (sequential / racy) or we are inside a critical section.
+    let globals_ok = cx.free_globals || in_lock;
+    let arm = rng.gen_range(0..14u32);
+    match arm {
+        // Plain data flow dominates: it feeds every downstream pass.
+        0 | 1 => SStmt::SetTemp(
+            rng.gen_range(0..NUM_TEMPS),
+            gen_expr(rng, cx, 2, globals_ok),
+        ),
+        2 | 3 => SStmt::SetVar(rng.gen_range(0..NUM_VARS), gen_expr(rng, cx, 2, globals_ok)),
+        4 if globals_ok && cx.globals > 0 => SStmt::SetGlobal(
+            rng.gen_range(0..cx.globals),
+            gen_expr(rng, cx, 2, globals_ok),
+        ),
+        5 => SStmt::Print(gen_expr(rng, cx, 1, globals_ok)),
+        6 => SStmt::PtrWrite(rng.gen_range(0..NUM_VARS), gen_expr(rng, cx, 1, globals_ok)),
+        7 | 8 if depth > 0 => {
+            // One branch in three gets a statically-decided condition,
+            // which is the only food the Constprop mutant eats.
+            let cond = if rng.gen_range(0..3u32) == 0 {
+                SExpr::Const(rng.gen_range(0..2))
+            } else {
+                gen_expr(rng, cx, 1, globals_ok)
+            };
+            SStmt::If(
+                cond,
+                gen_block(rng, cx, 2, depth - 1, in_lock),
+                gen_block(rng, cx, 2, depth - 1, in_lock),
+            )
+        }
+        9 if depth > 0 => SStmt::Loop(
+            rng.gen_range(1..4),
+            gen_block(rng, cx, 2, depth - 1, in_lock),
+        ),
+        10 if cx.helpers > 0 => SStmt::Call(
+            rng.gen_range(0..NUM_TEMPS),
+            rng.gen_range(0..cx.helpers),
+            gen_expr(rng, cx, 1, globals_ok),
+        ),
+        11 if cx.helpers > 0 => SStmt::CallDrop(
+            rng.gen_range(0..cx.helpers),
+            gen_expr(rng, cx, 1, globals_ok),
+        ),
+        12 | 13 if cx.locks && !in_lock && depth > 0 => {
+            SStmt::Locked(gen_block(rng, cx, 2, depth - 1, true))
+        }
+        _ => SStmt::SetTemp(
+            rng.gen_range(0..NUM_TEMPS),
+            gen_expr(rng, cx, 1, globals_ok),
+        ),
+    }
+}
+
+fn gen_helpers(rng: &mut StdRng, n: u8) -> Vec<HelperSpec> {
+    (0..n)
+        .map(|_| {
+            let ops = (0..rng.gen_range(1..4u32))
+                .map(|_| {
+                    (
+                        SBin::ALL[rng.gen_range(0..SBin::ALL.len())],
+                        rng.gen_range(-4..8),
+                    )
+                })
+                .collect();
+            HelperSpec { ops }
+        })
+        .collect()
+}
+
+/// Generates one program. `size` scales block length, nesting depth and
+/// helper count; the fuzz driver typically sweeps `size = i % 8` over
+/// its input index `i` so every budget exercises the whole range.
+#[must_use]
+pub fn gen_program(seed: u64, size: u32) -> FuzzProgram {
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(size) << 1));
+    let concurrent = rng.gen_range(0..4u32) == 0;
+    let helpers = u8::try_from((size / 3).min(2)).expect("small");
+    let depth = 1 + size.min(6) / 3;
+    let block_len = 2 + size.min(8) / 2;
+    if concurrent {
+        // Concurrent programs are kept tiny: the oracle explores every
+        // interleaving of every IR, so state-space size is the budget.
+        let cx_locked = Ctx {
+            globals: 2,
+            helpers: helpers.min(1),
+            free_globals: false,
+            locks: true,
+        };
+        let cx_racy = Ctx {
+            globals: 2,
+            helpers: helpers.min(1),
+            free_globals: true,
+            locks: false,
+        };
+        let racy = rng.gen_range(0..4u32) == 0;
+        let helpers = gen_helpers(&mut rng, cx_locked.helpers);
+        let threads = (0..2)
+            .map(|_| {
+                let cx = if racy { &cx_racy } else { &cx_locked };
+                let mut b = gen_block(&mut rng, cx, 3, 1, false);
+                if !racy && !b.iter().any(|s| matches!(s, SStmt::Locked(_))) {
+                    // Guarantee lock *contention* on every locked input:
+                    // without both threads entering a critical section
+                    // the object-transformation mutant (stripped
+                    // atomics) has nothing to race on.
+                    b.push(SStmt::Locked(gen_block(&mut rng, cx, 2, 0, true)));
+                }
+                b
+            })
+            .collect();
+        FuzzProgram {
+            globals: 2,
+            helpers,
+            threads,
+        }
+    } else {
+        let cx = Ctx {
+            globals: 2,
+            helpers,
+            free_globals: true,
+            locks: false,
+        };
+        let helpers = gen_helpers(&mut rng, cx.helpers);
+        let body = gen_block(&mut rng, &cx, block_len, depth, false);
+        FuzzProgram {
+            globals: 2,
+            helpers,
+            threads: vec![body],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::lower;
+    use ccc_clight::ClightLang;
+    use ccc_core::world::run_main;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = gen_program(42, 4);
+        let b = gen_program(42, 4);
+        assert_eq!(a, b);
+        let distinct = (0..40u64)
+            .map(|s| crate::text::program_to_text(&gen_program(s, (s % 8) as u32)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert!(distinct >= 35, "only {distinct}/40 distinct programs");
+    }
+
+    #[test]
+    fn stream_mixes_sequential_and_concurrent() {
+        let mut seq = 0;
+        let mut conc = 0;
+        for s in 0..100u64 {
+            if gen_program(s, (s % 8) as u32).is_sequential() {
+                seq += 1;
+            } else {
+                conc += 1;
+            }
+        }
+        assert!(seq >= 50, "sequential starved: {seq}");
+        assert!(conc >= 10, "concurrent starved: {conc}");
+    }
+
+    #[test]
+    fn sequential_programs_lower_and_terminate() {
+        for s in 0..60u64 {
+            let p = gen_program(s, (s % 8) as u32);
+            if !p.is_sequential() {
+                continue;
+            }
+            let (m, ge, entries) = lower(&p);
+            m.validate().unwrap_or_else(|e| panic!("seed {s}: {e:?}"));
+            assert!(
+                run_main(&ClightLang, &m, &ge, &entries[0], &[], 1_000_000).is_some(),
+                "seed {s} aborted or diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-language linking helpers shared by the oracle and the test
+//! suite: a client module in any IR linked against the CImp lock object
+//! of `ccc-sync` (the γ_lock of Fig. 10(a)).
+
+use ccc_cimp::{CImpLang, CImpModule};
+use ccc_clight::{ClightLang, ClightModule};
+use ccc_core::lang::{Lang, ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::mem::GlobalEnv;
+use ccc_core::world::{LoadError, Loaded};
+use ccc_sync::lock::lock_spec;
+
+/// Source programs: Clight clients + CImp lock object.
+pub type SrcLang = SumLang<ClightLang, CImpLang>;
+
+/// Links a client module (in any IR) against an explicit CImp object
+/// module.
+///
+/// # Errors
+///
+/// Returns the linker's [`LoadError`] when the modules do not link —
+/// with a mutated pipeline that is a legitimate (and caught) outcome.
+pub fn link_with_object<L: Lang>(
+    lang: L,
+    client: L::Module,
+    ge: GlobalEnv,
+    object: CImpModule,
+    object_ge: GlobalEnv,
+    entries: Vec<String>,
+) -> Result<Loaded<SumLang<L, CImpLang>>, LoadError> {
+    Loaded::new(Prog {
+        lang: SumLang(lang, CImpLang),
+        modules: vec![
+            ModuleDecl {
+                code: Sum::L(client),
+                ge,
+            },
+            ModuleDecl {
+                code: Sum::R(object),
+                ge: object_ge,
+            },
+        ],
+        entries,
+    })
+}
+
+/// Links a client module (in any IR) against the standard lock object
+/// `lock_spec("L")`.
+///
+/// # Errors
+///
+/// Returns the linker's [`LoadError`] when the modules do not link.
+pub fn link_with_lock<L: Lang>(
+    lang: L,
+    client: L::Module,
+    ge: GlobalEnv,
+    entries: Vec<String>,
+) -> Result<Loaded<SumLang<L, CImpLang>>, LoadError> {
+    let (lock, lock_ge) = lock_spec("L");
+    link_with_object(lang, client, ge, lock, lock_ge, entries)
+}
+
+/// Links a generated Clight client with the standard lock object,
+/// panicking on failure — the shape used throughout the test suite for
+/// clients that are well-formed by construction.
+#[must_use]
+pub fn load_client(client: ClightModule, ge: GlobalEnv, entries: Vec<String>) -> Loaded<SrcLang> {
+    link_with_lock(ClightLang, client, ge, entries).expect("client and lock object link")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::gen::gen_concurrent_client;
+    use ccc_core::race::check_drf;
+    use ccc_core::refine::ExploreCfg;
+
+    #[test]
+    fn locked_clients_link_and_are_drf() {
+        let (client, ge, entries) = gen_concurrent_client(3, 2, &["s0", "s1"], false);
+        let loaded = load_client(client, ge, entries);
+        let drf = check_drf(&loaded, &ExploreCfg::default()).expect("loads");
+        assert!(!drf.truncated);
+        assert!(drf.is_drf());
+    }
+}

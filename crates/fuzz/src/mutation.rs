@@ -1,0 +1,176 @@
+//! Mutation-kill scoreboard: every pipeline pass has one intentionally
+//! wrong variant behind [`Mutant`]; the scoreboard proves each is
+//! killed by the differential oracle within a bounded fuzz budget and
+//! reports the kill rate and mean inputs-to-kill.
+//!
+//! All mutants face the *same* deterministic input stream, so the
+//! inputs-to-kill numbers are comparable across passes.
+
+use crate::gen::gen_program;
+use crate::oracle::{check_program, FuzzFailure, OracleCfg};
+use crate::spec::FuzzProgram;
+use ccc_compiler::Mutant;
+
+/// The `i`-th input of the shared scoreboard stream.
+#[must_use]
+pub fn stream_input(i: usize) -> FuzzProgram {
+    gen_program(i as u64, (i % 8) as u32)
+}
+
+/// The outcome for one mutant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MutantScore {
+    /// Which pass was mutated.
+    pub mutant: Mutant,
+    /// Number of inputs consumed, including the killing one (equals the
+    /// budget when the mutant survived).
+    pub inputs: usize,
+    /// The localized failure that killed it, if any.
+    pub kill: Option<FuzzFailure>,
+}
+
+impl MutantScore {
+    /// True when the oracle caught the mutant within budget.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.kill.is_some()
+    }
+}
+
+/// The scoreboard over all pipeline mutants.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scoreboard {
+    /// One score per mutant, in pipeline order.
+    pub scores: Vec<MutantScore>,
+    /// The per-mutant input budget that was applied.
+    pub budget: usize,
+}
+
+impl Scoreboard {
+    /// Fraction of mutants killed, in `0.0..=1.0`.
+    #[must_use]
+    pub fn kill_rate(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 1.0;
+        }
+        let killed = self.scores.iter().filter(|s| s.killed()).count();
+        killed as f64 / self.scores.len() as f64
+    }
+
+    /// Mean number of inputs needed to kill, over the killed mutants.
+    #[must_use]
+    pub fn mean_inputs_to_kill(&self) -> f64 {
+        let killed: Vec<_> = self.scores.iter().filter(|s| s.killed()).collect();
+        if killed.is_empty() {
+            return f64::NAN;
+        }
+        killed.iter().map(|s| s.inputs as f64).sum::<f64>() / killed.len() as f64
+    }
+
+    /// Mutants that survived the whole budget.
+    pub fn survivors(&self) -> impl Iterator<Item = Mutant> + '_ {
+        self.scores.iter().filter(|s| !s.killed()).map(|s| s.mutant)
+    }
+
+    /// Renders the scoreboard as a markdown table (the artifact the
+    /// evaluation docs embed).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| Pass | Mutant | Killed | Inputs to kill | Localized at |\n\
+             |---|---|---|---|---|\n",
+        );
+        for s in &self.scores {
+            let (killed, at) = match &s.kill {
+                Some(f) => ("yes", f.stage.clone()),
+                None => ("**no**", "—".into()),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                s.mutant.pass_name(),
+                s.mutant.describe(),
+                killed,
+                s.inputs,
+                at
+            ));
+        }
+        out.push_str(&format!(
+            "\nKill rate: {:.0}% ({}/{}); mean inputs-to-kill: {:.1} (budget {} per mutant).\n",
+            self.kill_rate() * 100.0,
+            self.scores.iter().filter(|s| s.killed()).count(),
+            self.scores.len(),
+            self.mean_inputs_to_kill(),
+            self.budget
+        ));
+        out
+    }
+}
+
+/// Runs one mutant against the shared stream until the oracle kills it
+/// or the budget runs out. A kill only counts when the *clean* pipeline
+/// accepts the same input — a disagreement the reference pipeline also
+/// shows would be a generator or oracle artifact, not a detection.
+#[must_use]
+pub fn kill_one(mutant: Mutant, budget: usize, cfg: &OracleCfg) -> MutantScore {
+    for i in 0..budget {
+        let p = stream_input(i);
+        if let Err(f) = check_program(&p, Some(mutant), cfg) {
+            if check_program(&p, None, cfg).is_ok() {
+                return MutantScore {
+                    mutant,
+                    inputs: i + 1,
+                    kill: Some(f),
+                };
+            }
+        }
+    }
+    MutantScore {
+        mutant,
+        inputs: budget,
+        kill: None,
+    }
+}
+
+/// Runs the whole scoreboard: every mutant of [`Mutant::ALL`] against
+/// the shared stream with the given per-mutant budget.
+#[must_use]
+pub fn run_scoreboard(budget: usize, cfg: &OracleCfg) -> Scoreboard {
+    Scoreboard {
+        scores: Mutant::ALL
+            .iter()
+            .map(|&m| kill_one(m, budget, cfg))
+            .collect(),
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoreboard_math() {
+        let sb = Scoreboard {
+            scores: vec![
+                MutantScore {
+                    mutant: Mutant::Rtlgen,
+                    inputs: 2,
+                    kill: Some(FuzzFailure {
+                        stage: "RTL".into(),
+                        detail: "x".into(),
+                    }),
+                },
+                MutantScore {
+                    mutant: Mutant::Asmgen,
+                    inputs: 10,
+                    kill: None,
+                },
+            ],
+            budget: 10,
+        };
+        assert!((sb.kill_rate() - 0.5).abs() < 1e-9);
+        assert!((sb.mean_inputs_to_kill() - 2.0).abs() < 1e-9);
+        assert_eq!(sb.survivors().collect::<Vec<_>>(), vec![Mutant::Asmgen]);
+        assert!(sb.to_markdown().contains("| RTL |"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Greedy delta-debugging shrinker for failing [`FuzzProgram`]s.
+//!
+//! Given a failing program and a predicate ("does it still fail?"),
+//! [`shrink`] repeatedly applies the smallest-first reduction that
+//! preserves the failure until a fixpoint: thread removal, statement
+//! deletion, compound unwrapping (a loop, branch, or critical section
+//! replaced by its body), loop-count reduction, and constant/expression
+//! simplification. Because [`FuzzProgram`] is first-order and every
+//! value lowers to a well-formed module, candidates never need
+//! re-validation — the predicate is the only gate.
+
+use crate::spec::{FuzzProgram, SExpr, SStmt};
+
+fn simplify_expr(e: &SExpr, out: &mut Vec<SExpr>) {
+    match e {
+        SExpr::Const(0) => {}
+        SExpr::Const(_) => out.push(SExpr::Const(0)),
+        SExpr::Temp(_) | SExpr::Var(_) | SExpr::Global(_) => out.push(SExpr::Const(0)),
+        SExpr::Neg(a) | SExpr::Not(a) => {
+            out.push((**a).clone());
+            let mut inner = Vec::new();
+            simplify_expr(a, &mut inner);
+            // Keep the operator, simplify below it.
+            for i in inner {
+                out.push(match e {
+                    SExpr::Neg(_) => SExpr::Neg(Box::new(i)),
+                    _ => SExpr::Not(Box::new(i)),
+                });
+            }
+        }
+        SExpr::Bin(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            let mut sa = Vec::new();
+            simplify_expr(a, &mut sa);
+            for i in sa {
+                out.push(SExpr::Bin(*op, Box::new(i), b.clone()));
+            }
+            let mut sb = Vec::new();
+            simplify_expr(b, &mut sb);
+            for i in sb {
+                out.push(SExpr::Bin(*op, a.clone(), Box::new(i)));
+            }
+        }
+    }
+}
+
+/// All single-step reductions of one statement (not counting deletion,
+/// which the block-level walk handles).
+fn reduce_stmt(s: &SStmt) -> Vec<SStmt> {
+    let mut out = Vec::new();
+    let with_exprs = |mk: &dyn Fn(SExpr) -> SStmt, e: &SExpr, out: &mut Vec<SStmt>| {
+        let mut es = Vec::new();
+        simplify_expr(e, &mut es);
+        for e in es {
+            out.push(mk(e));
+        }
+    };
+    match s {
+        SStmt::SetTemp(i, e) => with_exprs(&|e| SStmt::SetTemp(*i, e), e, &mut out),
+        SStmt::SetVar(i, e) => with_exprs(&|e| SStmt::SetVar(*i, e), e, &mut out),
+        SStmt::SetGlobal(i, e) => with_exprs(&|e| SStmt::SetGlobal(*i, e), e, &mut out),
+        SStmt::PtrWrite(i, e) => with_exprs(&|e| SStmt::PtrWrite(*i, e), e, &mut out),
+        SStmt::Print(e) => with_exprs(&|e| SStmt::Print(e), e, &mut out),
+        SStmt::Call(d, h, e) => with_exprs(&|e| SStmt::Call(*d, *h, e), e, &mut out),
+        SStmt::CallDrop(h, e) => with_exprs(&|e| SStmt::CallDrop(*h, e), e, &mut out),
+        SStmt::If(c, a, b) => {
+            // Unwrap either branch, simplify the condition, or shrink a
+            // branch body.
+            for s in a.iter().chain(b.iter()) {
+                out.push(s.clone());
+            }
+            with_exprs(&|c| SStmt::If(c, a.clone(), b.clone()), c, &mut out);
+            for (i, r) in reduce_block(a) {
+                let mut a2 = a.clone();
+                apply_at(&mut a2, i, r);
+                out.push(SStmt::If(c.clone(), a2, b.clone()));
+            }
+            for (i, r) in reduce_block(b) {
+                let mut b2 = b.clone();
+                apply_at(&mut b2, i, r);
+                out.push(SStmt::If(c.clone(), a.clone(), b2));
+            }
+        }
+        SStmt::Loop(n, body) => {
+            for s in body {
+                out.push(s.clone());
+            }
+            if *n > 1 {
+                out.push(SStmt::Loop(n - 1, body.clone()));
+            }
+            for (i, r) in reduce_block(body) {
+                let mut b2 = body.clone();
+                apply_at(&mut b2, i, r);
+                out.push(SStmt::Loop(*n, b2));
+            }
+        }
+        SStmt::Locked(body) => {
+            for s in body {
+                out.push(s.clone());
+            }
+            for (i, r) in reduce_block(body) {
+                let mut b2 = body.clone();
+                apply_at(&mut b2, i, r);
+                out.push(SStmt::Locked(b2));
+            }
+        }
+    }
+    out
+}
+
+/// A reduction of a statement list: at index `i`, either delete the
+/// statement (`None`) or replace it (`Some`).
+type BlockEdit = (usize, Option<SStmt>);
+
+fn reduce_block(ss: &[SStmt]) -> Vec<BlockEdit> {
+    let mut out = Vec::new();
+    for (i, s) in ss.iter().enumerate() {
+        out.push((i, None));
+        for r in reduce_stmt(s) {
+            out.push((i, Some(r)));
+        }
+    }
+    out
+}
+
+fn apply_at(ss: &mut Vec<SStmt>, i: usize, r: Option<SStmt>) {
+    match r {
+        None => {
+            ss.remove(i);
+        }
+        Some(s) => ss[i] = s,
+    }
+}
+
+/// All single-step reductions of a whole program, smallest-delta last
+/// (thread removal first — it shrinks fastest).
+fn candidates(p: &FuzzProgram) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+    if p.threads.len() > 1 {
+        for t in 0..p.threads.len() {
+            let mut q = p.clone();
+            q.threads.remove(t);
+            out.push(q);
+        }
+    }
+    for (hi, _) in p.helpers.iter().enumerate() {
+        // Helper indices are taken modulo the helper count at lowering,
+        // so removal keeps every call site meaningful.
+        let mut q = p.clone();
+        q.helpers.remove(hi);
+        out.push(q);
+    }
+    for (t, body) in p.threads.iter().enumerate() {
+        for (i, r) in reduce_block(body) {
+            let mut q = p.clone();
+            apply_at(&mut q.threads[t], i, r);
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Shrinks `p` while `still_fails` holds, returning the smallest
+/// failing program found within `budget` predicate evaluations.
+/// Deterministic: candidates are tried in a fixed order and the first
+/// accepted one restarts the walk.
+pub fn shrink(
+    p: &FuzzProgram,
+    budget: usize,
+    mut still_fails: impl FnMut(&FuzzProgram) -> bool,
+) -> FuzzProgram {
+    let mut cur = p.clone();
+    let mut evals = 0;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if evals >= budget {
+                break 'outer;
+            }
+            if cand == cur {
+                continue;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SBin, SExpr, SStmt};
+
+    #[test]
+    fn shrinks_to_the_failure_kernel() {
+        // Failure criterion: the program still contains a Print of g0.
+        let p = FuzzProgram {
+            globals: 2,
+            helpers: vec![crate::spec::HelperSpec {
+                ops: vec![(SBin::Add, 1)],
+            }],
+            threads: vec![
+                vec![
+                    SStmt::SetTemp(0, SExpr::Const(3)),
+                    SStmt::Loop(
+                        3,
+                        vec![
+                            SStmt::SetVar(0, SExpr::Temp(0)),
+                            SStmt::Print(SExpr::Global(0)),
+                        ],
+                    ),
+                    SStmt::Call(1, 0, SExpr::Const(2)),
+                ],
+                vec![SStmt::SetGlobal(1, SExpr::Const(5))],
+            ],
+        };
+        fn has_print_g0(ss: &[SStmt]) -> bool {
+            ss.iter().any(|s| match s {
+                SStmt::Print(SExpr::Global(0)) => true,
+                SStmt::If(_, a, b) => has_print_g0(a) || has_print_g0(b),
+                SStmt::Loop(_, b) | SStmt::Locked(b) => has_print_g0(b),
+                _ => false,
+            })
+        }
+        let small = shrink(&p, 10_000, |q| q.threads.iter().any(|t| has_print_g0(t)));
+        assert_eq!(small.size(), 1, "not minimal: {small:?}");
+        assert_eq!(small.threads.len(), 1);
+        assert!(small.helpers.is_empty());
+        assert!(has_print_g0(&small.threads[0]));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let p = FuzzProgram {
+            globals: 1,
+            helpers: vec![],
+            threads: vec![vec![
+                SStmt::SetTemp(
+                    0,
+                    SExpr::Bin(
+                        SBin::Add,
+                        Box::new(SExpr::Const(3)),
+                        Box::new(SExpr::Temp(1)),
+                    ),
+                ),
+                SStmt::Print(SExpr::Temp(0)),
+            ]],
+        };
+        let f = |q: &FuzzProgram| !q.threads[0].is_empty();
+        let a = shrink(&p, 1000, f);
+        let b = shrink(&p, 1000, f);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,416 @@
+//! Textual (s-expression) serialization of [`FuzzProgram`] values.
+//!
+//! The regression corpus persists shrunk counterexamples as plain text
+//! so they survive generator changes: a corpus entry replays the exact
+//! minimal program, not a (seed, size) pair whose meaning would drift
+//! with the generator's weight table. The format round-trips exactly
+//! ([`parse_program`] ∘ [`program_to_text`] is the identity up to
+//! whitespace).
+
+use crate::spec::{FuzzProgram, HelperSpec, SBin, SExpr, SStmt};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn expr_to_text(e: &SExpr, out: &mut String) {
+    match e {
+        SExpr::Const(k) => {
+            let _ = write!(out, "{k}");
+        }
+        SExpr::Temp(i) => {
+            let _ = write!(out, "t{i}");
+        }
+        SExpr::Var(i) => {
+            let _ = write!(out, "v{i}");
+        }
+        SExpr::Global(i) => {
+            let _ = write!(out, "g{i}");
+        }
+        SExpr::Neg(a) => {
+            out.push_str("(neg ");
+            expr_to_text(a, out);
+            out.push(')');
+        }
+        SExpr::Not(a) => {
+            out.push_str("(not ");
+            expr_to_text(a, out);
+            out.push(')');
+        }
+        SExpr::Bin(op, a, b) => {
+            let _ = write!(out, "({} ", op.token());
+            expr_to_text(a, out);
+            out.push(' ');
+            expr_to_text(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn stmts_to_text(ss: &[SStmt], out: &mut String) {
+    for s in ss {
+        out.push(' ');
+        stmt_to_text(s, out);
+    }
+}
+
+fn stmt_to_text(s: &SStmt, out: &mut String) {
+    match s {
+        SStmt::SetTemp(i, e) => {
+            let _ = write!(out, "(set-temp {i} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::SetVar(i, e) => {
+            let _ = write!(out, "(set-var {i} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::SetGlobal(i, e) => {
+            let _ = write!(out, "(set-global {i} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::PtrWrite(i, e) => {
+            let _ = write!(out, "(ptr-write {i} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::Print(e) => {
+            out.push_str("(print ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::If(c, a, b) => {
+            out.push_str("(if ");
+            expr_to_text(c, out);
+            out.push_str(" (then");
+            stmts_to_text(a, out);
+            out.push_str(") (else");
+            stmts_to_text(b, out);
+            out.push_str("))");
+        }
+        SStmt::Loop(n, body) => {
+            let _ = write!(out, "(loop {n}");
+            stmts_to_text(body, out);
+            out.push(')');
+        }
+        SStmt::Call(dst, h, e) => {
+            let _ = write!(out, "(call {dst} {h} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::CallDrop(h, e) => {
+            let _ = write!(out, "(call-drop {h} ");
+            expr_to_text(e, out);
+            out.push(')');
+        }
+        SStmt::Locked(body) => {
+            out.push_str("(locked");
+            stmts_to_text(body, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Serializes a program to the corpus text format (one thread per
+/// line, helpers and globals up front).
+#[must_use]
+pub fn program_to_text(p: &FuzzProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(globals {})", p.globals);
+    for h in &p.helpers {
+        out.push_str("(helper");
+        for (op, k) in &h.ops {
+            let _ = write!(out, " ({} {k})", op.token());
+        }
+        out.push_str(")\n");
+    }
+    for t in &p.threads {
+        out.push_str("(thread");
+        stmts_to_text(t, &mut out);
+        out.push_str(")\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parse failure, with a human-readable description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corpus parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Sexp {
+    Atom(String),
+    List(Vec<Sexp>),
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for line in s.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for c in line.chars() {
+            match c {
+                '(' | ')' => {
+                    if !cur.is_empty() {
+                        toks.push(std::mem::take(&mut cur));
+                    }
+                    toks.push(c.to_string());
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        toks.push(std::mem::take(&mut cur));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            toks.push(std::mem::take(&mut cur));
+        }
+    }
+    toks
+}
+
+fn parse_sexp(toks: &[String], pos: &mut usize) -> Result<Sexp, ParseError> {
+    match toks.get(*pos) {
+        None => Err(ParseError("unexpected end of input".into())),
+        Some(t) if t == "(" => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                match toks.get(*pos) {
+                    None => return Err(ParseError("unclosed '('".into())),
+                    Some(t) if t == ")" => {
+                        *pos += 1;
+                        return Ok(Sexp::List(items));
+                    }
+                    _ => items.push(parse_sexp(toks, pos)?),
+                }
+            }
+        }
+        Some(t) if t == ")" => Err(ParseError("unexpected ')'".into())),
+        Some(t) => {
+            *pos += 1;
+            Ok(Sexp::Atom(t.clone()))
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+fn as_list(s: &Sexp) -> Result<&[Sexp], ParseError> {
+    match s {
+        Sexp::List(items) => Ok(items),
+        Sexp::Atom(a) => Err(err(format!("expected a list, got `{a}`"))),
+    }
+}
+
+fn head<'a>(items: &'a [Sexp], what: &str) -> Result<(&'a str, &'a [Sexp]), ParseError> {
+    match items.split_first() {
+        Some((Sexp::Atom(h), rest)) => Ok((h.as_str(), rest)),
+        _ => Err(err(format!("{what}: empty or headless list"))),
+    }
+}
+
+fn parse_u8(s: &Sexp, what: &str) -> Result<u8, ParseError> {
+    match s {
+        Sexp::Atom(a) => a
+            .parse()
+            .map_err(|_| err(format!("{what}: `{a}` is not a u8"))),
+        Sexp::List(_) => Err(err(format!("{what}: expected a number"))),
+    }
+}
+
+fn parse_i64(s: &Sexp, what: &str) -> Result<i64, ParseError> {
+    match s {
+        Sexp::Atom(a) => a
+            .parse()
+            .map_err(|_| err(format!("{what}: `{a}` is not an i64"))),
+        Sexp::List(_) => Err(err(format!("{what}: expected a number"))),
+    }
+}
+
+fn parse_bin(tok: &str) -> Option<SBin> {
+    SBin::ALL.into_iter().find(|op| op.token() == tok)
+}
+
+fn parse_expr(s: &Sexp) -> Result<SExpr, ParseError> {
+    match s {
+        Sexp::Atom(a) => {
+            if let Some(i) = a.strip_prefix('t') {
+                if let Ok(i) = i.parse() {
+                    return Ok(SExpr::Temp(i));
+                }
+            }
+            if let Some(i) = a.strip_prefix('v') {
+                if let Ok(i) = i.parse() {
+                    return Ok(SExpr::Var(i));
+                }
+            }
+            if let Some(i) = a.strip_prefix('g') {
+                if let Ok(i) = i.parse() {
+                    return Ok(SExpr::Global(i));
+                }
+            }
+            a.parse()
+                .map(SExpr::Const)
+                .map_err(|_| err(format!("unknown expression atom `{a}`")))
+        }
+        Sexp::List(items) => {
+            let (h, rest) = head(items, "expression")?;
+            match (h, rest) {
+                ("neg", [a]) => Ok(SExpr::Neg(Box::new(parse_expr(a)?))),
+                ("not", [a]) => Ok(SExpr::Not(Box::new(parse_expr(a)?))),
+                (op, [a, b]) => {
+                    let op = parse_bin(op)
+                        .ok_or_else(|| err(format!("unknown binary operator `{op}`")))?;
+                    Ok(SExpr::Bin(
+                        op,
+                        Box::new(parse_expr(a)?),
+                        Box::new(parse_expr(b)?),
+                    ))
+                }
+                _ => Err(err(format!("malformed expression `({h} …)`"))),
+            }
+        }
+    }
+}
+
+fn parse_stmts(items: &[Sexp]) -> Result<Vec<SStmt>, ParseError> {
+    items.iter().map(parse_stmt).collect()
+}
+
+fn parse_stmt(s: &Sexp) -> Result<SStmt, ParseError> {
+    let items = as_list(s)?;
+    let (h, rest) = head(items, "statement")?;
+    match (h, rest) {
+        ("set-temp", [i, e]) => Ok(SStmt::SetTemp(parse_u8(i, h)?, parse_expr(e)?)),
+        ("set-var", [i, e]) => Ok(SStmt::SetVar(parse_u8(i, h)?, parse_expr(e)?)),
+        ("set-global", [i, e]) => Ok(SStmt::SetGlobal(parse_u8(i, h)?, parse_expr(e)?)),
+        ("ptr-write", [i, e]) => Ok(SStmt::PtrWrite(parse_u8(i, h)?, parse_expr(e)?)),
+        ("print", [e]) => Ok(SStmt::Print(parse_expr(e)?)),
+        ("if", [c, t, e]) => {
+            let (th, trest) = head(as_list(t)?, "if-then")?;
+            let (eh, erest) = head(as_list(e)?, "if-else")?;
+            if th != "then" || eh != "else" {
+                return Err(err("if: expected (then …) (else …)"));
+            }
+            Ok(SStmt::If(
+                parse_expr(c)?,
+                parse_stmts(trest)?,
+                parse_stmts(erest)?,
+            ))
+        }
+        ("loop", [n, body @ ..]) => Ok(SStmt::Loop(parse_u8(n, h)?, parse_stmts(body)?)),
+        ("call", [dst, hl, e]) => Ok(SStmt::Call(
+            parse_u8(dst, h)?,
+            parse_u8(hl, h)?,
+            parse_expr(e)?,
+        )),
+        ("call-drop", [hl, e]) => Ok(SStmt::CallDrop(parse_u8(hl, h)?, parse_expr(e)?)),
+        ("locked", body) => Ok(SStmt::Locked(parse_stmts(body)?)),
+        _ => Err(err(format!("unknown statement `({h} …)`"))),
+    }
+}
+
+/// Parses the corpus text format back into a [`FuzzProgram`].
+/// Lines after a `#` are comments; the driver uses them for metadata.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed form.
+pub fn parse_program(text: &str) -> Result<FuzzProgram, ParseError> {
+    let toks = tokenize(text);
+    let mut pos = 0;
+    let mut p = FuzzProgram {
+        globals: 0,
+        helpers: Vec::new(),
+        threads: Vec::new(),
+    };
+    while pos < toks.len() {
+        let form = parse_sexp(&toks, &mut pos)?;
+        let items = as_list(&form)?;
+        let (h, rest) = head(items, "top-level form")?;
+        match (h, rest) {
+            ("globals", [n]) => p.globals = parse_u8(n, h)?,
+            ("helper", ops) => {
+                let mut spec = HelperSpec::default();
+                for op in ops {
+                    let opl = as_list(op)?;
+                    let (name, args) = head(opl, "helper op")?;
+                    let op = parse_bin(name)
+                        .ok_or_else(|| err(format!("unknown helper op `{name}`")))?;
+                    match args {
+                        [k] => spec.ops.push((op, parse_i64(k, name)?)),
+                        _ => return Err(err("helper op takes one constant")),
+                    }
+                }
+                p.helpers.push(spec);
+            }
+            ("thread", body) => p.threads.push(parse_stmts(body)?),
+            _ => return Err(err(format!("unknown top-level form `({h} …)`"))),
+        }
+    }
+    if p.threads.is_empty() {
+        return Err(err("program has no threads"));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_program;
+
+    #[test]
+    fn generated_programs_round_trip() {
+        for seed in 0..200u64 {
+            let p = gen_program(seed, (seed % 7) as u32);
+            let text = program_to_text(&p);
+            let q = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(p, q, "seed {seed} round-trip\n{text}");
+        }
+    }
+
+    #[test]
+    fn hand_written_text_parses() {
+        let text = "
+# a comment
+(globals 2)
+(helper (add 3) (mul 2))
+(thread (set-temp 0 (add t1 -4))
+        (if (lt 0 t0) (then (print g0)) (else (locked (set-global 1 7))))
+        (loop 2 (call 1 0 t0) (call-drop 0 1)))
+";
+        let p = parse_program(text).expect("parses");
+        assert_eq!(p.globals, 2);
+        assert_eq!(p.helpers.len(), 1);
+        assert_eq!(p.threads.len(), 1);
+        assert!(p.uses_lock());
+        let text2 = program_to_text(&p);
+        assert_eq!(parse_program(&text2).expect("re-parses"), p);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_program("(globals 1)").is_err(), "no threads");
+        assert!(parse_program("(thread (frob 1))").is_err(), "bad stmt");
+        assert!(parse_program("(thread (print").is_err(), "unclosed");
+    }
+}

@@ -1,0 +1,81 @@
+//! Generator for loop-free multi-threaded x86 programs (the op-level
+//! representation the TSO-robustness battery uses). Previously
+//! duplicated inside the test suite; now shared.
+
+use ccc_machine::{AsmFunc, Instr, MemArg, Operand, Reg};
+use proptest::prelude::*;
+
+/// The three shared globals every generated program may touch.
+pub const GLOBALS: [&str; 3] = ["g0", "g1", "g2"];
+
+/// One generator op; a thread is a short sequence of these.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// `g := v` (plain, buffered).
+    Store(usize, i64),
+    /// `print(g)`.
+    LoadPrint(usize),
+    /// `mfence`.
+    Fence,
+    /// `lock cmpxchg g, v` expecting 0 (drains the buffer).
+    Rmw(usize, i64),
+}
+
+/// Emits the function body for one thread.
+#[must_use]
+pub fn emit(ops: &[Op]) -> AsmFunc {
+    let garg = |g: &usize| MemArg::Global(GLOBALS[*g].to_string(), 0);
+    let mut code = Vec::new();
+    for op in ops {
+        match op {
+            Op::Store(g, v) => code.push(Instr::Store(garg(g), Operand::Imm(*v))),
+            Op::LoadPrint(g) => {
+                code.push(Instr::Load(Reg::Ecx, garg(g)));
+                code.push(Instr::Print(Reg::Ecx));
+            }
+            Op::Fence => code.push(Instr::Mfence),
+            Op::Rmw(g, v) => {
+                code.push(Instr::Mov(Reg::Ebx, Operand::Imm(*v)));
+                code.push(Instr::Mov(Reg::Eax, Operand::Imm(0)));
+                code.push(Instr::LockCmpxchg(garg(g), Reg::Ebx));
+            }
+        }
+    }
+    code.push(Instr::Mov(Reg::Eax, Operand::Imm(0)));
+    code.push(Instr::Ret);
+    AsmFunc {
+        code,
+        frame_slots: 0,
+        arity: 0,
+    }
+}
+
+/// Strategy for one op, biased toward the store/load pairs that
+/// exercise buffering.
+pub fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0usize..3), (1i64..4)).prop_map(|(g, v)| Op::Store(g, v)),
+        ((0usize..3), (1i64..4)).prop_map(|(g, v)| Op::Store(g, v)),
+        (0usize..3).prop_map(Op::LoadPrint),
+        (0usize..3).prop_map(Op::LoadPrint),
+        Just(Op::Fence),
+        ((0usize..3), (1i64..4)).prop_map(|(g, v)| Op::Rmw(g, v)),
+    ]
+}
+
+/// Strategy for one short thread body.
+pub fn arb_thread() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(arb_op(), 1..4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_threads_end_in_ret() {
+        let f = emit(&[Op::Store(0, 1), Op::LoadPrint(1), Op::Fence, Op::Rmw(2, 3)]);
+        assert!(matches!(f.code.last(), Some(Instr::Ret)));
+        assert_eq!(f.arity, 0);
+    }
+}

@@ -19,45 +19,22 @@ use ccc_analysis::lint::{lint_artifacts, lint_rtl, CONSTPROP_STAGE};
 use ccc_analysis::{
     check_static_race, infer_clight, infer_clight_with, infer_lock_model, infer_rtl,
 };
-use ccc_cimp::CImpLang;
 use ccc_clight::gen::{gen_concurrent_client, gen_module, GenCfg};
-use ccc_clight::{ClightLang, ClightModule};
+use ccc_clight::ClightLang;
 use ccc_compiler::constprop::constprop;
 use ccc_compiler::driver::{compile_with_artifacts, CompilationArtifacts};
 use ccc_compiler::ops::{AddrMode, Op};
 use ccc_compiler::rtl::RtlLang;
 use ccc_compiler::{cminorsel, linear, ltl, mach, rtl};
-use ccc_core::lang::{ModuleDecl, Prog, Sum, SumLang};
 use ccc_core::mem::GlobalEnv;
 use ccc_core::race::{check_drf, collect_footprints};
 use ccc_core::refine::ExploreCfg;
-use ccc_core::world::{run_main_traced, Loaded};
+use ccc_core::world::run_main_traced;
+use ccc_fuzz::link::load_client;
 use ccc_machine::asm;
 use ccc_machine::Reg;
 use ccc_sync::lock::lock_spec;
 use proptest::prelude::*;
-
-type Src = SumLang<ClightLang, CImpLang>;
-
-/// Links a generated client with the CImp lock object.
-fn load_client(client: ClightModule, ge: GlobalEnv, entries: Vec<String>) -> Loaded<Src> {
-    let (lock, lock_ge) = lock_spec("L");
-    Loaded::new(Prog {
-        lang: SumLang(ClightLang, CImpLang),
-        modules: vec![
-            ModuleDecl {
-                code: Sum::L(client),
-                ge,
-            },
-            ModuleDecl {
-                code: Sum::R(lock),
-                ge: lock_ge,
-            },
-        ],
-        entries,
-    })
-    .expect("client and lock object link")
-}
 
 // ---------------------------------------------------------------------
 // Footprint soundness

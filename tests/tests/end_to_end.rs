@@ -169,6 +169,49 @@ fn miscompilation_is_detected_by_the_framework() {
 }
 
 #[test]
+fn tso_end_to_end_holds_on_generated_modules() {
+    // The TSO variant of the end-to-end check: the closed compiled
+    // program on the x86-TSO machine shows exactly the Clight source
+    // behaviours (single-thread store buffers are invisible).
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_compiler::driver::compile_with_artifacts;
+    use ccc_compiler::verif::verify_end_to_end_tso;
+
+    for seed in 0..10u64 {
+        let (m, ge) = gen_module(seed, &GenCfg::default());
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        verify_end_to_end_tso(&arts, &ge, "f").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    // Programs with helper calls exercise the call/return buffer drain.
+    for seed in 0..4u64 {
+        let cfg = GenCfg {
+            helpers: 2,
+            ..GenCfg::default()
+        };
+        let (m, ge) = gen_module(seed, &cfg);
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        verify_end_to_end_tso(&arts, &ge, "f")
+            .unwrap_or_else(|e| panic!("seed {seed} (helpers): {e}"));
+    }
+}
+
+#[test]
+fn tso_end_to_end_rejects_a_miscompiled_backend() {
+    // The same checker must have teeth: the Asmgen mutant (Lt -> Le in
+    // the final instruction selection) is caught on some seed.
+    use ccc_clight::gen::{gen_module, GenCfg};
+    use ccc_compiler::verif::verify_end_to_end_tso;
+    use ccc_compiler::{compile_with_artifacts_mutated, Mutant};
+
+    let caught = (0..40u64).any(|seed| {
+        let (m, ge) = gen_module(seed, &GenCfg::default());
+        let arts = compile_with_artifacts_mutated(&m, Some(Mutant::Asmgen)).expect("compiles");
+        verify_end_to_end_tso(&arts, &ge, "f").is_err()
+    });
+    assert!(caught, "Asmgen mutant survived the TSO end-to-end check");
+}
+
+#[test]
 fn three_thread_client_compiles_and_validates() {
     let cfg = ExploreCfg {
         fuel: 380,

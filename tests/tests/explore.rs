@@ -10,20 +10,18 @@
 //! program whose race hides behind private prefixes — evidence that
 //! this battery would catch an unsound independence relation.
 
-use ccc_cimp::CImpLang;
 use ccc_clight::gen::gen_concurrent_client;
-use ccc_clight::ClightLang;
-use ccc_core::lang::{Lang, ModuleDecl, Prog, Sum, SumLang};
+use ccc_core::lang::{Lang, Prog};
 use ccc_core::race::{
     check_drf, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
     collect_footprints_par,
 };
 use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
-use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
 use ccc_core::world::Loaded;
 use ccc_core::Reduction;
+use ccc_fuzz::link::{load_client, SrcLang};
+use ccc_fuzz::toygen::{arb_toy_threads, toy_loaded, Op};
 use ccc_machine::{litmus, X86Sc, X86Tso};
-use ccc_sync::lock::lock_spec;
 use proptest::prelude::*;
 
 fn cfg_with(reduction: Reduction, threads: usize) -> ExploreCfg {
@@ -99,121 +97,8 @@ where
 }
 
 // ---------------------------------------------------------------------------
-// Generated toy programs
+// Generated toy programs (generator shared via ccc_fuzz::toygen)
 // ---------------------------------------------------------------------------
-
-/// One generated thread body op. Lowered so every program is
-/// well-formed: locals exist before use, atomic blocks are balanced,
-/// the accumulator is always an integer.
-#[derive(Clone, Debug)]
-enum Op {
-    /// Silent own-region work: `local += k` (the ample fodder).
-    Priv(i64),
-    /// Unprotected global read.
-    Read(u8),
-    /// Unprotected global write.
-    Write(u8),
-    /// An atomic block of global reads/writes/arithmetic.
-    Atomic(Vec<AOp>),
-    /// An observable event (never ample).
-    Print,
-    /// Nondeterministic branch on the accumulator.
-    Choice,
-}
-
-#[derive(Clone, Debug)]
-enum AOp {
-    Read(u8),
-    Write(u8),
-    Add(i64),
-}
-
-const GLOBALS: [&str; 2] = ["x", "y"];
-
-fn lower(ops: &[Op]) -> Vec<ToyInstr> {
-    let g = |i: u8| GLOBALS[i as usize % GLOBALS.len()].to_string();
-    let mut v = vec![
-        ToyInstr::AllocLocal,
-        ToyInstr::Const(0),
-        ToyInstr::StoreL(0),
-    ];
-    for op in ops {
-        match op {
-            Op::Priv(k) => {
-                v.push(ToyInstr::LoadL(0));
-                v.push(ToyInstr::Add(*k));
-                v.push(ToyInstr::StoreL(0));
-            }
-            Op::Read(i) => v.push(ToyInstr::LoadG(g(*i))),
-            Op::Write(i) => v.push(ToyInstr::StoreG(g(*i))),
-            Op::Atomic(inner) => {
-                v.push(ToyInstr::EntAtom);
-                for a in inner {
-                    match a {
-                        AOp::Read(i) => v.push(ToyInstr::LoadG(g(*i))),
-                        AOp::Write(i) => v.push(ToyInstr::StoreG(g(*i))),
-                        AOp::Add(k) => v.push(ToyInstr::Add(*k)),
-                    }
-                }
-                v.push(ToyInstr::ExtAtom);
-            }
-            Op::Print => v.push(ToyInstr::Print),
-            Op::Choice => v.push(ToyInstr::Choice),
-        }
-    }
-    v.push(ToyInstr::Ret(0));
-    v
-}
-
-fn toy_loaded(threads: &[Vec<Op>]) -> Loaded<ToyLang> {
-    let names: Vec<String> = (0..threads.len()).map(|i| format!("t{i}")).collect();
-    let bodies: Vec<Vec<ToyInstr>> = threads.iter().map(|t| lower(t)).collect();
-    let pairs: Vec<(&str, Vec<ToyInstr>)> = names
-        .iter()
-        .map(|n| n.as_str())
-        .zip(bodies.iter().cloned())
-        .collect();
-    let (m, _) = toy_module(&pairs, &[]);
-    Loaded::new(Prog::new(
-        ToyLang,
-        vec![(m, toy_globals(&[("x", 0), ("y", 1)]))],
-        names,
-    ))
-    .expect("toy links")
-}
-
-fn arb_aop() -> impl Strategy<Value = AOp> {
-    prop_oneof![
-        (0u8..2).prop_map(AOp::Read),
-        (0u8..2).prop_map(AOp::Write),
-        (-3i64..4).prop_map(AOp::Add),
-    ]
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    // The vendored proptest has no weighted arms; repeating `Priv`
-    // biases generation toward the silent prefixes the reduction
-    // actually exercises.
-    prop_oneof![
-        (-3i64..4).prop_map(Op::Priv),
-        (-3i64..4).prop_map(Op::Priv),
-        (-3i64..4).prop_map(Op::Priv),
-        (0u8..2).prop_map(Op::Read),
-        (0u8..2).prop_map(Op::Write),
-        proptest::collection::vec(arb_aop(), 1..3).prop_map(Op::Atomic),
-        Just(Op::Print),
-        Just(Op::Choice),
-    ]
-}
-
-/// 2 threads with up to 4 ops each, or 3 threads with up to 2 — both
-/// small enough to compare full trace sets against the oracle.
-fn arb_toy_threads() -> impl Strategy<Value = Vec<Vec<Op>>> {
-    prop_oneof![
-        proptest::collection::vec(proptest::collection::vec(arb_op(), 1..5), 2..3),
-        proptest::collection::vec(proptest::collection::vec(arb_op(), 1..3), 3..4),
-    ]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(56))]
@@ -229,26 +114,9 @@ proptest! {
 // Generated Clight clients + CImp lock object
 // ---------------------------------------------------------------------------
 
-type SrcLang = SumLang<ClightLang, CImpLang>;
-
 fn clight_loaded(seed: u64, threads: usize, racy: bool) -> Loaded<SrcLang> {
     let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], racy);
-    let (lock, lock_ge) = lock_spec("L");
-    Loaded::new(Prog {
-        lang: SumLang(ClightLang, CImpLang),
-        modules: vec![
-            ModuleDecl {
-                code: Sum::L(client),
-                ge,
-            },
-            ModuleDecl {
-                code: Sum::R(lock),
-                ge: lock_ge,
-            },
-        ],
-        entries,
-    })
-    .expect("source links")
+    load_client(client, ge, entries)
 }
 
 proptest! {
