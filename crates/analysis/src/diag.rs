@@ -1,0 +1,78 @@
+//! Structured diagnostics shared by the per-pass lints ([`crate::lint`])
+//! and the symbolic translation validator ([`crate::transval`]).
+//!
+//! A [`Diagnostic`] names the pipeline pass (or stage output) it talks
+//! about, the offending function, an optional node/instruction index,
+//! and a human-readable message. The `Display` rendering is the exact
+//! `[pass] function: message` text the lints have always printed, so
+//! consumers that match on the formatted string keep working; the
+//! structured fields are for programmatic consumers (the fuzz oracle,
+//! the mutation scoreboard, the `--validate` flag of `ir_dump`).
+
+use std::fmt;
+
+/// One structured finding about a pass output: a lint violation or an
+/// undischarged translation-validation obligation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The pipeline pass or stage the finding is about (a
+    /// `CompilationArtifacts::STAGE_NAMES` entry, `"Constprop"`, or a
+    /// validated pass name such as `"Tunneling"`).
+    pub pass: String,
+    /// The offending function (empty for module-level findings).
+    pub function: String,
+    /// The CFG node or instruction index the finding anchors to, when
+    /// one exists. The `message` still embeds it textually, so this is
+    /// additive metadata, not a substitute.
+    pub node: Option<u32>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A module- or function-level diagnostic with no node anchor.
+    pub fn new(
+        pass: impl Into<String>,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            pass: pass.into(),
+            function: function.into(),
+            node: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a node anchor (builder style).
+    #[must_use]
+    pub fn at(mut self, node: u32) -> Self {
+        self.node = Some(node);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.pass, self.function, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_lint_format() {
+        let d = Diagnostic::new("RTL", "f", "node 3: dangling successor 9").at(3);
+        assert_eq!(d.to_string(), "[RTL] f: node 3: dangling successor 9");
+        assert_eq!(d.node, Some(3));
+    }
+
+    #[test]
+    fn nodeless_diagnostics_render_identically() {
+        let d = Diagnostic::new("Asm", "g", "empty body");
+        assert_eq!(d.to_string(), "[Asm] g: empty body");
+        assert_eq!(d.node, None);
+    }
+}

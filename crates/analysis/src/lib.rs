@@ -20,6 +20,15 @@
 //!   for all 12 pipeline stages (plus `Constprop`), catching
 //!   mutation-broken passes at the stage that introduced the breakage.
 //!
+//! * **Symbolic translation validation** ([`transval`]): per-pass
+//!   certificate checking of one compilation's artifacts — matched
+//!   basic blocks are executed symbolically and per-block simulation
+//!   obligations (effect-trace refinement, footprint cover per
+//!   Defs. 10–11, post-state agreement, control match) are discharged,
+//!   guided by untrusted structural hints the passes expose. Seven
+//!   mid-end passes are covered statically; the rest fall back to the
+//!   differential co-execution of `ccc_compiler::verif`.
+//!
 //! * **TSO robustness** ([`asm_cfg`], [`tso_robust`]): a Shasha–Snir
 //!   critical-cycle analysis over per-thread assembly CFGs deciding
 //!   whether a program's x86-TSO behaviours are SC-equal
@@ -29,13 +38,16 @@
 
 pub mod asm_cfg;
 pub mod clight_fp;
+pub mod diag;
 pub mod lint;
 pub mod lockset;
 pub mod region;
 pub mod rtl_fp;
+pub mod transval;
 pub mod tso_robust;
 
 pub use clight_fp::{infer_clight, infer_clight_with, ClightSummaries};
+pub use diag::Diagnostic;
 pub use lint::{
     compile_checked, lint_artifacts, lint_asm, lint_clight, lint_cminor, lint_cminorsel,
     lint_linear, lint_ltl, lint_mach, lint_rtl, CheckedError, LintError, CONSTPROP_STAGE,
@@ -46,6 +58,10 @@ pub use lockset::{
 };
 pub use region::{AbsFootprint, AbsVal, Region};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};
+pub use transval::{
+    validate_artifacts, validate_with_mode, PipelineWitness, SimWitness, Validation,
+    ValidationReport,
+};
 pub use tso_robust::{
     analyze, compile_with_robustness, eliminate_redundant_fences, insert_fences, AccessRef,
     CriticalCycle, FenceElimination, FenceInsertion, FencePoint, ReorderablePair, RobustReport,

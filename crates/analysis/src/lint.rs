@@ -18,6 +18,7 @@
 //! breakage per stage and assert the lint attributes it to the right
 //! stage name.
 
+use crate::diag::Diagnostic;
 use ccc_clight::ast::{ClightModule, Stmt as CStmt};
 use ccc_compiler::cminor::{self, CminorModule};
 use ccc_compiler::cminorsel::{self, CminorSelModule};
@@ -38,24 +39,12 @@ use std::fmt;
 /// output (which is not one of the 12 always-produced artifacts).
 pub const CONSTPROP_STAGE: &str = "Constprop";
 
-/// One structural defect found in a pass output.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct LintError {
-    /// Pipeline stage whose output is malformed (a
-    /// [`CompilationArtifacts::STAGE_NAMES`] entry or
-    /// [`CONSTPROP_STAGE`]).
-    pub stage: &'static str,
-    /// The offending function.
-    pub func: String,
-    /// What is broken.
-    pub detail: String,
-}
-
-impl fmt::Display for LintError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.stage, self.func, self.detail)
-    }
-}
+/// One structural defect found in a pass output — a [`Diagnostic`]
+/// whose `pass` names the malformed stage (a
+/// [`CompilationArtifacts::STAGE_NAMES`] entry or [`CONSTPROP_STAGE`]).
+/// Kept as an alias so existing consumers keep compiling; the `Display`
+/// text is unchanged.
+pub type LintError = Diagnostic;
 
 /// The error of [`compile_checked`]: either the pipeline itself failed,
 /// or it produced at least one malformed stage.
@@ -118,11 +107,19 @@ pub fn lint_artifacts(arts: &CompilationArtifacts) -> Vec<LintError> {
 }
 
 fn err(stage: &'static str, func: &str, detail: impl Into<String>) -> LintError {
-    LintError {
-        stage,
-        func: func.to_string(),
-        detail: detail.into(),
-    }
+    Diagnostic::new(stage, func, detail)
+}
+
+/// A diagnostic anchored at CFG node `n` (the message keeps the textual
+/// `node {n}: ` prefix the lints have always printed).
+fn err_node(stage: &'static str, func: &str, n: Node, detail: impl Into<String>) -> LintError {
+    Diagnostic::new(stage, func, format!("node {n}: {}", detail.into())).at(n)
+}
+
+/// A diagnostic anchored at list position `pos` of a Linear/Mach/Asm
+/// body (with the textual `instr {pos}: ` prefix).
+fn err_instr(stage: &'static str, func: &str, pos: usize, detail: impl Into<String>) -> LintError {
+    Diagnostic::new(stage, func, format!("instr {pos}: {}", detail.into())).at(pos as u32)
 }
 
 // ---------------------------------------------------------------------
@@ -406,20 +403,17 @@ pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
         for (&n, i) in &f.code {
             for s in i.succs() {
                 if !f.code.contains_key(&s) {
-                    errs.push(err(
-                        stage,
-                        name,
-                        format!("node {n}: dangling successor {s}"),
-                    ));
+                    errs.push(err_node(stage, name, n, format!("dangling successor {s}")));
                 }
             }
             if let Instr::Op(op, args, ..) = i {
                 if args.len() != op.arity() {
-                    errs.push(err(
+                    errs.push(err_node(
                         stage,
                         name,
+                        n,
                         format!(
-                            "node {n}: {op:?} applied to {} args (arity {})",
+                            "{op:?} applied to {} args (arity {})",
                             args.len(),
                             op.arity()
                         ),
@@ -427,11 +421,12 @@ pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
                 }
                 if let Op::AddrStack(s) = op {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
+                            n,
                             format!(
-                                "node {n}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                "AddrStack({s}) out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -441,11 +436,12 @@ pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Load(am, ..) | Instr::Store(am, ..) = i {
                 if let AddrMode::Stack(s) = am {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
+                            n,
                             format!(
-                                "node {n}: Stack({s}) access out of bounds (stack_slots = {})",
+                                "Stack({s}) access out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -460,11 +456,12 @@ pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
             if let Some((callee, nargs)) = call {
                 if let Some(g) = m.funcs.get(callee) {
                     if nargs > g.params.len() {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
+                            n,
                             format!(
-                                "node {n}: call to `{callee}` passes {nargs} args for {} params",
+                                "call to `{callee}` passes {nargs} args for {} params",
                                 g.params.len()
                             ),
                         ));
@@ -479,10 +476,11 @@ pub fn lint_rtl(m: &RtlModule, stage: &'static str) -> Vec<LintError> {
             .collect();
         let init: BTreeSet<u32> = f.params.iter().copied().collect();
         for (n, r) in must_defined_violations(f.entry, &graph, &init) {
-            errs.push(err(
+            errs.push(err_node(
                 stage,
                 name,
-                format!("node {n}: r{r} may be used before definition"),
+                n,
+                format!("r{r} may be used before definition"),
             ));
         }
     }
@@ -534,20 +532,17 @@ pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
         for (&n, i) in &f.code {
             for s in i.succs() {
                 if !f.code.contains_key(&s) {
-                    errs.push(err(
-                        stage,
-                        name,
-                        format!("node {n}: dangling successor {s}"),
-                    ));
+                    errs.push(err_node(stage, name, n, format!("dangling successor {s}")));
                 }
             }
             if let Instr::Op(op, args, ..) = i {
                 if args.len() != op.arity() {
-                    errs.push(err(
+                    errs.push(err_node(
                         stage,
                         name,
+                        n,
                         format!(
-                            "node {n}: {op:?} applied to {} args (arity {})",
+                            "{op:?} applied to {} args (arity {})",
                             args.len(),
                             op.arity()
                         ),
@@ -555,11 +550,12 @@ pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
                 }
                 if let Op::AddrStack(s) = op {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
+                            n,
                             format!(
-                                "node {n}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                "AddrStack({s}) out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -569,11 +565,12 @@ pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Load(am, ..) | Instr::Store(am, ..) = i {
                 if let AddrMode::Stack(s) = am {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
+                            n,
                             format!(
-                                "node {n}: Stack({s}) access out of bounds (stack_slots = {})",
+                                "Stack({s}) access out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -583,10 +580,11 @@ pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Call(_, _, args, _) | Instr::Tailcall(_, args) = i {
                 for a in args {
                     if !matches!(a, Loc::Spill(_)) {
-                        errs.push(err(
+                        errs.push(err_node(
                             stage,
                             name,
-                            format!("node {n}: call argument not a spill slot: {a:?}"),
+                            n,
+                            format!("call argument not a spill slot: {a:?}"),
                         ));
                     }
                 }
@@ -602,10 +600,11 @@ pub fn lint_ltl(m: &LtlModule, stage: &'static str) -> Vec<LintError> {
             .collect();
         let init: BTreeSet<Loc> = f.params.iter().copied().collect();
         for (n, l) in must_defined_violations(f.entry, &graph, &init) {
-            errs.push(err(
+            errs.push(err_node(
                 stage,
                 name,
-                format!("node {n}: {l:?} may be used before definition"),
+                n,
+                format!("{l:?} may be used before definition"),
             ));
         }
     }
@@ -669,20 +668,22 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
             };
             if let Some(l) = target {
                 if !labels.contains(&l) {
-                    errs.push(err(
+                    errs.push(err_instr(
                         stage,
                         name,
-                        format!("instr {pos}: jump to missing label {l}"),
+                        pos,
+                        format!("jump to missing label {l}"),
                     ));
                 }
             }
             if let Instr::Op(op, args, _) = i {
                 if args.len() != op.arity() {
-                    errs.push(err(
+                    errs.push(err_instr(
                         stage,
                         name,
+                        pos,
                         format!(
-                            "instr {pos}: {op:?} applied to {} args (arity {})",
+                            "{op:?} applied to {} args (arity {})",
                             args.len(),
                             op.arity()
                         ),
@@ -690,11 +691,12 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
                 }
                 if let Op::AddrStack(s) = op {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
+                            pos,
                             format!(
-                                "instr {pos}: AddrStack({s}) out of bounds (stack_slots = {})",
+                                "AddrStack({s}) out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -704,11 +706,12 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Load(am, _) | Instr::Store(am, _) = i {
                 if let AddrMode::Stack(s) = am {
                     if *s >= f.stack_slots {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
+                            pos,
                             format!(
-                                "instr {pos}: Stack({s}) access out of bounds (stack_slots = {})",
+                                "Stack({s}) access out of bounds (stack_slots = {})",
                                 f.stack_slots
                             ),
                         ));
@@ -718,10 +721,11 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Call(_, _, args, ..) = i {
                 for a in args {
                     if !matches!(a, Loc::Spill(_)) {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
-                            format!("instr {pos}: call argument not a spill slot: {a:?}"),
+                            pos,
+                            format!("call argument not a spill slot: {a:?}"),
                         ));
                     }
                 }
@@ -729,10 +733,11 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
             if let Instr::Tailcall(_, args) = i {
                 for a in args {
                     if !matches!(a, Loc::Spill(_)) {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
-                            format!("instr {pos}: call argument not a spill slot: {a:?}"),
+                            pos,
+                            format!("call argument not a spill slot: {a:?}"),
                         ));
                     }
                 }
@@ -740,13 +745,11 @@ pub fn lint_linear(m: &LinearModule, stage: &'static str) -> Vec<LintError> {
             for l in linear_locs(i) {
                 if let Loc::Spill(s) = l {
                     if s >= f.spill_slots {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
-                            format!(
-                                "instr {pos}: Spill({s}) out of bounds (spill_slots = {})",
-                                f.spill_slots
-                            ),
+                            pos,
+                            format!("Spill({s}) out of bounds (spill_slots = {})", f.spill_slots),
                         ));
                     }
                 }
@@ -810,19 +813,21 @@ pub fn lint_mach(m: &MachModule, stage: &'static str) -> Vec<LintError> {
                 Instr::CondJump(.., l) | Instr::CondImmJump(.., l) | Instr::Goto(l)
                     if !labels.contains(l) =>
                 {
-                    errs.push(err(
+                    errs.push(err_instr(
                         stage,
                         name,
-                        format!("instr {pos}: jump to missing label {l}"),
+                        pos,
+                        format!("jump to missing label {l}"),
                     ));
                 }
                 Instr::Op(op, args, _) => {
                     if args.len() != op.arity() {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
+                            pos,
                             format!(
-                                "instr {pos}: {op:?} applied to {} args (arity {})",
+                                "{op:?} applied to {} args (arity {})",
                                 args.len(),
                                 op.arity()
                             ),
@@ -830,11 +835,12 @@ pub fn lint_mach(m: &MachModule, stage: &'static str) -> Vec<LintError> {
                     }
                     if let Op::AddrStack(s) = op {
                         if *s >= f.frame_slots {
-                            errs.push(err(
+                            errs.push(err_instr(
                                 stage,
                                 name,
+                                pos,
                                 format!(
-                                    "instr {pos}: AddrStack({s}) out of bounds (frame_slots = {})",
+                                    "AddrStack({s}) out of bounds (frame_slots = {})",
                                     f.frame_slots
                                 ),
                             ));
@@ -844,31 +850,34 @@ pub fn lint_mach(m: &MachModule, stage: &'static str) -> Vec<LintError> {
                 Instr::Load(am, _) | Instr::Store(am, _) => {
                     if let AddrMode::Stack(s) = am {
                         if *s >= f.frame_slots {
-                            errs.push(err(
+                            errs.push(err_instr(
                                 stage,
                                 name,
-                                format!("instr {pos}: Stack({s}) access out of bounds (frame_slots = {})", f.frame_slots),
+                                pos,
+                                format!(
+                                    "Stack({s}) access out of bounds (frame_slots = {})",
+                                    f.frame_slots
+                                ),
                             ));
                         }
                     }
                 }
                 Instr::Call(callee, n) | Instr::Tailcall(callee, n) => {
                     if *n > max_args {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
-                            format!("instr {pos}: call passes {n} register args (max {max_args})"),
+                            pos,
+                            format!("call passes {n} register args (max {max_args})"),
                         ));
                     }
                     if let Some(g) = m.funcs.get(callee) {
                         if *n > g.arity {
-                            errs.push(err(
+                            errs.push(err_instr(
                                 stage,
                                 name,
-                                format!(
-                                    "instr {pos}: call to `{callee}` passes {n} args for arity {}",
-                                    g.arity
-                                ),
+                                pos,
+                                format!("call to `{callee}` passes {n} args for arity {}", g.arity),
                             ));
                         }
                     }
@@ -930,29 +939,29 @@ pub fn lint_asm(m: &AsmModule, stage: &'static str) -> Vec<LintError> {
         for (pos, i) in f.code.iter().enumerate() {
             match i {
                 AInstr::Jmp(l) | AInstr::Jcc(_, l) if !labels.contains(l.as_str()) => {
-                    errs.push(err(
+                    errs.push(err_instr(
                         stage,
                         name,
-                        format!("instr {pos}: jump to missing label {l}"),
+                        pos,
+                        format!("jump to missing label {l}"),
                     ));
                 }
                 AInstr::Call(callee, n) => {
                     if *n > max_args {
-                        errs.push(err(
+                        errs.push(err_instr(
                             stage,
                             name,
-                            format!("instr {pos}: call passes {n} register args (max {max_args})"),
+                            pos,
+                            format!("call passes {n} register args (max {max_args})"),
                         ));
                     }
                     if let Some(g) = m.funcs.get(callee) {
                         if *n > g.arity {
-                            errs.push(err(
+                            errs.push(err_instr(
                                 stage,
                                 name,
-                                format!(
-                                    "instr {pos}: call to `{callee}` passes {n} args for arity {}",
-                                    g.arity
-                                ),
+                                pos,
+                                format!("call to `{callee}` passes {n} args for arity {}", g.arity),
                             ));
                         }
                     }
@@ -961,11 +970,12 @@ pub fn lint_asm(m: &AsmModule, stage: &'static str) -> Vec<LintError> {
             }
             if let Some(MemArg::Stack(s)) = asm_mem(i) {
                 if *s >= f.frame_slots {
-                    errs.push(err(
+                    errs.push(err_instr(
                         stage,
                         name,
+                        pos,
                         format!(
-                            "instr {pos}: stack slot {s} out of bounds (frame_slots = {})",
+                            "stack slot {s} out of bounds (frame_slots = {})",
                             f.frame_slots
                         ),
                     ));
@@ -1010,7 +1020,7 @@ mod tests {
         let errs = lint_rtl(&arts.rtl, "RTL");
         assert!(
             errs.iter()
-                .any(|e| e.detail.contains("dangling successor 999999")),
+                .any(|e| e.message.contains("dangling successor 999999")),
             "{errs:?}"
         );
     }
@@ -1034,7 +1044,7 @@ mod tests {
         let errs = lint_rtl(&m, "RTL");
         assert!(
             errs.iter()
-                .any(|e| e.detail.contains("r42 may be used before definition")),
+                .any(|e| e.message.contains("r42 may be used before definition")),
             "{errs:?}"
         );
     }
@@ -1063,7 +1073,7 @@ mod tests {
         let errs = lint_rtl(&m, "RTL");
         assert!(
             errs.iter()
-                .any(|e| e.detail.contains("r5 may be used before definition")),
+                .any(|e| e.message.contains("r5 may be used before definition")),
             "{errs:?}"
         );
     }
@@ -1077,7 +1087,7 @@ mod tests {
         let errs = lint_linear(&arts.linear_clean, "Linear/clean");
         assert!(
             errs.iter()
-                .any(|e| e.detail.contains("missing label 31337")),
+                .any(|e| e.message.contains("missing label 31337")),
             "{errs:?}"
         );
     }
@@ -1095,11 +1105,11 @@ mod tests {
         let errs = lint_asm(&arts.asm, "Asm");
         assert!(
             errs.iter()
-                .any(|e| e.detail.contains("missing label nowhere")),
+                .any(|e| e.message.contains("missing label nowhere")),
             "{errs:?}"
         );
         assert!(
-            errs.iter().any(|e| e.detail.contains("out of bounds")),
+            errs.iter().any(|e| e.message.contains("out of bounds")),
             "{errs:?}"
         );
     }

@@ -1,0 +1,544 @@
+//! The symbolic block machine of the translation validator.
+//!
+//! Matched basic blocks of a pass run are executed over *symbolic*
+//! values: block-entry register/location contents are opaque
+//! ([`SymVal::Init`]), memory reads and call returns are indexed
+//! unknowns, and operator applications are kept as normalized terms so
+//! that a strength-reduced target expression (`AddImm(3)` on `x`)
+//! compares equal to its source form (`Add` of `x` and the constant 3).
+//! Loads, stores, calls and prints are recorded as an ordered
+//! [`Effect`] trace; the per-block obligations of the validator compare
+//! the traces, the derived symbolic footprints, the post-states, and
+//! the block exits of the two sides.
+
+use ccc_compiler::linear::Instr as LinInstr;
+use ccc_compiler::ltl::{Instr as LtlInstr, Loc};
+use ccc_compiler::ops::{AddrMode, Cmp, Op};
+use ccc_compiler::rtl::{Instr as RtlInstr, Node, PReg};
+use ccc_core::mem::Val;
+use std::collections::BTreeMap;
+
+/// A location of the unified symbolic state space: RTL pseudo-registers
+/// and LTL/Linear locations live side by side, so cross-IR passes
+/// (Allocation) can state their invariant as one environment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SLoc {
+    /// An RTL pseudo-register.
+    PReg(PReg),
+    /// An LTL/Linear location (machine register or spill slot).
+    Loc(Loc),
+}
+
+/// A symbolic value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymVal {
+    /// The block-entry content of a source-side location.
+    Init(SLoc),
+    /// The block-entry content of a target-side location with no source
+    /// counterpart (e.g. a scratch spill slot). Any obligation that
+    /// depends on such a value fails, which is the sound direction.
+    TgtInit(SLoc),
+    /// A known integer.
+    Int(i64),
+    /// The address of a global (plus word offset).
+    GlobalAddr(String, u64),
+    /// The address of a stack slot of the current frame.
+    StackAddr(u64),
+    /// The `k`-th memory read of the block.
+    MemRead(usize),
+    /// The return value of the `k`-th call of the block.
+    CallRet(usize),
+    /// A normalized operator application (see [`eval_op`]).
+    Term(Op, Vec<SymVal>),
+}
+
+/// Normalized application of `op` to symbolic arguments:
+///
+/// * constants and address operators become leaf values;
+/// * immediate forms (`AddImm`, `MulImm`, `CmpImm`) are rewritten into
+///   their binary equivalents with an [`SymVal::Int`] operand;
+/// * `Sub` by a known constant becomes `Add` of the negation (the
+///   constprop strength-reduction rule, `i64::MIN` excepted);
+/// * commutative `Add`/`Mul` (and `Cmp`, via [`Cmp::swap`]) put the
+///   known-integer operand second;
+/// * all-integer applications are folded through [`Op::eval`] — except
+///   where the operator is undefined (division by zero), which keeps
+///   the term, preserving abort behaviour.
+pub fn eval_op(op: &Op, mut args: Vec<SymVal>) -> SymVal {
+    if op.arity() != args.len() {
+        return SymVal::Term(op.clone(), args); // malformed; never equal
+    }
+    match op {
+        Op::Const(i) => return SymVal::Int(*i),
+        Op::AddrGlobal(g, o) => return SymVal::GlobalAddr(g.clone(), *o),
+        Op::AddrStack(s) => return SymVal::StackAddr(*s),
+        Op::Move => return args.remove(0),
+        Op::AddImm(c) => {
+            let x = args.remove(0);
+            return binary(&Op::Add, x, SymVal::Int(*c));
+        }
+        Op::MulImm(c) => {
+            let x = args.remove(0);
+            return binary(&Op::Mul, x, SymVal::Int(*c));
+        }
+        Op::CmpImm(cc, c) => {
+            let x = args.remove(0);
+            return binary(&Op::Cmp(*cc), x, SymVal::Int(*c));
+        }
+        _ => {}
+    }
+    if args.len() == 2 {
+        let b = args.pop().expect("len 2");
+        let a = args.pop().expect("len 2");
+        binary(op, a, b)
+    } else {
+        fold_or_term(op, args)
+    }
+}
+
+fn binary(op: &Op, a: SymVal, b: SymVal) -> SymVal {
+    if let (Op::Sub, SymVal::Int(c)) = (op, &b) {
+        if *c != i64::MIN {
+            return binary(&Op::Add, a, SymVal::Int(-*c));
+        }
+    }
+    let (op, a, b) = match op {
+        Op::Add | Op::Mul if matches!(a, SymVal::Int(_)) && !matches!(b, SymVal::Int(_)) => {
+            (op.clone(), b, a)
+        }
+        Op::Cmp(cc) if matches!(a, SymVal::Int(_)) && !matches!(b, SymVal::Int(_)) => {
+            (Op::Cmp(cc.swap()), b, a)
+        }
+        _ => (op.clone(), a, b),
+    };
+    fold_or_term(&op, vec![a, b])
+}
+
+fn fold_or_term(op: &Op, args: Vec<SymVal>) -> SymVal {
+    let ints: Option<Vec<Val>> = args
+        .iter()
+        .map(|a| match a {
+            SymVal::Int(i) => Some(Val::Int(*i)),
+            _ => None,
+        })
+        .collect();
+    if let Some(vals) = ints {
+        if let Some(Val::Int(i)) = op.eval(&vals) {
+            return SymVal::Int(i);
+        }
+    }
+    SymVal::Term(op.clone(), args)
+}
+
+/// A symbolic memory address (the resolved form of an [`AddrMode`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymAddr {
+    /// A global plus word offset.
+    Global(String, u64),
+    /// A stack slot of the current frame.
+    Stack(u64),
+    /// A base value plus displacement.
+    Based(SymVal, i64),
+}
+
+/// One observable action of a block, in program order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// A memory read.
+    Read(SymAddr),
+    /// A memory write of a value.
+    Write(SymAddr, SymVal),
+    /// A call with its argument values.
+    Call(String, Vec<SymVal>),
+    /// An output event.
+    Print(SymVal),
+}
+
+/// The abstract footprint of a block: the addresses it reads and
+/// writes, derived from its [`Effect`] trace.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymFootprint {
+    /// Read addresses, in order.
+    pub reads: Vec<SymAddr>,
+    /// Written addresses, in order.
+    pub writes: Vec<SymAddr>,
+}
+
+/// The footprint of an effect trace.
+pub fn footprint(effects: &[Effect]) -> SymFootprint {
+    let mut fp = SymFootprint::default();
+    for e in effects {
+        match e {
+            Effect::Read(a) => fp.reads.push(a.clone()),
+            Effect::Write(a, _) => fp.writes.push(a.clone()),
+            Effect::Call(..) | Effect::Print(_) => {}
+        }
+    }
+    fp
+}
+
+/// The footprint-cover obligation of Defs. 10–11 under the identity
+/// location transformer: the target's reads must come from locations
+/// the source reads *or writes*, and the target's writes from locations
+/// the source writes (`fp_match` with `µ = id`).
+pub fn covered(tgt: &SymFootprint, src: &SymFootprint) -> bool {
+    tgt.reads
+        .iter()
+        .all(|a| src.reads.contains(a) || src.writes.contains(a))
+        && tgt.writes.iter().all(|a| src.writes.contains(a))
+}
+
+/// The symbolic execution state of one block run.
+#[derive(Clone, Debug)]
+pub struct ExecState {
+    /// Location contents.
+    pub env: BTreeMap<SLoc, SymVal>,
+    /// Accumulated effect trace.
+    pub effects: Vec<Effect>,
+    reads: usize,
+    calls: usize,
+    tgt_default: bool,
+}
+
+impl ExecState {
+    /// A fresh state. With `tgt_default`, locations with no recorded
+    /// value read as [`SymVal::TgtInit`] instead of [`SymVal::Init`] —
+    /// used for the target side of location-renaming passes, where only
+    /// the explicitly seeded locations carry source values.
+    pub fn new(tgt_default: bool) -> Self {
+        ExecState {
+            env: BTreeMap::new(),
+            effects: Vec::new(),
+            reads: 0,
+            calls: 0,
+            tgt_default,
+        }
+    }
+
+    /// The current content of `l`.
+    pub fn get(&self, l: SLoc) -> SymVal {
+        self.env.get(&l).cloned().unwrap_or(if self.tgt_default {
+            SymVal::TgtInit(l)
+        } else {
+            SymVal::Init(l)
+        })
+    }
+
+    /// Overwrites `l`.
+    pub fn set(&mut self, l: SLoc, v: SymVal) {
+        self.env.insert(l, v);
+    }
+
+    fn fresh_read(&mut self) -> SymVal {
+        let v = SymVal::MemRead(self.reads);
+        self.reads += 1;
+        v
+    }
+
+    fn fresh_ret(&mut self) -> SymVal {
+        let v = SymVal::CallRet(self.calls);
+        self.calls += 1;
+        v
+    }
+}
+
+/// How a block run ends.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BlockOut {
+    /// Unconditional transfer to a node.
+    Goto(Node),
+    /// An undecided two-way branch on symbolic operands.
+    Branch(Cmp, SymVal, SymVal, Node, Node),
+    /// Return of a value.
+    Return(SymVal),
+    /// A tail call with its argument values.
+    Tailcall(String, Vec<SymVal>),
+}
+
+/// A branch exit; decided immediately when both operands are known
+/// integers (this is how a source branch folded to a `Nop` by constprop
+/// still matches: the seeded facts decide the source side the same
+/// way).
+pub fn branch(c: Cmp, a: SymVal, b: SymVal, t: Node, e: Node) -> BlockOut {
+    if let (SymVal::Int(x), SymVal::Int(y)) = (&a, &b) {
+        if let Some(taken) = c.eval(Val::Int(*x), Val::Int(*y)) {
+            return BlockOut::Goto(if taken { t } else { e });
+        }
+    }
+    BlockOut::Branch(c, a, b, t, e)
+}
+
+fn resolve<R: Copy>(st: &ExecState, am: &AddrMode<R>, to_sloc: impl Fn(R) -> SLoc) -> SymAddr {
+    match am {
+        AddrMode::Global(g, o) => SymAddr::Global(g.clone(), *o),
+        AddrMode::Stack(s) => SymAddr::Stack(*s),
+        AddrMode::Based(r, d) => SymAddr::Based(st.get(to_sloc(*r)), *d),
+    }
+}
+
+/// Executes one RTL instruction symbolically.
+pub fn exec_rtl(st: &mut ExecState, i: &RtlInstr) -> BlockOut {
+    let loc = SLoc::PReg;
+    match i {
+        RtlInstr::Nop(n) => BlockOut::Goto(*n),
+        RtlInstr::Op(op, args, dst, n) => {
+            let vals = args.iter().map(|&r| st.get(loc(r))).collect();
+            let v = eval_op(op, vals);
+            st.set(loc(*dst), v);
+            BlockOut::Goto(*n)
+        }
+        RtlInstr::Load(am, dst, n) => {
+            let a = resolve(st, am, loc);
+            st.effects.push(Effect::Read(a));
+            let v = st.fresh_read();
+            st.set(loc(*dst), v);
+            BlockOut::Goto(*n)
+        }
+        RtlInstr::Store(am, src, n) => {
+            let a = resolve(st, am, loc);
+            let v = st.get(loc(*src));
+            st.effects.push(Effect::Write(a, v));
+            BlockOut::Goto(*n)
+        }
+        RtlInstr::Call(dst, callee, args, n) => {
+            let vals: Vec<SymVal> = args.iter().map(|&r| st.get(loc(r))).collect();
+            st.effects.push(Effect::Call(callee.clone(), vals));
+            let ret = st.fresh_ret();
+            if let Some(d) = dst {
+                st.set(loc(*d), ret);
+            }
+            BlockOut::Goto(*n)
+        }
+        RtlInstr::Tailcall(callee, args) => {
+            let vals = args.iter().map(|&r| st.get(loc(r))).collect();
+            BlockOut::Tailcall(callee.clone(), vals)
+        }
+        RtlInstr::Cond(c, r1, r2, t, e) => branch(*c, st.get(loc(*r1)), st.get(loc(*r2)), *t, *e),
+        RtlInstr::CondImm(c, r, i, t, e) => branch(*c, st.get(loc(*r)), SymVal::Int(*i), *t, *e),
+        RtlInstr::Print(r, n) => {
+            let v = st.get(loc(*r));
+            st.effects.push(Effect::Print(v));
+            BlockOut::Goto(*n)
+        }
+        RtlInstr::Return(r) => BlockOut::Return(r.map_or(SymVal::Int(0), |r| st.get(loc(r)))),
+    }
+}
+
+/// Executes one LTL instruction symbolically.
+pub fn exec_ltl(st: &mut ExecState, i: &LtlInstr) -> BlockOut {
+    let loc = SLoc::Loc;
+    match i {
+        LtlInstr::Nop(n) => BlockOut::Goto(*n),
+        LtlInstr::Op(op, args, dst, n) => {
+            let vals = args.iter().map(|&l| st.get(loc(l))).collect();
+            let v = eval_op(op, vals);
+            st.set(loc(*dst), v);
+            BlockOut::Goto(*n)
+        }
+        LtlInstr::Load(am, dst, n) => {
+            let a = resolve(st, am, loc);
+            st.effects.push(Effect::Read(a));
+            let v = st.fresh_read();
+            st.set(loc(*dst), v);
+            BlockOut::Goto(*n)
+        }
+        LtlInstr::Store(am, src, n) => {
+            let a = resolve(st, am, loc);
+            let v = st.get(loc(*src));
+            st.effects.push(Effect::Write(a, v));
+            BlockOut::Goto(*n)
+        }
+        LtlInstr::Call(dst, callee, args, n) => {
+            let vals: Vec<SymVal> = args.iter().map(|&l| st.get(loc(l))).collect();
+            st.effects.push(Effect::Call(callee.clone(), vals));
+            let ret = st.fresh_ret();
+            if let Some(d) = dst {
+                st.set(loc(*d), ret);
+            }
+            BlockOut::Goto(*n)
+        }
+        LtlInstr::Tailcall(callee, args) => {
+            let vals = args.iter().map(|&l| st.get(loc(l))).collect();
+            BlockOut::Tailcall(callee.clone(), vals)
+        }
+        LtlInstr::Cond(c, a, b, t, e) => branch(*c, st.get(loc(*a)), st.get(loc(*b)), *t, *e),
+        LtlInstr::CondImm(c, l, i, t, e) => branch(*c, st.get(loc(*l)), SymVal::Int(*i), *t, *e),
+        LtlInstr::Print(l, n) => {
+            let v = st.get(loc(*l));
+            st.effects.push(Effect::Print(v));
+            BlockOut::Goto(*n)
+        }
+        LtlInstr::Return(l) => BlockOut::Return(l.map_or(SymVal::Int(0), |l| st.get(loc(l)))),
+    }
+}
+
+/// Executes the effectful body of a Linear block segment and resolves
+/// its exit. `fallthrough` is the next block in the layout, used when
+/// the segment ends without an explicit jump (or with a bare
+/// conditional). Returns an error for segments no correct `Linearize`
+/// output contains (instructions after a terminator, control falling
+/// off the function end).
+pub fn exec_linear_seg(
+    st: &mut ExecState,
+    body: &[LinInstr],
+    fallthrough: Option<Node>,
+) -> Result<BlockOut, String> {
+    let loc = SLoc::Loc;
+    let mut it = body.iter();
+    while let Some(i) = it.next() {
+        let rest_empty = |it: &mut std::slice::Iter<'_, LinInstr>| it.next().is_none();
+        match i {
+            LinInstr::Op(op, args, dst) => {
+                let vals = args.iter().map(|&l| st.get(loc(l))).collect();
+                let v = eval_op(op, vals);
+                st.set(loc(*dst), v);
+            }
+            LinInstr::Load(am, dst) => {
+                let a = resolve(st, am, loc);
+                st.effects.push(Effect::Read(a));
+                let v = st.fresh_read();
+                st.set(loc(*dst), v);
+            }
+            LinInstr::Store(am, src) => {
+                let a = resolve(st, am, loc);
+                let v = st.get(loc(*src));
+                st.effects.push(Effect::Write(a, v));
+            }
+            LinInstr::Call(dst, callee, args) => {
+                let vals: Vec<SymVal> = args.iter().map(|&l| st.get(loc(l))).collect();
+                st.effects.push(Effect::Call(callee.clone(), vals));
+                let ret = st.fresh_ret();
+                if let Some(d) = dst {
+                    st.set(loc(*d), ret);
+                }
+            }
+            LinInstr::Print(l) => {
+                let v = st.get(loc(*l));
+                st.effects.push(Effect::Print(v));
+            }
+            LinInstr::Goto(l) => {
+                if !rest_empty(&mut it) {
+                    return Err("instructions after an unconditional jump".to_string());
+                }
+                return Ok(BlockOut::Goto(*l));
+            }
+            LinInstr::CondJump(c, a, b, t) => {
+                let (av, bv) = (st.get(loc(*a)), st.get(loc(*b)));
+                let e = resolve_else(&mut it, fallthrough)?;
+                return Ok(branch(*c, av, bv, *t, e));
+            }
+            LinInstr::CondImmJump(c, a, imm, t) => {
+                let av = st.get(loc(*a));
+                let e = resolve_else(&mut it, fallthrough)?;
+                return Ok(branch(*c, av, SymVal::Int(*imm), *t, e));
+            }
+            LinInstr::Return(r) => {
+                if !rest_empty(&mut it) {
+                    return Err("instructions after a return".to_string());
+                }
+                return Ok(BlockOut::Return(
+                    r.map_or(SymVal::Int(0), |l| st.get(loc(l))),
+                ));
+            }
+            LinInstr::Tailcall(callee, args) => {
+                if !rest_empty(&mut it) {
+                    return Err("instructions after a tail call".to_string());
+                }
+                let vals = args.iter().map(|&l| st.get(loc(l))).collect();
+                return Ok(BlockOut::Tailcall(callee.clone(), vals));
+            }
+            LinInstr::Label(l) => return Err(format!("nested label {l} inside a segment")),
+        }
+    }
+    fallthrough
+        .map(BlockOut::Goto)
+        .ok_or_else(|| "control falls off the function end".to_string())
+}
+
+/// After a conditional jump, the segment may end (fallthrough is the
+/// else-branch) or contain exactly one final `Goto` naming it.
+fn resolve_else(
+    it: &mut std::slice::Iter<'_, LinInstr>,
+    fallthrough: Option<Node>,
+) -> Result<Node, String> {
+    match it.next() {
+        None => fallthrough.ok_or_else(|| "conditional with no else target".to_string()),
+        Some(LinInstr::Goto(e)) if it.next().is_none() => Ok(*e),
+        Some(other) => Err(format!("unexpected {other:?} after a conditional jump")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_reduced_forms_normalize_equal() {
+        // x + 3 as Add(x, Const 3), AddImm(3)(x), and Add(Const 3, x)
+        // all normalize to the same term.
+        let x = SymVal::Init(SLoc::PReg(1));
+        let a = eval_op(&Op::Add, vec![x.clone(), SymVal::Int(3)]);
+        let b = eval_op(&Op::AddImm(3), vec![x.clone()]);
+        let c = eval_op(&Op::Add, vec![SymVal::Int(3), x.clone()]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // And Sub by 3 equals Add of -3.
+        let d = eval_op(&Op::Sub, vec![x.clone(), SymVal::Int(3)]);
+        let e = eval_op(&Op::AddImm(-3), vec![x]);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn comparison_swap_normalizes() {
+        let x = SymVal::Init(SLoc::PReg(2));
+        let a = eval_op(&Op::Cmp(Cmp::Lt), vec![SymVal::Int(5), x.clone()]);
+        let b = eval_op(&Op::CmpImm(Cmp::Gt, 5), vec![x]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_integer_terms_fold_except_undefined() {
+        assert_eq!(
+            eval_op(&Op::Mul, vec![SymVal::Int(6), SymVal::Int(7)]),
+            SymVal::Int(42)
+        );
+        // Division by zero keeps the term (aborts must stay aborts).
+        assert!(matches!(
+            eval_op(&Op::Div, vec![SymVal::Int(1), SymVal::Int(0)]),
+            SymVal::Term(..)
+        ));
+    }
+
+    #[test]
+    fn decided_branches_resolve() {
+        assert_eq!(
+            branch(Cmp::Lt, SymVal::Int(1), SymVal::Int(2), 10, 20),
+            BlockOut::Goto(10)
+        );
+        assert!(matches!(
+            branch(Cmp::Lt, SymVal::Init(SLoc::PReg(0)), SymVal::Int(2), 10, 20),
+            BlockOut::Branch(..)
+        ));
+    }
+
+    #[test]
+    fn footprint_cover_is_fp_match_with_identity() {
+        let g = |n: &str| SymAddr::Global(n.to_string(), 0);
+        let src = SymFootprint {
+            reads: vec![g("x")],
+            writes: vec![g("y")],
+        };
+        // Reading what the source wrote is allowed…
+        let t1 = SymFootprint {
+            reads: vec![g("y")],
+            writes: vec![],
+        };
+        assert!(covered(&t1, &src));
+        // …writing what the source only read is not.
+        let t2 = SymFootprint {
+            reads: vec![],
+            writes: vec![g("x")],
+        };
+        assert!(!covered(&t2, &src));
+    }
+}

@@ -21,7 +21,10 @@
 //! `BENCH_fuzz.json` in the current directory.
 
 use ccc_fuzz::mutation::stream_input;
-use ccc_fuzz::{check_program, run_scoreboard, shrink_to_entry, OracleCfg};
+use ccc_fuzz::{
+    check_program, run_scoreboard, shrink_to_entry, static_board_markdown, transval_corpus_board,
+    OracleCfg,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -80,6 +83,17 @@ fn main() {
         "surviving mutants: {survivors:?} — a checker lost its teeth"
     );
 
+    // Static-only board: the symbolic validator alone over each
+    // mutant's killing input — which mutants die without executing?
+    println!("symbolic-validator-only board (same killing inputs):");
+    let witnesses: Vec<_> = sb
+        .scores
+        .iter()
+        .map(|s| (s.mutant, stream_input(s.inputs - 1)))
+        .collect();
+    let board = transval_corpus_board(&witnesses);
+    print!("{}", static_board_markdown(&board));
+
     // Optionally shrink each killing input into a corpus entry.
     if let Some(dir) = &corpus_dir {
         std::fs::create_dir_all(dir).expect("create corpus dir");
@@ -116,10 +130,11 @@ fn main() {
         write!(
             json,
             "    {{\"mutant\": \"{:?}\", \"pass\": \"{}\", \"killed\": {}, \
-             \"inputs\": {}, \"localized_at\": {at}}}",
+             \"static_kill\": {}, \"inputs\": {}, \"localized_at\": {at}}}",
             s.mutant,
             s.mutant.pass_name(),
             s.killed(),
+            s.static_kill(),
             s.inputs,
         )
         .unwrap();

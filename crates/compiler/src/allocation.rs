@@ -75,7 +75,7 @@ impl Allocator {
     }
 }
 
-fn transform_function_with(f: &Function, ignore_interference: bool) -> LtlFunction {
+fn build_allocator(f: &Function, ignore_interference: bool) -> Allocator {
     let live_out = liveness(f);
 
     // Collect every preg mentioned.
@@ -152,6 +152,20 @@ fn transform_function_with(f: &Function, ignore_interference: bool) -> LtlFuncti
             }
         }
     }
+    alloc
+}
+
+/// The location assigned to every pseudo-register (before call-argument
+/// routing claims additional fresh spill slots). Exposed as the
+/// structural hint of the `ccc-analysis` translation validator, which
+/// checks the assignment's injectivity on live ranges and the induced
+/// per-block simulation independently.
+pub fn assignment(f: &Function) -> BTreeMap<PReg, Loc> {
+    build_allocator(f, false).assign
+}
+
+fn transform_function_with(f: &Function, ignore_interference: bool) -> LtlFunction {
+    let mut alloc = build_allocator(f, ignore_interference);
 
     // Rewrite the graph; calls get their arguments routed through fresh
     // spill slots via moves inserted ahead of the call.

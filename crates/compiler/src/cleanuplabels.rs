@@ -21,6 +21,14 @@ fn referenced_labels_with(f: &Function, only_gotos: bool) -> BTreeSet<Label> {
         .collect()
 }
 
+/// The labels some jump in `f` references — exactly the label
+/// definitions the pass keeps. Exposed as the structural hint of the
+/// `ccc-analysis` translation validator, which segments both sides of
+/// the pass run at these labels.
+pub fn referenced_labels(f: &Function) -> BTreeSet<Label> {
+    referenced_labels_with(f, false)
+}
+
 fn transform_function_with(f: &Function, only_gotos: bool) -> Function {
     let used = referenced_labels_with(f, only_gotos);
     Function {

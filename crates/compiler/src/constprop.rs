@@ -114,6 +114,27 @@ fn analyze(f: &Function) -> BTreeMap<Node, Env> {
     inputs
 }
 
+/// The per-node constant facts the rewrite consumes: for every node the
+/// analysis reaches, the registers known to hold a specific integer on
+/// entry. Exposed as the structural hint of the `ccc-analysis`
+/// translation validator, which independently re-checks the facts'
+/// inductiveness before seeding its symbolic states with them.
+pub fn constant_facts(f: &Function) -> BTreeMap<Node, BTreeMap<PReg, i64>> {
+    analyze(f)
+        .into_iter()
+        .map(|(n, env)| {
+            let facts = env
+                .into_iter()
+                .filter_map(|(r, v)| match v {
+                    AVal::Const(c) => Some((r, c)),
+                    AVal::Top => None,
+                })
+                .collect();
+            (n, facts)
+        })
+        .collect()
+}
+
 fn rewrite(i: &Instr, env: &Env, mx: bool) -> Instr {
     match i {
         Instr::Op(op, args, dst, n) => {

@@ -9,7 +9,11 @@ use crate::linear::{Function as LinFunction, Instr as LIn, LinearModule};
 use crate::ltl::{Function, Instr, LtlModule};
 use crate::rtl::Node;
 
-fn layout(f: &Function) -> Vec<Node> {
+/// The depth-first block order the pass emits (reachable nodes only).
+/// Exposed as the block-order hint of the `ccc-analysis` translation
+/// validator: labels carry the original node ids, so this is also the
+/// candidate block matching.
+pub fn layout(f: &Function) -> Vec<Node> {
     let mut order = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
     let mut stack = vec![f.entry];

@@ -6,8 +6,13 @@
 use crate::rtl::{Function, Node, RtlModule};
 use std::collections::BTreeMap;
 
-fn transform_function_with(f: &Function, stale_entry: bool) -> Function {
-    // Depth-first numbering from the entry.
+/// The depth-first numbering the pass applies: old node id → new
+/// compact id, for every node reachable from the entry. Exposed as the
+/// structural hint the `ccc-analysis` translation validator uses as its
+/// candidate block matching (the validator discharges the per-block
+/// obligations independently, so a wrong hint can only cause rejection,
+/// never acceptance).
+pub fn renumber_permutation(f: &Function) -> BTreeMap<Node, Node> {
     let mut order: BTreeMap<Node, Node> = BTreeMap::new();
     let mut stack = vec![f.entry];
     let mut next: Node = 0;
@@ -26,6 +31,11 @@ fn transform_function_with(f: &Function, stale_entry: bool) -> Function {
             }
         }
     }
+    order
+}
+
+fn transform_function_with(f: &Function, stale_entry: bool) -> Function {
+    let order = renumber_permutation(f);
     let renum = |n: Node| order.get(&n).copied().unwrap_or(n);
     let mut code = BTreeMap::new();
     for (n, instr) in &f.code {

@@ -8,8 +8,10 @@
 use crate::rtl::{Function, Instr, Node, RtlModule};
 
 /// Follows `Nop` chains from `n` (bounded by the graph size, so cycles
-/// of `Nop`s terminate the walk).
-fn skip_nops(f: &Function, mut n: Node) -> Node {
+/// of `Nop`s terminate the walk). Public because it doubles as the
+/// structural hint of the `ccc-analysis` translation validator, which
+/// re-checks the call-to-tailcall pattern against the source graph.
+pub fn skip_nops(f: &Function, mut n: Node) -> Node {
     for _ in 0..f.code.len() {
         match f.code.get(&n) {
             Some(Instr::Nop(next)) => n = *next,

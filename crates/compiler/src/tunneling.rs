@@ -23,6 +23,14 @@ fn chase_with(f: &Function, mut n: Node, through_ops: bool) -> Node {
     n
 }
 
+/// Where the pass redirects an edge leading to `n`: the end of the
+/// `Nop` chain starting at `n`. Exposed as the branch-map hint of the
+/// `ccc-analysis` translation validator, which uses it as the candidate
+/// node matching and re-discharges the per-block obligations itself.
+pub fn branch_target(f: &Function, n: Node) -> Node {
+    chase_with(f, n, false)
+}
+
 fn transform_function_with(f: &Function, through_ops: bool) -> Function {
     let mut code: BTreeMap<Node, Instr> = BTreeMap::new();
     for (&n, i) in &f.code {

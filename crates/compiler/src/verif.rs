@@ -97,6 +97,20 @@ pub fn default_perturbations(ge: &GlobalEnv) -> Vec<Vec<(Addr, Val)>> {
 /// sides — the pipeline preserves the layout, so `φ = id`). When the
 /// artifacts carry the Constprop extension stage, it is verified too.
 pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -> PipelineVerdict {
+    verify_passes_filtered(arts, ge, entry, &|_| true)
+}
+
+/// Like [`verify_passes`], but only runs the passes whose name `keep`
+/// accepts, skipping the (expensive) co-execution of the rest. This is
+/// how the `Validation::Static` mode of `ccc-analysis` falls back to
+/// the differential check for exactly the passes its symbolic validator
+/// reports as `Unsupported`.
+pub fn verify_passes_filtered(
+    arts: &CompilationArtifacts,
+    ge: &GlobalEnv,
+    entry: &str,
+    keep: &dyn Fn(&str) -> bool,
+) -> PipelineVerdict {
     let mu = Mu::identity(ge.initial_memory().dom());
     let perturbations = default_perturbations(ge);
     let opts = SimOptions {
@@ -123,56 +137,62 @@ pub fn verify_passes(arts: &CompilationArtifacts, ge: &GlobalEnv, entry: &str) -
             }
         };
     }
+    let mut verdicts = Vec::new();
     macro_rules! pass {
         ($name:expr, $sl:expr, $sm:expr, $tl:expr, $tm:expr) => {
-            PassVerdict {
-                pass: $name,
-                result: check_module_sim(&ctx!($sl, $sm), &ctx!($tl, $tm), &mu, entry, &[], &opts),
+            if keep($name) {
+                verdicts.push(PassVerdict {
+                    pass: $name,
+                    result: check_module_sim(
+                        &ctx!($sl, $sm),
+                        &ctx!($tl, $tm),
+                        &mu,
+                        entry,
+                        &[],
+                        &opts,
+                    ),
+                });
             }
         };
     }
 
-    let mut verdicts = vec![
-        pass!(
-            "Cshmgen/Cminorgen",
-            clight,
-            &arts.clight,
-            cminor,
-            &arts.cminor
-        ),
-        pass!(
-            "Selection",
-            cminor,
-            &arts.cminor,
-            cminorsel,
-            &arts.cminorsel
-        ),
-        pass!("RTLgen", cminorsel, &arts.cminorsel, rtl, &arts.rtl),
-        pass!("Tailcall", rtl, &arts.rtl, rtl, &arts.rtl_tailcall),
-        pass!("Renumber", rtl, &arts.rtl_tailcall, rtl, &arts.rtl_renumber),
-    ];
+    pass!(
+        "Cshmgen/Cminorgen",
+        clight,
+        &arts.clight,
+        cminor,
+        &arts.cminor
+    );
+    pass!(
+        "Selection",
+        cminor,
+        &arts.cminor,
+        cminorsel,
+        &arts.cminorsel
+    );
+    pass!("RTLgen", cminorsel, &arts.cminorsel, rtl, &arts.rtl);
+    pass!("Tailcall", rtl, &arts.rtl, rtl, &arts.rtl_tailcall);
+    pass!("Renumber", rtl, &arts.rtl_tailcall, rtl, &arts.rtl_renumber);
     // Allocation consumes the Constprop output when that stage ran.
     let alloc_src = match &arts.rtl_constprop {
         Some(cp) => {
-            verdicts.push(pass!("Constprop", rtl, &arts.rtl_renumber, rtl, cp));
+            pass!("Constprop", rtl, &arts.rtl_renumber, rtl, cp);
             cp
         }
         None => &arts.rtl_renumber,
     };
-    verdicts.extend([
-        pass!("Allocation", rtl, alloc_src, ltl, &arts.ltl),
-        pass!("Tunneling", ltl, &arts.ltl, ltl, &arts.ltl_tunneled),
-        pass!("Linearize", ltl, &arts.ltl_tunneled, linear, &arts.linear),
-        pass!(
-            "CleanupLabels",
-            linear,
-            &arts.linear,
-            linear,
-            &arts.linear_clean
-        ),
-        pass!("Stacking", linear, &arts.linear_clean, mach, &arts.mach),
-        pass!("Asmgen", mach, &arts.mach, asm, &arts.asm),
-    ]);
+    pass!("Allocation", rtl, alloc_src, ltl, &arts.ltl);
+    pass!("Tunneling", ltl, &arts.ltl, ltl, &arts.ltl_tunneled);
+    pass!("Linearize", ltl, &arts.ltl_tunneled, linear, &arts.linear);
+    pass!(
+        "CleanupLabels",
+        linear,
+        &arts.linear,
+        linear,
+        &arts.linear_clean
+    );
+    pass!("Stacking", linear, &arts.linear_clean, mach, &arts.mach);
+    pass!("Asmgen", mach, &arts.mach, asm, &arts.asm);
     PipelineVerdict { verdicts }
 }
 

@@ -31,7 +31,10 @@ pub mod tsogen;
 
 pub use corpus::{shrink_to_entry, CorpusEntry};
 pub use gen::gen_program;
-pub use mutation::{kill_one, run_scoreboard, MutantScore, Scoreboard};
+pub use mutation::{
+    kill_one, run_scoreboard, static_board_markdown, transval_corpus_board, MutantScore,
+    Scoreboard, StaticKill,
+};
 pub use oracle::{check_program, FuzzFailure, OracleCfg};
 pub use shrink::shrink;
 pub use spec::{lower, FuzzProgram, SStmt};

@@ -8,8 +8,9 @@
 
 use crate::gen::gen_program;
 use crate::oracle::{check_program, FuzzFailure, OracleCfg};
-use crate::spec::FuzzProgram;
-use ccc_compiler::Mutant;
+use crate::spec::{lower, FuzzProgram};
+use ccc_analysis::validate_artifacts;
+use ccc_compiler::{compile_with_artifacts_mutated, Mutant};
 
 /// The `i`-th input of the shared scoreboard stream.
 #[must_use]
@@ -34,6 +35,16 @@ impl MutantScore {
     #[must_use]
     pub fn killed(&self) -> bool {
         self.kill.is_some()
+    }
+
+    /// True when the kill came from the *static* translation validator
+    /// (a `transval/<pass>` stage) rather than the dynamic differential
+    /// oracle — the mutant was rejected without executing the program.
+    #[must_use]
+    pub fn static_kill(&self) -> bool {
+        self.kill
+            .as_ref()
+            .is_some_and(|f| f.stage.starts_with("transval/"))
     }
 }
 
@@ -77,8 +88,8 @@ impl Scoreboard {
     #[must_use]
     pub fn to_markdown(&self) -> String {
         let mut out = String::from(
-            "| Pass | Mutant | Killed | Inputs to kill | Localized at |\n\
-             |---|---|---|---|---|\n",
+            "| Pass | Mutant | Killed | Static kill | Inputs to kill | Localized at |\n\
+             |---|---|---|---|---|---|\n",
         );
         for s in &self.scores {
             let (killed, at) = match &s.kill {
@@ -86,10 +97,11 @@ impl Scoreboard {
                 None => ("**no**", "—".into()),
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} |\n",
                 s.mutant.pass_name(),
                 s.mutant.describe(),
                 killed,
+                if s.static_kill() { "yes" } else { "no" },
                 s.inputs,
                 at
             ));
@@ -129,6 +141,106 @@ pub fn kill_one(mutant: Mutant, budget: usize, cfg: &OracleCfg) -> MutantScore {
         inputs: budget,
         kill: None,
     }
+}
+
+/// Verdict of running the symbolic translation validator *alone* over
+/// one mutant's compilation of a witness program — no execution, no
+/// differential comparison.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StaticKill {
+    /// Which pass was mutated.
+    pub mutant: Mutant,
+    /// The pass whose [`ccc_analysis::SimWitness`] was rejected, if
+    /// any; `None` means the mutant needs the dynamic oracle.
+    pub rejected_at: Option<String>,
+    /// The first undischarged obligation's diagnostic (empty if none).
+    pub detail: String,
+}
+
+impl StaticKill {
+    /// True when the validator rejected the mutated compilation.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.rejected_at.is_some()
+    }
+}
+
+/// Runs the symbolic validator over each `(mutant, witness program)`
+/// pair: the program is compiled with the mutant enabled and the
+/// artifacts are checked statically. Used with the persisted corpus
+/// witnesses to measure which mutants die without the dynamic oracle.
+#[must_use]
+pub fn transval_corpus_board(witnesses: &[(Mutant, FuzzProgram)]) -> Vec<StaticKill> {
+    witnesses
+        .iter()
+        .map(|(mutant, p)| {
+            let (m, _ge, _entries) = lower(p);
+            match compile_with_artifacts_mutated(&m, Some(*mutant)) {
+                Err(e) => StaticKill {
+                    mutant: *mutant,
+                    rejected_at: Some("compile".into()),
+                    detail: format!("{e:?}"),
+                },
+                Ok(arts) => {
+                    let w = validate_artifacts(&arts);
+                    let first = w.rejected().next().cloned();
+                    match first {
+                        Some(sw) => StaticKill {
+                            mutant: *mutant,
+                            rejected_at: Some(sw.pass.clone()),
+                            detail: sw
+                                .diagnostics()
+                                .first()
+                                .map(ToString::to_string)
+                                .unwrap_or_default(),
+                        },
+                        None => StaticKill {
+                            mutant: *mutant,
+                            rejected_at: None,
+                            detail: String::new(),
+                        },
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Renders a [`transval_corpus_board`] result as a markdown table,
+/// ending with the list of mutants that still need the dynamic oracle.
+#[must_use]
+pub fn static_board_markdown(board: &[StaticKill]) -> String {
+    let mut out = String::from(
+        "| Pass | Static kill | Rejected at | First failed obligation |\n\
+         |---|---|---|---|\n",
+    );
+    for k in board {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            k.mutant.pass_name(),
+            if k.killed() { "yes" } else { "**no**" },
+            k.rejected_at.as_deref().unwrap_or("—"),
+            if k.detail.is_empty() {
+                "—"
+            } else {
+                &k.detail
+            },
+        ));
+    }
+    let dynamic_only: Vec<_> = board
+        .iter()
+        .filter(|k| !k.killed())
+        .map(|k| k.mutant.pass_name())
+        .collect();
+    if dynamic_only.is_empty() {
+        out.push_str("\nEvery mutant dies statically.\n");
+    } else {
+        out.push_str(&format!(
+            "\nStill need the dynamic oracle: {}.\n",
+            dynamic_only.join(", ")
+        ));
+    }
+    out
 }
 
 /// Runs the whole scoreboard: every mutant of [`Mutant::ALL`] against

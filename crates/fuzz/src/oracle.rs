@@ -24,7 +24,10 @@
 //! the last agreeing IR and the first disagreeing one.
 
 use crate::spec::{lower, FuzzProgram};
+use ccc_analysis::transval::Verdict;
+use ccc_analysis::{validate_artifacts, Validation};
 use ccc_clight::ClightLang;
+use ccc_compiler::driver::CompilationArtifacts;
 use ccc_compiler::{compile_with_artifacts_mutated, id_trans_mutated, Mutant};
 use ccc_core::footprint::{fp_match, Mu};
 use ccc_core::lang::Lang;
@@ -48,6 +51,13 @@ pub struct OracleCfg {
     pub schedule_steps: usize,
     /// Seed for the random schedule of the record/replay probe.
     pub schedule_seed: u64,
+    /// How to validate each compilation: symbolically
+    /// ([`Validation::Static`], with the differential check only
+    /// covering the passes the symbolic validator cannot), dynamically
+    /// ([`Validation::Differential`], the pre-existing oracle), or both
+    /// ([`Validation::Both`], the default — any disagreement between
+    /// the two checkers is itself reported as a failure).
+    pub validation: Validation,
 }
 
 impl Default for OracleCfg {
@@ -67,7 +77,23 @@ impl Default for OracleCfg {
             },
             schedule_steps: 100_000,
             schedule_seed: 7,
+            validation: Validation::Both,
         }
+    }
+}
+
+/// The pipeline pass whose symbolic validation covers a differential
+/// stage name, for the seven statically supported passes.
+fn owning_pass(stage: &str) -> Option<&'static str> {
+    match stage {
+        "RTL/tailcall" => Some("Tailcall"),
+        "RTL/renumber" => Some("Renumber"),
+        "Constprop" => Some("Constprop"),
+        "LTL" => Some("Allocation"),
+        "LTL/tunneled" => Some("Tunneling"),
+        "Linear" => Some("Linearize"),
+        "Linear/clean" => Some("CleanupLabels"),
+        _ => None,
     }
 }
 
@@ -264,6 +290,71 @@ pub fn check_program(
     let (m, ge, entries) = lower(p);
     let arts = compile_with_artifacts_mutated(&m, mutant)
         .map_err(|e| fail("compile", format!("{e:?}")))?;
+
+    // Static translation validation first: every supported pass's run
+    // must discharge its per-block simulation obligations. A rejection
+    // kills the input without executing a single instruction, and is
+    // localized to the owning pass via the `transval/<pass>` stage.
+    let mut static_validated = std::collections::BTreeSet::new();
+    if cfg.validation != Validation::Differential {
+        let witness = validate_artifacts(&arts);
+        if let Some(rej) = witness.rejected().next() {
+            let first = rej
+                .diagnostics()
+                .into_iter()
+                .next()
+                .map_or_else(String::new, |d| d.to_string());
+            return Err(fail(
+                &format!("transval/{}", rej.pass),
+                format!(
+                    "static validation rejected ({} undischarged obligations): {first}",
+                    rej.failures().count()
+                ),
+            ));
+        }
+        static_validated = witness
+            .witnesses
+            .iter()
+            .filter(|w| w.verdict == Verdict::Validated)
+            .map(|w| w.pass.clone())
+            .collect();
+    }
+
+    let result = check_differential(p, &arts, &ge, &entries, mutant, cfg);
+    // In `Both` mode a dynamic failure at a statically validated pass
+    // is a disagreement between the two checkers — one of them is wrong
+    // (or sees a miscompilation the other cannot). Annotate it so the
+    // shrunk, persisted counterexample carries the disagreement.
+    match result {
+        Err(f) if cfg.validation == Validation::Both => {
+            match owning_pass(&f.stage).filter(|pass| static_validated.contains(*pass)) {
+                Some(pass) => Err(FuzzFailure {
+                    stage: f.stage.clone(),
+                    detail: format!(
+                        "static/differential disagreement: transval validated pass {pass} \
+                         but the differential oracle failed: {}",
+                        f.detail
+                    ),
+                }),
+                None => Err(f),
+            }
+        }
+        r => r,
+    }
+}
+
+fn check_differential(
+    p: &FuzzProgram,
+    arts: &CompilationArtifacts,
+    ge: &GlobalEnv,
+    entries: &[String],
+    mutant: Option<Mutant>,
+    cfg: &OracleCfg,
+) -> Result<(), FuzzFailure> {
+    // In `Static` mode the statically validated mid-end passes are not
+    // re-checked differentially — only the front end, Stacking, Asmgen
+    // and the machine-level comparisons run.
+    let skip = |s: &str| cfg.validation == Validation::Static && owning_pass(s).is_some();
     let cp = arts
         .rtl_constprop
         .as_ref()
@@ -272,7 +363,7 @@ pub fn check_program(
     if p.is_sequential() {
         let entry = &entries[0];
         let mu = Mu::identity(ge.initial_memory().dom());
-        let src = observe_seq(&ClightLang, &arts.clight, &ge, entry, cfg.seq_fuel);
+        let src = observe_seq(&ClightLang, &arts.clight, ge, entry, cfg.seq_fuel);
         if src.is_none() {
             return Err(fail(
                 "Clight",
@@ -281,12 +372,14 @@ pub fn check_program(
         }
         macro_rules! stage {
             ($name:expr, $lang:expr, $module:expr) => {
-                compare_seq(
-                    $name,
-                    &src,
-                    &observe_seq(&$lang, $module, &ge, entry, cfg.seq_fuel),
-                    &mu,
-                )?;
+                if !skip($name) {
+                    compare_seq(
+                        $name,
+                        &src,
+                        &observe_seq(&$lang, $module, ge, entry, cfg.seq_fuel),
+                        &mu,
+                    )?;
+                }
             };
         }
         stage!("Cminor", ccc_compiler::cminor::CMINOR, &arts.cminor);
@@ -350,7 +443,7 @@ pub fn check_program(
         ge.clone(),
         lock.clone(),
         lock_ge.clone(),
-        entries.clone(),
+        entries.to_vec(),
     )
     .map_err(|e| fail("Clight", format!("source link failed: {e:?}")))?;
     let src = observe_conc(&src_loaded, &cfg.explore)
@@ -361,54 +454,58 @@ pub fn check_program(
 
     macro_rules! conc_stage {
         ($name:expr, $lang:expr, $module:expr) => {{
-            let loaded = crate::link::link_with_object(
-                $lang,
-                $module.clone(),
-                ge.clone(),
-                tgt_lock.clone(),
-                lock_ge.clone(),
-                entries.clone(),
-            )
-            .map_err(|e| fail($name, format!("stage link failed: {e:?}")))?;
-            let obs = observe_conc(&loaded, &cfg.explore)
-                .map_err(|e| fail($name, format!("stage exploration failed: {e}")))?;
-            compare_conc($name, &src, &obs)?;
-            obs
+            if skip($name) {
+                None
+            } else {
+                let loaded = crate::link::link_with_object(
+                    $lang,
+                    $module.clone(),
+                    ge.clone(),
+                    tgt_lock.clone(),
+                    lock_ge.clone(),
+                    entries.to_vec(),
+                )
+                .map_err(|e| fail($name, format!("stage link failed: {e:?}")))?;
+                let obs = observe_conc(&loaded, &cfg.explore)
+                    .map_err(|e| fail($name, format!("stage exploration failed: {e}")))?;
+                compare_conc($name, &src, &obs)?;
+                Some(obs)
+            }
         }};
     }
 
-    conc_stage!("Cminor", ccc_compiler::cminor::CMINOR, &arts.cminor);
-    conc_stage!(
+    let _ = conc_stage!("Cminor", ccc_compiler::cminor::CMINOR, &arts.cminor);
+    let _ = conc_stage!(
         "CminorSel",
         ccc_compiler::cminorsel::CMINORSEL,
         &arts.cminorsel
     );
-    conc_stage!("RTL", ccc_compiler::rtl::RtlLang, &arts.rtl);
-    conc_stage!(
+    let _ = conc_stage!("RTL", ccc_compiler::rtl::RtlLang, &arts.rtl);
+    let _ = conc_stage!(
         "RTL/tailcall",
         ccc_compiler::rtl::RtlLang,
         &arts.rtl_tailcall
     );
-    conc_stage!(
+    let _ = conc_stage!(
         "RTL/renumber",
         ccc_compiler::rtl::RtlLang,
         &arts.rtl_renumber
     );
-    conc_stage!("Constprop", ccc_compiler::rtl::RtlLang, cp);
-    conc_stage!("LTL", ccc_compiler::ltl::LtlLang, &arts.ltl);
-    conc_stage!(
+    let _ = conc_stage!("Constprop", ccc_compiler::rtl::RtlLang, cp);
+    let _ = conc_stage!("LTL", ccc_compiler::ltl::LtlLang, &arts.ltl);
+    let _ = conc_stage!(
         "LTL/tunneled",
         ccc_compiler::ltl::LtlLang,
         &arts.ltl_tunneled
     );
-    conc_stage!("Linear", ccc_compiler::linear::LinearLang, &arts.linear);
-    conc_stage!(
+    let _ = conc_stage!("Linear", ccc_compiler::linear::LinearLang, &arts.linear);
+    let _ = conc_stage!(
         "Linear/clean",
         ccc_compiler::linear::LinearLang,
         &arts.linear_clean
     );
-    conc_stage!("Mach", ccc_compiler::mach::MachLang, &arts.mach);
-    let sc = conc_stage!("Asm/SC", X86Sc, &arts.asm);
+    let _ = conc_stage!("Mach", ccc_compiler::mach::MachLang, &arts.mach);
+    let sc = conc_stage!("Asm/SC", X86Sc, &arts.asm).expect("Asm/SC is never skipped");
 
     // TSO robustness: a DRF lock-disciplined client must show exactly
     // its SC behaviour on the TSO machine (Thm. of §2 / the TSO story
@@ -421,7 +518,7 @@ pub fn check_program(
                 ge.clone(),
                 tgt_lock.clone(),
                 lock_ge.clone(),
-                entries.clone(),
+                entries.to_vec(),
             )
             .map_err(|e| fail("Asm/TSO", format!("stage link failed: {e:?}")))?;
             let tso = collect_traces_preemptive(&tso_loaded, &cfg.explore)

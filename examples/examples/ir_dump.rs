@@ -4,15 +4,34 @@
 //! what the static footprint analysis infers about it.
 //!
 //! Run with: `cargo run -p ccc-examples --example ir_dump`
+//!
+//! Pass `--validate=static|diff|both` to additionally run the
+//! translation validators over this compilation and print a per-pass
+//! summary: `static` is the symbolic validator of
+//! `ccc_analysis::transval` (with differential fallback for the passes
+//! it does not cover), `diff` is the co-execution simulation check of
+//! `ccc_compiler::verif`, and `both` runs the two and reports any
+//! disagreement.
 
-use ccc_analysis::{infer_clight, infer_rtl};
+use ccc_analysis::{infer_clight, infer_rtl, validate_with_mode, Validation};
 use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
 use ccc_clight::ClightModule;
 use ccc_compiler::constprop::constprop;
 use ccc_compiler::driver::compile_with_artifacts;
 use ccc_compiler::pretty::{dump_artifacts, rtl_module};
+use ccc_core::mem::GlobalEnv;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut validate: Option<Validation> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.strip_prefix("--validate=").map(Validation::parse) {
+            Some(Some(mode)) => validate = Some(mode),
+            _ => {
+                eprintln!("usage: ir_dump [--validate=static|diff|both]");
+                std::process::exit(2);
+            }
+        }
+    }
     // sum(n) — a small function with a loop, a local, a call and a print.
     let sum = Function {
         params: vec!["n".into()],
@@ -69,5 +88,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\n(`stack` is the thread-private area; a dynamic run can only touch");
     println!("addresses inside these regions — checked for every corpus program.)");
+
+    if let Some(mode) = validate {
+        println!("\n=== Translation validation (--validate={mode:?}) ===\n");
+        let ge = GlobalEnv::new();
+        let report = validate_with_mode(&arts, &ge, "main", mode);
+        if let Some(w) = &report.witness {
+            println!("Symbolic validator (per-pass SimWitness):");
+            for sw in &w.witnesses {
+                println!("  {sw}");
+            }
+        }
+        if let Some(pv) = &report.differential {
+            println!("Differential co-execution (ccc_compiler::verif):");
+            for v in pv {
+                println!(
+                    "  pass {}: {}",
+                    v.pass,
+                    if v.ok() { "simulated OK" } else { "FAILED" }
+                );
+            }
+        }
+        if report.disagreements.is_empty() {
+            println!(
+                "\nverdict: {}",
+                if report.ok() { "accepted" } else { "REJECTED" }
+            );
+        } else {
+            println!("\nstatic/differential DISAGREEMENTS:");
+            for d in &report.disagreements {
+                println!("  {d}");
+            }
+        }
+    }
     Ok(())
 }

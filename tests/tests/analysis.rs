@@ -328,15 +328,15 @@ fn each_stage_mutation_is_caught_and_attributed() {
         let errs = lint_artifacts(&arts);
         assert!(!errs.is_empty(), "mutation in `{stage}` not caught");
         assert!(
-            errs.iter().any(|e| e.stage == *stage),
+            errs.iter().any(|e| e.pass == *stage),
             "mutation in `{stage}` attributed elsewhere: {errs:?}"
         );
         for e in &errs {
             // Constprop is recomputed from RTL/renumber inside the lint,
             // so a breakage there legitimately shows up at both stages.
-            let also_constprop = *stage == "RTL/renumber" && e.stage == CONSTPROP_STAGE;
+            let also_constprop = *stage == "RTL/renumber" && e.pass == CONSTPROP_STAGE;
             assert!(
-                e.stage == *stage || also_constprop,
+                e.pass == *stage || also_constprop,
                 "mutation in `{stage}` misattributed: {e}"
             );
         }
@@ -357,5 +357,5 @@ fn constprop_mutation_is_attributed_to_constprop() {
     f.code.insert(n, rtl::Instr::Nop(999_999));
     let errs = lint_rtl(&cp, CONSTPROP_STAGE);
     assert!(!errs.is_empty(), "Constprop mutation not caught");
-    assert!(errs.iter().all(|e| e.stage == CONSTPROP_STAGE));
+    assert!(errs.iter().all(|e| e.pass == CONSTPROP_STAGE));
 }

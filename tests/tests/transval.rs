@@ -1,0 +1,217 @@
+//! Integration gates for the symbolic translation validator
+//! (`ccc_analysis::transval`).
+//!
+//! * Zero false rejections: every clean compilation of the persisted
+//!   regression corpus and of a proptest-generated program sample
+//!   validates statically, with all seven supported mid-end passes
+//!   `Validated`.
+//! * Zero false acceptances on the seeded mutants: every RTL-family
+//!   mutant is rejected *statically* — no instruction is executed —
+//!   and the rejection is localized to the mutated pass.
+//! * Hints are untrusted: a hand-seeded unsound block matching (one
+//!   whose footprint cover would have to be over-wide) is rejected.
+//! * `Validation::Both` never disagrees with the differential
+//!   co-execution oracle on the corpus.
+
+use ccc_analysis::transval::passes::validate_rtl_matching;
+use ccc_analysis::transval::{ObligationKind, Verdict};
+use ccc_analysis::{validate_artifacts, validate_with_mode, Validation};
+use ccc_compiler::driver::compile_with_artifacts;
+use ccc_compiler::rtl::{Function as RtlFn, Instr, RtlModule};
+use ccc_compiler::{compile_with_artifacts_mutated, Mutant};
+use ccc_fuzz::{gen_program, lower, CorpusEntry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn corpus_entries() -> Vec<(PathBuf, CorpusEntry)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|d| d.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable corpus file");
+            let entry =
+                CorpusEntry::from_text(&text).unwrap_or_else(|e| panic!("{}: {e:?}", p.display()));
+            (p, entry)
+        })
+        .collect()
+}
+
+/// The seven passes the symbolic validator covers, with the mutant
+/// that corrupts each.
+const RTL_FAMILY: [(Mutant, &str); 7] = [
+    (Mutant::Tailcall, "Tailcall"),
+    (Mutant::Renumber, "Renumber"),
+    (Mutant::Constprop, "Constprop"),
+    (Mutant::Allocation, "Allocation"),
+    (Mutant::Tunneling, "Tunneling"),
+    (Mutant::Linearize, "Linearize"),
+    (Mutant::CleanupLabels, "CleanupLabels"),
+];
+
+#[test]
+fn corpus_accepts_statically_with_seven_passes_validated() {
+    let entries = corpus_entries();
+    assert!(entries.len() >= 13, "corpus incomplete: {}", entries.len());
+    for (path, entry) in &entries {
+        let (m, _ge, _entries) = lower(&entry.program);
+        // The extended pipeline (with the Constprop stage) — the same
+        // one the fuzz oracle validates.
+        let arts = compile_with_artifacts_mutated(&m, None)
+            .unwrap_or_else(|e| panic!("{}: clean compile failed: {e:?}", path.display()));
+        let w = validate_artifacts(&arts);
+        assert!(w.ok(), "{}: false rejection:\n{w}", path.display());
+        let validated = w
+            .witnesses
+            .iter()
+            .filter(|sw| sw.verdict == Verdict::Validated)
+            .count();
+        assert!(
+            validated >= 7,
+            "{}: only {validated} passes statically validated:\n{w}",
+            path.display()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Zero false rejections over generated programs: any clean
+    // compilation's artifacts must discharge all obligations.
+    #[test]
+    fn generated_programs_accept_statically(seed in 0u64..1_000_000, size in 0u32..8) {
+        let p = gen_program(seed, size);
+        let (m, _ge, _entries) = lower(&p);
+        let arts = compile_with_artifacts_mutated(&m, None).expect("generated programs compile");
+        let w = validate_artifacts(&arts);
+        prop_assert!(w.ok(), "false rejection on seed {seed}/{size}:\n{w}");
+    }
+}
+
+#[test]
+fn rtl_family_mutants_rejected_statically() {
+    for (mutant, pass) in RTL_FAMILY {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("corpus")
+            .join(format!("kill_{}.txt", pass.to_lowercase()));
+        let text = std::fs::read_to_string(&path).expect("corpus killer exists");
+        let entry = CorpusEntry::from_text(&text).expect("parses");
+        let (m, _ge, _entries) = lower(&entry.program);
+        let arts =
+            compile_with_artifacts_mutated(&m, Some(mutant)).expect("mutated pipeline compiles");
+        let w = validate_artifacts(&arts);
+        let rejected: Vec<_> = w.rejected().collect();
+        assert!(
+            !rejected.is_empty(),
+            "{mutant:?} slipped past the static validator"
+        );
+        assert_eq!(
+            rejected[0].pass, pass,
+            "{mutant:?} rejected at the wrong pass:\n{w}"
+        );
+    }
+}
+
+#[test]
+fn unsound_matching_with_overwide_footprint_is_rejected() {
+    // Source: f() { r1 := 1; return r1 } — no memory effects at all.
+    let mut src = RtlModule::default();
+    src.funcs.insert(
+        "f".into(),
+        RtlFn {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(ccc_compiler::ops::Op::Const(1), vec![], 1, 1)),
+                (1, Instr::Return(Some(1))),
+            ]),
+        },
+    );
+    // Target: f() { r1 := [g+0]; return r1 } — reads a global the
+    // source never touches. Any matching claiming this refines the
+    // source needs an over-wide footprint cover; the validator must
+    // refuse to discharge it.
+    let mut tgt = RtlModule::default();
+    tgt.funcs.insert(
+        "f".into(),
+        RtlFn {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (
+                    0,
+                    Instr::Load(ccc_compiler::ops::AddrMode::Global("g".into(), 0), 1, 1),
+                ),
+                (1, Instr::Return(Some(1))),
+            ]),
+        },
+    );
+    let matching = BTreeMap::from([("f".to_string(), BTreeMap::from([(0u32, 0u32), (1, 1)]))]);
+    let w = validate_rtl_matching("Renumber", &src, &tgt, &matching);
+    assert_eq!(w.verdict, Verdict::Rejected);
+    assert!(
+        w.obligations
+            .iter()
+            .any(|o| o.kind == ObligationKind::FootprintCover && !o.discharged),
+        "expected an undischarged FootprintCover obligation:\n{w}"
+    );
+}
+
+#[test]
+fn static_board_kills_every_rtl_family_mutant_on_corpus() {
+    // The 13-mutant board over the persisted corpus witnesses: every
+    // RTL-family mutant must die statically; the front-end/back-end
+    // mutants (and the object-level IdTrans) still need the dynamic
+    // oracle, and exactly those.
+    let witnesses: Vec<_> = Mutant::ALL
+        .iter()
+        .map(|&m| {
+            let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("corpus")
+                .join(format!("kill_{m:?}.txt").to_lowercase());
+            let text = std::fs::read_to_string(&path).expect("corpus killer exists");
+            (m, CorpusEntry::from_text(&text).expect("parses").program)
+        })
+        .collect();
+    let board = ccc_fuzz::transval_corpus_board(&witnesses);
+    let statically_killed: Vec<_> = board
+        .iter()
+        .filter(|k| k.killed())
+        .map(|k| k.mutant)
+        .collect();
+    let rtl_family: Vec<_> = RTL_FAMILY.iter().map(|(m, _)| *m).collect();
+    assert_eq!(
+        statically_killed,
+        rtl_family,
+        "static board:\n{}",
+        ccc_fuzz::static_board_markdown(&board)
+    );
+}
+
+#[test]
+fn both_mode_never_disagrees_on_corpus() {
+    for (path, entry) in corpus_entries() {
+        let (m, ge, entries) = lower(&entry.program);
+        let arts = compile_with_artifacts(&m).expect("clean compile");
+        for f in &entries {
+            let report = validate_with_mode(&arts, &ge, f, Validation::Both);
+            assert!(
+                report.disagreements.is_empty(),
+                "{} ({f}): static/differential disagreement: {:?}",
+                path.display(),
+                report.disagreements
+            );
+            assert!(report.ok(), "{} ({f}): rejected", path.display());
+        }
+    }
+}
