@@ -25,9 +25,11 @@
 //!   basic blocks are executed symbolically and per-block simulation
 //!   obligations (effect-trace refinement, footprint cover per
 //!   Defs. 10–11, post-state agreement, control match) are discharged,
-//!   guided by untrusted structural hints the passes expose. Seven
-//!   mid-end passes are covered statically; the rest fall back to the
-//!   differential co-execution of `ccc_compiler::verif`.
+//!   guided by untrusted structural hints the passes expose. Every
+//!   pipeline stage is covered statically — the cross-IR front end and
+//!   back end by lockstep symbolic evaluation and re-derivation
+//!   hints, the object-level `IdTrans` by atomic-shape preservation —
+//!   so `Validation::Static` needs no differential fallback.
 //!
 //! * **TSO robustness** ([`asm_cfg`], [`tso_robust`]): a Shasha–Snir
 //!   critical-cycle analysis over per-thread assembly CFGs deciding
@@ -58,6 +60,7 @@ pub use lockset::{
 };
 pub use region::{AbsFootprint, AbsVal, Region};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};
+pub use transval::object::validate_id_trans;
 pub use transval::{
     validate_artifacts, validate_with_mode, PipelineWitness, SimWitness, Validation,
     ValidationReport,

@@ -1,0 +1,248 @@
+//! Cross-IR symbolic validators for RTLgen and the two back-end
+//! passes (Stacking, Asmgen).
+//!
+//! All three passes change the *shape* of the program (tree → graph,
+//! locations → frame slots, three-address code → two-address machine
+//! instructions), so instead of a lockstep walk the validator uses the
+//! pass's own reference transformation as an **untrusted hint**: it
+//! re-derives the expected output and validates the actual output
+//! against the prediction. For RTLgen the prediction feeds the full
+//! block-matching symbolic engine of [`super::passes`] — every matched
+//! node pair is symbolically executed and its refinement obligations
+//! discharged, so a wrong prediction can only cause a false rejection.
+//! For Stacking and Asmgen, where the reference expansion is
+//! deterministic and instruction-by-instruction, the prediction is
+//! checked by [`ObligationKind::CodeEqual`], and two *independent*
+//! obligations are discharged directly on the actual code, untrusted
+//! by the hint:
+//!
+//! * [`ObligationKind::FrameCover`] — every static frame access stays
+//!   inside the declared frame region (Def. 10's footprint condition
+//!   for the private stack block);
+//! * flag discipline (reported as [`ObligationKind::ControlMatch`]) —
+//!   every `Jcc`/`Setcc` consumes flags set by an *immediately*
+//!   preceding `Cmp`, so no conditional ever reads stale flags.
+
+use super::passes::{check_same_funcs, validate_rtl_matching, Obls};
+use super::{ObligationKind, SimWitness};
+use ccc_compiler::cminorsel::CminorSelModule;
+use ccc_compiler::linear::LinearModule;
+use ccc_compiler::mach::{Instr as MIn, MachModule};
+use ccc_compiler::ops::AddrMode;
+use ccc_compiler::rtl::RtlModule;
+use ccc_compiler::{asmgen, rtlgen, stacking};
+use ccc_machine::{AsmModule, Instr as AIn, MemArg};
+use std::collections::BTreeMap;
+
+/// Validates one RTLgen translation (CminorSel → RTL).
+///
+/// The reference generator predicts each function's translation; the
+/// identity node matching between prediction and actual output is then
+/// validated by the same per-block symbolic engine used for the
+/// mid-end passes. Node numbering is part of the prediction, so a
+/// translation that evaluates the right expressions at the wrong nodes
+/// is rejected by `ControlMatch`, and one that computes the wrong
+/// value at the right node is rejected by `PostState`/`EffectsRefine`.
+#[must_use]
+pub fn validate_rtlgen(src: &CminorSelModule, tgt: &RtlModule) -> SimWitness {
+    let mut predicted = RtlModule::default();
+    for (name, f) in &src.funcs {
+        predicted
+            .funcs
+            .insert(name.clone(), rtlgen::translate_function(f));
+    }
+    let matchings: BTreeMap<String, BTreeMap<u32, u32>> = predicted
+        .funcs
+        .iter()
+        .map(|(n, f)| (n.clone(), f.code.keys().map(|&k| (k, k)).collect()))
+        .collect();
+    validate_rtl_matching("RTLgen", &predicted, tgt, &matchings)
+}
+
+/// Validates one Stacking translation (Linear → Mach).
+#[must_use]
+pub fn validate_stacking(src: &LinearModule, tgt: &MachModule) -> SimWitness {
+    let mut o = Obls::new();
+    check_same_funcs(
+        &mut o,
+        src.funcs.keys().collect(),
+        tgt.funcs.keys().collect(),
+    );
+    for (name, sf) in &src.funcs {
+        let Some(tf) = tgt.funcs.get(name) else {
+            continue;
+        };
+        o.blocks += tf.code.len();
+        o.check(
+            ObligationKind::InterfacePreserved,
+            name,
+            None,
+            tf.frame_slots == sf.stack_slots + u64::from(sf.spill_slots)
+                && tf.arity == sf.params.len(),
+            || {
+                format!(
+                    "interface differs: frame {} vs {}+{}, arity {} vs {}",
+                    tf.frame_slots,
+                    sf.stack_slots,
+                    sf.spill_slots,
+                    tf.arity,
+                    sf.params.len()
+                )
+            },
+        );
+        // Frame cover, checked on the actual code independently of the
+        // re-derivation: every static frame access (source slots and
+        // spill area alike) stays inside the declared frame.
+        for (i, instr) in tf.code.iter().enumerate() {
+            let off = match instr {
+                MIn::Load(AddrMode::Stack(o), _) | MIn::Store(AddrMode::Stack(o), _) => Some(*o),
+                _ => None,
+            };
+            if let Some(off) = off {
+                #[allow(clippy::cast_possible_truncation)]
+                o.check(
+                    ObligationKind::FrameCover,
+                    name,
+                    Some(i as u32),
+                    off < tf.frame_slots,
+                    || {
+                        format!(
+                            "frame access at slot {off} outside frame of {}",
+                            tf.frame_slots
+                        )
+                    },
+                );
+            }
+        }
+        match stacking::transform_function(sf) {
+            Ok(pred) => {
+                let diff = pred
+                    .code
+                    .iter()
+                    .zip(&tf.code)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| pred.code.len().min(tf.code.len()));
+                o.check(
+                    ObligationKind::CodeEqual,
+                    name,
+                    None,
+                    pred.code == tf.code,
+                    || {
+                        format!(
+                            "diverges from the reference expansion at instruction {diff}: \
+                             expected {:?}, found {:?}",
+                            pred.code.get(diff),
+                            tf.code.get(diff)
+                        )
+                    },
+                );
+            }
+            Err(e) => {
+                o.check(ObligationKind::CodeEqual, name, None, false, || {
+                    format!("reference expansion failed: {e}")
+                });
+            }
+        }
+    }
+    o.into_witness("Stacking")
+}
+
+/// Validates one Asmgen translation (Mach → x86 Asm).
+#[must_use]
+pub fn validate_asmgen(src: &MachModule, tgt: &AsmModule) -> SimWitness {
+    let mut o = Obls::new();
+    check_same_funcs(
+        &mut o,
+        src.funcs.keys().collect(),
+        tgt.funcs.keys().collect(),
+    );
+    for (name, sf) in &src.funcs {
+        let Some(tf) = tgt.funcs.get(name) else {
+            continue;
+        };
+        o.blocks += tf.code.len();
+        o.check(
+            ObligationKind::InterfacePreserved,
+            name,
+            None,
+            tf.frame_slots == sf.frame_slots && tf.arity == sf.arity,
+            || {
+                format!(
+                    "interface differs: frame {} vs {}, arity {} vs {}",
+                    tf.frame_slots, sf.frame_slots, tf.arity, sf.arity
+                )
+            },
+        );
+        for (i, instr) in tf.code.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let node = Some(i as u32);
+            // Flag discipline: conditionals consume flags set by the
+            // instruction immediately before them.
+            if matches!(instr, AIn::Jcc(..) | AIn::Setcc(..)) {
+                let prev_is_cmp =
+                    i > 0 && matches!(tf.code[i - 1], AIn::Cmp(..) | AIn::LockCmpxchg(..));
+                o.check(
+                    ObligationKind::ControlMatch,
+                    name,
+                    node,
+                    prev_is_cmp,
+                    || format!("{instr:?} reads flags not set by an immediately preceding cmp"),
+                );
+            }
+            // Frame cover on the actual code.
+            let off = match instr {
+                AIn::Load(_, m) | AIn::Lea(_, m) | AIn::Store(m, _) | AIn::LockCmpxchg(m, _) => {
+                    match m {
+                        MemArg::Stack(o) => Some(*o),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(off) = off {
+                o.check(
+                    ObligationKind::FrameCover,
+                    name,
+                    node,
+                    off < tf.frame_slots,
+                    || {
+                        format!(
+                            "frame access at slot {off} outside frame of {}",
+                            tf.frame_slots
+                        )
+                    },
+                );
+            }
+        }
+        match asmgen::transform_function(sf) {
+            Ok(pred) => {
+                let diff = pred
+                    .code
+                    .iter()
+                    .zip(&tf.code)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| pred.code.len().min(tf.code.len()));
+                o.check(
+                    ObligationKind::CodeEqual,
+                    name,
+                    None,
+                    pred.code == tf.code,
+                    || {
+                        format!(
+                            "diverges from the reference lowering at instruction {diff}: \
+                             expected {:?}, found {:?}",
+                            pred.code.get(diff),
+                            tf.code.get(diff)
+                        )
+                    },
+                );
+            }
+            Err(e) => {
+                o.check(ObligationKind::CodeEqual, name, None, false, || {
+                    format!("reference lowering failed: {e}")
+                });
+            }
+        }
+    }
+    o.into_witness("Asmgen")
+}

@@ -1,0 +1,628 @@
+//! Cross-IR symbolic validators for the two front-end passes:
+//! Cshmgen/Cminorgen (Clight → Cminor) and Selection (Cminor →
+//! CminorSel).
+//!
+//! Both passes are structure-preserving on the statement layer, so the
+//! validator walks the two statement trees in lockstep and discharges
+//! an [`ObligationKind::ExprSem`] obligation per corresponding
+//! expression: the symbolic value of the source expression must equal
+//! the symbolic value of its translation. Expressions are evaluated
+//! against a *shared* read memo — the k-th distinct address read within
+//! one statement pair denotes [`SymVal::MemRead`]`(k)` on both sides —
+//! which is sound because expressions perform no writes, so every read
+//! of a statement pair sees the same entry memory.
+//!
+//! The Cminorgen validator additionally consumes the untrusted
+//! frame-layout hint of [`ccc_compiler::cminorgen::slot_layout`]. The
+//! hint is checked to be an injective, in-frame layout of exactly the
+//! declared locals ([`ObligationKind::FrameCover`]) — an injective
+//! in-frame layout is a bijective renaming of the source's local cells,
+//! the paper's memory injection (§4) in miniature — so a wrong hint can
+//! only cause a false rejection, never mask a wrong translation.
+
+use super::passes::{check_same_funcs, Obls};
+use super::sym::{eval_op, SLoc, SymAddr, SymVal};
+use super::{ObligationKind, SimWitness};
+use ccc_clight::ast::{Binop, ClightModule, Expr as ClExpr, Stmt as ClStmt, Unop};
+use ccc_compiler::cminor::{CminorModule, Expr as CmExpr};
+use ccc_compiler::cminorgen::slot_layout;
+use ccc_compiler::cminorsel::{CminorSelModule, Expr as SelExpr};
+use ccc_compiler::ops::{AddrMode, Cmp, Op};
+use ccc_compiler::rtl::PReg;
+use ccc_compiler::stmt_sem::Stmt as GStmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Interns temporary names so both sides denote the same temp by the
+/// same symbolic location. Scoped to one function pair.
+#[derive(Default)]
+struct Temps {
+    map: BTreeMap<String, PReg>,
+}
+
+impl Temps {
+    fn get(&mut self, name: &str) -> SymVal {
+        let next = self.map.len() as PReg;
+        let r = *self.map.entry(name.to_string()).or_insert(next);
+        SymVal::Init(SLoc::PReg(r))
+    }
+}
+
+/// Per-statement-pair read memo: reads of equal addresses yield equal
+/// symbolic values on both sides.
+#[derive(Default)]
+struct Mem {
+    addrs: Vec<SymAddr>,
+}
+
+impl Mem {
+    fn read(&mut self, a: SymAddr) -> SymVal {
+        if let Some(i) = self.addrs.iter().position(|x| *x == a) {
+            return SymVal::MemRead(i);
+        }
+        self.addrs.push(a);
+        SymVal::MemRead(self.addrs.len() - 1)
+    }
+}
+
+/// Shared evaluation state of one statement pair, plus the per-side
+/// read sets for the footprint-cover obligation.
+struct Pair<'a> {
+    temps: &'a mut Temps,
+    mem: Mem,
+    src_reads: Vec<SymAddr>,
+    tgt_reads: Vec<SymAddr>,
+}
+
+impl<'a> Pair<'a> {
+    fn new(temps: &'a mut Temps) -> Pair<'a> {
+        Pair {
+            temps,
+            mem: Mem::default(),
+            src_reads: Vec::new(),
+            tgt_reads: Vec::new(),
+        }
+    }
+
+    fn read(&mut self, src_side: bool, a: SymAddr) -> SymVal {
+        if src_side {
+            self.src_reads.push(a.clone());
+        } else {
+            self.tgt_reads.push(a.clone());
+        }
+        self.mem.read(a)
+    }
+
+    /// Target reads ⊆ source reads (a fold may *shrink* the footprint,
+    /// never widen it).
+    fn check_cover(&self, o: &mut Obls, fname: &str, what: &str) {
+        let uncovered: Vec<&SymAddr> = self
+            .tgt_reads
+            .iter()
+            .filter(|a| !self.src_reads.contains(a))
+            .collect();
+        o.check(
+            ObligationKind::FootprintCover,
+            fname,
+            None,
+            uncovered.is_empty(),
+            || format!("{what}: target reads {uncovered:?} outside the source read set"),
+        );
+    }
+}
+
+fn op_of_binop(op: Binop) -> Op {
+    match op {
+        Binop::Add => Op::Add,
+        Binop::Sub => Op::Sub,
+        Binop::Mul => Op::Mul,
+        Binop::Div => Op::Div,
+        Binop::Eq => Op::Cmp(Cmp::Eq),
+        Binop::Ne => Op::Cmp(Cmp::Ne),
+        Binop::Lt => Op::Cmp(Cmp::Lt),
+        Binop::Le => Op::Cmp(Cmp::Le),
+        Binop::Gt => Op::Cmp(Cmp::Gt),
+        Binop::Ge => Op::Cmp(Cmp::Ge),
+        Binop::And => Op::And,
+        Binop::Or => Op::Or,
+        Binop::Xor => Op::Xor,
+    }
+}
+
+fn op_of_unop(op: Unop) -> Op {
+    match op {
+        Unop::Neg => Op::Neg,
+        Unop::Not => Op::Not,
+    }
+}
+
+/// The `e * 0 → 0` strength reduction Selection performs, applied on
+/// both sides so a footprint-shrinking fold still compares equal.
+/// ([`eval_op`] normalizes commutative operands to put the constant
+/// second, so checking the last argument suffices.)
+fn simplify(v: SymVal) -> SymVal {
+    if let SymVal::Term(Op::Mul, args) = &v {
+        if args.last() == Some(&SymVal::Int(0)) {
+            return SymVal::Int(0);
+        }
+    }
+    v
+}
+
+/// Normalizes an address-valued symbolic term into a [`SymAddr`]:
+/// constant offsets of globals and frame slots fold into the base, so
+/// `&g + 2 + 3` and `Global(g, 5)` denote the same address on both
+/// sides.
+fn norm_addr(v: SymVal) -> SymAddr {
+    match v {
+        SymVal::GlobalAddr(g, o) => SymAddr::Global(g, o),
+        SymVal::StackAddr(n) => SymAddr::Stack(n),
+        SymVal::Term(Op::Add, args) if args.len() == 2 => {
+            if let SymVal::Int(d) = args[1] {
+                let mut it = args.into_iter();
+                let base = it.next().expect("two args");
+                return offset_addr(norm_addr(base), d);
+            }
+            SymAddr::Based(SymVal::Term(Op::Add, args), 0)
+        }
+        other => SymAddr::Based(other, 0),
+    }
+}
+
+/// Shifts a normalized address by a constant displacement, keeping
+/// integer bases canonical (absolute address, zero displacement).
+fn offset_addr(a: SymAddr, d: i64) -> SymAddr {
+    match a {
+        SymAddr::Global(g, o) => SymAddr::Global(g, o.wrapping_add(d as u64)),
+        SymAddr::Stack(n) => SymAddr::Stack(n.wrapping_add(d as u64)),
+        SymAddr::Based(SymVal::Int(k), d0) => {
+            SymAddr::Based(SymVal::Int(k.wrapping_add(d0).wrapping_add(d)), 0)
+        }
+        SymAddr::Based(v, d0) => SymAddr::Based(v, d0.wrapping_add(d)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluators (one per IR)
+// ---------------------------------------------------------------------
+
+/// The address a Clight lvalue denotes, per the frame-layout hint.
+fn clight_addr(
+    e: &ClExpr,
+    slots: &BTreeMap<String, u64>,
+    p: &mut Pair<'_>,
+) -> Result<SymAddr, String> {
+    match e {
+        ClExpr::Var(x) => Ok(match slots.get(x) {
+            Some(&s) => SymAddr::Stack(s),
+            None => SymAddr::Global(x.clone(), 0),
+        }),
+        ClExpr::Deref(inner) => Ok(norm_addr(clight_val(inner, slots, p)?)),
+        other => Err(format!("not an lvalue: {other:?}")),
+    }
+}
+
+fn clight_val(
+    e: &ClExpr,
+    slots: &BTreeMap<String, u64>,
+    p: &mut Pair<'_>,
+) -> Result<SymVal, String> {
+    Ok(match e {
+        ClExpr::Const(i) => SymVal::Int(*i),
+        ClExpr::Temp(t) => p.temps.get(t),
+        ClExpr::Var(_) | ClExpr::Deref(_) => {
+            let a = clight_addr(e, slots, p)?;
+            p.read(true, a)
+        }
+        // `&x` / `&*e`: mirror the translation's address arithmetic.
+        ClExpr::Addrof(lv) => match lv.as_ref() {
+            ClExpr::Var(x) => match slots.get(x) {
+                Some(&s) => SymVal::StackAddr(s),
+                None => SymVal::GlobalAddr(x.clone(), 0),
+            },
+            ClExpr::Deref(inner) => clight_val(inner, slots, p)?,
+            other => return Err(format!("not an lvalue: {other:?}")),
+        },
+        ClExpr::Unop(op, a) => {
+            let va = clight_val(a, slots, p)?;
+            simplify(eval_op(&op_of_unop(*op), vec![va]))
+        }
+        ClExpr::Binop(op, a, b) => {
+            let va = clight_val(a, slots, p)?;
+            let vb = clight_val(b, slots, p)?;
+            simplify(eval_op(&op_of_binop(*op), vec![va, vb]))
+        }
+    })
+}
+
+fn cminor_val(e: &CmExpr, src_side: bool, p: &mut Pair<'_>) -> SymVal {
+    match e {
+        CmExpr::Const(i) => SymVal::Int(*i),
+        CmExpr::Temp(t) => p.temps.get(t),
+        CmExpr::AddrGlobal(g) => SymVal::GlobalAddr(g.clone(), 0),
+        CmExpr::AddrStack(n) => SymVal::StackAddr(*n),
+        CmExpr::Load(a) => {
+            let addr = norm_addr(cminor_val(a, src_side, p));
+            p.read(src_side, addr)
+        }
+        CmExpr::Unop(op, a) => {
+            let va = cminor_val(a, src_side, p);
+            simplify(eval_op(&op_of_unop(*op), vec![va]))
+        }
+        CmExpr::Binop(op, a, b) => {
+            let va = cminor_val(a, src_side, p);
+            let vb = cminor_val(b, src_side, p);
+            simplify(eval_op(&op_of_binop(*op), vec![va, vb]))
+        }
+    }
+}
+
+fn sel_addr(am: &AddrMode<Box<SelExpr>>, p: &mut Pair<'_>) -> SymAddr {
+    match am {
+        AddrMode::Global(g, o) => SymAddr::Global(g.clone(), *o),
+        AddrMode::Stack(n) => SymAddr::Stack(*n),
+        AddrMode::Based(e, d) => offset_addr(norm_addr(sel_val(e, p)), *d),
+    }
+}
+
+fn sel_val(e: &SelExpr, p: &mut Pair<'_>) -> SymVal {
+    match e {
+        SelExpr::Temp(t) => p.temps.get(t),
+        SelExpr::Op(op, args) => {
+            let vals: Vec<SymVal> = args.iter().map(|a| sel_val(a, p)).collect();
+            simplify(eval_op(op, vals))
+        }
+        SelExpr::Load(am) => {
+            let addr = sel_addr(am, p);
+            p.read(false, addr)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The lockstep statement walkers
+// ---------------------------------------------------------------------
+
+fn check_val_eq(o: &mut Obls, fname: &str, what: &str, sv: &SymVal, tv: &SymVal) {
+    o.check(ObligationKind::ExprSem, fname, None, sv == tv, || {
+        format!("{what}: source evaluates to {sv:?} but target to {tv:?}")
+    });
+}
+
+fn check_addr_eq(o: &mut Obls, fname: &str, what: &str, sa: &SymAddr, ta: &SymAddr) {
+    o.check(ObligationKind::ExprSem, fname, None, sa == ta, || {
+        format!("{what}: source address is {sa:?} but target address is {ta:?}")
+    });
+}
+
+fn shape_fail(o: &mut Obls, fname: &str, s: &dyn std::fmt::Debug, t: &dyn std::fmt::Debug) {
+    o.check(ObligationKind::ControlMatch, fname, None, false, || {
+        format!("statement shapes differ: {s:?} vs {t:?}")
+    });
+}
+
+/// Lockstep walk for Cshmgen/Cminorgen: Clight statements against
+/// their Cminor translations. A source lvalue error (stuck source)
+/// surfaces as a failed `ExprSem` obligation.
+fn walk_cminorgen(
+    o: &mut Obls,
+    fname: &str,
+    slots: &BTreeMap<String, u64>,
+    temps: &mut Temps,
+    s: &ClStmt,
+    t: &GStmt<CmExpr>,
+) {
+    o.blocks += 1;
+    match (s, t) {
+        (ClStmt::Skip, GStmt::Skip)
+        | (ClStmt::Break, GStmt::Break)
+        | (ClStmt::Continue, GStmt::Continue)
+        | (ClStmt::Return(None), GStmt::Return(None)) => {}
+        (ClStmt::Set(x, e), GStmt::Set(y, te)) => {
+            o.check(ObligationKind::ControlMatch, fname, None, x == y, || {
+                format!("set targets differ: {x} vs {y}")
+            });
+            let mut p = Pair::new(temps);
+            match clight_val(e, slots, &mut p) {
+                Ok(sv) => {
+                    let tv = cminor_val(te, false, &mut p);
+                    check_val_eq(o, fname, "set", &sv, &tv);
+                    p.check_cover(o, fname, "set");
+                }
+                Err(msg) => stuck(o, fname, "set", &msg),
+            }
+        }
+        (ClStmt::Assign(lv, rv), GStmt::Store(ta, tv)) => {
+            let mut p = Pair::new(temps);
+            let src = clight_addr(lv, slots, &mut p)
+                .and_then(|sa| clight_val(rv, slots, &mut p).map(|sv| (sa, sv)));
+            match src {
+                Ok((sa, sv)) => {
+                    let taddr = norm_addr(cminor_val(ta, false, &mut p));
+                    let tval = cminor_val(tv, false, &mut p);
+                    check_addr_eq(o, fname, "assign", &sa, &taddr);
+                    check_val_eq(o, fname, "assign", &sv, &tval);
+                    p.check_cover(o, fname, "assign");
+                }
+                Err(msg) => stuck(o, fname, "assign", &msg),
+            }
+        }
+        (ClStmt::Call(d, f, args), GStmt::Call(td, tf, targs)) => {
+            let iface = d == td && f == tf && args.len() == targs.len();
+            o.check(ObligationKind::ControlMatch, fname, None, iface, || {
+                format!(
+                    "call shapes differ: {d:?} = {f}/{} vs {td:?} = {tf}/{}",
+                    args.len(),
+                    targs.len()
+                )
+            });
+            if iface {
+                let mut p = Pair::new(temps);
+                let svs: Result<Vec<SymVal>, String> =
+                    args.iter().map(|a| clight_val(a, slots, &mut p)).collect();
+                match svs {
+                    Ok(svs) => {
+                        let tvs: Vec<SymVal> =
+                            targs.iter().map(|a| cminor_val(a, false, &mut p)).collect();
+                        for (sv, tv) in svs.iter().zip(&tvs) {
+                            check_val_eq(o, fname, "call arg", sv, tv);
+                        }
+                        p.check_cover(o, fname, "call");
+                    }
+                    Err(msg) => stuck(o, fname, "call", &msg),
+                }
+            }
+        }
+        (ClStmt::Print(e), GStmt::Print(te)) => {
+            single_cminorgen(o, fname, "print", slots, temps, e, te);
+        }
+        (ClStmt::Seq(ss), GStmt::Seq(ts)) => {
+            o.check(
+                ObligationKind::ControlMatch,
+                fname,
+                None,
+                ss.len() == ts.len(),
+                || format!("sequence lengths differ: {} vs {}", ss.len(), ts.len()),
+            );
+            for (a, b) in ss.iter().zip(ts) {
+                walk_cminorgen(o, fname, slots, temps, a, b);
+            }
+        }
+        (ClStmt::If(c, a, b), GStmt::If(tc, ta, tb)) => {
+            single_cminorgen(o, fname, "if cond", slots, temps, c, tc);
+            walk_cminorgen(o, fname, slots, temps, a, ta);
+            walk_cminorgen(o, fname, slots, temps, b, tb);
+        }
+        (ClStmt::While(c, b), GStmt::While(tc, tb)) => {
+            single_cminorgen(o, fname, "while cond", slots, temps, c, tc);
+            walk_cminorgen(o, fname, slots, temps, b, tb);
+        }
+        (ClStmt::Return(Some(e)), GStmt::Return(Some(te))) => {
+            single_cminorgen(o, fname, "return", slots, temps, e, te);
+        }
+        (s, t) => shape_fail(o, fname, s, t),
+    }
+}
+
+fn stuck(o: &mut Obls, fname: &str, what: &str, msg: &str) {
+    o.check(ObligationKind::ExprSem, fname, None, false, || {
+        format!("{what}: source expression stuck: {msg}")
+    });
+}
+
+fn single_cminorgen(
+    o: &mut Obls,
+    fname: &str,
+    what: &str,
+    slots: &BTreeMap<String, u64>,
+    temps: &mut Temps,
+    e: &ClExpr,
+    te: &CmExpr,
+) {
+    let mut p = Pair::new(temps);
+    match clight_val(e, slots, &mut p) {
+        Ok(sv) => {
+            let tv = cminor_val(te, false, &mut p);
+            check_val_eq(o, fname, what, &sv, &tv);
+            p.check_cover(o, fname, what);
+        }
+        Err(msg) => stuck(o, fname, what, &msg),
+    }
+}
+
+/// Lockstep walk for Selection: Cminor statements against their
+/// CminorSel translations.
+fn walk_selection(
+    o: &mut Obls,
+    fname: &str,
+    temps: &mut Temps,
+    s: &GStmt<CmExpr>,
+    t: &GStmt<SelExpr>,
+) {
+    o.blocks += 1;
+    match (s, t) {
+        (GStmt::Skip, GStmt::Skip)
+        | (GStmt::Break, GStmt::Break)
+        | (GStmt::Continue, GStmt::Continue)
+        | (GStmt::Return(None), GStmt::Return(None)) => {}
+        (GStmt::Set(x, e), GStmt::Set(y, te)) => {
+            o.check(ObligationKind::ControlMatch, fname, None, x == y, || {
+                format!("set targets differ: {x} vs {y}")
+            });
+            single_selection(o, fname, "set", temps, e, te);
+        }
+        (GStmt::Store(a, v), GStmt::Store(ta, tv)) => {
+            let mut p = Pair::new(temps);
+            let sa = norm_addr(cminor_val(a, true, &mut p));
+            let sv = cminor_val(v, true, &mut p);
+            let taddr = norm_addr(sel_val(ta, &mut p));
+            let tval = sel_val(tv, &mut p);
+            check_addr_eq(o, fname, "store", &sa, &taddr);
+            check_val_eq(o, fname, "store", &sv, &tval);
+            p.check_cover(o, fname, "store");
+        }
+        (GStmt::Call(d, f, args), GStmt::Call(td, tf, targs)) => {
+            let iface = d == td && f == tf && args.len() == targs.len();
+            o.check(ObligationKind::ControlMatch, fname, None, iface, || {
+                format!(
+                    "call shapes differ: {d:?} = {f}/{} vs {td:?} = {tf}/{}",
+                    args.len(),
+                    targs.len()
+                )
+            });
+            if iface {
+                let mut p = Pair::new(temps);
+                let svs: Vec<SymVal> = args.iter().map(|a| cminor_val(a, true, &mut p)).collect();
+                let tvs: Vec<SymVal> = targs.iter().map(|a| sel_val(a, &mut p)).collect();
+                for (sv, tv) in svs.iter().zip(&tvs) {
+                    check_val_eq(o, fname, "call arg", sv, tv);
+                }
+                p.check_cover(o, fname, "call");
+            }
+        }
+        (GStmt::Print(e), GStmt::Print(te)) => {
+            single_selection(o, fname, "print", temps, e, te);
+        }
+        (GStmt::Seq(ss), GStmt::Seq(ts)) => {
+            o.check(
+                ObligationKind::ControlMatch,
+                fname,
+                None,
+                ss.len() == ts.len(),
+                || format!("sequence lengths differ: {} vs {}", ss.len(), ts.len()),
+            );
+            for (a, b) in ss.iter().zip(ts) {
+                walk_selection(o, fname, temps, a, b);
+            }
+        }
+        (GStmt::If(c, a, b), GStmt::If(tc, ta, tb)) => {
+            single_selection(o, fname, "if cond", temps, c, tc);
+            walk_selection(o, fname, temps, a, ta);
+            walk_selection(o, fname, temps, b, tb);
+        }
+        (GStmt::While(c, b), GStmt::While(tc, tb)) => {
+            single_selection(o, fname, "while cond", temps, c, tc);
+            walk_selection(o, fname, temps, b, tb);
+        }
+        (GStmt::Return(Some(e)), GStmt::Return(Some(te))) => {
+            single_selection(o, fname, "return", temps, e, te);
+        }
+        (s, t) => shape_fail(o, fname, s, t),
+    }
+}
+
+fn single_selection(
+    o: &mut Obls,
+    fname: &str,
+    what: &str,
+    temps: &mut Temps,
+    e: &CmExpr,
+    te: &SelExpr,
+) {
+    let mut p = Pair::new(temps);
+    let sv = cminor_val(e, true, &mut p);
+    let tv = sel_val(te, &mut p);
+    check_val_eq(o, fname, what, &sv, &tv);
+    p.check_cover(o, fname, what);
+}
+
+// ---------------------------------------------------------------------
+// The public validators
+// ---------------------------------------------------------------------
+
+/// Validates one Cshmgen/Cminorgen translation symbolically.
+///
+/// Obligations: same function set; per function, interface preservation
+/// (parameters and declared frame size), frame-layout hint sanity
+/// ([`ObligationKind::FrameCover`]), and the lockstep statement walk
+/// (`ExprSem` per expression, `FootprintCover` per statement,
+/// `ControlMatch` on shape).
+#[must_use]
+pub fn validate_cminorgen(src: &ClightModule, tgt: &CminorModule) -> SimWitness {
+    let mut o = Obls::new();
+    check_same_funcs(
+        &mut o,
+        src.funcs.keys().collect(),
+        tgt.funcs.keys().collect(),
+    );
+    for (name, sf) in &src.funcs {
+        let Some(tf) = tgt.funcs.get(name) else {
+            continue;
+        };
+        o.check(
+            ObligationKind::InterfacePreserved,
+            name,
+            None,
+            sf.params == tf.params && tf.stack_slots == sf.vars.len() as u64,
+            || {
+                format!(
+                    "interface differs: params {:?}/{:?}, locals {} vs frame {}",
+                    sf.params,
+                    tf.params,
+                    sf.vars.len(),
+                    tf.stack_slots
+                )
+            },
+        );
+        // Hint sanity: exactly the declared locals, pairwise-distinct
+        // slots, all inside the declared frame — a bijective renaming
+        // of the source local cells.
+        let slots = slot_layout(sf);
+        let domain_ok =
+            slots.len() == sf.vars.len() && sf.vars.iter().all(|v| slots.contains_key(v));
+        let mut seen = BTreeSet::new();
+        let injective = slots.values().all(|&s| seen.insert(s));
+        let in_frame = slots.values().all(|&s| s < tf.stack_slots);
+        o.check(
+            ObligationKind::FrameCover,
+            name,
+            None,
+            domain_ok && injective && in_frame,
+            || {
+                format!(
+                    "frame-layout hint {slots:?} is not an injective in-frame layout of {:?}",
+                    sf.vars
+                )
+            },
+        );
+        let mut temps = Temps::default();
+        walk_cminorgen(&mut o, name, &slots, &mut temps, &sf.body, &tf.body);
+    }
+    o.into_witness("Cshmgen/Cminorgen")
+}
+
+/// Validates one Selection translation symbolically.
+///
+/// No hint is needed: Selection preserves the statement layer, so the
+/// lockstep walk pairs statements positionally; per expression pair the
+/// selected operator tree must denote the same symbolic value as the
+/// Cminor source (constant folds and strength reductions are replayed
+/// by the shared [`eval_op`] normalizer).
+#[must_use]
+pub fn validate_selection(src: &CminorModule, tgt: &CminorSelModule) -> SimWitness {
+    let mut o = Obls::new();
+    check_same_funcs(
+        &mut o,
+        src.funcs.keys().collect(),
+        tgt.funcs.keys().collect(),
+    );
+    for (name, sf) in &src.funcs {
+        let Some(tf) = tgt.funcs.get(name) else {
+            continue;
+        };
+        o.check(
+            ObligationKind::InterfacePreserved,
+            name,
+            None,
+            sf.params == tf.params && sf.stack_slots == tf.stack_slots,
+            || {
+                format!(
+                    "interface differs: params {:?}/{:?}, frame {} vs {}",
+                    sf.params, tf.params, sf.stack_slots, tf.stack_slots
+                )
+            },
+        );
+        let mut temps = Temps::default();
+        walk_selection(&mut o, name, &mut temps, &sf.body, &tf.body);
+    }
+    o.into_witness("Selection")
+}

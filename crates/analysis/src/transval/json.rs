@@ -1,0 +1,396 @@
+//! Durable, dependency-free JSON serialization of validation
+//! witnesses.
+//!
+//! [`PipelineWitness::to_json`](super::PipelineWitness::to_json) is a
+//! lossy failure summary for logs; this module is the *full-fidelity*
+//! counterpart needed by the witness cache planned in ROADMAP item 2: a
+//! [`SimWitness`] (or a whole pipeline's worth) round-trips through
+//! [`witness_to_json`]/[`witness_from_json`] with every obligation —
+//! kind, function, node, discharge status and note — intact, so a
+//! cached witness can be re-checked without recompiling.
+//!
+//! Hand-rolled on purpose: the workspace takes no serde dependency.
+
+use super::{Obligation, ObligationKind, PipelineWitness, SimWitness, Verdict};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (all numbers in witness JSON are integers).
+    Num(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b']')?;
+                        return Ok(Json::Arr(items));
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                    } else {
+                        self.expect(b'}')?;
+                        return Ok(Json::Obj(fields));
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf-8");
+        text.parse::<i64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, however many bytes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes one witness with full fidelity (every obligation kept).
+#[must_use]
+pub fn witness_to_json(w: &SimWitness) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"pass\":{},\"matched_blocks\":{},\"verdict\":\"{}\",\"obligations\":[",
+        {
+            let mut s = String::new();
+            escape_into(&mut s, &w.pass);
+            s
+        },
+        w.matched_blocks,
+        w.verdict.name()
+    );
+    for (i, ob) in w.obligations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"kind\":\"{}\",\"function\":", ob.kind.name());
+        escape_into(&mut out, &ob.function);
+        match ob.node {
+            Some(n) => {
+                let _ = write!(out, ",\"node\":{n}");
+            }
+            None => out.push_str(",\"node\":null"),
+        }
+        let _ = write!(out, ",\"discharged\":{},\"note\":", ob.discharged);
+        escape_into(&mut out, &ob.note);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Deserializes one witness previously written by [`witness_to_json`].
+///
+/// # Errors
+///
+/// Fails on malformed JSON, an unknown verdict or obligation kind, or a
+/// missing field.
+pub fn witness_from_json(s: &str) -> Result<SimWitness, String> {
+    witness_from_value(&parse(s)?)
+}
+
+fn witness_from_value(v: &Json) -> Result<SimWitness, String> {
+    let pass = v
+        .get("pass")
+        .and_then(Json::as_str)
+        .ok_or("missing pass")?
+        .to_string();
+    let matched_blocks = v
+        .get("matched_blocks")
+        .and_then(Json::as_num)
+        .ok_or("missing matched_blocks")?;
+    let verdict_name = v
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("missing verdict")?;
+    let verdict =
+        Verdict::parse(verdict_name).ok_or_else(|| format!("bad verdict {verdict_name:?}"))?;
+    let Some(Json::Arr(obs)) = v.get("obligations") else {
+        return Err("missing obligations".into());
+    };
+    let mut obligations = Vec::with_capacity(obs.len());
+    for ob in obs {
+        let kind_name = ob
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing obligation kind")?;
+        let kind = ObligationKind::parse(kind_name)
+            .ok_or_else(|| format!("bad obligation kind {kind_name:?}"))?;
+        let node = match ob.get("node") {
+            Some(Json::Null) | None => None,
+            Some(Json::Num(n)) => {
+                Some(u32::try_from(*n).map_err(|_| format!("node {n} out of range"))?)
+            }
+            Some(other) => return Err(format!("bad node {other:?}")),
+        };
+        obligations.push(Obligation {
+            kind,
+            function: ob
+                .get("function")
+                .and_then(Json::as_str)
+                .ok_or("missing obligation function")?
+                .to_string(),
+            node,
+            discharged: match ob.get("discharged") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing discharged".into()),
+            },
+            note: ob
+                .get("note")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        });
+    }
+    Ok(SimWitness {
+        pass,
+        matched_blocks: usize::try_from(matched_blocks)
+            .map_err(|_| format!("matched_blocks {matched_blocks} out of range"))?,
+        obligations,
+        verdict,
+    })
+}
+
+/// Serializes a whole pipeline's witnesses with full fidelity.
+#[must_use]
+pub fn pipeline_to_json(w: &PipelineWitness) -> String {
+    let mut out = String::from("{\"witnesses\":[");
+    for (i, sw) in w.witnesses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&witness_to_json(sw));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Deserializes a pipeline witness written by [`pipeline_to_json`].
+///
+/// # Errors
+///
+/// Fails on malformed JSON or any malformed member witness.
+pub fn pipeline_from_json(s: &str) -> Result<PipelineWitness, String> {
+    let v = parse(s)?;
+    let Some(Json::Arr(ws)) = v.get("witnesses") else {
+        return Err("missing witnesses".into());
+    };
+    let witnesses = ws
+        .iter()
+        .map(witness_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PipelineWitness { witnesses })
+}

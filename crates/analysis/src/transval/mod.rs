@@ -14,14 +14,24 @@
 //!
 //! The result is a serializable [`SimWitness`] per pass — the matching
 //! size, every obligation with its discharge status, and a
-//! [`Verdict`]. Passes outside the supported seven (the front end,
-//! Stacking, Asmgen) report [`Verdict::Unsupported`] and fall back to
-//! the differential co-execution check of `ccc_compiler::verif` via
-//! [`validate_with_mode`] with [`Validation::Static`].
+//! [`Verdict`]. Every pipeline stage is covered: the cross-IR front
+//! end ([`frontend`]: Cshmgen/Cminorgen and Selection by lockstep
+//! symbolic expression evaluation), the seven same-IR mid-end passes
+//! ([`passes`]), RTLgen and the back end ([`backend`]: re-derivation
+//! hints plus independent frame-cover and flag-discipline
+//! obligations), and the object-level `IdTrans` ([`object`]: atomic
+//! bracketing preserved bit-for-bit). Under
+//! [`Validation::Static`] nothing falls back to the differential
+//! co-execution check of `ccc_compiler::verif`; a pass would have to
+//! report [`Verdict::Unsupported`] for that, and none does.
 //!
 //! Hints are untrusted: a wrong hint fails an obligation (false
 //! rejection at worst), it can never make an unsound run validate.
 
+pub mod backend;
+pub mod frontend;
+pub mod json;
+pub mod object;
 pub mod passes;
 pub mod sym;
 
@@ -53,6 +63,14 @@ impl Verdict {
             Verdict::Rejected => "Rejected",
             Verdict::Unsupported => "Unsupported",
         }
+    }
+
+    /// Inverse of [`Verdict::name`], for deserialization.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Verdict> {
+        [Verdict::Validated, Verdict::Rejected, Verdict::Unsupported]
+            .into_iter()
+            .find(|v| v.name() == s)
     }
 }
 
@@ -99,6 +117,16 @@ pub enum ObligationKind {
     /// Module- and function-level interfaces are preserved (function
     /// sets, parameters, slot counts).
     InterfacePreserved,
+    /// The symbolic value of a source expression tree equals the
+    /// symbolic value of its translation (front-end passes).
+    ExprSem,
+    /// Frame accesses stay inside the declared frame region, and the
+    /// frame-layout hint is an injective in-frame renaming — Def. 10's
+    /// footprint condition for the thread-private stack block.
+    FrameCover,
+    /// `EntAtom`/`ExtAtom` bracketing survives the object-level
+    /// transformation bit-for-bit (§5).
+    AtomicShape,
 }
 
 impl ObligationKind {
@@ -117,8 +145,36 @@ impl ObligationKind {
             ObligationKind::FactsInductive => "FactsInductive",
             ObligationKind::CodeEqual => "CodeEqual",
             ObligationKind::InterfacePreserved => "InterfacePreserved",
+            ObligationKind::ExprSem => "ExprSem",
+            ObligationKind::FrameCover => "FrameCover",
+            ObligationKind::AtomicShape => "AtomicShape",
         }
     }
+
+    /// Inverse of [`ObligationKind::name`], for deserialization.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ObligationKind> {
+        ObligationKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Every obligation kind, in declaration order.
+    pub const ALL: [ObligationKind; 15] = [
+        ObligationKind::EffectsRefine,
+        ObligationKind::FootprintCover,
+        ObligationKind::ControlMatch,
+        ObligationKind::PostState,
+        ObligationKind::Stutter,
+        ObligationKind::TailcallPattern,
+        ObligationKind::EntryMap,
+        ObligationKind::ParamMap,
+        ObligationKind::LiveMapped,
+        ObligationKind::FactsInductive,
+        ObligationKind::CodeEqual,
+        ObligationKind::InterfacePreserved,
+        ObligationKind::ExprSem,
+        ObligationKind::FrameCover,
+        ObligationKind::AtomicShape,
+    ];
 }
 
 /// One proof obligation of a pass run's simulation argument.
@@ -335,17 +391,17 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Statically validates every supported pass of one compilation,
-/// producing a witness per pipeline pass (unsupported passes included,
-/// as [`Verdict::Unsupported`], so the pipeline shape is always
-/// visible). When the artifacts carry the Constprop extension stage it
-/// is validated too, and Allocation is checked against the
-/// constant-propagated RTL — the same sourcing `verify_passes` uses.
+/// Statically validates every pass of one compilation, producing a
+/// witness per pipeline pass — from Cshmgen/Cminorgen down to Asmgen,
+/// nothing is left to a differential fallback. When the artifacts
+/// carry the Constprop extension stage it is validated too, and
+/// Allocation is checked against the constant-propagated RTL — the
+/// same sourcing `verify_passes` uses.
 pub fn validate_artifacts(arts: &CompilationArtifacts) -> PipelineWitness {
     let mut ws = vec![
-        SimWitness::unsupported("Cshmgen/Cminorgen"),
-        SimWitness::unsupported("Selection"),
-        SimWitness::unsupported("RTLgen"),
+        frontend::validate_cminorgen(&arts.clight, &arts.cminor),
+        frontend::validate_selection(&arts.cminor, &arts.cminorsel),
+        backend::validate_rtlgen(&arts.cminorsel, &arts.rtl),
     ];
     ws.push(passes::validate_tailcall(&arts.rtl, &arts.rtl_tailcall));
     ws.push(passes::validate_renumber(
@@ -363,8 +419,8 @@ pub fn validate_artifacts(arts: &CompilationArtifacts) -> PipelineWitness {
     ws.push(passes::validate_tunneling(&arts.ltl, &arts.ltl_tunneled));
     ws.push(passes::validate_linearize(&arts.ltl_tunneled, &arts.linear));
     ws.push(passes::validate_cleanup(&arts.linear, &arts.linear_clean));
-    ws.push(SimWitness::unsupported("Stacking"));
-    ws.push(SimWitness::unsupported("Asmgen"));
+    ws.push(backend::validate_stacking(&arts.linear_clean, &arts.mach));
+    ws.push(backend::validate_asmgen(&arts.mach, &arts.asm));
     PipelineWitness { witnesses: ws }
 }
 
@@ -433,13 +489,24 @@ pub fn validate_with_mode(
     match mode {
         Validation::Static => {
             let witness = validate_artifacts(arts);
+            // Differential fallback only for passes the static
+            // validator declares itself unable to judge. With full
+            // pipeline coverage the set is empty and *nothing* runs
+            // differentially — `differential: None` makes any silent
+            // fallback visible to callers (and to CI, which fails on
+            // it).
             let unsupported = witness.unsupported_passes();
-            let differential =
-                verify_passes_filtered(arts, ge, entry, &|p| unsupported.contains(p));
+            let differential = if unsupported.is_empty() {
+                None
+            } else {
+                Some(verify_passes_filtered(arts, ge, entry, &|p| {
+                    unsupported.contains(p)
+                }))
+            };
             ValidationReport {
                 mode,
                 witness: Some(witness),
-                differential: Some(differential),
+                differential,
                 disagreements: Vec::new(),
             }
         }

@@ -1,0 +1,93 @@
+//! Object-level validator for the `IdTrans` transformation (CImp →
+//! CImp object modules, §5 of the paper).
+//!
+//! `IdTrans` is semantically the identity, but its correctness story is
+//! the interesting one: the paper's `EntAtom`/`ExtAtom` bracketing must
+//! survive the transformation *bit-for-bit*, because the footprint
+//! certificates of the surrounding threads are computed against the
+//! atomic blocks' shapes. The validator therefore discharges an
+//! [`ObligationKind::AtomicShape`] obligation per atomic block — the
+//! bracketing and its body must be preserved exactly — and
+//! [`ObligationKind::CodeEqual`] for the non-atomic statement spine.
+
+use super::passes::{check_same_funcs, Obls};
+use super::{ObligationKind, SimWitness};
+use ccc_cimp::ast::{CImpModule, Stmt};
+
+fn walk(o: &mut Obls, fname: &str, s: &Stmt, t: &Stmt) {
+    o.blocks += 1;
+    match (s, t) {
+        (Stmt::Atomic(a), Stmt::Atomic(b)) => {
+            o.check(ObligationKind::AtomicShape, fname, None, a == b, || {
+                format!("atomic block body altered: {a} vs {b}")
+            });
+        }
+        (Stmt::Atomic(a), other) => {
+            o.check(ObligationKind::AtomicShape, fname, None, false, || {
+                format!("atomic bracketing lost: atomic {{ {a} }} became {other}")
+            });
+        }
+        (other, Stmt::Atomic(b)) => {
+            o.check(ObligationKind::AtomicShape, fname, None, false, || {
+                format!("atomic bracketing introduced: {other} became atomic {{ {b} }}")
+            });
+        }
+        (Stmt::Seq(ss), Stmt::Seq(ts)) => {
+            o.check(
+                ObligationKind::CodeEqual,
+                fname,
+                None,
+                ss.len() == ts.len(),
+                || format!("sequence lengths differ: {} vs {}", ss.len(), ts.len()),
+            );
+            for (a, b) in ss.iter().zip(ts) {
+                walk(o, fname, a, b);
+            }
+        }
+        (Stmt::If(c, a, b), Stmt::If(tc, ta, tb)) => {
+            o.check(ObligationKind::CodeEqual, fname, None, c == tc, || {
+                format!("if condition altered: {c} vs {tc}")
+            });
+            walk(o, fname, a, ta);
+            walk(o, fname, b, tb);
+        }
+        (Stmt::While(c, a), Stmt::While(tc, ta)) => {
+            o.check(ObligationKind::CodeEqual, fname, None, c == tc, || {
+                format!("while condition altered: {c} vs {tc}")
+            });
+            walk(o, fname, a, ta);
+        }
+        (a, b) => {
+            o.check(ObligationKind::CodeEqual, fname, None, a == b, || {
+                format!("statement altered: {a} vs {b}")
+            });
+        }
+    }
+}
+
+/// Validates one `IdTrans` run: same function set and signatures,
+/// identical non-atomic statement spine, and every atomic block
+/// preserved bit-for-bit ([`ObligationKind::AtomicShape`]).
+#[must_use]
+pub fn validate_id_trans(src: &CImpModule, tgt: &CImpModule) -> SimWitness {
+    let mut o = Obls::new();
+    check_same_funcs(
+        &mut o,
+        src.funcs.keys().collect(),
+        tgt.funcs.keys().collect(),
+    );
+    for (name, sf) in &src.funcs {
+        let Some(tf) = tgt.funcs.get(name) else {
+            continue;
+        };
+        o.check(
+            ObligationKind::InterfacePreserved,
+            name,
+            None,
+            sf.params == tf.params,
+            || format!("parameters differ: {:?} vs {:?}", sf.params, tf.params),
+        );
+        walk(&mut o, name, &sf.body, &tf.body);
+    }
+    o.into_witness("IdTrans")
+}

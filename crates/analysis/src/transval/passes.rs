@@ -31,14 +31,16 @@ use ccc_compiler::tunneling::branch_target;
 use ccc_core::mem::Val;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Obligation accumulator: one per witness under construction.
-struct Obls {
+/// Obligation accumulator: one per witness under construction. Shared
+/// with the cross-IR validators of [`super::frontend`],
+/// [`super::backend`] and [`super::object`].
+pub(crate) struct Obls {
     list: Vec<Obligation>,
-    blocks: usize,
+    pub(crate) blocks: usize,
 }
 
 impl Obls {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Obls {
             list: Vec::new(),
             blocks: 0,
@@ -46,7 +48,7 @@ impl Obls {
     }
 
     /// Records one obligation; the note is only rendered on failure.
-    fn check(
+    pub(crate) fn check(
         &mut self,
         kind: ObligationKind,
         function: &str,
@@ -63,12 +65,12 @@ impl Obls {
         });
     }
 
-    fn into_witness(self, pass: &'static str) -> SimWitness {
+    pub(crate) fn into_witness(self, pass: &'static str) -> SimWitness {
         SimWitness::conclude(pass, self.blocks, self.list)
     }
 }
 
-fn check_same_funcs(o: &mut Obls, src: BTreeSet<&String>, tgt: BTreeSet<&String>) {
+pub(crate) fn check_same_funcs(o: &mut Obls, src: BTreeSet<&String>, tgt: BTreeSet<&String>) {
     o.check(
         ObligationKind::InterfacePreserved,
         "",

@@ -7,7 +7,7 @@
 //!   through the clean differential oracle (`check_program` with no
 //!   mutant); every input must pass, and the wall-clock gives the
 //!   inputs/second figure the evaluation quotes;
-//! * **scoreboard** — each of the 13 pipeline mutants faces the same
+//! * **scoreboard** — each of the 19 pipeline mutants faces the same
 //!   stream until the oracle kills it or the per-mutant budget runs
 //!   out. The run aborts unless *every* mutant is killed — a surviving
 //!   mutant means a checker lost its teeth.
@@ -142,5 +142,8 @@ fn main() {
     }
     json.push_str("  ]}\n}\n");
     std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
-    println!("wrote BENCH_fuzz.json (13 mutants, {clean_inputs} clean inputs)");
+    println!(
+        "wrote BENCH_fuzz.json ({} mutants, {clean_inputs} clean inputs)",
+        sb.scores.len()
+    );
 }

@@ -4,20 +4,23 @@
 //! IRs under the footprint-preserving simulation of
 //! `ccc_compiler::verif`?
 //!
-//! For every supported mid-end pass, each generated module's pass run
-//! is checked twice — once by the symbolic validator, once by the
-//! differential checker restricted to exactly that pass — and both
-//! sides must accept. The run aborts unless the median per-pass
-//! speedup is at least 10x (the economics the `Validation::Static`
-//! fuzzing mode relies on).
+//! For every pipeline pass — front end, mid end and back end — each
+//! generated module's pass run is checked twice: once by the symbolic
+//! validator, once by the differential checker restricted to exactly
+//! that pass. Both sides must accept. The run aborts unless the median
+//! per-pass speedup is at least 10x, both overall and over the
+//! newly-covered cross-IR stages (the economics the
+//! `Validation::Static` fuzzing mode relies on), and unless
+//! `validate_artifacts` covers every pass with no `Unsupported`
+//! verdict — the CI gate against any stage silently falling back to
+//! the differential oracle.
 //!
 //! Run with: `cargo run --release -p ccc-bench --bin transval_speed`
 //! (`--smoke` shrinks the seed count for CI). Results are written to
 //! `BENCH_transval.json` in the current directory.
 
-use ccc_analysis::transval::passes as tv;
-use ccc_analysis::transval::Verdict;
-use ccc_analysis::SimWitness;
+use ccc_analysis::transval::{backend, frontend, passes as tv, Verdict};
+use ccc_analysis::{validate_artifacts, SimWitness};
 use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
 use ccc_clight::ClightModule;
 use ccc_compiler::compile_with_artifacts_mutated;
@@ -77,30 +80,70 @@ fn bench_module(seed: u64, iters: i64) -> (ClightModule, GlobalEnv) {
 /// A pass's symbolic-validator entry point over the artifacts.
 type Validator = fn(&CompilationArtifacts) -> SimWitness;
 
-/// The seven passes the symbolic validator covers, with their
-/// validator entry points.
-const PASSES: [(&str, Validator); 7] = [
-    ("Tailcall", |a| {
-        tv::validate_tailcall(&a.rtl, &a.rtl_tailcall)
-    }),
-    ("Renumber", |a| {
-        tv::validate_renumber(&a.rtl_tailcall, &a.rtl_renumber)
-    }),
-    ("Constprop", |a| {
-        tv::validate_constprop(&a.rtl_renumber, a.rtl_constprop.as_ref().expect("extended"))
-    }),
-    ("Allocation", |a| {
-        tv::validate_allocation(a.rtl_constprop.as_ref().expect("extended"), &a.ltl)
-    }),
-    ("Tunneling", |a| {
-        tv::validate_tunneling(&a.ltl, &a.ltl_tunneled)
-    }),
-    ("Linearize", |a| {
-        tv::validate_linearize(&a.ltl_tunneled, &a.linear)
-    }),
-    ("CleanupLabels", |a| {
-        tv::validate_cleanup(&a.linear, &a.linear_clean)
-    }),
+/// Every pipeline pass in order, with its validator entry point and
+/// whether it is one of the newly-covered cross-IR stages (the
+/// original validator handled only the seven RTL-family passes).
+const PASSES: [(&str, Validator, bool); 12] = [
+    (
+        "Cshmgen/Cminorgen",
+        |a| frontend::validate_cminorgen(&a.clight, &a.cminor),
+        true,
+    ),
+    (
+        "Selection",
+        |a| frontend::validate_selection(&a.cminor, &a.cminorsel),
+        true,
+    ),
+    (
+        "RTLgen",
+        |a| backend::validate_rtlgen(&a.cminorsel, &a.rtl),
+        true,
+    ),
+    (
+        "Tailcall",
+        |a| tv::validate_tailcall(&a.rtl, &a.rtl_tailcall),
+        false,
+    ),
+    (
+        "Renumber",
+        |a| tv::validate_renumber(&a.rtl_tailcall, &a.rtl_renumber),
+        false,
+    ),
+    (
+        "Constprop",
+        |a| tv::validate_constprop(&a.rtl_renumber, a.rtl_constprop.as_ref().expect("extended")),
+        false,
+    ),
+    (
+        "Allocation",
+        |a| tv::validate_allocation(a.rtl_constprop.as_ref().expect("extended"), &a.ltl),
+        false,
+    ),
+    (
+        "Tunneling",
+        |a| tv::validate_tunneling(&a.ltl, &a.ltl_tunneled),
+        false,
+    ),
+    (
+        "Linearize",
+        |a| tv::validate_linearize(&a.ltl_tunneled, &a.linear),
+        false,
+    ),
+    (
+        "CleanupLabels",
+        |a| tv::validate_cleanup(&a.linear, &a.linear_clean),
+        false,
+    ),
+    (
+        "Stacking",
+        |a| backend::validate_stacking(&a.linear_clean, &a.mach),
+        true,
+    ),
+    (
+        "Asmgen",
+        |a| backend::validate_asmgen(&a.mach, &a.asm),
+        true,
+    ),
 ];
 
 fn ms(d: Duration) -> f64 {
@@ -123,8 +166,20 @@ fn main() {
         })
         .collect();
 
+    // The no-silent-fallback gate: the full pipeline validator must
+    // report a verdict for every pass, none of them `Unsupported`, so
+    // `Validation::Static` never quietly re-runs the dynamic oracle.
+    for (seed, (arts, _)) in modules.iter().enumerate() {
+        let w = validate_artifacts(arts);
+        assert!(
+            w.unsupported_passes().is_empty(),
+            "seed {seed}: stages silently fall back to differential: {:?}",
+            w.unsupported_passes()
+        );
+    }
+
     let mut rows = Vec::new();
-    for (pass, validate) in PASSES {
+    for (pass, validate, new_stage) in PASSES {
         let mut t_static = Duration::ZERO;
         let mut t_diff = Duration::ZERO;
         for (seed, (arts, ge)) in modules.iter().enumerate() {
@@ -143,30 +198,35 @@ fn main() {
         }
         let speedup = t_diff.as_secs_f64() / t_static.as_secs_f64();
         println!(
-            "  {pass:<14} static {:>9.3} ms   differential {:>9.3} ms   {speedup:>7.1}x",
+            "  {pass:<17} static {:>9.3} ms   differential {:>9.3} ms   {speedup:>7.1}x{}",
             ms(t_static),
-            ms(t_diff)
+            ms(t_diff),
+            if new_stage { "   (new)" } else { "" }
         );
-        rows.push((pass, ms(t_static), ms(t_diff), speedup));
+        rows.push((pass, ms(t_static), ms(t_diff), speedup, new_stage));
     }
 
-    let mut speedups: Vec<f64> = rows.iter().map(|r| r.3).collect();
-    speedups.sort_by(|a, b| a.total_cmp(b));
-    let median = speedups[speedups.len() / 2];
-    println!("\nmedian speedup: {median:.1}x");
+    let median_of = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let median = median_of(rows.iter().map(|r| r.3).collect());
+    let median_new = median_of(rows.iter().filter(|r| r.4).map(|r| r.3).collect());
+    println!("\nmedian speedup: {median:.1}x (newly covered stages: {median_new:.1}x)");
 
     let mut json = String::from("{\n");
     write!(
         json,
         "  \"bench\": \"transval\",\n  \"smoke\": {smoke},\n  \"seeds\": {seeds},\n  \
-         \"median_speedup\": {median:.2},\n  \"passes\": [\n"
+         \"median_speedup\": {median:.2},\n  \"median_speedup_new_stages\": {median_new:.2},\n  \
+         \"passes\": [\n"
     )
     .unwrap();
-    for (i, (pass, st, df, sp)) in rows.iter().enumerate() {
+    for (i, (pass, st, df, sp, new_stage)) in rows.iter().enumerate() {
         write!(
             json,
             "    {{\"pass\": \"{pass}\", \"static_ms\": {st:.4}, \
-             \"differential_ms\": {df:.4}, \"speedup\": {sp:.2}}}"
+             \"differential_ms\": {df:.4}, \"speedup\": {sp:.2}, \"new_stage\": {new_stage}}}"
         )
         .unwrap();
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -181,5 +241,9 @@ fn main() {
     assert!(
         median >= 10.0,
         "median static-vs-differential speedup {median:.1}x below the 10x bar"
+    );
+    assert!(
+        median_new >= 10.0,
+        "median speedup on newly covered stages {median_new:.1}x below the 10x bar"
     );
 }

@@ -25,13 +25,24 @@ impl std::fmt::Display for AsmgenError {
 
 impl std::error::Error for AsmgenError {}
 
-fn cond_of_with(c: Cmp, lt_as_le: bool) -> Cond {
+/// Which seeded bug (if any) an asmgen run carries — see
+/// [`crate::mutant`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CodegenBug {
+    /// The real pass.
+    Clean,
+    /// Strict less-than is emitted as the off-by-one `jle`/`setle`.
+    LtAsLe,
+    /// Conditional jumps on an immediate skip the `cmp`, consuming
+    /// whatever flags the previous instruction happened to leave.
+    DropCmp,
+}
+
+fn cond_of_with(c: Cmp, bug: CodegenBug) -> Cond {
     match c {
         Cmp::Eq => Cond::E,
         Cmp::Ne => Cond::Ne,
-        // `lt_as_le` is the seeded bug for mutation scoring: strict
-        // less-than is emitted as the off-by-one `jle`/`setle`.
-        Cmp::Lt if lt_as_le => Cond::Le,
+        Cmp::Lt if bug == CodegenBug::LtAsLe => Cond::Le,
         Cmp::Lt => Cond::L,
         Cmp::Le => Cond::Le,
         Cmp::Gt => Cond::G,
@@ -74,7 +85,7 @@ fn emit_op(
     op: &Op,
     args: &[Reg],
     d: Reg,
-    mx: bool,
+    bug: CodegenBug,
 ) -> Result<(), AsmgenError> {
     match (op, args) {
         (Op::Const(i), []) => code.push(Instr::Mov(d, Operand::Imm(*i))),
@@ -112,11 +123,11 @@ fn emit_op(
         }
         (Op::CmpImm(c, i), [a]) => {
             code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
-            code.push(Instr::Setcc(cond_of_with(*c, mx), d));
+            code.push(Instr::Setcc(cond_of_with(*c, bug), d));
         }
         (Op::Cmp(c), [a, b]) => {
             code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
-            code.push(Instr::Setcc(cond_of_with(*c, mx), d));
+            code.push(Instr::Setcc(cond_of_with(*c, bug), d));
         }
         (two_ary, [a, b]) => {
             if d == *a {
@@ -142,13 +153,13 @@ fn emit_op(
     Ok(())
 }
 
-fn transform_function_with(f: &MFunction, mx: bool) -> Result<AsmFunc, AsmgenError> {
+fn transform_function_with(f: &MFunction, bug: CodegenBug) -> Result<AsmFunc, AsmgenError> {
     let mut code = Vec::new();
     for i in &f.code {
         match i {
             MIn::Label(l) => code.push(Instr::Label(label_name(*l))),
             MIn::Goto(l) => code.push(Instr::Jmp(label_name(*l))),
-            MIn::Op(op, args, d) => emit_op(&mut code, op, args, *d, mx)?,
+            MIn::Op(op, args, d) => emit_op(&mut code, op, args, *d, bug)?,
             MIn::Load(am, d) => code.push(Instr::Load(*d, marg(am))),
             MIn::Store(am, s) => code.push(Instr::Store(marg(am), Operand::Reg(*s))),
             MIn::Call(f, n) => code.push(Instr::Call(f.clone(), *n)),
@@ -158,11 +169,13 @@ fn transform_function_with(f: &MFunction, mx: bool) -> Result<AsmFunc, AsmgenErr
             }
             MIn::CondJump(c, a, b, l) => {
                 code.push(Instr::Cmp(Operand::Reg(*a), Operand::Reg(*b)));
-                code.push(Instr::Jcc(cond_of_with(*c, mx), label_name(*l)));
+                code.push(Instr::Jcc(cond_of_with(*c, bug), label_name(*l)));
             }
             MIn::CondImmJump(c, a, i, l) => {
-                code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
-                code.push(Instr::Jcc(cond_of_with(*c, mx), label_name(*l)));
+                if bug != CodegenBug::DropCmp {
+                    code.push(Instr::Cmp(Operand::Reg(*a), Operand::Imm(*i)));
+                }
+                code.push(Instr::Jcc(cond_of_with(*c, bug), label_name(*l)));
             }
             MIn::Print(r) => code.push(Instr::Print(*r)),
             MIn::Return => code.push(Instr::Ret),
@@ -175,6 +188,19 @@ fn transform_function_with(f: &MFunction, mx: bool) -> Result<AsmFunc, AsmgenErr
     })
 }
 
+/// Generates assembly for one function — also the untrusted hint hook
+/// of the symbolic translation validator: the re-derived lowering is
+/// the predicted assembly the actual Asmgen output is compared against
+/// (on top of the independent flag-convention and frame-cover
+/// obligations).
+///
+/// # Errors
+///
+/// Fails on violated Stacking invariants.
+pub fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
+    transform_function_with(f, CodegenBug::Clean)
+}
+
 /// Generates assembly for a whole module.
 ///
 /// # Errors
@@ -183,7 +209,7 @@ fn transform_function_with(f: &MFunction, mx: bool) -> Result<AsmFunc, AsmgenErr
 pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, false)?);
+        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::Clean)?);
     }
     Ok(AsmModule { funcs })
 }
@@ -197,7 +223,23 @@ pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
 pub fn asmgen_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, true)?);
+        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::LtAsLe)?);
+    }
+    Ok(AsmModule { funcs })
+}
+
+/// Second seeded-bug variant: conditional jumps against an immediate
+/// drop the `cmp`, so the branch consumes stale flags — a violation of
+/// the flag convention the validator checks (every `jcc` must be
+/// immediately preceded by the `cmp` that defines its flags).
+///
+/// # Errors
+///
+/// Fails on violated Stacking invariants, like the real pass.
+pub fn asmgen_dropcmp_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::DropCmp)?);
     }
     Ok(AsmModule { funcs })
 }

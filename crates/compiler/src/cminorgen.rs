@@ -86,17 +86,45 @@ impl Ctx {
     }
 }
 
-fn translate_function_with(
-    f: &Function,
-    collapse_locals: bool,
-) -> Result<CmFunction, CminorgenError> {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Each local at its declaration index — the real pass.
+    Clean,
+    /// Every local at slot 0 (distinct locals alias).
+    Collapse,
+    /// The first two locals trade slots.
+    SwapFirstTwo,
+}
+
+fn layout_with(f: &Function, layout: Layout) -> BTreeMap<String, u64> {
+    f.vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let slot = match layout {
+                Layout::Clean => i as u64,
+                Layout::Collapse => 0,
+                Layout::SwapFirstTwo if i < 2 && f.vars.len() >= 2 => 1 - i as u64,
+                Layout::SwapFirstTwo => i as u64,
+            };
+            (v.clone(), slot)
+        })
+        .collect()
+}
+
+/// The untrusted frame-layout hint consumed by the symbolic translation
+/// validator (`ccc-analysis::transval`): the frame slot each addressable
+/// local of `f` is laid out at by the *reference* translation. A wrong
+/// hint makes validation fail (a false rejection), never succeed on a
+/// wrong translation.
+#[must_use]
+pub fn slot_layout(f: &Function) -> BTreeMap<String, u64> {
+    layout_with(f, Layout::Clean)
+}
+
+fn translate_function_with(f: &Function, layout: Layout) -> Result<CmFunction, CminorgenError> {
     let ctx = Ctx {
-        slots: f
-            .vars
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), if collapse_locals { 0 } else { i as u64 }))
-            .collect(),
+        slots: layout_with(f, layout),
     };
     Ok(CmFunction {
         params: f.params.clone(),
@@ -107,7 +135,7 @@ fn translate_function_with(
 
 /// Translates one function.
 pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
-    translate_function_with(f, false)
+    translate_function_with(f, Layout::Clean)
 }
 
 /// Translates a whole module.
@@ -132,7 +160,26 @@ pub fn cminorgen(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
 pub fn cminorgen_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
     let mut funcs = BTreeMap::new();
     for (name, f) in &m.funcs {
-        funcs.insert(name.clone(), translate_function_with(f, true)?);
+        funcs.insert(name.clone(), translate_function_with(f, Layout::Collapse)?);
+    }
+    Ok(CminorModule { funcs })
+}
+
+/// Second seeded-bug variant: the first two locals of every function
+/// trade frame slots while the reference layout hint still reports the
+/// declaration order — a layout/hint divergence only the slot-aware
+/// validator (or a differential run) can see.
+///
+/// # Errors
+///
+/// Fails on ill-formed lvalues, like the real pass.
+pub fn cminorgen_swap_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
+    let mut funcs = BTreeMap::new();
+    for (name, f) in &m.funcs {
+        funcs.insert(
+            name.clone(),
+            translate_function_with(f, Layout::SwapFirstTwo)?,
+        );
     }
     Ok(CminorModule { funcs })
 }

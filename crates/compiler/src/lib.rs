@@ -48,4 +48,4 @@ pub mod tunneling;
 pub mod verif;
 
 pub use driver::{compile, compile_with_artifacts, CompilationArtifacts, CompileError, PASS_NAMES};
-pub use mutant::{compile_with_artifacts_mutated, id_trans_mutated, Mutant};
+pub use mutant::{compile_with_artifacts_mutated, id_trans_drop_assert, id_trans_mutated, Mutant};

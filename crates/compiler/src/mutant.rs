@@ -16,16 +16,16 @@
 //! interference, a lock object whose atomic blocks are silently erased.
 
 use crate::allocation::{allocation, allocation_mutated};
-use crate::asmgen::{asmgen, asmgen_mutated};
+use crate::asmgen::{asmgen, asmgen_dropcmp_mutated, asmgen_mutated};
 use crate::cleanuplabels::{cleanup_labels, cleanup_labels_mutated};
-use crate::cminorgen::{cminorgen, cminorgen_mutated};
+use crate::cminorgen::{cminorgen, cminorgen_mutated, cminorgen_swap_mutated};
 use crate::constprop::{constprop, constprop_mutated};
 use crate::driver::{CompilationArtifacts, CompileError};
 use crate::linearize::{linearize, linearize_mutated};
 use crate::renumber::{renumber, renumber_mutated};
-use crate::rtlgen::{rtlgen, rtlgen_mutated};
-use crate::selection::{selection, selection_mutated};
-use crate::stacking::{stacking, stacking_mutated};
+use crate::rtlgen::{rtlgen, rtlgen_mutated, rtlgen_ret_mutated};
+use crate::selection::{selection, selection_cmp_mutated, selection_mutated};
+use crate::stacking::{stacking, stacking_mutated, stacking_off_mutated};
 use crate::tailcall::{tailcall, tailcall_mutated};
 use crate::tunneling::{tunneling, tunneling_mutated};
 use ccc_cimp::ast::{CImpModule, Func, Stmt};
@@ -37,11 +37,19 @@ pub enum Mutant {
     /// Cshmgen/Cminorgen lays every local out at frame slot 0, so
     /// distinct locals alias.
     Cminorgen,
+    /// Cshmgen/Cminorgen trades the frame slots of the first two locals
+    /// while the layout hint still reports declaration order.
+    CminorgenSwap,
     /// Selection drops the negation in the `x - c` → `x + (-c)`
     /// strength reduction.
     Selection,
+    /// Selection forgets to swap the comparison when folding a constant
+    /// left operand into `CmpImm`.
+    SelectionCmpSwap,
     /// RTLgen branches to the *else* arm when the condition holds.
     Rtlgen,
+    /// RTLgen compiles `return e` as a valueless return (always 0).
+    RtlgenRetZero,
     /// Tailcall turns discarded-result calls into tail calls, dropping
     /// the continuation (a frame-clear's worth of trailing statements).
     Tailcall,
@@ -62,19 +70,31 @@ pub enum Mutant {
     /// Stacking lays spill slot `i` at frame offset `i` instead of
     /// `stack_slots + i`, clobbering stack variables.
     Stacking,
+    /// Stacking lays spill slot `i` at frame offset `stack_slots+i+1`,
+    /// so the last spill slot falls outside the declared frame.
+    StackingOffByOne,
     /// Asmgen emits `Lt` comparisons with the `Le` condition code.
     Asmgen,
+    /// Asmgen drops the `cmp` before immediate conditional jumps, so
+    /// branches consume stale flags.
+    AsmgenDropCmp,
     /// IdTrans strips atomic blocks from object (CImp) modules,
     /// breaking the mutual exclusion of the lock specification.
     IdTrans,
+    /// IdTrans turns object-module `Assert`s into `Skip`s, silently
+    /// weakening the lock specification's invariant checks.
+    IdTransDropAssert,
 }
 
 impl Mutant {
     /// Every mutant, in pipeline order.
-    pub const ALL: [Mutant; 13] = [
+    pub const ALL: [Mutant; 19] = [
         Mutant::Cminorgen,
+        Mutant::CminorgenSwap,
         Mutant::Selection,
+        Mutant::SelectionCmpSwap,
         Mutant::Rtlgen,
+        Mutant::RtlgenRetZero,
         Mutant::Tailcall,
         Mutant::Renumber,
         Mutant::Constprop,
@@ -83,17 +103,20 @@ impl Mutant {
         Mutant::Linearize,
         Mutant::CleanupLabels,
         Mutant::Stacking,
+        Mutant::StackingOffByOne,
         Mutant::Asmgen,
+        Mutant::AsmgenDropCmp,
         Mutant::IdTrans,
+        Mutant::IdTransDropAssert,
     ];
 
     /// The name of the pass this mutant corrupts (matching
     /// [`crate::PASS_NAMES`] where applicable).
     pub fn pass_name(self) -> &'static str {
         match self {
-            Mutant::Cminorgen => "Cshmgen/Cminorgen",
-            Mutant::Selection => "Selection",
-            Mutant::Rtlgen => "RTLgen",
+            Mutant::Cminorgen | Mutant::CminorgenSwap => "Cshmgen/Cminorgen",
+            Mutant::Selection | Mutant::SelectionCmpSwap => "Selection",
+            Mutant::Rtlgen | Mutant::RtlgenRetZero => "RTLgen",
             Mutant::Tailcall => "Tailcall",
             Mutant::Renumber => "Renumber",
             Mutant::Constprop => "Constprop",
@@ -101,9 +124,9 @@ impl Mutant {
             Mutant::Tunneling => "Tunneling",
             Mutant::Linearize => "Linearize",
             Mutant::CleanupLabels => "CleanupLabels",
-            Mutant::Stacking => "Stacking",
-            Mutant::Asmgen => "Asmgen",
-            Mutant::IdTrans => "IdTrans",
+            Mutant::Stacking | Mutant::StackingOffByOne => "Stacking",
+            Mutant::Asmgen | Mutant::AsmgenDropCmp => "Asmgen",
+            Mutant::IdTrans | Mutant::IdTransDropAssert => "IdTrans",
         }
     }
 
@@ -111,8 +134,11 @@ impl Mutant {
     pub fn describe(self) -> &'static str {
         match self {
             Mutant::Cminorgen => "all locals share frame slot 0",
+            Mutant::CminorgenSwap => "first two locals trade frame slots",
             Mutant::Selection => "x - c selects as x + c",
+            Mutant::SelectionCmpSwap => "const-LHS comparisons fold unswapped",
             Mutant::Rtlgen => "if-branches swapped",
+            Mutant::RtlgenRetZero => "return e compiled as return 0",
             Mutant::Tailcall => "discarded-result calls drop their continuation",
             Mutant::Renumber => "entry keeps its stale node id",
             Mutant::Constprop => "decided branches fold to the wrong arm",
@@ -121,8 +147,11 @@ impl Mutant {
             Mutant::Linearize => "fall-through to true branch unnegated",
             Mutant::CleanupLabels => "cond-jump targets deleted",
             Mutant::Stacking => "spill offsets forget the stack_slots base",
+            Mutant::StackingOffByOne => "spill offsets shifted past the frame end",
             Mutant::Asmgen => "Lt emitted as Le",
+            Mutant::AsmgenDropCmp => "cmp dropped before immediate cond-jumps",
             Mutant::IdTrans => "atomic blocks stripped from object modules",
+            Mutant::IdTransDropAssert => "object-module asserts erased",
         }
     }
 }
@@ -152,17 +181,23 @@ pub fn compile_with_artifacts_mutated(
     let mu = |which: Mutant| mutant == Some(which);
     let cminor = if mu(Mutant::Cminorgen) {
         cminorgen_mutated(m)
+    } else if mu(Mutant::CminorgenSwap) {
+        cminorgen_swap_mutated(m)
     } else {
         cminorgen(m)
     }
     .map_err(CompileError::Cminorgen)?;
     let cminorsel = if mu(Mutant::Selection) {
         selection_mutated(&cminor)
+    } else if mu(Mutant::SelectionCmpSwap) {
+        selection_cmp_mutated(&cminor)
     } else {
         selection(&cminor)
     };
     let rtl = if mu(Mutant::Rtlgen) {
         rtlgen_mutated(&cminorsel)
+    } else if mu(Mutant::RtlgenRetZero) {
+        rtlgen_ret_mutated(&cminorsel)
     } else {
         rtlgen(&cminorsel)
     };
@@ -203,12 +238,16 @@ pub fn compile_with_artifacts_mutated(
     };
     let mach = if mu(Mutant::Stacking) {
         stacking_mutated(&linear_clean)
+    } else if mu(Mutant::StackingOffByOne) {
+        stacking_off_mutated(&linear_clean)
     } else {
         stacking(&linear_clean)
     }
     .map_err(CompileError::Stacking)?;
     let asm = if mu(Mutant::Asmgen) {
         asmgen_mutated(&mach)
+    } else if mu(Mutant::AsmgenDropCmp) {
+        asmgen_dropcmp_mutated(&mach)
     } else {
         asmgen(&mach)
     }
@@ -248,16 +287,42 @@ fn strip_atomic(s: &Stmt) -> Stmt {
 /// object modules silently erases every atomic block, so the lock
 /// specification's test-and-set races with itself.
 pub fn id_trans_mutated(m: &CImpModule) -> CImpModule {
+    map_bodies(m, &strip_atomic)
+}
+
+fn strip_assert(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Assert(_) => Stmt::Skip,
+        Stmt::Atomic(inner) => Stmt::Atomic(Box::new(strip_assert(inner))),
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(strip_assert).collect()),
+        Stmt::If(c, a, b) => Stmt::If(
+            c.clone(),
+            Box::new(strip_assert(a)),
+            Box::new(strip_assert(b)),
+        ),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(strip_assert(b))),
+        other => other.clone(),
+    }
+}
+
+/// The [`Mutant::IdTransDropAssert`] seeded bug: object-module
+/// `Assert`s become `Skip`s, so the lock specification no longer checks
+/// its mutual-exclusion invariant on unlock.
+pub fn id_trans_drop_assert(m: &CImpModule) -> CImpModule {
+    map_bodies(m, &strip_assert)
+}
+
+fn map_bodies(m: &CImpModule, f: &dyn Fn(&Stmt) -> Stmt) -> CImpModule {
     CImpModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| {
+            .map(|(n, func)| {
                 (
                     n.clone(),
                     Func {
-                        params: f.params.clone(),
-                        body: strip_atomic(&f.body),
+                        params: func.params.clone(),
+                        body: f(&func.body),
                     },
                 )
             })
@@ -310,8 +375,40 @@ mod tests {
             ]));
             pool.push(ClightModule::new([("f", f), ("g", g)]));
         }
+        // Shapes the generator rarely or never emits: two addressable
+        // locals (CminorgenSwap), a const-LHS loop guard
+        // (SelectionCmpSwap, AsmgenDropCmp), a call with arguments
+        // (StackingOffByOne spills the callee's params), a nonzero
+        // return (RtlgenRetZero).
+        {
+            use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
+            let g = Function {
+                params: vec!["a".into(), "b".into()],
+                vars: vec![],
+                body: Stmt::Return(Some(E::add(E::temp("a"), E::temp("b")))),
+            };
+            let f = Function {
+                params: vec![],
+                vars: vec!["x".into(), "y".into()],
+                body: Stmt::seq([
+                    Stmt::Assign(E::var("x"), E::Const(3)),
+                    Stmt::Assign(E::var("y"), E::Const(4)),
+                    Stmt::Set("i".into(), E::Const(3)),
+                    Stmt::while_loop(
+                        E::bin(Binop::Lt, E::Const(0), E::temp("i")),
+                        Stmt::seq([
+                            Stmt::Assign(E::var("x"), E::add(E::var("x"), E::var("y"))),
+                            Stmt::Set("i".into(), E::bin(Binop::Sub, E::temp("i"), E::Const(1))),
+                        ]),
+                    ),
+                    Stmt::Call(Some("t".into()), "g".into(), vec![E::var("x"), E::var("y")]),
+                    Stmt::Return(Some(E::temp("t"))),
+                ]),
+            };
+            pool.push(ClightModule::new([("f", f), ("g", g)]));
+        }
         for mu in Mutant::ALL {
-            if mu == Mutant::IdTrans {
+            if mu == Mutant::IdTrans || mu == Mutant::IdTransDropAssert {
                 continue; // exercised on CImp modules below
             }
             let fired = pool.iter().any(|m| {
@@ -324,6 +421,44 @@ mod tests {
             });
             assert!(fired, "{mu}: mutant never alters the assembly");
         }
+    }
+
+    #[test]
+    fn id_trans_drop_assert_erases_asserts() {
+        use ccc_cimp::ast::Expr;
+        let f = Func {
+            params: vec![],
+            body: Stmt::atomic(Stmt::Seq(vec![
+                Stmt::Load("t".into(), Expr::global("L")),
+                Stmt::Assert(Expr::Int(1)),
+                Stmt::Store(Expr::global("L"), Expr::Int(1)),
+            ])),
+        };
+        let m = CImpModule::new([("unlock", f)]);
+        let dropped = id_trans_drop_assert(&m);
+        fn has_assert(s: &Stmt) -> bool {
+            match s {
+                Stmt::Assert(_) => true,
+                Stmt::Atomic(b) | Stmt::While(_, b) => has_assert(b),
+                Stmt::Seq(ss) => ss.iter().any(has_assert),
+                Stmt::If(_, a, b) => has_assert(a) || has_assert(b),
+                _ => false,
+            }
+        }
+        fn has_atomic(s: &Stmt) -> bool {
+            match s {
+                Stmt::Atomic(_) => true,
+                Stmt::Seq(ss) => ss.iter().any(has_atomic),
+                Stmt::If(_, a, b) => has_atomic(a) || has_atomic(b),
+                Stmt::While(_, b) => has_atomic(b),
+                _ => false,
+            }
+        }
+        assert!(m.funcs.values().any(|f| has_assert(&f.body)));
+        assert!(!dropped.funcs.values().any(|f| has_assert(&f.body)));
+        // The atomic bracketing itself is preserved — only the assert
+        // goes missing.
+        assert!(dropped.funcs.values().any(|f| has_atomic(&f.body)));
     }
 
     #[test]

@@ -18,6 +18,9 @@ struct Builder {
     temps: BTreeMap<String, PReg>,
     /// The seeded bug for mutation scoring: emit `If` branches swapped.
     swap_if: bool,
+    /// Second seeded bug: `return e` still evaluates `e` but emits a
+    /// bare `Return`, so every non-unit return value becomes 0.
+    ret_zero: bool,
 }
 
 impl Builder {
@@ -165,20 +168,29 @@ impl Builder {
             Stmt::Return(None) => self.add(Instr::Return(None)),
             Stmt::Return(Some(e)) => {
                 let r = self.fresh();
-                let ret = self.add(Instr::Return(Some(r)));
+                let ret = if self.ret_zero {
+                    self.add(Instr::Return(None))
+                } else {
+                    self.add(Instr::Return(Some(r)))
+                };
                 self.expr(e, r, ret)
             }
         }
     }
 }
 
-fn translate_function_with(f: &crate::stmt_sem::Function<SelExpr>, swap_if: bool) -> RtlFunction {
+fn translate_function_with(
+    f: &crate::stmt_sem::Function<SelExpr>,
+    swap_if: bool,
+    ret_zero: bool,
+) -> RtlFunction {
     let mut b = Builder {
         code: BTreeMap::new(),
         next_node: 0,
         next_reg: 0,
         temps: BTreeMap::new(),
         swap_if,
+        ret_zero,
     };
     let params: Vec<PReg> = f.params.iter().map(|p| b.temp(p)).collect();
     let ret0 = b.add(Instr::Return(None));
@@ -192,9 +204,11 @@ fn translate_function_with(f: &crate::stmt_sem::Function<SelExpr>, swap_if: bool
     }
 }
 
-/// Translates one function.
+/// Translates one function. Doubles as the untrusted hint hook of the
+/// symbolic translation validator: the re-derived CFG is the predicted
+/// shape the actual RTLgen output is matched against, block by block.
 pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction {
-    translate_function_with(f, false)
+    translate_function_with(f, false, false)
 }
 
 /// Runs RTL generation over a whole module.
@@ -215,7 +229,18 @@ pub fn rtlgen_mutated(m: &CminorSelModule) -> RtlModule {
         funcs: m
             .funcs
             .iter()
-            .map(|(n, f)| (n.clone(), translate_function_with(f, true)))
+            .map(|(n, f)| (n.clone(), translate_function_with(f, true, false)))
+            .collect(),
+    }
+}
+
+/// Second seeded-bug variant: `return e` evaluates `e` but returns 0.
+pub fn rtlgen_ret_mutated(m: &CminorSelModule) -> RtlModule {
+    RtlModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|(n, f)| (n.clone(), translate_function_with(f, false, true)))
             .collect(),
     }
 }

@@ -15,8 +15,21 @@ use crate::ops::{AddrMode, Cmp, Op};
 use crate::stmt_sem::{Function, Stmt, StmtModule};
 use ccc_clight::ast::{Binop, Unop};
 
+/// Which seeded bug (if any) a selection run carries — see
+/// [`crate::mutant`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mx {
+    /// The real pass.
+    Clean,
+    /// `x - c` selects as `x + c` (the negation is dropped).
+    SubSign,
+    /// `c ? x` selects as `CmpImm(?, c)` without swapping the
+    /// comparison, so `0 < x` becomes `x < 0`.
+    CmpSwap,
+}
+
 /// Selects an address expression into an addressing mode.
-fn select_addr(e: &cminor::Expr, mx: bool) -> AddrMode<Box<SelExpr>> {
+fn select_addr(e: &cminor::Expr, mx: Mx) -> AddrMode<Box<SelExpr>> {
     use cminor::Expr as E;
     match e {
         E::AddrGlobal(g) => AddrMode::Global(g.clone(), 0),
@@ -57,10 +70,10 @@ fn cmp_of(op: Binop) -> Option<Cmp> {
 
 /// Selects one expression (`sel_expr` of Fig. 12).
 pub fn select_expr(e: &cminor::Expr) -> SelExpr {
-    select_expr_in(e, false)
+    select_expr_in(e, Mx::Clean)
 }
 
-fn select_expr_in(e: &cminor::Expr, mx: bool) -> SelExpr {
+fn select_expr_in(e: &cminor::Expr, mx: Mx) -> SelExpr {
     use cminor::Expr as E;
     match e {
         E::Const(i) => SelExpr::imm(*i),
@@ -81,7 +94,7 @@ fn select_expr_in(e: &cminor::Expr, mx: bool) -> SelExpr {
     }
 }
 
-fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: bool) -> SelExpr {
+fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: Mx) -> SelExpr {
     let (ca, cb) = (as_const(&sa), as_const(&sb));
     // Full constant folding.
     if let (Some(x), Some(y)) = (ca, cb) {
@@ -100,7 +113,7 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: bool) -> SelExpr {
         // `mx` is the seeded bug for mutation scoring: the immediate's
         // negation is dropped, so `x - c` selects as `x + c`.
         (Binop::Sub, None, Some(c)) if c != i64::MIN => {
-            SelExpr::Op(Op::AddImm(if mx { c } else { -c }), vec![sa])
+            SelExpr::Op(Op::AddImm(if mx == Mx::SubSign { c } else { -c }), vec![sa])
         }
         // `x * 0` → 0: the classic footprint-shrinking strength
         // reduction (safe for Safe sources; see module docs).
@@ -112,7 +125,9 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: bool) -> SelExpr {
             SelExpr::Op(Op::CmpImm(cmp_of(op).expect("checked"), c), vec![sa])
         }
         (op, Some(c), None) if cmp_of(op).is_some() => {
-            SelExpr::Op(Op::CmpImm(cmp_of(op).expect("checked").swap(), c), vec![sb])
+            let cmp = cmp_of(op).expect("checked");
+            let cmp = if mx == Mx::CmpSwap { cmp } else { cmp.swap() };
+            SelExpr::Op(Op::CmpImm(cmp, c), vec![sb])
         }
         // General register-register forms.
         (Binop::Add, ..) => SelExpr::Op(Op::Add, vec![sa, sb]),
@@ -129,7 +144,7 @@ fn select_binop(op: Binop, sa: SelExpr, sb: SelExpr, mx: bool) -> SelExpr {
     }
 }
 
-fn select_stmt(s: &cminor::Stmt, mx: bool) -> cminorsel::Stmt {
+fn select_stmt(s: &cminor::Stmt, mx: Mx) -> cminorsel::Stmt {
     match s {
         Stmt::Skip => Stmt::Skip,
         Stmt::Set(t, e) => Stmt::Set(t.clone(), select_expr_in(e, mx)),
@@ -166,7 +181,7 @@ fn select_stmt(s: &cminor::Stmt, mx: bool) -> cminorsel::Stmt {
     }
 }
 
-fn selection_with(m: &cminor::CminorModule, mx: bool) -> cminorsel::CminorSelModule {
+fn selection_with(m: &cminor::CminorModule, mx: Mx) -> cminorsel::CminorSelModule {
     StmtModule {
         funcs: m
             .funcs
@@ -187,14 +202,34 @@ fn selection_with(m: &cminor::CminorModule, mx: bool) -> cminorsel::CminorSelMod
 
 /// Runs selection over a whole module.
 pub fn selection(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
-    selection_with(m, false)
+    selection_with(m, Mx::Clean)
+}
+
+/// The untrusted per-function hint consumed by the symbolic translation
+/// validator: the selected form the *reference* selection produces for
+/// `f`. The validator compares it semantically against the actual
+/// output, so a wrong hint can only cause a false rejection.
+#[must_use]
+pub fn select_function(f: &Function<cminor::Expr>) -> Function<SelExpr> {
+    Function {
+        params: f.params.clone(),
+        stack_slots: f.stack_slots,
+        body: select_stmt(&f.body, Mx::Clean),
+    }
 }
 
 /// Seeded-bug variant for mutation scoring ([`crate::mutant`]): the
 /// `x - c` → `x + (-c)` strength reduction drops the negation, so every
 /// subtraction-by-constant becomes an addition.
 pub fn selection_mutated(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
-    selection_with(m, true)
+    selection_with(m, Mx::SubSign)
+}
+
+/// Second seeded-bug variant: comparisons with a constant left operand
+/// keep their comparison unswapped when folded into `CmpImm`, flipping
+/// `c < x` into `x < c`.
+pub fn selection_cmp_mutated(m: &cminor::CminorModule) -> cminorsel::CminorSelModule {
+    selection_with(m, Mx::CmpSwap)
 }
 
 #[cfg(test)]

@@ -34,20 +34,32 @@ impl std::error::Error for StackingError {}
 const SCRATCH1: MReg = MReg::Ebx;
 const SCRATCH2: MReg = MReg::Eax;
 
+/// Which seeded bug (if any) a stacking run carries — see
+/// [`crate::mutant`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FrameBug {
+    /// The real pass.
+    Clean,
+    /// Spill offsets forget the `stack_slots` base, aliasing the
+    /// source-level `AddrStack` slots.
+    ForgetBase,
+    /// Spill offsets are shifted by one, so the last spill slot lands
+    /// outside the declared frame.
+    OffByOne,
+}
+
 struct Ctx {
     stack_slots: u64,
     code: Vec<MIn>,
-    /// The seeded bug for mutation scoring: spill offsets forget the
-    /// `stack_slots` base, aliasing the source-level `AddrStack` slots.
-    forget_base: bool,
+    bug: FrameBug,
 }
 
 impl Ctx {
     fn off(&self, spill: u32) -> u64 {
-        if self.forget_base {
-            spill as u64
-        } else {
-            self.stack_slots + spill as u64
+        match self.bug {
+            FrameBug::Clean => self.stack_slots + spill as u64,
+            FrameBug::ForgetBase => spill as u64,
+            FrameBug::OffByOne => self.stack_slots + spill as u64 + 1,
         }
     }
 
@@ -111,11 +123,11 @@ fn op_commutes(op: &Op) -> bool {
     matches!(op, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
 }
 
-fn transform_function_with(f: &LinFunction, forget_base: bool) -> Result<MFunction, StackingError> {
+fn transform_function_with(f: &LinFunction, bug: FrameBug) -> Result<MFunction, StackingError> {
     let mut ctx = Ctx {
         stack_slots: f.stack_slots,
         code: Vec::new(),
-        forget_base,
+        bug,
     };
     // Prologue: store incoming argument registers into the parameter
     // slots.
@@ -225,6 +237,18 @@ fn transform_function_with(f: &LinFunction, forget_base: bool) -> Result<MFuncti
     })
 }
 
+/// Transforms one function — also the untrusted hint hook of the
+/// symbolic translation validator: the re-derived expansion is the
+/// predicted Mach code the actual Stacking output is compared against
+/// (on top of the independent frame-cover obligations).
+///
+/// # Errors
+///
+/// Fails if the allocator's conventions were violated.
+pub fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
+    transform_function_with(f, FrameBug::Clean)
+}
+
 /// Runs frame layout over a module.
 ///
 /// # Errors
@@ -233,7 +257,7 @@ fn transform_function_with(f: &LinFunction, forget_base: bool) -> Result<MFuncti
 pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, false)?);
+        funcs.insert(n.clone(), transform_function_with(f, FrameBug::Clean)?);
     }
     Ok(MachModule { funcs })
 }
@@ -249,7 +273,23 @@ pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
 pub fn stacking_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
     let mut funcs = std::collections::BTreeMap::new();
     for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, true)?);
+        funcs.insert(n.clone(), transform_function_with(f, FrameBug::ForgetBase)?);
+    }
+    Ok(MachModule { funcs })
+}
+
+/// Second seeded-bug variant: spill slot `i` is laid out at
+/// `stack_slots + i + 1`, so adjacent spills alias and the last one
+/// falls outside the declared frame (a frame-cover violation).
+///
+/// # Errors
+///
+/// Fails if the allocator's conventions were violated, like the real
+/// pass.
+pub fn stacking_off_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
+    let mut funcs = std::collections::BTreeMap::new();
+    for (n, f) in &m.funcs {
+        funcs.insert(n.clone(), transform_function_with(f, FrameBug::OffByOne)?);
     }
     Ok(MachModule { funcs })
 }

@@ -9,8 +9,12 @@
 use crate::gen::gen_program;
 use crate::oracle::{check_program, FuzzFailure, OracleCfg};
 use crate::spec::{lower, FuzzProgram};
-use ccc_analysis::validate_artifacts;
-use ccc_compiler::{compile_with_artifacts_mutated, Mutant};
+use ccc_analysis::transval::Verdict;
+use ccc_analysis::{validate_artifacts, validate_id_trans};
+use ccc_compiler::{
+    compile_with_artifacts_mutated, id_trans_drop_assert, id_trans_mutated, Mutant,
+};
+use ccc_sync::lock::lock_spec;
 
 /// The `i`-th input of the shared scoreboard stream.
 #[must_use]
@@ -174,6 +178,27 @@ pub fn transval_corpus_board(witnesses: &[(Mutant, FuzzProgram)]) -> Vec<StaticK
     witnesses
         .iter()
         .map(|(mutant, p)| {
+            // The object-level mutants never touch the Clight pipeline
+            // the witness program compiles through; their static check
+            // is the IdTrans validator over the lock object itself.
+            let object_tgt = match mutant {
+                Mutant::IdTrans => Some(id_trans_mutated(&lock_spec("L").0)),
+                Mutant::IdTransDropAssert => Some(id_trans_drop_assert(&lock_spec("L").0)),
+                _ => None,
+            };
+            if let Some(tgt) = object_tgt {
+                let (lock, _lock_ge) = lock_spec("L");
+                let w = validate_id_trans(&lock, &tgt);
+                return StaticKill {
+                    mutant: *mutant,
+                    rejected_at: (w.verdict == Verdict::Rejected).then(|| w.pass.clone()),
+                    detail: w
+                        .diagnostics()
+                        .first()
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                };
+            }
             let (m, _ge, _entries) = lower(p);
             match compile_with_artifacts_mutated(&m, Some(*mutant)) {
                 Err(e) => StaticKill {

@@ -25,10 +25,12 @@
 
 use crate::spec::{lower, FuzzProgram};
 use ccc_analysis::transval::Verdict;
-use ccc_analysis::{validate_artifacts, Validation};
+use ccc_analysis::{validate_artifacts, validate_id_trans, Validation};
 use ccc_clight::ClightLang;
 use ccc_compiler::driver::CompilationArtifacts;
-use ccc_compiler::{compile_with_artifacts_mutated, id_trans_mutated, Mutant};
+use ccc_compiler::{
+    compile_with_artifacts_mutated, id_trans_drop_assert, id_trans_mutated, Mutant,
+};
 use ccc_core::footprint::{fp_match, Mu};
 use ccc_core::lang::Lang;
 use ccc_core::mem::GlobalEnv;
@@ -83,9 +85,14 @@ impl Default for OracleCfg {
 }
 
 /// The pipeline pass whose symbolic validation covers a differential
-/// stage name, for the seven statically supported passes.
+/// stage name. Every compiled stage is covered; only the TSO machine
+/// comparison (`Asm/TSO`) and the schedule replay probe have no static
+/// counterpart.
 fn owning_pass(stage: &str) -> Option<&'static str> {
     match stage {
+        "Cminor" => Some("Cshmgen/Cminorgen"),
+        "CminorSel" => Some("Selection"),
+        "RTL" => Some("RTLgen"),
         "RTL/tailcall" => Some("Tailcall"),
         "RTL/renumber" => Some("Renumber"),
         "Constprop" => Some("Constprop"),
@@ -93,6 +100,8 @@ fn owning_pass(stage: &str) -> Option<&'static str> {
         "LTL/tunneled" => Some("Tunneling"),
         "Linear" => Some("Linearize"),
         "Linear/clean" => Some("CleanupLabels"),
+        "Mach" => Some("Stacking"),
+        "Asm/SC" => Some("Asmgen"),
         _ => None,
     }
 }
@@ -351,9 +360,9 @@ fn check_differential(
     mutant: Option<Mutant>,
     cfg: &OracleCfg,
 ) -> Result<(), FuzzFailure> {
-    // In `Static` mode the statically validated mid-end passes are not
-    // re-checked differentially — only the front end, Stacking, Asmgen
-    // and the machine-level comparisons run.
+    // In `Static` mode the statically validated passes are not
+    // re-checked differentially — only the TSO machine comparison and
+    // the schedule record/replay probe still execute code.
     let skip = |s: &str| cfg.validation == Validation::Static && owning_pass(s).is_some();
     let cp = arts
         .rtl_constprop
@@ -429,13 +438,34 @@ fn check_differential(
 
     // --- Concurrent shape: link every stage against the lock object ---
     let (lock, lock_ge) = lock_spec("L");
-    // The object module goes through the identity transformation; its
-    // mutant strips the atomic blocks.
-    let tgt_lock = if mutant == Some(Mutant::IdTrans) {
-        id_trans_mutated(&lock)
-    } else {
-        lock.clone()
+    // The object module goes through the identity transformation; one
+    // mutant strips the atomic blocks, the other erases the asserts
+    // inside them.
+    let tgt_lock = match mutant {
+        Some(Mutant::IdTrans) => id_trans_mutated(&lock),
+        Some(Mutant::IdTransDropAssert) => id_trans_drop_assert(&lock),
+        _ => lock.clone(),
     };
+
+    // Static validation of the object-level transformation: atomic
+    // bracketing (and everything inside it) must survive bit-for-bit.
+    if cfg.validation != Validation::Differential {
+        let w = validate_id_trans(&lock, &tgt_lock);
+        if w.verdict == Verdict::Rejected {
+            let first = w
+                .diagnostics()
+                .into_iter()
+                .next()
+                .map_or_else(String::new, |d| d.to_string());
+            return Err(fail(
+                "transval/IdTrans",
+                format!(
+                    "static validation rejected ({} undischarged obligations): {first}",
+                    w.failures().count()
+                ),
+            ));
+        }
+    }
 
     let src_loaded = crate::link::link_with_object(
         ClightLang,
@@ -505,13 +535,33 @@ fn check_differential(
         &arts.linear_clean
     );
     let _ = conc_stage!("Mach", ccc_compiler::mach::MachLang, &arts.mach);
-    let sc = conc_stage!("Asm/SC", X86Sc, &arts.asm).expect("Asm/SC is never skipped");
+    let sc = conc_stage!("Asm/SC", X86Sc, &arts.asm);
 
     // TSO robustness: a DRF lock-disciplined client must show exactly
     // its SC behaviour on the TSO machine (Thm. of §2 / the TSO story
-    // of the Asm machines). Racy clients may legitimately differ.
+    // of the Asm machines). Racy clients may legitimately differ. In
+    // `Static` mode the SC stage comparison above was skipped, so the
+    // SC trace set is computed here just for the TSO comparison.
     if src.drf == Some(true) {
-        if let Some(sc_traces) = &sc.traces {
+        let computed;
+        let sc_traces = match &sc {
+            Some(obs) => obs.traces.as_ref(),
+            None => {
+                let sc_loaded = crate::link::link_with_object(
+                    X86Sc,
+                    arts.asm.clone(),
+                    ge.clone(),
+                    tgt_lock.clone(),
+                    lock_ge.clone(),
+                    entries.to_vec(),
+                )
+                .map_err(|e| fail("Asm/TSO", format!("sc link failed: {e:?}")))?;
+                computed = collect_traces_preemptive(&sc_loaded, &cfg.explore)
+                    .map_err(|e| fail("Asm/TSO", format!("sc exploration failed: {e:?}")))?;
+                (!computed.truncated).then_some(&computed)
+            }
+        };
+        if let Some(sc_traces) = sc_traces {
             let tso_loaded = crate::link::link_with_object(
                 X86Tso,
                 arts.asm.clone(),

@@ -6,20 +6,73 @@
 //! Run with: `cargo run -p ccc-examples --example ir_dump`
 //!
 //! Pass `--validate=static|diff|both` to additionally run the
-//! translation validators over this compilation and print a per-pass
-//! summary: `static` is the symbolic validator of
-//! `ccc_analysis::transval` (with differential fallback for the passes
-//! it does not cover), `diff` is the co-execution simulation check of
-//! `ccc_compiler::verif`, and `both` runs the two and reports any
-//! disagreement.
+//! translation validators over this compilation and print a per-stage
+//! summary table: `static` is the symbolic validator of
+//! `ccc_analysis::transval` (which covers every stage — nothing falls
+//! back), `diff` is the co-execution simulation check of
+//! `ccc_compiler::verif`, and `both` runs the two side by side and
+//! reports any disagreement. Each stage's row shows its verdict(s)
+//! and the wall-clock each checker spent on it.
 
-use ccc_analysis::{infer_clight, infer_rtl, validate_with_mode, Validation};
+use ccc_analysis::transval::{backend, frontend, passes as tv, Verdict};
+use ccc_analysis::{infer_clight, infer_rtl, validate_with_mode, SimWitness, Validation};
 use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
 use ccc_clight::ClightModule;
 use ccc_compiler::constprop::constprop;
-use ccc_compiler::driver::compile_with_artifacts;
+use ccc_compiler::driver::{compile_with_artifacts, CompilationArtifacts};
 use ccc_compiler::pretty::{dump_artifacts, rtl_module};
+use ccc_compiler::verif::verify_passes_filtered;
 use ccc_core::mem::GlobalEnv;
+use std::time::Instant;
+
+/// Every pipeline stage the validators judge, in order, with its
+/// symbolic validator entry point. The Constprop stage is skipped when
+/// the plain pipeline did not produce its artifact.
+type StageValidator = fn(&CompilationArtifacts) -> Option<SimWitness>;
+
+const STAGES: [(&str, StageValidator); 12] = [
+    ("Cshmgen/Cminorgen", |a| {
+        Some(frontend::validate_cminorgen(&a.clight, &a.cminor))
+    }),
+    ("Selection", |a| {
+        Some(frontend::validate_selection(&a.cminor, &a.cminorsel))
+    }),
+    ("RTLgen", |a| {
+        Some(backend::validate_rtlgen(&a.cminorsel, &a.rtl))
+    }),
+    ("Tailcall", |a| {
+        Some(tv::validate_tailcall(&a.rtl, &a.rtl_tailcall))
+    }),
+    ("Renumber", |a| {
+        Some(tv::validate_renumber(&a.rtl_tailcall, &a.rtl_renumber))
+    }),
+    ("Constprop", |a| {
+        a.rtl_constprop
+            .as_ref()
+            .map(|cp| tv::validate_constprop(&a.rtl_renumber, cp))
+    }),
+    ("Allocation", |a| {
+        Some(tv::validate_allocation(
+            a.rtl_constprop.as_ref().unwrap_or(&a.rtl_renumber),
+            &a.ltl,
+        ))
+    }),
+    ("Tunneling", |a| {
+        Some(tv::validate_tunneling(&a.ltl, &a.ltl_tunneled))
+    }),
+    ("Linearize", |a| {
+        Some(tv::validate_linearize(&a.ltl_tunneled, &a.linear))
+    }),
+    ("CleanupLabels", |a| {
+        Some(tv::validate_cleanup(&a.linear, &a.linear_clean))
+    }),
+    ("Stacking", |a| {
+        Some(backend::validate_stacking(&a.linear_clean, &a.mach))
+    }),
+    ("Asmgen", |a| {
+        Some(backend::validate_asmgen(&a.mach, &a.asm))
+    }),
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut validate: Option<Validation> = None;
@@ -92,20 +145,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(mode) = validate {
         println!("\n=== Translation validation (--validate={mode:?}) ===\n");
         let ge = GlobalEnv::new();
+
+        // Per-stage summary: each checker's verdict and the wall-clock
+        // it spent on that stage alone.
+        let run_static = mode != Validation::Differential;
+        let run_diff = mode != Validation::Static;
+        println!("  {:<17} {:>22} {:>26}", "stage", "static", "differential");
+        for (stage, validate_stage) in STAGES {
+            let static_cell = if run_static {
+                let t = Instant::now();
+                let w = validate_stage(&arts);
+                let dt = t.elapsed();
+                match w {
+                    Some(w) => {
+                        let verdict = match w.verdict {
+                            Verdict::Validated => "validated",
+                            Verdict::Rejected => "REJECTED",
+                            Verdict::Unsupported => "unsupported",
+                        };
+                        format!("{verdict} {:>8.3} ms", dt.as_secs_f64() * 1000.0)
+                    }
+                    None => "(stage not run)".to_string(),
+                }
+            } else {
+                "—".to_string()
+            };
+            let diff_cell = if run_diff && (stage != "Constprop" || arts.rtl_constprop.is_some()) {
+                let t = Instant::now();
+                let pv = verify_passes_filtered(&arts, &ge, "main", &|p| p == stage);
+                let dt = t.elapsed();
+                let ok = pv.ok();
+                format!(
+                    "{} {:>8.3} ms",
+                    if ok { "simulated OK" } else { "FAILED" },
+                    dt.as_secs_f64() * 1000.0
+                )
+            } else {
+                "—".to_string()
+            };
+            println!("  {stage:<17} {static_cell:>22} {diff_cell:>26}");
+        }
+
         let report = validate_with_mode(&arts, &ge, "main", mode);
         if let Some(w) = &report.witness {
-            println!("Symbolic validator (per-pass SimWitness):");
+            println!("\nSymbolic validator (per-pass SimWitness):");
             for sw in &w.witnesses {
                 println!("  {sw}");
             }
-        }
-        if let Some(pv) = &report.differential {
-            println!("Differential co-execution (ccc_compiler::verif):");
-            for v in pv {
+            if mode == Validation::Static {
                 println!(
-                    "  pass {}: {}",
-                    v.pass,
-                    if v.ok() { "simulated OK" } else { "FAILED" }
+                    "  (differential fallback: {})",
+                    if report.differential.is_none() {
+                        "none — every stage judged statically".to_string()
+                    } else {
+                        format!("ran for {:?}", w.unsupported_passes())
+                    }
                 );
             }
         }

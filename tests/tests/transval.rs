@@ -3,23 +3,34 @@
 //!
 //! * Zero false rejections: every clean compilation of the persisted
 //!   regression corpus and of a proptest-generated program sample
-//!   validates statically, with all seven supported mid-end passes
-//!   `Validated`.
-//! * Zero false acceptances on the seeded mutants: every RTL-family
-//!   mutant is rejected *statically* — no instruction is executed —
-//!   and the rejection is localized to the mutated pass.
+//!   validates statically, with **every** pipeline stage `Validated` —
+//!   no stage reports `Unsupported`, so `Validation::Static` never
+//!   falls back to the differential oracle.
+//! * Zero false acceptances on the seeded mutants: every compiled-
+//!   pipeline mutant is rejected *statically* — no instruction is
+//!   executed — and the rejection is localized to the mutated pass;
+//!   the object-level `IdTrans` mutants are rejected by the dedicated
+//!   `validate_id_trans` check.
 //! * Hints are untrusted: a hand-seeded unsound block matching (one
 //!   whose footprint cover would have to be over-wide) is rejected.
+//! * Witnesses are durable: every `SimWitness` survives the hand-
+//!   rolled JSON round-trip with all obligations intact.
 //! * `Validation::Both` never disagrees with the differential
 //!   co-execution oracle on the corpus.
 
+use ccc_analysis::transval::json::{
+    pipeline_from_json, pipeline_to_json, witness_from_json, witness_to_json,
+};
 use ccc_analysis::transval::passes::validate_rtl_matching;
 use ccc_analysis::transval::{ObligationKind, Verdict};
-use ccc_analysis::{validate_artifacts, validate_with_mode, Validation};
+use ccc_analysis::{validate_artifacts, validate_id_trans, validate_with_mode, Validation};
 use ccc_compiler::driver::compile_with_artifacts;
 use ccc_compiler::rtl::{Function as RtlFn, Instr, RtlModule};
-use ccc_compiler::{compile_with_artifacts_mutated, Mutant};
+use ccc_compiler::{
+    compile_with_artifacts_mutated, id_trans_drop_assert, id_trans_mutated, Mutant,
+};
 use ccc_fuzz::{gen_program, lower, CorpusEntry};
+use ccc_sync::lock::lock_spec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -44,22 +55,51 @@ fn corpus_entries() -> Vec<(PathBuf, CorpusEntry)> {
         .collect()
 }
 
-/// The seven passes the symbolic validator covers, with the mutant
-/// that corrupts each.
-const RTL_FAMILY: [(Mutant, &str); 7] = [
-    (Mutant::Tailcall, "Tailcall"),
-    (Mutant::Renumber, "Renumber"),
-    (Mutant::Constprop, "Constprop"),
-    (Mutant::Allocation, "Allocation"),
-    (Mutant::Tunneling, "Tunneling"),
-    (Mutant::Linearize, "Linearize"),
-    (Mutant::CleanupLabels, "CleanupLabels"),
+/// Every mutant of the *compiled* pipeline (the object-level `IdTrans`
+/// family goes through `validate_id_trans` instead), with the pass the
+/// static validator must localize its rejection to.
+const PIPELINE_MUTANTS: [Mutant; 17] = [
+    Mutant::Cminorgen,
+    Mutant::CminorgenSwap,
+    Mutant::Selection,
+    Mutant::SelectionCmpSwap,
+    Mutant::Rtlgen,
+    Mutant::RtlgenRetZero,
+    Mutant::Tailcall,
+    Mutant::Renumber,
+    Mutant::Constprop,
+    Mutant::Allocation,
+    Mutant::Tunneling,
+    Mutant::Linearize,
+    Mutant::CleanupLabels,
+    Mutant::Stacking,
+    Mutant::StackingOffByOne,
+    Mutant::Asmgen,
+    Mutant::AsmgenDropCmp,
+];
+
+/// Every validated stage: the 11 pipeline stages, the Constprop
+/// extension, and the object-level IdTrans check, in order.
+const ALL_STAGES: [&str; 13] = [
+    "Cshmgen/Cminorgen",
+    "Selection",
+    "RTLgen",
+    "Tailcall",
+    "Renumber",
+    "Constprop",
+    "Allocation",
+    "Tunneling",
+    "Linearize",
+    "CleanupLabels",
+    "Stacking",
+    "Asmgen",
+    "IdTrans",
 ];
 
 #[test]
-fn corpus_accepts_statically_with_seven_passes_validated() {
+fn corpus_accepts_statically_with_every_stage_validated() {
     let entries = corpus_entries();
-    assert!(entries.len() >= 13, "corpus incomplete: {}", entries.len());
+    assert!(entries.len() >= 19, "corpus incomplete: {}", entries.len());
     for (path, entry) in &entries {
         let (m, _ge, _entries) = lower(&entry.program);
         // The extended pipeline (with the Constprop stage) — the same
@@ -68,15 +108,29 @@ fn corpus_accepts_statically_with_seven_passes_validated() {
             .unwrap_or_else(|e| panic!("{}: clean compile failed: {e:?}", path.display()));
         let w = validate_artifacts(&arts);
         assert!(w.ok(), "{}: false rejection:\n{w}", path.display());
-        let validated = w
-            .witnesses
-            .iter()
-            .filter(|sw| sw.verdict == Verdict::Validated)
-            .count();
-        assert!(
-            validated >= 7,
-            "{}: only {validated} passes statically validated:\n{w}",
+        // Full coverage: 12 witnesses (11 pipeline stages + the
+        // Constprop extension; IdTrans is validated at the object
+        // level), all Validated, none Unsupported.
+        assert_eq!(
+            w.witnesses.len(),
+            12,
+            "{}: wrong stage count",
             path.display()
+        );
+        for sw in &w.witnesses {
+            assert_eq!(
+                sw.verdict,
+                Verdict::Validated,
+                "{}: stage {} not statically validated:\n{w}",
+                path.display(),
+                sw.pass
+            );
+        }
+        assert!(
+            w.unsupported_passes().is_empty(),
+            "{}: stages silently unsupported: {:?}",
+            path.display(),
+            w.unsupported_passes()
         );
     }
 }
@@ -84,8 +138,9 @@ fn corpus_accepts_statically_with_seven_passes_validated() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    // Zero false rejections over generated programs: any clean
-    // compilation's artifacts must discharge all obligations.
+    // Zero false rejections over generated programs, with no stage
+    // falling back: any clean compilation's artifacts must discharge
+    // all obligations of all 12 stages.
     #[test]
     fn generated_programs_accept_statically(seed in 0u64..1_000_000, size in 0u32..8) {
         let p = gen_program(seed, size);
@@ -93,15 +148,30 @@ proptest! {
         let arts = compile_with_artifacts_mutated(&m, None).expect("generated programs compile");
         let w = validate_artifacts(&arts);
         prop_assert!(w.ok(), "false rejection on seed {seed}/{size}:\n{w}");
+        prop_assert!(
+            w.unsupported_passes().is_empty(),
+            "silent fallback on seed {seed}/{size}: {:?}",
+            w.unsupported_passes()
+        );
+        prop_assert_eq!(w.witnesses.len(), 12);
+    }
+
+    // The object-level identity transformation validates for arbitrary
+    // lock-global names (the only parameter `lock_spec` takes).
+    #[test]
+    fn id_trans_accepts_clean_lock_objects(name in "[A-Za-z][A-Za-z0-9_]{0,8}") {
+        let (lock, _ge) = lock_spec(&name);
+        let w = validate_id_trans(&lock, &lock);
+        prop_assert_eq!(w.verdict, Verdict::Validated, "false rejection:\n{}", w);
     }
 }
 
 #[test]
-fn rtl_family_mutants_rejected_statically() {
-    for (mutant, pass) in RTL_FAMILY {
+fn pipeline_mutants_rejected_statically_at_their_stage() {
+    for mutant in PIPELINE_MUTANTS {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("corpus")
-            .join(format!("kill_{}.txt", pass.to_lowercase()));
+            .join(format!("kill_{mutant:?}.txt").to_lowercase());
         let text = std::fs::read_to_string(&path).expect("corpus killer exists");
         let entry = CorpusEntry::from_text(&text).expect("parses");
         let (m, _ge, _entries) = lower(&entry.program);
@@ -114,8 +184,27 @@ fn rtl_family_mutants_rejected_statically() {
             "{mutant:?} slipped past the static validator"
         );
         assert_eq!(
-            rejected[0].pass, pass,
+            rejected[0].pass,
+            mutant.pass_name(),
             "{mutant:?} rejected at the wrong pass:\n{w}"
+        );
+    }
+}
+
+#[test]
+fn id_trans_mutants_rejected_by_atomic_shape() {
+    let (lock, _ge) = lock_spec("L");
+    for (name, tgt) in [
+        ("IdTrans", id_trans_mutated(&lock)),
+        ("IdTransDropAssert", id_trans_drop_assert(&lock)),
+    ] {
+        let w = validate_id_trans(&lock, &tgt);
+        assert_eq!(w.verdict, Verdict::Rejected, "{name} accepted:\n{w}");
+        assert!(
+            w.obligations
+                .iter()
+                .any(|o| o.kind == ObligationKind::AtomicShape && !o.discharged),
+            "{name}: expected an undischarged AtomicShape obligation:\n{w}"
         );
     }
 }
@@ -168,11 +257,10 @@ fn unsound_matching_with_overwide_footprint_is_rejected() {
 }
 
 #[test]
-fn static_board_kills_every_rtl_family_mutant_on_corpus() {
-    // The 13-mutant board over the persisted corpus witnesses: every
-    // RTL-family mutant must die statically; the front-end/back-end
-    // mutants (and the object-level IdTrans) still need the dynamic
-    // oracle, and exactly those.
+fn static_board_kills_every_mutant_on_corpus() {
+    // The 19-mutant board over the persisted corpus witnesses: every
+    // mutant — front end, mid end, back end and the object level —
+    // must die statically, with no dynamic oracle left in the loop.
     let witnesses: Vec<_> = Mutant::ALL
         .iter()
         .map(|&m| {
@@ -184,17 +272,83 @@ fn static_board_kills_every_rtl_family_mutant_on_corpus() {
         })
         .collect();
     let board = ccc_fuzz::transval_corpus_board(&witnesses);
-    let statically_killed: Vec<_> = board
+    let survivors: Vec<_> = board
         .iter()
-        .filter(|k| k.killed())
+        .filter(|k| !k.killed())
         .map(|k| k.mutant)
         .collect();
-    let rtl_family: Vec<_> = RTL_FAMILY.iter().map(|(m, _)| *m).collect();
-    assert_eq!(
-        statically_killed,
-        rtl_family,
-        "static board:\n{}",
+    assert!(
+        survivors.is_empty(),
+        "mutants surviving the static board: {survivors:?}\n{}",
         ccc_fuzz::static_board_markdown(&board)
+    );
+    assert_eq!(board.len(), Mutant::ALL.len());
+}
+
+#[test]
+fn witnesses_round_trip_through_json_for_every_stage() {
+    // One clean pipeline and one rejected one: every stage's witness —
+    // including failure notes and node anchors — must survive
+    // serialize → deserialize intact, and the reconstructed verdict
+    // must still agree with its obligations (re-validation).
+    let entries = corpus_entries();
+    let (_, entry) = &entries[0];
+    let (m, _ge, _entries) = lower(&entry.program);
+    let pipelines = vec![
+        validate_artifacts(&compile_with_artifacts_mutated(&m, None).expect("clean compile")),
+        validate_artifacts(
+            &compile_with_artifacts_mutated(&m, Some(Mutant::Rtlgen)).expect("mutated compile"),
+        ),
+    ];
+    let (lock, _ge) = lock_spec("L");
+    let mut seen_stages: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut witnesses: Vec<_> = pipelines.iter().flat_map(|p| p.witnesses.clone()).collect();
+    witnesses.push(validate_id_trans(&lock, &lock));
+    witnesses.push(validate_id_trans(&lock, &id_trans_mutated(&lock)));
+    for sw in &witnesses {
+        seen_stages.insert(sw.pass.clone());
+        let json = witness_to_json(sw);
+        let back = witness_from_json(&json)
+            .unwrap_or_else(|e| panic!("stage {}: round trip failed: {e}\n{json}", sw.pass));
+        assert_eq!(
+            &back, sw,
+            "stage {}: witness altered by round trip",
+            sw.pass
+        );
+        // Re-validate: the stored verdict is consistent with the
+        // obligations it claims to summarize.
+        let rederived = if back.obligations.iter().all(|o| o.discharged) {
+            Verdict::Validated
+        } else {
+            Verdict::Rejected
+        };
+        if back.verdict != Verdict::Unsupported {
+            assert_eq!(back.verdict, rederived, "stage {}: stale verdict", sw.pass);
+        }
+    }
+    for stage in ALL_STAGES {
+        assert!(seen_stages.contains(stage), "no witness exercised {stage}");
+    }
+    // Whole-pipeline round trip too.
+    for p in &pipelines {
+        let json = pipeline_to_json(p);
+        let back = pipeline_from_json(&json).expect("pipeline round trip");
+        assert_eq!(back.witnesses, p.witnesses);
+    }
+}
+
+#[test]
+fn static_mode_runs_no_differential_fallback() {
+    let corpus = corpus_entries();
+    let (_, entry) = &corpus[0];
+    let (m, ge, entries) = lower(&entry.program);
+    let arts = compile_with_artifacts(&m).expect("clean compile");
+    let report = validate_with_mode(&arts, &ge, &entries[0], Validation::Static);
+    assert!(report.ok());
+    assert!(
+        report.differential.is_none(),
+        "Validation::Static silently fell back to the differential oracle: {:?}",
+        report.differential
     );
 }
 
