@@ -1,0 +1,806 @@
+//! The abstract-interpretation framework (`absint`).
+//!
+//! Two cooperating abstract domains over two IR levels:
+//!
+//! * **Intervals over RTL** — a flow-sensitive interpreter of RTL
+//!   instructions over [`ccc_core::Interval`] environments, with
+//!   branch-refined per-edge transfer ([`ival_edges`]), statically
+//!   infeasible edges dropped, and a widened worklist fixpoint
+//!   ([`analyze_rtl_intervals`]). This engine is *independent* of the
+//!   one inside `ccc_compiler::constprop`: the translation validator
+//!   ([`crate::transval`]) re-checks the optimizer's claimed facts for
+//!   edge closure against *this* engine ([`interval_facts_violation`]),
+//!   so an optimizer bug cannot certify itself.
+//!
+//! * **Region-based escape analysis over Clight** — classifies every
+//!   named global of a concurrent client as thread-local,
+//!   lock-protected, atomic-only, or shared-free
+//!   ([`escape_analysis`]), from the per-thread abstract accesses the
+//!   lockset walker collects. Thread-local classifications feed the
+//!   partial-order reduction of `ccc_core::explore` (accesses to a
+//!   thread's private globals need no interleaving) and let the race
+//!   analysis drop false positives on non-escaping locations.
+//!
+//! A small **Clight front-end adapter** ([`clight_interval`],
+//! [`clight_assume`]) evaluates source expressions over temporary
+//! interval environments, so source-level walkers (the sharpened
+//! lockset analysis) can prune statically dead branches with the same
+//! domain.
+//!
+//! # Soundness contracts
+//!
+//! A register/temporary bound in an interval environment **definitely
+//! holds `Val::Int(c)`** with `c` in the interval; absence claims
+//! nothing (the value may be a pointer or undefined). For the closure
+//! check: if claimed facts contain the entry with the empty
+//! environment and every [`ival_edges`] successor of every claimed
+//! node is claimed with a superset environment, then the claimed-node
+//! set contains every reachable program point and every claim holds on
+//! every reaching concrete state — regardless of how the claims were
+//! produced (widening and fixpoint order are entirely untrusted).
+
+use crate::lockset::{check_static_race, Access, LockModel};
+use crate::region::Region;
+use ccc_clight::ast::{Binop, ClightModule, Expr, Unop};
+use ccc_compiler::ops::{Cmp, Op};
+use ccc_compiler::rtl::{Function, Instr, Node, PReg};
+use ccc_core::mem::{GlobalEnv, Val};
+use ccc_core::{AmpleHints, Interval};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-register interval facts at one RTL program point.
+pub type IntervalEnv = BTreeMap<PReg, Interval>;
+
+/// Interval facts for every (claimed-reachable) node of one function.
+pub type IntervalFacts = BTreeMap<Node, IntervalEnv>;
+
+// ---------------------------------------------------------------------
+// Interval engine over RTL
+// ---------------------------------------------------------------------
+
+/// Decides the comparison `a cc b` from the operand ranges, when they
+/// do not straddle the boundary.
+#[must_use]
+pub fn decide_cmp(cc: Cmp, a: &Interval, b: &Interval) -> Option<bool> {
+    match cc {
+        Cmp::Eq => a.eq_decide(b),
+        Cmp::Ne => a.eq_decide(b).map(|x| !x),
+        Cmp::Lt => a.lt(b),
+        Cmp::Le => a.le(b),
+        Cmp::Gt => b.lt(a),
+        Cmp::Ge => b.le(a),
+    }
+}
+
+/// Refines `a` under the assumption `a cc b`; `None` when no value of
+/// `a` satisfies it.
+#[must_use]
+pub fn assume_cmp(cc: Cmp, a: &Interval, b: &Interval) -> Option<Interval> {
+    match cc {
+        Cmp::Eq => a.assume_eq(b),
+        Cmp::Ne => a.assume_ne(b),
+        Cmp::Lt => a.assume_lt(b),
+        Cmp::Le => a.assume_le(b),
+        Cmp::Gt => a.assume_gt(b),
+        Cmp::Ge => a.assume_ge(b),
+    }
+}
+
+/// Abstract evaluation of one RTL operator over interval arguments
+/// (`None` per argument = untracked). All-singleton arguments evaluate
+/// through the concrete [`Op::eval`], so wrapping arithmetic, division
+/// guards and address operators are exact by construction; everything
+/// else uses the interval operators. `None` overall means nothing
+/// sound can be claimed about the result.
+#[must_use]
+pub fn ival_op(op: &Op, args: &[Option<Interval>]) -> Option<Interval> {
+    let singletons: Option<Vec<Val>> = args
+        .iter()
+        .map(|a| a.as_ref().and_then(Interval::as_const).map(Val::Int))
+        .collect();
+    if let Some(vals) = singletons {
+        return match op.eval(&vals) {
+            Some(Val::Int(c)) => Some(Interval::constant(c)),
+            _ => None,
+        };
+    }
+    let arg = |k: usize| -> Option<Interval> { args.get(k).copied().flatten() };
+    let decided = |d: Option<bool>| match d {
+        Some(b) => Interval::constant(i64::from(b)),
+        None => Interval::boolean(),
+    };
+    Some(match op {
+        Op::Const(c) => Interval::constant(*c),
+        Op::Move => arg(0)?,
+        Op::Neg => arg(0)?.neg(),
+        Op::Not => arg(0)?.not(),
+        Op::AddImm(c) => arg(0)?.add(&Interval::constant(*c)),
+        Op::MulImm(c) => arg(0)?.mul(&Interval::constant(*c)),
+        Op::CmpImm(cc, c) => decided(decide_cmp(*cc, &arg(0)?, &Interval::constant(*c))),
+        Op::Add => arg(0)?.add(&arg(1)?),
+        Op::Sub => arg(0)?.sub(&arg(1)?),
+        Op::Mul => arg(0)?.mul(&arg(1)?),
+        Op::Cmp(cc) => decided(decide_cmp(*cc, &arg(0)?, &arg(1)?)),
+        // Division and the bitwise operators are evaluated only on
+        // singletons (above); address operators never yield integers.
+        _ => return None,
+    })
+}
+
+/// Abstract register effect of one instruction (ignoring control).
+#[must_use]
+pub fn ival_transfer(i: &Instr, env: &IntervalEnv) -> IntervalEnv {
+    let mut out = env.clone();
+    match i {
+        Instr::Op(op, args, dst, _) => {
+            let iargs: Vec<Option<Interval>> = args.iter().map(|r| env.get(r).copied()).collect();
+            match ival_op(op, &iargs) {
+                Some(iv) => {
+                    out.insert(*dst, iv);
+                }
+                None => {
+                    out.remove(dst);
+                }
+            }
+        }
+        Instr::Load(_, dst, _) => {
+            out.remove(dst);
+        }
+        Instr::Call(Some(dst), ..) => {
+            out.remove(dst);
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Refines `out`'s binding for `r` under `r eff other` (operand
+/// intervals pre-refinement; `None` = untracked). Returns `false` when
+/// the assumption is unsatisfiable, i.e. the edge is infeasible.
+///
+/// A fresh binding may be inserted for an untracked `r` only when the
+/// taken edge proves `r` holds an integer: the ordered comparisons are
+/// defined only on integer pairs, and `Eq` against a tracked side
+/// forces the same integer. A taken `Ne` proves nothing (a pointer is
+/// `Ne` to every integer).
+fn refine(
+    out: &mut IntervalEnv,
+    r: PReg,
+    eff: Cmp,
+    mine: Option<Interval>,
+    other: Option<Interval>,
+) -> bool {
+    let proves_int =
+        matches!(eff, Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge) || (eff == Cmp::Eq && other.is_some());
+    if mine.is_none() && !proves_int {
+        return true;
+    }
+    match assume_cmp(
+        eff,
+        &mine.unwrap_or(Interval::TOP),
+        &other.unwrap_or(Interval::TOP),
+    ) {
+        Some(iv) => {
+            out.insert(r, iv);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The per-edge successor environments of `i` under input `env`.
+/// Conditional edges are refined on both operands; an edge whose
+/// refinement is unsatisfiable is statically infeasible and omitted.
+#[must_use]
+pub fn ival_edges(i: &Instr, env: &IntervalEnv) -> Vec<(Node, IntervalEnv)> {
+    let out = ival_transfer(i, env);
+    let branch = |cases: &[(Node, Cmp)], refiners: &dyn Fn(&mut IntervalEnv, Cmp) -> bool| {
+        let mut edges = Vec::new();
+        for &(node, eff) in cases {
+            let mut refined = out.clone();
+            if refiners(&mut refined, eff) {
+                edges.push((node, refined));
+            }
+        }
+        edges
+    };
+    match i {
+        Instr::Cond(c, r1, r2, t, e) => {
+            let (i1, i2) = (env.get(r1).copied(), env.get(r2).copied());
+            branch(&[(*t, *c), (*e, c.negate())], &|refined, eff| {
+                refine(refined, *r1, eff, i1, i2) && refine(refined, *r2, eff.swap(), i2, i1)
+            })
+        }
+        Instr::CondImm(c, r, imm, t, e) => {
+            let ir = env.get(r).copied();
+            let ii = Some(Interval::constant(*imm));
+            branch(&[(*t, *c), (*e, c.negate())], &|refined, eff| {
+                refine(refined, *r, eff, ir, ii)
+            })
+        }
+        other => other
+            .succs()
+            .into_iter()
+            .map(|s| (s, out.clone()))
+            .collect(),
+    }
+}
+
+fn env_join(a: &IntervalEnv, b: &IntervalEnv) -> IntervalEnv {
+    a.iter()
+        .filter_map(|(r, ia)| b.get(r).map(|ib| (*r, ia.join(ib))))
+        .collect()
+}
+
+/// How many input changes a node tolerates before its merge widens.
+const WIDEN_AFTER: u32 = 3;
+
+/// Standalone interval analysis of one RTL function: the widened
+/// worklist fixpoint over [`ival_edges`]. Nodes absent from the result
+/// are proven unreachable.
+#[must_use]
+pub fn analyze_rtl_intervals(f: &Function) -> IntervalFacts {
+    let mut inputs: IntervalFacts = BTreeMap::new();
+    inputs.insert(f.entry, IntervalEnv::new());
+    let mut updates: BTreeMap<Node, u32> = BTreeMap::new();
+    let mut work: Vec<Node> = vec![f.entry];
+    while let Some(n) = work.pop() {
+        let Some(instr) = f.code.get(&n) else {
+            continue;
+        };
+        let env_in = inputs.get(&n).cloned().unwrap_or_default();
+        for (s, env_out) in ival_edges(instr, &env_in) {
+            let merged = match inputs.get(&s) {
+                None => env_out,
+                Some(prev) => {
+                    let joined = env_join(prev, &env_out);
+                    if updates.get(&s).copied().unwrap_or(0) >= WIDEN_AFTER {
+                        joined
+                            .iter()
+                            .map(|(r, iv)| (*r, prev.get(r).map_or(*iv, |p| p.widen(iv))))
+                            .collect()
+                    } else {
+                        joined
+                    }
+                }
+            };
+            if inputs.get(&s) != Some(&merged) {
+                *updates.entry(s).or_insert(0) += 1;
+                inputs.insert(s, merged);
+                work.push(s);
+            }
+        }
+    }
+    inputs
+}
+
+/// The edge-closure check of *claimed* interval facts, the validator's
+/// trust anchor: returns the first violation, or `None` when the
+/// claims are self-justifying.
+///
+/// Checked conditions: the entry is claimed with the empty environment
+/// and, for every claimed node `n` and every feasible edge
+/// `(s, out) ∈ ival_edges(code[n], facts[n])`, the successor `s` is
+/// claimed and every binding claimed at `s` is implied by `out`
+/// (present, and at least as narrow). By induction over concrete
+/// executions this makes the claimed-node set a superset of the
+/// reachable nodes and every claim true of every reaching state — no
+/// matter what fixpoint, widening, or guesswork produced the claims.
+#[must_use]
+pub fn interval_facts_violation(f: &Function, facts: &IntervalFacts) -> Option<String> {
+    match facts.get(&f.entry) {
+        None => return Some(format!("entry node {} not claimed", f.entry)),
+        Some(env) if !env.is_empty() => {
+            return Some(format!(
+                "entry node {} claims a non-empty environment",
+                f.entry
+            ))
+        }
+        Some(_) => {}
+    }
+    for (n, env) in facts {
+        let Some(instr) = f.code.get(n) else {
+            continue; // dangling claim: no outgoing edges to justify
+        };
+        for (s, out) in ival_edges(instr, env) {
+            let Some(claim) = facts.get(&s) else {
+                return Some(format!(
+                    "feasible edge {n} -> {s} reaches an unclaimed node"
+                ));
+            };
+            for (r, iv) in claim {
+                match out.get(r) {
+                    None => {
+                        return Some(format!(
+                            "edge {n} -> {s}: claim r{r} in {iv:?} not implied (untracked)"
+                        ))
+                    }
+                    Some(o) if !o.subset(iv) => {
+                        return Some(format!(
+                            "edge {n} -> {s}: claim r{r} in {iv:?} not implied by {o:?}"
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Clight front-end adapter
+// ---------------------------------------------------------------------
+
+/// Flow-sensitive interval environment for Clight temporaries. Same
+/// contract as [`IntervalEnv`]: a bound temporary definitely holds an
+/// integer in the range.
+pub type TempIntervals = BTreeMap<String, Interval>;
+
+/// Abstract interval of a Clight rvalue under `env`; `None` = unknown
+/// (possibly a pointer, undefined, or loaded from memory).
+#[must_use]
+pub fn clight_interval(e: &Expr, env: &TempIntervals) -> Option<Interval> {
+    let cmp = |op: Binop| match op {
+        Binop::Eq => Some(Cmp::Eq),
+        Binop::Ne => Some(Cmp::Ne),
+        Binop::Lt => Some(Cmp::Lt),
+        Binop::Le => Some(Cmp::Le),
+        Binop::Gt => Some(Cmp::Gt),
+        Binop::Ge => Some(Cmp::Ge),
+        _ => None,
+    };
+    match e {
+        Expr::Const(c) => Some(Interval::constant(*c)),
+        Expr::Temp(t) => env.get(t).copied(),
+        Expr::Var(_) | Expr::Deref(_) | Expr::Addrof(_) => None,
+        Expr::Unop(Unop::Neg, a) => {
+            let ia = clight_interval(a, env)?;
+            Some(match ia.as_const() {
+                Some(c) => Interval::constant(c.wrapping_neg()),
+                None => ia.neg(),
+            })
+        }
+        Expr::Unop(Unop::Not, a) => Some(clight_interval(a, env)?.not()),
+        Expr::Binop(op, a, b) => {
+            let (ia, ib) = (clight_interval(a, env)?, clight_interval(b, env)?);
+            if let Some(c) = cmp(*op) {
+                return Some(match decide_cmp(c, &ia, &ib) {
+                    Some(x) => Interval::constant(i64::from(x)),
+                    None => Interval::boolean(),
+                });
+            }
+            match (op, ia.as_const(), ib.as_const()) {
+                (Binop::Add, Some(x), Some(y)) => Some(Interval::constant(x.wrapping_add(y))),
+                (Binop::Sub, Some(x), Some(y)) => Some(Interval::constant(x.wrapping_sub(y))),
+                (Binop::Mul, Some(x), Some(y)) => Some(Interval::constant(x.wrapping_mul(y))),
+                (Binop::Div, Some(x), Some(y)) => {
+                    // Division by zero / MIN÷-1 aborts: claim nothing.
+                    (y != 0 && !(x == i64::MIN && y == -1))
+                        .then(|| Interval::constant(x.wrapping_div(y)))
+                }
+                (Binop::And, Some(x), Some(y)) => Some(Interval::constant(x & y)),
+                (Binop::Or, Some(x), Some(y)) => Some(Interval::constant(x | y)),
+                (Binop::Xor, Some(x), Some(y)) => Some(Interval::constant(x ^ y)),
+                (Binop::Add, ..) => Some(ia.add(&ib)),
+                (Binop::Sub, ..) => Some(ia.sub(&ib)),
+                (Binop::Mul, ..) => Some(ia.mul(&ib)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Truth of a Clight condition under `env`, when decided: conditions
+/// are "defined and nonzero", so a range excluding 0 is definitely
+/// true and the singleton 0 definitely false.
+#[must_use]
+pub fn clight_truth(c: &Expr, env: &TempIntervals) -> Option<bool> {
+    let iv = clight_interval(c, env)?;
+    if !iv.contains(0) {
+        Some(true)
+    } else {
+        iv.as_const().map(|_| false) // the singleton [0, 0]
+    }
+}
+
+/// Refines temporary intervals under the truth (`taken`) of condition
+/// `c`; `None` when that outcome is statically infeasible. Only
+/// already-tracked temporaries are refined (no integer-provenance
+/// reasoning at the source level), which is sound and enough to prune
+/// contradictory range checks.
+#[must_use]
+pub fn clight_assume(c: &Expr, taken: bool, env: &TempIntervals) -> Option<TempIntervals> {
+    if let Some(truth) = clight_truth(c, env) {
+        if truth != taken {
+            return None;
+        }
+    }
+    match c {
+        Expr::Unop(Unop::Not, inner) => {
+            // `!e` is 1 exactly when `e` is 0 (and defined).
+            return clight_assume(inner, !taken, env);
+        }
+        Expr::Binop(op, a, b) => {
+            let cc = match op {
+                Binop::Eq => Some(Cmp::Eq),
+                Binop::Ne => Some(Cmp::Ne),
+                Binop::Lt => Some(Cmp::Lt),
+                Binop::Le => Some(Cmp::Le),
+                Binop::Gt => Some(Cmp::Gt),
+                Binop::Ge => Some(Cmp::Ge),
+                _ => None,
+            };
+            if let Some(cc) = cc {
+                let eff = if taken { cc } else { cc.negate() };
+                let mut out = env.clone();
+                // Refine a tracked temp on either side; `None` = the
+                // refinement is unsatisfiable (edge infeasible).
+                let refine_temp = |out: &mut TempIntervals, e: &Expr, eff: Cmp, other: &Expr| {
+                    let Expr::Temp(t) = e else { return Some(()) };
+                    let Some(mine) = out.get(t).copied() else {
+                        return Some(());
+                    };
+                    let ob = clight_interval(other, out).unwrap_or(Interval::TOP);
+                    match assume_cmp(eff, &mine, &ob) {
+                        Some(iv) => {
+                            out.insert(t.clone(), iv);
+                            Some(())
+                        }
+                        None => None,
+                    }
+                };
+                refine_temp(&mut out, a, eff, b)?;
+                refine_temp(&mut out, b, eff.swap(), a)?;
+                return Some(out);
+            }
+        }
+        _ => {}
+    }
+    Some(env.clone())
+}
+
+// ---------------------------------------------------------------------
+// Escape analysis
+// ---------------------------------------------------------------------
+
+/// How a named global may be shared between the client's threads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sharing {
+    /// Only this thread ever touches the global: it does not escape,
+    /// so no interleaving of accesses to it needs exploring and no
+    /// race on it is possible.
+    ThreadLocal(usize),
+    /// Several threads touch it, but every access holds this lock.
+    LockProtected(String),
+    /// Several threads touch it, every access inside an atomic block
+    /// (the shape of lock words themselves).
+    AtomicOnly,
+    /// Several threads, no common discipline.
+    SharedFree,
+}
+
+/// The result of [`escape_analysis`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EscapeReport {
+    /// Per named global: its sharing class.
+    pub globals: BTreeMap<String, Sharing>,
+    /// Threads whose abstract accesses include `AnyGlobal` or `Top`
+    /// regions — they may touch *any* global, poisoning precision for
+    /// every classification.
+    pub imprecise_threads: BTreeSet<usize>,
+}
+
+impl EscapeReport {
+    /// The globals proven local to thread `t`.
+    #[must_use]
+    pub fn thread_local_globals(&self, t: usize) -> BTreeSet<String> {
+        self.globals
+            .iter()
+            .filter(|(_, s)| **s == Sharing::ThreadLocal(t))
+            .map(|(g, _)| g.clone())
+            .collect()
+    }
+
+    /// The thread a global is local to, if any.
+    #[must_use]
+    pub fn thread_local_owner(&self, g: &str) -> Option<usize> {
+        match self.globals.get(g) {
+            Some(Sharing::ThreadLocal(t)) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Which globals an access's region may touch: a named global names
+/// itself; `AnyGlobal`/`Top` may touch all of them; `StackLocal` none.
+fn touched<'a>(region: &'a Region, all: &'a BTreeSet<String>) -> Vec<&'a str> {
+    match region {
+        Region::Global(g) => vec![g.as_str()],
+        Region::AnyGlobal | Region::Top => all.iter().map(String::as_str).collect(),
+        Region::StackLocal => Vec::new(),
+    }
+}
+
+/// Classifies every named global of a concurrent Clight client by how
+/// its threads share it, from the abstract accesses of the lockset
+/// walker (including the object calls' summarized accesses).
+///
+/// `entries[t]` is the function thread `t` runs; `model` is the lock
+/// protocol inferred from the CImp object module.
+#[must_use]
+pub fn escape_analysis(
+    client: &ClightModule,
+    entries: &[String],
+    model: &LockModel,
+) -> EscapeReport {
+    classify_accesses(&check_static_race(client, entries, model).accesses, model)
+}
+
+/// The classification core of [`escape_analysis`], applicable to any
+/// abstract access stream — in particular to the interval-refined one
+/// of [`crate::lockset::check_static_race_sharp`], where a dead-branch
+/// access removed by the refinement can turn a global thread-local.
+#[must_use]
+pub fn classify_accesses(accesses: &[Access], model: &LockModel) -> EscapeReport {
+    // The global universe: every named global any access mentions,
+    // plus the lock words of the model.
+    let mut universe: BTreeSet<String> = accesses
+        .iter()
+        .filter_map(|a| match &a.region {
+            Region::Global(g) => Some(g.clone()),
+            _ => None,
+        })
+        .collect();
+    universe.extend(model.acquires.values().cloned());
+    universe.extend(model.releases.values().cloned());
+    let imprecise_threads: BTreeSet<usize> = accesses
+        .iter()
+        .filter(|a| matches!(a.region, Region::AnyGlobal | Region::Top))
+        .map(|a| a.thread)
+        .collect();
+    let mut globals = BTreeMap::new();
+    for g in &universe {
+        let hits: Vec<&Access> = accesses
+            .iter()
+            .filter(|a| touched(&a.region, &universe).contains(&g.as_str()))
+            .collect();
+        let threads: BTreeSet<usize> = hits.iter().map(|a| a.thread).collect();
+        let class = if threads.len() <= 1 {
+            Sharing::ThreadLocal(threads.into_iter().next().unwrap_or(0))
+        } else if let Some(lock) = hits
+            .iter()
+            .map(|a| a.locks.clone())
+            .reduce(|acc, l| acc.intersection(&l).cloned().collect())
+            .and_then(|common| common.into_iter().next())
+        {
+            Sharing::LockProtected(lock)
+        } else if hits.iter().all(|a| a.atomic) {
+            Sharing::AtomicOnly
+        } else {
+            Sharing::SharedFree
+        };
+        globals.insert(g.clone(), class);
+    }
+    EscapeReport {
+        globals,
+        imprecise_threads,
+    }
+}
+
+/// Builds [`AmpleHints`] for the ample-set reduction of
+/// `ccc_core::explore` from an escape analysis of the client: every
+/// global proven [`Sharing::ThreadLocal`] to thread `t` joins `t`'s
+/// private set, resolved to its runtime address through the global
+/// environment (unresolvable names are skipped — they cannot denote a
+/// concrete location the engine would ever see).
+///
+/// The hints are *untrusted* by construction: the exploration engine
+/// re-checks every explored step against them and falls back to the
+/// unhinted verdict on any violation, so imprecision here can only
+/// cost states, never soundness. Thread-locality as computed by
+/// [`escape_analysis`] guarantees the sets are pairwise disjoint (a
+/// global has at most one sharing class), matching the engine's
+/// disjointness precondition.
+#[must_use]
+pub fn ample_hints(
+    client: &ClightModule,
+    entries: &[String],
+    model: &LockModel,
+    ge: &GlobalEnv,
+) -> AmpleHints {
+    let report = escape_analysis(client, entries, model);
+    let mut private = vec![BTreeSet::new(); entries.len()];
+    for (g, class) in &report.globals {
+        if let Sharing::ThreadLocal(t) = class {
+            if let (Some(set), Some(addr)) = (private.get_mut(*t), ge.lookup(g)) {
+                set.insert(addr);
+            }
+        }
+    }
+    AmpleHints { private }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccc_clight::ast::{Function as CFn, Stmt};
+
+    #[test]
+    fn ival_op_is_exact_on_singletons_and_sound_on_ranges() {
+        let s = |c: i64| Some(Interval::constant(c));
+        // Wrapping semantics on singletons, via the concrete evaluator.
+        assert_eq!(
+            ival_op(&Op::AddImm(1), &[s(i64::MAX)]),
+            Some(Interval::constant(i64::MIN))
+        );
+        // Undefined evaluations claim nothing.
+        assert_eq!(ival_op(&Op::Div, &[s(1), s(0)]), None);
+        // Interval arithmetic on ranges.
+        let r = Some(Interval::range(1, 3));
+        assert_eq!(
+            ival_op(&Op::AddImm(10), &[r]),
+            Some(Interval::range(11, 13))
+        );
+        // Decided comparisons collapse to constants; undecided to [0,1].
+        assert_eq!(
+            ival_op(&Op::CmpImm(Cmp::Lt, 10), &[r]),
+            Some(Interval::constant(1))
+        );
+        assert_eq!(
+            ival_op(&Op::CmpImm(Cmp::Eq, 2), &[r]),
+            Some(Interval::boolean())
+        );
+        // Bitwise ops only on singletons.
+        assert_eq!(ival_op(&Op::And, &[r, s(1)]), None);
+        assert_eq!(
+            ival_op(&Op::And, &[s(6), s(3)]),
+            Some(Interval::constant(2))
+        );
+    }
+
+    #[test]
+    fn edges_refine_and_drop_infeasible_branches() {
+        // CondImm(Lt, r1, 10, t=1, e=2) with r1 untracked: the ordered
+        // comparison proves r1 is an integer on both arms.
+        let i = Instr::CondImm(Cmp::Lt, 1, 10, 1, 2);
+        let edges = ival_edges(&i, &IntervalEnv::new());
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].0, 1);
+        assert!(edges[0].1[&1].subset(&Interval::range(i64::MIN, 9)));
+        assert!(edges[1].1[&1].subset(&Interval::range(10, i64::MAX)));
+        // With r1 in [0, 5], the false edge is infeasible.
+        let env: IntervalEnv = [(1, Interval::range(0, 5))].into();
+        let edges = ival_edges(&i, &env);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].0, 1);
+        // A taken Ne proves nothing about an untracked register.
+        let i = Instr::CondImm(Cmp::Ne, 1, 0, 1, 2);
+        let edges = ival_edges(&i, &IntervalEnv::new());
+        assert!(!edges[0].1.contains_key(&1), "Ne must not bind a pointer");
+        // ...but its negation (Eq against the immediate) does.
+        assert_eq!(edges[1].1.get(&1), Some(&Interval::constant(0)));
+    }
+
+    #[test]
+    fn closure_check_rejects_unsound_claims() {
+        use std::collections::BTreeMap as M;
+        // r1 := 0; loop: r1 := r1 + 1; goto loop (via decided branch).
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: M::from([
+                (0, Instr::Op(Op::Const(0), vec![], 1, 1)),
+                (1, Instr::Op(Op::AddImm(1), vec![1], 1, 2)),
+                (2, Instr::CondImm(Cmp::Lt, 1, 100, 1, 3)),
+                (3, Instr::Return(Some(1))),
+            ]),
+        };
+        let sound = analyze_rtl_intervals(&f);
+        assert!(interval_facts_violation(&f, &sound).is_none());
+        // Claiming the first-iteration value at the loop head (what the
+        // bad-widening mutant produces) is not edge-closed.
+        let mut bad = sound.clone();
+        bad.insert(1, [(1, Interval::constant(0))].into());
+        assert!(interval_facts_violation(&f, &bad).is_some());
+        // Dropping a reachable node from the claims is caught too.
+        let mut partial = sound;
+        partial.remove(&3);
+        assert!(interval_facts_violation(&f, &partial).is_some());
+    }
+
+    #[test]
+    fn clight_adapter_tracks_and_refines_temps() {
+        let env: TempIntervals = [("t".to_string(), Interval::range(0, 9))].into();
+        let lt = Expr::bin(Binop::Lt, Expr::temp("t"), Expr::Const(5));
+        assert_eq!(clight_interval(&lt, &env), Some(Interval::boolean()));
+        let refined = clight_assume(&lt, true, &env).expect("feasible");
+        assert_eq!(refined["t"], Interval::range(0, 4));
+        // Contradictory outcome is infeasible.
+        let always = Expr::bin(Binop::Ge, Expr::temp("t"), Expr::Const(0));
+        assert_eq!(clight_truth(&always, &env), Some(true));
+        assert!(clight_assume(&always, false, &env).is_none());
+    }
+
+    #[test]
+    fn escape_classifies_thread_local_and_shared_globals() {
+        // Thread 0 writes only g0; thread 1 writes g1 and the shared s.
+        // Thread 0 also reads s — so s is shared-free, g0/g1 are local.
+        let t0 = CFn::simple(Stmt::seq([
+            Stmt::Assign(Expr::var("g0"), Expr::Const(1)),
+            Stmt::Set("x".into(), Expr::var("s")),
+        ]));
+        let t1 = CFn::simple(Stmt::seq([
+            Stmt::Assign(Expr::var("g1"), Expr::Const(2)),
+            Stmt::Assign(Expr::var("s"), Expr::Const(3)),
+        ]));
+        let m = ClightModule::new([("t0", t0), ("t1", t1)]);
+        let report = escape_analysis(
+            &m,
+            &["t0".to_string(), "t1".to_string()],
+            &LockModel::default(),
+        );
+        assert_eq!(report.globals["g0"], Sharing::ThreadLocal(0));
+        assert_eq!(report.globals["g1"], Sharing::ThreadLocal(1));
+        assert_eq!(report.globals["s"], Sharing::SharedFree);
+        assert!(report.imprecise_threads.is_empty());
+        assert_eq!(report.thread_local_globals(0), ["g0".to_string()].into());
+    }
+
+    #[test]
+    fn ample_hints_map_thread_local_globals_to_addresses() {
+        let t0 = CFn::simple(Stmt::seq([
+            Stmt::Assign(Expr::var("g0"), Expr::Const(1)),
+            Stmt::Set("x".into(), Expr::var("s")),
+        ]));
+        let t1 = CFn::simple(Stmt::seq([
+            Stmt::Assign(Expr::var("g1"), Expr::Const(2)),
+            Stmt::Assign(Expr::var("s"), Expr::Const(3)),
+        ]));
+        let m = ClightModule::new([("t0", t0), ("t1", t1)]);
+        let mut ge = GlobalEnv::new();
+        let a0 = ge.define("g0", Val::Int(0));
+        let a1 = ge.define("g1", Val::Int(0));
+        ge.define("s", Val::Int(0));
+        let hints = ample_hints(
+            &m,
+            &["t0".to_string(), "t1".to_string()],
+            &LockModel::default(),
+            &ge,
+        );
+        assert_eq!(hints.private.len(), 2);
+        assert_eq!(hints.private[0], [a0].into());
+        assert_eq!(hints.private[1], [a1].into());
+        assert!(hints.disjoint());
+        // An undefined global name simply contributes nothing.
+        let mut partial = GlobalEnv::new();
+        let b0 = partial.define("g0", Val::Int(0));
+        let sparse = ample_hints(
+            &m,
+            &["t0".to_string(), "t1".to_string()],
+            &LockModel::default(),
+            &partial,
+        );
+        assert_eq!(sparse.private[0], [b0].into());
+        assert!(sparse.private[1].is_empty());
+    }
+
+    #[test]
+    fn optimizer_interval_facts_are_edge_closed() {
+        use ccc_clight::gen::{gen_module, GenCfg};
+        use ccc_compiler::driver::compile_with_artifacts;
+        for seed in 0..15 {
+            let (m, _) = gen_module(seed, &GenCfg::default());
+            let arts = compile_with_artifacts(&m).expect("compiles");
+            for (name, f) in &arts.rtl_renumber.funcs {
+                let facts = ccc_compiler::constprop::interval_facts(f);
+                assert_eq!(
+                    interval_facts_violation(f, &facts),
+                    None,
+                    "seed {seed} fn {name}: optimizer facts rejected"
+                );
+            }
+        }
+    }
+}

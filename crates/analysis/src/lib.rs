@@ -16,6 +16,15 @@
 //!   verdicts that are cross-checked both directions against the
 //!   exhaustive interleaving exploration of `ccc_core::race::check_drf`.
 //!
+//! * **Abstract interpretation** ([`absint`]): a flow-sensitive
+//!   interval analysis over RTL with branch refinement, infeasible-edge
+//!   pruning and widening — plus a region-based escape analysis
+//!   classifying every global of a concurrent client as thread-local,
+//!   lock-protected, atomic-only or shared-free. The interval engine is
+//!   the validator's independent re-checker for the optimizer's
+//!   `ValueRange` claims; the escape results power the ample-set
+//!   reduction of `ccc_core::explore` and sharpen the lockset analysis.
+//!
 //! * **Per-pass IR lint** ([`lint`]): structural well-formedness checks
 //!   for all 12 pipeline stages (plus `Constprop`), catching
 //!   mutation-broken passes at the stage that introduced the breakage.
@@ -38,6 +47,7 @@
 //!   insertion and fence redundancy elimination — all differentially
 //!   validated against the executable `X86Sc`/`X86Tso` machines.
 
+pub mod absint;
 pub mod asm_cfg;
 pub mod clight_fp;
 pub mod diag;
@@ -48,6 +58,10 @@ pub mod rtl_fp;
 pub mod transval;
 pub mod tso_robust;
 
+pub use absint::{
+    ample_hints, analyze_rtl_intervals, classify_accesses, escape_analysis,
+    interval_facts_violation, EscapeReport, IntervalEnv, IntervalFacts, Sharing,
+};
 pub use clight_fp::{infer_clight, infer_clight_with, ClightSummaries};
 pub use diag::Diagnostic;
 pub use lint::{
@@ -55,8 +69,8 @@ pub use lint::{
     lint_linear, lint_ltl, lint_mach, lint_rtl, CheckedError, LintError, CONSTPROP_STAGE,
 };
 pub use lockset::{
-    check_static_race, infer_lock_model, Access, LockModel, ObjectSummary, RacePair,
-    StaticRaceReport, StaticVerdict,
+    check_static_race, check_static_race_sharp, infer_lock_model, Access, LockModel, ObjectSummary,
+    RacePair, SharpRaceReport, StaticRaceReport, StaticVerdict,
 };
 pub use region::{AbsFootprint, AbsVal, Region};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};

@@ -21,7 +21,18 @@
 //! race-free clients must explore race-free, and every explored race
 //! must be statically flagged (`StaticDrf` is sound, `MayRace` is
 //! complete relative to the corpus).
+//!
+//! A *sharpened* variant ([`check_static_race_sharp`]) additionally
+//! tracks flow-sensitive temp intervals with the abstract-interpretation
+//! adapter ([`crate::absint::clight_interval`]): branches the intervals
+//! prove dead are skipped, so accesses that can never execute do not
+//! produce race pairs, and the escape classification of the refined
+//! access stream ([`crate::absint::classify_accesses`]) certifies each
+//! dropped pair's location as non-escaping.
 
+use crate::absint::{
+    classify_accesses, clight_assume, clight_interval, clight_truth, EscapeReport, TempIntervals,
+};
 use crate::clight_fp;
 use crate::region::{AbsFootprint, AbsVal, Region};
 use ccc_cimp::ast::{BinOp, CImpModule, Expr as CExpr, Stmt as CStmt};
@@ -305,6 +316,40 @@ fn meet(a: &Lockset, b: &Lockset) -> Lockset {
     a.intersection(b).cloned().collect()
 }
 
+/// Key-wise join of two temp-interval environments: a temp stays bound
+/// only when both flows bind it, with the joined interval. Dropping a
+/// binding is always sound (absence claims nothing).
+fn join_itv(a: &TempIntervals, b: &TempIntervals) -> TempIntervals {
+    a.iter()
+        .filter_map(|(k, ia)| b.get(k).map(|ib| (k.clone(), ia.join(ib))))
+        .collect()
+}
+
+/// Every temp a statement may assign (its havoc set for loop bodies).
+/// Internal calls cannot touch the caller's temps — they are
+/// function-local — beyond the call's own result binding.
+fn assigned_temps(s: &Stmt, out: &mut BTreeSet<String>) {
+    match s {
+        Stmt::Set(t, _) => {
+            out.insert(t.clone());
+        }
+        Stmt::Call(Some(t), ..) => {
+            out.insert(t.clone());
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                assigned_temps(s, out);
+            }
+        }
+        Stmt::If(_, a, b) => {
+            assigned_temps(a, out);
+            assigned_temps(b, out);
+        }
+        Stmt::While(_, b) => assigned_temps(b, out),
+        _ => {}
+    }
+}
+
 struct Walker<'a> {
     m: &'a ClightModule,
     model: &'a LockModel,
@@ -314,6 +359,13 @@ struct Walker<'a> {
     /// Per enclosing loop: locksets at `break`s and `continue`s.
     loop_stack: Vec<(Vec<Lockset>, Vec<Lockset>)>,
     call_stack: Vec<String>,
+    /// Flow-sensitive temp intervals of the current function (sharp
+    /// mode only; stays empty otherwise). A binding means the temp
+    /// definitely holds an integer in the interval.
+    itv: TempIntervals,
+    /// True for [`check_static_race_sharp`]: track temp intervals and
+    /// skip branches they prove dead.
+    sharp: bool,
 }
 
 impl<'a> Walker<'a> {
@@ -357,8 +409,21 @@ impl<'a> Walker<'a> {
                 }
             }
             Stmt::Return(None) => {}
-            Stmt::Return(Some(e)) | Stmt::Set(_, e) | Stmt::Print(e) => {
+            Stmt::Return(Some(e)) | Stmt::Print(e) => {
                 self.expr(e, f, fname, locks);
+            }
+            Stmt::Set(t, e) => {
+                self.expr(e, f, fname, locks);
+                if self.sharp {
+                    match clight_interval(e, &self.itv) {
+                        Some(iv) => {
+                            self.itv.insert(t.clone(), iv);
+                        }
+                        None => {
+                            self.itv.remove(t);
+                        }
+                    }
+                }
             }
             Stmt::Assign(lv, e) => {
                 self.expr(e, f, fname, locks);
@@ -376,11 +441,14 @@ impl<'a> Walker<'a> {
                     _ => self.push(fname, Region::Top, true, locks, false),
                 }
             }
-            Stmt::Call(_, callee, args) => {
+            Stmt::Call(ret, callee, args) => {
                 for a in args {
                     self.expr(a, f, fname, locks);
                 }
                 self.call(callee, locks);
+                if let Some(r) = ret {
+                    self.itv.remove(r);
+                }
             }
             Stmt::Seq(ss) => {
                 for s in ss {
@@ -389,13 +457,57 @@ impl<'a> Walker<'a> {
             }
             Stmt::If(c, a, b) => {
                 self.expr(c, f, fname, locks);
-                let mut l1 = locks.clone();
-                let mut l2 = locks.clone();
-                self.stmt(a, f, fname, &mut l1);
-                self.stmt(b, f, fname, &mut l2);
-                *locks = meet(&l1, &l2);
+                match self.sharp.then(|| clight_truth(c, &self.itv)).flatten() {
+                    // A decided condition: only the live arm can run —
+                    // the dead arm's accesses never happen and must not
+                    // produce race pairs.
+                    Some(true) => self.stmt(a, f, fname, locks),
+                    Some(false) => self.stmt(b, f, fname, locks),
+                    None => {
+                        let base = self.itv.clone();
+                        let mut l1 = locks.clone();
+                        let mut l2 = locks.clone();
+                        if self.sharp {
+                            self.itv =
+                                clight_assume(c, true, &base).unwrap_or_else(|| base.clone());
+                        }
+                        self.stmt(a, f, fname, &mut l1);
+                        let taken = std::mem::take(&mut self.itv);
+                        if self.sharp {
+                            self.itv =
+                                clight_assume(c, false, &base).unwrap_or_else(|| base.clone());
+                        }
+                        self.stmt(b, f, fname, &mut l2);
+                        self.itv = join_itv(&taken, &self.itv);
+                        *locks = meet(&l1, &l2);
+                    }
+                }
             }
             Stmt::While(c, body) => {
+                if self.sharp && clight_truth(c, &self.itv) == Some(false) {
+                    // The head test fails on every state the intervals
+                    // allow: the body is statically dead.
+                    self.expr(c, f, fname, locks);
+                    return;
+                }
+                // Sound base environment for an arbitrary iteration:
+                // havoc every temp the body may assign.
+                if self.sharp {
+                    let mut assigned = BTreeSet::new();
+                    assigned_temps(body, &mut assigned);
+                    for t in &assigned {
+                        self.itv.remove(t);
+                    }
+                }
+                let base = self.itv.clone();
+                let sharp = self.sharp;
+                let body_itv = || {
+                    if sharp {
+                        clight_assume(c, true, &base).unwrap_or_else(|| base.clone())
+                    } else {
+                        base.clone()
+                    }
+                };
                 // Fixpoint of the must-hold set at the loop head: the
                 // meet of the entry set with every back edge (body exit
                 // and `continue`s).
@@ -404,6 +516,7 @@ impl<'a> Walker<'a> {
                     let mark = self.out.len();
                     self.loop_stack.push((Vec::new(), Vec::new()));
                     let mut l = inset.clone();
+                    self.itv = body_itv();
                     self.stmt(body, f, fname, &mut l);
                     let (_, continues) = self.loop_stack.pop().expect("pushed");
                     self.out.truncate(mark); // trial pass: discard accesses
@@ -420,10 +533,20 @@ impl<'a> Walker<'a> {
                 self.expr(c, f, fname, &inset);
                 self.loop_stack.push((Vec::new(), Vec::new()));
                 let mut l = inset.clone();
+                self.itv = body_itv();
                 self.stmt(body, f, fname, &mut l);
                 let (breaks, _) = self.loop_stack.pop().expect("pushed");
                 // Loop exits: the head test failing (head set) or a
-                // `break` (its own set).
+                // `break` (its own set). The interval environment after
+                // the loop is the havocked base, refined by the failing
+                // head test when that outcome is feasible (when it is
+                // not, the loop only exits through breaks and the base
+                // still over-approximates their states).
+                self.itv = if self.sharp {
+                    clight_assume(c, false, &base).unwrap_or(base)
+                } else {
+                    base
+                };
                 let mut after = inset;
                 for b in &breaks {
                     after = meet(&after, b);
@@ -450,7 +573,11 @@ impl<'a> Walker<'a> {
                 self.push_fp(callee, &AbsFootprint::top(), locks, false);
             } else {
                 self.call_stack.push(callee.to_string());
+                // Temps are function-local: the callee starts with no
+                // interval facts and cannot disturb the caller's.
+                let saved = std::mem::take(&mut self.itv);
                 self.stmt(&g.body, g, callee, locks);
+                self.itv = saved;
                 self.call_stack.pop();
             }
         } else if let Some(obj) = self.model.objects.get(callee) {
@@ -470,16 +597,14 @@ fn may_race(a: &Access, b: &Access) -> bool {
         && a.locks.is_disjoint(&b.locks)
 }
 
-/// Runs the lockset analysis on a Clight client against an inferred
-/// [`LockModel`] and reports whether any pair of accesses may race.
-///
-/// `entries[t]` is the function thread `t` runs, as in
-/// [`ccc_core::lang::Prog::entries`].
-pub fn check_static_race(
+/// Walks every entry and collects the abstract access stream, with or
+/// without the interval sharpening.
+fn collect_accesses(
     client: &ClightModule,
     entries: &[String],
     model: &LockModel,
-) -> StaticRaceReport {
+    sharp: bool,
+) -> Vec<Access> {
     let temps: BTreeMap<String, BTreeMap<String, AbsVal>> = client
         .funcs
         .iter()
@@ -495,6 +620,8 @@ pub fn check_static_race(
             out: Vec::new(),
             loop_stack: Vec::new(),
             call_stack: vec![entry.clone()],
+            itv: TempIntervals::new(),
+            sharp,
         };
         let mut locks = Lockset::new();
         if let Some(f) = client.funcs.get(entry) {
@@ -508,6 +635,11 @@ pub fn check_static_race(
         }
         accesses.extend(w.out);
     }
+    accesses
+}
+
+/// Deduplicated may-race pairs of an access stream.
+fn find_pairs(accesses: &[Access]) -> Vec<RacePair> {
     let mut pairs = Vec::new();
     let mut seen = BTreeSet::new();
     for (i, a) in accesses.iter().enumerate() {
@@ -532,12 +664,106 @@ pub fn check_static_race(
             }
         }
     }
-    let verdict = if pairs.is_empty() {
+    pairs
+}
+
+fn verdict_of(pairs: Vec<RacePair>) -> StaticVerdict {
+    if pairs.is_empty() {
         StaticVerdict::StaticDrf
     } else {
         StaticVerdict::MayRace(pairs)
-    };
+    }
+}
+
+/// Runs the lockset analysis on a Clight client against an inferred
+/// [`LockModel`] and reports whether any pair of accesses may race.
+///
+/// `entries[t]` is the function thread `t` runs, as in
+/// [`ccc_core::lang::Prog::entries`].
+pub fn check_static_race(
+    client: &ClightModule,
+    entries: &[String],
+    model: &LockModel,
+) -> StaticRaceReport {
+    let accesses = collect_accesses(client, entries, model, false);
+    let verdict = verdict_of(find_pairs(&accesses));
     StaticRaceReport { verdict, accesses }
+}
+
+/// The result of [`check_static_race_sharp`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SharpRaceReport {
+    /// The sharpened verdict with the interval-refined access stream.
+    pub report: StaticRaceReport,
+    /// Escape classification of the refined accesses: each pruned
+    /// pair's named locations are certified non-escaping (thread-local)
+    /// here.
+    pub escape: EscapeReport,
+    /// Pairs the baseline analysis flags that the sharp one does not —
+    /// false positives from statically dead accesses.
+    pub pruned: Vec<RacePair>,
+}
+
+impl SharpRaceReport {
+    /// True if the sharpened verdict is [`StaticVerdict::StaticDrf`].
+    pub fn is_drf(&self) -> bool {
+        self.report.is_drf()
+    }
+}
+
+/// The sharpened lockset analysis: the client walk tracks flow-sensitive
+/// temp intervals ([`crate::absint::clight_interval`]) and skips
+/// branches and loops the intervals prove dead, so their accesses never
+/// enter the race-pair search. The escape classification of the refined
+/// stream then drops any remaining pair on a global it proves
+/// thread-local (defense in depth — the refined walk should already not
+/// produce such pairs), and the report carries the baseline pairs that
+/// disappeared, for diagnostics and cross-checking.
+///
+/// Soundness: skipping a branch requires [`crate::absint::clight_truth`]
+/// to *decide* its condition from interval facts that hold on every
+/// concrete execution (assignments tracked exactly, joins at merges,
+/// havoc at loop heads), so no reachable access is ever dropped — the
+/// sharp verdict stays an over-approximation, cross-validated against
+/// [`ccc_core::race::check_drf`] in `tests/`.
+pub fn check_static_race_sharp(
+    client: &ClightModule,
+    entries: &[String],
+    model: &LockModel,
+) -> SharpRaceReport {
+    let base_pairs = find_pairs(&collect_accesses(client, entries, model, false));
+    let accesses = collect_accesses(client, entries, model, true);
+    let escape = classify_accesses(&accesses, model);
+    let pairs: Vec<RacePair> = find_pairs(&accesses)
+        .into_iter()
+        .filter(|p| {
+            [&p.first.region, &p.second.region].iter().all(|r| match r {
+                Region::Global(g) => escape.thread_local_owner(g).is_none(),
+                _ => true,
+            })
+        })
+        .collect();
+    let key = |p: &RacePair| {
+        (
+            p.first.thread,
+            p.second.thread,
+            p.first.region.clone(),
+            p.second.region.clone(),
+        )
+    };
+    let kept: BTreeSet<_> = pairs.iter().map(key).collect();
+    let pruned = base_pairs
+        .into_iter()
+        .filter(|p| !kept.contains(&key(p)))
+        .collect();
+    SharpRaceReport {
+        report: StaticRaceReport {
+            verdict: verdict_of(pairs),
+            accesses,
+        },
+        escape,
+        pruned,
+    }
 }
 
 #[cfg(test)]
@@ -585,6 +811,92 @@ mod tests {
             let report = check_static_race(&client, &entries, &model);
             assert!(!report.is_drf(), "seed {seed}: racy client not flagged");
         }
+    }
+
+    #[test]
+    fn sharp_analysis_prunes_interval_dead_branches() {
+        use crate::absint::Sharing;
+        use ccc_clight::ast::{Binop, Function as CFn};
+        // Thread 0 writes `s` freely. Thread 1 "writes" `s` only inside
+        // a branch its own temp arithmetic rules out (t = 3, then
+        // t < 2), so the write can never execute: the baseline analysis
+        // flags the pair, the sharp one proves the program race-free
+        // and certifies `s` thread-local afterwards.
+        let t0 = CFn::simple(Stmt::Assign(Expr::var("s"), Expr::Const(1)));
+        let t1 = CFn::simple(Stmt::seq([
+            Stmt::Set("t".into(), Expr::Const(3)),
+            Stmt::If(
+                Expr::bin(Binop::Lt, Expr::temp("t"), Expr::Const(2)),
+                Box::new(Stmt::Assign(Expr::var("s"), Expr::Const(2))),
+                Box::new(Stmt::Skip),
+            ),
+        ]));
+        let m = ClightModule::new([("t0", t0), ("t1", t1)]);
+        let entries = ["t0".to_string(), "t1".to_string()];
+        let model = LockModel::default();
+        let base = check_static_race(&m, &entries, &model);
+        assert!(!base.is_drf(), "baseline must flag the dead-branch pair");
+        let sharp = check_static_race_sharp(&m, &entries, &model);
+        assert!(sharp.is_drf(), "sharp verdict: {:?}", sharp.report.verdict);
+        assert!(!sharp.pruned.is_empty(), "pruned pairs must be reported");
+        assert_eq!(
+            sharp.escape.globals.get("s"),
+            Some(&Sharing::ThreadLocal(0)),
+            "the refined classification certifies `s` as non-escaping"
+        );
+    }
+
+    #[test]
+    fn sharp_analysis_skips_never_entered_loops() {
+        use ccc_clight::ast::{Binop, Function as CFn};
+        // The racy write sits in a `while` whose head test is false on
+        // every state the intervals allow.
+        let t0 = CFn::simple(Stmt::Assign(Expr::var("s"), Expr::Const(1)));
+        let t1 = CFn::simple(Stmt::seq([
+            Stmt::Set("t".into(), Expr::Const(0)),
+            Stmt::While(
+                Expr::bin(Binop::Gt, Expr::temp("t"), Expr::Const(5)),
+                Box::new(Stmt::Assign(Expr::var("s"), Expr::Const(2))),
+            ),
+        ]));
+        let m = ClightModule::new([("t0", t0), ("t1", t1)]);
+        let entries = ["t0".to_string(), "t1".to_string()];
+        let base = check_static_race(&m, &entries, &LockModel::default());
+        assert!(!base.is_drf());
+        let sharp = check_static_race_sharp(&m, &entries, &LockModel::default());
+        assert!(sharp.is_drf(), "sharp verdict: {:?}", sharp.report.verdict);
+    }
+
+    #[test]
+    fn sharp_analysis_keeps_real_races_and_lock_discipline() {
+        // The sharpening must never flip a genuine verdict: racy
+        // generated clients stay flagged, locked ones stay DRF, and
+        // undecidable branches keep both arms' accesses.
+        let model = lock_model();
+        for seed in 0..10 {
+            let (client, _, entries) = gen_concurrent_client(seed, 2, &["s0"], true);
+            let sharp = check_static_race_sharp(&client, &entries, &model);
+            assert!(!sharp.is_drf(), "seed {seed}: racy client not flagged");
+            let (client, _, entries) = gen_concurrent_client(seed, 3, &["s0", "s1"], false);
+            let sharp = check_static_race_sharp(&client, &entries, &model);
+            assert!(sharp.is_drf(), "seed {seed}: locked client flagged");
+        }
+        // A genuinely reachable branch write survives the sharpening
+        // even with interval tracking active on the guard temp.
+        use ccc_clight::ast::{Binop, Function as CFn};
+        let t0 = CFn::simple(Stmt::Assign(Expr::var("s"), Expr::Const(1)));
+        let t1 = CFn::simple(Stmt::seq([
+            Stmt::Set("t".into(), Expr::Const(1)),
+            Stmt::If(
+                Expr::bin(Binop::Lt, Expr::temp("t"), Expr::Const(2)),
+                Box::new(Stmt::Assign(Expr::var("s"), Expr::Const(2))),
+                Box::new(Stmt::Skip),
+            ),
+        ]));
+        let m = ClightModule::new([("t0", t0), ("t1", t1)]);
+        let entries = ["t0".to_string(), "t1".to_string()];
+        let sharp = check_static_race_sharp(&m, &entries, &LockModel::default());
+        assert!(!sharp.is_drf(), "live-branch race must stay flagged");
     }
 
     #[test]

@@ -127,6 +127,12 @@ pub enum ObligationKind {
     /// `EntAtom`/`ExtAtom` bracketing survives the object-level
     /// transformation bit-for-bit (§5).
     AtomicShape,
+    /// An interval-justified rewrite (Constprop's SCCP extension): the
+    /// claimed per-node interval facts are edge-closed under the
+    /// validator's own abstract interpreter (`crate::absint`), and each
+    /// pruned branch / folded operator / eliminated dead frame store is
+    /// decided by those re-checked ranges.
+    ValueRange,
 }
 
 impl ObligationKind {
@@ -148,6 +154,7 @@ impl ObligationKind {
             ObligationKind::ExprSem => "ExprSem",
             ObligationKind::FrameCover => "FrameCover",
             ObligationKind::AtomicShape => "AtomicShape",
+            ObligationKind::ValueRange => "ValueRange",
         }
     }
 
@@ -158,7 +165,7 @@ impl ObligationKind {
     }
 
     /// Every obligation kind, in declaration order.
-    pub const ALL: [ObligationKind; 15] = [
+    pub const ALL: [ObligationKind; 16] = [
         ObligationKind::EffectsRefine,
         ObligationKind::FootprintCover,
         ObligationKind::ControlMatch,
@@ -174,6 +181,7 @@ impl ObligationKind {
         ObligationKind::ExprSem,
         ObligationKind::FrameCover,
         ObligationKind::AtomicShape,
+        ObligationKind::ValueRange,
     ];
 }
 

@@ -20,15 +20,17 @@ use super::sym::{
 use super::{Obligation, ObligationKind, SimWitness};
 use ccc_compiler::allocation::{assignment, liveness};
 use ccc_compiler::cleanuplabels::referenced_labels;
-use ccc_compiler::constprop::constant_facts;
+use ccc_compiler::constprop::{constant_facts, interval_facts};
 use ccc_compiler::linear::{Instr as LinInstr, LinearModule};
 use ccc_compiler::linearize::layout;
 use ccc_compiler::ltl::{Instr as LtlInstr, Loc, LtlModule};
+use ccc_compiler::ops::{AddrMode, Cmp, Op};
 use ccc_compiler::renumber::renumber_permutation;
 use ccc_compiler::rtl::{Function as RtlFunction, Instr as RtlInstr, Node, PReg, RtlModule};
 use ccc_compiler::tailcall::skip_nops;
 use ccc_compiler::tunneling::branch_target;
 use ccc_core::mem::Val;
+use ccc_core::Interval;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Obligation accumulator: one per witness under construction. Shared
@@ -404,10 +406,61 @@ fn facts_violation(f: &RtlFunction, facts: &BTreeMap<Node, BTreeMap<PReg, i64>>)
     None
 }
 
-/// Validates a Constprop run: the facts are independently re-proven
-/// inductive, then each node pair is executed with both environments
-/// seeded by the facts, so folds, strength reductions and decided
-/// branches on the target line up with the source symbolically.
+/// The interval-justified branch-prune obligation: `Cond`/`CondImm`
+/// became `Nop(x)`, so the verified interval facts must decide the
+/// comparison, and the surviving arm must be the decided one.
+#[allow(clippy::too_many_arguments)]
+fn check_pruned_branch(
+    o: &mut Obls,
+    fname: &str,
+    n: Node,
+    c: Cmp,
+    a: Option<Interval>,
+    b: Option<Interval>,
+    (t, e): (Node, Node),
+    x: Node,
+    unreachable: bool,
+) {
+    let decided = match (a, b) {
+        (Some(a), Some(b)) => crate::absint::decide_cmp(c, &a, &b),
+        _ => None,
+    };
+    let ok = unreachable || (decided == Some(true) && x == t) || (decided == Some(false) && x == e);
+    o.check(ObligationKind::ValueRange, fname, Some(n), ok, || {
+        format!(
+            "branch {c:?} at node {n} pruned to {x}, but the verified interval \
+             facts decide {decided:?} (arms {t}/{e})"
+        )
+    });
+}
+
+/// True if any instruction of the target function loads from frame
+/// slot `s` — the observation that makes a frame store live.
+fn loads_stack_slot(f: &RtlFunction, s: u64) -> bool {
+    f.code
+        .values()
+        .any(|i| matches!(i, RtlInstr::Load(AddrMode::Stack(x), ..) if *x == s))
+}
+
+/// Validates a Constprop run. The pass's two kinds of dataflow claims
+/// are re-proven first — constant facts inductive
+/// ([`ObligationKind::FactsInductive`]) and interval facts edge-closed
+/// under the validator's independent abstract interpreter
+/// ([`ObligationKind::ValueRange`] via
+/// [`crate::absint::interval_facts_violation`]). Identical node pairs
+/// are then executed symbolically with both environments seeded by the
+/// verified facts; the three rewrite shapes the proven facts justify
+/// beyond symbolic equality each discharge a dedicated `ValueRange`
+/// obligation:
+///
+/// * a decided branch pruned to `Nop` — the validator's facts must
+///   decide the same arm ([`check_pruned_branch`]);
+/// * an operation folded to a constant the symbolic engine cannot
+///   equate (the fold is range- rather than constant-derived) — the
+///   validator's abstract evaluation must produce that singleton;
+/// * a dead frame store dropped to `Nop` — sound only while no frame
+///   address is ever taken (module-wide) and no load of the slot
+///   remains, so the store is unobservable.
 pub fn validate_constprop(src: &RtlModule, tgt: &RtlModule) -> SimWitness {
     let mut o = Obls::new();
     check_same_funcs(
@@ -415,6 +468,11 @@ pub fn validate_constprop(src: &RtlModule, tgt: &RtlModule) -> SimWitness {
         src.funcs.keys().collect(),
         tgt.funcs.keys().collect(),
     );
+    let frame_escapes = tgt.funcs.values().any(|f| {
+        f.code
+            .values()
+            .any(|i| matches!(i, RtlInstr::Op(Op::AddrStack(_), ..)))
+    });
     for (name, sf) in &src.funcs {
         let Some(tf) = tgt.funcs.get(name) else {
             continue;
@@ -438,9 +496,95 @@ pub fn validate_constprop(src: &RtlModule, tgt: &RtlModule) -> SimWitness {
             violation.is_none(),
             || violation.unwrap_or_default(),
         );
-        for &n in sf.code.keys() {
+        let ifacts = interval_facts(sf);
+        let iviolation = crate::absint::interval_facts_violation(sf, &ifacts);
+        o.check(
+            ObligationKind::ValueRange,
+            name,
+            None,
+            iviolation.is_none(),
+            || iviolation.unwrap_or_default(),
+        );
+        for (&n, si) in &sf.code {
             o.blocks += 1;
-            check_rtl_pair(&mut o, name, sf, tf, (n, n), &|s| Some(s), facts.get(&n));
+            let cenv = facts.get(&n);
+            let ienv = ifacts.get(&n);
+            // The verified interval of a register: a proven constant is
+            // the sharpest claim; otherwise the proven range.
+            let itv = |r: PReg| -> Option<Interval> {
+                cenv.and_then(|e| e.get(&r).map(|&c| Interval::constant(c)))
+                    .or_else(|| ienv.and_then(|e| e.get(&r).copied()))
+            };
+            // Symbolic seed: proven constants plus proven singletons.
+            let seed = || -> BTreeMap<PReg, i64> {
+                let mut s = cenv.cloned().unwrap_or_default();
+                for (r, iv) in ienv.into_iter().flatten() {
+                    if let Some(c) = iv.as_const() {
+                        s.entry(*r).or_insert(c);
+                    }
+                }
+                s
+            };
+            match (si, tf.code.get(&n)) {
+                (_, Some(ti)) if si == ti => {
+                    check_rtl_pair(&mut o, name, sf, tf, (n, n), &|s| Some(s), Some(&seed()));
+                }
+                (RtlInstr::Cond(c, r1, r2, t, e), Some(RtlInstr::Nop(x))) => {
+                    check_pruned_branch(
+                        &mut o,
+                        name,
+                        n,
+                        *c,
+                        itv(*r1),
+                        itv(*r2),
+                        (*t, *e),
+                        *x,
+                        ienv.is_none(),
+                    );
+                }
+                (RtlInstr::CondImm(c, r, imm, t, e), Some(RtlInstr::Nop(x))) => {
+                    check_pruned_branch(
+                        &mut o,
+                        name,
+                        n,
+                        *c,
+                        itv(*r),
+                        Some(Interval::constant(*imm)),
+                        (*t, *e),
+                        *x,
+                        ienv.is_none(),
+                    );
+                }
+                (RtlInstr::Store(AddrMode::Stack(s), _, succ), Some(RtlInstr::Nop(x))) => {
+                    let ok = x == succ
+                        && *s < tf.stack_slots
+                        && !frame_escapes
+                        && !loads_stack_slot(tf, *s);
+                    o.check(ObligationKind::ValueRange, name, Some(n), ok, || {
+                        format!(
+                            "elimination of the store to frame slot {s} at node {n} \
+                             is not justified (escaping frame or remaining load)"
+                        )
+                    });
+                }
+                (
+                    RtlInstr::Op(op, args, dst, succ),
+                    Some(RtlInstr::Op(Op::Const(c), ta, dst2, succ2)),
+                ) if ta.is_empty() && !matches!(op, Op::Const(_)) => {
+                    let iargs: Vec<Option<Interval>> = args.iter().map(|&r| itv(r)).collect();
+                    let folded = crate::absint::ival_op(op, &iargs).and_then(|iv| iv.as_const());
+                    let ok = dst == dst2 && succ == succ2 && (ienv.is_none() || folded == Some(*c));
+                    o.check(ObligationKind::ValueRange, name, Some(n), ok, || {
+                        format!(
+                            "fold of {op:?} to constant {c} at node {n} is not justified: \
+                             the verified facts evaluate it to {folded:?}"
+                        )
+                    });
+                }
+                _ => {
+                    check_rtl_pair(&mut o, name, sf, tf, (n, n), &|s| Some(s), Some(&seed()));
+                }
+            }
         }
     }
     o.into_witness("Constprop")

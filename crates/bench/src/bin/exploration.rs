@@ -1,36 +1,50 @@
 //! Exploration-engine evaluation: exhaustive enumeration vs the
 //! footprint-directed ample-set reduction vs the parallel frontier.
 //!
-//! Every program is explored three ways:
+//! Every program is explored four ways:
 //!
 //! * **naive** — `Reduction::Off`, the exhaustive oracle;
 //! * **ample** — `Reduction::Ample` with state interning: threads whose
 //!   next steps are all silent and scoped to their own free-list region
 //!   are expanded alone;
+//! * **absint** — the ample reduction plus escape-analysis hints
+//!   ([`ccc_analysis::ample_hints`]): globals the abstract
+//!   interpretation proves thread-local count as private, so grinds on
+//!   them collapse too (the engine monitors the hints and falls back on
+//!   any violation);
 //! * **par** — the sharded parallel frontier on a small worker pool
-//!   (naive expansion, deterministic merge).
+//!   (naive expansion, deterministic merge, early exit on the first
+//!   race witness).
 //!
 //! The verdicts must be identical everywhere — the reduction preserves
 //! race reachability and trace sets, and the parallel merge is
 //! commutative — so the table is purely about cost: states visited and
 //! wall-clock. On the 4-thread private-prefix programs the ample
 //! reduction must visit at least 5x fewer states than the oracle, for
-//! both `check_drf` and `collect_traces`; the run aborts otherwise.
+//! both `check_drf` and `collect_traces`; on every race-free program
+//! the hinted reduction must visit no more states than the plain one,
+//! and at least one program must improve by 2x or better; the run
+//! aborts otherwise.
 //!
 //! Run with: `cargo run --release -p ccc-bench --bin exploration`
 //! (`--smoke` shrinks the corpus for CI). Results are also written to
 //! `BENCH_exploration.json` in the current directory.
 
+use ccc_analysis::{ample_hints, infer_lock_model, LockModel};
 use ccc_bench::corpus::concurrent_source_with;
+use ccc_clight::ast::{Expr, Function, Stmt};
+use ccc_clight::{ClightLang, ClightModule};
 use ccc_core::lang::{Lang, Prog};
+use ccc_core::mem::{GlobalEnv, Val};
 use ccc_core::race::{
-    check_drf, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
-    collect_footprints_par,
+    check_drf, check_drf_hinted, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
+    collect_footprints_hinted, collect_footprints_par,
 };
 use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
 use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
 use ccc_core::world::Loaded;
-use ccc_core::Reduction;
+use ccc_core::{AmpleHints, Reduction};
+use ccc_sync::lock::lock_spec;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -54,6 +68,7 @@ struct Row {
     drf: bool,
     drf_naive: Run,
     drf_ample: Run,
+    drf_absint: Run,
     drf_par: Run,
     traces: Option<(Run, Run)>, // (naive, ample), toy programs only
     npdrf: Option<(Run, Run)>,  // (serial, par), corpus programs only
@@ -66,15 +81,17 @@ impl Row {
         write!(
             s,
             "    {{\"name\": \"{}\", \"threads\": {}, \"drf\": {}, \
-             \"drf_naive\": {}, \"drf_ample\": {}, \"drf_par\": {}, \
-             \"drf_reduction_x\": {:.2}",
+             \"drf_naive\": {}, \"drf_ample\": {}, \"drf_absint\": {}, \"drf_par\": {}, \
+             \"drf_reduction_x\": {:.2}, \"absint_reduction_x\": {:.2}",
             self.name,
             self.threads,
             self.drf,
             run(&self.drf_naive),
             run(&self.drf_ample),
+            run(&self.drf_absint),
             run(&self.drf_par),
             self.drf_naive.states as f64 / self.drf_ample.states.max(1) as f64,
+            self.drf_ample.states as f64 / self.drf_absint.states.max(1) as f64,
         )
         .unwrap();
         if let Some((n, a)) = &self.traces {
@@ -140,13 +157,53 @@ fn toy_private(threads: usize, depth: usize, sync: bool) -> Loaded<ToyLang> {
     .expect("toy links")
 }
 
-/// Runs the three DRF explorations (plus optional trace / NPDRF runs)
-/// on one program and cross-checks every verdict.
+/// A Clight client whose threads grind on their *own* named global —
+/// invisible to the plain ample reduction (globals are never in a
+/// thread's free list) but proven thread-local by the escape analysis,
+/// so the hinted reduction collapses the grinds. A final read of the
+/// shared `s0` keeps every thread honest (read-read, so still DRF).
+fn clight_private(threads: usize, depth: usize) -> (Loaded<ClightLang>, AmpleHints) {
+    let mut ge = GlobalEnv::new();
+    ge.define("s0", Val::Int(0));
+    let mut funcs = Vec::new();
+    let mut entries = Vec::new();
+    for t in 0..threads {
+        let p = format!("p{t}");
+        ge.define(p.clone(), Val::Int(0));
+        let mut body = Vec::new();
+        for _ in 0..depth {
+            body.push(Stmt::Assign(
+                Expr::var(p.clone()),
+                Expr::add(Expr::var(p.clone()), Expr::Const(1)),
+            ));
+        }
+        body.push(Stmt::Set("o".into(), Expr::var("s0")));
+        body.push(Stmt::Return(None));
+        let name = format!("w{t}");
+        funcs.push((name.clone(), Function::simple(Stmt::seq(body))));
+        entries.push(name);
+    }
+    let client = ClightModule::new(funcs);
+    let hints = ample_hints(&client, &entries, &LockModel::default(), &ge);
+    assert!(
+        hints.private.iter().all(|s| s.len() == 1),
+        "escape analysis must prove every p{{t}} thread-local"
+    );
+    let loaded =
+        Loaded::new(Prog::new(ClightLang, vec![(client, ge)], entries)).expect("client links");
+    (loaded, hints)
+}
+
+/// Runs the four DRF explorations (plus optional trace / NPDRF runs)
+/// on one program and cross-checks every verdict. `hints` feeds the
+/// absint run; pass empty hints for programs without escape results
+/// (the hinted engine then coincides with the plain ample one).
 fn measure<L>(
     name: &str,
     loaded: &Loaded<L>,
     cfg: &ExploreCfg,
     workers: usize,
+    hints: &AmpleHints,
     with_traces: bool,
     with_npdrf: bool,
 ) -> Row
@@ -171,9 +228,10 @@ where
 
     let (naive, t_naive) = timed(|| check_drf(loaded, &naive_cfg).expect("loads"));
     let (ample, t_ample) = timed(|| check_drf(loaded, &ample_cfg).expect("loads"));
+    let (absint, t_absint) = timed(|| check_drf_hinted(loaded, &ample_cfg, hints).expect("loads"));
     let (par, t_par) = timed(|| check_drf_par(loaded, &par_cfg).expect("loads"));
     assert!(
-        !naive.truncated && !ample.truncated && !par.truncated,
+        !naive.truncated && !ample.truncated && !absint.truncated && !par.truncated,
         "{name}: exploration truncated; raise max_states"
     );
     assert_eq!(
@@ -183,17 +241,28 @@ where
     );
     assert_eq!(
         naive.is_drf(),
+        absint.is_drf(),
+        "{name}: hinted reduction changed the DRF verdict"
+    );
+    assert_eq!(
+        naive.is_drf(),
         par.is_drf(),
         "{name}: parallel frontier changed the DRF verdict"
     );
 
-    // Footprint unions must also survive both engines.
+    // Footprint unions must also survive every engine.
     let (fp_naive, _) = timed(|| collect_footprints(loaded, &naive_cfg).expect("loads"));
     let (fp_ample, _) = timed(|| collect_footprints(loaded, &ample_cfg).expect("loads"));
+    let (fp_absint, _) =
+        timed(|| collect_footprints_hinted(loaded, &ample_cfg, hints).expect("loads"));
     let (fp_par, _) = timed(|| collect_footprints_par(loaded, &par_cfg).expect("loads"));
     assert_eq!(
         fp_naive.fps, fp_ample.fps,
         "{name}: footprint unions differ (ample)"
+    );
+    assert_eq!(
+        fp_naive.fps, fp_absint.fps,
+        "{name}: footprint unions differ (absint)"
     );
     assert_eq!(
         fp_naive.fps, fp_par.fps,
@@ -257,6 +326,10 @@ where
             states: ample.states,
             ms: t_ample,
         },
+        drf_absint: Run {
+            states: absint.states,
+            ms: t_absint,
+        },
         drf_par: Run {
             states: par.states,
             ms: t_par,
@@ -278,21 +351,25 @@ fn main() {
         ..Default::default()
     };
 
-    println!("Exploration engines: naive vs ample reduction vs parallel ({workers} workers)");
     println!(
-        "{:<22} {:>3} {:>5} | {:>9} {:>9} {:>7} | {:>9} {:>9} | {:>9} {:>9}",
+        "Exploration engines: naive vs ample vs escape-hinted ample vs parallel ({workers} workers)"
+    );
+    println!(
+        "{:<22} {:>3} {:>5} | {:>9} {:>9} {:>7} | {:>9} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
         "program",
         "thr",
         "drf",
         "st_naive",
         "st_ample",
         "red_x",
+        "st_abs",
+        "abs_x",
         "ms_naive",
         "ms_ample",
         "st_par",
         "ms_par"
     );
-    println!("{}", "-".repeat(108));
+    println!("{}", "-".repeat(126));
 
     let mut rows = Vec::new();
 
@@ -319,11 +396,38 @@ fn main() {
         );
         let loaded = toy_private(threads, depth, sync);
         let with_traces = sync; // racy trace sets include every abort interleaving
-        rows.push(measure(&name, &loaded, &cfg, workers, with_traces, false));
+        rows.push(measure(
+            &name,
+            &loaded,
+            &cfg,
+            workers,
+            &AmpleHints::default(),
+            with_traces,
+            false,
+        ));
+    }
+
+    // Private-global Clight clients: the escape analysis proves each
+    // thread's grind global thread-local, so only the hinted engine
+    // collapses the prefixes (plain ample never treats globals as
+    // private).
+    let absint_specs: &[(usize, usize)] = if smoke {
+        &[(3, 2)]
+    } else {
+        &[(2, 4), (3, 3), (4, 2)]
+    };
+    for &(threads, depth) in absint_specs {
+        let name = format!("absint/{threads}t-d{depth}");
+        let (loaded, hints) = clight_private(threads, depth);
+        rows.push(measure(&name, &loaded, &cfg, workers, &hints, false, false));
     }
 
     // Generated Clight clients + the CImp lock object: cross-language
-    // corpus programs with real call/lock traffic.
+    // corpus programs with real call/lock traffic. Hints come from the
+    // same escape analysis, against the inferred lock protocol — a
+    // shared global only one thread happens to touch still counts.
+    let (lock_obj, _) = lock_spec("L");
+    let lock_model = infer_lock_model(&lock_obj);
     let corpus_specs: &[(u64, usize, bool)] = if smoke {
         &[(0, 3, false)]
     } else {
@@ -336,26 +440,29 @@ fn main() {
             threads,
             if racy { "-racy" } else { "" }
         );
-        let (loaded, _, _, _) = concurrent_source_with(seed, threads, racy);
-        rows.push(measure(&name, &loaded, &cfg, workers, false, true));
+        let (loaded, client, ge, entries) = concurrent_source_with(seed, threads, racy);
+        let hints = ample_hints(&client, &entries, &lock_model, &ge);
+        rows.push(measure(&name, &loaded, &cfg, workers, &hints, false, true));
     }
 
     for r in &rows {
         println!(
-            "{:<22} {:>3} {:>5} | {:>9} {:>9} {:>6.1}x | {:>8.2} {:>8.2} | {:>9} {:>8.2}",
+            "{:<22} {:>3} {:>5} | {:>9} {:>9} {:>6.1}x | {:>9} {:>5.1}x | {:>8.2} {:>8.2} | {:>9} {:>8.2}",
             r.name,
             r.threads,
             r.drf,
             r.drf_naive.states,
             r.drf_ample.states,
             r.drf_naive.states as f64 / r.drf_ample.states.max(1) as f64,
+            r.drf_absint.states,
+            r.drf_ample.states as f64 / r.drf_absint.states.max(1) as f64,
             r.drf_naive.ms,
             r.drf_ample.ms,
             r.drf_par.states,
             r.drf_par.ms,
         );
     }
-    println!("{}", "-".repeat(108));
+    println!("{}", "-".repeat(126));
 
     // Acceptance gate: on the race-free 4-thread private-prefix
     // programs (racy runs early-exit at the first witness, so their
@@ -398,6 +505,27 @@ fn main() {
         }
     }
     println!("4-thread private-prefix programs: >=5x state reduction confirmed");
+
+    // Escape-analysis gate: on race-free programs (racy explorations
+    // early-exit at the first witness, so their counts measure search
+    // order, not reduction) the hints must never cost states, and the
+    // private-global family must improve on plain ample by >= 2x
+    // somewhere.
+    for r in rows.iter().filter(|r| r.drf) {
+        assert!(
+            r.drf_absint.states <= r.drf_ample.states,
+            "{}: escape hints cost states ({} vs {})",
+            r.name,
+            r.drf_absint.states,
+            r.drf_ample.states
+        );
+    }
+    assert!(
+        rows.iter()
+            .any(|r| r.drf && r.drf_ample.states >= 2 * r.drf_absint.states),
+        "no program improved >= 2x under escape-analysis hints"
+    );
+    println!("escape hints: never more states than plain ample, >=2x on the private-global family");
     println!("all verdicts, footprint unions, and trace sets identical across engines");
 
     let mut json = String::from("{\n");

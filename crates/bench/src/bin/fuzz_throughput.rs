@@ -7,10 +7,14 @@
 //!   through the clean differential oracle (`check_program` with no
 //!   mutant); every input must pass, and the wall-clock gives the
 //!   inputs/second figure the evaluation quotes;
-//! * **scoreboard** — each of the 19 pipeline mutants faces the same
-//!   stream until the oracle kills it or the per-mutant budget runs
-//!   out. The run aborts unless *every* mutant is killed — a surviving
-//!   mutant means a checker lost its teeth.
+//! * **scoreboard** — each pipeline mutant first replays its own
+//!   entries from the persisted regression corpus (`tests/corpus/`),
+//!   then faces the shared random stream until the oracle kills it or
+//!   the per-mutant budget runs out. The run aborts unless *every*
+//!   mutant is killed — a surviving mutant means a checker lost its
+//!   teeth. Corpus seeding keeps the board deterministic for mutants
+//!   whose killing shape the generator rarely produces (e.g. an
+//!   interval-decided but not constant-decided branch).
 //!
 //! With `--corpus <dir>` each killing input is additionally shrunk via
 //! delta debugging and written as a corpus entry (the regression files
@@ -22,11 +26,38 @@
 
 use ccc_fuzz::mutation::stream_input;
 use ccc_fuzz::{
-    check_program, run_scoreboard, shrink_to_entry, static_board_markdown, transval_corpus_board,
-    OracleCfg,
+    check_program, run_scoreboard_seeded, shrink_to_entry, static_board_markdown,
+    transval_corpus_board, CorpusEntry, OracleCfg,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Loads every mutant-tagged entry of the persisted regression corpus
+/// (skipping `none` entries and unparsable files). The directory is
+/// resolved relative to the workspace so the bin works from any cwd.
+fn load_corpus_seeds() -> Vec<CorpusEntry> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+    let mut seeds = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return seeds;
+    };
+    let mut paths: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.extension() != Some(std::ffi::OsStr::new("txt")) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if let Ok(entry) = CorpusEntry::from_text(&text) {
+            if entry.mutant.is_some() {
+                seeds.push(entry);
+            }
+        }
+    }
+    seeds
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -69,10 +100,16 @@ fn main() {
          = {throughput:.1} inputs/s, 0 disagreements"
     );
 
-    // Scoreboard: every mutant against the same stream.
-    println!("mutation-kill scoreboard (budget {budget} inputs per mutant)...");
+    // Scoreboard: every mutant first replays its corpus witnesses,
+    // then faces the same stream.
+    let seeds = load_corpus_seeds();
+    println!(
+        "mutation-kill scoreboard (budget {budget} inputs per mutant, \
+         seeded with {} corpus witnesses)...",
+        seeds.len()
+    );
     let t = Instant::now();
-    let sb = run_scoreboard(budget, &cfg);
+    let sb = run_scoreboard_seeded(budget, &cfg, &seeds);
     let sb_secs = t.elapsed().as_secs_f64();
     print!("{}", sb.to_markdown());
     println!("scoreboard wall-clock: {sb_secs:.1}s");
@@ -89,7 +126,10 @@ fn main() {
     let witnesses: Vec<_> = sb
         .scores
         .iter()
-        .map(|s| (s.mutant, stream_input(s.inputs - 1)))
+        .map(|s| {
+            let w = s.witness.clone().expect("every mutant was killed above");
+            (s.mutant, w)
+        })
         .collect();
     let board = transval_corpus_board(&witnesses);
     print!("{}", static_board_markdown(&board));
@@ -98,7 +138,7 @@ fn main() {
     if let Some(dir) = &corpus_dir {
         std::fs::create_dir_all(dir).expect("create corpus dir");
         for s in &sb.scores {
-            let p = stream_input(s.inputs - 1);
+            let p = s.witness.clone().expect("every mutant was killed above");
             let entry = shrink_to_entry(&p, Some(s.mutant), shrink_budget, &cfg);
             let path = format!("{dir}/kill_{:?}.txt", s.mutant).to_lowercase();
             std::fs::write(&path, entry.to_text()).expect("write corpus entry");

@@ -207,11 +207,9 @@ pub fn transform_function(f: &MFunction) -> Result<AsmFunc, AsmgenError> {
 ///
 /// Fails on violated Stacking invariants.
 pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::Clean)?);
-    }
-    Ok(AsmModule { funcs })
+    Ok(AsmModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, transform_function)?,
+    })
 }
 
 /// Seeded-bug variant for mutation scoring ([`crate::mutant`]): every
@@ -221,11 +219,11 @@ pub fn asmgen(m: &MachModule) -> Result<AsmModule, AsmgenError> {
 ///
 /// Fails on violated Stacking invariants, like the real pass.
 pub fn asmgen_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::LtAsLe)?);
-    }
-    Ok(AsmModule { funcs })
+    Ok(AsmModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            transform_function_with(f, CodegenBug::LtAsLe)
+        })?,
+    })
 }
 
 /// Second seeded-bug variant: conditional jumps against an immediate
@@ -237,11 +235,11 @@ pub fn asmgen_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
 ///
 /// Fails on violated Stacking invariants, like the real pass.
 pub fn asmgen_dropcmp_mutated(m: &MachModule) -> Result<AsmModule, AsmgenError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, CodegenBug::DropCmp)?);
-    }
-    Ok(AsmModule { funcs })
+    Ok(AsmModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            transform_function_with(f, CodegenBug::DropCmp)
+        })?,
+    })
 }
 
 #[cfg(test)]

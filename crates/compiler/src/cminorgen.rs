@@ -144,11 +144,9 @@ pub fn translate_function(f: &Function) -> Result<CmFunction, CminorgenError> {
 ///
 /// Fails on ill-formed lvalues.
 pub fn cminorgen(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
-    let mut funcs = BTreeMap::new();
-    for (name, f) in &m.funcs {
-        funcs.insert(name.clone(), translate_function(f)?);
-    }
-    Ok(CminorModule { funcs })
+    Ok(CminorModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, translate_function)?,
+    })
 }
 
 /// Seeded-bug variant for mutation scoring ([`crate::mutant`]): every
@@ -158,11 +156,11 @@ pub fn cminorgen(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
 ///
 /// Fails on ill-formed lvalues, like the real pass.
 pub fn cminorgen_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
-    let mut funcs = BTreeMap::new();
-    for (name, f) in &m.funcs {
-        funcs.insert(name.clone(), translate_function_with(f, Layout::Collapse)?);
-    }
-    Ok(CminorModule { funcs })
+    Ok(CminorModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            translate_function_with(f, Layout::Collapse)
+        })?,
+    })
 }
 
 /// Second seeded-bug variant: the first two locals of every function
@@ -174,14 +172,11 @@ pub fn cminorgen_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenErro
 ///
 /// Fails on ill-formed lvalues, like the real pass.
 pub fn cminorgen_swap_mutated(m: &ClightModule) -> Result<CminorModule, CminorgenError> {
-    let mut funcs = BTreeMap::new();
-    for (name, f) in &m.funcs {
-        funcs.insert(
-            name.clone(),
-            translate_function_with(f, Layout::SwapFirstTwo)?,
-        );
-    }
-    Ok(CminorModule { funcs })
+    Ok(CminorModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            translate_function_with(f, Layout::SwapFirstTwo)
+        })?,
+    })
 }
 
 #[cfg(test)]

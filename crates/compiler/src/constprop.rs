@@ -1,20 +1,38 @@
-//! Constant propagation on RTL — an *extension* pass beyond the four
-//! optimizations the paper verifies ("proving other optimization passes
-//! would be similar and is left as future work", §7.2 / §8).
+//! Sparse conditional constant propagation on RTL — an *extension*
+//! pass beyond the four optimizations the paper verifies ("proving
+//! other optimization passes would be similar and is left as future
+//! work", §7.2 / §8).
 //!
-//! A forward dataflow analysis computes, per CFG node, which
-//! pseudo-registers surely hold which integer constants; the rewrite
-//! then folds fully-constant operators, strengthens register operands
-//! into immediate forms, and folds decided conditional branches.
+//! Two forward dataflow analyses run side by side:
 //!
-//! The pass only ever *removes* register evaluations — loads, stores
-//! and calls are untouched — so footprints can only shrink, exactly the
-//! direction the footprint-preserving simulation (§4) permits. Division
-//! is folded only when defined, preserving abort behaviour.
+//! * a plain constant analysis (per node, which pseudo-registers surely
+//!   hold which integer), kept as the first hint of the translation
+//!   validator, and
+//! * an **interval analysis** over [`ccc_core::Interval`] in the SCCP
+//!   style: conditional edges refine the branched-on registers, edges
+//!   whose refinement is unsatisfiable are statically infeasible and
+//!   never propagated, and loop heads are widened after a few updates
+//!   so the fixpoint terminates.
+//!
+//! The rewrite folds operators decided by either analysis, strengthens
+//! register operands into immediate forms, prunes conditional branches
+//! whose outcome the intervals decide, and eliminates stores to frame
+//! slots that are never loaded back (only in modules where no frame
+//! address is ever taken, so the frame is invisible to every other
+//! access path). Loads, calls and *shared* stores are untouched, so
+//! shared footprints only shrink — exactly the direction the
+//! footprint-preserving simulation (§4) permits. Division is folded
+//! only when defined, preserving abort behaviour.
+//!
+//! Both analyses are exported ([`constant_facts`], [`interval_facts`])
+//! as *untrusted hints* of the `ccc-analysis` translation validator,
+//! which re-checks their soundness (inductiveness / edge closure) with
+//! an independent engine before believing a single claim.
 
-use crate::ops::Op;
+use crate::ops::{AddrMode, Cmp, Op};
 use crate::rtl::{Function, Instr, Node, PReg, RtlModule};
 use ccc_core::mem::Val;
+use ccc_core::Interval;
 use std::collections::BTreeMap;
 
 /// The abstract value of a register: a known integer constant or
@@ -135,37 +153,376 @@ pub fn constant_facts(f: &Function) -> BTreeMap<Node, BTreeMap<PReg, i64>> {
         .collect()
 }
 
-fn rewrite(i: &Instr, env: &Env, mx: bool) -> Instr {
+// ---------------------------------------------------------------------
+// The interval half: SCCP over `ccc_core::Interval`.
+// ---------------------------------------------------------------------
+
+/// Per-register interval facts at one program point. A register bound
+/// in the map definitely holds `Val::Int(c)` with `c` inside the
+/// interval; an unbound register is unknown (possibly a pointer or
+/// undefined).
+pub type IntervalEnv = BTreeMap<PReg, Interval>;
+
+/// Decides `a cc b` from the operand ranges, when they do not overlap
+/// the boundary.
+fn cmp_decide(c: Cmp, a: &Interval, b: &Interval) -> Option<bool> {
+    match c {
+        Cmp::Eq => a.eq_decide(b),
+        Cmp::Ne => a.eq_decide(b).map(|r| !r),
+        Cmp::Lt => a.lt(b),
+        Cmp::Le => a.le(b),
+        Cmp::Gt => b.lt(a),
+        Cmp::Ge => b.le(a),
+    }
+}
+
+/// Refines `a` under the assumption `a cc b`; `None` when the
+/// assumption is unsatisfiable.
+fn assume(cc: Cmp, a: &Interval, b: &Interval) -> Option<Interval> {
+    match cc {
+        Cmp::Eq => a.assume_eq(b),
+        Cmp::Ne => a.assume_ne(b),
+        Cmp::Lt => a.assume_lt(b),
+        Cmp::Le => a.assume_le(b),
+        Cmp::Gt => a.assume_gt(b),
+        Cmp::Ge => a.assume_ge(b),
+    }
+}
+
+/// Abstract evaluation of an operator over interval arguments (`None`
+/// per argument = untracked). All-singleton arguments go through the
+/// concrete [`Op::eval`] for exact (wrapping) semantics; otherwise the
+/// interval operators of [`ccc_core::Interval`] apply. Returns `None`
+/// when nothing sound can be claimed about the result (division and
+/// bitwise operators on non-singletons, address operators, undefined
+/// evaluations).
+fn ieval_op(op: &Op, args: &[Option<Interval>]) -> Option<Interval> {
+    let consts: Option<Vec<i64>> = args
+        .iter()
+        .map(|a| a.as_ref().and_then(Interval::as_const))
+        .collect();
+    if let Some(cs) = consts {
+        let vals: Vec<Val> = cs.into_iter().map(Val::Int).collect();
+        return match op.eval(&vals) {
+            Some(Val::Int(c)) => Some(Interval::constant(c)),
+            _ => None,
+        };
+    }
+    let a = |k: usize| -> Option<Interval> { args.get(k).copied().flatten() };
+    Some(match op {
+        Op::Const(c) => Interval::constant(*c),
+        Op::Move => a(0)?,
+        Op::Neg => a(0)?.neg(),
+        Op::Not => a(0)?.not(),
+        Op::AddImm(c) => a(0)?.add(&Interval::constant(*c)),
+        Op::MulImm(c) => a(0)?.mul(&Interval::constant(*c)),
+        Op::CmpImm(cc, c) => match cmp_decide(*cc, &a(0)?, &Interval::constant(*c)) {
+            Some(b) => Interval::constant(i64::from(b)),
+            None => Interval::boolean(),
+        },
+        Op::Add => a(0)?.add(&a(1)?),
+        Op::Sub => a(0)?.sub(&a(1)?),
+        Op::Mul => a(0)?.mul(&a(1)?),
+        Op::Cmp(cc) => match cmp_decide(*cc, &a(0)?, &a(1)?) {
+            Some(b) => Interval::constant(i64::from(b)),
+            None => Interval::boolean(),
+        },
+        // Division and bitwise operators are only evaluated on
+        // singletons (above); addresses are never integers.
+        _ => return None,
+    })
+}
+
+fn itransfer(i: &Instr, env: &IntervalEnv) -> IntervalEnv {
+    let mut out = env.clone();
+    match i {
+        Instr::Op(op, args, dst, _) => {
+            let iargs: Vec<Option<Interval>> = args.iter().map(|r| env.get(r).copied()).collect();
+            match ieval_op(op, &iargs) {
+                Some(iv) => {
+                    out.insert(*dst, iv);
+                }
+                None => {
+                    out.remove(dst);
+                }
+            }
+        }
+        Instr::Load(_, dst, _) => {
+            out.remove(dst);
+        }
+        Instr::Call(Some(dst), ..) => {
+            out.remove(dst);
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Refines the binding for `r` in `out` under `r eff other`, where
+/// `mine`/`other` are the *pre-refinement* operand intervals (`None` =
+/// untracked). Returns `false` when the assumption is unsatisfiable —
+/// the edge is statically infeasible.
+///
+/// Soundness of *inserting* a binding for an untracked `r`: a binding
+/// asserts "definitely an integer in this range". `Cmp::eval` defines
+/// the ordered comparisons only on integer pairs, so a taken ordered
+/// edge proves `r` holds an `Int`; `Eq` against a tracked (integer)
+/// side proves the same. `Ne` proves nothing about an untracked side —
+/// a pointer is `Ne` to every integer.
+fn refine_side(
+    out: &mut IntervalEnv,
+    r: PReg,
+    eff: Cmp,
+    mine: Option<Interval>,
+    other: Option<Interval>,
+) -> bool {
+    let may_bind = mine.is_some()
+        || matches!(eff, Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge)
+        || (eff == Cmp::Eq && other.is_some());
+    if !may_bind {
+        return true;
+    }
+    let base = mine.unwrap_or(Interval::TOP);
+    let ob = other.unwrap_or(Interval::TOP);
+    match assume(eff, &base, &ob) {
+        Some(iv) => {
+            out.insert(r, iv);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The per-edge successor environments of `i` from input `env`:
+/// conditional edges are branch-refined on both operands, and edges
+/// whose refinement is unsatisfiable are dropped entirely — the
+/// "sparse conditional" half of the analysis.
+fn interval_edges(i: &Instr, env: &IntervalEnv) -> Vec<(Node, IntervalEnv)> {
+    let out = itransfer(i, env);
+    match i {
+        Instr::Cond(c, r1, r2, t, e) => {
+            let (i1, i2) = (env.get(r1).copied(), env.get(r2).copied());
+            let mut edges = Vec::new();
+            for (node, taken) in [(*t, true), (*e, false)] {
+                let eff = if taken { *c } else { c.negate() };
+                let mut refined = out.clone();
+                if refine_side(&mut refined, *r1, eff, i1, i2)
+                    && refine_side(&mut refined, *r2, eff.swap(), i2, i1)
+                {
+                    edges.push((node, refined));
+                }
+            }
+            edges
+        }
+        Instr::CondImm(c, r, imm, t, e) => {
+            let ir = env.get(r).copied();
+            let ii = Some(Interval::constant(*imm));
+            let mut edges = Vec::new();
+            for (node, taken) in [(*t, true), (*e, false)] {
+                let eff = if taken { *c } else { c.negate() };
+                let mut refined = out.clone();
+                if refine_side(&mut refined, *r, eff, ir, ii) {
+                    edges.push((node, refined));
+                }
+            }
+            edges
+        }
+        other => other
+            .succs()
+            .into_iter()
+            .map(|s| (s, out.clone()))
+            .collect(),
+    }
+}
+
+/// Pointwise join: only registers tracked on *both* sides survive.
+fn ienv_join(a: &IntervalEnv, b: &IntervalEnv) -> IntervalEnv {
+    a.iter()
+        .filter_map(|(r, ia)| b.get(r).map(|ib| (*r, ia.join(ib))))
+        .collect()
+}
+
+/// Pointwise widening of `prev` by `joined` (whose keys are a subset of
+/// `prev`'s by construction of [`ienv_join`]).
+fn ienv_widen(prev: &IntervalEnv, joined: &IntervalEnv) -> IntervalEnv {
+    joined
+        .iter()
+        .map(|(r, iv)| match prev.get(r) {
+            Some(p) => (*r, p.widen(iv)),
+            None => (*r, *iv),
+        })
+        .collect()
+}
+
+/// After how many input changes a node's merge switches from join to
+/// widening. Small enough to terminate fast, large enough to let short
+/// ascending chains (e.g. a bounded count-up) stabilize exactly.
+const WIDEN_AFTER: u32 = 3;
+
+fn interval_analyze(f: &Function, bad_widen: bool) -> BTreeMap<Node, IntervalEnv> {
+    let mut inputs: BTreeMap<Node, IntervalEnv> = BTreeMap::new();
+    inputs.insert(f.entry, IntervalEnv::new());
+    let mut updates: BTreeMap<Node, u32> = BTreeMap::new();
+    let mut work: Vec<Node> = vec![f.entry];
+    while let Some(n) = work.pop() {
+        let Some(instr) = f.code.get(&n) else {
+            continue;
+        };
+        let env_in = inputs.get(&n).cloned().unwrap_or_default();
+        for (s, env_out) in interval_edges(instr, &env_in) {
+            let merged = match inputs.get(&s) {
+                None => env_out,
+                // The seeded widening bug: once a node has an input,
+                // later flows are ignored instead of joined, so
+                // loop-carried registers keep their first-iteration
+                // intervals — unsound claims a validator must reject.
+                Some(prev) if bad_widen => prev.clone(),
+                Some(prev) => {
+                    let joined = ienv_join(prev, &env_out);
+                    if updates.get(&s).copied().unwrap_or(0) >= WIDEN_AFTER {
+                        ienv_widen(prev, &joined)
+                    } else {
+                        joined
+                    }
+                }
+            };
+            if inputs.get(&s) != Some(&merged) {
+                *updates.entry(s).or_insert(0) += 1;
+                inputs.insert(s, merged);
+                work.push(s);
+            }
+        }
+    }
+    inputs
+}
+
+/// The per-node interval facts of the SCCP analysis: for every node the
+/// analysis can reach along statically feasible edges, the register
+/// ranges holding on entry. Nodes absent from the map are proven
+/// unreachable.
+///
+/// Like [`constant_facts`], this is the *untrusted hint* handed to the
+/// `ccc-analysis` translation validator: the validator re-checks edge
+/// closure of the claimed facts with its own independent interval
+/// engine (`ccc-analysis`' `absint`), so a wrong hint can only make
+/// validation fail, never accept a wrong translation.
+pub fn interval_facts(f: &Function) -> BTreeMap<Node, IntervalEnv> {
+    interval_analyze(f, false)
+}
+
+// ---------------------------------------------------------------------
+// The rewrite.
+// ---------------------------------------------------------------------
+
+/// Which seeded bug (if any) a constprop run carries — see
+/// [`crate::mutant`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CpBug {
+    /// The real pass.
+    Clean,
+    /// Constant-decided branches fold to the arm the condition does
+    /// *not* take.
+    WrongArm,
+    /// The interval fixpoint ignores joins ([`interval_analyze`]), so
+    /// loop-carried intervals are stuck at their first iteration.
+    BadWiden,
+    /// Interval-decided branches (not decided by plain constants) are
+    /// pruned to the wrong arm.
+    WrongPrune,
+    /// Dead-store elimination fires even for frame slots that *are*
+    /// loaded back.
+    UnsoundDse,
+}
+
+/// True when some instruction of `f` loads frame slot `s`.
+fn loads_slot(f: &Function, s: u64) -> bool {
+    f.code
+        .values()
+        .any(|i| matches!(i, Instr::Load(AddrMode::Stack(x), _, _) if *x == s))
+}
+
+/// True when any function of the module materializes a frame address
+/// (`Op::AddrStack`). If none does, no pointer to any frame ever
+/// exists, so frame slots are only reachable through `Stack(s)`
+/// addressing in the owning function — the premise of the dead-store
+/// elimination.
+fn module_frame_escapes(m: &RtlModule) -> bool {
+    m.funcs.values().any(|f| {
+        f.code
+            .values()
+            .any(|i| matches!(i, Instr::Op(Op::AddrStack(_), ..)))
+    })
+}
+
+fn rewrite(
+    f: &Function,
+    i: &Instr,
+    cenv: Option<&Env>,
+    ienv: Option<&IntervalEnv>,
+    frame_escapes: bool,
+    bug: CpBug,
+) -> Instr {
+    // Merged constant view: a plain constant fact, else an interval
+    // singleton.
+    let kconst = |r: PReg| -> Option<i64> {
+        if let Some(env) = cenv {
+            if let AVal::Const(c) = lookup(env, r) {
+                return Some(c);
+            }
+        }
+        ienv.and_then(|e| e.get(&r).and_then(Interval::as_const))
+    };
+    // Merged interval view: the interval fact, else a constant fact as
+    // a singleton.
+    let itv = |r: PReg| -> Option<Interval> {
+        if let Some(iv) = ienv.and_then(|e| e.get(&r).copied()) {
+            return Some(iv);
+        }
+        kconst(r).map(Interval::constant)
+    };
+    // Plain-constant view (no interval information), so the two seeded
+    // branch bugs split cleanly: `WrongArm` corrupts decisions the
+    // constant analysis alone justifies, `WrongPrune` those needing
+    // interval facts.
+    let cconst = |r: PReg| -> Option<i64> {
+        cenv.and_then(|env| match lookup(env, r) {
+            AVal::Const(c) => Some(c),
+            _ => None,
+        })
+    };
     match i {
         Instr::Op(op, args, dst, n) => {
-            let avs: Vec<AVal> = args.iter().map(|&r| lookup(env, r)).collect();
-            // Full fold.
-            if let AVal::Const(c) = abstract_op(op, &avs) {
+            // Full fold over known constants (exact wrapping semantics
+            // through the concrete evaluator; undefined results — e.g.
+            // division by zero — are never folded).
+            let consts: Option<Vec<Val>> = args.iter().map(|&r| kconst(r).map(Val::Int)).collect();
+            if let Some(vals) = consts {
+                if let Some(Val::Int(c)) = op.eval(&vals) {
+                    return Instr::Op(Op::Const(c), vec![], *dst, *n);
+                }
+            }
+            // Interval fold: ranges that pin the result without any
+            // operand being constant (e.g. a comparison decided by
+            // non-overlapping ranges).
+            let iargs: Vec<Option<Interval>> = args.iter().map(|&r| itv(r)).collect();
+            if let Some(c) = ieval_op(op, &iargs).as_ref().and_then(Interval::as_const) {
                 return Instr::Op(Op::Const(c), vec![], *dst, *n);
             }
             // Strength reduction of 2-ary ops with one known operand.
             if args.len() == 2 {
                 let (a, b) = (args[0], args[1]);
-                match (op, lookup(env, a), lookup(env, b)) {
-                    (Op::Add, AVal::Const(c), _) => {
-                        return Instr::Op(Op::AddImm(c), vec![b], *dst, *n)
-                    }
-                    (Op::Add, _, AVal::Const(c)) => {
-                        return Instr::Op(Op::AddImm(c), vec![a], *dst, *n)
-                    }
-                    (Op::Sub, _, AVal::Const(c)) if c != i64::MIN => {
+                match (op, kconst(a), kconst(b)) {
+                    (Op::Add, Some(c), _) => return Instr::Op(Op::AddImm(c), vec![b], *dst, *n),
+                    (Op::Add, _, Some(c)) => return Instr::Op(Op::AddImm(c), vec![a], *dst, *n),
+                    (Op::Sub, _, Some(c)) if c != i64::MIN => {
                         return Instr::Op(Op::AddImm(-c), vec![a], *dst, *n)
                     }
-                    (Op::Mul, AVal::Const(c), _) => {
-                        return Instr::Op(Op::MulImm(c), vec![b], *dst, *n)
-                    }
-                    (Op::Mul, _, AVal::Const(c)) => {
-                        return Instr::Op(Op::MulImm(c), vec![a], *dst, *n)
-                    }
-                    (Op::Cmp(cc), _, AVal::Const(c)) => {
+                    (Op::Mul, Some(c), _) => return Instr::Op(Op::MulImm(c), vec![b], *dst, *n),
+                    (Op::Mul, _, Some(c)) => return Instr::Op(Op::MulImm(c), vec![a], *dst, *n),
+                    (Op::Cmp(cc), _, Some(c)) => {
                         return Instr::Op(Op::CmpImm(*cc, c), vec![a], *dst, *n)
                     }
-                    (Op::Cmp(cc), AVal::Const(c), _) => {
+                    (Op::Cmp(cc), Some(c), _) => {
                         return Instr::Op(Op::CmpImm(cc.swap(), c), vec![b], *dst, *n)
                     }
                     _ => {}
@@ -175,26 +532,54 @@ fn rewrite(i: &Instr, env: &Env, mx: bool) -> Instr {
         }
         // Branch folding on decided conditions.
         Instr::Cond(c, r1, r2, t, e) => {
-            if let (AVal::Const(a), AVal::Const(b)) = (lookup(env, *r1), lookup(env, *r2)) {
+            if let (Some(a), Some(b)) = (cconst(*r1), cconst(*r2)) {
                 if let Some(taken) = c.eval(Val::Int(a), Val::Int(b)) {
-                    // `mx` is the seeded bug for mutation scoring:
-                    // decided branches fold to the *wrong* arm.
-                    return Instr::Nop(if taken != mx { *t } else { *e });
+                    // `WrongArm` is the seeded bug for mutation
+                    // scoring: decided branches fold to the wrong arm.
+                    let taken = taken != (bug == CpBug::WrongArm);
+                    return Instr::Nop(if taken { *t } else { *e });
                 }
             }
-            if let AVal::Const(b) = lookup(env, *r2) {
+            if let (Some(a), Some(b)) = (itv(*r1), itv(*r2)) {
+                if let Some(taken) = cmp_decide(*c, &a, &b) {
+                    let taken = taken != (bug == CpBug::WrongPrune);
+                    return Instr::Nop(if taken { *t } else { *e });
+                }
+            }
+            if let Some(b) = kconst(*r2) {
                 return Instr::CondImm(*c, *r1, b, *t, *e);
             }
-            if let AVal::Const(a) = lookup(env, *r1) {
+            if let Some(a) = kconst(*r1) {
                 return Instr::CondImm(c.swap(), *r2, a, *t, *e);
             }
             i.clone()
         }
         Instr::CondImm(c, r, imm, t, e) => {
-            if let AVal::Const(a) = lookup(env, *r) {
+            if let Some(a) = cconst(*r) {
                 if let Some(taken) = c.eval(Val::Int(a), Val::Int(*imm)) {
-                    return Instr::Nop(if taken != mx { *t } else { *e });
+                    let taken = taken != (bug == CpBug::WrongArm);
+                    return Instr::Nop(if taken { *t } else { *e });
                 }
+            }
+            if let Some(a) = itv(*r) {
+                if let Some(taken) = cmp_decide(*c, &a, &Interval::constant(*imm)) {
+                    let taken = taken != (bug == CpBug::WrongPrune);
+                    return Instr::Nop(if taken { *t } else { *e });
+                }
+            }
+            i.clone()
+        }
+        // Dead-store elimination on frame slots: a store to a slot
+        // nobody loads, in a module where frames never escape, cannot
+        // be observed. The store never aborts either (frames are fully
+        // allocated at entry and `s` is in range), so dropping it
+        // preserves behaviour exactly.
+        Instr::Store(AddrMode::Stack(s), _, succ) => {
+            if !frame_escapes
+                && *s < f.stack_slots
+                && (bug == CpBug::UnsoundDse || !loads_slot(f, *s))
+            {
+                return Instr::Nop(*succ);
             }
             i.clone()
         }
@@ -202,14 +587,15 @@ fn rewrite(i: &Instr, env: &Env, mx: bool) -> Instr {
     }
 }
 
-fn transform_function_with(f: &Function, mx: bool) -> Function {
-    let inputs = analyze(f);
+fn transform_function_with(f: &Function, frame_escapes: bool, bug: CpBug) -> Function {
+    let cfacts = analyze(f);
+    let ifacts = interval_analyze(f, bug == CpBug::BadWiden);
     let mut code = BTreeMap::new();
     for (&n, i) in &f.code {
-        match inputs.get(&n) {
-            Some(env) => code.insert(n, rewrite(i, env, mx)),
-            None => code.insert(n, i.clone()), // unreachable node: keep
-        };
+        code.insert(
+            n,
+            rewrite(f, i, cfacts.get(&n), ifacts.get(&n), frame_escapes, bug),
+        );
     }
     Function {
         params: f.params.clone(),
@@ -219,28 +605,44 @@ fn transform_function_with(f: &Function, mx: bool) -> Function {
     }
 }
 
-/// Runs constant propagation over a module.
-pub fn constprop(m: &RtlModule) -> RtlModule {
+fn transform_module_with(m: &RtlModule, bug: CpBug) -> RtlModule {
+    let esc = module_frame_escapes(m);
     RtlModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| (n.clone(), transform_function_with(f, false)))
-            .collect(),
+        funcs: crate::pass_util::map_functions_total(&m.funcs, |f| {
+            transform_function_with(f, esc, bug)
+        }),
     }
 }
 
+/// Runs sparse conditional constant propagation over a module.
+pub fn constprop(m: &RtlModule) -> RtlModule {
+    transform_module_with(m, CpBug::Clean)
+}
+
 /// Seeded-bug variant for mutation scoring ([`crate::mutant`]): branch
-/// folding on decided conditions picks the arm the condition does *not*
-/// take.
+/// folding on constant-decided conditions picks the arm the condition
+/// does *not* take.
 pub fn constprop_mutated(m: &RtlModule) -> RtlModule {
-    RtlModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| (n.clone(), transform_function_with(f, true)))
-            .collect(),
-    }
+    transform_module_with(m, CpBug::WrongArm)
+}
+
+/// Second seeded-bug variant: the interval fixpoint ignores joins, so
+/// loop heads keep their first-iteration intervals — loop-carried
+/// registers get unsoundly narrow ranges and guards prune wrongly.
+pub fn constprop_widen_mutated(m: &RtlModule) -> RtlModule {
+    transform_module_with(m, CpBug::BadWiden)
+}
+
+/// Third seeded-bug variant: branches decided by intervals (but not by
+/// plain constants) are pruned to the wrong arm.
+pub fn constprop_branch_mutated(m: &RtlModule) -> RtlModule {
+    transform_module_with(m, CpBug::WrongPrune)
+}
+
+/// Fourth seeded-bug variant: dead-store elimination drops frame stores
+/// even when the slot is loaded back later.
+pub fn constprop_deadstore_mutated(m: &RtlModule) -> RtlModule {
+    transform_module_with(m, CpBug::UnsoundDse)
 }
 
 #[cfg(test)]
@@ -364,6 +766,132 @@ mod tests {
         let ge = GlobalEnv::new();
         let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(4)], 1000).expect("runs");
         assert_eq!(v, Val::Int(4));
+    }
+
+    #[test]
+    fn branch_refinement_decides_nested_range_checks() {
+        // if (p < 10) { if (p < 20) return p; } return — the inner
+        // check is decided by the refined range [MIN, 9], though p is
+        // never a constant.
+        let f = Function {
+            params: vec![0],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::CondImm(Cmp::Lt, 0, 10, 1, 3)),
+                (1, Instr::CondImm(Cmp::Lt, 0, 20, 2, 3)),
+                (2, Instr::Return(Some(0))),
+                (3, Instr::Return(None)),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        assert!(matches!(m.funcs["f"].code.get(&1), Some(Instr::Nop(2))));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[Val::Int(5)], 100).expect("runs");
+        assert_eq!(v, Val::Int(5));
+    }
+
+    #[test]
+    fn widening_keeps_stable_bounds_and_prunes_redundant_guard() {
+        // i := 0; s := 0; while (i < 3) { if (i >= 0) s := s + i else
+        // s := s - 1; i := i + 1 }; return s. The inner guard is
+        // decided by the widened loop interval (lo = 0 is stable) but
+        // never by plain constants.
+        let f = Function {
+            params: vec![],
+            stack_slots: 0,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(0), vec![], 1, 1)),
+                (1, Instr::Op(Op::Const(0), vec![], 2, 2)),
+                (2, Instr::CondImm(Cmp::Lt, 1, 3, 3, 7)),
+                (3, Instr::CondImm(Cmp::Ge, 1, 0, 4, 5)),
+                (4, Instr::Op(Op::Add, vec![2, 1], 2, 6)),
+                (5, Instr::Op(Op::AddImm(-1), vec![2], 2, 6)),
+                (6, Instr::Op(Op::AddImm(1), vec![1], 1, 2)),
+                (7, Instr::Return(Some(2))),
+            ]),
+        };
+        let m = constprop(&module_of(f.clone()));
+        assert!(matches!(m.funcs["f"].code.get(&3), Some(Instr::Nop(4))));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(3));
+        // The wrong-prune mutant picks the other arm — observably so.
+        let bad = constprop_branch_mutated(&module_of(f));
+        assert!(matches!(bad.funcs["f"].code.get(&3), Some(Instr::Nop(5))));
+        let (v, _, _) = run_main(&RtlLang, &bad, &ge, "f", &[], 1000).expect("runs");
+        assert_eq!(v, Val::Int(-3));
+    }
+
+    #[test]
+    fn dead_frame_stores_are_eliminated() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(7), vec![], 1, 1)),
+                (1, Instr::Store(AddrMode::Stack(0), 1, 2)),
+                (2, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        assert!(matches!(m.funcs["f"].code.get(&1), Some(Instr::Nop(2))));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(7));
+    }
+
+    #[test]
+    fn loaded_frame_stores_are_kept() {
+        let f = Function {
+            params: vec![],
+            stack_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(7), vec![], 1, 1)),
+                (1, Instr::Store(AddrMode::Stack(0), 1, 2)),
+                (2, Instr::Load(AddrMode::Stack(0), 2, 3)),
+                (3, Instr::Return(Some(2))),
+            ]),
+        };
+        let m = constprop(&module_of(f.clone()));
+        assert!(matches!(
+            m.funcs["f"].code.get(&1),
+            Some(Instr::Store(AddrMode::Stack(0), 1, 2))
+        ));
+        let ge = GlobalEnv::new();
+        let (v, _, _) = run_main(&RtlLang, &m, &ge, "f", &[], 100).expect("runs");
+        assert_eq!(v, Val::Int(7));
+        // The unsound-DSE mutant drops it anyway, so the load sees the
+        // frame's initial Undef instead of 7 — an observable difference.
+        let bad = constprop_deadstore_mutated(&module_of(f));
+        assert!(matches!(bad.funcs["f"].code.get(&1), Some(Instr::Nop(2))));
+        let r = run_main(&RtlLang, &bad, &ge, "f", &[], 100);
+        assert_ne!(r.map(|t| t.0), Some(Val::Int(7)));
+    }
+
+    #[test]
+    fn escaping_frames_disable_dead_store_elimination() {
+        // The module takes a frame address somewhere, so even an
+        // apparently dead store must stay.
+        let f = Function {
+            params: vec![],
+            stack_slots: 1,
+            entry: 0,
+            code: BTreeMap::from([
+                (0, Instr::Op(Op::Const(7), vec![], 1, 1)),
+                (1, Instr::Store(AddrMode::Stack(0), 1, 2)),
+                (2, Instr::Op(Op::AddrStack(0), vec![], 2, 3)),
+                (3, Instr::Return(Some(1))),
+            ]),
+        };
+        let m = constprop(&module_of(f));
+        assert!(matches!(
+            m.funcs["f"].code.get(&1),
+            Some(Instr::Store(AddrMode::Stack(0), 1, 2))
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod ltl;
 pub mod mach;
 pub mod mutant;
 pub mod ops;
+pub mod pass_util;
 pub mod pretty;
 pub mod renumber;
 pub mod rtl;

@@ -19,7 +19,10 @@ use crate::allocation::{allocation, allocation_mutated};
 use crate::asmgen::{asmgen, asmgen_dropcmp_mutated, asmgen_mutated};
 use crate::cleanuplabels::{cleanup_labels, cleanup_labels_mutated};
 use crate::cminorgen::{cminorgen, cminorgen_mutated, cminorgen_swap_mutated};
-use crate::constprop::{constprop, constprop_mutated};
+use crate::constprop::{
+    constprop, constprop_branch_mutated, constprop_deadstore_mutated, constprop_mutated,
+    constprop_widen_mutated,
+};
 use crate::driver::{CompilationArtifacts, CompileError};
 use crate::linearize::{linearize, linearize_mutated};
 use crate::renumber::{renumber, renumber_mutated};
@@ -57,6 +60,15 @@ pub enum Mutant {
     Renumber,
     /// Constprop folds decided branches to the arm *not* taken.
     Constprop,
+    /// Constprop's interval analysis stops merging loop-head inputs
+    /// after the first update instead of widening, so loop guards are
+    /// "decided" from first-iteration ranges and wrongly pruned.
+    ConstpropWiden,
+    /// Constprop prunes interval-decided branches to the *refuted* arm.
+    ConstpropBranch,
+    /// Constprop eliminates frame stores even when a load of the slot
+    /// remains, so the load sees stale `Undef` instead of the value.
+    ConstpropDeadStore,
     /// Allocation coalesces interfering live ranges onto one register.
     Allocation,
     /// Tunneling chases through `Op`s, skipping real computation.
@@ -88,7 +100,7 @@ pub enum Mutant {
 
 impl Mutant {
     /// Every mutant, in pipeline order.
-    pub const ALL: [Mutant; 19] = [
+    pub const ALL: [Mutant; 22] = [
         Mutant::Cminorgen,
         Mutant::CminorgenSwap,
         Mutant::Selection,
@@ -98,6 +110,9 @@ impl Mutant {
         Mutant::Tailcall,
         Mutant::Renumber,
         Mutant::Constprop,
+        Mutant::ConstpropWiden,
+        Mutant::ConstpropBranch,
+        Mutant::ConstpropDeadStore,
         Mutant::Allocation,
         Mutant::Tunneling,
         Mutant::Linearize,
@@ -119,7 +134,10 @@ impl Mutant {
             Mutant::Rtlgen | Mutant::RtlgenRetZero => "RTLgen",
             Mutant::Tailcall => "Tailcall",
             Mutant::Renumber => "Renumber",
-            Mutant::Constprop => "Constprop",
+            Mutant::Constprop
+            | Mutant::ConstpropWiden
+            | Mutant::ConstpropBranch
+            | Mutant::ConstpropDeadStore => "Constprop",
             Mutant::Allocation => "Allocation",
             Mutant::Tunneling => "Tunneling",
             Mutant::Linearize => "Linearize",
@@ -142,6 +160,9 @@ impl Mutant {
             Mutant::Tailcall => "discarded-result calls drop their continuation",
             Mutant::Renumber => "entry keeps its stale node id",
             Mutant::Constprop => "decided branches fold to the wrong arm",
+            Mutant::ConstpropWiden => "loop-head intervals never widen past iteration one",
+            Mutant::ConstpropBranch => "interval-decided branches fold to the refuted arm",
+            Mutant::ConstpropDeadStore => "frame stores eliminated despite remaining loads",
             Mutant::Allocation => "coloring ignores interference",
             Mutant::Tunneling => "edges tunnel through Ops",
             Mutant::Linearize => "fall-through to true branch unnegated",
@@ -213,6 +234,12 @@ pub fn compile_with_artifacts_mutated(
     };
     let rtl_constprop = if mu(Mutant::Constprop) {
         constprop_mutated(&rtl_renumber)
+    } else if mu(Mutant::ConstpropWiden) {
+        constprop_widen_mutated(&rtl_renumber)
+    } else if mu(Mutant::ConstpropBranch) {
+        constprop_branch_mutated(&rtl_renumber)
+    } else if mu(Mutant::ConstpropDeadStore) {
+        constprop_deadstore_mutated(&rtl_renumber)
     } else {
         constprop(&rtl_renumber)
     };
@@ -406,6 +433,39 @@ mod tests {
                 ]),
             };
             pool.push(ClightModule::new([("f", f), ("g", g)]));
+        }
+        // Interval-only decisions: the flag `t` alternates between 0
+        // and 1, so its range [0, 1] is loop-stable without widening
+        // and decides the redundant `t <= 5` guard — by ranges, never
+        // by constants (ConstpropBranch prunes it to the refuted arm;
+        // ConstpropWiden mis-decides the loop guard itself from the
+        // unwidened first iteration; ConstpropDeadStore drops the
+        // stores of `x`, which the return still loads).
+        {
+            use ccc_clight::ast::{Binop, Expr as E, Function, Stmt};
+            let f = Function {
+                params: vec![],
+                vars: vec!["x".into()],
+                body: Stmt::seq([
+                    Stmt::Assign(E::var("x"), E::Const(0)),
+                    Stmt::Set("i".into(), E::Const(0)),
+                    Stmt::Set("t".into(), E::Const(0)),
+                    Stmt::while_loop(
+                        E::bin(Binop::Lt, E::temp("i"), E::Const(3)),
+                        Stmt::seq([
+                            Stmt::if_else(
+                                E::bin(Binop::Le, E::temp("t"), E::Const(5)),
+                                Stmt::Assign(E::var("x"), E::add(E::var("x"), E::Const(2))),
+                                Stmt::Assign(E::var("x"), E::Const(-1)),
+                            ),
+                            Stmt::Set("t".into(), E::bin(Binop::Sub, E::Const(1), E::temp("t"))),
+                            Stmt::Set("i".into(), E::add(E::temp("i"), E::Const(1))),
+                        ]),
+                    ),
+                    Stmt::Return(Some(E::var("x"))),
+                ]),
+            };
+            pool.push(ClightModule::new([("f", f)]));
         }
         for mu in Mutant::ALL {
             if mu == Mutant::IdTrans || mu == Mutant::IdTransDropAssert {

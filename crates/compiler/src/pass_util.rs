@@ -1,0 +1,49 @@
+//! Shared plumbing for the per-pass module wrappers.
+//!
+//! Every pass (and each of its seeded-bug variants for mutation
+//! scoring) is a per-function translation lifted pointwise over the
+//! module's function table. The five passes with hint-hook scaffolds
+//! (`cminorgen`, `selection`, `rtlgen`, `stacking`, `asmgen`) used to
+//! repeat that lifting inline; they all route through these two
+//! helpers now, so a pass wrapper is one line naming its translation.
+
+use std::collections::BTreeMap;
+
+/// Lifts a fallible per-function translation over a function table,
+/// preserving names and propagating the first error.
+///
+/// # Errors
+///
+/// Returns the first per-function translation error.
+pub fn map_functions<S, T, E>(
+    funcs: &BTreeMap<String, S>,
+    mut tr: impl FnMut(&S) -> Result<T, E>,
+) -> Result<BTreeMap<String, T>, E> {
+    funcs.iter().map(|(n, f)| Ok((n.clone(), tr(f)?))).collect()
+}
+
+/// Lifts a total per-function translation over a function table,
+/// preserving names.
+pub fn map_functions_total<S, T>(
+    funcs: &BTreeMap<String, S>,
+    mut tr: impl FnMut(&S) -> T,
+) -> BTreeMap<String, T> {
+    funcs.iter().map(|(n, f)| (n.clone(), tr(f))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_preserved_and_errors_propagate() {
+        let funcs: BTreeMap<String, i32> = [("a".into(), 1), ("b".into(), 2)].into();
+        let doubled = map_functions_total(&funcs, |f| f * 2);
+        assert_eq!(doubled, [("a".into(), 2), ("b".into(), 4)].into());
+        let ok: Result<BTreeMap<String, i32>, String> = map_functions(&funcs, |f| Ok(f + 1));
+        assert_eq!(ok.unwrap()["b"], 3);
+        let err: Result<BTreeMap<String, i32>, String> =
+            map_functions(&funcs, |f| if *f > 1 { Err("big".into()) } else { Ok(*f) });
+        assert_eq!(err.unwrap_err(), "big");
+    }
+}

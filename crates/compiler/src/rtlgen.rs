@@ -214,11 +214,7 @@ pub fn translate_function(f: &crate::stmt_sem::Function<SelExpr>) -> RtlFunction
 /// Runs RTL generation over a whole module.
 pub fn rtlgen(m: &CminorSelModule) -> RtlModule {
     RtlModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| (n.clone(), translate_function(f)))
-            .collect(),
+        funcs: crate::pass_util::map_functions_total(&m.funcs, translate_function),
     }
 }
 
@@ -226,22 +222,18 @@ pub fn rtlgen(m: &CminorSelModule) -> RtlModule {
 /// conditionals branch to the *else* arm when the condition holds.
 pub fn rtlgen_mutated(m: &CminorSelModule) -> RtlModule {
     RtlModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| (n.clone(), translate_function_with(f, true, false)))
-            .collect(),
+        funcs: crate::pass_util::map_functions_total(&m.funcs, |f| {
+            translate_function_with(f, true, false)
+        }),
     }
 }
 
 /// Second seeded-bug variant: `return e` evaluates `e` but returns 0.
 pub fn rtlgen_ret_mutated(m: &CminorSelModule) -> RtlModule {
     RtlModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| (n.clone(), translate_function_with(f, false, true)))
-            .collect(),
+        funcs: crate::pass_util::map_functions_total(&m.funcs, |f| {
+            translate_function_with(f, false, true)
+        }),
     }
 }
 

@@ -183,20 +183,11 @@ fn select_stmt(s: &cminor::Stmt, mx: Mx) -> cminorsel::Stmt {
 
 fn selection_with(m: &cminor::CminorModule, mx: Mx) -> cminorsel::CminorSelModule {
     StmtModule {
-        funcs: m
-            .funcs
-            .iter()
-            .map(|(n, f)| {
-                (
-                    n.clone(),
-                    Function {
-                        params: f.params.clone(),
-                        stack_slots: f.stack_slots,
-                        body: select_stmt(&f.body, mx),
-                    },
-                )
-            })
-            .collect(),
+        funcs: crate::pass_util::map_functions_total(&m.funcs, |f| Function {
+            params: f.params.clone(),
+            stack_slots: f.stack_slots,
+            body: select_stmt(&f.body, mx),
+        }),
     }
 }
 

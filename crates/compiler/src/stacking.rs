@@ -255,11 +255,9 @@ pub fn transform_function(f: &LinFunction) -> Result<MFunction, StackingError> {
 ///
 /// Fails if the allocator's conventions were violated.
 pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, FrameBug::Clean)?);
-    }
-    Ok(MachModule { funcs })
+    Ok(MachModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, transform_function)?,
+    })
 }
 
 /// Seeded-bug variant for mutation scoring ([`crate::mutant`]): spill
@@ -271,11 +269,11 @@ pub fn stacking(m: &LinearModule) -> Result<MachModule, StackingError> {
 /// Fails if the allocator's conventions were violated, like the real
 /// pass.
 pub fn stacking_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, FrameBug::ForgetBase)?);
-    }
-    Ok(MachModule { funcs })
+    Ok(MachModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            transform_function_with(f, FrameBug::ForgetBase)
+        })?,
+    })
 }
 
 /// Second seeded-bug variant: spill slot `i` is laid out at
@@ -287,11 +285,11 @@ pub fn stacking_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
 /// Fails if the allocator's conventions were violated, like the real
 /// pass.
 pub fn stacking_off_mutated(m: &LinearModule) -> Result<MachModule, StackingError> {
-    let mut funcs = std::collections::BTreeMap::new();
-    for (n, f) in &m.funcs {
-        funcs.insert(n.clone(), transform_function_with(f, FrameBug::OffByOne)?);
-    }
-    Ok(MachModule { funcs })
+    Ok(MachModule {
+        funcs: crate::pass_util::map_functions(&m.funcs, |f| {
+            transform_function_with(f, FrameBug::OffByOne)
+        })?,
+    })
 }
 
 #[cfg(test)]

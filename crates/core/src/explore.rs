@@ -48,10 +48,11 @@
 
 use crate::footprint::Footprint;
 use crate::lang::{Lang, StepMsg};
-use crate::mem::Memory;
+use crate::mem::{Addr, Memory};
 use crate::refine::{Semantics, SuccStep};
 use crate::world::{GLabel, LoadError, Loaded, ThreadId, ThreadState, ThreadStep, World};
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -167,6 +168,61 @@ pub enum Reduction {
 impl Reduction {
     fn is_ample(self) -> bool {
         matches!(self, Reduction::Ample | Reduction::AmpleOverbroad)
+    }
+}
+
+/// Static per-thread privacy hints for the ample-set reduction.
+///
+/// `private[t]` is a set of addresses (typically shared globals) that a
+/// static escape analysis proved are only ever accessed by thread `t`
+/// (see `ccc-analysis`' `absint::escape_analysis`). A hinted engine also
+/// accepts `τ`-steps of `t` whose footprints stay inside
+/// `flist(t) ∪ private[t]` as ample, extending the reduction beyond the
+/// free-list scoping discipline to proven-thread-local globals.
+///
+/// The hints are **untrusted**: the engine requires the per-thread sets
+/// to be pairwise disjoint up front (overlapping claims are contradictory
+/// and the hints are dropped), and monitors every explored step against
+/// every *other* thread's private set. A violating access can never
+/// itself be an ample step — its address lies outside the stepping
+/// thread's free list and (by disjointness) outside its private set — so
+/// it stays fully interleaved and trips the monitor, flipping
+/// [`Engine::scoping_ok`]; callers then discard the reduced result and
+/// fall back exactly as for a free-list scoping violation.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct AmpleHints {
+    /// Addresses proven private to each thread, indexed by thread id
+    /// (missing tail entries mean "no hints for that thread").
+    pub private: Vec<BTreeSet<Addr>>,
+}
+
+impl AmpleHints {
+    /// True when no thread has any hinted-private address.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.private.iter().all(BTreeSet::is_empty)
+    }
+
+    /// True when the per-thread sets are pairwise disjoint — the
+    /// well-formedness requirement of the privacy claim.
+    #[must_use]
+    pub fn disjoint(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.private.iter().flatten().all(|a| seen.insert(*a))
+    }
+
+    /// The hinted-private set of thread `t` (empty if unhinted).
+    fn private_of(&self, t: ThreadId) -> Option<&BTreeSet<Addr>> {
+        self.private.get(t).filter(|s| !s.is_empty())
+    }
+
+    /// True when a step of thread `t` with footprint `fp` touches an
+    /// address hinted private to a *different* thread.
+    fn violated_by(&self, t: ThreadId, fp: &Footprint) -> bool {
+        self.private
+            .iter()
+            .enumerate()
+            .any(|(u, set)| u != t && !set.is_empty() && fp.locs().iter().any(|a| set.contains(a)))
     }
 }
 
@@ -287,6 +343,7 @@ pub struct Engine<'a, L: Lang> {
     /// contains at least one fully-expanded state.
     seen: FxHashSet<IWorld>,
     reduction: Reduction,
+    hints: AmpleHints,
     scoping_ok: bool,
 }
 
@@ -304,12 +361,30 @@ impl<L: Lang> fmt::Debug for Engine<'_, L> {
 impl<'a, L: Lang> Engine<'a, L> {
     /// Creates an engine over a loaded program.
     pub fn new(loaded: &'a Loaded<L>, reduction: Reduction) -> Engine<'a, L> {
+        Engine::with_hints(loaded, reduction, AmpleHints::default())
+    }
+
+    /// Creates an engine whose ample criterion additionally accepts
+    /// steps inside each thread's hinted-private address set. Hints with
+    /// overlapping per-thread sets are contradictory and are dropped
+    /// (the engine then behaves exactly like [`Engine::new`]).
+    pub fn with_hints(
+        loaded: &'a Loaded<L>,
+        reduction: Reduction,
+        hints: AmpleHints,
+    ) -> Engine<'a, L> {
+        let hints = if hints.disjoint() {
+            hints
+        } else {
+            AmpleHints::default()
+        };
         Engine {
             loaded,
             threads: Pool::new(),
             mems: Pool::new(),
             seen: FxHashSet::default(),
             reduction,
+            hints,
             scoping_ok: true,
         }
     }
@@ -359,10 +434,12 @@ impl<'a, L: Lang> Engine<'a, L> {
     }
 
     /// False if some explored step's footprint escaped its thread's own
-    /// free-list region ∪ the global region. The ample-set independence
-    /// argument assumes the `HG` scoping discipline; when this monitor
-    /// trips, callers must discard the reduced result and re-run with
-    /// [`Reduction::Off`].
+    /// free-list region ∪ the global region, or touched an address the
+    /// [`AmpleHints`] claim private to a *different* thread. The
+    /// ample-set independence argument assumes the `HG` scoping
+    /// discipline (and, when hinted, the privacy claims); when this
+    /// monitor trips, callers must discard the reduced result and re-run
+    /// with [`Reduction::Off`].
     pub fn scoping_ok(&self) -> bool {
         self.scoping_ok
     }
@@ -399,7 +476,9 @@ impl<'a, L: Lang> Engine<'a, L> {
                             (GLabel::Tau, false)
                         }
                     };
-                    if !fp.within(|a| a.is_global() || thread.flist.contains(a)) {
+                    if !fp.within(|a| a.is_global() || thread.flist.contains(a))
+                        || self.hints.violated_by(t, &fp)
+                    {
                         self.scoping_ok = false;
                     }
                     let tid = self.threads.intern(ThreadState {
@@ -452,9 +531,10 @@ impl<'a, L: Lang> Engine<'a, L> {
 
     /// Tries to select thread `t` as the ample set at `w`: every enabled
     /// step of `t` must be an invisible `τ`-step with a footprint inside
-    /// `t`'s own free-list region (empty footprints qualify). Events,
-    /// atomic boundaries, termination, aborts, and shared accesses
-    /// disqualify the thread — those stay fully interleaved.
+    /// `t`'s own free-list region ∪ its hinted-private address set
+    /// (empty footprints qualify). Events, atomic boundaries,
+    /// termination, aborts, and other shared accesses disqualify the
+    /// thread — those stay fully interleaved.
     fn try_ample(&mut self, w: &IWorld, t: ThreadId) -> Option<Vec<IStep>> {
         let thread = self.threads.get(w.threads[t]).clone();
         let mem = self.mems.get(w.mem).clone();
@@ -463,13 +543,18 @@ impl<'a, L: Lang> Engine<'a, L> {
             return None;
         }
         let overbroad = self.reduction == Reduction::AmpleOverbroad;
+        let private = self.hints.private_of(t);
         for ts in &steps {
             match ts {
                 ThreadStep::Internal {
                     msg: StepMsg::Tau,
                     fp,
                     ..
-                } if fp.within(|a| thread.flist.contains(a) || (overbroad && a.is_global())) => {}
+                } if fp.within(|a| {
+                    thread.flist.contains(a)
+                        || private.is_some_and(|p| p.contains(&a))
+                        || (overbroad && a.is_global())
+                }) => {}
                 _ => return None,
             }
         }
@@ -481,6 +566,9 @@ impl<'a, L: Lang> Engine<'a, L> {
             else {
                 unreachable!("eligibility checked above")
             };
+            if self.hints.violated_by(t, &fp) {
+                self.scoping_ok = false;
+            }
             let tid = self.threads.intern(ThreadState {
                 frames,
                 flist: thread.flist,
@@ -644,6 +732,36 @@ where
     FE: Fn(&S, &mut A) -> Vec<S> + Sync,
     FM: Fn(&mut A, A),
 {
+    par_explore_until(initials, nthreads, max_states, expand, merge, |_: &A| false)
+}
+
+/// [`par_explore`] with an early-exit predicate: after each expansion
+/// the worker tests `stop` on its local accumulator, and a `true` drains
+/// the frontier — all workers stop taking new states and return their
+/// accumulators for the usual merge.
+///
+/// The *verdict*-bearing part of the merged accumulator stays
+/// deterministic when `stop` is monotone in it (once true, expanding
+/// more states keeps it true — e.g. "a race witness was found"): early
+/// exit only happens when the property already holds. The *witness* may
+/// differ from the non-exiting run's, and `states` measures how far the
+/// frontier got before the exit was observed — both scheduling-
+/// dependent, exactly like a truncated run's visited subset.
+pub fn par_explore_until<S, A, FE, FM, FS>(
+    initials: Vec<S>,
+    nthreads: usize,
+    max_states: usize,
+    expand: FE,
+    merge: FM,
+    stop: FS,
+) -> ParOutcome<A>
+where
+    S: Clone + Eq + Hash + Send,
+    A: Default + Send,
+    FE: Fn(&S, &mut A) -> Vec<S> + Sync,
+    FM: Fn(&mut A, A),
+    FS: Fn(&A) -> bool + Sync,
+{
     let nthreads = nthreads.max(1);
     let shards: Vec<Mutex<FxHashSet<S>>> = (0..VISITED_SHARDS)
         .map(|_| Mutex::new(FxHashSet::default()))
@@ -701,6 +819,12 @@ where
                             continue;
                         }
                         let succs = expand(&s, &mut acc);
+                        if stop(&acc) {
+                            let mut f = frontier.lock().expect("frontier lock");
+                            f.done = true;
+                            ready.notify_all();
+                            return acc;
+                        }
                         if !succs.is_empty() {
                             let mut f = frontier.lock().expect("frontier lock");
                             f.queue.extend(succs);

@@ -1,0 +1,355 @@
+//! The interval abstract domain over `i64` — the numeric half of the
+//! abstract-interpretation framework (`ccc-analysis::absint`).
+//!
+//! An [`Interval`] `[lo, hi]` abstracts a machine *integer* value: a
+//! register mapped to an interval is known to hold `Val::Int(c)` with
+//! `lo <= c <= hi`. Absence of an interval means nothing is known (the
+//! value may be a pointer or undefined), so the domain never has to
+//! model pointers — analyses simply drop the binding.
+//!
+//! All arithmetic is computed exactly over `i128`; a bound that leaves
+//! the `i64` range collapses to [`Interval::TOP`], because the concrete
+//! operators wrap and a wrapped value can be anything. Division and the
+//! bitwise operators are only evaluated on singletons. [`Interval::widen`]
+//! jumps unstable bounds to ±∞, bounding every ascending chain, which is
+//! what makes the fixpoint solvers terminate.
+
+use std::fmt;
+
+/// A non-empty integer interval `[lo, hi]` with `lo <= hi`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Clamps an exact `i128` range to an interval, or `TOP` when any part
+/// of it leaves the representable range (the concrete ops wrap there).
+fn clamp(lo: i128, hi: i128) -> Interval {
+    if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+        Interval::TOP
+    } else {
+        Interval {
+            lo: lo as i64,
+            hi: hi as i64,
+        }
+    }
+}
+
+impl Interval {
+    /// The full range: any integer.
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The singleton `[c, c]`.
+    #[must_use]
+    pub fn constant(c: i64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// The interval `[lo, hi]`; callers must ensure `lo <= hi`.
+    #[must_use]
+    pub fn range(lo: i64, hi: i64) -> Interval {
+        debug_assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The boolean range `[0, 1]` (comparison results).
+    #[must_use]
+    pub fn boolean() -> Interval {
+        Interval { lo: 0, hi: 1 }
+    }
+
+    /// The single value this interval pins down, if any.
+    #[must_use]
+    pub fn as_const(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// True when `c` lies inside.
+    #[must_use]
+    pub fn contains(&self, c: i64) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+
+    /// True when `self` is contained in `other` (the lattice order).
+    #[must_use]
+    pub fn subset(&self, other: &Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound; `None` when the intervals are disjoint.
+    #[must_use]
+    pub fn meet(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Standard widening: a bound still moving after `self` jumps to its
+    /// infinity. `widen(a, b) ⊒ a ⊔ b`, and any chain of widenings
+    /// stabilizes after at most two steps per side.
+    #[must_use]
+    pub fn widen(&self, next: &Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    /// Abstract addition (exact, `TOP` on possible wrap).
+    #[must_use]
+    pub fn add(&self, other: &Interval) -> Interval {
+        clamp(
+            self.lo as i128 + other.lo as i128,
+            self.hi as i128 + other.hi as i128,
+        )
+    }
+
+    /// Abstract subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Interval) -> Interval {
+        clamp(
+            self.lo as i128 - other.hi as i128,
+            self.hi as i128 - other.lo as i128,
+        )
+    }
+
+    /// Abstract multiplication (corner products).
+    #[must_use]
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let corners = [
+            self.lo as i128 * other.lo as i128,
+            self.lo as i128 * other.hi as i128,
+            self.hi as i128 * other.lo as i128,
+            self.hi as i128 * other.hi as i128,
+        ];
+        let lo = corners.iter().copied().min().expect("nonempty");
+        let hi = corners.iter().copied().max().expect("nonempty");
+        clamp(lo, hi)
+    }
+
+    /// Abstract negation.
+    #[must_use]
+    pub fn neg(&self) -> Interval {
+        clamp(-(self.hi as i128), -(self.lo as i128))
+    }
+
+    /// Abstract logical not (`x == 0`): decided when the interval pins
+    /// the truth value, `[0, 1]` otherwise.
+    #[must_use]
+    pub fn not(&self) -> Interval {
+        if !self.contains(0) {
+            Interval::constant(0)
+        } else if self.as_const() == Some(0) {
+            Interval::constant(1)
+        } else {
+            Interval::boolean()
+        }
+    }
+
+    /// Decides `self < other` when the ranges do not overlap the
+    /// boundary: `Some(true)` when every pair is ordered, `Some(false)`
+    /// when no pair is, `None` otherwise.
+    #[must_use]
+    pub fn lt(&self, other: &Interval) -> Option<bool> {
+        if self.hi < other.lo {
+            Some(true)
+        } else if self.lo >= other.hi {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Decides `self <= other`.
+    #[must_use]
+    pub fn le(&self, other: &Interval) -> Option<bool> {
+        if self.hi <= other.lo {
+            Some(true)
+        } else if self.lo > other.hi {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Decides `self == other`: `Some(true)` only for equal singletons,
+    /// `Some(false)` for disjoint ranges.
+    #[must_use]
+    pub fn eq_decide(&self, other: &Interval) -> Option<bool> {
+        if self.hi < other.lo || other.hi < self.lo {
+            Some(false)
+        } else {
+            match (self.as_const(), other.as_const()) {
+                (Some(a), Some(b)) if a == b => Some(true),
+                _ => None,
+            }
+        }
+    }
+
+    /// Refines `self` under the assumption `self < other`; `None` when
+    /// the assumption is unsatisfiable.
+    #[must_use]
+    pub fn assume_lt(&self, other: &Interval) -> Option<Interval> {
+        if other.hi == i64::MIN {
+            return None; // nothing is < MIN
+        }
+        self.meet(&Interval {
+            lo: i64::MIN,
+            hi: other.hi - 1,
+        })
+    }
+
+    /// Refines `self` under `self <= other`.
+    #[must_use]
+    pub fn assume_le(&self, other: &Interval) -> Option<Interval> {
+        self.meet(&Interval {
+            lo: i64::MIN,
+            hi: other.hi,
+        })
+    }
+
+    /// Refines `self` under `self > other`.
+    #[must_use]
+    pub fn assume_gt(&self, other: &Interval) -> Option<Interval> {
+        if other.lo == i64::MAX {
+            return None;
+        }
+        self.meet(&Interval {
+            lo: other.lo + 1,
+            hi: i64::MAX,
+        })
+    }
+
+    /// Refines `self` under `self >= other`.
+    #[must_use]
+    pub fn assume_ge(&self, other: &Interval) -> Option<Interval> {
+        self.meet(&Interval {
+            lo: other.lo,
+            hi: i64::MAX,
+        })
+    }
+
+    /// Refines `self` under `self == other`.
+    #[must_use]
+    pub fn assume_eq(&self, other: &Interval) -> Option<Interval> {
+        self.meet(other)
+    }
+
+    /// Refines `self` under `self != other`: only a singleton on a
+    /// boundary actually shrinks the range.
+    #[must_use]
+    pub fn assume_ne(&self, other: &Interval) -> Option<Interval> {
+        match other.as_const() {
+            Some(c) if self.as_const() == Some(c) => None,
+            Some(c) if c == self.lo => Some(Interval {
+                lo: self.lo + 1,
+                hi: self.hi,
+            }),
+            Some(c) if c == self.hi => Some(Interval {
+                lo: self.lo,
+                hi: self.hi - 1,
+            }),
+            _ => Some(*self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order_and_join_meet() {
+        let a = Interval::range(0, 10);
+        let b = Interval::range(5, 20);
+        assert!(a.subset(&Interval::TOP));
+        assert_eq!(a.join(&b), Interval::range(0, 20));
+        assert_eq!(a.meet(&b), Some(Interval::range(5, 10)));
+        assert_eq!(a.meet(&Interval::range(11, 12)), None);
+    }
+
+    #[test]
+    fn widening_jumps_to_infinity_and_stabilizes() {
+        let a = Interval::range(0, 1);
+        let b = Interval::range(0, 2);
+        let w = a.widen(&b);
+        assert_eq!(w, Interval::range(0, i64::MAX));
+        // Stable once the new value is contained.
+        assert_eq!(w.widen(&Interval::range(0, 100)), w);
+        // And join is always below widen.
+        assert!(a.join(&b).subset(&w));
+    }
+
+    #[test]
+    fn arithmetic_is_exact_and_wraps_to_top() {
+        let a = Interval::range(1, 3);
+        let b = Interval::range(-2, 2);
+        assert_eq!(a.add(&b), Interval::range(-1, 5));
+        assert_eq!(a.sub(&b), Interval::range(-1, 5));
+        assert_eq!(a.mul(&b), Interval::range(-6, 6));
+        assert_eq!(a.neg(), Interval::range(-3, -1));
+        // Overflowing bounds collapse to TOP (the concrete op wraps).
+        let big = Interval::constant(i64::MAX);
+        assert_eq!(big.add(&Interval::constant(1)), Interval::TOP);
+        assert_eq!(Interval::constant(i64::MIN).neg(), Interval::TOP);
+    }
+
+    #[test]
+    fn comparison_decisions() {
+        let lo = Interval::range(0, 4);
+        let hi = Interval::range(5, 9);
+        assert_eq!(lo.lt(&hi), Some(true));
+        assert_eq!(hi.lt(&lo), Some(false));
+        assert_eq!(lo.lt(&Interval::range(4, 9)), None);
+        assert_eq!(lo.le(&Interval::constant(4)), Some(true));
+        assert_eq!(lo.eq_decide(&hi), Some(false));
+        assert_eq!(
+            Interval::constant(3).eq_decide(&Interval::constant(3)),
+            Some(true)
+        );
+        assert_eq!(lo.eq_decide(&Interval::range(4, 4)), None);
+    }
+
+    #[test]
+    fn branch_refinement() {
+        let x = Interval::range(0, 10);
+        let c5 = Interval::constant(5);
+        assert_eq!(x.assume_lt(&c5), Some(Interval::range(0, 4)));
+        assert_eq!(x.assume_ge(&c5), Some(Interval::range(5, 10)));
+        assert_eq!(x.assume_eq(&c5), Some(c5));
+        assert_eq!(Interval::range(6, 10).assume_lt(&c5), None);
+        assert_eq!(
+            Interval::range(5, 10).assume_ne(&c5),
+            Some(Interval::range(6, 10))
+        );
+        assert_eq!(c5.assume_ne(&c5), None);
+    }
+
+    #[test]
+    fn not_tracks_truthiness() {
+        assert_eq!(Interval::constant(0).not(), Interval::constant(1));
+        assert_eq!(Interval::range(1, 9).not(), Interval::constant(0));
+        assert_eq!(Interval::range(-1, 1).not(), Interval::boolean());
+    }
+}

@@ -69,6 +69,7 @@ pub mod compcert_mem;
 pub mod explore;
 pub mod footprint;
 pub mod framework;
+pub mod interval;
 pub mod lang;
 pub mod mem;
 pub mod npworld;
@@ -80,8 +81,9 @@ pub mod toy;
 pub mod wd;
 pub mod world;
 
-pub use explore::{FxHashMap, FxHashSet, Reduction};
+pub use explore::{AmpleHints, FxHashMap, FxHashSet, Reduction};
 pub use footprint::{Footprint, Mu};
+pub use interval::Interval;
 pub use lang::{Event, Lang, LocalStep, Prog, StepMsg, Sum, SumLang};
 pub use mem::{Addr, FreeList, GlobalEnv, Memory, Val};
 pub use refine::ExploreCfg;

@@ -11,7 +11,9 @@
 //! framework's step ⑥/⑧ (Fig. 2) is their equivalence, validated here by
 //! exhaustive checking on bounded programs.
 
-use crate::explore::{par_explore, Engine, FxHashSet, IStep, Reduction};
+use crate::explore::{
+    par_explore, par_explore_until, AmpleHints, Engine, FxHashSet, IStep, Reduction,
+};
 use crate::footprint::{AtomicBit, Footprint, TaggedFootprint};
 use crate::lang::{Lang, StepMsg};
 use crate::mem::Memory;
@@ -229,7 +231,29 @@ fn find_conflict(preds: &[Vec<TaggedFootprint>]) -> Option<RaceWitness> {
 pub fn check_drf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
     match cfg.reduction {
         Reduction::Off => check_drf_naive(loaded, cfg),
-        _ => check_drf_engine(loaded, cfg),
+        _ => check_drf_engine(loaded, cfg, AmpleHints::default()),
+    }
+}
+
+/// [`check_drf`] with static escape hints: the ample criterion also
+/// accepts steps inside each thread's hinted-private address set (see
+/// [`AmpleHints`]), so programs that grind on proven-thread-local
+/// globals reduce much further. The hints are untrusted — the engine
+/// monitors them while exploring and the check falls back to the
+/// unreduced oracle when a claim is violated, so a wrong hint costs
+/// time, never soundness.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn check_drf_hinted<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: &AmpleHints,
+) -> Result<DrfReport, LoadError> {
+    match cfg.reduction {
+        Reduction::Off => check_drf_naive(loaded, cfg),
+        _ => check_drf_engine(loaded, cfg, hints.clone()),
     }
 }
 
@@ -285,8 +309,12 @@ fn check_drf_naive<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfR
 /// the ample-set independence argument, which assumes the scoping
 /// discipline; if the engine's monitor observed a violation, the check
 /// re-runs without reduction before trusting "no race".
-fn check_drf_engine<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError> {
-    let mut eng = Engine::new(loaded, cfg.reduction);
+fn check_drf_engine<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: AmpleHints,
+) -> Result<DrfReport, LoadError> {
+    let mut eng = Engine::with_hints(loaded, cfg.reduction, hints);
     let mut visited: FxHashSet<_> = FxHashSet::default();
     let mut stack = vec![eng.load()?];
     let mut truncated = false;
@@ -347,11 +375,13 @@ fn merge_witness(total: &mut Option<RaceWitness>, other: Option<RaceWitness>) {
 
 /// [`check_drf`] on a worker pool of `cfg.threads` OS threads (no
 /// reduction: the whole graph is explored, partitioned dynamically over
-/// workers; see [`par_explore`] for the determinism contract). Unlike
-/// the serial check it does not stop at the first race — every worker
-/// keeps its minimal witness and the merged report carries the global
-/// minimum, so the verdict *and* the witness are deterministic whenever
-/// the exploration is not truncated.
+/// workers; see [`par_explore_until`] for the determinism contract).
+/// Like the serial check it exits early at the first race a worker
+/// finds: the frontier drains as soon as some accumulator carries a
+/// witness. The *verdict* is still deterministic whenever the
+/// exploration is not truncated (finding-a-race is monotone), but on
+/// racy programs the reported witness and state count depend on
+/// scheduling — only a full DRF run visits the whole graph.
 ///
 /// # Errors
 ///
@@ -366,7 +396,7 @@ where
         return check_drf(loaded, cfg);
     }
     let init: World<L> = loaded.load()?;
-    let out = par_explore(
+    let out = par_explore_until(
         vec![init],
         cfg.threads,
         cfg.max_states,
@@ -389,6 +419,7 @@ where
                 .collect()
         },
         merge_witness,
+        |acc| acc.is_some(),
     );
     Ok(DrfReport {
         race: out.acc,
@@ -433,7 +464,25 @@ pub fn collect_footprints<L: Lang>(
 ) -> Result<FootprintReport, LoadError> {
     match cfg.reduction {
         Reduction::Off => collect_footprints_naive(loaded, cfg),
-        _ => collect_footprints_engine(loaded, cfg),
+        _ => collect_footprints_engine(loaded, cfg, AmpleHints::default()),
+    }
+}
+
+/// [`collect_footprints`] with static escape hints — the footprint
+/// counterpart of [`check_drf_hinted`], with the same monitored
+/// fallback.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn collect_footprints_hinted<L: Lang>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: &AmpleHints,
+) -> Result<FootprintReport, LoadError> {
+    match cfg.reduction {
+        Reduction::Off => collect_footprints_naive(loaded, cfg),
+        _ => collect_footprints_engine(loaded, cfg, hints.clone()),
     }
 }
 
@@ -475,8 +524,9 @@ fn collect_footprints_naive<L: Lang>(
 fn collect_footprints_engine<L: Lang>(
     loaded: &Loaded<L>,
     cfg: &ExploreCfg,
+    hints: AmpleHints,
 ) -> Result<FootprintReport, LoadError> {
-    let mut eng = Engine::new(loaded, cfg.reduction);
+    let mut eng = Engine::with_hints(loaded, cfg.reduction, hints);
     let mut fps = vec![Footprint::emp(); loaded.prog.entries.len()];
     let mut visited: FxHashSet<_> = FxHashSet::default();
     let mut stack = vec![eng.load()?];
@@ -624,7 +674,9 @@ pub fn check_npdrf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfR
 /// [`check_npdrf`] on a worker pool of `cfg.threads` OS threads. The
 /// non-preemptive graph is already interleaving-minimal (switch points
 /// only at atomic boundaries and termination), so no reduction applies —
-/// the parallel frontier alone carries the speedup.
+/// the parallel frontier alone carries the speedup. Exits early at the
+/// first race a worker finds, with the same caveats as
+/// [`check_drf_par`].
 ///
 /// # Errors
 ///
@@ -642,7 +694,7 @@ where
     for t in 0..loaded.prog.entries.len() {
         initials.push(loaded.np_load_with_first(t)?);
     }
-    let out = par_explore(
+    let out = par_explore_until(
         initials,
         cfg.threads,
         cfg.max_states,
@@ -664,6 +716,7 @@ where
                 .collect()
         },
         merge_witness,
+        |acc| acc.is_some(),
     );
     Ok(DrfReport {
         race: out.acc,

@@ -7,9 +7,9 @@
 //! interpreter plus the SC and TSO machines and localizes the first
 //! disagreeing pass ([`oracle`]), a delta-debugging shrinker
 //! ([`shrink`]), a persisted regression corpus ([`corpus`], [`text`]),
-//! and a mutation-kill scoreboard proving each of the 13 pipeline
-//! mutants of [`ccc_compiler::Mutant`] is caught within a bounded fuzz
-//! budget ([`mutation`]).
+//! and a mutation-kill scoreboard proving every pipeline mutant of
+//! [`ccc_compiler::Mutant`] is caught within a bounded fuzz budget,
+//! optionally seeded with the corpus witnesses ([`mutation`]).
 //!
 //! The crate also hosts the shared program generators for the wider
 //! test suite ([`toygen`], [`tsogen`], [`link`]), which used to be
@@ -32,8 +32,8 @@ pub mod tsogen;
 pub use corpus::{shrink_to_entry, CorpusEntry};
 pub use gen::gen_program;
 pub use mutation::{
-    kill_one, run_scoreboard, static_board_markdown, transval_corpus_board, MutantScore,
-    Scoreboard, StaticKill,
+    kill_one, kill_one_seeded, run_scoreboard, run_scoreboard_seeded, static_board_markdown,
+    transval_corpus_board, MutantScore, Scoreboard, StaticKill,
 };
 pub use oracle::{check_program, FuzzFailure, OracleCfg};
 pub use shrink::shrink;

@@ -4,8 +4,14 @@
 //! reports the kill rate and mean inputs-to-kill.
 //!
 //! All mutants face the *same* deterministic input stream, so the
-//! inputs-to-kill numbers are comparable across passes.
+//! inputs-to-kill numbers are comparable across passes. A campaign can
+//! additionally be seeded with the persisted regression corpus
+//! ([`run_scoreboard_seeded`]): each mutant first replays its own
+//! corpus witnesses before drawing from the random stream, so every
+//! historically-caught miscompilation stays caught even when the
+//! generator rarely produces the shape that exposes it.
 
+use crate::corpus::CorpusEntry;
 use crate::gen::gen_program;
 use crate::oracle::{check_program, FuzzFailure, OracleCfg};
 use crate::spec::{lower, FuzzProgram};
@@ -28,10 +34,16 @@ pub struct MutantScore {
     /// Which pass was mutated.
     pub mutant: Mutant,
     /// Number of inputs consumed, including the killing one (equals the
-    /// budget when the mutant survived).
+    /// budget when the mutant survived). Corpus seeds count as inputs
+    /// and precede the random stream.
     pub inputs: usize,
     /// The localized failure that killed it, if any.
     pub kill: Option<FuzzFailure>,
+    /// The program that killed it, if any — a corpus seed or a stream
+    /// input. Carried so downstream consumers (the static-validator
+    /// board, corpus shrinking) see the *actual* witness rather than
+    /// re-deriving it from an input index.
+    pub witness: Option<FuzzProgram>,
 }
 
 impl MutantScore {
@@ -128,22 +140,38 @@ impl Scoreboard {
 /// shows would be a generator or oracle artifact, not a detection.
 #[must_use]
 pub fn kill_one(mutant: Mutant, budget: usize, cfg: &OracleCfg) -> MutantScore {
-    for i in 0..budget {
-        let p = stream_input(i);
+    kill_one_seeded(mutant, &[], budget, cfg)
+}
+
+/// Like [`kill_one`], but the mutant first faces `seeds` (the persisted
+/// corpus witnesses for this mutant) before the random stream. Seeds
+/// count toward `inputs`, so a corpus-killed mutant reports how many
+/// seeds it consumed; the stream budget is unchanged.
+#[must_use]
+pub fn kill_one_seeded(
+    mutant: Mutant,
+    seeds: &[FuzzProgram],
+    budget: usize,
+    cfg: &OracleCfg,
+) -> MutantScore {
+    let candidates = seeds.iter().cloned().chain((0..budget).map(stream_input));
+    for (i, p) in candidates.enumerate() {
         if let Err(f) = check_program(&p, Some(mutant), cfg) {
             if check_program(&p, None, cfg).is_ok() {
                 return MutantScore {
                     mutant,
                     inputs: i + 1,
                     kill: Some(f),
+                    witness: Some(p),
                 };
             }
         }
     }
     MutantScore {
         mutant,
-        inputs: budget,
+        inputs: seeds.len() + budget,
         kill: None,
+        witness: None,
     }
 }
 
@@ -272,10 +300,28 @@ pub fn static_board_markdown(board: &[StaticKill]) -> String {
 /// the shared stream with the given per-mutant budget.
 #[must_use]
 pub fn run_scoreboard(budget: usize, cfg: &OracleCfg) -> Scoreboard {
+    run_scoreboard_seeded(budget, cfg, &[])
+}
+
+/// Like [`run_scoreboard`], but each mutant is first seeded with its
+/// own entries from the persisted regression corpus (entries tagged
+/// with a different mutant, or with `none`, are ignored for that
+/// mutant). This keeps the scoreboard deterministic for mutants whose
+/// killing shape the random generator rarely produces: once a witness
+/// is in the corpus, its mutant can never silently start surviving.
+#[must_use]
+pub fn run_scoreboard_seeded(budget: usize, cfg: &OracleCfg, corpus: &[CorpusEntry]) -> Scoreboard {
     Scoreboard {
         scores: Mutant::ALL
             .iter()
-            .map(|&m| kill_one(m, budget, cfg))
+            .map(|&m| {
+                let seeds: Vec<FuzzProgram> = corpus
+                    .iter()
+                    .filter(|e| e.mutant == Some(m))
+                    .map(|e| e.program.clone())
+                    .collect();
+                kill_one_seeded(m, &seeds, budget, cfg)
+            })
             .collect(),
         budget,
     }
@@ -296,11 +342,13 @@ mod tests {
                         stage: "RTL".into(),
                         detail: "x".into(),
                     }),
+                    witness: Some(stream_input(1)),
                 },
                 MutantScore {
                     mutant: Mutant::Asmgen,
                     inputs: 10,
                     kill: None,
+                    witness: None,
                 },
             ],
             budget: 10,

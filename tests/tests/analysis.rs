@@ -17,7 +17,8 @@
 
 use ccc_analysis::lint::{lint_artifacts, lint_rtl, CONSTPROP_STAGE};
 use ccc_analysis::{
-    check_static_race, infer_clight, infer_clight_with, infer_lock_model, infer_rtl,
+    check_static_race, check_static_race_sharp, infer_clight, infer_clight_with, infer_lock_model,
+    infer_rtl, LockModel, Sharing,
 };
 use ccc_clight::gen::{gen_concurrent_client, gen_module, GenCfg};
 use ccc_clight::ClightLang;
@@ -141,6 +142,7 @@ fn static_race_verdicts_match_exploration() {
             let (lock, _) = lock_spec("L");
             let model = infer_lock_model(&lock);
             let report = check_static_race(&client, &entries, &model);
+            let sharp = check_static_race_sharp(&client, &entries, &model);
             let loaded = load_client(client, ge, entries);
             let drf = check_drf(&loaded, &cfg).expect("source loads");
             assert!(!drf.truncated, "seed {seed}: exploration truncated");
@@ -155,6 +157,14 @@ fn static_race_verdicts_match_exploration() {
                 drf.is_drf(),
                 "seed {seed} racy={racy}: static and dynamic verdicts disagree"
             );
+            // The interval-sharpened variant must stay sound (never DRF
+            // on a dynamically racing program) while being at least as
+            // precise as the baseline here.
+            assert_eq!(
+                sharp.is_drf(),
+                drf.is_drf(),
+                "seed {seed} racy={racy}: sharp and dynamic verdicts disagree"
+            );
             if racy && !report.is_drf() {
                 racy_flagged += 1;
             }
@@ -163,6 +173,55 @@ fn static_race_verdicts_match_exploration() {
     // Most racy seeds really do race (some generate threads that touch
     // disjoint globals — both sides must call those DRF, asserted above).
     assert!(racy_flagged >= 4, "only {racy_flagged} racy seeds flagged");
+}
+
+/// The sharpened lockset analysis drops a false positive the baseline
+/// flags — a write hidden in an interval-dead branch — and the dynamic
+/// exploration confirms the sharp verdict is the truth.
+#[test]
+fn sharp_lockset_false_positive_drop_is_confirmed_by_exploration() {
+    use ccc_clight::ast::{Binop, Expr, Function, Stmt};
+    use ccc_clight::ClightModule;
+    use ccc_core::lang::Prog;
+    use ccc_core::world::Loaded;
+
+    let mut ge = GlobalEnv::new();
+    ge.define("s", ccc_core::mem::Val::Int(0));
+    let t0 = Function::simple(Stmt::Assign(Expr::var("s"), Expr::Const(1)));
+    let t1 = Function::simple(Stmt::seq([
+        Stmt::Set("t".into(), Expr::Const(3)),
+        Stmt::If(
+            Expr::bin(Binop::Lt, Expr::temp("t"), Expr::Const(2)),
+            Box::new(Stmt::Assign(Expr::var("s"), Expr::Const(2))),
+            Box::new(Stmt::Skip),
+        ),
+    ]));
+    let client = ClightModule::new([("t0", t0), ("t1", t1)]);
+    let entries = ["t0".to_string(), "t1".to_string()];
+    let model = LockModel::default();
+
+    let base = check_static_race(&client, &entries, &model);
+    assert!(!base.is_drf(), "baseline must flag the dead-branch write");
+    let sharp = check_static_race_sharp(&client, &entries, &model);
+    assert!(sharp.is_drf(), "sharp verdict: {:?}", sharp.report.verdict);
+    assert!(!sharp.pruned.is_empty());
+    assert_eq!(
+        sharp.escape.globals.get("s"),
+        Some(&Sharing::ThreadLocal(0)),
+        "`s` must be certified non-escaping once the dead access is gone"
+    );
+
+    // Ground truth: the exhaustive exploration agrees with the sharp
+    // verdict, so the dropped pair really was a false positive.
+    let loaded = Loaded::new(Prog::new(
+        ccc_clight::ClightLang,
+        vec![(client, ge)],
+        entries,
+    ))
+    .expect("client links");
+    let drf = check_drf(&loaded, &ExploreCfg::default()).expect("loads");
+    assert!(!drf.truncated);
+    assert!(drf.is_drf(), "the program is genuinely race-free");
 }
 
 // ---------------------------------------------------------------------
@@ -358,4 +417,177 @@ fn constprop_mutation_is_attributed_to_constprop() {
     let errs = lint_rtl(&cp, CONSTPROP_STAGE);
     assert!(!errs.is_empty(), "Constprop mutation not caught");
     assert!(errs.iter().all(|e| e.pass == CONSTPROP_STAGE));
+}
+
+// ---------------------------------------------------------------------
+// Absint soundness
+// ---------------------------------------------------------------------
+
+/// Concretely interprets one RTL function against its claimed interval
+/// facts and returns the number of (node, register) claims checked.
+///
+/// The interpreter implements the *havoc* semantics the analysis is
+/// sound for: loads, call returns and parameters take arbitrary
+/// oracle-supplied integers (the analysis binds none of them), address
+/// operators produce synthetic pointers, and any step the concrete
+/// semantics gets stuck on (division by zero, an undefined comparison)
+/// halts the run — a claim only speaks about nodes actually reached.
+fn interpret_against_facts(
+    f: &rtl::Function,
+    facts: &ccc_analysis::IntervalFacts,
+    oracle: &[i64],
+) -> Result<usize, String> {
+    use ccc_core::mem::{Addr, Val};
+    let mut regs: std::collections::BTreeMap<rtl::PReg, Val> = std::collections::BTreeMap::new();
+    let mut next_oracle = 0usize;
+    let mut havoc = || {
+        let v = oracle.get(next_oracle).copied().unwrap_or(1);
+        next_oracle += 1;
+        Val::Int(v)
+    };
+    for (i, &p) in f.params.iter().enumerate() {
+        regs.insert(p, Val::Int(oracle.get(i).copied().unwrap_or(0)));
+    }
+    let mut checked = 0usize;
+    let mut synth = 0u64;
+    let mut node = f.entry;
+    for _ in 0..4_000 {
+        if let Some(env) = facts.get(&node) {
+            for (r, iv) in env {
+                match regs.get(r) {
+                    Some(Val::Int(v)) if iv.contains(*v) => checked += 1,
+                    got => {
+                        return Err(format!(
+                            "node {node}: claim r{r} in {iv:?} but concrete value is {got:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        let Some(instr) = f.code.get(&node) else {
+            return Err(format!("fell off the graph at node {node}"));
+        };
+        node = match instr {
+            rtl::Instr::Nop(n) | rtl::Instr::Print(_, n) | rtl::Instr::Store(.., n) => *n,
+            rtl::Instr::Op(op, args, dst, n) => {
+                let v = match op {
+                    Op::AddrGlobal(..) | Op::AddrStack(_) => {
+                        synth += 1;
+                        Some(Val::Ptr(Addr(0xABC0_0000 + synth)))
+                    }
+                    _ => {
+                        let vals: Vec<Val> = args
+                            .iter()
+                            .map(|r| regs.get(r).copied().unwrap_or(Val::Undef))
+                            .collect();
+                        op.eval(&vals)
+                    }
+                };
+                // `None` is a stuck/aborting concrete step (e.g. division
+                // by zero): no further node is reached, nothing to check.
+                match v {
+                    Some(v) => regs.insert(*dst, v),
+                    None => return Ok(checked),
+                };
+                *n
+            }
+            rtl::Instr::Load(_, dst, n) => {
+                regs.insert(*dst, havoc());
+                *n
+            }
+            rtl::Instr::Call(dst, _, _, n) => {
+                if let Some(d) = dst {
+                    regs.insert(*d, havoc());
+                }
+                *n
+            }
+            rtl::Instr::Cond(c, r1, r2, t, e) => {
+                let (a, b) = (
+                    regs.get(r1).copied().unwrap_or(Val::Undef),
+                    regs.get(r2).copied().unwrap_or(Val::Undef),
+                );
+                match c.eval(a, b) {
+                    Some(true) => *t,
+                    Some(false) => *e,
+                    None => return Ok(checked),
+                }
+            }
+            rtl::Instr::CondImm(c, r, imm, t, e) => {
+                let a = regs.get(r).copied().unwrap_or(Val::Undef);
+                match c.eval(a, ccc_core::mem::Val::Int(*imm)) {
+                    Some(true) => *t,
+                    Some(false) => *e,
+                    None => return Ok(checked),
+                }
+            }
+            rtl::Instr::Tailcall(..) | rtl::Instr::Return(_) => return Ok(checked),
+        };
+    }
+    Ok(checked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interval soundness, dynamically: on every node a concrete havoc
+    /// interpretation of the compiled RTL reaches, every claimed
+    /// register really holds an integer inside the claimed interval.
+    #[test]
+    fn interval_facts_bound_concrete_register_values(
+        seed in 0u64..1_000_000,
+        block_len in 1usize..8,
+        depth in 0usize..3,
+        oracle in proptest::collection::vec(
+            prop_oneof![-8i64..9, any::<i64>()], 0..48),
+    ) {
+        let cfg = GenCfg { block_len, depth, ..GenCfg::default() };
+        let (m, _) = gen_module(seed, &cfg);
+        let arts = compile_with_artifacts(&m).expect("compiles");
+        let mut checked = 0usize;
+        for (name, f) in &arts.rtl_renumber.funcs {
+            let facts = ccc_analysis::analyze_rtl_intervals(f);
+            prop_assert_eq!(
+                ccc_analysis::interval_facts_violation(f, &facts), None,
+                "seed {} fn {}: facts not edge-closed", seed, name
+            );
+            match interpret_against_facts(f, &facts, &oracle) {
+                Ok(n) => checked += n,
+                Err(e) => prop_assert!(false, "seed {} fn {}: {}", seed, name, e),
+            }
+        }
+        prop_assert!(checked > 0, "seed {seed}: no claim was ever exercised");
+    }
+
+    /// Escape soundness, dynamically: a global the escape analysis
+    /// proves `ThreadLocal(t)` is never touched by any other thread in
+    /// the exhaustive preemptive exploration.
+    #[test]
+    fn thread_local_globals_are_never_touched_by_other_threads(
+        seed in 0u64..5_000,
+        threads in 2usize..4,
+        racy in any::<bool>(),
+    ) {
+        let (client, ge, entries) = gen_concurrent_client(seed, threads, &["s0", "s1"], racy);
+        let (lock, _) = lock_spec("L");
+        let model = infer_lock_model(&lock);
+        let escape = ccc_analysis::escape_analysis(&client, &entries, &model);
+        let loaded = load_client(client, ge.clone(), entries.clone());
+        let cfg = ExploreCfg { max_states: 500_000, ..ExploreCfg::default() };
+        let report = collect_footprints(&loaded, &cfg).expect("client loads");
+        // A truncated union covers only a prefix — nothing to refute.
+        if report.truncated {
+            continue;
+        }
+        for (g, class) in &escape.globals {
+            let ccc_analysis::Sharing::ThreadLocal(owner) = class else { continue };
+            let Some(addr) = ge.lookup(g) else { continue };
+            for (t, fp) in report.fps.iter().enumerate() {
+                prop_assert!(
+                    t == *owner || (!fp.rs.contains(&addr) && !fp.ws.contains(&addr)),
+                    "seed {} racy={}: `{}` claimed thread-local to {} but thread {} touched it",
+                    seed, racy, g, owner, t
+                );
+            }
+        }
+    }
 }

@@ -10,15 +10,19 @@
 //! program whose race hides behind private prefixes — evidence that
 //! this battery would catch an unsound independence relation.
 
+use ccc_analysis::{ample_hints, LockModel};
+use ccc_clight::ast::{Expr, Function, Stmt};
 use ccc_clight::gen::gen_concurrent_client;
+use ccc_clight::{ClightLang, ClightModule};
 use ccc_core::lang::{Lang, Prog};
+use ccc_core::mem::{GlobalEnv, Val};
 use ccc_core::race::{
-    check_drf, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
-    collect_footprints_par,
+    check_drf, check_drf_hinted, check_drf_par, check_npdrf, check_npdrf_par, collect_footprints,
+    collect_footprints_hinted, collect_footprints_par,
 };
 use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
 use ccc_core::world::Loaded;
-use ccc_core::Reduction;
+use ccc_core::{AmpleHints, Reduction};
 use ccc_fuzz::link::{load_client, SrcLang};
 use ccc_fuzz::toygen::{arb_toy_threads, toy_loaded, Op};
 use ccc_machine::{litmus, X86Sc, X86Tso};
@@ -153,6 +157,100 @@ fn litmus_engines_agree_sc_and_tso() {
             Loaded::new(Prog::new(X86Tso, vec![(l.module, l.ge)], l.entries)).expect("tso links");
         assert_engines_agree(&format!("{}/tso", l.name), &tso, false);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Escape-analysis hints: collapse private globals, survive lies
+// ---------------------------------------------------------------------------
+
+/// Two threads each grinding on their own named global, then reading
+/// the shared `s0` — DRF, but the grinds are invisible to the plain
+/// ample reduction (globals are never in a thread's free list).
+fn private_global_client(depth: usize) -> (Loaded<ClightLang>, AmpleHints) {
+    let mut ge = GlobalEnv::new();
+    ge.define("s0", Val::Int(0));
+    let mut funcs = Vec::new();
+    let mut entries = Vec::new();
+    for t in 0..2 {
+        let p = format!("p{t}");
+        ge.define(p.clone(), Val::Int(0));
+        let mut body = Vec::new();
+        for _ in 0..depth {
+            body.push(Stmt::Assign(
+                Expr::var(p.clone()),
+                Expr::add(Expr::var(p.clone()), Expr::Const(1)),
+            ));
+        }
+        body.push(Stmt::Set("o".into(), Expr::var("s0")));
+        body.push(Stmt::Return(None));
+        let name = format!("w{t}");
+        funcs.push((name.clone(), Function::simple(Stmt::seq(body))));
+        entries.push(name);
+    }
+    let client = ClightModule::new(funcs);
+    let hints = ample_hints(&client, &entries, &LockModel::default(), &ge);
+    let loaded =
+        Loaded::new(Prog::new(ClightLang, vec![(client, ge)], entries)).expect("client links");
+    (loaded, hints)
+}
+
+#[test]
+fn escape_hints_collapse_private_globals_without_changing_observables() {
+    let (loaded, hints) = private_global_client(3);
+    assert!(hints.private.iter().all(|s| s.len() == 1));
+    let naive_cfg = cfg_with(Reduction::Off, 1);
+    let ample_cfg = cfg_with(Reduction::Ample, 1);
+
+    let naive = check_drf(&loaded, &naive_cfg).expect("loads");
+    let ample = check_drf(&loaded, &ample_cfg).expect("loads");
+    let hinted = check_drf_hinted(&loaded, &ample_cfg, &hints).expect("loads");
+    assert!(!naive.truncated && !hinted.truncated);
+    assert!(naive.is_drf() && hinted.is_drf());
+    assert!(
+        hinted.states < ample.states,
+        "hints must collapse the global grinds ({} vs {} states)",
+        hinted.states,
+        ample.states
+    );
+
+    let fp_naive = collect_footprints(&loaded, &naive_cfg).expect("loads");
+    let fp_hinted = collect_footprints_hinted(&loaded, &ample_cfg, &hints).expect("loads");
+    assert_eq!(fp_naive.fps, fp_hinted.fps, "footprint unions (hinted)");
+}
+
+#[test]
+fn lying_hints_trip_the_monitor_and_keep_the_race() {
+    // Both threads race on the global `x`; the hints falsely claim it
+    // private to thread 0. The monitor catches thread 1's access (a
+    // racing step is never ample, so it stays interleaved and visible)
+    // and the checker falls back to the naive verdict.
+    let racy: Vec<Op> = vec![Op::Priv(1), Op::Write(0)];
+    let loaded = toy_loaded(&[racy.clone(), racy]);
+    let x = loaded.prog.modules[0].ge.lookup("x").expect("x defined");
+    let lying = AmpleHints {
+        private: vec![[x].into(), [].into()],
+    };
+    let hinted = check_drf_hinted(&loaded, &cfg_with(Reduction::Ample, 1), &lying).expect("loads");
+    assert!(!hinted.truncated);
+    assert!(!hinted.is_drf(), "the race must survive lying hints");
+}
+
+#[test]
+fn non_disjoint_hints_are_dropped() {
+    // Both threads claiming the same address violates the engine's
+    // precondition; such hints are discarded wholesale, leaving the
+    // plain ample reduction.
+    let (loaded, _) = private_global_client(2);
+    let p0 = loaded.prog.modules[0].ge.lookup("p0").expect("p0 defined");
+    let overlapping = AmpleHints {
+        private: vec![[p0].into(), [p0].into()],
+    };
+    assert!(!overlapping.disjoint());
+    let ample_cfg = cfg_with(Reduction::Ample, 1);
+    let plain = check_drf(&loaded, &ample_cfg).expect("loads");
+    let hinted = check_drf_hinted(&loaded, &ample_cfg, &overlapping).expect("loads");
+    assert_eq!(plain.states, hinted.states, "dropped hints change nothing");
+    assert_eq!(plain.is_drf(), hinted.is_drf());
 }
 
 // ---------------------------------------------------------------------------

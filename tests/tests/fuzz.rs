@@ -5,7 +5,7 @@
 //!   while passing the clean pipeline, and every `none` entry stays
 //!   fixed.
 //! * A scoreboard slice over the shared input stream proves the
-//!   mutation-kill machinery end to end (the full 19-mutant board runs
+//!   mutation-kill machinery end to end (the full 22-mutant board runs
 //!   in release mode via `ccc-bench --bin fuzz_throughput`).
 
 use ccc_fuzz::{CorpusEntry, OracleCfg};
@@ -26,7 +26,7 @@ fn regression_corpus_replays() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 19,
+        entries.len() >= 22,
         "corpus incomplete: {} entries (need one witness per mutant)",
         entries.len()
     );
@@ -45,8 +45,8 @@ fn regression_corpus_replays() {
     }
     assert_eq!(
         seen.len(),
-        19,
-        "corpus covers {}/19 mutants: {seen:?}",
+        22,
+        "corpus covers {}/22 mutants: {seen:?}",
         seen.len()
     );
 }

@@ -99,7 +99,7 @@ const ALL_STAGES: [&str; 13] = [
 #[test]
 fn corpus_accepts_statically_with_every_stage_validated() {
     let entries = corpus_entries();
-    assert!(entries.len() >= 19, "corpus incomplete: {}", entries.len());
+    assert!(entries.len() >= 22, "corpus incomplete: {}", entries.len());
     for (path, entry) in &entries {
         let (m, _ge, _entries) = lower(&entry.program);
         // The extended pipeline (with the Constprop stage) — the same
@@ -258,7 +258,7 @@ fn unsound_matching_with_overwide_footprint_is_rejected() {
 
 #[test]
 fn static_board_kills_every_mutant_on_corpus() {
-    // The 19-mutant board over the persisted corpus witnesses: every
+    // The 22-mutant board over the persisted corpus witnesses: every
     // mutant — front end, mid end, back end and the object level —
     // must die statically, with no dynamic oracle left in the loop.
     let witnesses: Vec<_> = Mutant::ALL
