@@ -12,9 +12,11 @@
 //!   interpretation proves thread-local count as private, so grinds on
 //!   them collapse too (the engine monitors the hints and falls back on
 //!   any violation);
-//! * **par** — the sharded parallel frontier on a small worker pool
-//!   (naive expansion, deterministic merge, early exit on the first
-//!   race witness).
+//! * **par** — the work-stealing parallel frontier with the ample
+//!   reduction running *inside* each worker (shared fingerprint visited
+//!   set, interned thread/memory components, memoised per-`(thread,
+//!   memory)` expansions, early exit on the first race witness),
+//!   measured at 1, 2, and 4 workers.
 //!
 //! The verdicts must be identical everywhere — the reduction preserves
 //! race reachability and trace sets, and the parallel merge is
@@ -23,12 +25,17 @@
 //! reduction must visit at least 5x fewer states than the oracle, for
 //! both `check_drf` and `collect_traces`; on every race-free program
 //! the hinted reduction must visit no more states than the plain one,
-//! and at least one program must improve by 2x or better; the run
-//! aborts otherwise.
+//! and at least one program must improve by 2x or better. The parallel
+//! engine must beat the exhaustive oracle on wall-clock on every row,
+//! stay within 10x of the sequential ample state count (the reduction
+//! composes with the parallel frontier instead of being lost to it),
+//! and beat the sequential ample engine by 2x on the 4-thread atomic
+//! family; the run aborts otherwise.
 //!
 //! Run with: `cargo run --release -p ccc-bench --bin exploration`
-//! (`--smoke` shrinks the corpus for CI). Results are also written to
-//! `BENCH_exploration.json` in the current directory.
+//! (`--smoke` shrinks the corpus for CI; `--workers N` replaces the
+//! default 1/2/4 worker ladder with the single count `N`). Results are
+//! also written to `BENCH_exploration.json` in the current directory.
 
 use ccc_analysis::{ample_hints, infer_lock_model, LockModel};
 use ccc_bench::corpus::concurrent_source_with;
@@ -44,6 +51,7 @@ use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
 use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
 use ccc_core::world::Loaded;
 use ccc_core::{AmpleHints, Reduction};
+use ccc_machine::{litmus, X86Tso};
 use ccc_sync::lock::lock_spec;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -69,19 +77,37 @@ struct Row {
     drf_naive: Run,
     drf_ample: Run,
     drf_absint: Run,
-    drf_par: Run,
+    /// POR-composed work-stealing runs, one per worker count in the
+    /// ladder; `drf_par` in the JSON is the last (widest) entry.
+    par_workers: Vec<(usize, Run)>,
     traces: Option<(Run, Run)>, // (naive, ample), toy programs only
     npdrf: Option<(Run, Run)>,  // (serial, par), corpus programs only
 }
 
 impl Row {
+    /// The widest-ladder parallel run (the headline `drf_par` figure).
+    fn par(&self) -> &Run {
+        &self.par_workers.last().expect("non-empty worker ladder").1
+    }
+
     fn json(&self) -> String {
         let mut s = String::new();
         let run = |r: &Run| format!("{{\"states\": {}, \"ms\": {:.3}}}", r.states, r.ms);
+        let per_worker: Vec<String> = self
+            .par_workers
+            .iter()
+            .map(|(w, r)| {
+                format!(
+                    "{{\"workers\": {w}, \"states\": {}, \"ms\": {:.3}}}",
+                    r.states, r.ms
+                )
+            })
+            .collect();
         write!(
             s,
             "    {{\"name\": \"{}\", \"threads\": {}, \"drf\": {}, \
              \"drf_naive\": {}, \"drf_ample\": {}, \"drf_absint\": {}, \"drf_par\": {}, \
+             \"drf_par_workers\": [{}], \"par_vs_naive_x\": {:.2}, \
              \"drf_reduction_x\": {:.2}, \"absint_reduction_x\": {:.2}",
             self.name,
             self.threads,
@@ -89,7 +115,9 @@ impl Row {
             run(&self.drf_naive),
             run(&self.drf_ample),
             run(&self.drf_absint),
-            run(&self.drf_par),
+            run(self.par()),
+            per_worker.join(", "),
+            self.drf_naive.ms / self.par().ms.max(1e-6),
             self.drf_naive.states as f64 / self.drf_ample.states.max(1) as f64,
             self.drf_ample.states as f64 / self.drf_absint.states.max(1) as f64,
         )
@@ -202,7 +230,7 @@ fn measure<L>(
     name: &str,
     loaded: &Loaded<L>,
     cfg: &ExploreCfg,
-    workers: usize,
+    ladder: &[usize],
     hints: &AmpleHints,
     with_traces: bool,
     with_npdrf: bool,
@@ -221,17 +249,20 @@ where
         reduction: Reduction::Ample,
         ..naive_cfg
     };
-    let par_cfg = ExploreCfg {
-        threads: workers,
+    // The parallel engine composes the same ample reduction with the
+    // work-stealing frontier and the compact fingerprint visited set.
+    let par_cfg = |w: usize| ExploreCfg {
+        reduction: Reduction::Ample,
+        threads: w,
         ..naive_cfg
     };
+    let top = *ladder.last().expect("non-empty worker ladder");
 
     let (naive, t_naive) = timed(|| check_drf(loaded, &naive_cfg).expect("loads"));
     let (ample, t_ample) = timed(|| check_drf(loaded, &ample_cfg).expect("loads"));
     let (absint, t_absint) = timed(|| check_drf_hinted(loaded, &ample_cfg, hints).expect("loads"));
-    let (par, t_par) = timed(|| check_drf_par(loaded, &par_cfg).expect("loads"));
     assert!(
-        !naive.truncated && !ample.truncated && !absint.truncated && !par.truncated,
+        !naive.truncated && !ample.truncated && !absint.truncated,
         "{name}: exploration truncated; raise max_states"
     );
     assert_eq!(
@@ -244,18 +275,34 @@ where
         absint.is_drf(),
         "{name}: hinted reduction changed the DRF verdict"
     );
-    assert_eq!(
-        naive.is_drf(),
-        par.is_drf(),
-        "{name}: parallel frontier changed the DRF verdict"
-    );
+
+    let mut par_workers = Vec::new();
+    for &w in ladder {
+        let (par, t_par) = timed(|| check_drf_par(loaded, &par_cfg(w)).expect("loads"));
+        assert!(
+            !par.truncated,
+            "{name}: parallel exploration truncated at {w} workers"
+        );
+        assert_eq!(
+            naive.is_drf(),
+            par.is_drf(),
+            "{name}: parallel frontier changed the DRF verdict at {w} workers"
+        );
+        par_workers.push((
+            w,
+            Run {
+                states: par.states,
+                ms: t_par,
+            },
+        ));
+    }
 
     // Footprint unions must also survive every engine.
     let (fp_naive, _) = timed(|| collect_footprints(loaded, &naive_cfg).expect("loads"));
     let (fp_ample, _) = timed(|| collect_footprints(loaded, &ample_cfg).expect("loads"));
     let (fp_absint, _) =
         timed(|| collect_footprints_hinted(loaded, &ample_cfg, hints).expect("loads"));
-    let (fp_par, _) = timed(|| collect_footprints_par(loaded, &par_cfg).expect("loads"));
+    let (fp_par, _) = timed(|| collect_footprints_par(loaded, &par_cfg(top)).expect("loads"));
     assert_eq!(
         fp_naive.fps, fp_ample.fps,
         "{name}: footprint unions differ (ample)"
@@ -296,7 +343,7 @@ where
 
     let npdrf = with_npdrf.then(|| {
         let (np_ser, t_s) = timed(|| check_npdrf(loaded, &naive_cfg).expect("loads"));
-        let (np_par, t_p) = timed(|| check_npdrf_par(loaded, &par_cfg).expect("loads"));
+        let (np_par, t_p) = timed(|| check_npdrf_par(loaded, &par_cfg(top)).expect("loads"));
         assert_eq!(
             np_ser.is_drf(),
             np_par.is_drf(),
@@ -330,21 +377,30 @@ where
             states: absint.states,
             ms: t_absint,
         },
-        drf_par: Run {
-            states: par.states,
-            ms: t_par,
-        },
+        par_workers,
         traces,
         npdrf,
     }
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(2)
-        .max(2);
+    let mut smoke = false;
+    let mut ladder: Vec<usize> = vec![1, 2, 4];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a positive integer");
+                assert!(n > 0, "--workers takes a positive integer");
+                ladder = vec![n];
+            }
+            other => panic!("unknown flag {other:?} (expected --smoke or --workers N)"),
+        }
+    }
     let cfg = ExploreCfg {
         fuel: 400,
         max_states: 8_000_000,
@@ -352,7 +408,7 @@ fn main() {
     };
 
     println!(
-        "Exploration engines: naive vs ample vs escape-hinted ample vs parallel ({workers} workers)"
+        "Exploration engines: naive vs ample vs escape-hinted ample vs work-stealing parallel (workers: {ladder:?})"
     );
     println!(
         "{:<22} {:>3} {:>5} | {:>9} {:>9} {:>7} | {:>9} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
@@ -400,7 +456,7 @@ fn main() {
             &name,
             &loaded,
             &cfg,
-            workers,
+            &ladder,
             &AmpleHints::default(),
             with_traces,
             false,
@@ -419,7 +475,7 @@ fn main() {
     for &(threads, depth) in absint_specs {
         let name = format!("absint/{threads}t-d{depth}");
         let (loaded, hints) = clight_private(threads, depth);
-        rows.push(measure(&name, &loaded, &cfg, workers, &hints, false, false));
+        rows.push(measure(&name, &loaded, &cfg, &ladder, &hints, false, false));
     }
 
     // Generated Clight clients + the CImp lock object: cross-language
@@ -442,7 +498,30 @@ fn main() {
         );
         let (loaded, client, ge, entries) = concurrent_source_with(seed, threads, racy);
         let hints = ample_hints(&client, &entries, &lock_model, &ge);
-        rows.push(measure(&name, &loaded, &cfg, workers, &hints, false, true));
+        rows.push(measure(&name, &loaded, &cfg, &ladder, &hints, false, true));
+    }
+
+    // x86-TSO litmus tests: the store-buffered machine is the weakest
+    // semantics the engines explore (the TSO-robustness checks lean on
+    // it), and its buffer contents defeat the ample condition — the
+    // parallel rows here measure the frontier on reduction-hostile
+    // state spaces.
+    let litmus_names: &[&str] = if smoke { &["SB"] } else { &["SB", "MP", "LB"] };
+    for l in litmus::corpus()
+        .into_iter()
+        .filter(|l| litmus_names.contains(&l.name))
+    {
+        let loaded = Loaded::new(Prog::new(X86Tso, vec![(l.module, l.ge)], l.entries))
+            .expect("litmus links");
+        rows.push(measure(
+            &format!("tso/{}", l.name),
+            &loaded,
+            &cfg,
+            &ladder,
+            &AmpleHints::default(),
+            false,
+            false,
+        ));
     }
 
     for r in &rows {
@@ -458,8 +537,8 @@ fn main() {
             r.drf_ample.states as f64 / r.drf_absint.states.max(1) as f64,
             r.drf_naive.ms,
             r.drf_ample.ms,
-            r.drf_par.states,
-            r.drf_par.ms,
+            r.par().states,
+            r.par().ms,
         );
     }
     println!("{}", "-".repeat(126));
@@ -526,12 +605,58 @@ fn main() {
         "no program improved >= 2x under escape-analysis hints"
     );
     println!("escape hints: never more states than plain ample, >=2x on the private-global family");
+
+    // Parallel-engine gates. The POR-composed frontier must (a) never
+    // lose to the exhaustive oracle on wall-clock (small slack absorbs
+    // timer noise on sub-millisecond rows), and (b) keep its state
+    // count within 10x of the sequential ample engine on every row —
+    // i.e. the reduction survives the parallel decomposition instead of
+    // degenerating into the naive frontier.
+    for r in &rows {
+        assert!(
+            r.par().ms <= r.drf_naive.ms * 1.05 + 0.25,
+            "{}: parallel check_drf lost to the naive oracle ({:.2}ms vs {:.2}ms)",
+            r.name,
+            r.par().ms,
+            r.drf_naive.ms
+        );
+        for (w, run) in &r.par_workers {
+            assert!(
+                run.states <= 10 * r.drf_ample.states,
+                "{}: {w}-worker frontier visited {} states, >10x the ample {}",
+                r.name,
+                run.states,
+                r.drf_ample.states
+            );
+        }
+    }
+    println!("parallel frontier: never slower than naive, state counts within 10x of ample");
+
+    // Speedup gate: with the full ladder, the memoised work-stealing
+    // engine must halve the sequential ample wall-clock on the 4-thread
+    // atomic family (the expansion-bound rows where the per-(thread,
+    // memory) cache pays off).
+    if ladder.last() == Some(&4) {
+        for r in rows
+            .iter()
+            .filter(|r| r.name.starts_with("toy/4t") && r.name.ends_with("atomic"))
+        {
+            assert!(
+                2.0 * r.par().ms <= r.drf_ample.ms,
+                "{}: 4-worker frontier only {:.2}ms vs sequential ample {:.2}ms (<2x)",
+                r.name,
+                r.par().ms,
+                r.drf_ample.ms
+            );
+        }
+        println!("4-worker frontier: >=2x over sequential ample on the 4-thread atomic family");
+    }
     println!("all verdicts, footprint unions, and trace sets identical across engines");
 
     let mut json = String::from("{\n");
     write!(
         json,
-        "  \"bench\": \"exploration\",\n  \"smoke\": {smoke},\n  \"workers\": {workers},\n  \"programs\": [\n"
+        "  \"bench\": \"exploration\",\n  \"smoke\": {smoke},\n  \"workers\": {ladder:?},\n  \"programs\": [\n"
     )
     .unwrap();
     for (i, r) in rows.iter().enumerate() {

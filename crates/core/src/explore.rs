@@ -33,12 +33,20 @@
 //!    which guarantees every cycle of the reduced graph contains a
 //!    fully-expanded state.
 //!
-//! 3. **A parallel frontier** ([`par_explore`]): a `std::thread` worker
-//!    pool over a sharded visited set for the verdict-only explorers.
-//!    Results are merged deterministically: each worker folds its local
-//!    findings into a commutative monoid (footprint unions, minimal
-//!    race witness) so the merged outcome is independent of scheduling
-//!    whenever the exploration completes within its state budget.
+//! 3. **A work-stealing parallel frontier** ([`ws_explore_until`],
+//!    [`par_explore`]): per-worker deques with a shared injector and
+//!    steal-half semantics, hand-rolled on `std::thread`. The ample
+//!    reduction runs *inside* each worker via a shared [`ParEngine`]
+//!    (concurrent interning pools, memoized `(thread, memory)`
+//!    expansions, and a cross-worker "ignoring" guard backed by the
+//!    shared [`VisitedSet`] — which stores compact 64-bit fingerprints
+//!    by default, or full states for soundness-sensitive callers; see
+//!    [`VisitedMode`]). A sequential burst on the main thread keeps
+//!    small graphs spawn-free. Results are merged deterministically:
+//!    each worker folds its local findings into a commutative monoid
+//!    (footprint unions, minimal race witness) so the merged outcome is
+//!    independent of scheduling whenever the exploration completes
+//!    within its state budget.
 //!
 //! The naive engines remain available behind
 //! `ExploreCfg { reduction: Reduction::Off, .. }` and serve as the
@@ -47,7 +55,7 @@
 //! footprint unions (`tests/tests/explore.rs`).
 
 use crate::footprint::Footprint;
-use crate::lang::{Lang, StepMsg};
+use crate::lang::{Event, Lang, StepMsg};
 use crate::mem::{Addr, Memory};
 use crate::refine::{Semantics, SuccStep};
 use crate::world::{GLabel, LoadError, Loaded, ThreadId, ThreadState, ThreadStep, World};
@@ -163,11 +171,26 @@ pub enum Reduction {
     /// judgment; never use it for real checking.
     #[doc(hidden)]
     AmpleOverbroad,
+    /// A deliberately *unsound* variant of [`Reduction::Ample`] that
+    /// skips the seen-set cycle re-expansion (the C3 "ignoring" guard).
+    /// Exists only so the differential test suite can prove that a
+    /// worker which stops re-expanding around cycles is caught — it
+    /// ample-loops through silent cycles forever and misses races other
+    /// threads would exhibit. Never use it for real checking.
+    #[doc(hidden)]
+    AmpleIgnoreCycles,
 }
 
 impl Reduction {
     fn is_ample(self) -> bool {
-        matches!(self, Reduction::Ample | Reduction::AmpleOverbroad)
+        matches!(
+            self,
+            Reduction::Ample | Reduction::AmpleOverbroad | Reduction::AmpleIgnoreCycles
+        )
+    }
+
+    fn ignores_cycles(self) -> bool {
+        matches!(self, Reduction::AmpleIgnoreCycles)
     }
 }
 
@@ -595,9 +618,10 @@ impl<'a, L: Lang> Engine<'a, L> {
         // The "ignoring" guard (condition C3 of ample-set reduction): if
         // a candidate successor was already expanded, selecting this
         // ample set could postpone other threads around a cycle forever.
-        let closes_cycle = out
-            .iter()
-            .any(|s| matches!(s, IStep::Next { world, .. } if self.seen.contains(world)));
+        let closes_cycle = !self.reduction.ignores_cycles()
+            && out
+                .iter()
+                .any(|s| matches!(s, IStep::Next { world, .. } if self.seen.contains(world)));
         if closes_cycle {
             return None;
         }
@@ -687,11 +711,286 @@ impl<L: Lang> Semantics for EnginePreemptive<'_, L> {
 }
 
 // ---------------------------------------------------------------------------
-// The parallel frontier
+// Compact visited sets
 // ---------------------------------------------------------------------------
 
-/// Number of visited-set shards (a power of two; indexed by state hash).
+/// Number of visited-set / pool / cache shards (a power of two; indexed
+/// by the low bits of the state hash).
 const VISITED_SHARDS: usize = 64;
+const SHARD_BITS: u32 = 6;
+
+/// How a [`VisitedSet`] stores membership.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VisitedMode {
+    /// SPIN-style hash compaction: only the 64-bit [`fx_hash_of`]
+    /// fingerprint of each state is stored, in a compact open-addressed
+    /// table (8 bytes per state instead of a deep-cloned state). Two
+    /// distinct states colliding on all 64 bits would merge — one of
+    /// them would silently not be explored — so a completed exploration
+    /// is exhaustive only up to fingerprint collisions (probability
+    /// ≈ `n²/2⁶⁵` for `n` states; ~10⁻¹¹ at a million states). This is
+    /// the default for the bulk checkers.
+    #[default]
+    Fingerprint,
+    /// Full states are stored and compared; no collision risk.
+    /// Soundness-sensitive callers (the fuzz oracle's differential
+    /// comparisons) opt into this.
+    Exact,
+}
+
+/// One shard of the fingerprint table: open addressing with linear
+/// probing, `0` as the empty sentinel (fingerprint `0` is remapped to
+/// `1`), growing at 7/8 load so a probe always terminates.
+struct FpShard {
+    slots: Vec<u64>,
+    len: usize,
+}
+
+impl FpShard {
+    fn new() -> FpShard {
+        FpShard {
+            slots: vec![0; 64],
+            len: 0,
+        }
+    }
+
+    fn slot_of(&self, fp: u64) -> (bool, usize) {
+        let mask = self.slots.len() - 1;
+        let mut i = ((fp >> SHARD_BITS) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return (false, i),
+                s if s == fp => return (true, i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn contains(&self, fp: u64) -> bool {
+        self.slot_of(fp).0
+    }
+
+    fn insert(&mut self, fp: u64) -> bool {
+        let (found, i) = self.slot_of(fp);
+        if found {
+            return false;
+        }
+        self.slots[i] = fp;
+        self.len += 1;
+        if self.len * 8 >= self.slots.len() * 7 {
+            let doubled = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![0; doubled]);
+            for f in old {
+                if f != 0 {
+                    let (_, j) = self.slot_of(f);
+                    self.slots[j] = f;
+                }
+            }
+        }
+        true
+    }
+}
+
+enum VisitedInner<S> {
+    Fp(Vec<Mutex<FpShard>>),
+    Exact(Vec<Mutex<FxHashSet<S>>>),
+}
+
+/// A sharded concurrent visited set, in either fingerprint (compact,
+/// lossy) or exact mode — see [`VisitedMode`].
+///
+/// Beyond membership, the set doubles as the work-stealing engine's
+/// *claim* structure: a state is inserted when a worker claims it for
+/// expansion, and the ample "ignoring" guard asks [`VisitedSet::contains`]
+/// about candidate successors. See [`ParEngine`] for why that ordering
+/// makes the cycle guard sound across workers.
+pub struct VisitedSet<S> {
+    inner: VisitedInner<S>,
+}
+
+impl<S> fmt::Debug for VisitedSet<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VisitedSet({:?})", self.mode())
+    }
+}
+
+impl<S> VisitedSet<S> {
+    /// The storage mode.
+    #[must_use]
+    pub fn mode(&self) -> VisitedMode {
+        match &self.inner {
+            VisitedInner::Fp(_) => VisitedMode::Fingerprint,
+            VisitedInner::Exact(_) => VisitedMode::Exact,
+        }
+    }
+}
+
+impl<S: Eq + Hash + Clone> VisitedSet<S> {
+    /// An empty visited set in the given mode.
+    #[must_use]
+    pub fn new(mode: VisitedMode) -> VisitedSet<S> {
+        VisitedSet {
+            inner: match mode {
+                VisitedMode::Fingerprint => VisitedInner::Fp(
+                    (0..VISITED_SHARDS)
+                        .map(|_| Mutex::new(FpShard::new()))
+                        .collect(),
+                ),
+                VisitedMode::Exact => VisitedInner::Exact(
+                    (0..VISITED_SHARDS)
+                        .map(|_| Mutex::new(FxHashSet::default()))
+                        .collect(),
+                ),
+            },
+        }
+    }
+
+    /// Inserts `s`; true if it was fresh.
+    pub fn insert(&self, s: &S) -> bool {
+        let h = fx_hash_of(s);
+        let shard = (h as usize) & (VISITED_SHARDS - 1);
+        match &self.inner {
+            VisitedInner::Fp(shards) => {
+                let fp = if h == 0 { 1 } else { h };
+                shards[shard].lock().expect("visited shard").insert(fp)
+            }
+            VisitedInner::Exact(shards) => {
+                let mut set = shards[shard].lock().expect("visited shard");
+                if set.contains(s) {
+                    false
+                } else {
+                    set.insert(s.clone());
+                    true
+                }
+            }
+        }
+    }
+
+    /// True if `s` (or, in fingerprint mode, a state with its
+    /// fingerprint) has been inserted.
+    pub fn contains(&self, s: &S) -> bool {
+        let h = fx_hash_of(s);
+        let shard = (h as usize) & (VISITED_SHARDS - 1);
+        match &self.inner {
+            VisitedInner::Fp(shards) => {
+                let fp = if h == 0 { 1 } else { h };
+                shards[shard].lock().expect("visited shard").contains(fp)
+            }
+            VisitedInner::Exact(shards) => shards[shard].lock().expect("visited shard").contains(s),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent interning and memo caches
+// ---------------------------------------------------------------------------
+
+/// A concurrent hash-consing pool: [`Pool`] sharded behind mutexes, with
+/// the shard index folded into the low bits of the id so lookups are
+/// addressed directly. Append-only, so ids handed out are never
+/// invalidated and [`SharedPool::get`] clones an `Arc` without blocking
+/// interners on other shards.
+pub struct SharedPool<T> {
+    shards: Vec<Mutex<Pool<T>>>,
+}
+
+impl<T> fmt::Debug for SharedPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("pool shard").items.len())
+            .sum();
+        write!(f, "SharedPool({items} items)")
+    }
+}
+
+impl<T: Eq + Hash> SharedPool<T> {
+    fn new() -> SharedPool<T> {
+        SharedPool {
+            shards: (0..VISITED_SHARDS)
+                .map(|_| Mutex::new(Pool::new()))
+                .collect(),
+        }
+    }
+
+    /// Interns `value`, returning its dense id.
+    pub fn intern(&self, value: T) -> u32 {
+        let shard = (fx_hash_of(&value) as usize) & (VISITED_SHARDS - 1);
+        let local = self.shards[shard].lock().expect("pool shard").intern(value);
+        assert!(local < (1 << (32 - SHARD_BITS)), "interner overflow");
+        (local << SHARD_BITS) | shard as u32
+    }
+
+    /// The interned value behind `id`.
+    pub fn get(&self, id: u32) -> Arc<T> {
+        let shard = (id as usize) & (VISITED_SHARDS - 1);
+        self.shards[shard]
+            .lock()
+            .expect("pool shard")
+            .get(id >> SHARD_BITS)
+            .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pool shard").len())
+            .sum()
+    }
+}
+
+/// A sharded insert-once memo cache keyed by `u64` (the parallel
+/// engine's packed `(thread id, memory id)` keys). The first writer of a
+/// key wins; later writers get the stored value back, so all workers
+/// agree on one memoized result per key.
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<FxHashMap<u64, V>>>,
+}
+
+impl<V> fmt::Debug for ShardedCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedCache")
+    }
+}
+
+impl<V: Clone> Default for ShardedCache<V> {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> ShardedCache<V> {
+        ShardedCache {
+            shards: (0..VISITED_SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, k: u64) -> &Mutex<FxHashMap<u64, V>> {
+        &self.shards[(fx_hash_of(&k) as usize) & (VISITED_SHARDS - 1)]
+    }
+
+    /// The cached value for `k`, if any.
+    pub fn get(&self, k: u64) -> Option<V> {
+        self.shard(k).lock().expect("cache shard").get(&k).cloned()
+    }
+
+    /// Caches `v` under `k` unless a value is already present; returns
+    /// the winning value.
+    pub fn insert(&self, k: u64, v: V) -> V {
+        self.shard(k)
+            .lock()
+            .expect("cache shard")
+            .entry(k)
+            .or_insert(v)
+            .clone()
+    }
+}
 
 /// The outcome of a parallel exploration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -704,8 +1003,250 @@ pub struct ParOutcome<A> {
     pub truncated: bool,
 }
 
+/// States the main thread claims inline before spawning workers: tiny
+/// graphs (and the prefix of big ones) explore sequentially at zero
+/// thread-spawn and steal cost, so the parallel entry points are never
+/// slower than the sequential engine on small programs.
+const SEQ_BURST: usize = 256;
+
+/// Shared control block of one work-stealing exploration.
+struct WsCtl<S> {
+    /// Per-worker deques. Owners pop from the back (depth-first-ish, hot
+    /// caches); thieves steal half from the front (the oldest, widest
+    /// subtrees, minimizing steal frequency).
+    locals: Vec<Mutex<VecDeque<S>>>,
+    /// Seed queue (the initial states); drained before stealing.
+    injector: Mutex<VecDeque<S>>,
+    /// States enqueued but not yet fully processed. `0` ⇒ exploration
+    /// complete (incremented before every push, decremented after the
+    /// claim/expand of each popped state).
+    pending: AtomicUsize,
+    /// Set on completion, budget exhaustion, or early exit.
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    /// Distinct states claimed.
+    count: AtomicUsize,
+    /// Workers currently parked (push only signals when someone waits).
+    idle: AtomicUsize,
+    park: Mutex<()>,
+    cv: Condvar,
+    max_states: usize,
+}
+
+impl<S> WsCtl<S> {
+    fn new(nworkers: usize, max_states: usize, initials: Vec<S>) -> WsCtl<S> {
+        let pending = AtomicUsize::new(initials.len());
+        WsCtl {
+            locals: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(initials.into()),
+            pending,
+            stop: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            count: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            max_states,
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self.park.lock().expect("park lock");
+        self.cv.notify_all();
+    }
+
+    /// One state fully processed; the last one shuts the exploration down.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shutdown();
+        }
+    }
+
+    fn push_batch(&self, wid: usize, buf: &mut Vec<S>) {
+        if buf.is_empty() {
+            return;
+        }
+        self.pending.fetch_add(buf.len(), Ordering::SeqCst);
+        self.locals[wid]
+            .lock()
+            .expect("local deque")
+            .extend(buf.drain(..));
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().expect("park lock");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pops from the own deque, then the injector, then steals half of a
+    /// victim's deque (oldest states first).
+    fn take(&self, wid: usize) -> Option<S> {
+        if let Some(s) = self.locals[wid].lock().expect("local deque").pop_back() {
+            return Some(s);
+        }
+        if let Some(s) = self.injector.lock().expect("injector").pop_front() {
+            return Some(s);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (wid + off) % n;
+            let mut stolen: VecDeque<S> = {
+                let mut vq = self.locals[victim].lock().expect("victim deque");
+                let half = vq.len().div_ceil(2);
+                if half == 0 {
+                    continue;
+                }
+                vq.drain(..half).collect()
+            };
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                self.locals[wid].lock().expect("local deque").extend(stolen);
+            }
+            return first;
+        }
+        None
+    }
+}
+
+/// One worker's claim-expand loop. `claim_limit` bounds how many states
+/// this call claims (the sequential burst); queued leftovers stay for
+/// other workers.
+fn ws_run<S, A, W, FS>(
+    ctl: &WsCtl<S>,
+    visited: &VisitedSet<S>,
+    wid: usize,
+    mut expand: W,
+    stop: &FS,
+    acc: &mut A,
+    claim_limit: usize,
+) where
+    S: Clone + Eq + Hash,
+    W: FnMut(&S, &mut A, &mut Vec<S>),
+    FS: Fn(&A) -> bool,
+{
+    let mut buf: Vec<S> = Vec::new();
+    let mut claimed = 0usize;
+    while claimed < claim_limit && !ctl.stop.load(Ordering::SeqCst) {
+        let Some(s) = ctl.take(wid) else {
+            if ctl.stop.load(Ordering::SeqCst) || ctl.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Someone is still expanding; park briefly. The timeout
+            // backstops a push that raced the idle bookkeeping.
+            ctl.idle.fetch_add(1, Ordering::SeqCst);
+            let guard = ctl.park.lock().expect("park lock");
+            if !ctl.stop.load(Ordering::SeqCst) {
+                let _ = ctl
+                    .cv
+                    .wait_timeout(guard, std::time::Duration::from_micros(500));
+            }
+            ctl.idle.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        };
+        // Claim *before* expanding: the ample cycle guard asks the
+        // visited set about candidate successors, and this ordering is
+        // what makes the guard sound across workers (see [`ParEngine`]).
+        if !visited.insert(&s) {
+            ctl.finish_one();
+            continue;
+        }
+        let n = ctl.count.fetch_add(1, Ordering::SeqCst) + 1;
+        claimed += 1;
+        if n >= ctl.max_states {
+            ctl.truncated.store(true, Ordering::SeqCst);
+            ctl.shutdown();
+            ctl.finish_one();
+            return;
+        }
+        buf.clear();
+        expand(&s, acc, &mut buf);
+        if stop(acc) {
+            ctl.shutdown();
+            ctl.finish_one();
+            return;
+        }
+        ctl.push_batch(wid, &mut buf);
+        ctl.finish_one();
+    }
+}
+
+/// The work-stealing parallel frontier: explores the graph generated by
+/// per-worker `expand` closures from `initials` with `nworkers` workers
+/// over the shared `visited` set.
+///
+/// `make_worker(wid)` builds one expansion closure per worker (letting
+/// each keep reusable scratch buffers); the closure receives each
+/// distinct state exactly once — `(state, accumulator, successor
+/// buffer)` — and pushes the successors into the buffer. The main
+/// thread first claims up to [`SEQ_BURST`] states inline (all of them
+/// when `nworkers == 1`), so small graphs never pay thread-spawn cost;
+/// only then are workers spawned over the per-worker deques with
+/// steal-half semantics.
+///
+/// Determinism: as with the sequential engines, the *reachable set* (and
+/// so `states`) is scheduling-independent whenever the exploration
+/// completes within `max_states` and expansion is a pure function of the
+/// state — which holds for the naive expanders, and for the ample
+/// engine's up to cycle-guard timing (the guard can only force extra
+/// *full* expansions, never drop states). Accumulators are folded with
+/// `merge`, which must be commutative and associative together with the
+/// accumulation in `expand` (footprint unions, minimal witnesses, sums).
+/// `stop` early-exits every worker once a worker's local accumulator
+/// satisfies it; verdicts stay deterministic when `stop` is monotone.
+pub fn ws_explore_until<S, A, FW, W, FM, FS>(
+    visited: &VisitedSet<S>,
+    initials: Vec<S>,
+    nworkers: usize,
+    max_states: usize,
+    mut make_worker: FW,
+    merge: FM,
+    stop: FS,
+) -> ParOutcome<A>
+where
+    S: Clone + Eq + Hash + Send,
+    A: Default + Send,
+    FW: FnMut(usize) -> W,
+    W: FnMut(&S, &mut A, &mut Vec<S>) + Send,
+    FM: Fn(&mut A, A),
+    FS: Fn(&A) -> bool + Sync,
+{
+    let nworkers = nworkers.max(1);
+    let ctl = WsCtl::new(nworkers, max_states, initials);
+    let mut acc = A::default();
+    let burst = if nworkers == 1 { usize::MAX } else { SEQ_BURST };
+    ws_run(&ctl, visited, 0, make_worker(0), &stop, &mut acc, burst);
+    if nworkers > 1 && !ctl.stop.load(Ordering::SeqCst) && ctl.pending.load(Ordering::SeqCst) > 0 {
+        let ctl_ref = &ctl;
+        let stop_ref = &stop;
+        let worker_accs = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nworkers)
+                .map(|wid| {
+                    let w = make_worker(wid);
+                    scope.spawn(move || {
+                        let mut wacc = A::default();
+                        ws_run(ctl_ref, visited, wid, w, stop_ref, &mut wacc, usize::MAX);
+                        wacc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exploration worker panicked"))
+                .collect::<Vec<A>>()
+        });
+        for wacc in worker_accs {
+            merge(&mut acc, wacc);
+        }
+    }
+    ParOutcome {
+        acc,
+        states: ctl.count.load(Ordering::SeqCst),
+        truncated: ctl.truncated.load(Ordering::SeqCst),
+    }
+}
+
 /// Explores the graph generated by `expand` from `initials` with
-/// `nthreads` workers over a sharded visited set.
+/// `nthreads` workers (work-stealing, exact visited set).
 ///
 /// `expand` receives each distinct state exactly once, together with the
 /// worker-local accumulator, and returns the state's successors. After
@@ -732,7 +1273,15 @@ where
     FE: Fn(&S, &mut A) -> Vec<S> + Sync,
     FM: Fn(&mut A, A),
 {
-    par_explore_until(initials, nthreads, max_states, expand, merge, |_: &A| false)
+    par_explore_with(
+        VisitedMode::Exact,
+        initials,
+        nthreads,
+        max_states,
+        expand,
+        merge,
+        |_: &A| false,
+    )
 }
 
 /// [`par_explore`] with an early-exit predicate: after each expansion
@@ -762,88 +1311,374 @@ where
     FM: Fn(&mut A, A),
     FS: Fn(&A) -> bool + Sync,
 {
-    let nthreads = nthreads.max(1);
-    let shards: Vec<Mutex<FxHashSet<S>>> = (0..VISITED_SHARDS)
-        .map(|_| Mutex::new(FxHashSet::default()))
-        .collect();
-    let count = AtomicUsize::new(0);
-    let truncated = AtomicBool::new(false);
-    struct Frontier<S> {
-        queue: VecDeque<S>,
-        idle: usize,
-        done: bool,
-    }
-    let frontier = Mutex::new(Frontier {
-        queue: initials.into(),
-        idle: 0,
-        done: false,
-    });
-    let ready = Condvar::new();
+    par_explore_with(
+        VisitedMode::Exact,
+        initials,
+        nthreads,
+        max_states,
+        expand,
+        merge,
+        stop,
+    )
+}
 
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..nthreads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut acc = A::default();
-                    loop {
-                        let next = {
-                            let mut f = frontier.lock().expect("frontier lock");
-                            loop {
-                                if f.done {
-                                    break None;
-                                }
-                                if let Some(s) = f.queue.pop_front() {
-                                    break Some(s);
-                                }
-                                f.idle += 1;
-                                if f.idle == nthreads {
-                                    f.done = true;
-                                    ready.notify_all();
-                                    break None;
-                                }
-                                f = ready.wait(f).expect("frontier wait");
-                                f.idle -= 1;
+/// [`par_explore_until`] with an explicit [`VisitedMode`] — the
+/// entry point for bulk checkers that opt into hash compaction
+/// ([`crate::rg`], [`crate::wd`] pass their `ExploreCfg`'s mode).
+pub fn par_explore_with<S, A, FE, FM, FS>(
+    mode: VisitedMode,
+    initials: Vec<S>,
+    nthreads: usize,
+    max_states: usize,
+    expand: FE,
+    merge: FM,
+    stop: FS,
+) -> ParOutcome<A>
+where
+    S: Clone + Eq + Hash + Send,
+    A: Default + Send,
+    FE: Fn(&S, &mut A) -> Vec<S> + Sync,
+    FM: Fn(&mut A, A),
+    FS: Fn(&A) -> bool + Sync,
+{
+    let visited = VisitedSet::new(mode);
+    let expand_ref = &expand;
+    ws_explore_until(
+        &visited,
+        initials,
+        nthreads,
+        max_states,
+        |_wid| move |s: &S, acc: &mut A, buf: &mut Vec<S>| buf.extend(expand_ref(s, acc)),
+        merge,
+        stop,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The parallel POR engine
+// ---------------------------------------------------------------------------
+
+/// The kind of one cached raw successor, interpreted relative to the
+/// atomic bit of the world it is instantiated at.
+#[derive(Clone, Debug)]
+enum RawKind {
+    Tau,
+    Ev(Event),
+    EntAtom,
+    ExtAtom,
+}
+
+/// One memoized local successor of an interned `(thread, memory)` pair.
+#[derive(Clone, Debug)]
+struct RawSucc {
+    kind: RawKind,
+    fp: Footprint,
+    /// Interned successor thread state.
+    tid: u32,
+    /// Interned successor memory (the incoming memory id when unchanged).
+    mid: u32,
+}
+
+/// The memoized expansion of one interned `(thread, memory)` pair:
+/// everything about a thread's local steps that does not depend on the
+/// rest of the world. Keyed on `(tid, mid)` alone — sound because a
+/// thread state's free list identifies its thread
+/// ([`crate::mem::FreeList::thread_index`]), so per-thread facts (hinted
+/// private sets, the scoping monitor) are functions of the key.
+#[derive(Debug)]
+struct ExpandEntry {
+    /// The thread has terminated (no steps at all).
+    done: bool,
+    /// Some local step aborts (or would, depending on the atomic bit).
+    has_abort: bool,
+    /// Every step is an invisible `τ` whose footprint stays inside the
+    /// thread's free list ∪ its hinted-private set — the thread is an
+    /// ample candidate at any world with this `(thread, memory)` pair,
+    /// subject to the cycle guard.
+    ample_ok: bool,
+    succs: Vec<RawSucc>,
+}
+
+/// The work-stealing counterpart of [`Engine`]: hash-consing pools and
+/// the footprint-directed ample reduction, shared by every worker of a
+/// parallel exploration (`&ParEngine` is `Sync`).
+///
+/// Two things distinguish it from a per-worker copy of the sequential
+/// engine:
+///
+/// - **Memoized expansion.** A thread's local steps depend only on its
+///   own state and the memory, both interned — so expansion (and, in
+///   [`crate::race`], race prediction) is cached per `(tid, mid)` pair in
+///   a [`ShardedCache`]. The sequential engine re-runs the interpreter
+///   for `try_ample`, `expand_thread`, and prediction separately at every
+///   world; here each distinct `(tid, mid)` pair runs the interpreter
+///   once, which on cache-friendly graphs (many worlds sharing thread/
+///   memory components) is the dominant saving.
+///
+/// - **A cross-worker "ignoring" guard.** The sequential engine refuses
+///   an ample set whose successor it has already expanded, so every cycle
+///   of the reduced graph keeps one fully-expanded state. With concurrent
+///   workers the same check runs against the shared [`VisitedSet`], and
+///   the claim ordering in [`ws_explore_until`] (a worker *inserts* a
+///   state before expanding it) makes it sound: suppose some cycle
+///   `s₁ → s₂ → … → sₙ → s₁` of the reduced graph were expanded entirely
+///   ample. Each `sᵢ` was inserted before its expansion checked
+///   `sᵢ₊₁ ∉ visited`, so insert(`sᵢ`) < contains(`sᵢ₊₁`) <
+///   insert(`sᵢ₊₁`) < contains(`sᵢ₊₂`) < … — a strictly increasing chain
+///   around the cycle ending in insert(`s₁`) *after* insert(`s₁`),
+///   a contradiction. In fingerprint mode a collision can only make
+///   `contains` spuriously true, forcing an extra full expansion — sound.
+pub struct ParEngine<'a, L: Lang> {
+    loaded: &'a Loaded<L>,
+    threads: SharedPool<ThreadState<L>>,
+    mems: SharedPool<Memory>,
+    expand: ShardedCache<Arc<ExpandEntry>>,
+    reduction: Reduction,
+    hints: AmpleHints,
+    scoping_ok: AtomicBool,
+}
+
+impl<L: Lang> fmt::Debug for ParEngine<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParEngine")
+            .field("threads", &self.threads)
+            .field("mems", &self.mems)
+            .field("reduction", &self.reduction)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, L: Lang> ParEngine<'a, L> {
+    /// Creates a shared engine over a loaded program.
+    pub fn new(loaded: &'a Loaded<L>, reduction: Reduction) -> ParEngine<'a, L> {
+        ParEngine::with_hints(loaded, reduction, AmpleHints::default())
+    }
+
+    /// Like [`Engine::with_hints`]: non-disjoint hints are dropped.
+    pub fn with_hints(
+        loaded: &'a Loaded<L>,
+        reduction: Reduction,
+        hints: AmpleHints,
+    ) -> ParEngine<'a, L> {
+        let hints = if hints.disjoint() {
+            hints
+        } else {
+            AmpleHints::default()
+        };
+        ParEngine {
+            loaded,
+            threads: SharedPool::new(),
+            mems: SharedPool::new(),
+            expand: ShardedCache::new(),
+            reduction,
+            hints,
+            scoping_ok: AtomicBool::new(true),
+        }
+    }
+
+    /// Interns the initial world (the `Load` rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LoadError`].
+    pub fn load(&self) -> Result<IWorld, LoadError> {
+        Ok(self.intern_world(self.loaded.load()?))
+    }
+
+    /// Interns an arbitrary world.
+    pub fn intern_world(&self, w: World<L>) -> IWorld {
+        IWorld {
+            threads: w
+                .threads
+                .into_iter()
+                .map(|t| self.threads.intern(t))
+                .collect(),
+            cur: w.cur,
+            atom: w.atom,
+            mem: self.mems.intern(w.mem),
+        }
+    }
+
+    /// The interned thread state behind `id`.
+    pub fn thread(&self, id: u32) -> Arc<ThreadState<L>> {
+        self.threads.get(id)
+    }
+
+    /// The interned memory behind `id`.
+    pub fn memory(&self, id: u32) -> Arc<Memory> {
+        self.mems.get(id)
+    }
+
+    /// See [`Engine::scoping_ok`]; shared across workers.
+    pub fn scoping_ok(&self) -> bool {
+        self.scoping_ok.load(Ordering::SeqCst)
+    }
+
+    /// Number of distinct (thread, memory) components interned so far.
+    pub fn interned_components(&self) -> (usize, usize) {
+        (self.threads.len(), self.mems.len())
+    }
+
+    /// The memoized local expansion of interned pair `(tid, mid)`.
+    fn entry(&self, tid: u32, mid: u32) -> Arc<ExpandEntry> {
+        let key = (u64::from(tid) << 32) | u64::from(mid);
+        if let Some(e) = self.expand.get(key) {
+            return e;
+        }
+        let thread = self.threads.get(tid);
+        let mem = self.mems.get(mid);
+        let t = thread.flist.thread_index().unwrap_or(0);
+        let overbroad = self.reduction == Reduction::AmpleOverbroad;
+        let private = self.hints.private_of(t);
+        let steps = self.loaded.local_thread_steps(&thread, &mem);
+        let mut succs = Vec::with_capacity(steps.len());
+        let mut has_abort = false;
+        let mut ample_ok = !steps.is_empty();
+        for ts in steps {
+            match ts {
+                ThreadStep::Internal {
+                    msg,
+                    fp,
+                    frames,
+                    mem: m,
+                } => {
+                    if !fp.within(|a| a.is_global() || thread.flist.contains(a))
+                        || self.hints.violated_by(t, &fp)
+                    {
+                        self.scoping_ok.store(false, Ordering::SeqCst);
+                    }
+                    let kind = match msg {
+                        StepMsg::Tau => RawKind::Tau,
+                        StepMsg::Event(e) => RawKind::Ev(e),
+                        StepMsg::EntAtom => RawKind::EntAtom,
+                        StepMsg::ExtAtom => RawKind::ExtAtom,
+                    };
+                    ample_ok &= matches!(kind, RawKind::Tau)
+                        && fp.within(|a| {
+                            thread.flist.contains(a)
+                                || private.is_some_and(|p| p.contains(&a))
+                                || (overbroad && a.is_global())
+                        });
+                    let stid = self.threads.intern(ThreadState {
+                        frames,
+                        flist: thread.flist,
+                    });
+                    let smid = if m == *mem { mid } else { self.mems.intern(m) };
+                    succs.push(RawSucc {
+                        kind,
+                        fp,
+                        tid: stid,
+                        mid: smid,
+                    });
+                }
+                ThreadStep::Terminated => {
+                    ample_ok = false;
+                    let stid = self.threads.intern(ThreadState {
+                        frames: Vec::new(),
+                        flist: thread.flist,
+                    });
+                    succs.push(RawSucc {
+                        kind: RawKind::Tau,
+                        fp: Footprint::emp(),
+                        tid: stid,
+                        mid,
+                    });
+                }
+                ThreadStep::Abort => {
+                    ample_ok = false;
+                    has_abort = true;
+                }
+            }
+        }
+        self.expand.insert(
+            key,
+            Arc::new(ExpandEntry {
+                done: thread.is_done(),
+                has_abort,
+                ample_ok,
+                succs,
+            }),
+        )
+    }
+
+    /// Instantiates the memoized steps of thread `t` at world `w`.
+    fn emit(&self, w: &IWorld, t: ThreadId, entry: &ExpandEntry, out: &mut Vec<IStep>) {
+        if entry.has_abort {
+            out.push(IStep::Abort);
+        }
+        for rs in &entry.succs {
+            let (label, atom) = match rs.kind {
+                RawKind::Tau => (GLabel::Tau, w.atom),
+                RawKind::Ev(e) => (GLabel::Ev(e), w.atom),
+                RawKind::EntAtom => {
+                    if w.atom {
+                        out.push(IStep::Abort); // nested atomic: no rule
+                        continue;
+                    }
+                    (GLabel::Tau, true)
+                }
+                RawKind::ExtAtom => {
+                    if !w.atom {
+                        out.push(IStep::Abort);
+                        continue;
+                    }
+                    (GLabel::Tau, false)
+                }
+            };
+            let mut threads = w.threads.clone();
+            threads[t] = rs.tid;
+            out.push(IStep::Next {
+                label,
+                fp: rs.fp.clone(),
+                tid: t,
+                world: IWorld {
+                    threads,
+                    cur: t,
+                    atom,
+                    mem: rs.mid,
+                },
+            });
+        }
+    }
+
+    /// All successors of `w` under the configured reduction, written
+    /// into `out` (reused across calls by the worker). The `visited` set
+    /// backs the cross-worker ample cycle guard — see the type docs.
+    pub fn successors_into(&self, w: &IWorld, visited: &VisitedSet<IWorld>, out: &mut Vec<IStep>) {
+        out.clear();
+        if w.atom {
+            let entry = self.entry(w.threads[w.cur], w.mem);
+            self.emit(w, w.cur, &entry, out);
+            return;
+        }
+        let live: Vec<(ThreadId, Arc<ExpandEntry>)> = (0..w.threads.len())
+            .map(|t| (t, self.entry(w.threads[t], w.mem)))
+            .filter(|(_, e)| !e.done)
+            .collect();
+        if self.reduction.is_ample() && live.len() > 1 {
+            'candidate: for (t, entry) in &live {
+                if !entry.ample_ok {
+                    continue;
+                }
+                out.clear();
+                self.emit(w, *t, entry, out);
+                if !self.reduction.ignores_cycles() {
+                    for step in out.iter() {
+                        if let IStep::Next { world, .. } = step {
+                            if visited.contains(world) {
+                                continue 'candidate;
                             }
-                        };
-                        let Some(s) = next else {
-                            return acc;
-                        };
-                        let shard = &shards[(fx_hash_of(&s) as usize) % VISITED_SHARDS];
-                        let fresh = shard.lock().expect("shard lock").insert(s.clone());
-                        if !fresh {
-                            continue;
-                        }
-                        let n = count.fetch_add(1, Ordering::Relaxed) + 1;
-                        if n >= max_states {
-                            truncated.store(true, Ordering::Relaxed);
-                            continue;
-                        }
-                        let succs = expand(&s, &mut acc);
-                        if stop(&acc) {
-                            let mut f = frontier.lock().expect("frontier lock");
-                            f.done = true;
-                            ready.notify_all();
-                            return acc;
-                        }
-                        if !succs.is_empty() {
-                            let mut f = frontier.lock().expect("frontier lock");
-                            f.queue.extend(succs);
-                            ready.notify_all();
                         }
                     }
-                })
-            })
-            .collect();
-        let mut acc = A::default();
-        for w in workers {
-            merge(&mut acc, w.join().expect("exploration worker panicked"));
+                }
+                return;
+            }
+            out.clear();
         }
-        ParOutcome {
-            acc,
-            states: count.load(Ordering::Relaxed),
-            truncated: truncated.load(Ordering::Relaxed),
+        for (t, entry) in &live {
+            self.emit(w, *t, entry, out);
         }
-    })
+    }
 }
 
 #[cfg(test)]

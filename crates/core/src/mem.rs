@@ -306,6 +306,15 @@ impl FreeList {
     pub fn disjoint(&self, other: &FreeList) -> bool {
         self.region != other.region
     }
+
+    /// The thread this free list was reserved for (`None` for the global
+    /// region). Because regions are reserved per thread at load time, a
+    /// thread state's free list identifies its thread — the parallel
+    /// engine's expansion cache relies on this to key per-thread facts on
+    /// the interned thread state alone.
+    pub fn thread_index(&self) -> Option<usize> {
+        (self.region > 0).then(|| usize::try_from(self.region - 1).expect("thread index"))
+    }
 }
 
 /// A module's global environment `ge ∈ Addr ⇀fin Val` (Fig. 4), extended

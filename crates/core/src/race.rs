@@ -12,7 +12,8 @@
 //! exhaustive checking on bounded programs.
 
 use crate::explore::{
-    par_explore, par_explore_until, AmpleHints, Engine, FxHashSet, IStep, Reduction,
+    par_explore_with, ws_explore_until, AmpleHints, Engine, FxHashSet, IStep, ParEngine, Reduction,
+    ShardedCache, VisitedSet,
 };
 use crate::footprint::{AtomicBit, Footprint, TaggedFootprint};
 use crate::lang::{Lang, StepMsg};
@@ -20,6 +21,7 @@ use crate::mem::Memory;
 use crate::npworld::{NpStep, NpWorld};
 use crate::refine::ExploreCfg;
 use crate::world::{GStep, LoadError, Loaded, ThreadId, ThreadState, ThreadStep, World};
+use std::sync::Arc;
 
 /// A witness that two threads race.
 ///
@@ -187,10 +189,15 @@ fn accumulate_block<L: Lang>(
 }
 
 fn find_conflict(preds: &[Vec<TaggedFootprint>]) -> Option<RaceWitness> {
+    let slices: Vec<&[TaggedFootprint]> = preds.iter().map(Vec::as_slice).collect();
+    find_conflict_in(&slices)
+}
+
+fn find_conflict_in(preds: &[&[TaggedFootprint]]) -> Option<RaceWitness> {
     for (t1, p1) in preds.iter().enumerate() {
         for (t2, p2) in preds.iter().enumerate().skip(t1 + 1) {
-            for fp1 in p1 {
-                for fp2 in p2 {
+            for fp1 in *p1 {
+                for fp2 in *p2 {
                     if fp1.conflicts(fp2) {
                         return Some(RaceWitness {
                             t1,
@@ -373,9 +380,15 @@ fn merge_witness(total: &mut Option<RaceWitness>, other: Option<RaceWitness>) {
     }
 }
 
-/// [`check_drf`] on a worker pool of `cfg.threads` OS threads (no
-/// reduction: the whole graph is explored, partitioned dynamically over
-/// workers; see [`par_explore_until`] for the determinism contract).
+/// [`check_drf`] on the work-stealing frontier with `cfg.threads`
+/// workers. Honours `cfg.reduction` exactly like the serial check: the
+/// ample reduction runs *inside* each worker through a shared
+/// [`ParEngine`] (with the cross-worker cycle guard; see its docs), and
+/// `Reduction::Off` keeps the naive exhaustive expansion as the
+/// differential oracle. Also honours `cfg.visited`
+/// ([`crate::explore::VisitedMode`]): compact fingerprints by default,
+/// exact states for soundness-sensitive callers.
+///
 /// Like the serial check it exits early at the first race a worker
 /// finds: the frontier drains as soon as some accumulator carries a
 /// witness. The *verdict* is still deterministic whenever the
@@ -392,11 +405,43 @@ where
     L::Module: Sync,
     L::Core: Send + Sync,
 {
-    if cfg.threads <= 1 {
-        return check_drf(loaded, cfg);
+    check_drf_par_hinted(loaded, cfg, &AmpleHints::default())
+}
+
+/// [`check_drf_par`] with static escape hints — the parallel
+/// counterpart of [`check_drf_hinted`], with the same monitored
+/// fallback to the unreduced oracle.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn check_drf_par_hinted<L>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: &AmpleHints,
+) -> Result<DrfReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    match cfg.reduction {
+        Reduction::Off => check_drf_par_naive(loaded, cfg),
+        _ => check_drf_par_engine(loaded, cfg, hints.clone()),
     }
+}
+
+/// The unreduced parallel oracle: full preemptive expansion over owned
+/// worlds, dynamically partitioned across workers.
+fn check_drf_par_naive<L>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
     let init: World<L> = loaded.load()?;
-    let out = par_explore_until(
+    let out = par_explore_with(
+        cfg.visited,
         vec![init],
         cfg.threads,
         cfg.max_states,
@@ -421,6 +466,86 @@ where
         merge_witness,
         |acc| acc.is_some(),
     );
+    Ok(DrfReport {
+        race: out.acc,
+        states: out.states,
+        truncated: out.truncated,
+    })
+}
+
+/// The per-`(thread, memory)` memoized prediction: the parallel engine
+/// interns both components, and [`predict`] is a pure function of them
+/// (plus the fixed `atomic_fuel`), so each distinct pair runs the
+/// prediction interpreter once across all workers.
+fn predict_interned<L: Lang>(
+    loaded: &Loaded<L>,
+    eng: &ParEngine<'_, L>,
+    cache: &ShardedCache<Arc<Vec<TaggedFootprint>>>,
+    tid: u32,
+    mid: u32,
+    cfg: &ExploreCfg,
+) -> Arc<Vec<TaggedFootprint>> {
+    let key = (u64::from(tid) << 32) | u64::from(mid);
+    if let Some(v) = cache.get(key) {
+        return v;
+    }
+    let thread = eng.thread(tid);
+    let mem = eng.memory(mid);
+    cache.insert(key, Arc::new(predict(loaded, &thread, &mem, cfg)))
+}
+
+/// The reduced work-stealing DRF check: every worker expands through the
+/// shared [`ParEngine`]'s ample path, race-checking each claimed world
+/// against memoized per-`(thread, memory)` predictions.
+fn check_drf_par_engine<L>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: AmpleHints,
+) -> Result<DrfReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    let eng = ParEngine::with_hints(loaded, cfg.reduction, hints);
+    let init = eng.load()?;
+    let visited = VisitedSet::new(cfg.visited);
+    let pred_cache: ShardedCache<Arc<Vec<TaggedFootprint>>> = ShardedCache::new();
+    let (eng_ref, cache_ref, visited_ref) = (&eng, &pred_cache, &visited);
+    let out =
+        ws_explore_until(
+            &visited,
+            vec![init],
+            cfg.threads,
+            cfg.max_states,
+            |_wid| {
+                let mut steps: Vec<IStep> = Vec::new();
+                let mut preds: Vec<Arc<Vec<TaggedFootprint>>> = Vec::new();
+                move |w, acc: &mut Option<RaceWitness>, buf| {
+                    if !w.atom {
+                        preds.clear();
+                        preds.extend(w.threads.iter().map(|&tid| {
+                            predict_interned(loaded, eng_ref, cache_ref, tid, w.mem, cfg)
+                        }));
+                        let slices: Vec<&[TaggedFootprint]> =
+                            preds.iter().map(|p| p.as_slice()).collect();
+                        merge_witness(acc, find_conflict_in(&slices));
+                    }
+                    eng_ref.successors_into(w, visited_ref, &mut steps);
+                    buf.extend(steps.drain(..).filter_map(|s| match s {
+                        IStep::Next { world, .. } => Some(world),
+                        IStep::Abort => None,
+                    }));
+                }
+            },
+            merge_witness,
+            |acc| acc.is_some(),
+        );
+    // A race found in the reduced graph is always real; a DRF verdict
+    // needs the scoping discipline, so re-run unreduced if it tripped.
+    if out.acc.is_none() && !eng.scoping_ok() {
+        return check_drf_par_naive(loaded, cfg);
+    }
     Ok(DrfReport {
         race: out.acc,
         states: out.states,
@@ -558,7 +683,21 @@ fn collect_footprints_engine<L: Lang>(
     })
 }
 
-/// [`collect_footprints`] on a worker pool of `cfg.threads` OS threads.
+/// Elementwise union of per-worker footprint vectors (a commutative
+/// monoid; the empty vector is the identity).
+fn merge_fps(total: &mut Vec<Footprint>, part: Vec<Footprint>) {
+    if total.is_empty() {
+        *total = part;
+    } else if !part.is_empty() {
+        for (t, p) in total.iter_mut().zip(part) {
+            t.extend(&p);
+        }
+    }
+}
+
+/// [`collect_footprints`] on the work-stealing frontier with
+/// `cfg.threads` workers, honouring `cfg.reduction` like the serial
+/// collector (ample reduction in-worker, with the monitored fallback).
 /// Per-worker unions are merged elementwise, a commutative monoid, so
 /// the report is deterministic whenever it is not truncated.
 ///
@@ -574,12 +713,25 @@ where
     L::Module: Sync,
     L::Core: Send + Sync,
 {
-    if cfg.threads <= 1 {
-        return collect_footprints(loaded, cfg);
+    match cfg.reduction {
+        Reduction::Off => collect_footprints_par_naive(loaded, cfg),
+        _ => collect_footprints_par_engine(loaded, cfg, AmpleHints::default()),
     }
+}
+
+fn collect_footprints_par_naive<L>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+) -> Result<FootprintReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
     let n = loaded.prog.entries.len();
     let init: World<L> = loaded.load()?;
-    let out = par_explore(
+    let out = par_explore_with(
+        cfg.visited,
         vec![init],
         cfg.threads,
         cfg.max_states,
@@ -599,16 +751,62 @@ where
                 })
                 .collect()
         },
-        |total: &mut Vec<Footprint>, part| {
-            if total.is_empty() {
-                *total = part;
-            } else if !part.is_empty() {
-                for (t, p) in total.iter_mut().zip(part) {
-                    t.extend(&p);
+        merge_fps,
+        |_: &Vec<Footprint>| false,
+    );
+    let fps = if out.acc.is_empty() {
+        vec![Footprint::emp(); n]
+    } else {
+        out.acc
+    };
+    Ok(FootprintReport {
+        fps,
+        states: out.states,
+        truncated: out.truncated,
+    })
+}
+
+fn collect_footprints_par_engine<L>(
+    loaded: &Loaded<L>,
+    cfg: &ExploreCfg,
+    hints: AmpleHints,
+) -> Result<FootprintReport, LoadError>
+where
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
+{
+    let n = loaded.prog.entries.len();
+    let eng = ParEngine::with_hints(loaded, cfg.reduction, hints);
+    let init = eng.load()?;
+    let visited = VisitedSet::new(cfg.visited);
+    let (eng_ref, visited_ref) = (&eng, &visited);
+    let out = ws_explore_until(
+        &visited,
+        vec![init],
+        cfg.threads,
+        cfg.max_states,
+        |_wid| {
+            let mut steps: Vec<IStep> = Vec::new();
+            move |w, acc: &mut Vec<Footprint>, buf| {
+                if acc.is_empty() {
+                    *acc = vec![Footprint::emp(); n];
+                }
+                eng_ref.successors_into(w, visited_ref, &mut steps);
+                for s in steps.drain(..) {
+                    if let IStep::Next { fp, tid, world, .. } = s {
+                        acc[tid].extend(&fp);
+                        buf.push(world);
+                    }
                 }
             }
         },
+        merge_fps,
+        |_: &Vec<Footprint>| false,
     );
+    if !eng.scoping_ok() {
+        return collect_footprints_par_naive(loaded, cfg);
+    }
     let fps = if out.acc.is_empty() {
         vec![Footprint::emp(); n]
     } else {
@@ -671,12 +869,12 @@ pub fn check_npdrf<L: Lang>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<DrfR
     })
 }
 
-/// [`check_npdrf`] on a worker pool of `cfg.threads` OS threads. The
-/// non-preemptive graph is already interleaving-minimal (switch points
-/// only at atomic boundaries and termination), so no reduction applies —
-/// the parallel frontier alone carries the speedup. Exits early at the
-/// first race a worker finds, with the same caveats as
-/// [`check_drf_par`].
+/// [`check_npdrf`] on the work-stealing frontier with `cfg.threads`
+/// workers. The non-preemptive graph is already interleaving-minimal
+/// (switch points only at atomic boundaries and termination), so no
+/// reduction applies — the parallel frontier alone carries the speedup.
+/// Exits early at the first race a worker finds, with the same caveats
+/// as [`check_drf_par`].
 ///
 /// # Errors
 ///
@@ -687,14 +885,12 @@ where
     L::Module: Sync,
     L::Core: Send + Sync,
 {
-    if cfg.threads <= 1 {
-        return check_npdrf(loaded, cfg);
-    }
     let mut initials = Vec::new();
     for t in 0..loaded.prog.entries.len() {
         initials.push(loaded.np_load_with_first(t)?);
     }
-    let out = par_explore_until(
+    let out = par_explore_with(
+        cfg.visited,
         initials,
         cfg.threads,
         cfg.max_states,

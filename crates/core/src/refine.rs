@@ -18,7 +18,9 @@
 //! equivalence `let Π in f1 | … | fn ≈ let Π in f1 ∥ … ∥ fn` for DRF
 //! programs (Lem. 9, steps ① and ② of Fig. 2).
 
-use crate::explore::{EnginePreemptive, FxHashMap, FxHashSet, Reduction};
+use crate::explore::{
+    par_explore_with, EnginePreemptive, FxHashMap, FxHashSet, Reduction, VisitedMode,
+};
 use crate::lang::{Event, Lang};
 use crate::npworld::{NpStep, NpWorld};
 use crate::world::{GLabel, GStep, LoadError, Loaded, World};
@@ -40,8 +42,13 @@ pub struct ExploreCfg {
     /// [`collect_traces_preemptive`]). `Off` is the exhaustive oracle.
     pub reduction: Reduction,
     /// Worker threads used by the parallel `*_par` explorers (ignored by
-    /// the serial entry points; `0` and `1` both mean serial).
+    /// the serial entry points; `0` and `1` both mean one inline worker).
     pub threads: usize,
+    /// How the parallel explorers store their visited set: compact
+    /// 64-bit fingerprints (the default) or exact states — see
+    /// [`crate::explore::VisitedMode`] for the collision trade-off.
+    /// Soundness-sensitive callers (the fuzz oracle) pick `Exact`.
+    pub visited: VisitedMode,
 }
 
 impl Default for ExploreCfg {
@@ -52,6 +59,7 @@ impl Default for ExploreCfg {
             atomic_fuel: 64,
             reduction: Reduction::Off,
             threads: 1,
+            visited: VisitedMode::Fingerprint,
         }
     }
 }
@@ -559,6 +567,81 @@ pub fn count_states<S: Semantics>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyRep
         safe: true,
         states: visited.len(),
         truncated,
+    })
+}
+
+/// [`check_safe`] on the work-stealing frontier with `cfg.threads`
+/// workers (early-exiting on the first abort any worker reaches), over a
+/// visited set in `cfg.visited` mode. The verdict is deterministic
+/// whenever the exploration is not truncated: abort reachability is
+/// monotone in the explored set.
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn check_safe_par<S>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyReport, LoadError>
+where
+    S: Semantics + Sync,
+    S::State: Send,
+{
+    let out = par_explore_with(
+        cfg.visited,
+        sem.initials()?,
+        cfg.threads,
+        cfg.max_states,
+        |s: &S::State, abort_found: &mut bool| {
+            let mut succs = Vec::new();
+            for succ in sem.successors(s) {
+                match succ {
+                    SuccStep::Next { state, .. } => succs.push(state),
+                    SuccStep::Abort => *abort_found = true,
+                }
+            }
+            succs
+        },
+        |total, part| *total |= part,
+        |abort_found| *abort_found,
+    );
+    Ok(SafetyReport {
+        safe: !out.acc,
+        states: out.states,
+        truncated: out.truncated,
+    })
+}
+
+/// [`count_states`] on the work-stealing frontier with `cfg.threads`
+/// workers over a visited set in `cfg.visited` mode (in fingerprint
+/// mode the count is exact up to 64-bit collisions).
+///
+/// # Errors
+///
+/// Propagates `Load` failures.
+pub fn count_states_par<S>(sem: &S, cfg: &ExploreCfg) -> Result<SafetyReport, LoadError>
+where
+    S: Semantics + Sync,
+    S::State: Send,
+{
+    let out = par_explore_with(
+        cfg.visited,
+        sem.initials()?,
+        cfg.threads,
+        cfg.max_states,
+        |s: &S::State, (): &mut ()| {
+            sem.successors(s)
+                .into_iter()
+                .filter_map(|succ| match succ {
+                    SuccStep::Next { state, .. } => Some(state),
+                    SuccStep::Abort => None,
+                })
+                .collect()
+        },
+        |(), ()| {},
+        |()| false,
+    );
+    Ok(SafetyReport {
+        safe: true,
+        states: out.states,
+        truncated: out.truncated,
     })
 }
 

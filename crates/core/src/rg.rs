@@ -10,7 +10,7 @@
 //! footprint-consistency obligation `FPmatch` central to DRF
 //! preservation.
 
-use crate::explore::{par_explore, FxHashSet};
+use crate::explore::{par_explore_with, FxHashSet};
 use crate::footprint::{fp_match, mem_eq_on, Footprint, Mu};
 use crate::lang::{Lang, StepMsg};
 use crate::mem::{forward, Addr, FreeList, GlobalEnv, Memory, Val};
@@ -226,7 +226,8 @@ where
         return check_reach_close(lang, module, ge, entry, init_mem, flist, perturbations, cfg);
     }
     let (shared, loaded, thread) = rc_setup(lang, module, ge, entry, init_mem, flist)?;
-    let out = par_explore(
+    let out = par_explore_with(
+        cfg.visited,
         vec![(thread, init_mem.clone(), cfg.fuel)],
         cfg.threads,
         cfg.max_states,
@@ -251,6 +252,7 @@ where
                 }
             }
         },
+        |_: &Option<RcViolation>| false,
     );
     match out.acc {
         Some(v) => Err(v),

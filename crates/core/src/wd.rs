@@ -18,7 +18,7 @@
 //! memory perturbations, which is how every language crate in this
 //! workspace validates its `Lang` instance.
 
-use crate::explore::{par_explore, FxHashSet};
+use crate::explore::{par_explore_with, FxHashSet};
 use crate::footprint::{leffect, leq_post, leq_pre, Footprint};
 use crate::lang::{Lang, LocalStep, StepMsg};
 use crate::mem::{forward, Addr, FreeList, GlobalEnv, Memory, Val};
@@ -366,7 +366,8 @@ where
             detail: format!("InitCore failed for `{entry}`"),
         });
     };
-    let out = par_explore(
+    let out = par_explore_with(
+        cfg.visited,
         vec![(core, init_mem.clone(), cfg.fuel)],
         cfg.threads,
         cfg.max_states,
@@ -408,6 +409,7 @@ where
                 }
             }
         },
+        |_: &(WdReport, Option<WdViolation>)| false,
     );
     match out.acc.1 {
         Some(v) => Err(v),

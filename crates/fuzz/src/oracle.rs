@@ -34,9 +34,10 @@ use ccc_compiler::{
 use ccc_core::footprint::{fp_match, Mu};
 use ccc_core::lang::Lang;
 use ccc_core::mem::GlobalEnv;
-use ccc_core::race::check_drf;
+use ccc_core::race::check_drf_par;
 use ccc_core::refine::{collect_traces_preemptive, trace_equiv, ExploreCfg, Terminal, Trace};
 use ccc_core::world::{replay_schedule, run_main_traced, run_schedule_recorded, Loaded, RunEnd};
+use ccc_core::{Reduction, VisitedMode};
 use ccc_machine::{X86Sc, X86Tso};
 use ccc_sync::lock::lock_spec;
 use rand::rngs::StdRng;
@@ -72,9 +73,17 @@ impl Default for OracleCfg {
             // so a tighter cap only converts pathological inputs into
             // fast no-ops. 40k states keeps the worst TSO store-buffer
             // blowups under a second each.
+            // Ample reduction + the work-stealing frontier keep the
+            // per-stage cost low; `Exact` visited storage (no hash
+            // compaction) because a fingerprint collision could hide a
+            // state and turn a genuine disagreement into silent
+            // agreement.
             explore: ExploreCfg {
                 fuel: 400,
                 max_states: 40_000,
+                reduction: Reduction::Ample,
+                threads: 2,
+                visited: VisitedMode::Exact,
                 ..ExploreCfg::default()
             },
             schedule_steps: 100_000,
@@ -204,10 +213,12 @@ struct ConcObs {
 
 fn observe_conc<L>(loaded: &Loaded<L>, cfg: &ExploreCfg) -> Result<ConcObs, String>
 where
-    L: Lang,
+    L: Lang + Sync,
+    L::Module: Sync,
+    L::Core: Send + Sync,
 {
     let ts = collect_traces_preemptive(loaded, cfg).map_err(|e| format!("{e:?}"))?;
-    let drf = check_drf(loaded, cfg).map_err(|e| format!("{e:?}"))?;
+    let drf = check_drf_par(loaded, cfg).map_err(|e| format!("{e:?}"))?;
     Ok(ConcObs {
         traces: (!ts.truncated).then_some(ts),
         // A found race is a definite verdict even if the exploration

@@ -1,14 +1,21 @@
 //! Differential battery for the exploration engines: on generated
-//! toy, Clight, and x86 (SC/TSO litmus) programs, the footprint-directed
-//! ample reduction and the parallel frontier must agree with the naive
-//! exhaustive oracle on every observable — DRF and NPDRF verdicts,
-//! per-thread footprint unions, and full trace sets.
+//! toy, Clight, x86-TSO, and x86 (SC/TSO litmus) programs, the
+//! footprint-directed ample reduction, the naive parallel frontier,
+//! and the POR-composed work-stealing engine (ample reduction inside
+//! each worker, under both the fingerprint and the exact visited-set
+//! representations) must agree with the naive exhaustive oracle on
+//! every observable — DRF and NPDRF verdicts, per-thread footprint
+//! unions, and full trace sets.
 //!
-//! The file ends with a mutation test: a deliberately overbroad ample
-//! condition (`Reduction::AmpleOverbroad`, which also treats silent
-//! *global* accesses as independent) must flip the DRF verdict on a
-//! program whose race hides behind private prefixes — evidence that
-//! this battery would catch an unsound independence relation.
+//! The file ends with two mutation tests: a deliberately overbroad
+//! ample condition (`Reduction::AmpleOverbroad`, which also treats
+//! silent *global* accesses as independent) must flip the DRF verdict
+//! on a program whose race hides behind private prefixes, and a worker
+//! that skips the seen-set cycle re-expansion
+//! (`Reduction::AmpleIgnoreCycles`, the C3 "ignoring problem") must
+//! ample-loop through a silent spin and miss a race every other engine
+//! reports — evidence that this battery would catch an unsound
+//! independence relation or cycle guard.
 
 use ccc_analysis::{ample_hints, LockModel};
 use ccc_clight::ast::{Expr, Function, Stmt};
@@ -21,11 +28,13 @@ use ccc_core::race::{
     collect_footprints_hinted, collect_footprints_par,
 };
 use ccc_core::refine::{collect_traces_preemptive, ExploreCfg};
+use ccc_core::toy::{toy_globals, toy_module, ToyInstr, ToyLang};
 use ccc_core::world::Loaded;
-use ccc_core::{AmpleHints, Reduction};
+use ccc_core::{AmpleHints, Reduction, VisitedMode};
 use ccc_fuzz::link::{load_client, SrcLang};
 use ccc_fuzz::toygen::{arb_toy_threads, toy_loaded, Op};
-use ccc_machine::{litmus, X86Sc, X86Tso};
+use ccc_fuzz::tsogen;
+use ccc_machine::{litmus, AsmModule, X86Sc, X86Tso};
 use proptest::prelude::*;
 
 fn cfg_with(reduction: Reduction, threads: usize) -> ExploreCfg {
@@ -50,6 +59,7 @@ where
     let naive_cfg = cfg_with(Reduction::Off, 1);
     let ample_cfg = cfg_with(Reduction::Ample, 1);
     let par_cfg = cfg_with(Reduction::Off, 3);
+    let ws_cfg = cfg_with(Reduction::Ample, 3);
 
     let naive = check_drf(loaded, &naive_cfg).expect("loads");
     let ample = check_drf(loaded, &ample_cfg).expect("loads");
@@ -65,19 +75,39 @@ where
     );
     assert_eq!(naive.is_drf(), par.is_drf(), "{name}: DRF verdict (par)");
 
+    // The POR-composed work-stealing engine, under both visited-set
+    // representations (fingerprints may only force *more* expansion on
+    // collision, never less — the verdict must be identical).
+    for visited in [VisitedMode::Fingerprint, VisitedMode::Exact] {
+        let ws = check_drf_par(loaded, &ExploreCfg { visited, ..ws_cfg }).expect("loads");
+        assert!(!ws.truncated, "{name}: WS exploration truncated");
+        assert_eq!(
+            naive.is_drf(),
+            ws.is_drf(),
+            "{name}: DRF verdict (work-stealing ample, {visited:?})"
+        );
+    }
+
     let np = check_npdrf(loaded, &naive_cfg).expect("loads");
     let np_par = check_npdrf_par(loaded, &par_cfg).expect("loads");
+    let np_ws = check_npdrf_par(loaded, &ws_cfg).expect("loads");
     assert!(
-        !np.truncated && !np_par.truncated,
+        !np.truncated && !np_par.truncated && !np_ws.truncated,
         "{name}: NPDRF truncated"
     );
     assert_eq!(np.is_drf(), np_par.is_drf(), "{name}: NPDRF verdict (par)");
+    assert_eq!(
+        np.is_drf(),
+        np_ws.is_drf(),
+        "{name}: NPDRF verdict (work-stealing ample)"
+    );
 
     let fp_naive = collect_footprints(loaded, &naive_cfg).expect("loads");
     let fp_ample = collect_footprints(loaded, &ample_cfg).expect("loads");
     let fp_par = collect_footprints_par(loaded, &par_cfg).expect("loads");
+    let fp_ws = collect_footprints_par(loaded, &ws_cfg).expect("loads");
     assert!(
-        !fp_naive.truncated && !fp_ample.truncated && !fp_par.truncated,
+        !fp_naive.truncated && !fp_ample.truncated && !fp_par.truncated && !fp_ws.truncated,
         "{name}: footprint exploration truncated"
     );
     assert_eq!(
@@ -85,6 +115,10 @@ where
         "{name}: footprint unions (ample)"
     );
     assert_eq!(fp_naive.fps, fp_par.fps, "{name}: footprint unions (par)");
+    assert_eq!(
+        fp_naive.fps, fp_ws.fps,
+        "{name}: footprint unions (work-stealing ample)"
+    );
 
     if traces {
         let ts_naive = collect_traces_preemptive(loaded, &naive_cfg).expect("loads");
@@ -105,7 +139,7 @@ where
 // ---------------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(56))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn toy_engines_agree(threads in arb_toy_threads()) {
@@ -130,6 +164,32 @@ proptest! {
     fn clight_engines_agree(seed in any::<u64>(), racy in any::<bool>()) {
         let loaded = clight_loaded(seed, 2, racy);
         assert_engines_agree("generated clight", &loaded, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated x86-TSO programs (generator shared via ccc_fuzz::tsogen):
+// store buffers give every state a machine component the ample
+// condition cannot collapse, so these exercise the engines on
+// reduction-hostile state spaces.
+// ---------------------------------------------------------------------------
+
+fn tso_loaded(t0: &[tsogen::Op], t1: &[tsogen::Op]) -> Loaded<X86Tso> {
+    let m = AsmModule::new([("t0", tsogen::emit(t0)), ("t1", tsogen::emit(t1))]);
+    let mut ge = GlobalEnv::new();
+    for g in tsogen::GLOBALS {
+        ge.define(g, Val::Int(0));
+    }
+    let entries = vec!["t0".to_string(), "t1".to_string()];
+    Loaded::new(Prog::new(X86Tso, vec![(m, ge)], entries)).expect("tso links")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tso_engines_agree(t0 in tsogen::arb_thread(), t1 in tsogen::arb_thread()) {
+        assert_engines_agree("generated tso", &tso_loaded(&t0, &t1), false);
     }
 }
 
@@ -288,5 +348,66 @@ fn overbroad_ample_condition_is_caught_by_the_differential() {
         naive.is_drf(),
         mutated.is_drf(),
         "differential testing flags the unsound reduction"
+    );
+}
+
+#[test]
+fn skipping_cycle_reexpansion_is_caught_by_the_differential() {
+    // t0 spins silently forever (`jmp 0`, a one-state cycle whose only
+    // step is an ample candidate); t1 and t2 race on the global `x`.
+    // Soundness of the reduction hangs on the C3 "ignoring" guard: an
+    // engine must refuse an ample set whose successor is already in
+    // the visited set and fall back to full expansion, so the racing
+    // threads get scheduled past the spin. `AmpleIgnoreCycles` is the
+    // seeded unsoundness — a worker that skips that re-expansion — and
+    // must ample-loop on t0 and report DRF, sequentially and at every
+    // worker count, while every sound engine keeps the race.
+    let spin = vec![ToyInstr::Jmp(0)];
+    let write = vec![
+        ToyInstr::LoadG("x".into()),
+        ToyInstr::Add(1),
+        ToyInstr::StoreG("x".into()),
+        ToyInstr::Ret(0),
+    ];
+    let (m, _) = toy_module(&[("t0", spin), ("t1", write.clone()), ("t2", write)], &[]);
+    let loaded: Loaded<ToyLang> = Loaded::new(Prog::new(
+        ToyLang,
+        vec![(m, toy_globals(&[("x", 0)]))],
+        ["t0", "t1", "t2"],
+    ))
+    .expect("toy links");
+
+    let naive = check_drf(&loaded, &cfg_with(Reduction::Off, 1)).expect("loads");
+    assert!(!naive.truncated);
+    assert!(!naive.is_drf(), "the oracle must see the write-write race");
+
+    let sound = check_drf(&loaded, &cfg_with(Reduction::Ample, 1)).expect("loads");
+    assert!(!sound.is_drf(), "the sequential cycle guard keeps the race");
+    for workers in [1, 3] {
+        let ws = check_drf_par(&loaded, &cfg_with(Reduction::Ample, workers)).expect("loads");
+        assert!(
+            !ws.is_drf(),
+            "the shared visited set keeps the race at {workers} workers"
+        );
+    }
+
+    let mutated = check_drf(&loaded, &cfg_with(Reduction::AmpleIgnoreCycles, 1)).expect("loads");
+    assert!(
+        mutated.is_drf(),
+        "the seeded cycle-skipping bug must miss the race — if this fails, \
+         the mutant is no longer a mutant and the battery's sensitivity \
+         claim is untested"
+    );
+    let mutated_ws =
+        check_drf_par(&loaded, &cfg_with(Reduction::AmpleIgnoreCycles, 3)).expect("loads");
+    assert!(
+        mutated_ws.is_drf(),
+        "a cycle-skipping worker must also miss the race in the \
+         work-stealing engine"
+    );
+    assert_ne!(
+        naive.is_drf(),
+        mutated.is_drf(),
+        "differential testing flags the unsound cycle handling"
     );
 }
