@@ -55,6 +55,7 @@ pub mod lint;
 pub mod lockset;
 pub mod region;
 pub mod rtl_fp;
+pub mod sepcomp;
 pub mod transval;
 pub mod tso_robust;
 
@@ -74,6 +75,10 @@ pub use lockset::{
 };
 pub use region::{AbsFootprint, AbsVal, Region};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};
+pub use sepcomp::{
+    build_program, check_link_obligations, expected_passes, recheck_pipeline, recheck_shape,
+    LinkObligation, LinkObligationKind, LinkReport, SepUnit, SepcompResult, TransvalCertifier,
+};
 pub use transval::object::validate_id_trans;
 pub use transval::{
     validate_artifacts, validate_with_mode, PipelineWitness, SimWitness, Validation,

@@ -1,0 +1,464 @@
+//! Separate compilation over the witness cache: the `ccc-analysis`
+//! half of ROADMAP item 2.
+//!
+//! `ccc_compiler::cache` is deliberately ignorant of the validator (the
+//! compiler crate cannot depend on the analyses), so this module
+//! supplies the real [`Certifier`]: [`TransvalCertifier`] certifies a
+//! fresh compilation by running the full symbolic translation validator
+//! and re-checks a stored witness on a cache hit *statically* — parse
+//! the JSON, match the pass list against what the pipeline must have
+//! produced, require every obligation discharged — without recompiling
+//! or re-validating ([`RecheckDepth::Structural`]), or by re-deriving
+//! the whole witness for audit-grade paranoia ([`RecheckDepth::Full`]).
+//!
+//! The second half is the paper's actual theorem: per-module witnesses
+//! only compose into whole-program correctness when the *link-time*
+//! side conditions hold. [`check_link_obligations`] re-discharges them
+//! across the mix of cached and fresh modules on every build:
+//!
+//! * **EnvDisjoint** — function names and global layouts of all units
+//!   (and the object) are compatible, i.e. the program links at all;
+//! * **FootprintDisjoint** — no unit writes a global another unit
+//!   touches outside the object's mediation (object calls are exempt:
+//!   their footprints are the object's business, covered by its own
+//!   atomic blocks — the paper's footprint-preservation story);
+//! * **AtomicShape** — the object module survived `IdTrans` with its
+//!   atomic blocks bit-for-bit intact (`validate_id_trans`);
+//! * **LockDiscipline** — the Eraser-style lockset analysis finds the
+//!   merged client statically race-free under the object's inferred
+//!   lock protocol (the rely/guarantee side condition's static stand-in).
+//!
+//! [`build_program`] drives both halves: every unit goes through the
+//! cache (hits re-checked, misses certified), then the link obligations
+//! are discharged over the results.
+
+use crate::lockset::{infer_lock_model, StaticVerdict};
+use crate::region::AbsFootprint;
+use crate::transval::json::{
+    pipeline_from_json, pipeline_shape_from_json, pipeline_to_json, WitnessShape,
+};
+use crate::transval::object::validate_id_trans;
+use crate::transval::{validate_artifacts, PipelineWitness, Verdict};
+use ccc_cimp::CImpModule;
+use ccc_clight::ClightModule;
+use ccc_compiler::cache::{CacheError, CachedCompilation, Certifier, CompileCache, RecheckDepth};
+use ccc_compiler::CompilationArtifacts;
+use ccc_core::mem::GlobalEnv;
+use std::collections::BTreeMap;
+
+/// The pass names the validator must have produced for these artifacts,
+/// in pipeline order (the Constprop extension stage appears exactly
+/// when the artifacts carry it).
+#[must_use]
+pub fn expected_passes(arts: &CompilationArtifacts) -> Vec<&'static str> {
+    let mut out = vec![
+        "Cshmgen/Cminorgen",
+        "Selection",
+        "RTLgen",
+        "Tailcall",
+        "Renumber",
+    ];
+    if arts.rtl_constprop.is_some() {
+        out.push("Constprop");
+    }
+    out.extend([
+        "Allocation",
+        "Tunneling",
+        "Linearize",
+        "CleanupLabels",
+        "Stacking",
+        "Asmgen",
+    ]);
+    out
+}
+
+/// Statically re-checks a stored pipeline witness against artifacts.
+///
+/// At [`RecheckDepth::Structural`] this is the cheap side only: the
+/// stored pass list must match [`expected_passes`], every witness must
+/// be `Validated`, and every obligation must be discharged (so a
+/// flipped `discharged` flag is caught even when the stored verdict
+/// still says `Validated`, and a flipped verdict is caught even when
+/// the obligations all pass). At [`RecheckDepth::Full`] the whole
+/// witness is re-derived from the artifacts and compared for equality,
+/// which additionally catches a witness swapped in from a *different*
+/// validated compilation.
+///
+/// # Errors
+///
+/// Describes the first inconsistency found.
+pub fn recheck_pipeline(
+    arts: &CompilationArtifacts,
+    stored: &PipelineWitness,
+    depth: RecheckDepth,
+) -> Result<(), String> {
+    let expected = expected_passes(arts);
+    let got: Vec<&str> = stored.witnesses.iter().map(|w| w.pass.as_str()).collect();
+    if got != expected {
+        return Err(format!(
+            "stored pass list {got:?} does not match expected {expected:?}"
+        ));
+    }
+    for w in &stored.witnesses {
+        if w.verdict != Verdict::Validated {
+            return Err(format!(
+                "stored witness for {} has verdict {}",
+                w.pass,
+                w.verdict.name()
+            ));
+        }
+        if let Some(ob) = w.obligations.iter().find(|o| !o.discharged) {
+            return Err(format!(
+                "stored witness for {} claims Validated with undischarged {} obligation in `{}`",
+                w.pass,
+                ob.kind.name(),
+                ob.function
+            ));
+        }
+    }
+    if depth == RecheckDepth::Full {
+        let fresh = validate_artifacts(arts);
+        if fresh != *stored {
+            return Err("stored witness differs from one re-derived from the artifacts".into());
+        }
+    }
+    Ok(())
+}
+
+/// [`recheck_pipeline`]'s structural half over a [`WitnessShape`]: the
+/// allocation-light form the cache runs on every hit (hits are the hot
+/// path — a warm service request is nothing *but* this check).
+///
+/// # Errors
+///
+/// Describes the first inconsistency found.
+pub fn recheck_shape(arts: &CompilationArtifacts, shape: &WitnessShape) -> Result<(), String> {
+    let expected = expected_passes(arts);
+    let got: Vec<&str> = shape.passes.iter().map(|(p, _)| p.as_str()).collect();
+    if got != expected {
+        return Err(format!(
+            "stored pass list {got:?} does not match expected {expected:?}"
+        ));
+    }
+    if let Some((pass, v)) = shape.passes.iter().find(|(_, v)| *v != Verdict::Validated) {
+        return Err(format!(
+            "stored witness for {pass} has verdict {}",
+            v.name()
+        ));
+    }
+    if shape.undischarged > 0 {
+        return Err(format!(
+            "stored witness claims Validated with {} undischarged obligation(s)",
+            shape.undischarged
+        ));
+    }
+    Ok(())
+}
+
+/// The real [`Certifier`]: full symbolic validation on a miss, static
+/// witness re-checking on a hit.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TransvalCertifier;
+
+impl Certifier for TransvalCertifier {
+    fn certify(&self, arts: &CompilationArtifacts) -> Result<String, String> {
+        let w = validate_artifacts(arts);
+        if let Some(bad) = w
+            .witnesses
+            .iter()
+            .find(|sw| sw.verdict != Verdict::Validated)
+        {
+            return Err(format!("pass {} was {}", bad.pass, bad.verdict.name()));
+        }
+        Ok(pipeline_to_json(&w))
+    }
+
+    fn recheck(
+        &self,
+        arts: &CompilationArtifacts,
+        witness_json: &str,
+        depth: RecheckDepth,
+    ) -> Result<(), String> {
+        // Both parses report syntax errors with byte offsets, so a
+        // truncated or bit-rotted disk entry says *where* it broke.
+        match depth {
+            RecheckDepth::Structural => {
+                // The shape scan syntax-checks the whole document but
+                // materializes none of the (thousands of) obligations —
+                // this is what keeps a hit ~10x cheaper than a cold
+                // compile+certify.
+                let shape = pipeline_shape_from_json(witness_json).map_err(String::from)?;
+                recheck_shape(arts, &shape)
+            }
+            RecheckDepth::Full => {
+                let stored = pipeline_from_json(witness_json)?;
+                recheck_pipeline(arts, &stored, depth)
+            }
+        }
+    }
+}
+
+/// One separately compiled translation unit and its link-time
+/// interface.
+#[derive(Clone, Debug)]
+pub struct SepUnit {
+    /// A human-readable unit name for diagnostics.
+    pub name: String,
+    /// The Clight source.
+    pub module: ClightModule,
+    /// The unit's global definitions.
+    pub ge: GlobalEnv,
+    /// The thread entry points the unit contributes.
+    pub entries: Vec<String>,
+}
+
+/// The link-time side conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkObligationKind {
+    /// Function names and global layouts are compatible across units.
+    EnvDisjoint,
+    /// No unit writes a global that another unit touches outside the
+    /// object's mediation.
+    FootprintDisjoint,
+    /// The object module's atomic blocks survived `IdTrans` intact.
+    AtomicShape,
+    /// The merged client is statically race-free under the object's
+    /// lock protocol.
+    LockDiscipline,
+}
+
+impl LinkObligationKind {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkObligationKind::EnvDisjoint => "EnvDisjoint",
+            LinkObligationKind::FootprintDisjoint => "FootprintDisjoint",
+            LinkObligationKind::AtomicShape => "AtomicShape",
+            LinkObligationKind::LockDiscipline => "LockDiscipline",
+        }
+    }
+}
+
+/// One discharged-or-not link obligation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkObligation {
+    /// Which side condition.
+    pub kind: LinkObligationKind,
+    /// Whether it holds for this program.
+    pub discharged: bool,
+    /// Diagnostics (the offending pair, the race count, …).
+    pub note: String,
+}
+
+/// Every link obligation of one program, in a fixed order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkReport {
+    /// The obligations, in [`LinkObligationKind`] declaration order.
+    pub obligations: Vec<LinkObligation>,
+}
+
+impl LinkReport {
+    /// True when every obligation is discharged.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.obligations.iter().all(|o| o.discharged)
+    }
+
+    /// The undischarged obligations.
+    #[must_use]
+    pub fn failed(&self) -> Vec<&LinkObligation> {
+        self.obligations.iter().filter(|o| !o.discharged).collect()
+    }
+}
+
+fn check_env_disjoint(
+    units: &[SepUnit],
+    object: &CImpModule,
+    object_ge: &GlobalEnv,
+) -> LinkObligation {
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut clashes = Vec::new();
+    for u in units {
+        for f in u.module.funcs.keys() {
+            if let Some(prev) = seen.insert(f.as_str(), u.name.as_str()) {
+                clashes.push(format!(
+                    "function `{f}` defined in `{prev}` and `{}`",
+                    u.name
+                ));
+            }
+        }
+    }
+    for f in object.funcs.keys() {
+        if let Some(prev) = seen.insert(f.as_str(), "<object>") {
+            clashes.push(format!("function `{f}` defined in `{prev}` and the object"));
+        }
+    }
+    let linked = GlobalEnv::link(units.iter().map(|u| &u.ge).chain([object_ge]));
+    if linked.is_none() {
+        clashes.push("global environments do not link (conflicting symbol or init)".to_string());
+    }
+    LinkObligation {
+        kind: LinkObligationKind::EnvDisjoint,
+        discharged: clashes.is_empty(),
+        note: if clashes.is_empty() {
+            format!("{} units link cleanly", units.len())
+        } else {
+            clashes.join("; ")
+        },
+    }
+}
+
+fn unit_footprint(u: &SepUnit, externals: &BTreeMap<String, AbsFootprint>) -> AbsFootprint {
+    let summaries = crate::clight_fp::infer_clight_with(&u.module, externals);
+    let mut fp = AbsFootprint::default();
+    for e in &u.entries {
+        if let Some(f) = summaries.funcs.get(e) {
+            fp.reads.extend(f.reads.iter().cloned());
+            fp.writes.extend(f.writes.iter().cloned());
+        }
+    }
+    fp
+}
+
+fn check_footprint_disjoint(units: &[SepUnit], object: &CImpModule) -> LinkObligation {
+    // Object calls are exempt from the unit footprint: access through
+    // the object is serialized by its atomic blocks, which is exactly
+    // what AtomicShape + LockDiscipline certify. Giving the object
+    // functions empty external footprints encodes that.
+    let externals: BTreeMap<String, AbsFootprint> = object
+        .funcs
+        .keys()
+        .map(|n| (n.clone(), AbsFootprint::default()))
+        .collect();
+    let fps: Vec<AbsFootprint> = units
+        .iter()
+        .map(|u| unit_footprint(u, &externals))
+        .collect();
+    let mut clashes = Vec::new();
+    for i in 0..units.len() {
+        for j in 0..units.len() {
+            if i == j {
+                continue;
+            }
+            for w in &fps[i].writes {
+                for r in fps[j].reads.iter().chain(&fps[j].writes) {
+                    if w.may_overlap_cross_thread(r) {
+                        clashes.push(format!(
+                            "`{}` writes {w:?} which `{}` touches via {r:?}",
+                            units[i].name, units[j].name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    clashes.sort();
+    clashes.dedup();
+    LinkObligation {
+        kind: LinkObligationKind::FootprintDisjoint,
+        discharged: clashes.is_empty(),
+        note: if clashes.is_empty() {
+            "pairwise unit footprints disjoint outside the object".to_string()
+        } else {
+            clashes.join("; ")
+        },
+    }
+}
+
+fn check_atomic_shape(object_src: &CImpModule, object_tgt: &CImpModule) -> LinkObligation {
+    let w = validate_id_trans(object_src, object_tgt);
+    LinkObligation {
+        kind: LinkObligationKind::AtomicShape,
+        discharged: w.verdict == Verdict::Validated,
+        note: format!(
+            "IdTrans {} over {} matched functions",
+            w.verdict.name(),
+            w.matched_blocks
+        ),
+    }
+}
+
+fn check_lock_discipline(units: &[SepUnit], object_src: &CImpModule) -> LinkObligation {
+    let merged = ClightModule::new(
+        units
+            .iter()
+            .flat_map(|u| u.module.funcs.iter())
+            .map(|(n, f)| (n.clone(), f.clone())),
+    );
+    let entries: Vec<String> = units.iter().flat_map(|u| u.entries.clone()).collect();
+    let model = infer_lock_model(object_src);
+    let report = crate::lockset::check_static_race(&merged, &entries, &model);
+    let (discharged, note) = match &report.verdict {
+        StaticVerdict::StaticDrf => (true, "merged client statically race-free".to_string()),
+        StaticVerdict::MayRace(pairs) => (
+            false,
+            format!("{} potentially racing access pair(s)", pairs.len()),
+        ),
+    };
+    LinkObligation {
+        kind: LinkObligationKind::LockDiscipline,
+        discharged,
+        note,
+    }
+}
+
+/// Re-discharges every link-time side condition for a program made of
+/// `units` linked against a concurrent object (`object_src` as written,
+/// `object_tgt` as emitted by `IdTrans`).
+#[must_use]
+pub fn check_link_obligations(
+    units: &[SepUnit],
+    object_src: &CImpModule,
+    object_tgt: &CImpModule,
+    object_ge: &GlobalEnv,
+) -> LinkReport {
+    LinkReport {
+        obligations: vec![
+            check_env_disjoint(units, object_src, object_ge),
+            check_footprint_disjoint(units, object_src),
+            check_atomic_shape(object_src, object_tgt),
+            check_lock_discipline(units, object_src),
+        ],
+    }
+}
+
+/// The result of one whole-program incremental build.
+#[derive(Clone, Debug)]
+pub struct SepcompResult {
+    /// Per-unit compilations, in `units` order (each one a hit, disk
+    /// hit, miss, or rejected-and-recompiled — see
+    /// `ccc_compiler::cache::CacheOutcome`).
+    pub modules: Vec<CachedCompilation>,
+    /// The re-discharged link obligations over the mix of cached and
+    /// fresh modules.
+    pub link: LinkReport,
+}
+
+/// Builds a whole program through the cache: every unit is compiled
+/// (or served and re-checked), then the link-time obligations are
+/// re-discharged across all units.
+///
+/// # Errors
+///
+/// Propagates the first unit whose *fresh* compilation fails to compile
+/// or certify; poisoned cache entries degrade to recompilation and are
+/// visible per-unit as `CacheOutcome::Rejected`.
+pub fn build_program(
+    units: &[SepUnit],
+    object_src: &CImpModule,
+    object_tgt: &CImpModule,
+    object_ge: &GlobalEnv,
+    cache: &CompileCache,
+    certifier: &dyn Certifier,
+    depth: RecheckDepth,
+) -> Result<SepcompResult, CacheError> {
+    let modules = units
+        .iter()
+        .map(|u| cache.compile_cached(&u.module, certifier, depth))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SepcompResult {
+        modules,
+        link: check_link_obligations(units, object_src, object_tgt, object_ge),
+    })
+}

@@ -54,12 +54,46 @@ impl Json {
     }
 }
 
+/// A JSON syntax error, anchored to the byte where parsing stopped.
+///
+/// Poisoned-cache diagnostics depend on the anchor: when a stored
+/// witness is truncated or corrupted on disk, the cache reports *where*
+/// the document broke, not just that it did.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// What went wrong there.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<JsonError> for String {
+    fn from(e: JsonError) -> String {
+        e.to_string()
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
     fn ws(&mut self) {
         while self
             .bytes
@@ -74,17 +108,16 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
+            Err(self.err(format!(
+                "expected '{}', found {:?}",
                 b as char,
-                self.pos,
                 self.peek().map(|b| b as char)
-            ))
+            )))
         }
     }
 
@@ -97,7 +130,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         self.ws();
         match self.peek() {
             Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
@@ -148,15 +181,11 @@ impl<'a> Parser<'a> {
                 }
             }
             Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
+            other => Err(self.err(format!("unexpected {:?}", other.map(|b| b as char)))),
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -165,17 +194,18 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf-8");
-        text.parse::<i64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
+        text.parse::<i64>().map(Json::Num).map_err(|e| JsonError {
+            offset: start,
+            msg: format!("bad number {text:?}: {e}"),
+        })
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -195,38 +225,347 @@ impl<'a> Parser<'a> {
                             let hex = self
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                std::str::from_utf8(hex).map_err(|e| self.err(e.to_string()))?,
                                 16,
                             )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            .map_err(|e| self.err(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
                             self.pos += 4;
                         }
-                        other => return Err(format!("bad escape {other:?}")),
+                        other => return Err(self.err(format!("bad escape {other:?}"))),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar, however many bytes.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume a whole run of unescaped bytes at once —
+                    // re-validating the full remaining input per
+                    // character would make parsing quadratic, and cache
+                    // hits parse ~100KB witnesses on the hot path. The
+                    // delimiters are ASCII, so the run always ends on a
+                    // UTF-8 character boundary.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| {
+                        JsonError {
+                            offset: start + e.valid_up_to(),
+                            msg: format!("invalid utf-8 in string: {e}"),
+                        }
+                    })?;
+                    out.push_str(run);
                 }
             }
         }
     }
 }
 
+impl<'a> Parser<'a> {
+    /// Parses one string allocation-free when it contains no escapes
+    /// (the common case for every string our serializer emits), falling
+    /// back to the decoding path otherwise.
+    fn lean_string(&mut self) -> Result<std::borrow::Cow<'a, str>, JsonError> {
+        let quote = self.pos;
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| {
+                        JsonError {
+                            offset: start + e.valid_up_to(),
+                            msg: format!("invalid utf-8 in string: {e}"),
+                        }
+                    })?;
+                    self.pos += 1;
+                    return Ok(std::borrow::Cow::Borrowed(s));
+                }
+                b'\\' => {
+                    self.pos = quote;
+                    return self.string().map(std::borrow::Cow::Owned);
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    /// Syntax-checks one value without materializing it.
+    fn skip_value(&mut self) -> Result<(), JsonError> {
+        self.ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(()),
+            Some(b't') if self.eat_keyword("true") => Ok(()),
+            Some(b'f') if self.eat_keyword("false") => Ok(()),
+            Some(b'"') => self.lean_string().map(|_| ()),
+            Some(b'-' | b'0'..=b'9') => self.number().map(|_| ()),
+            Some(b'[') => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    self.ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                    } else {
+                        return self.expect(b']');
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.ws();
+                    self.lean_string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    self.ws();
+                    if self.peek() == Some(b',') {
+                        self.pos += 1;
+                    } else {
+                        return self.expect(b'}');
+                    }
+                }
+            }
+            other => Err(self.err(format!("unexpected {:?}", other.map(|b| b as char)))),
+        }
+    }
+
+    /// One `{"kind":...,"discharged":...,...}` obligation, counted into
+    /// `shape` without materializing anything.
+    fn obligation_shape(&mut self, shape: &mut WitnessShape) -> Result<(), JsonError> {
+        self.ws();
+        let obj_off = self.pos;
+        self.expect(b'{')?;
+        let mut discharged: Option<bool> = None;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.ws();
+                let key = self.lean_string()?;
+                self.ws();
+                self.expect(b':')?;
+                if &*key == "discharged" {
+                    self.ws();
+                    discharged = Some(match self.peek() {
+                        Some(b't') if self.eat_keyword("true") => true,
+                        Some(b'f') if self.eat_keyword("false") => false,
+                        _ => return Err(self.err("expected bool discharged")),
+                    });
+                } else {
+                    self.skip_value()?;
+                }
+                self.ws();
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                } else {
+                    self.expect(b'}')?;
+                    break;
+                }
+            }
+        }
+        let d = discharged.ok_or(JsonError {
+            offset: obj_off,
+            msg: "obligation missing discharged".into(),
+        })?;
+        shape.obligations += 1;
+        if !d {
+            shape.undischarged += 1;
+        }
+        Ok(())
+    }
+
+    /// One witness object: records `(pass, verdict)` and counts its
+    /// obligations.
+    fn witness_shape(&mut self, shape: &mut WitnessShape) -> Result<(), JsonError> {
+        self.ws();
+        let obj_off = self.pos;
+        self.expect(b'{')?;
+        let mut pass: Option<String> = None;
+        let mut verdict: Option<Verdict> = None;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.ws();
+                let key = self.lean_string()?;
+                self.ws();
+                self.expect(b':')?;
+                match &*key {
+                    "pass" => {
+                        self.ws();
+                        pass = Some(self.lean_string()?.into_owned());
+                    }
+                    "verdict" => {
+                        self.ws();
+                        let off = self.pos;
+                        let name = self.lean_string()?;
+                        verdict = Some(Verdict::parse(&name).ok_or_else(|| JsonError {
+                            offset: off,
+                            msg: format!("bad verdict {name:?}"),
+                        })?);
+                    }
+                    "obligations" => {
+                        self.ws();
+                        self.expect(b'[')?;
+                        self.ws();
+                        if self.peek() == Some(b']') {
+                            self.pos += 1;
+                        } else {
+                            loop {
+                                self.obligation_shape(shape)?;
+                                self.ws();
+                                if self.peek() == Some(b',') {
+                                    self.pos += 1;
+                                } else {
+                                    self.expect(b']')?;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    _ => self.skip_value()?,
+                }
+                self.ws();
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                } else {
+                    self.expect(b'}')?;
+                    break;
+                }
+            }
+        }
+        shape.passes.push((
+            pass.ok_or(JsonError {
+                offset: obj_off,
+                msg: "witness missing pass".into(),
+            })?,
+            verdict.ok_or(JsonError {
+                offset: obj_off,
+                msg: "witness missing verdict".into(),
+            })?,
+        ));
+        Ok(())
+    }
+}
+
+/// The structural summary of a stored pipeline witness: exactly what
+/// the cache's per-hit re-check needs, extracted by a full syntax scan
+/// of the document that allocates nothing per obligation.
+///
+/// Cache hits re-check a ~100KB witness on every request, so the
+/// structural pass must not pay for materializing thousands of
+/// [`Obligation`]s it would only ever scan once. The scan still
+/// validates the *entire* document's syntax — a truncated or bit-rotted
+/// entry fails with a byte offset no matter where the damage is — and a
+/// schema violation (missing `pass`/`verdict`/`discharged`) is an
+/// error, so a tampered entry cannot hide fields from the check.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct WitnessShape {
+    /// `(pass name, verdict)` of each stage, in stored order.
+    pub passes: Vec<(String, Verdict)>,
+    /// Total obligation count across all passes.
+    pub obligations: usize,
+    /// Obligations stored with `"discharged": false`.
+    pub undischarged: usize,
+}
+
+/// Scans a serialized [`PipelineWitness`] into its [`WitnessShape`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with a byte offset on any syntax error or
+/// witness-schema violation, anywhere in the document.
+pub fn pipeline_shape_from_json(s: &str) -> Result<WitnessShape, JsonError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let mut shape = WitnessShape::default();
+    p.ws();
+    p.expect(b'{')?;
+    p.ws();
+    let mut saw_witnesses = false;
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.ws();
+            let key = p.lean_string()?;
+            p.ws();
+            p.expect(b':')?;
+            if &*key == "witnesses" {
+                saw_witnesses = true;
+                p.ws();
+                p.expect(b'[')?;
+                p.ws();
+                if p.peek() == Some(b']') {
+                    p.pos += 1;
+                } else {
+                    loop {
+                        p.witness_shape(&mut shape)?;
+                        p.ws();
+                        if p.peek() == Some(b',') {
+                            p.pos += 1;
+                        } else {
+                            p.expect(b']')?;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                p.skip_value()?;
+            }
+            p.ws();
+            if p.peek() == Some(b',') {
+                p.pos += 1;
+            } else {
+                p.expect(b'}')?;
+                break;
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    if !saw_witnesses {
+        return Err(JsonError {
+            offset: 0,
+            msg: "missing witnesses".into(),
+        });
+    }
+    Ok(shape)
+}
+
 /// Parses one JSON document.
 ///
 /// # Errors
 ///
-/// Returns a description of the first syntax error.
-pub fn parse(s: &str) -> Result<Json, String> {
+/// Returns a [`JsonError`] describing the first syntax error and the
+/// byte offset at which it was detected.
+pub fn parse(s: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -234,7 +573,7 @@ pub fn parse(s: &str) -> Result<Json, String> {
     let v = p.value()?;
     p.ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
+        return Err(p.err("trailing garbage"));
     }
     Ok(v)
 }

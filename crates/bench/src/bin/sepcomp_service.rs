@@ -1,0 +1,326 @@
+//! Incremental separate compilation and the batch compile-and-validate
+//! service: the production story of ROADMAP item 2.
+//!
+//! Three measurements over a 20-module program built from generated
+//! translation units linked against the CImp lock object:
+//!
+//! 1. **Edit-1-of-20**: after a warm build, one module is edited and
+//!    the program rebuilt through the content-addressed witness cache.
+//!    Exactly one module may re-run the full pipeline (the other 19 are
+//!    hits whose stored witnesses are statically re-checked), and the
+//!    rebuild must be at least 5x faster than the cold
+//!    compile+certify — both enforced by aborting gates.
+//! 2. **Disk tier**: the memory tier is dropped and the program rebuilt
+//!    from `target/ccc-cache/` — every module must be a disk hit
+//!    (deterministic recompile, stage digests matched, certification
+//!    skipped).
+//! 3. **Warm throughput**: a worker-pool service over the shared cache
+//!    serves round-robin requests against all 20 modules; sustained
+//!    requests/sec with a warm cache is recorded, and every request
+//!    must be a re-validated hit.
+//!
+//! A poisoned-entry spot check (tampered stored witness must be
+//! rejected and transparently recompiled) guards the trust discipline.
+//!
+//! Run with: `cargo run --release -p ccc-bench --bin sepcomp_service`
+//! (`--smoke` shrinks module sizes and the request count for CI).
+//! Results are written to `BENCH_sepcomp.json` in the current
+//! directory.
+
+use ccc_analysis::sepcomp::{build_program, SepUnit, TransvalCertifier};
+use ccc_analysis::validate_artifacts;
+use ccc_compiler::cache::{default_disk_dir, CacheOutcome, Certifier, CompileCache, RecheckDepth};
+use ccc_compiler::driver::compile_with_artifacts;
+use ccc_compiler::{CompileService, ServiceCfg};
+use ccc_fuzz::gen_program;
+use ccc_fuzz::spec::lower_prefixed;
+use ccc_fuzz::FuzzProgram;
+use ccc_sync::lock::lock_spec;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MODULES: usize = 20;
+const EDITED: usize = 7;
+
+/// The first `n` *sequential* generated programs from the fixed seed
+/// stream (sequential units keep the link obligations deterministically
+/// discharged: each unit only touches its own namespaced globals).
+fn sequential_programs(n: usize, size: u32, skip: usize) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    let mut skipped = 0;
+    while out.len() < n {
+        let p = gen_program(seed, size);
+        seed += 1;
+        if p.is_sequential() {
+            if skipped < skip {
+                skipped += 1;
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+fn units_of(programs: &[FuzzProgram]) -> Vec<SepUnit> {
+    programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (module, ge, entries) =
+                lower_prefixed(p, &format!("m{i}_"), 0x2000 + 0x100 * i as u64);
+            SepUnit {
+                name: format!("m{i}"),
+                module,
+                ge,
+                entries,
+            }
+        })
+        .collect()
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (size, requests): (u32, usize) = if smoke { (8, 80) } else { (14, 400) };
+    let certifier = TransvalCertifier;
+
+    println!("incremental separate compilation: {MODULES}-module program, 1 module edited");
+    println!("(unit size {size}, structural hit re-checking, disk tier under target/ccc-cache)\n");
+
+    let programs = sequential_programs(MODULES, size, 0);
+    let units = units_of(&programs);
+    let (object_src, object_ge) = lock_spec("L");
+    let object_tgt = ccc_compiler::driver::id_trans(&object_src);
+
+    // --- Cold reference: full pipeline + full certification, no cache.
+    // Timed twice (min) so a scheduler hiccup cannot skew the gate.
+    let mut cold = std::time::Duration::MAX;
+    for _ in 0..2 {
+        let t = Instant::now();
+        for u in &units {
+            let arts = compile_with_artifacts(&u.module).expect("unit compiles");
+            certifier.certify(&arts).expect("unit validates");
+        }
+        let cold_link =
+            ccc_analysis::check_link_obligations(&units, &object_src, &object_tgt, &object_ge);
+        cold = cold.min(t.elapsed());
+        assert!(
+            cold_link.ok(),
+            "cold link obligations: {:?}",
+            cold_link.failed()
+        );
+    }
+
+    // --- Warm build populates both cache tiers.
+    let disk_dir = default_disk_dir();
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let cache = Arc::new(
+        CompileCache::new()
+            .with_disk(&disk_dir)
+            .expect("create disk tier"),
+    );
+    let warm = build_program(
+        &units,
+        &object_src,
+        &object_tgt,
+        &object_ge,
+        &cache,
+        &certifier,
+        RecheckDepth::Structural,
+    )
+    .expect("warm build");
+    assert!(
+        warm.modules.iter().all(|m| m.outcome == CacheOutcome::Miss),
+        "warm build must compile everything"
+    );
+
+    // --- Edit one module and rebuild incrementally.
+    let edited_program = sequential_programs(1, size, MODULES).remove(0);
+    let mut edited_programs = programs.clone();
+    edited_programs[EDITED] = edited_program;
+    let edited_units = units_of(&edited_programs);
+    assert_ne!(
+        ccc_compiler::module_hash(&units[EDITED].module),
+        ccc_compiler::module_hash(&edited_units[EDITED].module),
+        "the edit must change the module's content address"
+    );
+
+    // Three reps (min): before each, the edited module's entry is
+    // evicted from both tiers so every rep really is 19 hits + 1 full
+    // recompile. The hit/miss split is asserted on every rep.
+    let edited_hash = ccc_compiler::module_hash(&edited_units[EDITED].module);
+    let mut incremental = std::time::Duration::MAX;
+    let mut incr = None;
+    for _ in 0..3 {
+        cache.evict(edited_hash);
+        cache.reset_stats();
+        let t = Instant::now();
+        let run = build_program(
+            &edited_units,
+            &object_src,
+            &object_tgt,
+            &object_ge,
+            &cache,
+            &certifier,
+            RecheckDepth::Structural,
+        )
+        .expect("incremental build");
+        incremental = incremental.min(t.elapsed());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, (MODULES - 1) as u64, "{stats:?}");
+        assert_eq!(stats.rejected, 0, "{stats:?}");
+        incr = Some(run);
+    }
+    let incr = incr.expect("at least one rep");
+    for (i, m) in incr.modules.iter().enumerate() {
+        if i == EDITED {
+            assert_eq!(
+                m.outcome,
+                CacheOutcome::Miss,
+                "edited module must recompile"
+            );
+        } else {
+            assert_eq!(m.outcome, CacheOutcome::Hit, "module m{i} must be a hit");
+        }
+    }
+    assert!(
+        incr.link.ok(),
+        "incremental link obligations: {:?}",
+        incr.link.failed()
+    );
+
+    // Zero differential fallback: every served witness is fully static.
+    for m in &incr.modules {
+        let w = validate_artifacts(&m.arts);
+        assert!(
+            w.unsupported_passes().is_empty(),
+            "stage fell back to differential"
+        );
+    }
+
+    let speedup = cold.as_secs_f64() / incremental.as_secs_f64();
+    println!(
+        "  cold build          {:>9.1} ms   ({MODULES} modules compiled + certified)",
+        ms(cold)
+    );
+    println!(
+        "  incremental rebuild {:>9.1} ms   (1 miss, {} re-checked hits)   {speedup:.1}x",
+        ms(incremental),
+        MODULES - 1
+    );
+
+    // --- Disk tier: drop the memory tier, rebuild from target/ccc-cache.
+    cache.clear_memory();
+    cache.reset_stats();
+    let t = Instant::now();
+    let disk = build_program(
+        &edited_units,
+        &object_src,
+        &object_tgt,
+        &object_ge,
+        &cache,
+        &certifier,
+        RecheckDepth::Structural,
+    )
+    .expect("disk rebuild");
+    let disk_elapsed = t.elapsed();
+    assert!(
+        disk.modules
+            .iter()
+            .all(|m| m.outcome == CacheOutcome::DiskHit),
+        "disk rebuild must serve every module from the disk tier"
+    );
+    let disk_speedup = cold.as_secs_f64() / disk_elapsed.as_secs_f64();
+    println!(
+        "  disk-tier rebuild   {:>9.1} ms   (recompiled, certification skipped)   {disk_speedup:.1}x",
+        ms(disk_elapsed)
+    );
+
+    // --- Poisoned-entry spot check: a tampered stored witness must be
+    // rejected and transparently recompiled, never served.
+    let victim = &edited_units[3].module;
+    let hash = ccc_compiler::module_hash(victim);
+    let mut entry = cache.entry(hash).expect("victim entry");
+    entry.witness_json =
+        entry
+            .witness_json
+            .replacen("\"discharged\":true", "\"discharged\":false", 1);
+    cache.put_entry(entry);
+    let recovered = cache
+        .compile_cached(victim, &certifier, RecheckDepth::Structural)
+        .expect("recovers");
+    assert!(
+        matches!(recovered.outcome, CacheOutcome::Rejected(_)),
+        "poisoned entry served as {:?}",
+        recovered.outcome
+    );
+    println!("  poisoned entry      rejected and recompiled (trust discipline holds)");
+
+    // --- Warm throughput under the worker-pool service.
+    let workers = 4;
+    cache.reset_stats();
+    let svc = CompileService::start(
+        Arc::clone(&cache),
+        Arc::new(TransvalCertifier),
+        &ServiceCfg {
+            workers,
+            queue_cap: 64,
+            depth: RecheckDepth::Structural,
+        },
+    );
+    let t = Instant::now();
+    let replies: Vec<_> = (0..requests)
+        .map(|i| svc.submit(edited_units[i % MODULES].module.clone()))
+        .collect();
+    for r in replies {
+        let served = r.recv().expect("reply").expect("compiles");
+        assert!(
+            served.outcome.is_hit(),
+            "warm request missed: {:?}",
+            served.outcome
+        );
+    }
+    let svc_elapsed = t.elapsed();
+    svc.shutdown();
+    let stats = cache.stats();
+    assert_eq!(stats.hits, requests as u64, "{stats:?}");
+    let rps = requests as f64 / svc_elapsed.as_secs_f64();
+    println!(
+        "  service throughput  {:>9.1} req/s  ({requests} requests, {workers} workers, warm cache)",
+        rps
+    );
+
+    // --- Report.
+    let mut json = String::from("{\n");
+    write!(
+        json,
+        "  \"bench\": \"sepcomp\",\n  \"smoke\": {smoke},\n  \"modules\": {MODULES},\n  \
+         \"unit_size\": {size},\n  \"cold_ms\": {:.2},\n  \"incremental_ms\": {:.2},\n  \
+         \"incremental_speedup\": {speedup:.2},\n  \"incremental_hits\": {},\n  \
+         \"incremental_misses\": 1,\n  \"disk_rebuild_ms\": {:.2},\n  \
+         \"disk_speedup\": {disk_speedup:.2},\n  \"link_ok\": {},\n  \
+         \"service_workers\": {workers},\n  \"service_requests\": {requests},\n  \
+         \"warm_rps\": {rps:.1}\n}}\n",
+        ms(cold),
+        ms(incremental),
+        MODULES - 1,
+        ms(disk_elapsed),
+        incr.link.ok(),
+    )
+    .unwrap();
+    std::fs::write("BENCH_sepcomp.json", &json).expect("write BENCH_sepcomp.json");
+    println!("\nwrote BENCH_sepcomp.json");
+
+    assert!(
+        speedup >= 5.0,
+        "incremental rebuild speedup {speedup:.1}x below the 5x bar"
+    );
+}

@@ -169,7 +169,12 @@ impl Stmt {
 }
 
 /// A mini-Clight function.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Hash` is part of the cache contract: the content-addressed module
+/// cache (`ccc_compiler::cache`) keys entries on a structural
+/// [`FxHash`](https://docs.rs/rustc-hash) of the whole module, so the
+/// derived hash must remain deterministic and field-order stable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Function {
     /// Parameters, bound as temporaries.
     pub params: Vec<Temp>,
@@ -192,7 +197,13 @@ impl Function {
 }
 
 /// A mini-Clight module (translation unit): named function definitions.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Functions live in a `BTreeMap`, so the derived `Hash` visits them in
+/// a canonical (name-sorted) order — two structurally equal modules
+/// hash identically regardless of construction order, which is what
+/// makes the module usable as a content-address in
+/// `ccc_compiler::cache`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ClightModule {
     /// Function definitions by name.
     pub funcs: BTreeMap<String, Function>,

@@ -70,7 +70,13 @@ pub const PASS_NAMES: [&str; 11] = [
 ];
 
 /// Every intermediate program of one compilation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is load-bearing for the incremental cache ([`crate::cache`]):
+/// a cache hit is only trusted after the stored source stage is compared
+/// bit-for-bit against the requested module, and the sepcomp test
+/// battery asserts whole-artifact equality between cached and cold
+/// builds.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CompilationArtifacts {
     /// The source.
     pub clight: ClightModule,

@@ -24,6 +24,7 @@
 
 pub mod allocation;
 pub mod asmgen;
+pub mod cache;
 pub mod cleanuplabels;
 pub mod cminor;
 pub mod cminorgen;
@@ -42,11 +43,18 @@ pub mod renumber;
 pub mod rtl;
 pub mod rtlgen;
 pub mod selection;
+pub mod service;
 pub mod stacking;
 pub mod stmt_sem;
 pub mod tailcall;
 pub mod tunneling;
 pub mod verif;
 
+pub use cache::{
+    artifact_digests, module_hash, module_hash_with_version, CacheEntry, CacheError, CacheOutcome,
+    CacheStats, CachedCompilation, Certifier, CompileCache, RecheckDepth, TrustingCertifier,
+    CACHE_FORMAT_VERSION,
+};
 pub use driver::{compile, compile_with_artifacts, CompilationArtifacts, CompileError, PASS_NAMES};
 pub use mutant::{compile_with_artifacts_mutated, id_trans_drop_assert, id_trans_mutated, Mutant};
+pub use service::{CompileReply, CompileService, ServiceCfg};

@@ -1,0 +1,122 @@
+//! Cached-vs-fresh differential oracle: the fuzzing mode for the
+//! incremental compilation cache.
+//!
+//! The cache's contract is *observational transparency*: for any
+//! module, compiling through the cache — miss, then hit, then hit after
+//! tampering — must produce artifacts and witnesses bit-identical to a
+//! cold build, and a tampered entry must be detected, evicted, and
+//! recompiled rather than served. This module checks that contract for
+//! one generated [`FuzzProgram`]; the sepcomp test battery drives it
+//! over the proptest stream, and any failure is a cache bug by
+//! construction (the inputs are well-formed by generation).
+
+use crate::spec::{lower, FuzzProgram};
+use ccc_analysis::sepcomp::TransvalCertifier;
+use ccc_compiler::cache::{CacheOutcome, Certifier, CompileCache, RecheckDepth};
+use ccc_compiler::driver::compile_with_artifacts;
+
+fn fail(phase: &str, detail: impl std::fmt::Display) -> String {
+    format!("cachediff/{phase}: {detail}")
+}
+
+/// Checks the cache's observational-transparency contract on one
+/// program: a miss, a hit, and a poisoned-entry recovery must all
+/// reproduce the cold build exactly.
+///
+/// # Errors
+///
+/// Describes the first phase at which the cached result diverged from
+/// the fresh one (or a poisoned entry went undetected).
+pub fn check_cached_vs_fresh(p: &FuzzProgram, depth: RecheckDepth) -> Result<(), String> {
+    let (m, _ge, _entries) = lower(p);
+    let certifier = TransvalCertifier;
+
+    // The cold reference: compile + validate with no cache involved.
+    let fresh_arts = compile_with_artifacts(&m).map_err(|e| fail("fresh-compile", e))?;
+    let fresh_witness = certifier
+        .certify(&fresh_arts)
+        .map_err(|e| fail("fresh-certify", e))?;
+
+    let cache = CompileCache::new();
+    let miss = cache
+        .compile_cached(&m, &certifier, depth)
+        .map_err(|e| fail("miss", e))?;
+    if miss.outcome != CacheOutcome::Miss {
+        return Err(fail(
+            "miss",
+            format!("expected Miss, got {:?}", miss.outcome),
+        ));
+    }
+    if *miss.arts != fresh_arts {
+        return Err(fail("miss", "artifacts differ from cold build"));
+    }
+    if miss.witness_json != fresh_witness {
+        return Err(fail("miss", "witness differs from cold build"));
+    }
+
+    let hit = cache
+        .compile_cached(&m, &certifier, depth)
+        .map_err(|e| fail("hit", e))?;
+    if hit.outcome != CacheOutcome::Hit {
+        return Err(fail("hit", format!("expected Hit, got {:?}", hit.outcome)));
+    }
+    if *hit.arts != fresh_arts || hit.witness_json != fresh_witness {
+        return Err(fail("hit", "served entry differs from cold build"));
+    }
+
+    // Poison the stored witness (flip the first discharged obligation)
+    // and require detection + transparent recovery. Every generated
+    // program has at least one obligation, but guard anyway.
+    let mut entry = cache
+        .entry(hit.hash)
+        .ok_or_else(|| fail("tamper", "entry vanished"))?;
+    let tampered = entry
+        .witness_json
+        .replacen("\"discharged\":true", "\"discharged\":false", 1);
+    if tampered == entry.witness_json {
+        return Ok(());
+    }
+    entry.witness_json = tampered;
+    cache.put_entry(entry);
+    let recovered = cache
+        .compile_cached(&m, &certifier, depth)
+        .map_err(|e| fail("tamper", e))?;
+    if !matches!(recovered.outcome, CacheOutcome::Rejected(_)) {
+        return Err(fail(
+            "tamper",
+            format!("poisoned entry served as {:?}", recovered.outcome),
+        ));
+    }
+    if *recovered.arts != fresh_arts || recovered.witness_json != fresh_witness {
+        return Err(fail("tamper", "recovered result differs from cold build"));
+    }
+    Ok(())
+}
+
+/// [`check_cached_vs_fresh`] on one generated program, by seed — the
+/// shape the campaign and CI smoke run use.
+///
+/// # Errors
+///
+/// Propagates the underlying contract violation.
+pub fn check_cached_vs_fresh_seeded(
+    seed: u64,
+    size: u32,
+    depth: RecheckDepth,
+) -> Result<(), String> {
+    check_cached_vs_fresh(&crate::gen::gen_program(seed, size), depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_holds_on_a_few_seeds_at_both_depths() {
+        for seed in 0..4 {
+            check_cached_vs_fresh_seeded(seed, 6, RecheckDepth::Structural)
+                .unwrap_or_else(|e| panic!("seed {seed} structural: {e}"));
+        }
+        check_cached_vs_fresh_seeded(5, 6, RecheckDepth::Full).expect("full depth");
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cachediff;
 pub mod corpus;
 pub mod gen;
 pub mod link;
@@ -29,6 +30,7 @@ pub mod text;
 pub mod toygen;
 pub mod tsogen;
 
+pub use cachediff::{check_cached_vs_fresh, check_cached_vs_fresh_seeded};
 pub use corpus::{shrink_to_entry, CorpusEntry};
 pub use gen::gen_program;
 pub use mutation::{
@@ -37,5 +39,5 @@ pub use mutation::{
 };
 pub use oracle::{check_program, FuzzFailure, OracleCfg};
 pub use shrink::shrink;
-pub use spec::{lower, FuzzProgram, SStmt};
+pub use spec::{lower, lower_prefixed, FuzzProgram, SStmt};
 pub use text::{parse_program, program_to_text};

@@ -210,54 +210,56 @@ fn var_name(i: u8) -> String {
     format!("v{}", i % NUM_VARS)
 }
 
-fn global_name(p: &FuzzProgram, i: u8) -> Option<String> {
+fn global_name(p: &FuzzProgram, px: &str, i: u8) -> Option<String> {
     if p.globals == 0 {
         None
     } else {
-        Some(format!("g{}", i % p.globals))
+        Some(format!("{px}g{}", i % p.globals))
     }
 }
 
-fn helper_name(p: &FuzzProgram, i: u8) -> Option<String> {
+fn helper_name(p: &FuzzProgram, px: &str, i: u8) -> Option<String> {
     if p.helpers.is_empty() {
         None
     } else {
-        Some(format!("h{}", i as usize % p.helpers.len()))
+        Some(format!("{px}h{}", i as usize % p.helpers.len()))
     }
 }
 
-fn lower_expr(p: &FuzzProgram, e: &SExpr) -> Expr {
+fn lower_expr(p: &FuzzProgram, px: &str, e: &SExpr) -> Expr {
     match e {
         SExpr::Const(k) => Expr::Const(*k),
         SExpr::Temp(i) => Expr::temp(temp_name(*i)),
         SExpr::Var(i) => Expr::var(var_name(*i)),
-        SExpr::Global(i) => match global_name(p, *i) {
+        SExpr::Global(i) => match global_name(p, px, *i) {
             Some(g) => Expr::var(g),
             None => Expr::Const(i64::from(*i)),
         },
-        SExpr::Neg(a) => Expr::Unop(Unop::Neg, Box::new(lower_expr(p, a))),
-        SExpr::Not(a) => Expr::Unop(Unop::Not, Box::new(lower_expr(p, a))),
-        SExpr::Bin(op, a, b) => Expr::bin(op.to_binop(), lower_expr(p, a), lower_expr(p, b)),
+        SExpr::Neg(a) => Expr::Unop(Unop::Neg, Box::new(lower_expr(p, px, a))),
+        SExpr::Not(a) => Expr::Unop(Unop::Not, Box::new(lower_expr(p, px, a))),
+        SExpr::Bin(op, a, b) => {
+            Expr::bin(op.to_binop(), lower_expr(p, px, a), lower_expr(p, px, b))
+        }
     }
 }
 
-fn lower_stmt(p: &FuzzProgram, s: &SStmt, loop_id: &mut usize) -> Stmt {
+fn lower_stmt(p: &FuzzProgram, px: &str, s: &SStmt, loop_id: &mut usize) -> Stmt {
     match s {
-        SStmt::SetTemp(i, e) => Stmt::Set(temp_name(*i), lower_expr(p, e)),
-        SStmt::SetVar(i, e) => Stmt::Assign(Expr::var(var_name(*i)), lower_expr(p, e)),
-        SStmt::SetGlobal(i, e) => match global_name(p, *i) {
-            Some(g) => Stmt::Assign(Expr::var(g), lower_expr(p, e)),
+        SStmt::SetTemp(i, e) => Stmt::Set(temp_name(*i), lower_expr(p, px, e)),
+        SStmt::SetVar(i, e) => Stmt::Assign(Expr::var(var_name(*i)), lower_expr(p, px, e)),
+        SStmt::SetGlobal(i, e) => match global_name(p, px, *i) {
+            Some(g) => Stmt::Assign(Expr::var(g), lower_expr(p, px, e)),
             None => Stmt::Skip,
         },
         SStmt::PtrWrite(i, e) => Stmt::seq([
             Stmt::Set("p".into(), Expr::Addrof(Box::new(Expr::var(var_name(*i))))),
-            Stmt::Assign(Expr::Deref(Box::new(Expr::temp("p"))), lower_expr(p, e)),
+            Stmt::Assign(Expr::Deref(Box::new(Expr::temp("p"))), lower_expr(p, px, e)),
         ]),
-        SStmt::Print(e) => Stmt::Print(lower_expr(p, e)),
+        SStmt::Print(e) => Stmt::Print(lower_expr(p, px, e)),
         SStmt::If(c, a, b) => Stmt::if_else(
-            lower_expr(p, c),
-            lower_block(p, a, loop_id),
-            lower_block(p, b, loop_id),
+            lower_expr(p, px, c),
+            lower_block(p, px, a, loop_id),
+            lower_block(p, px, b, loop_id),
         ),
         SStmt::Loop(n, body) => {
             // i = n; while (0 < i) { i = i - 1; body } — the `0 < i`
@@ -278,32 +280,32 @@ fn lower_stmt(p: &FuzzProgram, s: &SStmt, loop_id: &mut usize) -> Stmt {
                             i.clone(),
                             Expr::bin(Binop::Sub, Expr::temp(i.clone()), Expr::Const(1)),
                         ),
-                        lower_block(p, body, loop_id),
+                        lower_block(p, px, body, loop_id),
                     ]),
                 ),
             ])
         }
-        SStmt::Call(dst, h, e) => match helper_name(p, *h) {
-            Some(h) => Stmt::Call(Some(temp_name(*dst)), h, vec![lower_expr(p, e)]),
-            None => Stmt::Set(temp_name(*dst), lower_expr(p, e)),
+        SStmt::Call(dst, h, e) => match helper_name(p, px, *h) {
+            Some(h) => Stmt::Call(Some(temp_name(*dst)), h, vec![lower_expr(p, px, e)]),
+            None => Stmt::Set(temp_name(*dst), lower_expr(p, px, e)),
         },
-        SStmt::CallDrop(h, e) => match helper_name(p, *h) {
-            Some(h) => Stmt::Call(None, h, vec![lower_expr(p, e)]),
+        SStmt::CallDrop(h, e) => match helper_name(p, px, *h) {
+            Some(h) => Stmt::Call(None, h, vec![lower_expr(p, px, e)]),
             None => Stmt::Skip,
         },
         SStmt::Locked(body) => Stmt::seq([
             Stmt::call0("lock", vec![]),
-            lower_block(p, body, loop_id),
+            lower_block(p, px, body, loop_id),
             Stmt::call0("unlock", vec![]),
         ]),
     }
 }
 
-fn lower_block(p: &FuzzProgram, ss: &[SStmt], loop_id: &mut usize) -> Stmt {
-    Stmt::seq(ss.iter().map(|s| lower_stmt(p, s, loop_id)))
+fn lower_block(p: &FuzzProgram, px: &str, ss: &[SStmt], loop_id: &mut usize) -> Stmt {
+    Stmt::seq(ss.iter().map(|s| lower_stmt(p, px, s, loop_id)))
 }
 
-fn lower_thread(p: &FuzzProgram, body: &[SStmt]) -> Function {
+fn lower_thread(p: &FuzzProgram, px: &str, body: &[SStmt]) -> Function {
     let mut stmts = Vec::new();
     for i in 0..NUM_TEMPS {
         stmts.push(Stmt::Set(temp_name(i), Expr::Const(0)));
@@ -312,7 +314,7 @@ fn lower_thread(p: &FuzzProgram, body: &[SStmt]) -> Function {
         stmts.push(Stmt::Assign(Expr::var(var_name(i)), Expr::Const(0)));
     }
     let mut loop_id = 0;
-    stmts.push(lower_block(p, body, &mut loop_id));
+    stmts.push(lower_block(p, px, body, &mut loop_id));
     // Print and return a state summary, to maximize the differential
     // sensitivity of every run.
     let mut ret = Expr::Const(0);
@@ -349,19 +351,36 @@ fn lower_helper(h: &HelperSpec) -> Function {
 /// of them is observable.
 #[must_use]
 pub fn lower(p: &FuzzProgram) -> (ClightModule, GlobalEnv, Vec<String>) {
-    let mut ge = GlobalEnv::new();
+    lower_prefixed(p, "", 8)
+}
+
+/// Like [`lower`], but namespaced for multi-module programs: every
+/// cross-module name — globals `g{i}`, helpers `h{i}`, entries
+/// `thread{t}` — is prefixed with `prefix` (e.g. `"m3_"`), and the
+/// unit's globals are allocated from `base` upwards so separately
+/// lowered units occupy disjoint address ranges and link. Calls to
+/// `lock`/`unlock` stay unprefixed: they resolve to the shared
+/// concurrent object at link time. Function-local names (temporaries,
+/// addressable locals, loop counters) need no namespacing.
+#[must_use]
+pub fn lower_prefixed(
+    p: &FuzzProgram,
+    prefix: &str,
+    base: u64,
+) -> (ClightModule, GlobalEnv, Vec<String>) {
+    let mut ge = GlobalEnv::with_base(base);
     for i in 0..p.globals {
-        ge.define(format!("g{i}"), Val::Int(i64::from(i) + 1));
+        ge.define(format!("{prefix}g{i}"), Val::Int(i64::from(i) + 1));
     }
     let mut funcs = Vec::new();
     let mut entries = Vec::new();
     for (t, body) in p.threads.iter().enumerate() {
-        let name = format!("thread{t}");
-        funcs.push((name.clone(), lower_thread(p, body)));
+        let name = format!("{prefix}thread{t}");
+        funcs.push((name.clone(), lower_thread(p, prefix, body)));
         entries.push(name);
     }
     for (i, h) in p.helpers.iter().enumerate() {
-        funcs.push((format!("h{i}"), lower_helper(h)));
+        funcs.push((format!("{prefix}h{i}"), lower_helper(h)));
     }
     (ClightModule::new(funcs), ge, entries)
 }
