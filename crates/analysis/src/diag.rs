@@ -8,7 +8,14 @@
 //! consumers that match on the formatted string keep working; the
 //! structured fields are for programmatic consumers (the fuzz oracle,
 //! the mutation scoreboard, the `--validate` flag of `ir_dump`).
+//!
+//! Serialized-witness syntax errors
+//! ([`crate::transval::json::JsonError`]) also route through here via
+//! [`Diagnostic::from_json_error`], carrying their byte offset in
+//! [`Diagnostic::offset`] — every static pass, including the
+//! certificate (de)serializers, reports in this one format.
 
+use crate::transval::json::JsonError;
 use std::fmt;
 
 /// One structured finding about a pass output: a lint violation or an
@@ -25,6 +32,9 @@ pub struct Diagnostic {
     /// one exists. The `message` still embeds it textually, so this is
     /// additive metadata, not a substitute.
     pub node: Option<u32>,
+    /// For findings about a serialized document (a stored witness or
+    /// certificate), the byte offset at which the document broke.
+    pub offset: Option<usize>,
     /// What is wrong.
     pub message: String,
 }
@@ -40,6 +50,7 @@ impl Diagnostic {
             pass: pass.into(),
             function: function.into(),
             node: None,
+            offset: None,
             message: message.into(),
         }
     }
@@ -49,6 +60,22 @@ impl Diagnostic {
     pub fn at(mut self, node: u32) -> Self {
         self.node = Some(node);
         self
+    }
+
+    /// Attaches a byte-offset anchor (builder style) — for findings
+    /// about serialized documents.
+    #[must_use]
+    pub fn at_offset(mut self, offset: usize) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Lifts a JSON syntax error into the shared diagnostic format,
+    /// preserving its byte offset both structurally ([`Self::offset`])
+    /// and in the rendered message.
+    #[must_use]
+    pub fn from_json_error(pass: impl Into<String>, e: &JsonError) -> Self {
+        Diagnostic::new(pass, "", e.to_string()).at_offset(e.offset)
     }
 }
 
@@ -74,5 +101,16 @@ mod tests {
         let d = Diagnostic::new("Asm", "g", "empty body");
         assert_eq!(d.to_string(), "[Asm] g: empty body");
         assert_eq!(d.node, None);
+        assert_eq!(d.offset, None);
+    }
+
+    #[test]
+    fn json_errors_route_through_diag_with_offset() {
+        let e = crate::transval::json::parse("{\"a\":").expect_err("truncated");
+        let off = e.offset;
+        let d = Diagnostic::from_json_error("RgCert", &e);
+        assert_eq!(d.pass, "RgCert");
+        assert_eq!(d.offset, Some(off));
+        assert!(d.message.contains(&format!("byte {off}")), "{d}");
     }
 }

@@ -40,6 +40,15 @@
 //!   hints, the object-level `IdTrans` by atomic-shape preservation —
 //!   so `Validation::Static` needs no differential fallback.
 //!
+//! * **Rely-guarantee certification** ([`rg_cert`]): a static
+//!   per-module interference certificate — guarantee as action
+//!   summaries (region × access kind × lock/atomic context), rely as
+//!   its complement — inferred by an untrusted solver, re-admitted only
+//!   by an independent trusted checker, serialized through the
+//!   dependency-free JSON machinery into the witness cache, and
+//!   composed at link time by the `RgCompatible` obligation of
+//!   [`sepcomp`] with no whole-program exploration.
+//!
 //! * **TSO robustness** ([`asm_cfg`], [`tso_robust`]): a Shasha–Snir
 //!   critical-cycle analysis over per-thread assembly CFGs deciding
 //!   whether a program's x86-TSO behaviours are SC-equal
@@ -54,6 +63,7 @@ pub mod diag;
 pub mod lint;
 pub mod lockset;
 pub mod region;
+pub mod rg_cert;
 pub mod rtl_fp;
 pub mod sepcomp;
 pub mod transval;
@@ -74,10 +84,16 @@ pub use lockset::{
     RacePair, SharpRaceReport, StaticRaceReport, StaticVerdict,
 };
 pub use region::{AbsFootprint, AbsVal, Region};
+pub use rg_cert::{
+    derive_rely, infer_rg_cert, rg_cert_cached, rg_cert_from_json, rg_cert_to_json,
+    rg_cert_violation, rg_incompatibilities, ActionSummary, CertOutcome, RelyClause, RgCert,
+};
 pub use rtl_fp::{infer_rtl, infer_rtl_with, RtlFnFootprints, RtlSummaries};
 pub use sepcomp::{
-    build_program, check_link_obligations, expected_passes, recheck_pipeline, recheck_shape,
-    LinkObligation, LinkObligationKind, LinkReport, SepUnit, SepcompResult, TransvalCertifier,
+    build_program, build_program_certified, check_link_obligations,
+    check_link_obligations_with_certs, check_rg_compatible, expected_passes, recheck_pipeline,
+    recheck_shape, LinkObligation, LinkObligationKind, LinkReport, SepUnit, SepcompCertResult,
+    SepcompResult, TransvalCertifier,
 };
 pub use transval::object::validate_id_trans;
 pub use transval::{

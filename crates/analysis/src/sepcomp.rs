@@ -32,8 +32,9 @@
 //! cache (hits re-checked, misses certified), then the link obligations
 //! are discharged over the results.
 
-use crate::lockset::{infer_lock_model, StaticVerdict};
+use crate::lockset::{infer_lock_model, LockModel, StaticVerdict};
 use crate::region::AbsFootprint;
+use crate::rg_cert::{rg_cert_cached, rg_incompatibilities, CertOutcome, RgCert};
 use crate::transval::json::{
     pipeline_from_json, pipeline_shape_from_json, pipeline_to_json, WitnessShape,
 };
@@ -186,8 +187,11 @@ impl Certifier for TransvalCertifier {
                 // The shape scan syntax-checks the whole document but
                 // materializes none of the (thousands of) obligations —
                 // this is what keeps a hit ~10x cheaper than a cold
-                // compile+certify.
-                let shape = pipeline_shape_from_json(witness_json).map_err(String::from)?;
+                // compile+certify. Syntax errors surface in the shared
+                // diagnostic format, byte offset preserved.
+                let shape = pipeline_shape_from_json(witness_json).map_err(|e| {
+                    crate::diag::Diagnostic::from_json_error("Witness", &e).to_string()
+                })?;
                 recheck_shape(arts, &shape)
             }
             RecheckDepth::Full => {
@@ -225,6 +229,11 @@ pub enum LinkObligationKind {
     /// The merged client is statically race-free under the object's
     /// lock protocol.
     LockDiscipline,
+    /// Every module's guarantee is allowed by every other module's rely
+    /// (and each module is self-stable): the compositional
+    /// rely-guarantee side condition, discharged from per-module
+    /// [`RgCert`]s with no whole-program exploration.
+    RgCompatible,
 }
 
 impl LinkObligationKind {
@@ -236,6 +245,7 @@ impl LinkObligationKind {
             LinkObligationKind::FootprintDisjoint => "FootprintDisjoint",
             LinkObligationKind::AtomicShape => "AtomicShape",
             LinkObligationKind::LockDiscipline => "LockDiscipline",
+            LinkObligationKind::RgCompatible => "RgCompatible",
         }
     }
 }
@@ -403,6 +413,34 @@ fn check_lock_discipline(units: &[SepUnit], object_src: &CImpModule) -> LinkObli
     }
 }
 
+/// Discharges the `RgCompatible` obligation from per-module
+/// certificates: every module must be self-stable, and every module's
+/// guarantee must be allowed by every other module's rely
+/// ([`rg_incompatibilities`]). Purely a check over the (already
+/// trusted-checked) certificates — no unit is re-analyzed, which is
+/// what makes the verdict incremental: editing one module re-infers one
+/// certificate, then this check re-runs over N summaries.
+#[must_use]
+pub fn check_rg_compatible(certs: &[RgCert]) -> LinkObligation {
+    let bad = rg_incompatibilities(certs);
+    let actions: usize = certs.iter().map(|c| c.guarantee.len()).sum();
+    LinkObligation {
+        kind: LinkObligationKind::RgCompatible,
+        discharged: bad.is_empty(),
+        note: if bad.is_empty() {
+            format!(
+                "{} certificates ({actions} guarantee actions) pairwise rely-compatible",
+                certs.len()
+            )
+        } else {
+            bad.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        },
+    }
+}
+
 /// Re-discharges every link-time side condition for a program made of
 /// `units` linked against a concurrent object (`object_src` as written,
 /// `object_tgt` as emitted by `IdTrans`).
@@ -421,6 +459,22 @@ pub fn check_link_obligations(
             check_lock_discipline(units, object_src),
         ],
     }
+}
+
+/// [`check_link_obligations`] plus the certificate-based
+/// [`LinkObligationKind::RgCompatible`] obligation. `certs[i]` must be
+/// the (trusted-checked) certificate of `units[i]`.
+#[must_use]
+pub fn check_link_obligations_with_certs(
+    units: &[SepUnit],
+    certs: &[RgCert],
+    object_src: &CImpModule,
+    object_tgt: &CImpModule,
+    object_ge: &GlobalEnv,
+) -> LinkReport {
+    let mut report = check_link_obligations(units, object_src, object_tgt, object_ge);
+    report.obligations.push(check_rg_compatible(certs));
+    report
 }
 
 /// The result of one whole-program incremental build.
@@ -460,5 +514,60 @@ pub fn build_program(
     Ok(SepcompResult {
         modules,
         link: check_link_obligations(units, object_src, object_tgt, object_ge),
+    })
+}
+
+/// The result of one whole-program incremental build with interference
+/// certification enabled.
+#[derive(Clone, Debug)]
+pub struct SepcompCertResult {
+    /// Per-unit compilations, in `units` order.
+    pub modules: Vec<CachedCompilation>,
+    /// Per-unit rely-guarantee certificates, in `units` order (each one
+    /// served from the witness cache and re-checked, or freshly
+    /// inferred).
+    pub certs: Vec<RgCert>,
+    /// How each certificate was served.
+    pub cert_outcomes: Vec<CertOutcome>,
+    /// The link obligations including
+    /// [`LinkObligationKind::RgCompatible`].
+    pub link: LinkReport,
+}
+
+/// [`build_program`] with per-module rely-guarantee certification:
+/// every unit's [`RgCert`] goes through the witness cache (stored
+/// certificates are re-admitted only after the trusted checker passes
+/// against the presented module), then the link obligations — now
+/// including `RgCompatible` — are discharged over the certificates.
+/// Editing 1 of N modules therefore re-infers exactly 1 certificate;
+/// the other N−1 are cache hits whose re-check is a lockset walk, not
+/// an exploration.
+///
+/// # Errors
+///
+/// As [`build_program`].
+pub fn build_program_certified(
+    units: &[SepUnit],
+    object_src: &CImpModule,
+    object_tgt: &CImpModule,
+    object_ge: &GlobalEnv,
+    cache: &CompileCache,
+    certifier: &dyn Certifier,
+    depth: RecheckDepth,
+) -> Result<SepcompCertResult, CacheError> {
+    let model: LockModel = infer_lock_model(object_src);
+    let (certs, cert_outcomes): (Vec<_>, Vec<_>) = units
+        .iter()
+        .map(|u| rg_cert_cached(&u.name, &u.module, &u.entries, &model, cache))
+        .unzip();
+    let modules = units
+        .iter()
+        .map(|u| cache.compile_cached(&u.module, certifier, depth))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SepcompCertResult {
+        modules,
+        link: check_link_obligations_with_certs(units, &certs, object_src, object_tgt, object_ge),
+        certs,
+        cert_outcomes,
     })
 }

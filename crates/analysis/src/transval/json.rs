@@ -32,21 +32,21 @@ pub enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<i64> {
+    pub(crate) fn as_num(&self) -> Option<i64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -578,7 +578,7 @@ pub fn parse(s: &str) -> Result<Json, JsonError> {
     Ok(v)
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

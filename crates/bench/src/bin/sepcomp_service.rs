@@ -22,13 +22,24 @@
 //! A poisoned-entry spot check (tampered stored witness must be
 //! rejected and transparently recompiled) guards the trust discipline.
 //!
+//! Interference certification is **enabled throughout**: every build
+//! runs [`build_program_certified`], so each unit's `RgCert` rides the
+//! same cache (the edit-1-of-20 phase must show exactly 1 certificate
+//! miss + 19 re-checked certificate hits, and the link report must
+//! discharge `RgCompatible`) — the no-regression gate for the
+//! certificate artifact kind.
+//!
 //! Run with: `cargo run --release -p ccc-bench --bin sepcomp_service`
 //! (`--smoke` shrinks module sizes and the request count for CI).
 //! Results are written to `BENCH_sepcomp.json` in the current
 //! directory.
 
-use ccc_analysis::sepcomp::{build_program, SepUnit, TransvalCertifier};
+use ccc_analysis::rg_cert::{infer_rg_cert, CertOutcome};
+use ccc_analysis::sepcomp::{
+    build_program_certified, LinkObligationKind, SepUnit, TransvalCertifier,
+};
 use ccc_analysis::validate_artifacts;
+use ccc_analysis::{check_link_obligations_with_certs, infer_lock_model};
 use ccc_compiler::cache::{default_disk_dir, CacheOutcome, Certifier, CompileCache, RecheckDepth};
 use ccc_compiler::driver::compile_with_artifacts;
 use ccc_compiler::{CompileService, ServiceCfg};
@@ -99,8 +110,10 @@ fn main() {
     let (object_src, object_ge) = lock_spec("L");
     let object_tgt = ccc_compiler::driver::id_trans(&object_src);
 
-    // --- Cold reference: full pipeline + full certification, no cache.
-    // Timed twice (min) so a scheduler hiccup cannot skew the gate.
+    // --- Cold reference: full pipeline + full certification + fresh
+    // interference certificates, no cache. Timed twice (min) so a
+    // scheduler hiccup cannot skew the gate.
+    let model = infer_lock_model(&object_src);
     let mut cold = std::time::Duration::MAX;
     for _ in 0..2 {
         let t = Instant::now();
@@ -108,8 +121,17 @@ fn main() {
             let arts = compile_with_artifacts(&u.module).expect("unit compiles");
             certifier.certify(&arts).expect("unit validates");
         }
-        let cold_link =
-            ccc_analysis::check_link_obligations(&units, &object_src, &object_tgt, &object_ge);
+        let cold_certs: Vec<_> = units
+            .iter()
+            .map(|u| infer_rg_cert(&u.name, &u.module, &u.entries, &model))
+            .collect();
+        let cold_link = check_link_obligations_with_certs(
+            &units,
+            &cold_certs,
+            &object_src,
+            &object_tgt,
+            &object_ge,
+        );
         cold = cold.min(t.elapsed());
         assert!(
             cold_link.ok(),
@@ -126,7 +148,7 @@ fn main() {
             .with_disk(&disk_dir)
             .expect("create disk tier"),
     );
-    let warm = build_program(
+    let warm = build_program_certified(
         &units,
         &object_src,
         &object_tgt,
@@ -139,6 +161,10 @@ fn main() {
     assert!(
         warm.modules.iter().all(|m| m.outcome == CacheOutcome::Miss),
         "warm build must compile everything"
+    );
+    assert!(
+        warm.cert_outcomes.iter().all(|o| *o == CertOutcome::Miss),
+        "warm build must infer every certificate"
     );
 
     // --- Edit one module and rebuild incrementally.
@@ -162,7 +188,7 @@ fn main() {
         cache.evict(edited_hash);
         cache.reset_stats();
         let t = Instant::now();
-        let run = build_program(
+        let run = build_program_certified(
             &edited_units,
             &object_src,
             &object_tgt,
@@ -177,6 +203,10 @@ fn main() {
         assert_eq!(stats.misses, 1, "{stats:?}");
         assert_eq!(stats.hits, (MODULES - 1) as u64, "{stats:?}");
         assert_eq!(stats.rejected, 0, "{stats:?}");
+        // Certificates ride the same cache: the edit re-infers exactly
+        // one, the other 19 are served and re-checked.
+        assert_eq!(stats.cert_misses, 1, "{stats:?}");
+        assert_eq!(stats.cert_hits, (MODULES - 1) as u64, "{stats:?}");
         incr = Some(run);
     }
     let incr = incr.expect("at least one rep");
@@ -191,10 +221,25 @@ fn main() {
             assert_eq!(m.outcome, CacheOutcome::Hit, "module m{i} must be a hit");
         }
     }
+    for (i, o) in incr.cert_outcomes.iter().enumerate() {
+        if i == EDITED {
+            assert_eq!(*o, CertOutcome::Miss, "edited module must re-certify");
+        } else {
+            assert_eq!(*o, CertOutcome::Hit, "certificate m{i} must be a hit");
+        }
+    }
     assert!(
         incr.link.ok(),
         "incremental link obligations: {:?}",
         incr.link.failed()
+    );
+    assert!(
+        incr.link
+            .obligations
+            .iter()
+            .any(|o| o.kind == LinkObligationKind::RgCompatible && o.discharged),
+        "RgCompatible must be discharged: {:?}",
+        incr.link
     );
 
     // Zero differential fallback: every served witness is fully static.
@@ -221,7 +266,7 @@ fn main() {
     cache.clear_memory();
     cache.reset_stats();
     let t = Instant::now();
-    let disk = build_program(
+    let disk = build_program_certified(
         &edited_units,
         &object_src,
         &object_tgt,
@@ -237,6 +282,10 @@ fn main() {
             .iter()
             .all(|m| m.outcome == CacheOutcome::DiskHit),
         "disk rebuild must serve every module from the disk tier"
+    );
+    assert!(
+        disk.cert_outcomes.iter().all(|o| *o == CertOutcome::Hit),
+        "disk rebuild must serve every certificate from the disk tier"
     );
     let disk_speedup = cold.as_secs_f64() / disk_elapsed.as_secs_f64();
     println!(
@@ -299,18 +348,25 @@ fn main() {
     );
 
     // --- Report.
+    let rg_ok = incr
+        .link
+        .obligations
+        .iter()
+        .any(|o| o.kind == LinkObligationKind::RgCompatible && o.discharged);
     let mut json = String::from("{\n");
     write!(
         json,
         "  \"bench\": \"sepcomp\",\n  \"smoke\": {smoke},\n  \"modules\": {MODULES},\n  \
          \"unit_size\": {size},\n  \"cold_ms\": {:.2},\n  \"incremental_ms\": {:.2},\n  \
          \"incremental_speedup\": {speedup:.2},\n  \"incremental_hits\": {},\n  \
-         \"incremental_misses\": 1,\n  \"disk_rebuild_ms\": {:.2},\n  \
+         \"incremental_misses\": 1,\n  \"cert_hits\": {},\n  \"cert_misses\": 1,\n  \
+         \"rg_compatible\": {rg_ok},\n  \"disk_rebuild_ms\": {:.2},\n  \
          \"disk_speedup\": {disk_speedup:.2},\n  \"link_ok\": {},\n  \
          \"service_workers\": {workers},\n  \"service_requests\": {requests},\n  \
          \"warm_rps\": {rps:.1}\n}}\n",
         ms(cold),
         ms(incremental),
+        MODULES - 1,
         MODULES - 1,
         ms(disk_elapsed),
         incr.link.ok(),

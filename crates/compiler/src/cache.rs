@@ -310,6 +310,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted because re-validation failed.
     pub rejected: u64,
+    /// Per-module interference certificates served from the cache and
+    /// successfully re-checked by their trusted checker (the analysis
+    /// layer owns the check; the cache only stores and counts).
+    pub cert_hits: u64,
+    /// Certificates freshly inferred and stored (either not cached, or
+    /// cached but rejected by the re-check and evicted).
+    pub cert_misses: u64,
 }
 
 /// The content-addressed compilation cache. Thread-safe: the batch
@@ -317,11 +324,14 @@ pub struct CacheStats {
 pub struct CompileCache {
     pipeline: fn(&ClightModule) -> Result<CompilationArtifacts, CompileError>,
     mem: Mutex<FxHashMap<u64, MemEntry>>,
+    certs: Mutex<FxHashMap<u64, String>>,
     disk: Option<PathBuf>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     rejected: AtomicU64,
+    cert_hits: AtomicU64,
+    cert_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -356,11 +366,14 @@ impl CompileCache {
         CompileCache {
             pipeline,
             mem: Mutex::new(FxHashMap::default()),
+            certs: Mutex::new(FxHashMap::default()),
             disk: None,
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            cert_hits: AtomicU64::new(0),
+            cert_misses: AtomicU64::new(0),
         }
     }
 
@@ -406,6 +419,8 @@ impl CompileCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            cert_hits: self.cert_hits.load(Ordering::Relaxed),
+            cert_misses: self.cert_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -416,6 +431,8 @@ impl CompileCache {
         self.disk_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+        self.cert_hits.store(0, Ordering::Relaxed);
+        self.cert_misses.store(0, Ordering::Relaxed);
     }
 
     /// The stored entry for `hash`, if any (test hook).
@@ -442,16 +459,104 @@ impl CompileCache {
         );
     }
 
-    /// Drops `hash` from both tiers.
+    /// Drops `hash` from both tiers (compilation entry and any stored
+    /// certificate).
     pub fn evict(&self, hash: u64) {
         self.mem.lock().expect("cache lock").remove(&hash);
         self.remove_disk(hash);
+        self.cert_evict(hash);
     }
 
     /// Drops every memory-tier entry, keeping the disk tier (the bench
     /// uses this to exercise the disk path).
     pub fn clear_memory(&self) {
         self.mem.lock().expect("cache lock").clear();
+        self.certs.lock().expect("cert lock").clear();
+    }
+
+    // -- Certificate side-store ------------------------------------------
+    //
+    // Per-module interference certificates (`ccc-analysis::rg_cert`)
+    // ride the same content-addressed cache: keyed by `module_hash`,
+    // memory tier + one `.rgc` file per entry on the disk tier. The
+    // cache stores opaque single-line JSON and counts hits/misses; the
+    // *trusted re-check* of a served certificate is the analysis
+    // layer's job (same inversion as [`Certifier`] — the compiler crate
+    // cannot depend on the analyses), which is why admission counting
+    // is explicit ([`Self::note_cert_hit`]) rather than implicit in
+    // [`Self::cert_get`].
+
+    /// The file a certificate for `hash` persists to, when a disk tier
+    /// is attached (exposed so poisoning tests can corrupt it).
+    #[must_use]
+    pub fn cert_disk_path(&self, hash: u64) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|d| d.join(format!("{hash:016x}.rgc")))
+    }
+
+    /// The stored certificate JSON for `hash`, memory tier first, then
+    /// disk (promoted into memory on a disk read). The caller must
+    /// re-check it before trusting it, then report the admission via
+    /// [`Self::note_cert_hit`] / [`Self::note_cert_miss`].
+    #[must_use]
+    pub fn cert_get(&self, hash: u64) -> Option<String> {
+        if let Some(j) = self.certs.lock().expect("cert lock").get(&hash) {
+            return Some(j.clone());
+        }
+        let path = self.cert_disk_path(hash)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        let header = format!("ccc-cert {CACHE_FORMAT_VERSION}");
+        if lines.next() != Some(header.as_str()) {
+            return None;
+        }
+        let json = lines.next()?.to_string();
+        self.certs
+            .lock()
+            .expect("cert lock")
+            .insert(hash, json.clone());
+        Some(json)
+    }
+
+    /// Stores a certificate for `hash` in both tiers. `json` must be
+    /// single-line (the serializer escapes newlines); a multi-line
+    /// document is stored in memory only.
+    pub fn cert_put(&self, hash: u64, json: &str) {
+        self.certs
+            .lock()
+            .expect("cert lock")
+            .insert(hash, json.to_string());
+        if json.contains('\n') {
+            return;
+        }
+        if let Some(path) = self.cert_disk_path(hash) {
+            let tmp = path.with_extension("rgc.tmp");
+            let body = format!("ccc-cert {CACHE_FORMAT_VERSION}\n{json}\n");
+            if std::fs::write(&tmp, body).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    /// Drops the certificate for `hash` from both tiers.
+    pub fn cert_evict(&self, hash: u64) {
+        self.certs.lock().expect("cert lock").remove(&hash);
+        if let Some(p) = self.cert_disk_path(hash) {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    /// Records a served-and-re-checked certificate (counted in
+    /// [`CacheStats::cert_hits`]).
+    pub fn note_cert_hit(&self) {
+        self.cert_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a freshly inferred certificate (counted in
+    /// [`CacheStats::cert_misses`]).
+    pub fn note_cert_miss(&self) {
+        self.cert_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Compiles `m` through the cache. On a hit the stored entry is

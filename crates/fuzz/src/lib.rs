@@ -24,6 +24,7 @@ pub mod gen;
 pub mod link;
 pub mod mutation;
 pub mod oracle;
+pub mod rgdiff;
 pub mod shrink;
 pub mod spec;
 pub mod text;
@@ -38,6 +39,7 @@ pub use mutation::{
     transval_corpus_board, MutantScore, Scoreboard, StaticKill,
 };
 pub use oracle::{check_program, FuzzFailure, OracleCfg};
+pub use rgdiff::{check_rg_vs_exploration, RgDiffReport};
 pub use shrink::shrink;
 pub use spec::{lower, lower_prefixed, FuzzProgram, SStmt};
 pub use text::{parse_program, program_to_text};

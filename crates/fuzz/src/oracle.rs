@@ -493,6 +493,30 @@ fn check_differential(
         return Ok(()); // inconclusive: budget exhausted on the source
     }
 
+    // Static rely-guarantee probe: infer the source module's
+    // interference certificate and compare its verdict against the
+    // exploration. The static verdict may be *stricter* (false
+    // positives are honest imprecision) but never more permissive — a
+    // self-stable certificate on a program whose exploration finds a
+    // race is a certifier soundness bug, as is a fresh certificate the
+    // trusted checker rejects.
+    if cfg.validation != Validation::Differential {
+        let model = ccc_analysis::infer_lock_model(&lock);
+        let cert = ccc_analysis::infer_rg_cert("client", &arts.clight, entries, &model);
+        if let Some(d) = ccc_analysis::rg_cert_violation(&cert, &arts.clight, entries, &model) {
+            return Err(fail(
+                "rg_cert",
+                format!("inferred certificate rejected by its own checker: {d}"),
+            ));
+        }
+        if cert.is_stable() && src.drf == Some(false) {
+            return Err(fail(
+                "rg_cert",
+                "static RG certificate is self-stable but source exploration found a race",
+            ));
+        }
+    }
+
     macro_rules! conc_stage {
         ($name:expr, $lang:expr, $module:expr) => {{
             if skip($name) {

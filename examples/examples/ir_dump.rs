@@ -214,6 +214,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  {d}");
             }
         }
+
+        // The module's rely-guarantee certificate — the per-module
+        // interference summary the link-time RgCompatible obligation
+        // consumes (ccc_analysis::rg_cert). A sequential module like
+        // this one publishes an empty guarantee: it touches only its
+        // own stack, so any environment is a valid rely.
+        let entries = vec!["main".to_string()];
+        let model = ccc_analysis::LockModel::default();
+        let cert = ccc_analysis::infer_rg_cert("ir_dump", &m, &entries, &model);
+        let admitted = ccc_analysis::rg_cert_violation(&cert, &m, &entries, &model).is_none();
+        println!("\nRG certificate (static interference summary):");
+        println!(
+            "  guarantee: {} action(s)   rely: {} clause(s)   self-stable: {}   scoped: {}",
+            cert.guarantee.len(),
+            cert.rely.len(),
+            cert.self_stable,
+            cert.scoped
+        );
+        for a in &cert.guarantee {
+            println!(
+                "    {} {} locks={:?} atomic={}",
+                if a.write { "write" } else { "read" },
+                a.region,
+                a.locks,
+                a.atomic
+            );
+        }
+        println!(
+            "  verdict: {}   trusted checker: {}",
+            if cert.is_stable() {
+                "Stable"
+            } else {
+                "MayInterfere"
+            },
+            if admitted { "admitted" } else { "REJECTED" }
+        );
     }
     Ok(())
 }
